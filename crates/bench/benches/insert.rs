@@ -1,0 +1,21 @@
+//! Criterion micro-bench: insertion throughput per structure
+//! (Figure 9's CPU panel, as a statistically sound micro-benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{AnyIndex, TreeKind};
+use sr_dataset::uniform;
+
+fn bench_insert(c: &mut Criterion) {
+    let points = uniform(2_000, 16, 42);
+    let mut group = c.benchmark_group("insert_2k_16d");
+    group.sample_size(10);
+    for &kind in TreeKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| AnyIndex::build(kind, std::hint::black_box(&points)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

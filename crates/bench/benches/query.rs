@@ -1,0 +1,28 @@
+//! Criterion micro-bench: 21-NN query latency per structure on the
+//! simulated real data set (Figures 4/11's CPU panels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{AnyIndex, TreeKind};
+use sr_dataset::{real_sim, sample_queries};
+
+fn bench_query(c: &mut Criterion) {
+    let points = real_sim(10_000, 16, 42);
+    let queries = sample_queries(&points, 64, 7);
+    let mut group = c.benchmark_group("knn21_10k_16d_real");
+    for &kind in TreeKind::ALL {
+        let index = AnyIndex::build(kind, &points);
+        index.reset_for_queries();
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                std::hint::black_box(index.knn(q.coords(), 21))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

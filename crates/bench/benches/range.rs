@@ -1,0 +1,36 @@
+//! Criterion micro-bench: range-query latency per structure on
+//! clustered data (complements the k-NN bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_bench::{AnyIndex, TreeKind};
+use sr_dataset::{cluster, sample_queries, ClusterSpec};
+
+fn bench_range(c: &mut Criterion) {
+    let points = cluster(
+        ClusterSpec {
+            clusters: 50,
+            points_per_cluster: 200,
+            max_radius: 0.05,
+        },
+        16,
+        42,
+    );
+    let queries = sample_queries(&points, 64, 7);
+    let mut group = c.benchmark_group("range_r0.05_10k_16d_cluster");
+    for &kind in TreeKind::ALL {
+        let index = AnyIndex::build(kind, &points);
+        index.reset_for_queries();
+        let mut qi = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                std::hint::black_box(index.range(q.coords(), 0.05))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p sr-bench --bin experiments -- <id>|all [--paper]
+//! ```
+//!
+//! Ids: table1 table2 table3 fig3 fig4 fig5 fig6 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19. CSV copies land in
+//! `target/experiments/`.
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>|all [--paper]");
+        eprintln!("known ids: {}", sr_bench::ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if ids == ["all"] {
+        sr_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids
+    };
+    for id in ids {
+        let t0 = Instant::now();
+        if let Err(e) = sr_bench::run_experiment(id, paper) {
+            eprintln!("experiment {id} failed: {e}");
+            std::process::exit(1);
+        }
+        println!("[{id} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation study (beyond the paper's figures): how much does each of
+//! the SR-tree's two design choices contribute?
+//!
+//! 1. **Query bound** (§4.4): prune with `max(d_s, d_r)` vs each shape
+//!    alone, on the same tree.
+//! 2. **Radius rule** (§4.2): build with `min(d_s, d_r)` vs the SS-tree's
+//!    `d_s`-only radius.
+//! 3. **Forced reinsertion**: the SS-tree-style aggressive reinsertion
+//!    vs always splitting.
+
+use sr_dataset::sample_queries;
+use sr_pager::PageFile;
+use sr_tree::{DistanceBound, RadiusRule, SrOptions, SrTree};
+
+use crate::experiments::{real_data, QUERY_SEED};
+use crate::index::{DATA_AREA, PAGE_SIZE};
+use crate::measure::{Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let n = if scale.paper { 20_000 } else { 10_000 };
+    let points = real_data(n);
+    let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+
+    let build = |options: SrOptions| -> Result<SrTree, String> {
+        let mut t = SrTree::create_with_options(
+            PageFile::create_in_memory(PAGE_SIZE),
+            points[0].dim(),
+            DATA_AREA,
+            options,
+        )
+        .map_err(|e| e.to_string())?;
+        for (i, p) in points.iter().enumerate() {
+            t.insert(p.clone(), i as u64).map_err(|e| e.to_string())?;
+        }
+        Ok(t)
+    };
+    let reads = |t: &SrTree, bound: DistanceBound| -> Result<f64, String> {
+        t.pager().set_cache_capacity(0).map_err(|e| e.to_string())?;
+        t.pager().reset_stats();
+        for q in &queries {
+            t.knn_with_bound(q.coords(), K, bound)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(t.pager().stats().tree_reads() as f64 / queries.len() as f64)
+    };
+
+    let mut report = Report::new(
+        "ablation",
+        format!("SR-tree design-choice ablation (real data set, n = {n})").as_str(),
+    );
+    report.header(["variant", "reads/query"]);
+
+    let full = build(SrOptions::default())?;
+    report.row(["SR-tree (paper)".to_string(), f(reads(&full, DistanceBound::Both)?)]);
+    report.row([
+        "  query bound: sphere only".to_string(),
+        f(reads(&full, DistanceBound::SphereOnly)?),
+    ]);
+    report.row([
+        "  query bound: rect only".to_string(),
+        f(reads(&full, DistanceBound::RectOnly)?),
+    ]);
+
+    let no_rule = build(SrOptions {
+        radius_rule: RadiusRule::SphereOnly,
+        ..Default::default()
+    })?;
+    report.row([
+        "  radius rule: d_s only (SS radius)".to_string(),
+        f(reads(&no_rule, DistanceBound::Both)?),
+    ]);
+
+    let no_reinsert = build(SrOptions {
+        disable_reinsertion: true,
+        ..Default::default()
+    })?;
+    report.row([
+        "  forced reinsertion disabled".to_string(),
+        f(reads(&no_reinsert, DistanceBound::Both)?),
+    ]);
+
+    report.emit()
+}

@@ -1,0 +1,61 @@
+//! Extension experiment (beyond the paper): the bulk-loaded SR-tree vs
+//! the incrementally built SR-tree and the static VAMSplit R-tree —
+//! does static packing close the VAMSplit gap on uniform data while
+//! keeping the SR-tree's real-data advantage?
+
+use sr_dataset::sample_queries;
+use sr_pager::PageFile;
+use sr_tree::SrTree;
+
+use crate::experiments::{real_data, uniform_data, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind, DATA_AREA, PAGE_SIZE};
+use crate::measure::{measure_knn, Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "bulkload",
+        "bulk-loaded SR-tree vs dynamic SR-tree vs VAMSplit R-tree (reads/query)",
+    );
+    report.header(["data", "size", "SR dynamic", "SR bulk", "VAMSplit"]);
+    let n_uniform = if scale.paper { 100_000 } else { 20_000 };
+    let n_real = if scale.paper { 20_000 } else { 10_000 };
+    for (label, points) in [
+        ("uniform", uniform_data(n_uniform)),
+        ("real", real_data(n_real)),
+    ] {
+        let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+
+        let dynamic = AnyIndex::build(TreeKind::Sr, &points);
+        let dyn_cost = measure_knn(&dynamic, &queries, K);
+
+        let mut bulk = SrTree::create_from(
+            PageFile::create_in_memory(PAGE_SIZE),
+            points[0].dim(),
+            DATA_AREA,
+        )
+        .map_err(|e| e.to_string())?;
+        bulk.bulk_load(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as u64))
+                .collect(),
+        )
+        .map_err(|e| e.to_string())?;
+        let bulk_idx = AnyIndex::Sr(bulk);
+        let bulk_cost = measure_knn(&bulk_idx, &queries, K);
+
+        let vam = AnyIndex::build(TreeKind::Vam, &points);
+        let vam_cost = measure_knn(&vam, &queries, K);
+
+        report.row([
+            label.to_string(),
+            points.len().to_string(),
+            f(dyn_cost.reads),
+            f(bulk_cost.reads),
+            f(vam_cost.reads),
+        ]);
+    }
+    report.emit()
+}

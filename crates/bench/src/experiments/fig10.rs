@@ -1,0 +1,17 @@
+//! Figure 10: SR-tree query performance on the uniform data set,
+//! compared with the R*-tree, SS-tree, and VAMSplit R-tree.
+
+use crate::experiments::{query_perf_table, uniform_data};
+use crate::index::TreeKind;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    query_perf_table(
+        "fig10",
+        "21-NN query cost vs size incl. SR-tree (uniform data set)",
+        &[TreeKind::Rstar, TreeKind::Ss, TreeKind::Vam, TreeKind::Sr],
+        &scale.uniform_sizes(),
+        uniform_data,
+        scale,
+    )
+}

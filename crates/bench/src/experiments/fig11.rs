@@ -1,0 +1,16 @@
+//! Figure 11: SR-tree query performance on the real data set.
+
+use crate::experiments::{query_perf_table, real_data};
+use crate::index::TreeKind;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    query_perf_table(
+        "fig11",
+        "21-NN query cost vs size incl. SR-tree (real data set)",
+        &[TreeKind::Rstar, TreeKind::Ss, TreeKind::Vam, TreeKind::Sr],
+        &scale.real_sizes(),
+        real_data,
+        scale,
+    )
+}

@@ -1,0 +1,15 @@
+//! Figure 13: leaf-region volume & diameter for R*-, SS-, and SR-trees
+//! on the real data set.
+
+use crate::experiments::fig12::region_table;
+use crate::experiments::real_data;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    region_table(
+        "fig13",
+        "leaf-region volume & diameter incl. SR-tree (real data set)",
+        &scale.real_sizes(),
+        real_data,
+    )
+}

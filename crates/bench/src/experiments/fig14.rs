@@ -1,0 +1,38 @@
+//! Figure 14: node-level reads vs leaf-level reads per query, SS-tree vs
+//! SR-tree, on the real data set — the §5.3 "fanout problem" analysis.
+//! The SR-tree's third-of-SS fanout costs extra node reads, but the
+//! tighter regions save more leaf reads than that.
+
+use sr_dataset::sample_queries;
+
+use crate::experiments::{real_data, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{measure_knn, Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "fig14",
+        "node-level vs leaf-level reads per query (real data set)",
+    );
+    report.header([
+        "size",
+        "SS node reads",
+        "SS leaf reads",
+        "SR node reads",
+        "SR leaf reads",
+    ]);
+    for &n in &scale.real_sizes() {
+        let points = real_data(n);
+        let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+        let mut row = vec![n.to_string()];
+        for kind in [TreeKind::Ss, TreeKind::Sr] {
+            let index = AnyIndex::build(kind, &points);
+            let cost = measure_knn(&index, &queries, K);
+            row.push(f(cost.node_reads));
+            row.push(f(cost.leaf_reads));
+        }
+        report.row(row);
+    }
+    report.emit()
+}

@@ -1,0 +1,49 @@
+//! Figure 15: SR-tree vs SS-tree query cost with varying dimensionality
+//! on the uniform data set (fixed size).
+
+use sr_dataset::{sample_queries, uniform};
+use sr_geometry::Point;
+
+use crate::experiments::{DATA_SEED, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{measure_knn, Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    dim_sweep(
+        "fig15",
+        "21-NN cost vs dimensionality (uniform data set)",
+        scale,
+        |d, n| uniform(n, d, DATA_SEED),
+    )
+}
+
+pub(crate) fn dim_sweep(
+    id: &str,
+    title: &str,
+    scale: &Scale,
+    gen: impl Fn(usize, usize) -> Vec<Point>,
+) -> Result<(), String> {
+    let mut report = Report::new(id, title);
+    report.header([
+        "dims",
+        "SS cpu_ms",
+        "SS reads",
+        "SR cpu_ms",
+        "SR reads",
+    ]);
+    let n = scale.dim_sweep_size();
+    for &d in &scale.dims() {
+        let points = gen(d, n);
+        let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+        let mut row = vec![d.to_string()];
+        for kind in [TreeKind::Ss, TreeKind::Sr] {
+            let index = AnyIndex::build(kind, &points);
+            let cost = measure_knn(&index, &queries, K);
+            row.push(f(cost.cpu_ms));
+            row.push(f(cost.reads));
+        }
+        report.row(row);
+    }
+    report.emit()
+}

@@ -1,0 +1,33 @@
+//! Figure 16: the proportion of leaves accessed per query vs
+//! dimensionality — the measurement showing that uniform data stops
+//! being a meaningful benchmark at 32–64 dimensions (every leaf is
+//! touched).
+
+use sr_dataset::{sample_queries, uniform};
+
+use crate::experiments::{DATA_SEED, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{measure_knn, Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "fig16",
+        "fraction of leaves accessed per 21-NN query vs dimensionality (uniform)",
+    );
+    report.header(["dims", "SS accessed %", "SR accessed %"]);
+    let n = scale.dim_sweep_size();
+    for &d in &scale.dims() {
+        let points = uniform(n, d, DATA_SEED);
+        let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+        let mut row = vec![d.to_string()];
+        for kind in [TreeKind::Ss, TreeKind::Sr] {
+            let index = AnyIndex::build(kind, &points);
+            let leaves = index.num_leaves() as f64;
+            let cost = measure_knn(&index, &queries, K);
+            row.push(f(100.0 * cost.leaf_reads / leaves));
+        }
+        report.row(row);
+    }
+    report.emit()
+}

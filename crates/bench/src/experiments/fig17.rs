@@ -1,0 +1,34 @@
+//! Figure 17: minimum, average, and maximum pairwise distance within the
+//! uniform data set vs dimensionality — the concentration-of-distances
+//! effect that makes high-dimensional uniform data degenerate.
+
+use sr_dataset::uniform;
+use sr_query::pairwise_distance_stats;
+
+use crate::experiments::DATA_SEED;
+use crate::measure::Scale;
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "fig17",
+        "pairwise distances in the uniform data set vs dimensionality",
+    );
+    report.header(["dims", "min", "avg", "max", "min/max %"]);
+    let n = scale.dim_sweep_size();
+    // O(n^2) scan; subsample like the paper's trend requires.
+    let cap = if scale.paper { 3000 } else { 1500 };
+    for &d in &scale.dims() {
+        let points = uniform(n, d, DATA_SEED);
+        let refs: Vec<&[f32]> = points.iter().map(|p| p.coords()).collect();
+        let stats = pairwise_distance_stats(&refs, cap);
+        report.row([
+            d.to_string(),
+            f(stats.min),
+            f(stats.avg),
+            f(stats.max),
+            f(100.0 * stats.min / stats.max),
+        ]);
+    }
+    report.emit()
+}

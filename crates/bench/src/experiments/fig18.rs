@@ -1,0 +1,27 @@
+//! Figure 18: SR-tree vs SS-tree query cost with varying dimensionality
+//! on the cluster data set (100 clusters).
+
+use sr_dataset::{cluster, ClusterSpec};
+
+use crate::experiments::fig15::dim_sweep;
+use crate::experiments::DATA_SEED;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    dim_sweep(
+        "fig18",
+        "21-NN cost vs dimensionality (cluster data set, 100 clusters)",
+        scale,
+        |d, n| {
+            cluster(
+                ClusterSpec {
+                    clusters: 100,
+                    points_per_cluster: n / 100,
+                    max_radius: 0.1,
+                },
+                d,
+                DATA_SEED,
+            )
+        },
+    )
+}

@@ -1,0 +1,51 @@
+//! Figure 19: SR-tree vs SS-tree query cost with varying the number of
+//! clusters (the uniformity sweep) at 16 dimensions: 1 cluster = one
+//! sphere, #clusters = #points ≈ uniform.
+
+use sr_dataset::{cluster, sample_queries, uniform, ClusterSpec};
+
+use crate::experiments::{DATA_SEED, DIM, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{measure_knn, Scale, K};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "fig19",
+        "21-NN cost vs number of clusters (16-d, fixed total points)",
+    );
+    report.header([
+        "clusters",
+        "SS cpu_ms",
+        "SS reads",
+        "SR cpu_ms",
+        "SR reads",
+    ]);
+    let total = scale.cluster_total();
+    for &c in &scale.cluster_counts() {
+        let points = if c >= total {
+            // one point per cluster degenerates to uniform data
+            uniform(total, DIM, DATA_SEED)
+        } else {
+            cluster(
+                ClusterSpec {
+                    clusters: c,
+                    points_per_cluster: total / c,
+                    max_radius: 0.1,
+                },
+                DIM,
+                DATA_SEED,
+            )
+        };
+        let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+        let mut row = vec![c.to_string()];
+        for kind in [TreeKind::Ss, TreeKind::Sr] {
+            let index = AnyIndex::build(kind, &points);
+            let cost = measure_knn(&index, &queries, K);
+            row.push(f(cost.cpu_ms));
+            row.push(f(cost.reads));
+        }
+        report.row(row);
+    }
+    report.emit()
+}

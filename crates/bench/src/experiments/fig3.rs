@@ -1,0 +1,17 @@
+//! Figure 3: CPU time and disk reads per 21-NN query — K-D-B-tree,
+//! R*-tree, SS-tree, VAMSplit R-tree on the uniform data set.
+
+use crate::experiments::{query_perf_table, uniform_data};
+use crate::index::TreeKind;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    query_perf_table(
+        "fig3",
+        "21-NN query cost vs size (uniform data set)",
+        &[TreeKind::Kdb, TreeKind::Rstar, TreeKind::Ss, TreeKind::Vam],
+        &scale.uniform_sizes(),
+        uniform_data,
+        scale,
+    )
+}

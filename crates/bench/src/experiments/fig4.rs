@@ -1,0 +1,17 @@
+//! Figure 4: CPU time and disk reads per 21-NN query — K-D-B-tree,
+//! R*-tree, SS-tree, VAMSplit R-tree on the real data set.
+
+use crate::experiments::{query_perf_table, real_data};
+use crate::index::TreeKind;
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    query_perf_table(
+        "fig4",
+        "21-NN query cost vs size (real data set)",
+        &[TreeKind::Kdb, TreeKind::Rstar, TreeKind::Ss, TreeKind::Vam],
+        &scale.real_sizes(),
+        real_data,
+        scale,
+    )
+}

@@ -1,0 +1,31 @@
+//! Figure 9: insertion cost (CPU time and disk accesses per insertion)
+//! of R*-trees, SS-trees, and SR-trees on the uniform data set.
+
+use crate::experiments::uniform_data;
+use crate::index::TreeKind;
+use crate::measure::{measure_build, Scale};
+use crate::report::{f, Report};
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new("fig9", "insertion cost per point (uniform data set)");
+    report.header([
+        "size",
+        "R* cpu_ms",
+        "R* accesses",
+        "SS cpu_ms",
+        "SS accesses",
+        "SR cpu_ms",
+        "SR accesses",
+    ]);
+    for &n in &scale.uniform_sizes() {
+        let points = uniform_data(n);
+        let mut row = vec![n.to_string()];
+        for kind in [TreeKind::Rstar, TreeKind::Ss, TreeKind::Sr] {
+            let (_, cost) = measure_build(kind, &points);
+            row.push(f(cost.cpu_ms));
+            row.push(f(cost.accesses));
+        }
+        report.row(row);
+    }
+    report.emit()
+}

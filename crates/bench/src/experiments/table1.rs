@@ -1,0 +1,64 @@
+//! Table 1: the maximum number of entries in a node and in a leaf, per
+//! structure, derived from the 8 KiB page size.
+
+use sr_kdbtree::KdbParams;
+use sr_rstar::RstarParams;
+use sr_sstree::SsParams;
+use sr_tree::SrParams;
+use sr_vamsplit::VamParams;
+
+use crate::index::{DATA_AREA, PAGE_SIZE};
+use crate::measure::Scale;
+use crate::report::Report;
+
+/// Usable payload per page (page header is 5 bytes).
+fn page_capacity() -> usize {
+    PAGE_SIZE - 5
+}
+
+pub fn run(_scale: &Scale) -> Result<(), String> {
+    let mut report = Report::new(
+        "table1",
+        "maximum entries per node / leaf (8 KiB pages, 512 B data areas)",
+    );
+    report.header(["dims", "index", "node", "leaf"]);
+    for dim in [8usize, 16, 32, 64] {
+        let cap = page_capacity();
+        let kdb = KdbParams::derive(cap, dim, DATA_AREA);
+        report.row([
+            dim.to_string(),
+            "K-D-B-tree".into(),
+            kdb.max_node.to_string(),
+            kdb.max_leaf.to_string(),
+        ]);
+        let rs = RstarParams::derive(cap, dim, DATA_AREA);
+        report.row([
+            dim.to_string(),
+            "R*-tree".into(),
+            rs.max_node.to_string(),
+            rs.max_leaf.to_string(),
+        ]);
+        let vam = VamParams::derive(cap, dim, DATA_AREA);
+        report.row([
+            dim.to_string(),
+            "VAMSplit R-tree".into(),
+            vam.max_node.to_string(),
+            vam.max_leaf.to_string(),
+        ]);
+        let ss = SsParams::derive(cap, dim, DATA_AREA);
+        report.row([
+            dim.to_string(),
+            "SS-tree".into(),
+            ss.max_node.to_string(),
+            ss.max_leaf.to_string(),
+        ]);
+        let sr = SrParams::derive(cap, dim, DATA_AREA);
+        report.row([
+            dim.to_string(),
+            "SR-tree".into(),
+            sr.max_node.to_string(),
+            sr.max_leaf.to_string(),
+        ]);
+    }
+    report.emit()
+}

@@ -1,0 +1,36 @@
+//! Table 2: tree heights for the uniform data set.
+
+use crate::experiments::uniform_data;
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::Scale;
+use crate::report::Report;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    heights_table("table2", "tree heights (uniform data set)", scale.uniform_sizes(), uniform_data)
+}
+
+pub(crate) fn heights_table(
+    id: &str,
+    title: &str,
+    sizes: Vec<usize>,
+    gen: impl Fn(usize) -> Vec<sr_geometry::Point>,
+) -> Result<(), String> {
+    let mut report = Report::new(id, title);
+    let mut header = vec!["index".to_string()];
+    for &n in &sizes {
+        header.push(format!("{}k", n / 1000));
+    }
+    report.header(header);
+    // Build every structure at every size; heights are cheap to record
+    // alongside.
+    for &kind in TreeKind::ALL {
+        let mut row = vec![kind.label().to_string()];
+        for &n in &sizes {
+            let points = gen(n);
+            let index = AnyIndex::build(kind, &points);
+            row.push(index.height().to_string());
+        }
+        report.row(row);
+    }
+    report.emit()
+}

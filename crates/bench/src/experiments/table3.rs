@@ -1,0 +1,9 @@
+//! Table 3: tree heights for the real (simulated color-histogram) data
+//! set.
+
+use crate::experiments::{real_data, table2::heights_table};
+use crate::measure::Scale;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    heights_table("table3", "tree heights (real data set)", scale.real_sizes(), real_data)
+}

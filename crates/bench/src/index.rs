@@ -1,0 +1,221 @@
+//! A uniform wrapper over the five index structures so experiments can
+//! iterate over them.
+
+use sr_geometry::Point;
+use sr_kdbtree::KdbTree;
+use sr_pager::{IoStats, PageFile};
+use sr_query::Neighbor;
+use sr_rstar::RstarTree;
+use sr_sstree::SsTree;
+use sr_tree::SrTree;
+use sr_vamsplit::VamTree;
+
+/// Which structure to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKind {
+    /// K-D-B-tree (Robinson 1981).
+    Kdb,
+    /// R\*-tree (Beckmann et al. 1990).
+    Rstar,
+    /// SS-tree (White & Jain 1996).
+    Ss,
+    /// VAMSplit R-tree (White & Jain 1996), static.
+    Vam,
+    /// SR-tree (Katayama & Satoh 1997) — the paper's contribution.
+    Sr,
+}
+
+impl TreeKind {
+    /// Label used in tables (matching the paper's naming).
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeKind::Kdb => "K-D-B-tree",
+            TreeKind::Rstar => "R*-tree",
+            TreeKind::Ss => "SS-tree",
+            TreeKind::Vam => "VAMSplit R-tree",
+            TreeKind::Sr => "SR-tree",
+        }
+    }
+
+    /// The dynamic structures (everything but the VAMSplit R-tree).
+    pub const DYNAMIC: &'static [TreeKind] =
+        &[TreeKind::Kdb, TreeKind::Rstar, TreeKind::Ss, TreeKind::Sr];
+
+    /// All five structures.
+    pub const ALL: &'static [TreeKind] = &[
+        TreeKind::Kdb,
+        TreeKind::Rstar,
+        TreeKind::Ss,
+        TreeKind::Vam,
+        TreeKind::Sr,
+    ];
+}
+
+/// One of the five index structures, behind a uniform interface.
+pub enum AnyIndex {
+    Kdb(KdbTree),
+    Rstar(RstarTree),
+    Ss(SsTree),
+    Vam(VamTree),
+    Sr(SrTree),
+}
+
+/// The paper's page size.
+pub const PAGE_SIZE: usize = 8192;
+/// The paper's per-leaf-entry data area.
+pub const DATA_AREA: usize = 512;
+
+impl AnyIndex {
+    /// Build an index of `kind` over `points` (in-memory page file, the
+    /// paper's page layout). Dynamic trees insert one point at a time;
+    /// the VAMSplit R-tree bulk-builds.
+    ///
+    /// # Panics
+    /// Panics on I/O errors (in-memory page files cannot fail) and on
+    /// `Unsplittable` K-D-B overflows (the paper's data sets are
+    /// continuous).
+    pub fn build(kind: TreeKind, points: &[Point]) -> AnyIndex {
+        let dim = points[0].dim();
+        let pf = PageFile::create_in_memory(PAGE_SIZE);
+        match kind {
+            TreeKind::Kdb => {
+                let mut t = KdbTree::create_from(pf, dim, DATA_AREA).unwrap();
+                for (i, p) in points.iter().enumerate() {
+                    t.insert(p.clone(), i as u64).unwrap();
+                }
+                AnyIndex::Kdb(t)
+            }
+            TreeKind::Rstar => {
+                let mut t = RstarTree::create_from(pf, dim, DATA_AREA).unwrap();
+                for (i, p) in points.iter().enumerate() {
+                    t.insert(p.clone(), i as u64).unwrap();
+                }
+                AnyIndex::Rstar(t)
+            }
+            TreeKind::Ss => {
+                let mut t = SsTree::create_from(pf, dim, DATA_AREA).unwrap();
+                for (i, p) in points.iter().enumerate() {
+                    t.insert(p.clone(), i as u64).unwrap();
+                }
+                AnyIndex::Ss(t)
+            }
+            TreeKind::Vam => {
+                let with_ids: Vec<(Point, u64)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.clone(), i as u64))
+                    .collect();
+                AnyIndex::Vam(VamTree::build_from(pf, with_ids, dim, DATA_AREA).unwrap())
+            }
+            TreeKind::Sr => {
+                let mut t = SrTree::create_from(pf, dim, DATA_AREA).unwrap();
+                for (i, p) in points.iter().enumerate() {
+                    t.insert(p.clone(), i as u64).unwrap();
+                }
+                AnyIndex::Sr(t)
+            }
+        }
+    }
+
+    /// k-nearest-neighbor query.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            AnyIndex::Kdb(t) => t.knn(query, k).unwrap(),
+            AnyIndex::Rstar(t) => t.knn(query, k).unwrap(),
+            AnyIndex::Ss(t) => t.knn(query, k).unwrap(),
+            AnyIndex::Vam(t) => t.knn(query, k).unwrap(),
+            AnyIndex::Sr(t) => t.knn(query, k).unwrap(),
+        }
+    }
+
+    /// Range query.
+    pub fn range(&self, query: &[f32], radius: f64) -> Vec<Neighbor> {
+        match self {
+            AnyIndex::Kdb(t) => t.range(query, radius).unwrap(),
+            AnyIndex::Rstar(t) => t.range(query, radius).unwrap(),
+            AnyIndex::Ss(t) => t.range(query, radius).unwrap(),
+            AnyIndex::Vam(t) => t.range(query, radius).unwrap(),
+            AnyIndex::Sr(t) => t.range(query, radius).unwrap(),
+        }
+    }
+
+    /// The underlying page file.
+    pub fn pager(&self) -> &PageFile {
+        match self {
+            AnyIndex::Kdb(t) => t.pager(),
+            AnyIndex::Rstar(t) => t.pager(),
+            AnyIndex::Ss(t) => t.pager(),
+            AnyIndex::Vam(t) => t.pager(),
+            AnyIndex::Sr(t) => t.pager(),
+        }
+    }
+
+    /// Tree height in levels.
+    pub fn height(&self) -> u32 {
+        match self {
+            AnyIndex::Kdb(t) => t.height(),
+            AnyIndex::Rstar(t) => t.height(),
+            AnyIndex::Ss(t) => t.height(),
+            AnyIndex::Vam(t) => t.height(),
+            AnyIndex::Sr(t) => t.height(),
+        }
+    }
+
+    /// Number of leaf pages.
+    pub fn num_leaves(&self) -> u64 {
+        match self {
+            AnyIndex::Kdb(t) => t.num_leaves().unwrap(),
+            AnyIndex::Rstar(t) => t.num_leaves().unwrap(),
+            AnyIndex::Ss(t) => t.num_leaves().unwrap(),
+            AnyIndex::Vam(t) => t.num_leaves().unwrap(),
+            AnyIndex::Sr(t) => t.num_leaves().unwrap(),
+        }
+    }
+
+    /// Disable the buffer pool (cold-cache query accounting) and zero the
+    /// I/O counters.
+    pub fn reset_for_queries(&self) {
+        self.pager().set_cache_capacity(0).unwrap();
+        self.pager().reset_stats();
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.pager().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_dataset::uniform;
+
+    #[test]
+    fn all_kinds_build_and_agree_on_knn() {
+        let pts = uniform(300, 8, 3);
+        let q = pts[5].coords();
+        let mut answers: Vec<Vec<u64>> = Vec::new();
+        for &kind in TreeKind::ALL {
+            let idx = AnyIndex::build(kind, &pts);
+            let hits = idx.knn(q, 7);
+            assert_eq!(hits.len(), 7, "{}", kind.label());
+            answers.push(hits.iter().map(|n| n.data).collect());
+        }
+        // Identical point set, identical ties-broken ordering → identical
+        // id lists across all five structures.
+        for w in answers.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn reset_for_queries_gives_cold_cache_counts() {
+        let pts = uniform(500, 8, 5);
+        let idx = AnyIndex::build(TreeKind::Sr, &pts);
+        idx.reset_for_queries();
+        idx.knn(pts[0].coords(), 21);
+        let s = idx.stats();
+        assert!(s.tree_reads() > 0);
+        assert_eq!(s.tree_reads(), s.physical_reads());
+    }
+}

@@ -1,0 +1,125 @@
+//! Table formatting and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple aligned-text table that doubles as a CSV writer.
+pub struct Report {
+    id: String,
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report for experiment `id` with a human-readable title.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn header<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cols: I) -> &mut Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cols: I) -> &mut Self {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Render the aligned-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(c.len());
+                } else {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout and write `target/experiments/<id>.csv`.
+    pub fn emit(&self) -> Result<(), String> {
+        print!("{}", self.render());
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let mut csv = String::new();
+        if !self.header.is_empty() {
+            csv.push_str(&self.header.join(","));
+            csv.push('\n');
+        }
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), csv).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else if v.abs() >= 1e-3 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "demo");
+        r.header(["a", "bbbb"]).row(["1", "2"]).row(["333", "4"]);
+        let s = r.render();
+        assert!(s.contains("demo"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.4), "123");
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(f(0.1234), "0.1234");
+        assert!(f(1.2e-7).contains('e'));
+    }
+}

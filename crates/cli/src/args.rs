@@ -1,0 +1,304 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy
+//! admits no CLI framework; the grammar is small enough not to need
+//! one).
+
+use std::path::PathBuf;
+
+/// Which index structure a command targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The SR-tree (default).
+    Sr,
+    /// The SS-tree.
+    Ss,
+    /// The R\*-tree.
+    Rstar,
+    /// The K-D-B-tree.
+    Kdb,
+    /// The static VAMSplit R-tree.
+    Vam,
+}
+
+impl IndexKind {
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "sr" => Ok(IndexKind::Sr),
+            "ss" => Ok(IndexKind::Ss),
+            "rstar" | "r*" => Ok(IndexKind::Rstar),
+            "kdb" => Ok(IndexKind::Kdb),
+            "vam" => Ok(IndexKind::Vam),
+            other => Err(format!("unknown index kind {other:?} (sr|ss|rstar|kdb|vam)")),
+        }
+    }
+}
+
+/// Which synthetic data set `gen` produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenKind {
+    /// Uniform in the unit cube (§3.1).
+    Uniform,
+    /// The §5.4 cluster data set.
+    Cluster,
+    /// Simulated color histograms (the "real data set" stand-in).
+    Histogram,
+}
+
+impl GenKind {
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(GenKind::Uniform),
+            "cluster" => Ok(GenKind::Cluster),
+            "histogram" | "real" => Ok(GenKind::Histogram),
+            other => Err(format!(
+                "unknown data kind {other:?} (uniform|cluster|histogram)"
+            )),
+        }
+    }
+}
+
+/// A fully parsed srtool invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a TSV data file.
+    Gen {
+        kind: GenKind,
+        n: usize,
+        dim: usize,
+        seed: u64,
+        clusters: usize,
+        out: PathBuf,
+    },
+    /// Create an index file and load a TSV into it.
+    Build {
+        index: IndexKind,
+        dim: usize,
+        index_path: PathBuf,
+        data_path: PathBuf,
+    },
+    /// Insert a TSV into an existing (dynamic) index.
+    Insert {
+        index_path: PathBuf,
+        data_path: PathBuf,
+    },
+    /// k-nearest-neighbor query.
+    Knn {
+        index_path: PathBuf,
+        k: usize,
+        query: Vec<f32>,
+    },
+    /// Range query.
+    Range {
+        index_path: PathBuf,
+        radius: f64,
+        query: Vec<f32>,
+    },
+    /// Print index metadata and parameters.
+    Stats { index_path: PathBuf },
+    /// Run the structural-invariant checker.
+    Verify { index_path: PathBuf },
+}
+
+/// Parse `argv[1..]`.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(|s| s.as_str());
+    let verb = it.next().ok_or_else(usage)?;
+    let rest: Vec<&str> = it.collect();
+    match verb {
+        "gen" => parse_gen(&rest),
+        "build" => parse_build(&rest),
+        "insert" => {
+            let pos = positionals(&rest, 2)?;
+            Ok(Command::Insert {
+                index_path: pos[0].into(),
+                data_path: pos[1].into(),
+            })
+        }
+        "knn" => {
+            let pos = positionals(&rest, 1)?;
+            Ok(Command::Knn {
+                index_path: pos[0].into(),
+                k: flag(&rest, "--k")?.unwrap_or("21").parse().map_err(bad("--k"))?,
+                query: parse_query(flag(&rest, "--query")?.ok_or("missing --query")?)?,
+            })
+        }
+        "range" => {
+            let pos = positionals(&rest, 1)?;
+            Ok(Command::Range {
+                index_path: pos[0].into(),
+                radius: flag(&rest, "--radius")?
+                    .ok_or("missing --radius")?
+                    .parse()
+                    .map_err(|e| format!("bad --radius: {e}"))?,
+                query: parse_query(flag(&rest, "--query")?.ok_or("missing --query")?)?,
+            })
+        }
+        "stats" => {
+            let pos = positionals(&rest, 1)?;
+            Ok(Command::Stats { index_path: pos[0].into() })
+        }
+        "verify" => {
+            let pos = positionals(&rest, 1)?;
+            Ok(Command::Verify { index_path: pos[0].into() })
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn parse_gen(rest: &[&str]) -> Result<Command, String> {
+    let pos = positionals(rest, 1)?;
+    Ok(Command::Gen {
+        kind: GenKind::from_str(flag(rest, "--kind")?.unwrap_or("uniform"))?,
+        n: flag(rest, "--n")?.unwrap_or("10000").parse().map_err(bad("--n"))?,
+        dim: flag(rest, "--dim")?.unwrap_or("16").parse().map_err(bad("--dim"))?,
+        seed: flag(rest, "--seed")?.unwrap_or("42").parse().map_err(bad("--seed"))?,
+        clusters: flag(rest, "--clusters")?
+            .unwrap_or("100")
+            .parse()
+            .map_err(bad("--clusters"))?,
+        out: pos[0].into(),
+    })
+}
+
+fn parse_build(rest: &[&str]) -> Result<Command, String> {
+    let pos = positionals(rest, 2)?;
+    Ok(Command::Build {
+        index: IndexKind::from_str(flag(rest, "--index")?.unwrap_or("sr"))?,
+        dim: flag(rest, "--dim")?.unwrap_or("16").parse().map_err(bad("--dim"))?,
+        index_path: pos[0].into(),
+        data_path: pos[1].into(),
+    })
+}
+
+/// Extract `--name value` from an argument slice.
+fn flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, String> {
+    let mut found = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == name {
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} needs a value"))?;
+            if found.is_some() {
+                return Err(format!("{name} given twice"));
+            }
+            found = Some(*v);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(found)
+}
+
+/// Non-flag arguments, validated for count.
+fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with("--") {
+            i += 2; // skip flag + value
+        } else {
+            out.push(rest[i]);
+            i += 1;
+        }
+    }
+    if out.len() != want {
+        return Err(format!("expected {want} positional argument(s), got {}", out.len()));
+    }
+    Ok(out)
+}
+
+fn parse_query(s: &str) -> Result<Vec<f32>, String> {
+    let coords: Result<Vec<f32>, _> = s.split(',').map(|c| c.trim().parse::<f32>()).collect();
+    let coords = coords.map_err(|e| format!("bad --query: {e}"))?;
+    if coords.is_empty() {
+        return Err("empty --query".into());
+    }
+    Ok(coords)
+}
+
+fn bad(name: &'static str) -> impl Fn(std::num::ParseIntError) -> String {
+    move |e| format!("bad {name}: {e}")
+}
+
+fn usage() -> String {
+    "usage: srtool <gen|build|insert|knn|range|stats|verify> ...\n\
+     see `srtool --help` output in the README"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_gen_defaults() {
+        let cmd = p(&["gen", "out.tsv"]).unwrap();
+        match cmd {
+            Command::Gen { kind, n, dim, seed, .. } => {
+                assert_eq!(kind, GenKind::Uniform);
+                assert_eq!((n, dim, seed), (10000, 16, 42));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_gen_with_flags() {
+        let cmd = p(&[
+            "gen", "--kind", "cluster", "--n", "500", "--dim", "8", "--clusters", "5", "x.tsv",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Gen { kind, n, dim, clusters, out, .. } => {
+                assert_eq!(kind, GenKind::Cluster);
+                assert_eq!((n, dim, clusters), (500, 8, 5));
+                assert_eq!(out, std::path::PathBuf::from("x.tsv"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_build() {
+        let cmd = p(&["build", "--index", "ss", "--dim", "4", "i.pages", "d.tsv"]).unwrap();
+        match cmd {
+            Command::Build { index, dim, .. } => {
+                assert_eq!(index, IndexKind::Ss);
+                assert_eq!(dim, 4);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_knn_query_vector() {
+        let cmd = p(&["knn", "i.pages", "--k", "5", "--query", "0.1, 0.2,0.3"]).unwrap();
+        match cmd {
+            Command::Knn { k, query, .. } => {
+                assert_eq!(k, 5);
+                assert_eq!(query, vec![0.1, 0.2, 0.3]);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(p(&["knn", "i.pages"]).is_err()); // missing --query
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["gen"]).is_err()); // missing out path
+        assert!(p(&["build", "--index", "nope", "a", "b"]).is_err());
+        assert!(p(&["knn", "i.pages", "--query", "a,b"]).is_err());
+        assert!(p(&["range", "i.pages", "--query", "1"]).is_err()); // missing radius
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(p(&["gen", "--n", "1", "--n", "2", "o.tsv"]).is_err());
+    }
+}

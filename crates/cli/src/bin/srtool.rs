@@ -1,0 +1,20 @@
+//! `srtool` — build, query, and inspect SR-tree-family index files.
+//!
+//! See the crate docs of `sr-cli` or the workspace README for the
+//! command grammar.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match sr_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("srtool: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = sr_cli::run(cmd, &mut stdout) {
+        eprintln!("srtool: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Command execution.
+
+use std::io::Write;
+
+use sr_dataset::{cluster, real_sim, uniform, ClusterSpec};
+use sr_geometry::Point;
+
+use crate::args::{Command, GenKind};
+use crate::data::{read_points, write_points};
+use crate::store::AnyStore;
+
+/// Execute a parsed command, writing output to `out`.
+pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
+    match cmd {
+        Command::Gen { kind, n, dim, seed, clusters, out: path } => {
+            let points: Vec<Point> = match kind {
+                GenKind::Uniform => uniform(n, dim, seed),
+                GenKind::Histogram => real_sim(n, dim, seed),
+                GenKind::Cluster => {
+                    let per = (n / clusters.max(1)).max(1);
+                    cluster(
+                        ClusterSpec {
+                            clusters: clusters.max(1),
+                            points_per_cluster: per,
+                            max_radius: 0.1,
+                        },
+                        dim,
+                        seed,
+                    )
+                }
+            };
+            let with_ids: Vec<(Point, u64)> = points
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (p, i as u64))
+                .collect();
+            write_points(&path, &with_ids)?;
+            writeln!(out, "wrote {} points ({dim}-d) to {}", with_ids.len(), path.display())
+                .map_err(|e| e.to_string())
+        }
+        Command::Build { index, dim, index_path, data_path } => {
+            let points = read_points(&data_path)?;
+            if let Some((p, _)) = points.first() {
+                if p.dim() != dim {
+                    return Err(format!(
+                        "--dim {dim} but {} has {}-d points",
+                        data_path.display(),
+                        p.dim()
+                    ));
+                }
+            }
+            let n = points.len();
+            let store = AnyStore::build(index, &index_path, dim, points)?;
+            let (_, len, height) = store.summary();
+            writeln!(
+                out,
+                "built {} at {}: {n} points loaded, {len} stored, height {height}",
+                store.kind_name(),
+                index_path.display()
+            )
+            .map_err(|e| e.to_string())
+        }
+        Command::Insert { index_path, data_path } => {
+            let points = read_points(&data_path)?;
+            let n = points.len();
+            let mut store = AnyStore::open(&index_path)?;
+            store.insert(points)?;
+            let (_, len, height) = store.summary();
+            writeln!(out, "inserted {n} points; index now holds {len}, height {height}")
+                .map_err(|e| e.to_string())
+        }
+        Command::Knn { index_path, k, query } => {
+            let store = AnyStore::open(&index_path)?;
+            let hits = store.knn(&query, k)?;
+            for (id, dist) in hits {
+                writeln!(out, "{id}\t{dist}").map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Command::Range { index_path, radius, query } => {
+            let store = AnyStore::open(&index_path)?;
+            let hits = store.range(&query, radius)?;
+            for (id, dist) in hits {
+                writeln!(out, "{id}\t{dist}").map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        Command::Stats { index_path } => {
+            let store = AnyStore::open(&index_path)?;
+            let (dim, len, height) = store.summary();
+            writeln!(
+                out,
+                "{}: {len} points, {dim} dimensions, height {height}",
+                store.kind_name()
+            )
+            .map_err(|e| e.to_string())
+        }
+        Command::Verify { index_path } => {
+            let store = AnyStore::open(&index_path)?;
+            let summary = store.verify()?;
+            writeln!(out, "{} OK: {summary}", store.kind_name()).map_err(|e| e.to_string())
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! TSV point-file reading and writing: `id <TAB> c0 <TAB> c1 ...`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use sr_geometry::Point;
+
+/// Read a TSV point file. Every line must have the same dimensionality.
+pub fn read_points(path: &Path) -> Result<Vec<(Point, u64)>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let reader = BufReader::new(file);
+    let mut out = Vec::new();
+    let mut dim = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let id: u64 = fields
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("{}:{}: bad id: {e}", path.display(), lineno + 1))?;
+        let coords: Result<Vec<f32>, _> = fields.map(|f| f.parse::<f32>()).collect();
+        let coords =
+            coords.map_err(|e| format!("{}:{}: bad coordinate: {e}", path.display(), lineno + 1))?;
+        if coords.is_empty() {
+            return Err(format!("{}:{}: no coordinates", path.display(), lineno + 1));
+        }
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(format!(
+                    "{}:{}: dimensionality {} differs from {}",
+                    path.display(),
+                    lineno + 1,
+                    coords.len(),
+                    d
+                ))
+            }
+            _ => {}
+        }
+        out.push((Point::new(coords), id));
+    }
+    Ok(out)
+}
+
+/// Write points to a TSV file.
+pub fn write_points(path: &Path, points: &[(Point, u64)]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    for (p, id) in points {
+        write!(w, "{id}").map_err(|e| e.to_string())?;
+        for c in p.coords() {
+            write!(w, "\t{c}").map_err(|e| e.to_string())?;
+        }
+        writeln!(w).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sr-cli-data-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmpfile("roundtrip.tsv");
+        let points = vec![
+            (Point::new(vec![0.5, -1.25]), 3),
+            (Point::new(vec![1e-8, 4.0]), 9),
+        ];
+        write_points(&path, &points).unwrap();
+        let back = read_points(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].1, 3);
+        assert_eq!(back[0].0.coords(), &[0.5, -1.25]);
+        assert_eq!(back[1].0.coords(), &[1e-8, 4.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let path = tmpfile("comments.tsv");
+        std::fs::write(&path, "# header\n\n1\t0.5\t0.5\n").unwrap();
+        let pts = read_points(&path).unwrap();
+        assert_eq!(pts.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let path = tmpfile("mismatch.tsv");
+        std::fs::write(&path, "1\t0.5\n2\t0.5\t0.5\n").unwrap();
+        let err = read_points(&path).unwrap_err();
+        assert!(err.contains("dimensionality"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected_with_location() {
+        let path = tmpfile("garbage.tsv");
+        std::fs::write(&path, "1\tx\n").unwrap();
+        let err = read_points(&path).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,201 @@
+//! Opening, building, and querying any of the five on-disk index types
+//! behind one enum. Files are self-describing (each tree writes a magic
+//! into the page-file metadata), so `open` sniffs the type.
+
+use std::path::Path;
+
+use sr_geometry::Point;
+use sr_kdbtree::KdbTree;
+use sr_rstar::RstarTree;
+use sr_sstree::SsTree;
+use sr_tree::SrTree;
+use sr_vamsplit::VamTree;
+
+use crate::args::IndexKind;
+
+/// Any on-disk index.
+pub enum AnyStore {
+    Sr(SrTree),
+    Ss(SsTree),
+    Rstar(RstarTree),
+    Kdb(KdbTree),
+    Vam(VamTree),
+}
+
+impl AnyStore {
+    /// Create an index of `kind` at `path` and load `points`.
+    pub fn build(
+        kind: IndexKind,
+        path: &Path,
+        dim: usize,
+        points: Vec<(Point, u64)>,
+    ) -> Result<AnyStore, String> {
+        let e = |err: &dyn std::fmt::Display| format!("{}: {err}", path.display());
+        match kind {
+            IndexKind::Vam => {
+                let t = VamTree::build_at(path, points, dim).map_err(|x| e(&x))?;
+                t.flush().map_err(|x| e(&x))?;
+                Ok(AnyStore::Vam(t))
+            }
+            IndexKind::Sr => {
+                let mut t = SrTree::create(path, dim).map_err(|x| e(&x))?;
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|x| e(&x))?;
+                }
+                t.flush().map_err(|x| e(&x))?;
+                Ok(AnyStore::Sr(t))
+            }
+            IndexKind::Ss => {
+                let mut t = SsTree::create(path, dim).map_err(|x| e(&x))?;
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|x| e(&x))?;
+                }
+                t.flush().map_err(|x| e(&x))?;
+                Ok(AnyStore::Ss(t))
+            }
+            IndexKind::Rstar => {
+                let mut t = RstarTree::create(path, dim).map_err(|x| e(&x))?;
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|x| e(&x))?;
+                }
+                t.flush().map_err(|x| e(&x))?;
+                Ok(AnyStore::Rstar(t))
+            }
+            IndexKind::Kdb => {
+                let mut t = KdbTree::create(path, dim).map_err(|x| e(&x))?;
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|x| e(&x))?;
+                }
+                t.flush().map_err(|x| e(&x))?;
+                Ok(AnyStore::Kdb(t))
+            }
+        }
+    }
+
+    /// Open an existing index file, detecting its type from the metadata
+    /// magic.
+    pub fn open(path: &Path) -> Result<AnyStore, String> {
+        if let Ok(t) = SrTree::open(path) {
+            return Ok(AnyStore::Sr(t));
+        }
+        if let Ok(t) = SsTree::open(path) {
+            return Ok(AnyStore::Ss(t));
+        }
+        if let Ok(t) = RstarTree::open(path) {
+            return Ok(AnyStore::Rstar(t));
+        }
+        if let Ok(t) = KdbTree::open(path) {
+            return Ok(AnyStore::Kdb(t));
+        }
+        if let Ok(t) = VamTree::open(path) {
+            return Ok(AnyStore::Vam(t));
+        }
+        Err(format!(
+            "{}: not a recognizable index file",
+            path.display()
+        ))
+    }
+
+    /// Human-readable type name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AnyStore::Sr(_) => "SR-tree",
+            AnyStore::Ss(_) => "SS-tree",
+            AnyStore::Rstar(_) => "R*-tree",
+            AnyStore::Kdb(_) => "K-D-B-tree",
+            AnyStore::Vam(_) => "VAMSplit R-tree",
+        }
+    }
+
+    /// (dim, len, height).
+    pub fn summary(&self) -> (usize, u64, u32) {
+        match self {
+            AnyStore::Sr(t) => (t.dim(), t.len(), t.height()),
+            AnyStore::Ss(t) => (t.dim(), t.len(), t.height()),
+            AnyStore::Rstar(t) => (t.dim(), t.len(), t.height()),
+            AnyStore::Kdb(t) => (t.dim(), t.len(), t.height()),
+            AnyStore::Vam(t) => (t.dim(), t.len(), t.height()),
+        }
+    }
+
+    /// Insert points (errors for the static VAMSplit R-tree).
+    pub fn insert(&mut self, points: Vec<(Point, u64)>) -> Result<(), String> {
+        match self {
+            AnyStore::Sr(t) => {
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|e| e.to_string())?;
+                }
+                t.flush().map_err(|e| e.to_string())
+            }
+            AnyStore::Ss(t) => {
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|e| e.to_string())?;
+                }
+                t.flush().map_err(|e| e.to_string())
+            }
+            AnyStore::Rstar(t) => {
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|e| e.to_string())?;
+                }
+                t.flush().map_err(|e| e.to_string())
+            }
+            AnyStore::Kdb(t) => {
+                for (p, id) in points {
+                    t.insert(p, id).map_err(|e| e.to_string())?;
+                }
+                t.flush().map_err(|e| e.to_string())
+            }
+            AnyStore::Vam(_) => {
+                Err("the VAMSplit R-tree is static: rebuild it with `srtool build`".into())
+            }
+        }
+    }
+
+    /// k-NN query, returning `(id, distance)` pairs.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f64)>, String> {
+        let hits = match self {
+            AnyStore::Sr(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+            AnyStore::Ss(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+            AnyStore::Rstar(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+            AnyStore::Kdb(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+            AnyStore::Vam(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+        };
+        Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
+    }
+
+    /// Range query, returning `(id, distance)` pairs.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<(u64, f64)>, String> {
+        let hits = match self {
+            AnyStore::Sr(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+            AnyStore::Ss(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+            AnyStore::Rstar(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+            AnyStore::Kdb(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+            AnyStore::Vam(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+        };
+        Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
+    }
+
+    /// Run the structure's invariant checker, returning a summary line.
+    pub fn verify(&self) -> Result<String, String> {
+        match self {
+            AnyStore::Sr(t) => sr_tree::verify::check(t)
+                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
+            AnyStore::Ss(t) => sr_sstree::verify::check(t)
+                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
+            AnyStore::Rstar(t) => sr_rstar::verify::check(t)
+                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
+            AnyStore::Kdb(t) => sr_kdbtree::verify::check(t).map(|r| {
+                format!(
+                    "{} nodes, {} leaves ({} empty), {} points",
+                    r.nodes, r.leaves, r.empty_leaves, r.points
+                )
+            }),
+            AnyStore::Vam(t) => sr_vamsplit::verify::check(t).map(|r| {
+                format!(
+                    "{} nodes, {} leaves ({} full), {} points",
+                    r.nodes, r.leaves, r.full_leaves, r.points
+                )
+            }),
+        }
+    }
+}

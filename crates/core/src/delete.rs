@@ -1,0 +1,150 @@
+//! Deletion for the SR-tree — "In common with the R*-tree and the
+//! SS-tree, the deletion algorithm of the SR-tree is the same with that
+//! of the R-tree" (§4.3): condense, dissolve under-utilized subtrees,
+//! reinsert orphans.
+
+use std::collections::HashSet;
+
+use sr_pager::PageId;
+
+use crate::error::Result;
+use crate::insert::{insert_at_level, propagate_regions, AnyEntry};
+use crate::node::{LeafEntry, Node};
+use crate::tree::SrTree;
+
+/// Delete the exact entry `(point, data)`. Returns whether it was found.
+pub(crate) fn delete(tree: &mut SrTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
+    let root_level = (tree.height - 1) as u16;
+    let Some(path) = find_leaf(tree, tree.root, root_level, point, data)? else {
+        return Ok(false);
+    };
+
+    let mut node = tree.read_node(*path.last().unwrap(), 0)?;
+    if let Node::Leaf(entries) = &mut node {
+        let pos = entries
+            .iter()
+            .position(|e| e.point == *point && e.data == data)
+            .expect("find_leaf returned a leaf without the entry");
+        entries.remove(pos);
+    }
+
+    let mut orphans: Vec<LeafEntry> = Vec::new();
+    let mut idx = path.len() - 1;
+    loop {
+        if idx == 0 {
+            tree.write_node(path[0], &node)?;
+            break;
+        }
+        if node.len() < tree.min_for(&node) {
+            collect_points(tree, &node, &mut orphans)?;
+            tree.pf.free(path[idx])?;
+            idx -= 1;
+            let level = (tree.height as usize - 1 - idx) as u16;
+            let mut parent = tree.read_node(path[idx], level)?;
+            if let Node::Inner { entries, .. } = &mut parent {
+                let pos = entries
+                    .iter()
+                    .position(|e| e.child == path[idx + 1])
+                    .expect("parent lost track of its child");
+                entries.remove(pos);
+            }
+            node = parent;
+        } else {
+            tree.write_node(path[idx], &node)?;
+            propagate_regions(tree, &path, idx, &node)?;
+            break;
+        }
+    }
+
+    shrink_root(tree)?;
+
+    for e in orphans {
+        let mut reinserted: HashSet<PageId> = HashSet::new();
+        insert_at_level(tree, AnyEntry::Leaf(e), 0, &mut reinserted)?;
+    }
+
+    tree.count -= 1;
+    tree.save_meta()?;
+    Ok(true)
+}
+
+/// DFS for the leaf holding the exact entry. The region is the
+/// sphere∩rect intersection, so a child is probed only if *both* shapes
+/// contain the point.
+fn find_leaf(
+    tree: &SrTree,
+    id: PageId,
+    level: u16,
+    point: &sr_geometry::Point,
+    data: u64,
+) -> Result<Option<Vec<PageId>>> {
+    let node = tree.read_node(id, level)?;
+    match node {
+        Node::Leaf(entries) => {
+            if entries.iter().any(|e| e.point == *point && e.data == data) {
+                Ok(Some(vec![id]))
+            } else {
+                Ok(None)
+            }
+        }
+        Node::Inner { entries, .. } => {
+            for e in &entries {
+                if e.rect.contains_point(point.coords())
+                    && e.sphere.contains_point(point.coords(), 0.0)
+                {
+                    if let Some(mut path) = find_leaf(tree, e.child, level - 1, point, data)? {
+                        path.insert(0, id);
+                        return Ok(Some(path));
+                    }
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+fn collect_points(tree: &SrTree, node: &Node, out: &mut Vec<LeafEntry>) -> Result<()> {
+    match node {
+        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
+        Node::Inner { level, entries } => {
+            for e in entries {
+                let child = tree.read_node(e.child, level - 1)?;
+                collect_points(tree, &child, out)?;
+                tree.pf.free(e.child)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn shrink_root(tree: &mut SrTree) -> Result<()> {
+    loop {
+        let root_level = (tree.height - 1) as u16;
+        if root_level == 0 {
+            return Ok(());
+        }
+        let node = tree.read_node(tree.root, root_level)?;
+        let entries = match &node {
+            Node::Inner { entries, .. } => entries,
+            Node::Leaf(_) => unreachable!(),
+        };
+        match entries.len() {
+            0 => {
+                tree.pf.free(tree.root)?;
+                let leaf = Node::Leaf(Vec::new());
+                tree.root = tree.allocate_node(&leaf)?;
+                tree.height = 1;
+                tree.save_meta()?;
+                return Ok(());
+            }
+            1 => {
+                let child = entries[0].child;
+                tree.pf.free(tree.root)?;
+                tree.root = child;
+                tree.height -= 1;
+                tree.save_meta()?;
+            }
+            _ => return Ok(()),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! SR-tree insertion — the SS-tree's centroid algorithm (§4.2 of the
+//! paper: "We applied the centroid-based algorithm of the SS-tree to the
+//! SR-tree"), with *both* region shapes updated on every change.
+
+use std::collections::HashSet;
+
+use sr_geometry::Point;
+use sr_pager::PageId;
+
+use crate::error::Result;
+use crate::node::{InnerEntry, LeafEntry, Node};
+use crate::split;
+use crate::tree::SrTree;
+
+/// An entry being inserted at some level.
+pub(crate) enum AnyEntry {
+    Leaf(LeafEntry),
+    Inner(InnerEntry),
+}
+
+impl AnyEntry {
+    fn center(&self) -> &Point {
+        match self {
+            AnyEntry::Leaf(e) => &e.point,
+            AnyEntry::Inner(e) => e.sphere.center(),
+        }
+    }
+}
+
+/// Insert one point.
+pub(crate) fn insert_point(tree: &mut SrTree, point: Point, data: u64) -> Result<()> {
+    let mut reinserted: HashSet<PageId> = HashSet::new();
+    insert_at_level(
+        tree,
+        AnyEntry::Leaf(LeafEntry { point, data }),
+        0,
+        &mut reinserted,
+    )?;
+    tree.count += 1;
+    tree.save_meta()?;
+    Ok(())
+}
+
+/// Insert `entry` at `target_level` with the SS-tree overflow policy
+/// (reinsert unless this node already reinserted during this operation).
+pub(crate) fn insert_at_level(
+    tree: &mut SrTree,
+    entry: AnyEntry,
+    target_level: u16,
+    reinserted: &mut HashSet<PageId>,
+) -> Result<()> {
+    debug_assert!((target_level as u32) < tree.height);
+    let path = choose_path(tree, entry.center(), target_level)?;
+    let mut node = tree.read_node(*path.last().unwrap(), target_level)?;
+    match entry {
+        AnyEntry::Leaf(e) => {
+            if let Node::Leaf(entries) = &mut node {
+                entries.push(e);
+            } else {
+                unreachable!("target level 0 must be a leaf");
+            }
+        }
+        AnyEntry::Inner(e) => {
+            if let Node::Inner { entries, .. } = &mut node {
+                entries.push(e);
+            } else {
+                unreachable!("target level >= 1 must be an inner node");
+            }
+        }
+    }
+
+    let mut idx = path.len() - 1;
+    loop {
+        if node.len() <= tree.max_for(&node) {
+            tree.write_node(path[idx], &node)?;
+            propagate_regions(tree, &path, idx, &node)?;
+            return Ok(());
+        }
+        if idx == 0 {
+            split_root(tree, node)?;
+            return Ok(());
+        }
+        if tree.params.reinsert_enabled && !reinserted.contains(&path[idx]) {
+            reinserted.insert(path[idx]);
+            let level = node.level();
+            let removed = remove_farthest(tree, &mut node);
+            tree.write_node(path[idx], &node)?;
+            propagate_regions(tree, &path, idx, &node)?;
+            for e in removed.into_iter().rev() {
+                insert_at_level(tree, e, level, reinserted)?;
+            }
+            return Ok(());
+        }
+        // --- split ---
+        let (a, b) = split::split_node(&tree.params, node);
+        let b_id = tree.allocate_node(&b)?;
+        tree.write_node(path[idx], &a)?;
+        let (a_region, a_weight) = (a.region(tree.params.radius_rule), a.weight());
+        let (b_region, b_weight) = (b.region(tree.params.radius_rule), b.weight());
+        idx -= 1;
+        let level = (tree.height as usize - 1 - idx) as u16;
+        let mut parent = tree.read_node(path[idx], level)?;
+        if let Node::Inner { entries, .. } = &mut parent {
+            let slot = entries
+                .iter_mut()
+                .find(|e| e.child == path[idx + 1])
+                .expect("parent lost track of its child");
+            slot.sphere = a_region.sphere;
+            slot.rect = a_region.rect;
+            slot.weight = a_weight;
+            entries.push(InnerEntry {
+                sphere: b_region.sphere,
+                rect: b_region.rect,
+                weight: b_weight,
+                child: b_id,
+            });
+        } else {
+            unreachable!("parent of a split node must be an inner node");
+        }
+        node = parent;
+    }
+}
+
+/// Descend choosing the child whose centroid is nearest the entry's
+/// center (the SS-tree ChooseSubtree, verbatim per §4.2).
+fn choose_path(tree: &SrTree, center: &Point, target_level: u16) -> Result<Vec<PageId>> {
+    let mut path = vec![tree.root];
+    let mut level = (tree.height - 1) as u16;
+    let mut id = tree.root;
+    while level > target_level {
+        let node = tree.read_node(id, level)?;
+        let entries = match &node {
+            Node::Inner { entries, .. } => entries,
+            Node::Leaf(_) => unreachable!("descending past a leaf"),
+        };
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, e) in entries.iter().enumerate() {
+            let d = e.sphere.center().dist2(center);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        id = entries[best].child;
+        path.push(id);
+        level -= 1;
+    }
+    Ok(path)
+}
+
+/// Refresh the (sphere, rect, weight) entries recorded for `path[idx]` in
+/// every ancestor — the SR-tree "needs to update both bounding spheres
+/// and bounding rectangles" (§4.2).
+pub(crate) fn propagate_regions(
+    tree: &SrTree,
+    path: &[PageId],
+    idx: usize,
+    node: &Node,
+) -> Result<()> {
+    let mut child_region = node.region(tree.params.radius_rule);
+    let mut child_weight = node.weight();
+    let mut child_id = path[idx];
+    for j in (0..idx).rev() {
+        let level = (tree.height as usize - 1 - j) as u16;
+        let mut parent = tree.read_node(path[j], level)?;
+        if let Node::Inner { entries, .. } = &mut parent {
+            let slot = entries
+                .iter_mut()
+                .find(|e| e.child == child_id)
+                .expect("parent lost track of its child");
+            if slot.sphere == child_region.sphere
+                && slot.rect == child_region.rect
+                && slot.weight == child_weight
+            {
+                return Ok(());
+            }
+            slot.sphere = child_region.sphere;
+            slot.rect = child_region.rect;
+            slot.weight = child_weight;
+        }
+        tree.write_node(path[j], &parent)?;
+        child_region = parent.region(tree.params.radius_rule);
+        child_weight = parent.weight();
+        child_id = path[j];
+    }
+    Ok(())
+}
+
+/// Remove the reinsert fraction of entries farthest from the centroid,
+/// farthest-first.
+fn remove_farthest(tree: &SrTree, node: &mut Node) -> Vec<AnyEntry> {
+    let center = node.centroid();
+    let p = if node.is_leaf() {
+        tree.params.reinsert_leaf
+    } else {
+        tree.params.reinsert_node
+    };
+    match node {
+        Node::Leaf(entries) => {
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| {
+                entries[b]
+                    .point
+                    .dist2(&center)
+                    .partial_cmp(&entries[a].point.dist2(&center))
+                    .unwrap()
+            });
+            let victims: Vec<usize> = order.into_iter().take(p).collect();
+            extract(entries, &victims).into_iter().map(AnyEntry::Leaf).collect()
+        }
+        Node::Inner { entries, .. } => {
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| {
+                entries[b]
+                    .sphere
+                    .center()
+                    .dist2(&center)
+                    .partial_cmp(&entries[a].sphere.center().dist2(&center))
+                    .unwrap()
+            });
+            let victims: Vec<usize> = order.into_iter().take(p).collect();
+            extract(entries, &victims).into_iter().map(AnyEntry::Inner).collect()
+        }
+    }
+}
+
+fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
+    let mut sorted = victims.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut removed: Vec<(usize, T)> = sorted
+        .into_iter()
+        .map(|i| (i, entries.remove(i)))
+        .collect();
+    let mut out = Vec::with_capacity(victims.len());
+    for &v in victims {
+        let pos = removed.iter().position(|(i, _)| *i == v).unwrap();
+        out.push(removed.remove(pos).1);
+    }
+    out
+}
+
+/// Split an overflowing root, growing the tree by one level.
+fn split_root(tree: &mut SrTree, node: Node) -> Result<()> {
+    let level = node.level();
+    let (a, b) = split::split_node(&tree.params, node);
+    let a_id = tree.allocate_node(&a)?;
+    let b_id = tree.allocate_node(&b)?;
+    let (ra, rb) = (a.region(tree.params.radius_rule), b.region(tree.params.radius_rule));
+    let new_root = Node::Inner {
+        level: level + 1,
+        entries: vec![
+            InnerEntry {
+                sphere: ra.sphere,
+                rect: ra.rect,
+                weight: a.weight(),
+                child: a_id,
+            },
+            InnerEntry {
+                sphere: rb.sphere,
+                rect: rb.rect,
+                weight: b.weight(),
+                child: b_id,
+            },
+        ],
+    };
+    tree.pf.free(tree.root)?;
+    let root_id = tree.allocate_node(&new_root)?;
+    tree.root = root_id;
+    tree.height += 1;
+    tree.save_meta()?;
+    Ok(())
+}

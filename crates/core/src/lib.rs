@@ -1,0 +1,58 @@
+//! The SR-tree — *"The SR-tree: An Index Structure for High-Dimensional
+//! Nearest Neighbor Queries"*, Norio Katayama & Shin'ichi Satoh,
+//! SIGMOD 1997.
+//!
+//! The SR-tree (Sphere/Rectangle-tree) is a disk-based index whose node
+//! regions are the **intersection of a bounding sphere and a bounding
+//! rectangle**. The paper's §3 measurement shows the two shapes are
+//! complementary in high dimension:
+//!
+//! * bounding rectangles have small *volume* but long *diameters* (a unit
+//!   cube's diagonal is `√D`);
+//! * bounding spheres have short diameters but huge volumes (the unit
+//!   ball's volume collapses relative to its circumscribed cube).
+//!
+//! Intersecting them yields regions with both small volume and short
+//! diameter, improving region disjointness and therefore nearest-neighbor
+//! pruning. Concretely (paper §4):
+//!
+//! * a node entry stores sphere + rectangle + subtree point count + child
+//!   pointer — three times the SS-tree entry, giving ⅓ of its fanout (the
+//!   "fanout problem" of §5.3 that the leaf-read savings more than repay);
+//! * insertion is the SS-tree's centroid algorithm; on updates the parent
+//!   sphere radius is `min(d_s, d_r)` where `d_s` encloses the child
+//!   spheres and `d_r = max MAXDIST(center, child rect)` encloses the
+//!   child rectangles (§4.2);
+//! * the query-to-region distance is `max(d_sphere, d_rect)` — a tighter
+//!   lower bound than either baseline uses (§4.4).
+//!
+//! ```
+//! use sr_tree::SrTree;
+//! use sr_geometry::Point;
+//!
+//! let mut tree = SrTree::create_in_memory(2, 8192).unwrap();
+//! for (i, xy) in [[0.0f32, 0.0], [1.0, 1.0], [0.2, 0.1]].iter().enumerate() {
+//!     tree.insert(Point::new(xy.to_vec()), i as u64).unwrap();
+//! }
+//! let hits = tree.knn(&[0.0, 0.0], 2).unwrap();
+//! assert_eq!(hits[0].data, 0);
+//! ```
+
+mod bulk;
+mod delete;
+mod error;
+mod insert;
+mod node;
+mod params;
+mod search;
+mod split;
+mod tree;
+pub mod verify;
+
+pub use error::{Result, TreeError};
+pub use params::SrParams;
+pub use search::DistanceBound;
+pub use params::RadiusRule;
+pub use tree::{SrOptions, SrTree};
+
+pub use sr_query::Neighbor;

@@ -1,0 +1,359 @@
+//! In-memory node representation, the §4.2 region computation, and the
+//! page codec.
+
+use sr_geometry::{
+    bounding_rect_of_points, bounding_sphere_of_points, enclosing_radius_rects,
+    enclosing_radius_spheres, next_radius_up, Centroid, Point, Rect, Sphere,
+};
+use sr_pager::{PageCodec, PageId};
+
+use crate::error::{Result, TreeError};
+use crate::params::{RadiusRule, SrParams, NODE_HEADER};
+
+/// One point stored in a leaf.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry {
+    pub point: Point,
+    pub data: u64,
+}
+
+/// One child reference in an internal node — the paper's
+/// `(S, R, w, child_pointer)` tuple.
+#[derive(Clone, Debug)]
+pub(crate) struct InnerEntry {
+    pub sphere: Sphere,
+    pub rect: Rect,
+    pub weight: u64,
+    pub child: PageId,
+}
+
+/// The region of an SR-tree node: the pair whose *intersection* is the
+/// actual region.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Region {
+    pub sphere: Sphere,
+    pub rect: Rect,
+}
+
+/// A materialized node. Level 0 is the leaf level.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    Leaf(Vec<LeafEntry>),
+    Inner { level: u16, entries: Vec<InnerEntry> },
+}
+
+impl Node {
+    pub fn level(&self) -> u16 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner { level, .. } => *level,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Total points in this node's subtree.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Node::Leaf(e) => e.len() as u64,
+            Node::Inner { entries, .. } => entries.iter().map(|e| e.weight).sum(),
+        }
+    }
+
+    /// The §4.2 region computation.
+    ///
+    /// * Center: the weighted centroid of the children (the points, for a
+    ///   leaf).
+    /// * Radius: `min(d_s, d_r)` — `d_s` encloses the child spheres,
+    ///   `d_r = max_k MAXDIST(center, R_k)` encloses the child
+    ///   rectangles. Choosing the smaller is what "permits the radius of
+    ///   the SR-tree to be smaller than that of the SS-tree".
+    /// * Rectangle: the minimum bounding rectangle of the child
+    ///   rectangles (R-tree rule).
+    ///
+    /// # Panics
+    /// Panics on an empty node.
+    pub fn region(&self, rule: RadiusRule) -> Region {
+        match self {
+            Node::Leaf(entries) => {
+                assert!(!entries.is_empty(), "region of an empty leaf");
+                let pts: Vec<&[f32]> = entries.iter().map(|e| e.point.coords()).collect();
+                Region {
+                    sphere: bounding_sphere_of_points(&pts),
+                    rect: bounding_rect_of_points(pts.iter().copied()),
+                }
+            }
+            Node::Inner { entries, .. } => {
+                assert!(!entries.is_empty(), "region of an empty node");
+                let mut c = Centroid::new(entries[0].sphere.dim());
+                for e in entries {
+                    c.add(e.sphere.center().coords(), e.weight);
+                }
+                let center = c.finish();
+                let d_s = enclosing_radius_spheres(
+                    &center,
+                    entries
+                        .iter()
+                        .map(|e| (e.sphere.center().coords(), e.sphere.radius())),
+                );
+                let radius = match rule {
+                    RadiusRule::MinDsDr => {
+                        let d_r =
+                            enclosing_radius_rects(&center, entries.iter().map(|e| &e.rect));
+                        next_radius_up(d_s.min(d_r))
+                    }
+                    RadiusRule::SphereOnly => next_radius_up(d_s),
+                };
+                let mut rect = entries[0].rect.clone();
+                for e in &entries[1..] {
+                    rect.expand_to_rect(&e.rect);
+                }
+                Region {
+                    sphere: Sphere::new(center, radius),
+                    rect,
+                }
+            }
+        }
+    }
+
+    /// The centroid targeted by the nearest-centroid ChooseSubtree.
+    pub fn centroid(&self) -> Point {
+        match self {
+            Node::Leaf(entries) => {
+                let mut c = Centroid::new(entries[0].point.dim());
+                for e in entries {
+                    c.add(e.point.coords(), 1);
+                }
+                c.finish()
+            }
+            Node::Inner { entries, .. } => {
+                let mut c = Centroid::new(entries[0].sphere.dim());
+                for e in entries {
+                    c.add(e.sphere.center().coords(), e.weight);
+                }
+                c.finish()
+            }
+        }
+    }
+
+    /// Serialize into a page payload.
+    pub fn encode(&self, params: &SrParams, capacity: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; capacity];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u16(self.level());
+        c.put_u16(self.len() as u16);
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    c.put_coords(e.point.coords());
+                    c.put_u64(e.data);
+                    c.put_padding(params.data_area - 8);
+                }
+            }
+            Node::Inner { entries, .. } => {
+                for e in entries {
+                    debug_assert!(e.weight <= u32::MAX as u64);
+                    c.put_coords(e.sphere.center().coords());
+                    c.put_f64(e.sphere.radius() as f64);
+                    c.put_coords(e.rect.min());
+                    c.put_coords(e.rect.max());
+                    c.put_u32(e.weight as u32);
+                    c.put_u64(e.child);
+                }
+            }
+        }
+        let len = c.pos();
+        buf.truncate(len);
+        buf
+    }
+
+    /// Deserialize from a page payload.
+    pub fn decode(payload: &[u8], params: &SrParams) -> Result<Node> {
+        if payload.len() < NODE_HEADER {
+            return Err(TreeError::NotThisIndex("node page too short".into()));
+        }
+        let mut data = payload.to_vec();
+        let mut c = PageCodec::new(&mut data);
+        let level = c.get_u16();
+        let n = c.get_u16() as usize;
+        if level == 0 {
+            let need = n * SrParams::leaf_entry_bytes(params.dim, params.data_area);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated leaf page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let point = Point::new(c.get_coords(params.dim));
+                let data = c.get_u64();
+                c.skip(params.data_area - 8);
+                entries.push(LeafEntry { point, data });
+            }
+            Ok(Node::Leaf(entries))
+        } else {
+            let need = n * SrParams::node_entry_bytes(params.dim);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated node page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let center = Point::new(c.get_coords(params.dim));
+                let radius = c.get_f64() as f32;
+                let min = c.get_coords(params.dim);
+                let max = c.get_coords(params.dim);
+                let weight = c.get_u32() as u64;
+                let child = c.get_u64();
+                entries.push(InnerEntry {
+                    sphere: Sphere::new(center, radius),
+                    rect: Rect::new(min, max),
+                    weight,
+                    child,
+                });
+            }
+            Ok(Node::Inner { level, entries })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SrParams {
+        SrParams::derive(8187, 2, 512)
+    }
+
+    fn entry(x: f32, y: f32, r: f32, w: u64) -> InnerEntry {
+        InnerEntry {
+            sphere: Sphere::new(Point::new(vec![x, y]), r),
+            rect: Rect::new(vec![x - r, y - r], vec![x + r, y + r]),
+            weight: w,
+            child: 1,
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = params();
+        let node = Node::Leaf(vec![LeafEntry {
+            point: Point::new(vec![0.25, -3.5]),
+            data: 9,
+        }]);
+        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        if let Node::Leaf(e) = back {
+            assert_eq!(e[0].point.coords(), &[0.25, -3.5]);
+            assert_eq!(e[0].data, 9);
+        } else {
+            panic!("expected leaf");
+        }
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        let p = params();
+        let node = Node::Inner {
+            level: 4,
+            entries: vec![entry(1.0, 2.0, 0.5, 17)],
+        };
+        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        if let Node::Inner { entries, level } = back {
+            assert_eq!(level, 4);
+            assert_eq!(entries[0].sphere.radius(), 0.5);
+            assert_eq!(entries[0].rect.min(), &[0.5, 1.5]);
+            assert_eq!(entries[0].weight, 17);
+        } else {
+            panic!("expected inner");
+        }
+    }
+
+    #[test]
+    fn leaf_region_is_sphere_and_rect_of_points() {
+        let node = Node::Leaf(vec![
+            LeafEntry { point: Point::new(vec![0.0, 0.0]), data: 0 },
+            LeafEntry { point: Point::new(vec![2.0, 0.0]), data: 1 },
+        ]);
+        let r = node.region(RadiusRule::MinDsDr);
+        assert_eq!(r.rect.min(), &[0.0, 0.0]);
+        assert_eq!(r.rect.max(), &[2.0, 0.0]);
+        assert_eq!(r.sphere.center().coords(), &[1.0, 0.0]);
+        assert!((r.sphere.radius() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sr_radius_is_at_most_the_ss_radius() {
+        // A child whose sphere is much larger than its rectangle: the SR
+        // rule must use the rectangle bound d_r.
+        let child = InnerEntry {
+            sphere: Sphere::new(Point::new(vec![3.0, 0.0]), 5.0), // loose sphere
+            rect: Rect::new(vec![2.9, -0.1], vec![3.1, 0.1]),     // tight rect
+            weight: 4,
+            child: 1,
+        };
+        let node = Node::Inner { level: 1, entries: vec![child.clone()] };
+        let r = node.region(RadiusRule::MinDsDr);
+        // d_s = 0 (center coincides) + 5.0; d_r = MAXDIST(center, rect)
+        // from (3,0) to farthest corner ≈ 0.1414.
+        assert!(r.sphere.radius() < 0.2, "radius {}", r.sphere.radius());
+        // The region rect is the union of child rects.
+        assert_eq!(r.rect, child.rect);
+    }
+
+    #[test]
+    fn region_encloses_points_of_child_intersections() {
+        // The region only has to contain points lying in *both* child
+        // shapes (the child region is their intersection). Child centers
+        // qualify by construction; so do axis-aligned points at the
+        // sphere boundary, which sit inside the rect too.
+        let entries = vec![entry(0.0, 0.0, 0.5, 3), entry(4.0, 1.0, 0.25, 9)];
+        let node = Node::Inner { level: 1, entries: entries.clone() };
+        let r = node.region(RadiusRule::MinDsDr);
+        for e in &entries {
+            let c = e.sphere.center();
+            let rad = e.sphere.radius();
+            for p in [
+                vec![c[0], c[1]],
+                vec![c[0] + rad, c[1]],
+                vec![c[0] - rad, c[1]],
+                vec![c[0], c[1] + rad],
+                vec![c[0], c[1] - rad],
+            ] {
+                // the sample is inside both child shapes...
+                assert!(e.rect.contains_point(&p));
+                assert!(e.sphere.contains_point(&p, 1e-6));
+                // ...so the parent region must contain it in both shapes.
+                assert!(r.rect.contains_point(&p));
+                assert!(
+                    r.sphere.contains_point(&p, 1e-6),
+                    "point {p:?} escapes sphere {:?}",
+                    r.sphere
+                );
+            }
+        }
+        // And the SR radius never exceeds the SS radius d_s.
+        let d_s = sr_geometry::enclosing_radius_spheres(
+            r.sphere.center(),
+            entries
+                .iter()
+                .map(|e| (e.sphere.center().coords(), e.sphere.radius())),
+        );
+        assert!(r.sphere.radius() as f64 <= d_s + 1e-6);
+    }
+
+    #[test]
+    fn weighted_centroid_matches_hand_computation() {
+        let node = Node::Inner {
+            level: 1,
+            entries: vec![entry(0.0, 0.0, 0.1, 1), entry(4.0, 0.0, 0.1, 3)],
+        };
+        let c = node.centroid();
+        assert!((c[0] - 3.0).abs() < 1e-6);
+    }
+}

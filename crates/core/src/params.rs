@@ -1,0 +1,139 @@
+//! Capacity parameters for the SR-tree (Table 1 of the paper).
+//!
+//! A node entry stores both region shapes: bounding sphere
+//! (`(D+1)·8` bytes) + bounding rectangle (`2·D·8`) + subtree point count
+//! (4) + child pointer (8). At `D = 16` with 8 KiB pages that is 404
+//! bytes → 20 entries per node, one third of the SS-tree's 55 and two
+//! thirds of the R\*-tree's 30 — exactly the fanout relationship §5.3
+//! analyses. Leaves are identical across the three structures (12
+//! entries).
+
+/// Per-node header: level (u16) + entry count (u16).
+pub(crate) const NODE_HEADER: usize = 4;
+
+/// How the parent bounding-sphere radius is computed — an ablation knob
+/// for the paper's §4.2 rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RadiusRule {
+    /// `min(d_s, d_r)` — the SR-tree rule; `d_r` (the rectangle bound)
+    /// is what shrinks spheres below what the SS-tree can achieve.
+    #[default]
+    MinDsDr,
+    /// `d_s` only — the SS-tree rule, retained inside an SR-tree to
+    /// measure how much the §4.2 radius refinement contributes.
+    SphereOnly,
+}
+
+/// Capacity and policy parameters of an SR-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrParams {
+    /// Dimensionality of indexed points.
+    pub dim: usize,
+    /// Bytes reserved per leaf entry for the data record (≥ 8).
+    pub data_area: usize,
+    /// Maximum entries in an internal node.
+    pub max_node: usize,
+    /// Minimum entries in a non-root internal node (40%).
+    pub min_node: usize,
+    /// Maximum entries in a leaf.
+    pub max_leaf: usize,
+    /// Minimum entries in a non-root leaf (40%).
+    pub min_leaf: usize,
+    /// Entries removed by forced reinsertion (30%, ≥ 1).
+    pub reinsert_node: usize,
+    /// Entries removed by forced reinsertion from a leaf.
+    pub reinsert_leaf: usize,
+    /// Parent-sphere radius rule (§4.2). Default: the SR rule.
+    pub radius_rule: RadiusRule,
+    /// Whether forced reinsertion runs at all (ablation; default true).
+    pub reinsert_enabled: bool,
+}
+
+impl SrParams {
+    /// Derive parameters from the usable page payload, dimensionality and
+    /// per-entry data area.
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least 2 entries per node and per
+    /// leaf, or if `data_area < 8`.
+    pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        let usable = page_capacity - NODE_HEADER;
+        let max_node = usable / Self::node_entry_bytes(dim);
+        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
+        assert!(
+            max_node >= 2 && max_leaf >= 2,
+            "page too small: {max_node} node entries, {max_leaf} leaf entries"
+        );
+        SrParams {
+            dim,
+            data_area,
+            max_node,
+            min_node: min_fill(max_node),
+            max_leaf,
+            min_leaf: min_fill(max_leaf),
+            reinsert_node: reinsert_count(max_node),
+            reinsert_leaf: reinsert_count(max_leaf),
+            radius_rule: RadiusRule::default(),
+            reinsert_enabled: true,
+        }
+    }
+
+    /// Bytes of one internal-node entry on disk: sphere + rect + count +
+    /// child pointer.
+    pub fn node_entry_bytes(dim: usize) -> usize {
+        (dim + 1) * 8 + 2 * dim * 8 + 4 + 8
+    }
+
+    /// Bytes of one leaf entry on disk.
+    pub fn leaf_entry_bytes(dim: usize, data_area: usize) -> usize {
+        8 * dim + data_area
+    }
+}
+
+pub(crate) fn min_fill(max: usize) -> usize {
+    ((max * 2) / 5).max(2).min(max / 2)
+}
+
+pub(crate) fn reinsert_count(max: usize) -> usize {
+    ((max * 3) / 10).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_at_16_dimensions() {
+        let p = SrParams::derive(8187, 16, 512);
+        // node entry = 136 + 256 + 12 = 404 → (8187-4)/404 = 20
+        assert_eq!(p.max_node, 20);
+        assert_eq!(p.max_leaf, 12);
+    }
+
+    #[test]
+    fn fanout_relationship_of_section_5_3() {
+        // SR fanout ≈ 1/3 of SS, 2/3 of R*.
+        let sr = SrParams::derive(8187, 16, 512).max_node as f64;
+        let ss = 55.0; // SS-tree at the same page size (sr-sstree tests)
+        let rstar = 30.0;
+        assert!((sr / ss - 1.0 / 3.0).abs() < 0.05);
+        assert!((sr / rstar - 2.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn minimums_and_reinsert_fractions() {
+        let p = SrParams::derive(8187, 16, 512);
+        assert_eq!(p.min_node, 8);
+        assert_eq!(p.min_leaf, 4);
+        assert_eq!(p.reinsert_node, 6);
+        assert_eq!(p.reinsert_leaf, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "page too small")]
+    fn tiny_page_rejected() {
+        let _ = SrParams::derive(500, 64, 512);
+    }
+}

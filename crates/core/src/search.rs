@@ -1,0 +1,128 @@
+//! Query plumbing — the §4.4 region distance.
+//!
+//! "Because a region of the SR-tree is the intersection of a bounding
+//! sphere and a bounding rectangle, the minimum distance from a search
+//! point to a region is defined as the longer one between the minimum
+//! distance to its bounding sphere and the minimum distance to its
+//! bounding rectangle": `d = max(d_s, d_r)`. This is a valid lower bound
+//! for the intersection and strictly tighter than either shape alone,
+//! which is where the SR-tree's pruning advantage comes from.
+
+use sr_geometry::dist2;
+use sr_pager::PageId;
+use sr_query::{Expansion, KnnSource, Neighbor};
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::tree::SrTree;
+
+/// Which lower bound scores a region during search — an ablation knob
+/// for the paper's §4.4 design choice. [`DistanceBound::Both`] is the
+/// SR-tree's bound and the default everywhere; the single-shape bounds
+/// exist to measure how much each shape contributes (see the `ablation`
+/// experiment in `sr-bench`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DistanceBound {
+    /// `max(d_sphere, d_rect)` — the SR-tree rule (§4.4).
+    #[default]
+    Both,
+    /// Sphere distance only — what the SS-tree would prune with.
+    SphereOnly,
+    /// Rectangle `MINDIST` only — what the R\*-tree would prune with.
+    RectOnly,
+}
+
+struct Source<'a> {
+    tree: &'a SrTree,
+    bound: DistanceBound,
+}
+
+impl KnnSource for Source<'_> {
+    type Node = (PageId, u16);
+    type Error = TreeError;
+
+    fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
+    }
+
+    fn expand(
+        &self,
+        &(id, level): &Self::Node,
+        query: &[f32],
+        out: &mut Expansion<Self::Node>,
+    ) -> std::result::Result<(), TreeError> {
+        match self.tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    out.points.push(Neighbor {
+                        dist2: dist2(e.point.coords(), query),
+                        data: e.data,
+                    });
+                }
+            }
+            Node::Inner { entries, .. } => {
+                for e in &entries {
+                    // The §4.4 combined bound (or a single-shape ablation).
+                    let d = match self.bound {
+                        DistanceBound::Both => {
+                            e.sphere.min_dist2(query).max(e.rect.min_dist2(query))
+                        }
+                        DistanceBound::SphereOnly => e.sphere.min_dist2(query),
+                        DistanceBound::RectOnly => e.rect.min_dist2(query),
+                    };
+                    out.branches.push((d, (e.child, level - 1)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn knn(tree: &SrTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+    knn_with_bound(tree, query, k, DistanceBound::Both)
+}
+
+pub(crate) fn knn_with_bound(
+    tree: &SrTree,
+    query: &[f32],
+    k: usize,
+    bound: DistanceBound,
+) -> Result<Vec<Neighbor>> {
+    sr_query::knn(&Source { tree, bound }, query, k)
+}
+
+pub(crate) fn knn_best_first(tree: &SrTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+    sr_query::knn_best_first(&Source { tree, bound: DistanceBound::Both }, query, k)
+}
+
+pub(crate) fn range(tree: &SrTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    sr_query::range(&Source { tree, bound: DistanceBound::Both }, query, radius)
+}
+
+pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
+    fn walk(
+        tree: &SrTree,
+        id: PageId,
+        level: u16,
+        point: &sr_geometry::Point,
+        data: u64,
+    ) -> Result<bool> {
+        match tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                Ok(entries.iter().any(|e| e.point == *point && e.data == data))
+            }
+            Node::Inner { entries, .. } => {
+                for e in &entries {
+                    if e.rect.contains_point(point.coords())
+                        && e.sphere.contains_point(point.coords(), 0.0)
+                        && walk(tree, e.child, level - 1, point, data)?
+                    {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+    walk(tree, tree.root, (tree.height - 1) as u16, point, data)
+}

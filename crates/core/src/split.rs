@@ -1,0 +1,136 @@
+//! The SR-tree split — identical to the SS-tree's (§4.2): dimension of
+//! highest centroid variance, split position of least summed variance.
+
+use crate::node::Node;
+use crate::params::SrParams;
+
+/// Split an overflowing node into two, each with at least the minimum
+/// fill.
+pub(crate) fn split_node(params: &SrParams, node: Node) -> (Node, Node) {
+    match node {
+        Node::Leaf(entries) => {
+            let centers: Vec<&[f32]> = entries.iter().map(|e| e.point.coords()).collect();
+            let (k, order) = variance_split(&centers, params.min_leaf);
+            let (a, b) = partition(entries, &order, k);
+            (Node::Leaf(a), Node::Leaf(b))
+        }
+        Node::Inner { level, entries } => {
+            let centers: Vec<&[f32]> =
+                entries.iter().map(|e| e.sphere.center().coords()).collect();
+            let (k, order) = variance_split(&centers, params.min_node);
+            let (a, b) = partition(entries, &order, k);
+            (
+                Node::Inner { level, entries: a },
+                Node::Inner { level, entries: b },
+            )
+        }
+    }
+}
+
+fn partition<T>(mut entries: Vec<T>, order: &[usize], k: usize) -> (Vec<T>, Vec<T>) {
+    let mut tagged: Vec<Option<T>> = entries.drain(..).map(Some).collect();
+    let a = order[..k]
+        .iter()
+        .map(|&i| tagged[i].take().expect("index used twice"))
+        .collect();
+    let b = order[k..]
+        .iter()
+        .map(|&i| tagged[i].take().expect("index used twice"))
+        .collect();
+    (a, b)
+}
+
+/// Highest-variance dimension, then the split position in `[m, n-m]`
+/// minimizing the two groups' summed coordinate variance.
+pub(crate) fn variance_split(centers: &[&[f32]], m: usize) -> (usize, Vec<usize>) {
+    let n = centers.len();
+    debug_assert!(n >= 2 * m, "cannot split {n} entries with minimum {m}");
+    let dim = centers[0].len();
+
+    let mut best_dim = 0usize;
+    let mut best_var = f64::NEG_INFINITY;
+    for d in 0..dim {
+        let mean: f64 = centers.iter().map(|c| c[d] as f64).sum::<f64>() / n as f64;
+        let var: f64 = centers
+            .iter()
+            .map(|c| {
+                let t = c[d] as f64 - mean;
+                t * t
+            })
+            .sum::<f64>();
+        if var > best_var {
+            best_var = var;
+            best_dim = d;
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        centers[a][best_dim]
+            .partial_cmp(&centers[b][best_dim])
+            .unwrap()
+    });
+
+    let xs: Vec<f64> = order.iter().map(|&i| centers[i][best_dim] as f64).collect();
+    let mut pre_s = vec![0.0f64; n + 1];
+    let mut pre_q = vec![0.0f64; n + 1];
+    for i in 0..n {
+        pre_s[i + 1] = pre_s[i] + xs[i];
+        pre_q[i + 1] = pre_q[i] + xs[i] * xs[i];
+    }
+    let group_var = |lo: usize, hi: usize| -> f64 {
+        let cnt = (hi - lo) as f64;
+        let s = pre_s[hi] - pre_s[lo];
+        let q = pre_q[hi] - pre_q[lo];
+        q - s * s / cnt
+    };
+    let mut best_k = m;
+    let mut best_cost = f64::INFINITY;
+    for k in m..=(n - m) {
+        let cost = group_var(0, k) + group_var(k, n);
+        if cost < best_cost {
+            best_cost = cost;
+            best_k = k;
+        }
+    }
+    (best_k, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use sr_geometry::Point;
+
+    #[test]
+    fn split_respects_minimum_fill_and_partitions_fully() {
+        let params = SrParams::derive(8187, 2, 512);
+        let n = params.max_leaf + 1;
+        let entries: Vec<LeafEntry> = (0..n)
+            .map(|i| LeafEntry {
+                point: Point::new(vec![(i * 7 % 13) as f32, i as f32]),
+                data: i as u64,
+            })
+            .collect();
+        let (a, b) = split_node(&params, Node::Leaf(entries));
+        assert_eq!(a.len() + b.len(), n);
+        assert!(a.len() >= params.min_leaf && b.len() >= params.min_leaf);
+    }
+
+    #[test]
+    fn bimodal_data_splits_at_the_gap() {
+        let raw: Vec<Vec<f32>> = (0..12)
+            .map(|i| {
+                if i < 6 {
+                    vec![0.0, i as f32 * 0.01]
+                } else {
+                    vec![0.0, 50.0 + i as f32 * 0.01]
+                }
+            })
+            .collect();
+        let centers: Vec<&[f32]> = raw.iter().map(|c| c.as_slice()).collect();
+        let (k, order) = variance_split(&centers, 2);
+        assert_eq!(k, 6);
+        assert!(order[..6].iter().all(|&i| i < 6));
+    }
+}

@@ -1,0 +1,364 @@
+//! The public [`SrTree`] type: lifecycle, metadata, and page helpers.
+
+use std::path::Path;
+
+use sr_geometry::{Point, Rect, Sphere};
+use sr_pager::{PageCodec, PageFile, PageId, PageKind};
+use sr_query::Neighbor;
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::params::{RadiusRule, SrParams};
+use crate::{delete, insert, search};
+
+/// Construction options for ablation studies. The defaults are the
+/// paper's SR-tree; the variants exist to measure each design choice's
+/// contribution (see the `ablation` experiment in `sr-bench`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SrOptions {
+    /// Parent-sphere radius rule (§4.2).
+    pub radius_rule: RadiusRule,
+    /// Disable forced reinsertion (always split on overflow).
+    pub disable_reinsertion: bool,
+}
+
+const META_MAGIC: u32 = 0x5352_5442; // "SRTB"
+const META_VERSION: u32 = 1;
+
+/// A disk-based SR-tree over points — the paper's contribution: regions
+/// are the intersection of a bounding sphere and a bounding rectangle.
+pub struct SrTree {
+    pub(crate) pf: PageFile,
+    pub(crate) params: SrParams,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a leaf.
+    pub(crate) height: u32,
+    pub(crate) count: u64,
+}
+
+impl SrTree {
+    /// Create a new tree in an in-memory page file.
+    pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
+        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+    }
+
+    /// Create a new tree at `path` with 8 KiB pages and the paper's
+    /// 512-byte per-entry data area.
+    pub fn create(path: &Path, dim: usize) -> Result<Self> {
+        Self::create_from(PageFile::create(path)?, dim, 512)
+    }
+
+    /// Create a new tree over an empty [`PageFile`].
+    pub fn create_from(pf: PageFile, dim: usize, data_area: usize) -> Result<Self> {
+        Self::create_with_options(pf, dim, data_area, SrOptions::default())
+    }
+
+    /// Create a new tree with explicit [`SrOptions`] (ablation studies).
+    pub fn create_with_options(
+        pf: PageFile,
+        dim: usize,
+        data_area: usize,
+        options: SrOptions,
+    ) -> Result<Self> {
+        let mut params = SrParams::derive(pf.capacity(), dim, data_area);
+        params.radius_rule = options.radius_rule;
+        params.reinsert_enabled = !options.disable_reinsertion;
+        let root = pf.allocate(PageKind::Leaf)?;
+        let tree = SrTree {
+            pf,
+            params,
+            root,
+            height: 1,
+            count: 0,
+        };
+        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.save_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopen a tree previously created with [`SrTree::create`].
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_from(PageFile::open(path)?)
+    }
+
+    /// Reopen a tree from an already-open page file.
+    pub fn open_from(pf: PageFile) -> Result<Self> {
+        let mut meta = pf.user_meta();
+        if meta.len() < 40 {
+            return Err(TreeError::NotThisIndex("metadata too short".into()));
+        }
+        let mut c = PageCodec::new(&mut meta);
+        if c.get_u32() != META_MAGIC {
+            return Err(TreeError::NotThisIndex("not an SR-tree file".into()));
+        }
+        if c.get_u32() != META_VERSION {
+            return Err(TreeError::NotThisIndex("unsupported SR-tree version".into()));
+        }
+        let dim = c.get_u32() as usize;
+        let data_area = c.get_u32() as usize;
+        let root = c.get_u64();
+        let height = c.get_u32();
+        let count = c.get_u64();
+        let flags = c.get_u32();
+        let mut params = SrParams::derive(pf.capacity(), dim, data_area);
+        params.radius_rule = if flags & 1 != 0 {
+            RadiusRule::SphereOnly
+        } else {
+            RadiusRule::MinDsDr
+        };
+        params.reinsert_enabled = flags & 2 == 0;
+        Ok(SrTree {
+            pf,
+            params,
+            root,
+            height,
+            count,
+        })
+    }
+
+    pub(crate) fn save_meta(&self) -> Result<()> {
+        let mut buf = vec![0u8; 40];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u32(META_MAGIC);
+        c.put_u32(META_VERSION);
+        c.put_u32(self.params.dim as u32);
+        c.put_u32(self.params.data_area as u32);
+        c.put_u64(self.root);
+        c.put_u32(self.height);
+        c.put_u64(self.count);
+        let mut flags = 0u32;
+        if self.params.radius_rule == RadiusRule::SphereOnly {
+            flags |= 1;
+        }
+        if !self.params.reinsert_enabled {
+            flags |= 2;
+        }
+        c.put_u32(flags);
+        self.pf.set_user_meta(&buf)?;
+        Ok(())
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Capacity parameters in force (Table 1).
+    pub fn params(&self) -> &SrParams {
+        &self.params
+    }
+
+    /// The underlying page file (I/O statistics, cache control).
+    pub fn pager(&self) -> &PageFile {
+        &self.pf
+    }
+
+    /// Flush all dirty pages and metadata.
+    pub fn flush(&self) -> Result<()> {
+        self.pf.flush()?;
+        Ok(())
+    }
+
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.params.dim {
+            return Err(TreeError::DimensionMismatch {
+                expected: self.params.dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
+        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let payload = self.pf.read(id, kind)?;
+        let node = Node::decode(&payload, &self.params)?;
+        debug_assert_eq!(node.level(), level, "page {id} level mismatch");
+        Ok(node)
+    }
+
+    pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let payload = node.encode(&self.params, self.pf.capacity());
+        self.pf.write(id, kind, &payload)?;
+        Ok(())
+    }
+
+    pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let id = self.pf.allocate(kind)?;
+        self.write_node(id, node)?;
+        Ok(id)
+    }
+
+    pub(crate) fn max_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.max_leaf
+        } else {
+            self.params.max_node
+        }
+    }
+
+    pub(crate) fn min_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.min_leaf
+        } else {
+            self.params.min_node
+        }
+    }
+
+    /// Bulk-load a complete data set into this (empty) tree — the static
+    /// construction path (see `bulk` module docs). Pages come out packed
+    /// to capacity, like the VAMSplit R-tree's, while keeping every
+    /// SR-tree invariant, so dynamic inserts and deletes keep working
+    /// afterwards.
+    ///
+    /// # Panics
+    /// Panics if the tree already contains points.
+    pub fn bulk_load(&mut self, points: Vec<(Point, u64)>) -> Result<()> {
+        for (p, _) in &points {
+            self.check_dim(p.dim())?;
+        }
+        crate::bulk::bulk_load(self, points)
+    }
+
+    /// Insert a point with a `u64` payload.
+    pub fn insert(&mut self, point: Point, data: u64) -> Result<()> {
+        self.check_dim(point.dim())?;
+        insert::insert_point(self, point, data)
+    }
+
+    /// Delete the exact entry `(point, data)`; returns whether it existed.
+    pub fn delete(&mut self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        delete::delete(self, point, data)
+    }
+
+    /// Whether an exact entry `(point, data)` is stored.
+    pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        search::contains(self, point, data)
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k)
+    }
+
+    /// k-NN via best-first ("distance browsing", Hjaltason & Samet)
+    /// traversal instead of the paper's depth-first search — an
+    /// extension. Returns exactly the same neighbors; reads no more
+    /// pages than any traversal order can (I/O-optimal for the tree).
+    pub fn knn_best_first(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_best_first(self, query, k)
+    }
+
+    /// k-NN with an explicit region-distance bound — the ablation knob
+    /// for the paper's §4.4 combined bound. Results are identical for
+    /// every bound (all are valid lower bounds); only the pruning power,
+    /// and therefore the page reads, differ.
+    pub fn knn_with_bound(
+        &self,
+        query: &[f32],
+        k: usize,
+        bound: crate::search::DistanceBound,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_with_bound(self, query, k, bound)
+    }
+
+    /// Every point within `radius` of `query`.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius)
+    }
+
+    /// The (sphere, rectangle) region pairs of all non-empty leaves.
+    ///
+    /// The paper measures the volumes/diameters of both shapes separately
+    /// (Figures 12, 13) as upper bounds on the true intersection region.
+    pub fn leaf_regions(&self) -> Result<Vec<(Sphere, Rect)>> {
+        let mut out = Vec::new();
+        let rule = self.params.radius_rule;
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
+            if node.len() > 0 {
+                let r = node.region(rule);
+                out.push((r.sphere, r.rect));
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Total number of leaf pages.
+    pub fn num_leaves(&self) -> Result<u64> {
+        let mut n = 0u64;
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| n += 1)?;
+        Ok(n)
+    }
+
+    fn walk_leaves(
+        &self,
+        id: PageId,
+        level: u16,
+        f: &mut impl FnMut(&Node),
+    ) -> Result<()> {
+        let node = self.read_node(id, level)?;
+        match &node {
+            Node::Leaf(_) => f(&node),
+            Node::Inner { entries, .. } => {
+                for e in entries {
+                    self.walk_leaves(e.child, level - 1, f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_is_the_paper_configuration() {
+        let o = SrOptions::default();
+        assert_eq!(o.radius_rule, RadiusRule::MinDsDr);
+        assert!(!o.disable_reinsertion);
+    }
+
+    #[test]
+    fn empty_tree_roundtrips_metadata() {
+        let t = SrTree::create_in_memory(7, 4096).unwrap();
+        assert_eq!(t.dim(), 7);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.params().reinsert_enabled);
+    }
+
+    #[test]
+    fn open_rejects_foreign_magic() {
+        let pf = sr_pager::PageFile::create_in_memory(4096);
+        pf.set_user_meta(&[0u8; 40]).unwrap();
+        assert!(matches!(
+            SrTree::open_from(pf),
+            Err(TreeError::NotThisIndex(_))
+        ));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: for arbitrary point sets the SR-tree must agree
+//! with brute force and preserve its structural invariants.
+
+use proptest::prelude::*;
+use sr_geometry::Point;
+use sr_pager::PageFile;
+use sr_query::{brute_force_knn, brute_force_range};
+use sr_tree::{verify, SrTree};
+
+fn arb_points(dim: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f32..100.0, dim..=dim),
+        1..max_len,
+    )
+}
+
+fn build(points: &[Vec<f32>]) -> SrTree {
+    let dim = points[0].len();
+    let mut t = SrTree::create_from(PageFile::create_in_memory(1024), dim, 64).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        t.insert(Point::new(p.clone()), i as u64).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knn_agrees_with_brute_force(points in arb_points(3, 120), k in 1usize..25) {
+        let t = build(&points);
+        verify::check(&t).unwrap();
+        let flat: Vec<(&[f32], u64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.as_slice(), i as u64))
+            .collect();
+        let q = &points[0];
+        let got = t.knn(q, k).unwrap();
+        let want = brute_force_knn(flat.iter().copied(), q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist2 - w.dist2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn range_agrees_with_brute_force(points in arb_points(2, 100), radius in 0.0f64..150.0) {
+        let t = build(&points);
+        let flat: Vec<(&[f32], u64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.as_slice(), i as u64))
+            .collect();
+        let q = &points[points.len() / 2];
+        let got = t.range(q, radius).unwrap();
+        let want = brute_force_range(flat.iter().copied(), q, radius);
+        let got_ids: Vec<u64> = got.iter().map(|n| n.data).collect();
+        let want_ids: Vec<u64> = want.iter().map(|n| n.data).collect();
+        prop_assert_eq!(got_ids, want_ids);
+    }
+
+    #[test]
+    fn insert_then_delete_all_restores_empty(points in arb_points(2, 80)) {
+        let mut t = build(&points);
+        for (i, p) in points.iter().enumerate() {
+            prop_assert!(t.delete(&Point::new(p.clone()), i as u64).unwrap());
+            verify::check(&t).unwrap();
+        }
+        prop_assert!(t.is_empty());
+        prop_assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn partial_deletion_keeps_survivors_queryable(
+        points in arb_points(3, 100),
+        delete_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut t = build(&points);
+        let mut survivors = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            if delete_mask.get(i).copied().unwrap_or(false) {
+                prop_assert!(t.delete(&Point::new(p.clone()), i as u64).unwrap());
+            } else {
+                survivors.push((p.as_slice(), i as u64));
+            }
+        }
+        verify::check(&t).unwrap();
+        prop_assert_eq!(t.len() as usize, survivors.len());
+        if !survivors.is_empty() {
+            let q = survivors[0].0;
+            let got = t.knn(q, 5).unwrap();
+            let want = brute_force_knn(survivors.iter().copied(), q, 5);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert!((g.dist2 - w.dist2).abs() < 1e-6);
+            }
+        }
+    }
+}

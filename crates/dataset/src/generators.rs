@@ -1,0 +1,216 @@
+//! The three data sets of the paper plus query sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sr_geometry::Point;
+
+use crate::dirichlet::DirichletMixture;
+
+/// The uniform data set of §3.1: `n` points, each coordinate uniform in
+/// `[0, 1)`.
+pub fn uniform(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+    assert!(dim > 0, "dimensionality must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.random::<f32>()).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// Parameters of the §5.4 cluster data set.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of clusters. `1` puts every point in a single sphere;
+    /// setting it equal to the point count degenerates to (near-)uniform
+    /// data, which is exactly the uniformity sweep of Figure 19.
+    pub clusters: usize,
+    /// Points per cluster.
+    pub points_per_cluster: usize,
+    /// Upper bound for the random cluster radius. The paper says "the
+    /// location and the radius of each cluster is chosen randomly within
+    /// the unit cube" without giving the radius range; `0.1` keeps 100
+    /// clusters visually distinct in the unit cube, matching the regime
+    /// the paper's cluster experiments describe.
+    pub max_radius: f32,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            clusters: 100,
+            points_per_cluster: 1000,
+            max_radius: 0.1,
+        }
+    }
+}
+
+/// The cluster data set of §5.4: for each cluster, a random center in the
+/// unit cube and a random radius; each point is "generated on the sphere
+/// surface uniformly and then shifted along the radius randomly".
+pub fn cluster(spec: ClusterSpec, dim: usize, seed: u64) -> Vec<Point> {
+    assert!(dim > 0, "dimensionality must be positive");
+    assert!(spec.clusters > 0 && spec.points_per_cluster > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(spec.clusters * spec.points_per_cluster);
+    for _ in 0..spec.clusters {
+        let center: Vec<f32> = (0..dim).map(|_| rng.random::<f32>()).collect();
+        let radius: f32 = rng.random::<f32>() * spec.max_radius;
+        for _ in 0..spec.points_per_cluster {
+            // Uniform direction: normalized Gaussian vector. In 1-D this
+            // degenerates to ±1, which is still correct.
+            let mut dir: Vec<f64> = (0..dim).map(|_| gauss(&mut rng)).collect();
+            let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                dir = vec![1.0; dim];
+            }
+            let shift = rng.random::<f32>() as f64; // fraction of the radius
+            let coords: Vec<f32> = center
+                .iter()
+                .zip(dir.iter())
+                .map(|(&c, &d)| {
+                    let n = if norm < 1e-12 { (dim as f64).sqrt() } else { norm };
+                    c + (radius as f64 * shift * d / n) as f32
+                })
+                .collect();
+            out.push(Point::new(coords));
+        }
+    }
+    out
+}
+
+/// The simulated "real" data set: Dirichlet-mixture color-histogram-like
+/// vectors (see crate docs and DESIGN.md for the substitution rationale).
+///
+/// `dim = 16` reproduces the paper's 16-element histograms; other
+/// dimensionalities are supported for sensitivity experiments.
+pub fn real_sim(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+    // ~24 scene types gives visible clustering at the paper's data sizes.
+    let mut mix = DirichletMixture::new(dim, 24, seed);
+    (0..n).map(|_| Point::new(mix.sample())).collect()
+}
+
+/// Sample `n` query points *from the data set*, per §3.1 ("the nearest 21
+/// points relative to a particular point in the data set"), deterministic
+/// in `seed`. Sampling is with replacement, matching "1,000 random
+/// trials".
+pub fn sample_queries(data: &[Point], n: usize, seed: u64) -> Vec<Point> {
+    assert!(!data.is_empty(), "cannot sample queries from an empty data set");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    (0..n)
+        .map(|_| data[rng.random_range(0..data.len())].clone())
+        .collect()
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_unit_cube() {
+        let pts = uniform(500, 16, 1);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert_eq!(p.dim(), 16);
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        assert_eq!(uniform(10, 4, 7), uniform(10, 4, 7));
+        assert_ne!(uniform(10, 4, 7), uniform(10, 4, 8));
+    }
+
+    #[test]
+    fn uniform_covers_the_cube() {
+        // Mean of each coordinate should be near 0.5.
+        let pts = uniform(2000, 4, 3);
+        for i in 0..4 {
+            let mean: f64 = pts.iter().map(|p| p[i] as f64).sum::<f64>() / pts.len() as f64;
+            assert!((mean - 0.5).abs() < 0.05, "dim {i}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn cluster_points_stay_near_their_center() {
+        let spec = ClusterSpec {
+            clusters: 5,
+            points_per_cluster: 200,
+            max_radius: 0.05,
+        };
+        let pts = cluster(spec, 8, 42);
+        assert_eq!(pts.len(), 1000);
+        // Each consecutive block of 200 points is one cluster: its spread
+        // must be at most 2 * max_radius across.
+        for c in 0..5 {
+            let block = &pts[c * 200..(c + 1) * 200];
+            let first = &block[0];
+            let max_d = block.iter().map(|p| first.dist(p)).fold(0.0f64, f64::max);
+            assert!(max_d <= 2.0 * 0.05 + 1e-6, "cluster {c} spread {max_d}");
+        }
+    }
+
+    #[test]
+    fn cluster_respects_counts() {
+        let spec = ClusterSpec {
+            clusters: 3,
+            points_per_cluster: 7,
+            max_radius: 0.1,
+        };
+        assert_eq!(cluster(spec, 2, 1).len(), 21);
+    }
+
+    #[test]
+    fn cluster_works_in_one_dimension() {
+        let spec = ClusterSpec {
+            clusters: 2,
+            points_per_cluster: 50,
+            max_radius: 0.01,
+        };
+        let pts = cluster(spec, 1, 5);
+        assert_eq!(pts.len(), 100);
+    }
+
+    #[test]
+    fn real_sim_vectors_are_histograms() {
+        let pts = real_sim(300, 16, 9);
+        for p in &pts {
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn real_sim_is_nonuniform() {
+        // Compare the average nearest-bin mass against uniform's 1/16.
+        let pts = real_sim(200, 16, 13);
+        let avg_peak: f64 = pts
+            .iter()
+            .map(|p| p.iter().cloned().fold(0.0f32, f32::max) as f64)
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(avg_peak > 0.2, "avg peak bin {avg_peak} — too uniform");
+    }
+
+    #[test]
+    fn queries_come_from_the_data_set() {
+        let data = uniform(50, 4, 3);
+        let qs = sample_queries(&data, 20, 1);
+        assert_eq!(qs.len(), 20);
+        for q in &qs {
+            assert!(data.iter().any(|p| p == q));
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let data = uniform(50, 4, 3);
+        assert_eq!(sample_queries(&data, 5, 2), sample_queries(&data, 5, 2));
+    }
+}

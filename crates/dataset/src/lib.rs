@@ -1,0 +1,25 @@
+//! Workload generators for the SR-tree reproduction.
+//!
+//! The paper evaluates on three data sets; this crate synthesizes all of
+//! them, deterministically from a seed:
+//!
+//! * [`uniform`] — points uniform in `[0, 1)` per dimension (§3.1);
+//! * [`cluster`] — the §5.4 cluster data set: clusters with random center
+//!   and radius inside the unit cube, each point generated on the cluster
+//!   sphere's surface and shifted randomly along the radius;
+//! * [`real_sim`] — a stand-in for the paper's "real data set" of 16-d
+//!   color histograms of images (the original CMU collection is not
+//!   available). Vectors are sampled from a mixture of Dirichlet
+//!   distributions with skewed concentrations, giving non-negative,
+//!   sum-to-one, strongly non-uniform and clustered vectors — the
+//!   distributional properties the paper's real-data experiments exercise.
+//!
+//! Query workloads follow §3.1 exactly: "A query is to find the nearest 21
+//! points relative to a particular point in the data set", i.e. query
+//! points are sampled *from the data set* ([`sample_queries`]).
+
+mod dirichlet;
+mod generators;
+
+pub use dirichlet::DirichletMixture;
+pub use generators::{cluster, real_sim, sample_queries, uniform, ClusterSpec};

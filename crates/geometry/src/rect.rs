@@ -1,0 +1,437 @@
+//! Axis-aligned bounding rectangles (hyper-rectangles).
+//!
+//! Rectangles are the region shape of the R\*-tree and the K-D-B-tree, and
+//! one half of the SR-tree's sphere∩rectangle regions. Besides the usual
+//! union/area/margin operations the R\*-split needs, this module implements
+//! the two distance functions of Roussopoulos et al.:
+//! `MINDIST` ([`Rect::min_dist2`]) and the farthest-vertex distance
+//! ([`Rect::max_dist2`]) that the SR-tree's bounding-sphere radius rule
+//! (paper §4.2, the `MAXDIST` term of `d_r`) relies on.
+
+use crate::vector::Point;
+
+/// An axis-aligned hyper-rectangle, stored as per-dimension `[min, max]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rect {
+    min: Box<[f32]>,
+    max: Box<[f32]>,
+}
+
+impl Rect {
+    /// Build a rectangle from per-dimension bounds.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, are empty, or if any
+    /// `min > max`.
+    pub fn new(min: impl Into<Box<[f32]>>, max: impl Into<Box<[f32]>>) -> Self {
+        let (min, max) = (min.into(), max.into());
+        assert_eq!(min.len(), max.len(), "bound slices must match in length");
+        assert!(!min.is_empty(), "rectangles must have at least one dimension");
+        for i in 0..min.len() {
+            assert!(
+                min[i] <= max[i],
+                "dimension {i}: min {} > max {}",
+                min[i],
+                max[i]
+            );
+        }
+        Rect { min, max }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn from_point(p: &Point) -> Self {
+        Rect {
+            min: p.coords().into(),
+            max: p.coords().into(),
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower bounds per dimension.
+    #[inline]
+    pub fn min(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Upper bounds per dimension.
+    #[inline]
+    pub fn max(&self) -> &[f32] {
+        &self.max
+    }
+
+    /// Extent along dimension `i` (`max - min`).
+    #[inline]
+    pub fn extent(&self, i: usize) -> f32 {
+        self.max[i] - self.min[i]
+    }
+
+    /// The center point of the rectangle.
+    pub fn center(&self) -> Point {
+        let coords: Vec<f32> = self
+            .min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(&lo, &hi)| lo + (hi - lo) * 0.5)
+            .collect();
+        Point::new(coords)
+    }
+
+    /// Whether the rectangle contains point `p` (boundary inclusive).
+    pub fn contains_point(&self, p: &[f32]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .zip(p.iter())
+            .all(|((&lo, &hi), &x)| lo <= x && x <= hi)
+    }
+
+    /// Whether `other` lies entirely inside `self` (boundary inclusive).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|i| self.min[i] <= other.min[i] && other.max[i] <= self.max[i])
+    }
+
+    /// Whether the two rectangles intersect (boundary touching counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|i| self.min[i] <= other.max[i] && other.min[i] <= self.max[i])
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim());
+        let min: Vec<f32> = self
+            .min
+            .iter()
+            .zip(other.min.iter())
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        let max: Vec<f32> = self
+            .max
+            .iter()
+            .zip(other.max.iter())
+            .map(|(&a, &b)| a.max(b))
+            .collect();
+        Rect {
+            min: min.into(),
+            max: max.into(),
+        }
+    }
+
+    /// Grow `self` in place to cover `p`.
+    pub fn expand_to_point(&mut self, p: &[f32]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for (i, &x) in p.iter().enumerate() {
+            self.min[i] = self.min[i].min(x);
+            self.max[i] = self.max[i].max(x);
+        }
+    }
+
+    /// Grow `self` in place to cover `other`.
+    pub fn expand_to_rect(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for i in 0..self.dim() {
+            self.min[i] = self.min[i].min(other.min[i]);
+            self.max[i] = self.max[i].max(other.max[i]);
+        }
+    }
+
+    /// Volume (area in 2-D). Underflows to `0.0` for tiny high-D
+    /// rectangles — use [`Rect::ln_volume`] for measurement work.
+    pub fn volume(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(&lo, &hi)| (hi - lo) as f64)
+            .product()
+    }
+
+    /// Natural logarithm of the volume; `-inf` if any extent is zero.
+    pub fn ln_volume(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(&lo, &hi)| ((hi - lo) as f64).ln())
+            .sum()
+    }
+
+    /// Sum of edge lengths over all dimensions (the "margin" of the
+    /// R\*-tree split heuristic; half the perimeter in 2-D).
+    pub fn margin(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(&lo, &hi)| (hi - lo) as f64)
+            .sum()
+    }
+
+    /// Length of the main diagonal — the "diameter" the paper measures for
+    /// rectangle regions (§3.2: the diagonal of a D-dimensional unit cube is
+    /// `sqrt(D)` even though every edge is 1).
+    pub fn diagonal(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(self.max.iter())
+            .map(|(&lo, &hi)| {
+                let e = (hi - lo) as f64;
+                e * e
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Volume of the intersection with `other`, `0.0` if disjoint.
+    pub fn overlap_volume(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut v = 1.0f64;
+        for i in 0..self.dim() {
+            let lo = self.min[i].max(other.min[i]);
+            let hi = self.max[i].min(other.max[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= (hi - lo) as f64;
+        }
+        v
+    }
+
+    /// Increase in volume if `self` were enlarged to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// `MINDIST(p, R)^2`: squared distance from `p` to the nearest point of
+    /// the rectangle; `0` when `p` is inside.
+    ///
+    /// This is the rectangle distance of the Roussopoulos et al. k-NN
+    /// search and of the SR-tree's region distance `d_r` (paper §4.4).
+    #[inline]
+    pub fn min_dist2(&self, p: &[f32]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0f64;
+        for (i, &x) in p.iter().enumerate() {
+            let d = if x < self.min[i] {
+                (self.min[i] - x) as f64
+            } else if x > self.max[i] {
+                (x - self.max[i]) as f64
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// `MAXDIST(p, R)^2`: squared distance from `p` to the farthest vertex
+    /// of the rectangle.
+    ///
+    /// The paper (§4.2) computes it "by pursuing such a vertex of the
+    /// rectangle R that is the farthest from the point p" — per dimension,
+    /// the farther of the two bounds.
+    #[inline]
+    pub fn max_dist2(&self, p: &[f32]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0f64;
+        for (i, &xp) in p.iter().enumerate() {
+            let x = xp as f64;
+            let dlo = (x - self.min[i] as f64).abs();
+            let dhi = (x - self.max[i] as f64).abs();
+            let d = dlo.max(dhi);
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance between the nearest points of two rectangles
+    /// (`0` when they intersect). Used by spatial-join-style pruning and by
+    /// the structural verifiers.
+    pub fn rect_min_dist2(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut acc = 0.0f64;
+        for i in 0..self.dim() {
+            let d = if other.max[i] < self.min[i] {
+                (self.min[i] - other.max[i]) as f64
+            } else if other.min[i] > self.max[i] {
+                (other.min[i] - self.max[i]) as f64
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(min: &[f32], max: &[f32]) -> Rect {
+        Rect::new(min.to_vec(), max.to_vec())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = r(&[0.0, 1.0], &[2.0, 3.0]);
+        assert_eq!(a.dim(), 2);
+        assert_eq!(a.extent(0), 2.0);
+        assert_eq!(a.extent(1), 2.0);
+        assert_eq!(a.center().coords(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min")]
+    fn inverted_bounds_rejected() {
+        let _ = r(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let outer = r(&[0.0, 0.0], &[10.0, 10.0]);
+        let inner = r(&[2.0, 2.0], &[3.0, 3.0]);
+        let crossing = r(&[9.0, 9.0], &[12.0, 12.0]);
+        let outside = r(&[20.0, 20.0], &[21.0, 21.0]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.intersects(&crossing));
+        assert!(!outer.intersects(&outside));
+        assert!(outer.contains_point(&[0.0, 10.0])); // boundary inclusive
+        assert!(!outer.contains_point(&[10.1, 5.0]));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, -1.0], &[3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(&[0.0, -1.0], &[3.0, 1.0]));
+    }
+
+    #[test]
+    fn expand_matches_union() {
+        let mut a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[-1.0, 0.5], &[0.5, 2.0]);
+        let u = a.union(&b);
+        a.expand_to_rect(&b);
+        assert_eq!(a, u);
+
+        let mut c = r(&[0.0], &[1.0]);
+        c.expand_to_point(&[5.0]);
+        assert_eq!(c, r(&[0.0], &[5.0]));
+    }
+
+    #[test]
+    fn volume_margin_diagonal() {
+        let a = r(&[0.0, 0.0, 0.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(a.volume(), 6.0);
+        assert_eq!(a.margin(), 6.0);
+        assert!((a.diagonal() - 14f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_volume_consistent_with_volume() {
+        let a = r(&[0.0, 0.0], &[0.5, 0.25]);
+        assert!((a.ln_volume() - a.volume().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_volume_survives_underflow() {
+        // 64 dimensions of extent 1e-6: linear volume is 1e-384, which
+        // underflows f64 to zero; ln-volume must stay finite.
+        let d = 64;
+        let a = Rect::new(vec![0.0f32; d], vec![1e-6f32; d]);
+        assert_eq!(a.volume(), 0.0);
+        let want = 64.0 * (1e-6f32 as f64).ln();
+        assert!((a.ln_volume() - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_cube_diagonal_is_sqrt_d() {
+        // The §3.2 observation driving the whole paper.
+        for d in [2usize, 16, 64] {
+            let c = Rect::new(vec![0.0f32; d], vec![1.0f32; d]);
+            assert!((c.diagonal() - (d as f64).sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overlap_volume_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = r(&[1.0, 1.0], &[3.0, 3.0]);
+        let c = r(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(a.overlap_volume(&b), 1.0);
+        assert_eq!(a.overlap_volume(&c), 0.0);
+        // touching edges have zero overlap volume
+        let d = r(&[2.0, 0.0], &[3.0, 2.0]);
+        assert_eq!(a.overlap_volume(&d), 0.0);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        let b = r(&[1.0, 1.0], &[2.0, 2.0]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn min_dist2_inside_outside_corner() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(a.min_dist2(&[0.5, 0.5]), 0.0);
+        assert_eq!(a.min_dist2(&[2.0, 0.5]), 1.0); // face distance
+        assert_eq!(a.min_dist2(&[2.0, 2.0]), 2.0); // corner distance
+        assert_eq!(a.min_dist2(&[-3.0, 0.5]), 9.0);
+    }
+
+    #[test]
+    fn max_dist2_is_farthest_vertex() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        // From the origin corner the farthest vertex is (1,1).
+        assert_eq!(a.max_dist2(&[0.0, 0.0]), 2.0);
+        // From the center, every vertex is equally far.
+        assert_eq!(a.max_dist2(&[0.5, 0.5]), 0.5);
+        // From far outside, the far corner dominates.
+        assert_eq!(a.max_dist2(&[-1.0, 0.0]), 4.0 + 1.0);
+    }
+
+    #[test]
+    fn min_le_max_dist_always() {
+        let a = r(&[-1.0, 2.0, 0.0], &[1.0, 5.0, 0.5]);
+        for p in [
+            [0.0f32, 0.0, 0.0],
+            [10.0, 10.0, 10.0],
+            [0.0, 3.0, 0.25],
+            [-5.0, 2.0, 0.5],
+        ] {
+            assert!(a.min_dist2(&p) <= a.max_dist2(&p), "p={p:?}");
+        }
+    }
+
+    #[test]
+    fn rect_min_dist2_cases() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[3.0, 0.0], &[4.0, 1.0]);
+        assert_eq!(a.rect_min_dist2(&b), 4.0);
+        let c = r(&[0.5, 0.5], &[2.0, 2.0]);
+        assert_eq!(a.rect_min_dist2(&c), 0.0);
+        let d = r(&[2.0, 3.0], &[3.0, 4.0]);
+        assert_eq!(a.rect_min_dist2(&d), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn from_point_is_degenerate() {
+        let p = Point::new(vec![1.0, 2.0]);
+        let a = Rect::from_point(&p);
+        assert_eq!(a.volume(), 0.0);
+        assert!(a.contains_point(p.coords()));
+        assert_eq!(a.min_dist2(p.coords()), 0.0);
+    }
+}

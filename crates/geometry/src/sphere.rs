@@ -1,0 +1,235 @@
+//! Bounding spheres.
+//!
+//! Spheres are the region shape of the SS-tree and one half of the
+//! SR-tree's sphere∩rectangle regions. A sphere is stored as a center
+//! point plus a radius — `D + 1` parameters against a rectangle's `2·D`,
+//! which is exactly the fanout advantage §2.3 of the paper credits the
+//! SS-tree with.
+
+use crate::rect::Rect;
+use crate::vector::{dist2, Point};
+use crate::ln_unit_ball_volume;
+
+/// A bounding sphere: center + radius.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sphere {
+    center: Point,
+    radius: f32,
+}
+
+impl Sphere {
+    /// Build a sphere from center and radius.
+    ///
+    /// # Panics
+    /// Panics if the radius is negative or not finite.
+    pub fn new(center: Point, radius: f32) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "sphere radius must be finite and non-negative, got {radius}"
+        );
+        Sphere { center, radius }
+    }
+
+    /// The degenerate sphere covering exactly one point.
+    pub fn from_point(p: &Point) -> Self {
+        Sphere {
+            center: p.clone(),
+            radius: 0.0,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.center.dim()
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> &Point {
+        &self.center
+    }
+
+    /// Radius.
+    #[inline]
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Diameter (`2·r`) — the region "diameter" the paper measures for
+    /// sphere regions in Figures 5, 12, 13.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        2.0 * self.radius as f64
+    }
+
+    /// Whether point `p` lies inside the sphere, with a relative tolerance
+    /// `eps` on the radius (floating-point centroids make exact containment
+    /// too strict for verification work; pass `0.0` for exact checks).
+    pub fn contains_point(&self, p: &[f32], eps: f64) -> bool {
+        let r = self.radius as f64 * (1.0 + eps) + eps;
+        dist2(self.center.coords(), p) <= r * r
+    }
+
+    /// Squared distance from `p` to the sphere surface, `0` inside.
+    ///
+    /// This is the sphere distance of the SS-tree's k-NN search and the
+    /// `d_s` term of the SR-tree's region distance (paper §4.4):
+    /// `d_s = max(0, ||p − center|| − r)`.
+    #[inline]
+    pub fn min_dist2(&self, p: &[f32]) -> f64 {
+        let d = dist2(self.center.coords(), p).sqrt() - self.radius as f64;
+        if d <= 0.0 {
+            0.0
+        } else {
+            d * d
+        }
+    }
+
+    /// Squared distance from `p` to the farthest point of the sphere:
+    /// `(||p − center|| + r)^2`.
+    #[inline]
+    pub fn max_dist2(&self, p: &[f32]) -> f64 {
+        let d = dist2(self.center.coords(), p).sqrt() + self.radius as f64;
+        d * d
+    }
+
+    /// Whether the two spheres intersect (touching counts).
+    pub fn intersects(&self, other: &Sphere) -> bool {
+        let d = self.center.dist(&other.center);
+        d <= self.radius as f64 + other.radius as f64
+    }
+
+    /// Whether `other` lies entirely inside `self`, with relative tolerance
+    /// `eps` on the radius.
+    pub fn contains_sphere(&self, other: &Sphere, eps: f64) -> bool {
+        let d = self.center.dist(&other.center);
+        d + other.radius as f64 <= self.radius as f64 * (1.0 + eps) + eps
+    }
+
+    /// Whether the sphere and a rectangle intersect: true iff
+    /// `MINDIST(center, R) <= r`.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.min_dist2(self.center.coords()) <= (self.radius as f64) * (self.radius as f64)
+    }
+
+    /// Volume of the ball. Underflows/overflows for extreme radii and
+    /// dimensions — prefer [`Sphere::ln_volume`] for measurement.
+    pub fn volume(&self) -> f64 {
+        self.ln_volume().exp()
+    }
+
+    /// Natural log of the ball volume:
+    /// `ln V_d + d·ln r`; `-inf` for radius zero.
+    pub fn ln_volume(&self) -> f64 {
+        ln_unit_ball_volume(self.dim()) + self.dim() as f64 * (self.radius as f64).ln()
+    }
+
+    /// The smallest axis-aligned rectangle enclosing the sphere.
+    pub fn bounding_rect(&self) -> Rect {
+        let min: Vec<f32> = self.center.iter().map(|&c| c - self.radius).collect();
+        let max: Vec<f32> = self.center.iter().map(|&c| c + self.radius).collect();
+        Rect::new(min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(center: &[f32], r: f32) -> Sphere {
+        Sphere::new(Point::new(center.to_vec()), r)
+    }
+
+    #[test]
+    fn containment_with_tolerance() {
+        let a = s(&[0.0, 0.0], 1.0);
+        assert!(a.contains_point(&[0.5, 0.5], 0.0));
+        assert!(a.contains_point(&[1.0, 0.0], 0.0)); // surface inclusive
+        assert!(!a.contains_point(&[1.1, 0.0], 0.0));
+        assert!(a.contains_point(&[1.05, 0.0], 0.1)); // within tolerance
+    }
+
+    #[test]
+    fn min_dist2_inside_is_zero() {
+        let a = s(&[0.0, 0.0], 2.0);
+        assert_eq!(a.min_dist2(&[1.0, 1.0]), 0.0);
+        assert_eq!(a.min_dist2(&[2.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_outside() {
+        let a = s(&[0.0, 0.0], 1.0);
+        assert!((a.min_dist2(&[3.0, 0.0]) - 4.0).abs() < 1e-9);
+        assert!((a.min_dist2(&[3.0, 4.0]) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_dist2_is_far_side() {
+        let a = s(&[0.0], 1.0);
+        assert!((a.max_dist2(&[3.0]) - 16.0).abs() < 1e-9);
+        assert!((a.max_dist2(&[0.0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_le_max_dist() {
+        let a = s(&[1.0, -2.0, 0.5], 0.75);
+        for p in [[0.0f32, 0.0, 0.0], [5.0, 5.0, 5.0], [1.0, -2.0, 0.5]] {
+            assert!(a.min_dist2(&p) <= a.max_dist2(&p));
+        }
+    }
+
+    #[test]
+    fn sphere_sphere_relations() {
+        let a = s(&[0.0, 0.0], 2.0);
+        let b = s(&[1.0, 0.0], 0.5);
+        let c = s(&[5.0, 0.0], 1.0);
+        let d = s(&[3.0, 0.0], 1.0); // touching a
+        assert!(a.contains_sphere(&b, 0.0));
+        assert!(!a.contains_sphere(&c, 0.0));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&d));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = s(&[0.0, 0.0], 1.0);
+        assert!(a.intersects_rect(&Rect::new(vec![0.5, 0.5], vec![2.0, 2.0])));
+        assert!(!a.intersects_rect(&Rect::new(vec![2.0, 2.0], vec![3.0, 3.0])));
+        // corner exactly touching the surface: nearest corner is (1, 0)
+        assert!(a.intersects_rect(&Rect::new(vec![1.0, 0.0], vec![2.0, 2.0])));
+    }
+
+    #[test]
+    fn volume_matches_closed_forms() {
+        let a = s(&[0.0, 0.0], 2.0);
+        let want = std::f64::consts::PI * 4.0; // pi r^2
+        assert!((a.volume() - want).abs() < 1e-9);
+        let b = s(&[0.0, 0.0, 0.0], 1.5);
+        let want3 = 4.0 / 3.0 * std::f64::consts::PI * 1.5f64.powi(3);
+        assert!((b.volume() - want3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_volume_handles_high_dimension() {
+        let d = 64;
+        let a = Sphere::new(Point::zeros(d), 0.01);
+        assert!(a.ln_volume().is_finite());
+        assert!(a.ln_volume() < 0.0);
+    }
+
+    #[test]
+    fn bounding_rect_encloses_sphere() {
+        let a = s(&[1.0, -1.0], 0.5);
+        let r = a.bounding_rect();
+        assert_eq!(r.min(), &[0.5, -1.5]);
+        assert_eq!(r.max(), &[1.5, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_rejected() {
+        let _ = s(&[0.0], -1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the geometry kernel — the correctness of
+//! every index structure rests on these identities.
+
+use proptest::prelude::*;
+use sr_geometry::{
+    bounding_rect_of_points, bounding_sphere_of_points, dist2, enclosing_radius_rects,
+    enclosing_radius_spheres, next_radius_up, Centroid, Point, Rect, Sphere,
+};
+
+fn arb_point(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000.0f32..1000.0, dim..=dim)
+}
+
+fn arb_rect(dim: usize) -> impl Strategy<Value = Rect> {
+    (arb_point(dim), arb_point(dim)).prop_map(|(a, b)| {
+        let min: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x.min(y)).collect();
+        let max: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x.max(y)).collect();
+        Rect::new(min, max)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// MINDIST is a true lower bound: for any point q and any point p
+    /// inside the rectangle, MINDIST(q, R) <= d(q, p).
+    #[test]
+    fn min_dist_lower_bounds_contained_points(
+        r in arb_rect(4),
+        q in arb_point(4),
+        t in prop::collection::vec(0.0f64..=1.0, 4),
+    ) {
+        // p = interpolation inside the rect
+        let p: Vec<f32> = (0..4)
+            .map(|i| r.min()[i] + (r.max()[i] - r.min()[i]) * t[i] as f32)
+            .collect();
+        prop_assert!(r.contains_point(&p));
+        prop_assert!(r.min_dist2(&q) <= dist2(&q, &p) + 1e-6);
+    }
+
+    /// MAXDIST is a true upper bound for every contained point.
+    #[test]
+    fn max_dist_upper_bounds_contained_points(
+        r in arb_rect(4),
+        q in arb_point(4),
+        t in prop::collection::vec(0.0f64..=1.0, 4),
+    ) {
+        let p: Vec<f32> = (0..4)
+            .map(|i| r.min()[i] + (r.max()[i] - r.min()[i]) * t[i] as f32)
+            .collect();
+        prop_assert!(r.max_dist2(&q) >= dist2(&q, &p) - 1e-3);
+    }
+
+    /// Union is commutative, covering, and minimal on the corners.
+    #[test]
+    fn union_properties(a in arb_rect(3), b in arb_rect(3)) {
+        let u = a.union(&b);
+        let v = b.union(&a);
+        prop_assert_eq!(&u, &v);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // minimality: each bound is realized by one of the inputs
+        for i in 0..3 {
+            prop_assert!(u.min()[i] == a.min()[i] || u.min()[i] == b.min()[i]);
+            prop_assert!(u.max()[i] == a.max()[i] || u.max()[i] == b.max()[i]);
+        }
+    }
+
+    /// Overlap volume is symmetric and bounded by each input's volume.
+    #[test]
+    fn overlap_symmetric_and_bounded(a in arb_rect(3), b in arb_rect(3)) {
+        let ab = a.overlap_volume(&b);
+        let ba = b.overlap_volume(&a);
+        prop_assert!((ab - ba).abs() <= 1e-6 * ab.abs().max(1.0));
+        prop_assert!(ab <= a.volume() + 1e-6);
+        prop_assert!(ab <= b.volume() + 1e-6);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// A bounding sphere of points contains them all.
+    #[test]
+    fn bounding_sphere_contains_points(
+        pts in prop::collection::vec(arb_point(5), 1..40),
+    ) {
+        let refs: Vec<&[f32]> = pts.iter().map(|p| p.as_slice()).collect();
+        let s = bounding_sphere_of_points(&refs);
+        for p in &refs {
+            prop_assert!(s.contains_point(p, 0.0), "{p:?} outside {s:?}");
+        }
+    }
+
+    /// A bounding rect of points contains them all and is minimal.
+    #[test]
+    fn bounding_rect_contains_points(
+        pts in prop::collection::vec(arb_point(5), 1..40),
+    ) {
+        let r = bounding_rect_of_points(pts.iter().map(|p| p.as_slice()));
+        for p in &pts {
+            prop_assert!(r.contains_point(p));
+        }
+        // minimality: every face touches some point
+        for i in 0..5 {
+            prop_assert!(pts.iter().any(|p| p[i] == r.min()[i]));
+            prop_assert!(pts.iter().any(|p| p[i] == r.max()[i]));
+        }
+    }
+
+    /// The SS parent-radius rule d_s really covers child spheres; the
+    /// rect rule d_r really covers child rect corners.
+    #[test]
+    fn enclosing_radii_cover(
+        centers in prop::collection::vec(arb_point(3), 1..10),
+        radii in prop::collection::vec(0.0f32..50.0, 10),
+        t in prop::collection::vec(-1.0f64..=1.0, 3),
+    ) {
+        let mut c = Centroid::new(3);
+        for ctr in &centers {
+            c.add(ctr, 1);
+        }
+        let center = c.finish();
+        let spheres: Vec<(&[f32], f32)> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, ctr)| (ctr.as_slice(), radii[i % radii.len()]))
+            .collect();
+        let d_s = enclosing_radius_spheres(&center, spheres.iter().copied());
+        // any point of any child sphere is within d_s of the center
+        for (ctr, r) in &spheres {
+            let norm = (t.iter().map(|x| x * x).sum::<f64>()).sqrt().max(1e-12);
+            let p: Vec<f32> = (0..3)
+                .map(|i| ctr[i] + (*r as f64 * t[i] / norm) as f32)
+                .collect();
+            let s = Sphere::new(Point::new(ctr.to_vec()), *r);
+            if s.contains_point(&p, 0.0) {
+                prop_assert!(
+                    dist2(center.coords(), &p).sqrt() <= d_s + 1e-3,
+                    "point {p:?} beyond d_s {d_s}"
+                );
+            }
+        }
+        // and d_r covers every corner of every child rect
+        let rects: Vec<Rect> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, ctr)| {
+                let r = radii[i % radii.len()];
+                Rect::new(
+                    ctr.iter().map(|&x| x - r).collect::<Vec<f32>>(),
+                    ctr.iter().map(|&x| x + r).collect::<Vec<f32>>(),
+                )
+            })
+            .collect();
+        let d_r = enclosing_radius_rects(&center, rects.iter());
+        for rect in &rects {
+            for corner_mask in 0..8u32 {
+                let corner: Vec<f32> = (0..3)
+                    .map(|i| {
+                        if corner_mask & (1 << i) != 0 {
+                            rect.max()[i]
+                        } else {
+                            rect.min()[i]
+                        }
+                    })
+                    .collect();
+                prop_assert!(dist2(center.coords(), &corner).sqrt() <= d_r + 1e-3);
+            }
+        }
+    }
+
+    /// next_radius_up never shrinks and adds at most one ulp.
+    #[test]
+    fn radius_roundup(r in 0.0f64..1e30) {
+        let f = next_radius_up(r);
+        prop_assert!(f as f64 >= r);
+        if r > 0.0 {
+            prop_assert!((f as f64 - r) / r < 1e-6);
+        }
+    }
+
+    /// Sphere min/max distances bracket the distance to any point of the
+    /// sphere itself.
+    #[test]
+    fn sphere_distance_bracket(
+        c in arb_point(3),
+        r in 0.0f32..100.0,
+        q in arb_point(3),
+        t in prop::collection::vec(-1.0f64..=1.0, 3),
+    ) {
+        let s = Sphere::new(Point::new(c.clone()), r);
+        let norm = (t.iter().map(|x| x * x).sum::<f64>()).sqrt().max(1e-12);
+        let p: Vec<f32> = (0..3)
+            .map(|i| c[i] + (r as f64 * t[i] / norm) as f32)
+            .collect();
+        if s.contains_point(&p, 0.0) {
+            let d = dist2(&q, &p);
+            prop_assert!(s.min_dist2(&q) <= d + 1e-3);
+            prop_assert!(s.max_dist2(&q) >= d - 1e-3);
+        }
+    }
+}

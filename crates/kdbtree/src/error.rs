@@ -1,0 +1,73 @@
+//! Error type for K-D-B-tree operations.
+
+use std::fmt;
+
+use sr_pager::PagerError;
+
+/// Result alias for K-D-B-tree operations.
+pub type Result<T> = std::result::Result<T, TreeError>;
+
+/// Errors from tree operations.
+#[derive(Debug)]
+pub enum TreeError {
+    /// Underlying page I/O failed.
+    Pager(PagerError),
+    /// A point of the wrong dimensionality was offered.
+    DimensionMismatch {
+        /// Dimensionality the tree was created with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+    },
+    /// The page file does not contain this kind of index.
+    NotThisIndex(String),
+    /// A page overflowed but no coordinate plane can separate its
+    /// entries — more coincident points than fit in one page. This is an
+    /// inherent limitation of space-partitioning structures: the
+    /// K-D-B-tree splits *space*, and coincident points cannot be
+    /// separated by any plane.
+    Unsplittable,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Pager(e) => write!(f, "page I/O failed: {e}"),
+            TreeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+            }
+            TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+            TreeError::Unsplittable => write!(
+                f,
+                "page overflow cannot be resolved: too many coincident points for one page"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TreeError::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PagerError> for TreeError {
+    fn from(e: PagerError) -> Self {
+        TreeError::Pager(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TreeError::Unsplittable.to_string().contains("coincident"));
+        let e = TreeError::DimensionMismatch { expected: 2, got: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,316 @@
+//! K-D-B-tree insertion with plane splits and forced splits.
+//!
+//! On overflow a page is divided by a coordinate plane. For point pages
+//! the plane passes near the median of the widest dimension (the
+//! R+-tree-style choice the paper adopts, §3.1). For region pages the
+//! plane is chosen among the children's own boundaries to minimize the
+//! number of *forced splits* — children crossing the plane that must be
+//! recursively split by it.
+
+use sr_geometry::Rect;
+use sr_pager::PageId;
+
+use crate::error::{Result, TreeError};
+use crate::node::{clip_above, clip_below, full_space, kdb_contains, LeafEntry, Node, RegionEntry};
+use crate::tree::KdbTree;
+
+/// Insert one point.
+pub(crate) fn insert_point(tree: &mut KdbTree, point: sr_geometry::Point, data: u64) -> Result<()> {
+    // Descend the unique containing path, remembering each page's region
+    // (needed to derive the regions of split halves).
+    let mut path: Vec<(PageId, Rect)> = Vec::with_capacity(tree.height as usize);
+    let mut id = tree.root;
+    let mut region = full_space(tree.params.dim);
+    let mut level = (tree.height - 1) as u16;
+    path.push((id, region.clone()));
+    while level > 0 {
+        let node = tree.read_node(id, level)?;
+        let entries = match &node {
+            Node::Region { entries, .. } => entries,
+            Node::Leaf(_) => unreachable!(),
+        };
+        let e = entries
+            .iter()
+            .find(|e| kdb_contains(&e.rect, point.coords()))
+            .expect("K-D-B regions must cover all of space");
+        id = e.child;
+        region = e.rect.clone();
+        path.push((id, region.clone()));
+        level -= 1;
+    }
+
+    let mut node = tree.read_node(id, 0)?;
+    if let Node::Leaf(entries) = &mut node {
+        entries.push(LeafEntry { point, data });
+    }
+
+    // Resolve overflows bottom-up; splits replace one parent entry with
+    // two and may overflow the parent in turn.
+    let mut idx = path.len() - 1;
+    loop {
+        let max = if node.is_leaf() {
+            tree.params.max_leaf
+        } else {
+            tree.params.max_node
+        };
+        if node.len() <= max {
+            tree.write_node(path[idx].0, &node)?;
+            break;
+        }
+        let (dim, value) = choose_plane(&node)?;
+        let level = node.level();
+        let (left, right) = split_in_memory(tree, node, dim, value)?;
+        let region = &path[idx].1;
+        let left_rect = clip_below(region, dim, value);
+        let right_rect = clip_above(region, dim, value);
+        if idx == 0 {
+            // Root split: the tree grows one level.
+            let left_id = tree.allocate_node(&left)?;
+            let right_id = tree.allocate_node(&right)?;
+            let new_root = Node::Region {
+                level: level + 1,
+                entries: vec![
+                    RegionEntry { rect: left_rect, child: left_id },
+                    RegionEntry { rect: right_rect, child: right_id },
+                ],
+            };
+            tree.pf.free(tree.root)?;
+            tree.root = tree.allocate_node(&new_root)?;
+            tree.height += 1;
+            break;
+        }
+        tree.write_node(path[idx].0, &left)?;
+        let right_id = tree.allocate_node(&right)?;
+        let parent_level = level + 1;
+        let mut parent = tree.read_node(path[idx - 1].0, parent_level)?;
+        if let Node::Region { entries, .. } = &mut parent {
+            let pos = entries
+                .iter()
+                .position(|e| e.child == path[idx].0)
+                .expect("parent lost track of its child");
+            entries[pos] = RegionEntry { rect: left_rect, child: path[idx].0 };
+            entries.push(RegionEntry { rect: right_rect, child: right_id });
+        }
+        node = parent;
+        idx -= 1;
+    }
+
+    tree.count += 1;
+    tree.save_meta()?;
+    Ok(())
+}
+
+/// Choose the split plane for an overflowing page.
+fn choose_plane(node: &Node) -> Result<(usize, f32)> {
+    match node {
+        Node::Leaf(entries) => choose_point_plane(entries),
+        Node::Region { entries, .. } => choose_region_plane(entries),
+    }
+}
+
+/// Point pages: widest dimension, split at the median coordinate,
+/// nudged so both half-open sides are non-empty.
+fn choose_point_plane(entries: &[LeafEntry]) -> Result<(usize, f32)> {
+    let dim = entries[0].point.dim();
+    let mut best: Option<(f32, usize, f32)> = None; // (spread, dim, value)
+    for d in 0..dim {
+        let mut coords: Vec<f32> = entries.iter().map(|e| e.point[d]).collect();
+        coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let spread = coords[coords.len() - 1] - coords[0];
+        if spread <= 0.0 {
+            continue; // all coincident on this dimension
+        }
+        // Median, adjusted upward until it separates (left side is
+        // strictly-less under the half-open rule).
+        let mut value = coords[coords.len() / 2];
+        if value == coords[0] {
+            value = *coords
+                .iter()
+                .find(|&&c| c > coords[0])
+                .expect("spread > 0 implies a larger coordinate");
+        }
+        match best {
+            Some((s, _, _)) if s >= spread => {}
+            _ => best = Some((spread, d, value)),
+        }
+    }
+    best.map(|(_, d, v)| (d, v)).ok_or(TreeError::Unsplittable)
+}
+
+/// Region pages: consider every child boundary on every dimension; pick
+/// the plane minimizing forced splits (crossing children), requiring at
+/// least one child fully on each side so the split makes progress; break
+/// ties by balance.
+fn choose_region_plane(entries: &[RegionEntry]) -> Result<(usize, f32)> {
+    let dim = entries[0].rect.dim();
+    let mut best: Option<((usize, i64), usize, f32)> = None; // ((crossings, imbalance), dim, value)
+    for d in 0..dim {
+        let mut candidates: Vec<f32> = Vec::new();
+        for e in entries {
+            if e.rect.min()[d].is_finite() {
+                candidates.push(e.rect.min()[d]);
+            }
+            if e.rect.max()[d].is_finite() {
+                candidates.push(e.rect.max()[d]);
+            }
+        }
+        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.dedup();
+        for &v in &candidates {
+            let mut left = 0usize;
+            let mut right = 0usize;
+            let mut cross = 0usize;
+            for e in entries {
+                if e.rect.max()[d] <= v {
+                    left += 1;
+                } else if e.rect.min()[d] >= v {
+                    right += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+            if left == 0 || right == 0 {
+                continue; // no progress: one side would keep everything
+            }
+            let key = (cross, (left as i64 - right as i64).abs());
+            match &best {
+                Some((bk, _, _)) if *bk <= key => {}
+                _ => best = Some((key, d, v)),
+            }
+        }
+    }
+    best.map(|(_, d, v)| (d, v)).ok_or(TreeError::Unsplittable)
+}
+
+/// Split a materialized page by the plane `x[dim] = value`, recursively
+/// force-splitting children that cross it. Returns the two halves (the
+/// caller assigns page ids).
+fn split_in_memory(tree: &KdbTree, node: Node, dim: usize, value: f32) -> Result<(Node, Node)> {
+    match node {
+        Node::Leaf(entries) => {
+            let (l, r): (Vec<LeafEntry>, Vec<LeafEntry>) =
+                entries.into_iter().partition(|e| e.point[dim] < value);
+            Ok((Node::Leaf(l), Node::Leaf(r)))
+        }
+        Node::Region { level, entries } => {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for e in entries {
+                if e.rect.max()[dim] <= value {
+                    left.push(e);
+                } else if e.rect.min()[dim] >= value {
+                    right.push(e);
+                } else {
+                    // Forced split: the child page itself is divided by
+                    // the same plane, all the way down.
+                    let (l_id, r_id) = force_split_page(tree, e.child, level - 1, dim, value)?;
+                    left.push(RegionEntry {
+                        rect: clip_below(&e.rect, dim, value),
+                        child: l_id,
+                    });
+                    right.push(RegionEntry {
+                        rect: clip_above(&e.rect, dim, value),
+                        child: r_id,
+                    });
+                }
+            }
+            Ok((
+                Node::Region { level, entries: left },
+                Node::Region { level, entries: right },
+            ))
+        }
+    }
+}
+
+/// Force-split the on-disk page `id` by the plane; the left half reuses
+/// `id`, the right half gets a fresh page. Either half may come out empty
+/// or oversized-but-legal — forced splits are exactly why the K-D-B-tree
+/// cannot guarantee minimum utilization.
+fn force_split_page(
+    tree: &KdbTree,
+    id: PageId,
+    level: u16,
+    dim: usize,
+    value: f32,
+) -> Result<(PageId, PageId)> {
+    let node = tree.read_node(id, level)?;
+    let (left, right) = split_in_memory(tree, node, dim, value)?;
+    tree.write_node(id, &left)?;
+    let right_id = tree.allocate_node(&right)?;
+    Ok((id, right_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_geometry::Point;
+
+    fn leaf_entries(coords: &[[f32; 2]]) -> Vec<LeafEntry> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| LeafEntry {
+                point: Point::new(c.to_vec()),
+                data: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_plane_picks_widest_dimension() {
+        let entries = leaf_entries(&[[0.0, 0.0], [0.1, 10.0], [0.2, 20.0], [0.05, 30.0]]);
+        let (dim, value) = choose_point_plane(&entries).unwrap();
+        assert_eq!(dim, 1);
+        // both half-open sides non-empty
+        let left = entries.iter().filter(|e| e.point[dim] < value).count();
+        assert!(left > 0 && left < entries.len());
+    }
+
+    #[test]
+    fn point_plane_skips_degenerate_dimension() {
+        // All x identical: must split on y.
+        let entries = leaf_entries(&[[1.0, 0.0], [1.0, 5.0], [1.0, 9.0]]);
+        let (dim, _) = choose_point_plane(&entries).unwrap();
+        assert_eq!(dim, 1);
+    }
+
+    #[test]
+    fn point_plane_duplicate_median_is_adjusted() {
+        // Median coordinate equals the minimum; the plane must move up
+        // so the left side is non-empty... the rule requires a value
+        // strictly above the minimum.
+        let entries = leaf_entries(&[[0.0, 0.0], [0.0, 0.0], [0.0, 0.0], [0.0, 7.0]]);
+        let (dim, value) = choose_point_plane(&entries).unwrap();
+        assert_eq!(dim, 1);
+        assert!(value > 0.0);
+        let left = entries.iter().filter(|e| e.point[dim] < value).count();
+        assert!(left > 0 && left < entries.len());
+    }
+
+    #[test]
+    fn fully_coincident_points_are_unsplittable() {
+        let entries = leaf_entries(&[[0.5, 0.5], [0.5, 0.5], [0.5, 0.5]]);
+        assert!(matches!(
+            choose_point_plane(&entries),
+            Err(TreeError::Unsplittable)
+        ));
+    }
+
+    #[test]
+    fn region_plane_prefers_no_crossings() {
+        // Three regions: two separable on x without crossing, and a
+        // plane on y would cross all of them.
+        let mk = |x0: f32, x1: f32| RegionEntry {
+            rect: Rect::new(vec![x0, 0.0], vec![x1, 10.0]),
+            child: 0,
+        };
+        let entries = vec![mk(0.0, 1.0), mk(1.0, 2.0), mk(2.0, 3.0)];
+        let (dim, value) = choose_region_plane(&entries).unwrap();
+        assert_eq!(dim, 0);
+        let crossings = entries
+            .iter()
+            .filter(|e| e.rect.min()[dim] < value && value < e.rect.max()[dim])
+            .count();
+        assert_eq!(crossings, 0);
+    }
+}

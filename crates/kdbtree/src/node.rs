@@ -1,0 +1,234 @@
+//! Page representation: region pages and point pages, with the
+//! half-open containment rule that keeps sibling regions disjoint.
+
+use sr_geometry::{Point, Rect};
+use sr_pager::{PageCodec, PageId};
+
+use crate::error::{Result, TreeError};
+use crate::params::{KdbParams, NODE_HEADER};
+
+/// One point stored in a point page.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry {
+    pub point: Point,
+    pub data: u64,
+}
+
+/// One subregion stored in a region page.
+#[derive(Clone, Debug)]
+pub(crate) struct RegionEntry {
+    pub rect: Rect,
+    pub child: PageId,
+}
+
+/// A materialized page. Level 0 is the point-page level.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    Leaf(Vec<LeafEntry>),
+    Region { level: u16, entries: Vec<RegionEntry> },
+}
+
+/// Half-open containment: `min <= x < max` per dimension, except that an
+/// infinite upper bound is inclusive. Sibling regions share boundary
+/// planes; this rule routes every point to exactly one of them.
+pub(crate) fn kdb_contains(rect: &Rect, p: &[f32]) -> bool {
+    debug_assert_eq!(p.len(), rect.dim());
+    for (i, &x) in p.iter().enumerate() {
+        let (lo, hi) = (rect.min()[i], rect.max()[i]);
+        if x < lo {
+            return false;
+        }
+        if x >= hi && hi.is_finite() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The rectangle covering all of `dim`-dimensional space — the region of
+/// the root.
+pub(crate) fn full_space(dim: usize) -> Rect {
+    Rect::new(
+        vec![f32::NEG_INFINITY; dim],
+        vec![f32::INFINITY; dim],
+    )
+}
+
+/// Clip `rect` to the half below / above the plane `x[dim] = value`.
+pub(crate) fn clip_below(rect: &Rect, dim: usize, value: f32) -> Rect {
+    let mut max = rect.max().to_vec();
+    max[dim] = value;
+    Rect::new(rect.min().to_vec(), max)
+}
+
+/// See [`clip_below`].
+pub(crate) fn clip_above(rect: &Rect, dim: usize, value: f32) -> Rect {
+    let mut min = rect.min().to_vec();
+    min[dim] = value;
+    Rect::new(min, rect.max().to_vec())
+}
+
+impl Node {
+    pub fn level(&self) -> u16 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Region { level, .. } => *level,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Region { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Serialize into a page payload.
+    pub fn encode(&self, params: &KdbParams, capacity: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; capacity];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u16(self.level());
+        c.put_u16(self.len() as u16);
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    c.put_coords(e.point.coords());
+                    c.put_u64(e.data);
+                    c.put_padding(params.data_area - 8);
+                }
+            }
+            Node::Region { entries, .. } => {
+                for e in entries {
+                    c.put_coords(e.rect.min());
+                    c.put_coords(e.rect.max());
+                    c.put_u64(e.child);
+                }
+            }
+        }
+        let len = c.pos();
+        buf.truncate(len);
+        buf
+    }
+
+    /// Deserialize from a page payload.
+    pub fn decode(payload: &[u8], params: &KdbParams) -> Result<Node> {
+        if payload.len() < NODE_HEADER {
+            return Err(TreeError::NotThisIndex("page too short".into()));
+        }
+        let mut data = payload.to_vec();
+        let mut c = PageCodec::new(&mut data);
+        let level = c.get_u16();
+        let n = c.get_u16() as usize;
+        if level == 0 {
+            let need = n * KdbParams::leaf_entry_bytes(params.dim, params.data_area);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated point page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let point = Point::new(c.get_coords(params.dim));
+                let data = c.get_u64();
+                c.skip(params.data_area - 8);
+                entries.push(LeafEntry { point, data });
+            }
+            Ok(Node::Leaf(entries))
+        } else {
+            let need = n * KdbParams::node_entry_bytes(params.dim);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated region page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let min = c.get_coords(params.dim);
+                let max = c.get_coords(params.dim);
+                let child = c.get_u64();
+                entries.push(RegionEntry {
+                    rect: Rect::new(min, max),
+                    child,
+                });
+            }
+            Ok(Node::Region { level, entries })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_containment() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(kdb_contains(&r, &[0.0, 0.0])); // lower bound inclusive
+        assert!(kdb_contains(&r, &[0.5, 0.999]));
+        assert!(!kdb_contains(&r, &[1.0, 0.5])); // upper bound exclusive
+        assert!(!kdb_contains(&r, &[-0.1, 0.5]));
+    }
+
+    #[test]
+    fn infinite_upper_bound_is_inclusive() {
+        let r = full_space(2);
+        assert!(kdb_contains(&r, &[f32::MAX, -1.0e30]));
+        assert!(kdb_contains(&r, &[0.0, 0.0]));
+    }
+
+    #[test]
+    fn boundary_point_belongs_to_exactly_one_side() {
+        let whole = Rect::new(vec![0.0], vec![10.0]);
+        let left = clip_below(&whole, 0, 5.0);
+        let right = clip_above(&whole, 0, 5.0);
+        let p = [5.0f32];
+        assert!(!kdb_contains(&left, &p));
+        assert!(kdb_contains(&right, &p));
+    }
+
+    #[test]
+    fn clip_preserves_other_dimensions() {
+        let r = Rect::new(vec![0.0, -1.0], vec![4.0, 1.0]);
+        let lo = clip_below(&r, 0, 2.0);
+        let hi = clip_above(&r, 0, 2.0);
+        assert_eq!(lo.min(), &[0.0, -1.0]);
+        assert_eq!(lo.max(), &[2.0, 1.0]);
+        assert_eq!(hi.min(), &[2.0, -1.0]);
+        assert_eq!(hi.max(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn codec_roundtrip_with_infinite_bounds() {
+        let p = KdbParams::derive(8187, 2, 512);
+        let node = Node::Region {
+            level: 1,
+            entries: vec![RegionEntry {
+                rect: full_space(2),
+                child: 3,
+            }],
+        };
+        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        if let Node::Region { entries, .. } = back {
+            assert_eq!(entries[0].rect, full_space(2));
+            assert_eq!(entries[0].child, 3);
+        } else {
+            panic!("expected region page");
+        }
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = KdbParams::derive(8187, 2, 512);
+        let node = Node::Leaf(vec![LeafEntry {
+            point: Point::new(vec![3.5, -1.25]),
+            data: 77,
+        }]);
+        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        if let Node::Leaf(e) = back {
+            assert_eq!(e[0].point.coords(), &[3.5, -1.25]);
+            assert_eq!(e[0].data, 77);
+        } else {
+            panic!("expected leaf");
+        }
+    }
+}

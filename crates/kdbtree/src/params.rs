@@ -1,0 +1,77 @@
+//! Capacity parameters for the K-D-B-tree.
+//!
+//! A region-page entry stores the region rectangle (`2·D·8` bytes) plus a
+//! child pointer (8) — identical to an R\*-tree node entry, giving 30
+//! entries at `D = 16` with 8 KiB pages. Point pages (leaves) match the
+//! other structures: point + data area, 12 entries. The K-D-B-tree has no
+//! minimum fill (forced splits can empty pages arbitrarily), so only
+//! maxima are derived.
+
+/// Per-page header: level (u16) + entry count (u16).
+pub(crate) const NODE_HEADER: usize = 4;
+
+/// Capacity parameters of a K-D-B-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KdbParams {
+    /// Dimensionality of indexed points.
+    pub dim: usize,
+    /// Bytes reserved per leaf entry for the data record (≥ 8).
+    pub data_area: usize,
+    /// Maximum entries in a region page.
+    pub max_node: usize,
+    /// Maximum entries in a point page.
+    pub max_leaf: usize,
+}
+
+impl KdbParams {
+    /// Derive parameters from the usable page payload.
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least 2 entries per page kind,
+    /// or if `data_area < 8`.
+    pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        let usable = page_capacity - NODE_HEADER;
+        let max_node = usable / Self::node_entry_bytes(dim);
+        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
+        assert!(
+            max_node >= 2 && max_leaf >= 2,
+            "page too small: {max_node} region entries, {max_leaf} point entries"
+        );
+        KdbParams {
+            dim,
+            data_area,
+            max_node,
+            max_leaf,
+        }
+    }
+
+    /// Bytes of one region-page entry on disk.
+    pub fn node_entry_bytes(dim: usize) -> usize {
+        2 * 8 * dim + 8
+    }
+
+    /// Bytes of one point-page entry on disk.
+    pub fn leaf_entry_bytes(dim: usize, data_area: usize) -> usize {
+        8 * dim + data_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_at_16_dimensions() {
+        let p = KdbParams::derive(8187, 16, 512);
+        assert_eq!(p.max_node, 30); // same entry size as the R*-tree
+        assert_eq!(p.max_leaf, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "page too small")]
+    fn tiny_page_rejected() {
+        let _ = KdbParams::derive(300, 64, 512);
+    }
+}

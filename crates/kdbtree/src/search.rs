@@ -1,0 +1,57 @@
+//! Query plumbing: regions are scored with rectangle `MINDIST`. Because
+//! regions are disjoint, at most one region per level has `MINDIST = 0`
+//! — the property that makes K-D-B point queries single-path.
+
+use sr_geometry::dist2;
+use sr_pager::PageId;
+use sr_query::{Expansion, KnnSource, Neighbor};
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::tree::KdbTree;
+
+struct Source<'a> {
+    tree: &'a KdbTree,
+}
+
+impl KnnSource for Source<'_> {
+    type Node = (PageId, u16);
+    type Error = TreeError;
+
+    fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
+    }
+
+    fn expand(
+        &self,
+        &(id, level): &Self::Node,
+        query: &[f32],
+        out: &mut Expansion<Self::Node>,
+    ) -> std::result::Result<(), TreeError> {
+        match self.tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    out.points.push(Neighbor {
+                        dist2: dist2(e.point.coords(), query),
+                        data: e.data,
+                    });
+                }
+            }
+            Node::Region { entries, .. } => {
+                for e in &entries {
+                    out.branches
+                        .push((e.rect.min_dist2(query), (e.child, level - 1)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn knn(tree: &KdbTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+    sr_query::knn(&Source { tree }, query, k)
+}
+
+pub(crate) fn range(tree: &KdbTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    sr_query::range(&Source { tree }, query, radius)
+}

@@ -1,0 +1,283 @@
+//! The public [`KdbTree`] type.
+
+use std::path::Path;
+
+use sr_geometry::{Point, Rect};
+use sr_pager::{PageCodec, PageFile, PageId, PageKind};
+use sr_query::Neighbor;
+
+use crate::error::{Result, TreeError};
+use crate::insert;
+use crate::node::{full_space, kdb_contains, Node};
+use crate::params::KdbParams;
+use crate::search;
+
+const META_MAGIC: u32 = 0x4B44_4254; // "KDBT"
+const META_VERSION: u32 = 1;
+
+/// A disk-based K-D-B-tree over points: disjoint subregions, forced
+/// splits, no minimum storage utilization.
+pub struct KdbTree {
+    pub(crate) pf: PageFile,
+    pub(crate) params: KdbParams,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a point page.
+    pub(crate) height: u32,
+    pub(crate) count: u64,
+}
+
+impl KdbTree {
+    /// Create a new tree in an in-memory page file.
+    pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
+        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+    }
+
+    /// Create a new tree at `path` with 8 KiB pages and the paper's
+    /// 512-byte data area.
+    pub fn create(path: &Path, dim: usize) -> Result<Self> {
+        Self::create_from(PageFile::create(path)?, dim, 512)
+    }
+
+    /// Create a new tree over an empty [`PageFile`].
+    pub fn create_from(pf: PageFile, dim: usize, data_area: usize) -> Result<Self> {
+        let params = KdbParams::derive(pf.capacity(), dim, data_area);
+        let root = pf.allocate(PageKind::Leaf)?;
+        let tree = KdbTree {
+            pf,
+            params,
+            root,
+            height: 1,
+            count: 0,
+        };
+        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.save_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopen a tree previously created with [`KdbTree::create`].
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_from(PageFile::open(path)?)
+    }
+
+    /// Reopen a tree from an already-open page file.
+    pub fn open_from(pf: PageFile) -> Result<Self> {
+        let mut meta = pf.user_meta();
+        if meta.len() < 36 {
+            return Err(TreeError::NotThisIndex("metadata too short".into()));
+        }
+        let mut c = PageCodec::new(&mut meta);
+        if c.get_u32() != META_MAGIC {
+            return Err(TreeError::NotThisIndex("not a K-D-B-tree file".into()));
+        }
+        if c.get_u32() != META_VERSION {
+            return Err(TreeError::NotThisIndex("unsupported K-D-B-tree version".into()));
+        }
+        let dim = c.get_u32() as usize;
+        let data_area = c.get_u32() as usize;
+        let root = c.get_u64();
+        let height = c.get_u32();
+        let count = c.get_u64();
+        let params = KdbParams::derive(pf.capacity(), dim, data_area);
+        Ok(KdbTree {
+            pf,
+            params,
+            root,
+            height,
+            count,
+        })
+    }
+
+    pub(crate) fn save_meta(&self) -> Result<()> {
+        let mut buf = vec![0u8; 36];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u32(META_MAGIC);
+        c.put_u32(META_VERSION);
+        c.put_u32(self.params.dim as u32);
+        c.put_u32(self.params.data_area as u32);
+        c.put_u64(self.root);
+        c.put_u32(self.height);
+        c.put_u64(self.count);
+        self.pf.set_user_meta(&buf)?;
+        Ok(())
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (1 = the root is a point page).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Capacity parameters in force (Table 1).
+    pub fn params(&self) -> &KdbParams {
+        &self.params
+    }
+
+    /// The underlying page file (I/O statistics, cache control).
+    pub fn pager(&self) -> &PageFile {
+        &self.pf
+    }
+
+    /// Flush all dirty pages and metadata.
+    pub fn flush(&self) -> Result<()> {
+        self.pf.flush()?;
+        Ok(())
+    }
+
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.params.dim {
+            return Err(TreeError::DimensionMismatch {
+                expected: self.params.dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
+        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let payload = self.pf.read(id, kind)?;
+        let node = Node::decode(&payload, &self.params)?;
+        debug_assert_eq!(node.level(), level, "page {id} level mismatch");
+        Ok(node)
+    }
+
+    pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let payload = node.encode(&self.params, self.pf.capacity());
+        self.pf.write(id, kind, &payload)?;
+        Ok(())
+    }
+
+    pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let id = self.pf.allocate(kind)?;
+        self.write_node(id, node)?;
+        Ok(id)
+    }
+
+    /// Insert a point with a `u64` payload.
+    ///
+    /// Fails with [`TreeError::Unsplittable`] if a point page overflows
+    /// with more coincident points than one page can hold (no coordinate
+    /// plane can separate them).
+    pub fn insert(&mut self, point: Point, data: u64) -> Result<()> {
+        self.check_dim(point.dim())?;
+        insert::insert_point(self, point, data)
+    }
+
+    /// Delete the exact entry `(point, data)`; returns whether it
+    /// existed. Pages are never merged (the classic K-D-B-tree leaves
+    /// reorganization to offline rebuilds), so deletion cannot underflow.
+    pub fn delete(&mut self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        // Disjointness: exactly one root-to-leaf path can hold the point.
+        let mut id = self.root;
+        let mut level = (self.height - 1) as u16;
+        let mut path = vec![id];
+        while level > 0 {
+            let node = self.read_node(id, level)?;
+            let entries = match &node {
+                Node::Region { entries, .. } => entries,
+                Node::Leaf(_) => unreachable!(),
+            };
+            let Some(e) = entries.iter().find(|e| kdb_contains(&e.rect, point.coords()))
+            else {
+                return Ok(false);
+            };
+            id = e.child;
+            path.push(id);
+            level -= 1;
+        }
+        let mut leaf = self.read_node(id, 0)?;
+        if let Node::Leaf(entries) = &mut leaf {
+            let Some(pos) = entries
+                .iter()
+                .position(|e| e.point == *point && e.data == data)
+            else {
+                return Ok(false);
+            };
+            entries.remove(pos);
+        }
+        self.write_node(id, &leaf)?;
+        self.count -= 1;
+        self.save_meta()?;
+        Ok(true)
+    }
+
+    /// Whether an exact entry `(point, data)` is stored. Single-path
+    /// descent — the disjointness property the paper highlights.
+    pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        let mut id = self.root;
+        let mut level = (self.height - 1) as u16;
+        while level > 0 {
+            let node = self.read_node(id, level)?;
+            let entries = match &node {
+                Node::Region { entries, .. } => entries,
+                Node::Leaf(_) => unreachable!(),
+            };
+            let Some(e) = entries.iter().find(|e| kdb_contains(&e.rect, point.coords()))
+            else {
+                return Ok(false);
+            };
+            id = e.child;
+            level -= 1;
+        }
+        let node = self.read_node(id, 0)?;
+        if let Node::Leaf(entries) = node {
+            Ok(entries.iter().any(|e| e.point == *point && e.data == data))
+        } else {
+            unreachable!()
+        }
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k)
+    }
+
+    /// Every point within `radius` of `query`.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius)
+    }
+
+    /// The region rectangle of the root (all of space).
+    pub fn root_region(&self) -> Rect {
+        full_space(self.params.dim)
+    }
+
+    /// Total number of point pages, including empty ones left behind by
+    /// forced splits.
+    pub fn num_leaves(&self) -> Result<u64> {
+        fn walk(tree: &KdbTree, id: PageId, level: u16) -> Result<u64> {
+            if level == 0 {
+                return Ok(1);
+            }
+            let node = tree.read_node(id, level)?;
+            let mut n = 0;
+            if let Node::Region { entries, .. } = node {
+                for e in entries {
+                    n += walk(tree, e.child, level - 1)?;
+                }
+            }
+            Ok(n)
+        }
+        walk(self, self.root, (self.height - 1) as u16)
+    }
+}

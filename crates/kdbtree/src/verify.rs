@@ -1,0 +1,138 @@
+//! Structural-invariant checker for the K-D-B-tree.
+//!
+//! Checks:
+//! * sibling regions are pairwise **disjoint** (the defining property,
+//!   §2.1) under the half-open containment rule;
+//! * every child region lies inside its parent's region;
+//! * every stored point belongs to its page's region and is reachable by
+//!   the single-path root descent (which also exercises coverage);
+//! * uniform leaf depth; metadata count. There is *no* minimum-fill check
+//!   — forced splits legitimately produce nearly-empty pages.
+
+use sr_geometry::Rect;
+use sr_pager::PageId;
+
+use crate::node::{full_space, kdb_contains, Node};
+use crate::tree::KdbTree;
+
+/// Summary of a verified tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Region pages visited.
+    pub nodes: u64,
+    /// Point pages visited.
+    pub leaves: u64,
+    /// Points counted.
+    pub points: u64,
+    /// Empty point pages (forced-split debris; legal but measured).
+    pub empty_leaves: u64,
+}
+
+/// Walk the whole tree, validating every structural invariant.
+pub fn check(tree: &KdbTree) -> Result<VerifyReport, String> {
+    let mut report = VerifyReport::default();
+    let root_level = (tree.height - 1) as u16;
+    walk(
+        tree,
+        tree.root,
+        root_level,
+        &full_space(tree.params().dim),
+        &mut report,
+    )?;
+    if report.points != tree.len() {
+        return Err(format!(
+            "metadata says {} points, tree holds {}",
+            tree.len(),
+            report.points
+        ));
+    }
+    Ok(report)
+}
+
+/// Disjoint under half-open semantics: some dimension separates them
+/// (allowing a shared boundary plane).
+fn half_open_disjoint(a: &Rect, b: &Rect) -> bool {
+    (0..a.dim()).any(|d| a.max()[d] <= b.min()[d] || b.max()[d] <= a.min()[d])
+}
+
+fn walk(
+    tree: &KdbTree,
+    id: PageId,
+    level: u16,
+    region: &Rect,
+    report: &mut VerifyReport,
+) -> Result<(), String> {
+    let node = tree
+        .read_node(id, level)
+        .map_err(|e| format!("page {id}: {e}"))?;
+    match node {
+        Node::Leaf(entries) => {
+            report.leaves += 1;
+            report.points += entries.len() as u64;
+            if entries.is_empty() {
+                report.empty_leaves += 1;
+            }
+            for e in &entries {
+                if !kdb_contains(region, e.point.coords()) {
+                    return Err(format!(
+                        "page {id}: point {:?} outside its region {region:?}",
+                        e.point
+                    ));
+                }
+                // Routing check: the single-path descent from the root
+                // must land on this very page (disjointness + coverage).
+                let found = route(tree, e.point.coords()).map_err(|e| e.to_string())?;
+                if found != id {
+                    return Err(format!(
+                        "point {:?} stored in page {id} but routed to page {found}",
+                        e.point
+                    ));
+                }
+            }
+        }
+        Node::Region { entries, .. } => {
+            report.nodes += 1;
+            if entries.is_empty() {
+                return Err(format!("region page {id} has no entries"));
+            }
+            for (i, a) in entries.iter().enumerate() {
+                if !region.contains_rect(&a.rect) {
+                    return Err(format!(
+                        "page {id}: child region {:?} escapes parent {region:?}",
+                        a.rect
+                    ));
+                }
+                for b in entries.iter().skip(i + 1) {
+                    if !half_open_disjoint(&a.rect, &b.rect) {
+                        return Err(format!(
+                            "page {id}: sibling regions overlap: {:?} and {:?}",
+                            a.rect, b.rect
+                        ));
+                    }
+                }
+            }
+            for e in &entries {
+                walk(tree, e.child, level - 1, &e.rect, report)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The unique root-to-leaf descent for a point.
+fn route(tree: &KdbTree, p: &[f32]) -> crate::error::Result<PageId> {
+    let mut id = tree.root;
+    let mut level = (tree.height - 1) as u16;
+    while level > 0 {
+        let node = tree.read_node(id, level)?;
+        if let Node::Region { entries, .. } = node {
+            let e = entries
+                .iter()
+                .find(|e| kdb_contains(&e.rect, p))
+                .expect("coverage hole: no region contains the point");
+            id = e.child;
+        }
+        level -= 1;
+    }
+    Ok(id)
+}

@@ -1,0 +1,233 @@
+//! A write-back LRU buffer pool.
+//!
+//! Intentionally simple: a hash map of resident pages plus a `BTreeMap`
+//! keyed by a monotone access tick for eviction order. All operations are
+//! `O(log n)` in the number of resident pages, which is irrelevant next to
+//! the page (de)serialization work above it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::page::PageId;
+
+struct Entry {
+    data: Box<[u8]>,
+    dirty: bool,
+    tick: u64,
+}
+
+/// LRU cache of page images. `capacity == 0` disables caching entirely —
+/// the mode query experiments run in so logical reads equal physical reads.
+pub struct LruCache {
+    capacity: usize,
+    next_tick: u64,
+    map: HashMap<PageId, Entry>,
+    order: BTreeMap<u64, PageId>,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            next_tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Number of resident pages.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn bump(&mut self, id: PageId) {
+        if let Some(e) = self.map.get_mut(&id) {
+            self.order.remove(&e.tick);
+            e.tick = self.next_tick;
+            self.order.insert(self.next_tick, id);
+            self.next_tick += 1;
+        }
+    }
+
+    /// Look up a page, refreshing its recency.
+    pub fn get(&mut self, id: PageId) -> Option<&[u8]> {
+        if self.map.contains_key(&id) {
+            self.bump(id);
+            self.map.get(&id).map(|e| &*e.data)
+        } else {
+            None
+        }
+    }
+
+    /// Insert (or overwrite) a page image. Returns the evicted page if one
+    /// had to make room **and** was dirty — the caller must write it back.
+    #[must_use = "a returned page is dirty and must be written back"]
+    pub fn insert(&mut self, id: PageId, data: Box<[u8]>, dirty: bool) -> Option<(PageId, Box<[u8]>)> {
+        if self.capacity == 0 {
+            debug_assert!(!dirty, "dirty insert into a disabled cache loses data");
+            return None;
+        }
+        // Overwrite in place keeps an existing dirty bit sticky: a clean
+        // re-read must not hide a pending write-back.
+        if let Some(e) = self.map.get_mut(&id) {
+            e.data = data;
+            e.dirty = e.dirty || dirty;
+            self.bump(id);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            if let Some((&tick, &victim)) = self.order.iter().next() {
+                self.order.remove(&tick);
+                let e = self.map.remove(&victim).expect("order/map out of sync");
+                if e.dirty {
+                    evicted = Some((victim, e.data));
+                }
+            }
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.map.insert(id, Entry { data, dirty, tick });
+        self.order.insert(tick, id);
+        evicted
+    }
+
+    /// Drop a page without write-back (used by `free`).
+    pub fn remove(&mut self, id: PageId) {
+        if let Some(e) = self.map.remove(&id) {
+            self.order.remove(&e.tick);
+        }
+    }
+
+    /// Drain every dirty page (clearing its dirty bit) for a flush.
+    pub fn drain_dirty(&mut self) -> Vec<(PageId, Box<[u8]>)> {
+        let mut out = Vec::new();
+        for (&id, e) in self.map.iter_mut() {
+            if e.dirty {
+                e.dirty = false;
+                out.push((id, e.data.clone()));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Change capacity; returns dirty pages evicted by a shrink.
+    #[must_use = "returned pages are dirty and must be written back"]
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(PageId, Box<[u8]>)> {
+        self.capacity = capacity;
+        let mut out = Vec::new();
+        while self.map.len() > self.capacity {
+            let (&tick, &victim) = self.order.iter().next().expect("non-empty");
+            self.order.remove(&tick);
+            let e = self.map.remove(&victim).expect("order/map out of sync");
+            if e.dirty {
+                out.push((victim, e.data));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> Box<[u8]> {
+        vec![b; 8].into_boxed_slice()
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(1).is_none());
+        assert!(c.insert(1, page(1), false).is_none());
+        assert_eq!(c.get(1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert(1, page(1), false).is_none());
+        assert!(c.insert(2, page(2), false).is_none());
+        let _ = c.get(1); // 2 is now LRU
+        assert!(c.insert(3, page(3), false).is_none());
+        assert!(c.get(2).is_none(), "page 2 should have been evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_returns_page() {
+        let mut c = LruCache::new(1);
+        assert!(c.insert(1, page(1), true).is_none());
+        let ev = c.insert(2, page(2), false);
+        assert_eq!(ev.map(|(id, d)| (id, d[0])), Some((1, 1)));
+    }
+
+    #[test]
+    fn clean_eviction_returns_nothing() {
+        let mut c = LruCache::new(1);
+        assert!(c.insert(1, page(1), false).is_none());
+        assert!(c.insert(2, page(2), false).is_none());
+    }
+
+    #[test]
+    fn overwrite_keeps_dirty_bit_sticky() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert(1, page(1), true).is_none());
+        assert!(c.insert(1, page(9), false).is_none()); // clean overwrite
+        let dirty = c.drain_dirty();
+        assert_eq!(dirty.len(), 1, "dirty bit must survive clean overwrite");
+        assert_eq!(dirty[0].1[0], 9, "but the data must be the newest image");
+    }
+
+    #[test]
+    fn drain_dirty_clears_bits() {
+        let mut c = LruCache::new(4);
+        assert!(c.insert(1, page(1), true).is_none());
+        assert!(c.insert(2, page(2), false).is_none());
+        assert_eq!(c.drain_dirty().len(), 1);
+        assert_eq!(c.drain_dirty().len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert!(c.insert(1, page(1), false).is_none());
+        assert!(c.get(1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn shrink_spills_dirty_pages() {
+        let mut c = LruCache::new(3);
+        assert!(c.insert(1, page(1), true).is_none());
+        assert!(c.insert(2, page(2), true).is_none());
+        assert!(c.insert(3, page(3), false).is_none());
+        let spilled = c.set_capacity(1);
+        assert_eq!(spilled.len(), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_discards_silently() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert(1, page(1), true).is_none());
+        c.remove(1);
+        assert!(c.get(1).is_none());
+        assert!(c.drain_dirty().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the pager.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the pager (and re-used by the index crates
+/// for their own I/O paths).
+pub type Result<T> = std::result::Result<T, PagerError>;
+
+/// Everything that can go wrong while reading or writing pages.
+#[derive(Debug)]
+pub enum PagerError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page id past the end of the file was requested.
+    PageOutOfRange {
+        /// The offending page id.
+        id: u64,
+        /// Number of pages currently in the file.
+        num_pages: u64,
+    },
+    /// Payload handed to `write` exceeds the usable page capacity.
+    PayloadTooLarge {
+        /// Bytes offered.
+        len: usize,
+        /// Bytes available in a page after the header.
+        capacity: usize,
+    },
+    /// A page was read whose header kind differs from what the caller
+    /// expected — almost always a sign of a corrupted or mistyped page id.
+    KindMismatch {
+        /// The offending page id.
+        id: u64,
+        /// Kind recorded in the page header.
+        found: u8,
+        /// Kind the caller asked for.
+        expected: u8,
+    },
+    /// The file is not a page file, has a bad magic/version, or its header
+    /// is internally inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for PagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PagerError::Io(e) => write!(f, "page I/O failed: {e}"),
+            PagerError::PageOutOfRange { id, num_pages } => {
+                write!(f, "page {id} out of range (file has {num_pages} pages)")
+            }
+            PagerError::PayloadTooLarge { len, capacity } => {
+                write!(f, "payload of {len} bytes exceeds page capacity {capacity}")
+            }
+            PagerError::KindMismatch { id, found, expected } => write!(
+                f,
+                "page {id} has kind {found} but kind {expected} was expected"
+            ),
+            PagerError::Corrupt(msg) => write!(f, "page file corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PagerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PagerError {
+    fn from(e: io::Error) -> Self {
+        PagerError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PagerError::PageOutOfRange { id: 7, num_pages: 3 };
+        assert!(e.to_string().contains("page 7"));
+        let e = PagerError::KindMismatch { id: 1, found: 2, expected: 1 };
+        assert!(e.to_string().contains("kind 2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: PagerError = io.into();
+        assert!(matches!(e, PagerError::Io(_)));
+    }
+}

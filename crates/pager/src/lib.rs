@@ -1,0 +1,39 @@
+//! Disk page store for the SR-tree reproduction.
+//!
+//! Every index structure in the workspace is disk-based the way the paper's
+//! C++ implementation was: nodes and leaves are serialized into fixed-size
+//! pages (8192 bytes by default, matching the paper's choice of "the disk
+//! block size of the operating system") and fetched through a buffer pool.
+//!
+//! The pager exists for two reasons:
+//!
+//! 1. **Persistence** — an index can be built, closed, and reopened from its
+//!    page file ([`PageFile::open`]).
+//! 2. **Measurement** — the paper's principal cost metric is the *number of
+//!    disk reads* per query, split into node-level and leaf-level reads
+//!    (Figure 14). [`IoStats`] counts logical and physical page accesses per
+//!    [`PageKind`]; query experiments read with the buffer pool disabled so
+//!    logical = physical, reproducing the paper's cold-cache counts.
+//!
+//! ```
+//! use sr_pager::{PageFile, PageKind};
+//!
+//! let mut pf = PageFile::create_in_memory(8192);
+//! let id = pf.allocate(PageKind::Leaf).unwrap();
+//! pf.write(id, PageKind::Leaf, b"hello").unwrap();
+//! assert_eq!(&pf.read(id, PageKind::Leaf).unwrap()[..5], b"hello");
+//! assert_eq!(pf.stats().logical_reads(PageKind::Leaf), 1);
+//! ```
+
+mod cache;
+mod error;
+mod page;
+mod pagefile;
+mod stats;
+mod store;
+
+pub use error::{PagerError, Result};
+pub use page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
+pub use pagefile::PageFile;
+pub use stats::IoStats;
+pub use store::{FilePageStore, MemPageStore, PageStore};

@@ -1,0 +1,291 @@
+//! Page identifiers, kinds, and a little-endian codec for page payloads.
+
+/// Identifier of a page within a page file. Page 0 is always the metadata
+/// page; user pages start at 1.
+pub type PageId = u64;
+
+/// Default page size, matching the paper: "The size of nodes and leaves is
+/// set to 8192 bytes to meet with the disk block size of the operating
+/// system."
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// What a page holds. The distinction between `Node` and `Leaf` is what
+/// lets [`crate::IoStats`] reproduce Figure 14's node-level vs leaf-level
+/// read counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PageKind {
+    /// The page-file metadata page (always page 0).
+    Meta = 0,
+    /// An internal node of an index structure.
+    Node = 1,
+    /// A leaf of an index structure.
+    Leaf = 2,
+    /// A page on the free list.
+    Free = 3,
+}
+
+impl PageKind {
+    /// Decode from the header byte.
+    pub fn from_u8(v: u8) -> Option<PageKind> {
+        match v {
+            0 => Some(PageKind::Meta),
+            1 => Some(PageKind::Node),
+            2 => Some(PageKind::Leaf),
+            3 => Some(PageKind::Free),
+            _ => None,
+        }
+    }
+}
+
+/// A cursor-based little-endian encoder/decoder over a byte buffer.
+///
+/// All node serialization in the index crates goes through this type, so
+/// the on-disk format is uniform: fixed-width little-endian scalars, no
+/// padding, no self-description. Reads panic on truncation in debug builds
+/// and return garbage-free errors at the `PageFile` layer via length checks
+/// made before decoding begins.
+pub struct PageCodec<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> PageCodec<'a> {
+    /// Wrap a buffer for encoding or decoding from offset 0.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        PageCodec { buf, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed or produced so far).
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    /// Append an `f32` (little-endian bit pattern).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    /// Append a slice of `f32`s.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Append an `f64` (little-endian bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    /// Append coordinates widened to `f64` — the on-disk coordinate format
+    /// of every index crate, reproducing the paper's 8-byte-per-coordinate
+    /// fanout arithmetic (Table 1).
+    pub fn put_coords(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.put_f64(v as f64);
+        }
+    }
+
+    /// Skip `n` bytes, zero-filling them (reserved areas, e.g. the paper's
+    /// 512-byte per-entry data area).
+    pub fn put_padding(&mut self, n: usize) {
+        self.buf[self.pos..self.pos + n].fill(0);
+        self.pos += n;
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bs: &[u8]) {
+        self.buf[self.pos..self.pos + bs.len()].copy_from_slice(bs);
+        self.pos += bs.len();
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        v
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Read an `f32`.
+    pub fn get_f32(&mut self) -> f32 {
+        let v = f32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    /// Read `n` `f32`s into a fresh vector.
+    pub fn get_f32_vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Read `n` coordinates stored as `f64`, narrowing back to `f32`.
+    pub fn get_coords(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.get_f64() as f32).collect()
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> &[u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in [PageKind::Meta, PageKind::Node, PageKind::Leaf, PageKind::Free] {
+            assert_eq!(PageKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(PageKind::from_u8(42), None);
+    }
+
+    #[test]
+    fn codec_roundtrip_scalars() {
+        let mut buf = vec![0u8; 64];
+        let mut w = PageCodec::new(&mut buf);
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(-1.5);
+        let end = w.pos();
+
+        let mut r = PageCodec::new(&mut buf);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_f32(), -1.5);
+        assert_eq!(r.pos(), end);
+    }
+
+    #[test]
+    fn codec_roundtrip_slices() {
+        let mut buf = vec![0u8; 64];
+        let vals = [1.0f32, -0.25, f32::MIN_POSITIVE, 3.25e7];
+        let mut w = PageCodec::new(&mut buf);
+        w.put_f32_slice(&vals);
+        w.put_bytes(b"tail");
+        let mut r = PageCodec::new(&mut buf);
+        assert_eq!(r.get_f32_vec(4), vals);
+        assert_eq!(r.get_bytes(4), b"tail");
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut buf = vec![0u8; 10];
+        let mut c = PageCodec::new(&mut buf);
+        assert_eq!(c.remaining(), 10);
+        c.put_u32(1);
+        assert_eq!(c.remaining(), 6);
+    }
+
+    #[test]
+    fn coords_roundtrip_losslessly() {
+        // f32 -> f64 -> f32 is exact for every f32.
+        let mut buf = vec![0u8; 64];
+        let coords = [0.1f32, -1.0e-20, 3.4e38, 0.0];
+        let mut w = PageCodec::new(&mut buf);
+        w.put_coords(&coords);
+        let mut r = PageCodec::new(&mut buf);
+        assert_eq!(r.get_coords(4), coords);
+    }
+
+    #[test]
+    fn padding_zero_fills_and_skips() {
+        let mut buf = vec![0xFFu8; 16];
+        let mut w = PageCodec::new(&mut buf);
+        w.put_u8(1);
+        w.put_padding(8);
+        w.put_u8(2);
+        let mut r = PageCodec::new(&mut buf);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_bytes(8), &[0u8; 8]);
+        assert_eq!(r.get_u8(), 2);
+        let mut r2 = PageCodec::new(&mut buf);
+        r2.skip(9);
+        assert_eq!(r2.get_u8(), 2);
+    }
+
+    #[test]
+    fn nan_and_infinity_roundtrip() {
+        let mut buf = vec![0u8; 16];
+        let mut w = PageCodec::new(&mut buf);
+        w.put_f32(f32::INFINITY);
+        w.put_f32(f32::NEG_INFINITY);
+        let mut r = PageCodec::new(&mut buf);
+        assert_eq!(r.get_f32(), f32::INFINITY);
+        assert_eq!(r.get_f32(), f32::NEG_INFINITY);
+    }
+}

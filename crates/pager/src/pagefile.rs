@@ -1,0 +1,543 @@
+//! The [`PageFile`]: a page store + buffer pool + free list + metadata
+//! page, with per-kind I/O accounting.
+//!
+//! ## On-disk layout
+//!
+//! * Page 0 is the **metadata page**: magic, format version, page size,
+//!   free-list head, and an opaque *user metadata* blob the index crates
+//!   use to persist their root page id, dimensionality, and entry counts.
+//! * Every other page carries a 5-byte header — kind byte + payload
+//!   length (`u32`) — followed by the payload. [`PageFile::capacity`]
+//!   reports the usable payload bytes per page; the index crates size
+//!   their fanout from it (Table 1 of the paper).
+//! * Freed pages are chained into a free list through their payload.
+
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::error::{PagerError, Result};
+use crate::page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
+use crate::stats::IoStats;
+use crate::store::{FilePageStore, MemPageStore, PageStore};
+
+const MAGIC: u32 = 0x5352_5047; // "SRPG"
+const VERSION: u32 = 1;
+/// kind (u8) + payload length (u32)
+const PAGE_HEADER: usize = 5;
+/// magic + version + page_size + free_head + user_meta_len
+const META_HEADER: usize = 4 + 4 + 4 + 8 + 4;
+/// "no page" sentinel for the free list (page 0 is the meta page).
+const NIL: PageId = 0;
+
+struct Inner {
+    cache: LruCache,
+    stats: IoStats,
+    free_head: PageId,
+    user_meta: Vec<u8>,
+    meta_dirty: bool,
+}
+
+/// A page file: fixed-size pages addressed by [`PageId`], with an LRU
+/// buffer pool, a free list, persistent user metadata, and I/O statistics.
+///
+/// All methods take `&self`; the interior is a single mutex, which is fine
+/// for this workspace's one-writer-per-tree usage.
+pub struct PageFile {
+    store: Box<dyn PageStore>,
+    page_size: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PageFile {
+    /// Default buffer-pool capacity for freshly created files, in pages.
+    pub const DEFAULT_CACHE_PAGES: usize = 256;
+
+    /// Create a page file over an in-memory store.
+    pub fn create_in_memory(page_size: usize) -> PageFile {
+        Self::create_from_store(Box::new(MemPageStore::new(page_size)))
+            .expect("in-memory create cannot fail")
+    }
+
+    /// Create a page file at `path` with the default 8192-byte pages.
+    pub fn create(path: &Path) -> Result<PageFile> {
+        Self::create_with_page_size(path, DEFAULT_PAGE_SIZE)
+    }
+
+    /// Create a page file at `path` with an explicit page size.
+    pub fn create_with_page_size(path: &Path, page_size: usize) -> Result<PageFile> {
+        Self::create_from_store(Box::new(FilePageStore::create(path, page_size)?))
+    }
+
+    /// Create a page file over any store (the store must be empty).
+    pub fn create_from_store(store: Box<dyn PageStore>) -> Result<PageFile> {
+        let page_size = store.page_size();
+        assert!(
+            page_size > META_HEADER + PAGE_HEADER + 64,
+            "page size {page_size} too small to be useful"
+        );
+        store.grow(1)?;
+        let pf = PageFile {
+            store,
+            page_size,
+            inner: Mutex::new(Inner {
+                cache: LruCache::new(Self::DEFAULT_CACHE_PAGES),
+                stats: IoStats::new(),
+                free_head: NIL,
+                user_meta: Vec::new(),
+                meta_dirty: true,
+            }),
+        };
+        pf.flush()?;
+        Ok(pf)
+    }
+
+    /// Open an existing page file at `path`, recovering page size and user
+    /// metadata from the metadata page.
+    pub fn open(path: &Path) -> Result<PageFile> {
+        // The page size lives inside the meta page; peek at the raw header
+        // first.
+        let raw = std::fs::read(path)?;
+        if raw.len() < META_HEADER {
+            return Err(PagerError::Corrupt("file too short for a meta page".into()));
+        }
+        let magic = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        let page_size = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
+        if magic != MAGIC {
+            return Err(PagerError::Corrupt(format!("bad magic {magic:#x}")));
+        }
+        if version != VERSION {
+            return Err(PagerError::Corrupt(format!("unsupported version {version}")));
+        }
+        let store = Box::new(FilePageStore::open(path, page_size)?);
+        Self::open_from_store(store)
+    }
+
+    /// Open a page file over any store already containing a meta page.
+    pub fn open_from_store(store: Box<dyn PageStore>) -> Result<PageFile> {
+        let page_size = store.page_size();
+        let mut buf = vec![0u8; page_size];
+        store.read_page(0, &mut buf)?;
+        let mut c = PageCodec::new(&mut buf);
+        if c.get_u32() != MAGIC {
+            return Err(PagerError::Corrupt("bad magic in meta page".into()));
+        }
+        if c.get_u32() != VERSION {
+            return Err(PagerError::Corrupt("unsupported version".into()));
+        }
+        let stored_ps = c.get_u32() as usize;
+        if stored_ps != page_size {
+            return Err(PagerError::Corrupt(format!(
+                "meta page says page size {stored_ps}, store says {page_size}"
+            )));
+        }
+        let free_head = c.get_u64();
+        let meta_len = c.get_u32() as usize;
+        if meta_len > page_size - META_HEADER {
+            return Err(PagerError::Corrupt(format!(
+                "user metadata length {meta_len} exceeds page"
+            )));
+        }
+        let user_meta = c.get_bytes(meta_len).to_vec();
+        Ok(PageFile {
+            store,
+            page_size,
+            inner: Mutex::new(Inner {
+                cache: LruCache::new(Self::DEFAULT_CACHE_PAGES),
+                stats: IoStats::new(),
+                free_head,
+                user_meta,
+                meta_dirty: false,
+            }),
+        })
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Usable payload bytes per page — what the index crates size their
+    /// node fanout against.
+    pub fn capacity(&self) -> usize {
+        self.page_size - PAGE_HEADER
+    }
+
+    /// Maximum user-metadata blob size.
+    pub fn user_meta_capacity(&self) -> usize {
+        self.page_size - META_HEADER
+    }
+
+    /// Total pages in the file, including the meta page and free pages.
+    pub fn num_pages(&self) -> u64 {
+        self.store.num_pages()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Zero the I/O counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::new();
+    }
+
+    /// Resize the buffer pool; `0` disables caching (every read and write
+    /// goes straight to the store — the paper's cold-cache query mode).
+    pub fn set_cache_capacity(&self, pages: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let spilled = inner.cache.set_capacity(pages);
+        for (id, data) in spilled {
+            inner.stats.record_physical_write();
+            self.store.write_page(id, &data)?;
+        }
+        Ok(())
+    }
+
+    /// The persistent user metadata blob (index root id etc.).
+    pub fn user_meta(&self) -> Vec<u8> {
+        self.inner.lock().user_meta.clone()
+    }
+
+    /// Replace the user metadata blob. Persisted on the next
+    /// [`PageFile::flush`].
+    pub fn set_user_meta(&self, meta: &[u8]) -> Result<()> {
+        if meta.len() > self.user_meta_capacity() {
+            return Err(PagerError::PayloadTooLarge {
+                len: meta.len(),
+                capacity: self.user_meta_capacity(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        inner.user_meta = meta.to_vec();
+        inner.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Allocate a page, reusing the free list when possible. The page is
+    /// initialized with an empty payload of the given kind.
+    pub fn allocate(&self, kind: PageKind) -> Result<PageId> {
+        assert!(kind != PageKind::Meta && kind != PageKind::Free, "cannot allocate {kind:?}");
+        let id = {
+            let mut inner = self.inner.lock();
+            if inner.free_head != NIL {
+                let id = inner.free_head;
+                // Next pointer lives in the freed page's payload.
+                let data = self.read_raw(&mut inner, id)?;
+                let mut data = data;
+                let mut c = PageCodec::new(&mut data);
+                let k = c.get_u8();
+                if k != PageKind::Free as u8 {
+                    return Err(PagerError::Corrupt(format!(
+                        "free-list page {id} has kind {k}"
+                    )));
+                }
+                let _len = c.get_u32();
+                inner.free_head = c.get_u64();
+                inner.meta_dirty = true;
+                Some(id)
+            } else {
+                None
+            }
+        };
+        let id = match id {
+            Some(id) => id,
+            None => {
+                let id = self.store.num_pages();
+                self.store.grow(id + 1)?;
+                id
+            }
+        };
+        self.write(id, kind, &[])?;
+        Ok(id)
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        assert!(id != 0, "cannot free the meta page");
+        let mut inner = self.inner.lock();
+        inner.cache.remove(id);
+        let mut page = vec![0u8; self.page_size];
+        let head = inner.free_head;
+        {
+            let mut c = PageCodec::new(&mut page);
+            c.put_u8(PageKind::Free as u8);
+            c.put_u32(8);
+            c.put_u64(head);
+        }
+        inner.stats.record_physical_write();
+        self.store.write_page(id, &page)?;
+        inner.free_head = id;
+        inner.meta_dirty = true;
+        Ok(())
+    }
+
+    fn read_raw(&self, inner: &mut Inner, id: PageId) -> Result<Box<[u8]>> {
+        if let Some(data) = inner.cache.get(id) {
+            return Ok(data.to_vec().into_boxed_slice());
+        }
+        let mut buf = vec![0u8; self.page_size].into_boxed_slice();
+        inner.stats.record_physical_read();
+        self.store.read_page(id, &mut buf)?;
+        if let Some((victim, dirty)) = inner.cache.insert(id, buf.clone(), false) {
+            inner.stats.record_physical_write();
+            self.store.write_page(victim, &dirty)?;
+        }
+        Ok(buf)
+    }
+
+    /// Read the payload of page `id`, checking that its kind matches.
+    pub fn read(&self, id: PageId, expected: PageKind) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.stats.record_logical_read(expected);
+        let mut data = self.read_raw(&mut inner, id)?;
+        drop(inner);
+        let mut c = PageCodec::new(&mut data);
+        let kind = c.get_u8();
+        if kind != expected as u8 {
+            return Err(PagerError::KindMismatch {
+                id,
+                found: kind,
+                expected: expected as u8,
+            });
+        }
+        let len = c.get_u32() as usize;
+        if len > self.capacity() {
+            return Err(PagerError::Corrupt(format!(
+                "page {id} claims payload of {len} bytes"
+            )));
+        }
+        Ok(c.get_bytes(len).to_vec())
+    }
+
+    /// Write `payload` to page `id` with the given kind.
+    pub fn write(&self, id: PageId, kind: PageKind, payload: &[u8]) -> Result<()> {
+        if payload.len() > self.capacity() {
+            return Err(PagerError::PayloadTooLarge {
+                len: payload.len(),
+                capacity: self.capacity(),
+            });
+        }
+        let mut page = vec![0u8; self.page_size].into_boxed_slice();
+        {
+            let mut c = PageCodec::new(&mut page);
+            c.put_u8(kind as u8);
+            c.put_u32(payload.len() as u32);
+            c.put_bytes(payload);
+        }
+        let mut inner = self.inner.lock();
+        inner.stats.record_logical_write(kind);
+        if inner.cache.capacity() == 0 {
+            inner.stats.record_physical_write();
+            self.store.write_page(id, &page)?;
+        } else if let Some((victim, dirty)) = inner.cache.insert(id, page, true) {
+            inner.stats.record_physical_write();
+            self.store.write_page(victim, &dirty)?;
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty page and the metadata page, then sync the
+    /// store.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for (id, data) in inner.cache.drain_dirty() {
+            inner.stats.record_physical_write();
+            self.store.write_page(id, &data)?;
+        }
+        if inner.meta_dirty {
+            let mut page = vec![0u8; self.page_size];
+            let mut c = PageCodec::new(&mut page);
+            c.put_u32(MAGIC);
+            c.put_u32(VERSION);
+            c.put_u32(self.page_size as u32);
+            c.put_u64(inner.free_head);
+            c.put_u32(inner.user_meta.len() as u32);
+            let meta = inner.user_meta.clone();
+            c.put_bytes(&meta);
+            inner.stats.record_physical_write();
+            self.store.write_page(0, &page)?;
+            inner.meta_dirty = false;
+        }
+        self.store.sync()?;
+        Ok(())
+    }
+}
+
+impl Drop for PageFile {
+    fn drop(&mut self) {
+        // Best-effort durability; errors on drop have nowhere to go.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let pf = PageFile::create_in_memory(512);
+        let id = pf.allocate(PageKind::Leaf).unwrap();
+        pf.write(id, PageKind::Leaf, b"payload").unwrap();
+        assert_eq!(pf.read(id, PageKind::Leaf).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let pf = PageFile::create_in_memory(512);
+        let id = pf.allocate(PageKind::Leaf).unwrap();
+        assert!(matches!(
+            pf.read(id, PageKind::Node),
+            Err(PagerError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_too_large_rejected() {
+        let pf = PageFile::create_in_memory(512);
+        let id = pf.allocate(PageKind::Node).unwrap();
+        let big = vec![0u8; pf.capacity() + 1];
+        assert!(matches!(
+            pf.write(id, PageKind::Node, &big),
+            Err(PagerError::PayloadTooLarge { .. })
+        ));
+        // exactly at capacity is fine
+        let fit = vec![7u8; pf.capacity()];
+        pf.write(id, PageKind::Node, &fit).unwrap();
+        assert_eq!(pf.read(id, PageKind::Node).unwrap(), fit);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let pf = PageFile::create_in_memory(512);
+        let a = pf.allocate(PageKind::Leaf).unwrap();
+        let b = pf.allocate(PageKind::Leaf).unwrap();
+        let before = pf.num_pages();
+        pf.free(a).unwrap();
+        pf.free(b).unwrap();
+        // LIFO reuse
+        assert_eq!(pf.allocate(PageKind::Node).unwrap(), b);
+        assert_eq!(pf.allocate(PageKind::Node).unwrap(), a);
+        assert_eq!(pf.num_pages(), before, "no growth while free pages exist");
+    }
+
+    #[test]
+    fn stats_count_logical_and_physical() {
+        let pf = PageFile::create_in_memory(512);
+        let id = pf.allocate(PageKind::Leaf).unwrap();
+        pf.write(id, PageKind::Leaf, b"x").unwrap();
+        pf.reset_stats();
+
+        // cached: two logical reads, zero physical
+        let _ = pf.read(id, PageKind::Leaf).unwrap();
+        let _ = pf.read(id, PageKind::Leaf).unwrap();
+        let s = pf.stats();
+        assert_eq!(s.logical_reads(PageKind::Leaf), 2);
+        assert_eq!(s.physical_reads(), 0);
+
+        // disable the cache: now every logical read is physical
+        pf.set_cache_capacity(0).unwrap();
+        pf.reset_stats();
+        let _ = pf.read(id, PageKind::Leaf).unwrap();
+        let s = pf.stats();
+        assert_eq!(s.logical_reads(PageKind::Leaf), 1);
+        assert_eq!(s.physical_reads(), 1);
+    }
+
+    #[test]
+    fn cold_cache_write_goes_straight_to_store() {
+        let pf = PageFile::create_in_memory(512);
+        pf.set_cache_capacity(0).unwrap();
+        let id = pf.allocate(PageKind::Node).unwrap();
+        pf.reset_stats();
+        pf.write(id, PageKind::Node, b"data").unwrap();
+        assert_eq!(pf.stats().physical_writes(), 1);
+        assert_eq!(pf.read(id, PageKind::Node).unwrap(), b"data");
+    }
+
+    #[test]
+    fn user_meta_roundtrip_and_limit() {
+        let pf = PageFile::create_in_memory(512);
+        pf.set_user_meta(b"root=42").unwrap();
+        assert_eq!(pf.user_meta(), b"root=42");
+        let too_big = vec![0u8; pf.user_meta_capacity() + 1];
+        assert!(pf.set_user_meta(&too_big).is_err());
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("sr-pagefile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist.pages");
+        let (a, b);
+        {
+            let pf = PageFile::create_with_page_size(&path, 512).unwrap();
+            a = pf.allocate(PageKind::Node).unwrap();
+            b = pf.allocate(PageKind::Leaf).unwrap();
+            pf.write(a, PageKind::Node, b"node-data").unwrap();
+            pf.write(b, PageKind::Leaf, b"leaf-data").unwrap();
+            pf.set_user_meta(b"meta!").unwrap();
+            pf.flush().unwrap();
+        }
+        {
+            let pf = PageFile::open(&path).unwrap();
+            assert_eq!(pf.page_size(), 512);
+            assert_eq!(pf.user_meta(), b"meta!");
+            assert_eq!(pf.read(a, PageKind::Node).unwrap(), b"node-data");
+            assert_eq!(pf.read(b, PageKind::Leaf).unwrap(), b"leaf-data");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("sr-pagefile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("freelist.pages");
+        let freed;
+        {
+            let pf = PageFile::create_with_page_size(&path, 512).unwrap();
+            let _keep = pf.allocate(PageKind::Leaf).unwrap();
+            freed = pf.allocate(PageKind::Leaf).unwrap();
+            pf.free(freed).unwrap();
+            pf.flush().unwrap();
+        }
+        {
+            let pf = PageFile::open(&path).unwrap();
+            assert_eq!(pf.allocate(PageKind::Leaf).unwrap(), freed);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("sr-pagefile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.pages");
+        std::fs::write(&path, vec![0x55u8; 1024]).unwrap();
+        assert!(matches!(PageFile::open(&path), Err(PagerError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let pf = PageFile::create_in_memory(512);
+        pf.set_cache_capacity(2).unwrap();
+        let ids: Vec<_> = (0..8)
+            .map(|i| {
+                let id = pf.allocate(PageKind::Leaf).unwrap();
+                pf.write(id, PageKind::Leaf, &[i as u8; 16]).unwrap();
+                id
+            })
+            .collect();
+        // Everything must still be readable even though only 2 pages fit in
+        // the pool.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pf.read(id, PageKind::Leaf).unwrap(), vec![i as u8; 16]);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! I/O statistics — the measurement instrument behind every "number of
+//! disk reads" series in the paper.
+
+use crate::page::PageKind;
+
+/// Counters for page traffic, split by [`PageKind`].
+///
+/// * **Logical** reads/writes count every request made to the
+///   [`crate::PageFile`], hit or miss. With the buffer pool disabled
+///   (capacity 0), logical = physical, which is the cold-cache accounting
+///   the paper's per-query disk-read plots use.
+/// * **Physical** reads/writes count only requests that reached the
+///   underlying [`crate::PageStore`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    logical_reads: [u64; 4],
+    logical_writes: [u64; 4],
+    physical_reads: u64,
+    physical_writes: u64,
+}
+
+impl IoStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_logical_read(&mut self, kind: PageKind) {
+        self.logical_reads[kind as usize] += 1;
+    }
+
+    pub(crate) fn record_logical_write(&mut self, kind: PageKind) {
+        self.logical_writes[kind as usize] += 1;
+    }
+
+    pub(crate) fn record_physical_read(&mut self) {
+        self.physical_reads += 1;
+    }
+
+    pub(crate) fn record_physical_write(&mut self) {
+        self.physical_writes += 1;
+    }
+
+    /// Logical reads of pages of `kind`.
+    pub fn logical_reads(&self, kind: PageKind) -> u64 {
+        self.logical_reads[kind as usize]
+    }
+
+    /// Logical writes of pages of `kind`.
+    pub fn logical_writes(&self, kind: PageKind) -> u64 {
+        self.logical_writes[kind as usize]
+    }
+
+    /// Total logical reads of node and leaf pages — the paper's
+    /// "number of disk reads" for a query.
+    pub fn tree_reads(&self) -> u64 {
+        self.logical_reads(PageKind::Node) + self.logical_reads(PageKind::Leaf)
+    }
+
+    /// Total logical node+leaf accesses (reads + writes) — the paper's
+    /// "number of disk accesses" for insertion cost (Figure 9-b).
+    pub fn tree_accesses(&self) -> u64 {
+        self.tree_reads()
+            + self.logical_writes(PageKind::Node)
+            + self.logical_writes(PageKind::Leaf)
+    }
+
+    /// Physical reads that reached the backing store.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads
+    }
+
+    /// Physical writes that reached the backing store.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes
+    }
+
+    /// Difference `self - earlier`, for windowed measurements around a
+    /// single query. Saturates rather than panicking if counters were
+    /// reset in between.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        let mut d = IoStats::new();
+        for i in 0..4 {
+            d.logical_reads[i] = self.logical_reads[i].saturating_sub(earlier.logical_reads[i]);
+            d.logical_writes[i] =
+                self.logical_writes[i].saturating_sub(earlier.logical_writes[i]);
+        }
+        d.physical_reads = self.physical_reads.saturating_sub(earlier.physical_reads);
+        d.physical_writes = self.physical_writes.saturating_sub(earlier.physical_writes);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let mut s = IoStats::new();
+        s.record_logical_read(PageKind::Node);
+        s.record_logical_read(PageKind::Node);
+        s.record_logical_read(PageKind::Leaf);
+        s.record_logical_write(PageKind::Leaf);
+        assert_eq!(s.logical_reads(PageKind::Node), 2);
+        assert_eq!(s.logical_reads(PageKind::Leaf), 1);
+        assert_eq!(s.logical_reads(PageKind::Meta), 0);
+        assert_eq!(s.tree_reads(), 3);
+        assert_eq!(s.tree_accesses(), 4);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = IoStats::new();
+        a.record_logical_read(PageKind::Leaf);
+        let snapshot = a.clone();
+        a.record_logical_read(PageKind::Leaf);
+        a.record_physical_read();
+        let d = a.since(&snapshot);
+        assert_eq!(d.logical_reads(PageKind::Leaf), 1);
+        assert_eq!(d.physical_reads(), 1);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        let mut old = IoStats::new();
+        old.record_physical_read();
+        let fresh = IoStats::new();
+        assert_eq!(fresh.since(&old).physical_reads(), 0);
+    }
+}

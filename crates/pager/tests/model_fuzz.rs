@@ -1,0 +1,139 @@
+//! Model-based fuzzing of the page file: a random sequence of
+//! allocate/write/read/free/flush/cache-resize operations is run against
+//! both the real `PageFile` and a trivial in-memory model; they must
+//! agree at every step, under every cache capacity.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sr_pager::{PageFile, PageId, PageKind};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Allocate,
+    /// Write to the i-th live page (mod live count) with given fill byte
+    /// and length.
+    Write(usize, u8, usize),
+    /// Read the i-th live page and compare with the model.
+    Read(usize),
+    /// Free the i-th live page.
+    Free(usize),
+    Flush,
+    SetCache(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Allocate),
+        4 => (any::<usize>(), any::<u8>(), 0usize..200).prop_map(|(i, b, l)| Op::Write(i, b, l)),
+        4 => any::<usize>().prop_map(Op::Read),
+        1 => any::<usize>().prop_map(Op::Free),
+        1 => Just(Op::Flush),
+        1 => (0usize..8).prop_map(Op::SetCache),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pagefile_matches_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let pf = PageFile::create_in_memory(512);
+        let mut model: HashMap<PageId, Vec<u8>> = HashMap::new();
+        let mut live: Vec<PageId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Allocate => {
+                    let id = pf.allocate(PageKind::Leaf).unwrap();
+                    prop_assert!(!model.contains_key(&id), "allocated a live page twice");
+                    model.insert(id, Vec::new());
+                    live.push(id);
+                }
+                Op::Write(i, b, l) => {
+                    if live.is_empty() { continue; }
+                    let id = live[i % live.len()];
+                    let payload = vec![b; l.min(pf.capacity())];
+                    pf.write(id, PageKind::Leaf, &payload).unwrap();
+                    model.insert(id, payload);
+                }
+                Op::Read(i) => {
+                    if live.is_empty() { continue; }
+                    let id = live[i % live.len()];
+                    let got = pf.read(id, PageKind::Leaf).unwrap();
+                    prop_assert_eq!(&got, model.get(&id).unwrap());
+                }
+                Op::Free(i) => {
+                    if live.is_empty() { continue; }
+                    let idx = i % live.len();
+                    let id = live.swap_remove(idx);
+                    pf.free(id).unwrap();
+                    model.remove(&id);
+                }
+                Op::Flush => pf.flush().unwrap(),
+                Op::SetCache(n) => pf.set_cache_capacity(n).unwrap(),
+            }
+        }
+
+        // Final sweep: every live page still reads back exactly.
+        for &id in &live {
+            let got = pf.read(id, PageKind::Leaf).unwrap();
+            prop_assert_eq!(&got, model.get(&id).unwrap());
+        }
+    }
+
+    /// The same trace must also survive persistence: flush, reopen from
+    /// the same backing store — wait, the in-memory store dies with the
+    /// PageFile, so persistence is tested through a real file instead.
+    #[test]
+    fn pagefile_trace_survives_reopen(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let dir = std::env::temp_dir().join(format!("sr-pager-fuzz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unique file per proptest case to avoid clashes.
+        let path = dir.join(format!(
+            "trace-{}.pages",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mut model: HashMap<PageId, Vec<u8>> = HashMap::new();
+        let mut live: Vec<PageId> = Vec::new();
+        {
+            let pf = PageFile::create_with_page_size(&path, 512).unwrap();
+            for op in ops {
+                match op {
+                    Op::Allocate => {
+                        let id = pf.allocate(PageKind::Leaf).unwrap();
+                        model.insert(id, Vec::new());
+                        live.push(id);
+                    }
+                    Op::Write(i, b, l) => {
+                        if live.is_empty() { continue; }
+                        let id = live[i % live.len()];
+                        let payload = vec![b; l.min(pf.capacity())];
+                        pf.write(id, PageKind::Leaf, &payload).unwrap();
+                        model.insert(id, payload);
+                    }
+                    Op::Free(i) => {
+                        if live.is_empty() { continue; }
+                        let idx = i % live.len();
+                        let id = live.swap_remove(idx);
+                        pf.free(id).unwrap();
+                        model.remove(&id);
+                    }
+                    // reads/flushes/cache changes are irrelevant to what
+                    // must persist
+                    _ => {}
+                }
+            }
+            pf.flush().unwrap();
+        }
+        let pf = PageFile::open(&path).unwrap();
+        for &id in &live {
+            let got = pf.read(id, PageKind::Leaf).unwrap();
+            prop_assert_eq!(&got, model.get(&id).unwrap());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,283 @@
+//! The depth-first branch-and-bound k-NN search of Roussopoulos, Kelley &
+//! Vincent (SIGMOD 1995), generic over the tree it runs on.
+
+use crate::heap::{CandidateSet, Neighbor};
+
+/// What a node expands into: scored child branches (internal node) or
+/// scored points (leaf). A tree fills exactly one of the two vectors per
+/// call, but the engine does not care if both are filled.
+pub struct Expansion<N> {
+    /// Child branches with the squared distance from the query point to
+    /// the child's *region* — the tree-specific lower bound (MINDIST for
+    /// rectangles, sphere-surface distance for spheres, their max for the
+    /// SR-tree).
+    pub branches: Vec<(f64, N)>,
+    /// Leaf points with their exact squared distance from the query.
+    pub points: Vec<Neighbor>,
+}
+
+impl<N> Default for Expansion<N> {
+    fn default() -> Self {
+        Expansion {
+            branches: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+}
+
+impl<N> Expansion<N> {
+    /// Clear both vectors, keeping capacity (the engine reuses one
+    /// `Expansion` per level).
+    pub fn clear(&mut self) {
+        self.branches.clear();
+        self.points.clear();
+    }
+}
+
+/// A tree that the generic k-NN / range engines can traverse.
+pub trait KnnSource {
+    /// Opaque node handle (typically a page id plus a leaf flag).
+    type Node;
+    /// Error produced while fetching nodes (typically a pager error).
+    type Error;
+
+    /// The root node, or `None` for an empty tree.
+    fn root(&self) -> Result<Option<Self::Node>, Self::Error>;
+
+    /// Expand `node`: push scored children (internal node) or scored
+    /// points (leaf) into `out`. `out` arrives cleared.
+    fn expand(
+        &self,
+        node: &Self::Node,
+        query: &[f32],
+        out: &mut Expansion<Self::Node>,
+    ) -> Result<(), Self::Error>;
+}
+
+/// Find the `k` nearest neighbors of `query`, sorted by ascending
+/// distance.
+///
+/// This is the algorithm the paper's §4.4 describes: a depth-first
+/// traversal that visits children in order of their region distance and
+/// prunes every branch whose region distance cannot beat the current k-th
+/// candidate. The quality of the region distance is the only thing a tree
+/// controls — the SR-tree's `max(d_sphere, d_rect)` bound prunes strictly
+/// more than either bound alone.
+pub fn knn<S: KnnSource>(src: &S, query: &[f32], k: usize) -> Result<Vec<Neighbor>, S::Error> {
+    let mut cands = CandidateSet::new(k);
+    if let Some(root) = src.root()? {
+        visit(src, &root, query, &mut cands)?;
+    }
+    Ok(cands.into_sorted())
+}
+
+fn visit<S: KnnSource>(
+    src: &S,
+    node: &S::Node,
+    query: &[f32],
+    cands: &mut CandidateSet,
+) -> Result<(), S::Error> {
+    let mut exp = Expansion::default();
+    src.expand(node, query, &mut exp)?;
+    for n in &exp.points {
+        cands.offer(n.dist2, n.data);
+    }
+    // Visit nearer regions first: they tighten the pruning bound fastest,
+    // which is what lets the later, farther siblings be skipped.
+    exp.branches
+        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (d, child) in &exp.branches {
+        // A region at exactly the k-th distance cannot contain a strictly
+        // better point, so strict inequality is the correct prune.
+        if *d < cands.prune_dist2() {
+            visit(src, child, query, cands)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod mock {
+    //! A tiny in-memory binary "index" over points, used to test the
+    //! engine without dragging a real tree in: splits points in half on
+    //! the widest dimension and bounds each half with a rectangle.
+
+    use super::*;
+
+    pub enum MockNode {
+        Inner {
+            lo: Vec<f32>,
+            hi: Vec<f32>,
+            children: Vec<MockNode>,
+        },
+        Leaf {
+            lo: Vec<f32>,
+            hi: Vec<f32>,
+            points: Vec<(Vec<f32>, u64)>,
+        },
+    }
+
+    impl MockNode {
+        fn bounds(points: &[(Vec<f32>, u64)]) -> (Vec<f32>, Vec<f32>) {
+            let d = points[0].0.len();
+            let mut lo = vec![f32::INFINITY; d];
+            let mut hi = vec![f32::NEG_INFINITY; d];
+            for (p, _) in points {
+                for i in 0..d {
+                    lo[i] = lo[i].min(p[i]);
+                    hi[i] = hi[i].max(p[i]);
+                }
+            }
+            (lo, hi)
+        }
+
+        pub fn build(mut points: Vec<(Vec<f32>, u64)>, leaf_cap: usize) -> MockNode {
+            let (lo, hi) = Self::bounds(&points);
+            if points.len() <= leaf_cap {
+                return MockNode::Leaf { lo, hi, points };
+            }
+            let d = lo.len();
+            let dim = (0..d)
+                .max_by(|&a, &b| {
+                    (hi[a] - lo[a])
+                        .partial_cmp(&(hi[b] - lo[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            points.sort_by(|a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+            let right = points.split_off(points.len() / 2);
+            MockNode::Inner {
+                lo,
+                hi,
+                children: vec![
+                    MockNode::build(points, leaf_cap),
+                    MockNode::build(right, leaf_cap),
+                ],
+            }
+        }
+
+        fn min_dist2(&self, q: &[f32]) -> f64 {
+            let (lo, hi) = match self {
+                MockNode::Inner { lo, hi, .. } => (lo, hi),
+                MockNode::Leaf { lo, hi, .. } => (lo, hi),
+            };
+            let mut acc = 0.0f64;
+            for i in 0..q.len() {
+                let d = if q[i] < lo[i] {
+                    (lo[i] - q[i]) as f64
+                } else if q[i] > hi[i] {
+                    (q[i] - hi[i]) as f64
+                } else {
+                    0.0
+                };
+                acc += d * d;
+            }
+            acc
+        }
+    }
+
+    pub struct MockTree(pub MockNode);
+
+    impl KnnSource for MockTree {
+        type Node = *const MockNode;
+        type Error = std::convert::Infallible;
+
+        fn root(&self) -> Result<Option<Self::Node>, Self::Error> {
+            Ok(Some(&self.0 as *const MockNode))
+        }
+
+        fn expand(
+            &self,
+            node: &Self::Node,
+            query: &[f32],
+            out: &mut Expansion<Self::Node>,
+        ) -> Result<(), Self::Error> {
+            let node: &MockNode = unsafe { &**node };
+            match node {
+                MockNode::Inner { children, .. } => {
+                    for c in children {
+                        out.branches.push((c.min_dist2(query), c as *const MockNode));
+                    }
+                }
+                MockNode::Leaf { points, .. } => {
+                    for (p, id) in points {
+                        let mut d = 0.0f64;
+                        for i in 0..p.len() {
+                            // Widen before subtracting, matching the
+                            // geometry kernel's rounding exactly.
+                            let t = p[i] as f64 - query[i] as f64;
+                            d += t * t;
+                        }
+                        out.points.push(Neighbor { dist2: d, data: *id });
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mock::{MockNode, MockTree};
+    use super::*;
+    use crate::bruteforce::brute_force_knn;
+
+    fn pseudo_points(n: usize, d: usize, seed: u64) -> Vec<(Vec<f32>, u64)> {
+        // Deterministic xorshift so the test needs no external RNG.
+        let mut s = seed.max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f32 / (1u64 << 53) as f32 * 2.0
+        };
+        (0..n)
+            .map(|i| ((0..d).map(|_| next()).collect(), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        for d in [2usize, 8, 16] {
+            let pts = pseudo_points(500, d, 42 + d as u64);
+            let tree = MockTree(MockNode::build(pts.clone(), 16));
+            let flat: Vec<(&[f32], u64)> =
+                pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
+            for (qi, k) in [(0usize, 1usize), (13, 5), (77, 21)] {
+                let q = &pts[qi].0;
+                let got = knn(&tree, q, k).unwrap();
+                let want = brute_force_knn(flat.iter().copied(), q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!(
+                        (g.dist2 - w.dist2).abs() < 1e-9,
+                        "d={d} k={k}: {} vs {}",
+                        g.dist2,
+                        w.dist2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_dataset() {
+        let pts = pseudo_points(10, 4, 7);
+        let tree = MockTree(MockNode::build(pts.clone(), 4));
+        let got = knn(&tree, &pts[0].0, 50).unwrap();
+        assert_eq!(got.len(), 10);
+        // sorted ascending
+        for w in got.windows(2) {
+            assert!(w[0].dist2 <= w[1].dist2);
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let pts = pseudo_points(100, 8, 99);
+        let tree = MockTree(MockNode::build(pts.clone(), 8));
+        let got = knn(&tree, &pts[42].0, 1).unwrap();
+        assert_eq!(got[0].dist2, 0.0);
+    }
+}

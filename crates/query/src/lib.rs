@@ -1,0 +1,33 @@
+//! Query engines for the SR-tree reproduction.
+//!
+//! All four tree structures in this workspace answer k-nearest-neighbor
+//! queries with the *same* algorithm — the depth-first branch-and-bound
+//! search of Roussopoulos, Kelley & Vincent (SIGMOD 1995), exactly as the
+//! paper states ("the nearest neighbor search ... is performed by applying
+//! the algorithm presented in \[14\]", §4.4). What differs between trees is
+//! only the *distance from a query point to a region*:
+//!
+//! * R\*-tree: `MINDIST` to the bounding rectangle;
+//! * SS-tree: distance to the bounding sphere surface;
+//! * SR-tree: `max` of the two — the better lower bound that is the whole
+//!   point of the paper.
+//!
+//! To keep that distinction in one place per tree, the engine is generic
+//! over [`KnnSource`]: a tree exposes its root and a way to *expand* a node
+//! into scored child branches or leaf points, and [`knn`] / [`range`] do
+//! the rest.
+//!
+//! [`brute_force_knn`] provides exact linear-scan answers used as ground
+//! truth by every correctness test in the workspace.
+
+mod best_first;
+mod bruteforce;
+mod heap;
+mod knn;
+mod range;
+
+pub use best_first::knn_best_first;
+pub use bruteforce::{brute_force_knn, brute_force_range, pairwise_distance_stats, DistanceStats};
+pub use heap::{CandidateSet, Neighbor};
+pub use knn::{knn, Expansion, KnnSource};
+pub use range::range;

@@ -1,0 +1,104 @@
+//! Sphere range search over the same [`KnnSource`] abstraction as the
+//! k-NN engine.
+
+use crate::heap::Neighbor;
+use crate::knn::{Expansion, KnnSource};
+
+/// Find every point within `radius` of `query`, sorted by ascending
+/// distance (ties broken by payload).
+///
+/// A branch is visited iff its region distance is `<= radius^2`; a point
+/// is reported iff its exact distance is. Boundary points (distance
+/// exactly `radius`) are included.
+pub fn range<S: KnnSource>(
+    src: &S,
+    query: &[f32],
+    radius: f64,
+) -> Result<Vec<Neighbor>, S::Error> {
+    assert!(radius >= 0.0, "range radius must be non-negative");
+    let r2 = radius * radius;
+    let mut out = Vec::new();
+    if let Some(root) = src.root()? {
+        visit(src, &root, query, r2, &mut out)?;
+    }
+    out.sort_by(|a, b| {
+        a.dist2
+            .partial_cmp(&b.dist2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.data.cmp(&b.data))
+    });
+    Ok(out)
+}
+
+fn visit<S: KnnSource>(
+    src: &S,
+    node: &S::Node,
+    query: &[f32],
+    r2: f64,
+    out: &mut Vec<Neighbor>,
+) -> Result<(), S::Error> {
+    let mut exp = Expansion::default();
+    src.expand(node, query, &mut exp)?;
+    for n in &exp.points {
+        if n.dist2 <= r2 {
+            out.push(*n);
+        }
+    }
+    for (d, child) in &exp.branches {
+        if *d <= r2 {
+            visit(src, child, query, r2, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force_range;
+    use crate::knn::mock::{MockNode, MockTree};
+
+    fn grid_points() -> Vec<(Vec<f32>, u64)> {
+        let mut pts = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                pts.push((vec![x as f32, y as f32], (x * 10 + y) as u64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = grid_points();
+        let tree = MockTree(MockNode::build(pts.clone(), 7));
+        let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
+        for radius in [0.0, 1.0, 1.5, 3.7, 100.0] {
+            let q = [4.5f32, 4.5];
+            let got = range(&tree, &q, radius).unwrap();
+            let want = brute_force_range(flat.iter().copied(), &q, radius);
+            assert_eq!(
+                got.iter().map(|n| n.data).collect::<Vec<_>>(),
+                want.iter().map(|n| n.data).collect::<Vec<_>>(),
+                "radius {radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_point_included() {
+        let pts = grid_points();
+        let tree = MockTree(MockNode::build(pts.clone(), 7));
+        // query at (0,0); point (3,4) is at distance exactly 5
+        let got = range(&tree, &[0.0, 0.0], 5.0).unwrap();
+        assert!(got.iter().any(|n| n.data == 34));
+    }
+
+    #[test]
+    fn empty_result_for_far_query() {
+        let pts = grid_points();
+        let tree = MockTree(MockNode::build(pts, 7));
+        let got = range(&tree, &[1000.0, 1000.0], 1.0).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! R-tree deletion with condense-tree, as the R\*-tree inherits it.
+//!
+//! When a node underflows, its whole subtree is dissolved: the pages are
+//! freed and every point beneath it is reinserted from the root. (The
+//! original formulation reinserts orphaned *subtrees* at their original
+//! level; dissolving to points is behaviorally equivalent for point data
+//! and interacts simply with root shrinking.)
+
+use sr_pager::PageId;
+
+use crate::error::Result;
+use crate::insert::{insert_at_level, propagate_mbrs, AnyEntry};
+use crate::node::{LeafEntry, Node};
+use crate::tree::RstarTree;
+
+/// Delete the exact entry `(point, data)`. Returns whether it was found.
+pub(crate) fn delete(tree: &mut RstarTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
+    let root_level = (tree.height - 1) as u16;
+    let Some(path) = find_leaf(tree, tree.root, root_level, point, data)? else {
+        return Ok(false);
+    };
+
+    let mut node = tree.read_node(*path.last().unwrap(), 0)?;
+    if let Node::Leaf(entries) = &mut node {
+        let pos = entries
+            .iter()
+            .position(|e| e.point == *point && e.data == data)
+            .expect("find_leaf returned a leaf without the entry");
+        entries.remove(pos);
+    }
+
+    let mut orphans: Vec<LeafEntry> = Vec::new();
+    let mut idx = path.len() - 1;
+    loop {
+        if idx == 0 {
+            tree.write_node(path[0], &node)?;
+            break;
+        }
+        if node.len() < tree.min_for(&node) {
+            // Dissolve this node: free its pages and collect its points.
+            collect_points(tree, &node, &mut orphans)?;
+            tree.pf.free(path[idx])?;
+            idx -= 1;
+            let level = (tree.height as usize - 1 - idx) as u16;
+            let mut parent = tree.read_node(path[idx], level)?;
+            if let Node::Inner { entries, .. } = &mut parent {
+                let pos = entries
+                    .iter()
+                    .position(|e| e.child == path[idx + 1])
+                    .expect("parent lost track of its child");
+                entries.remove(pos);
+            }
+            node = parent;
+        } else {
+            tree.write_node(path[idx], &node)?;
+            propagate_mbrs(tree, &path, idx, node.mbr())?;
+            break;
+        }
+    }
+
+    shrink_root(tree)?;
+
+    // Reinsert orphaned points (they keep their own reinsertion budget).
+    for e in orphans {
+        let mut reinserted = vec![false; tree.height as usize];
+        insert_at_level(tree, AnyEntry::Leaf(e), 0, &mut reinserted)?;
+    }
+
+    tree.count -= 1;
+    tree.save_meta()?;
+    Ok(true)
+}
+
+/// Depth-first search for the leaf holding the exact entry; returns the
+/// page-id path root..leaf.
+fn find_leaf(
+    tree: &RstarTree,
+    id: PageId,
+    level: u16,
+    point: &sr_geometry::Point,
+    data: u64,
+) -> Result<Option<Vec<PageId>>> {
+    let node = tree.read_node(id, level)?;
+    match node {
+        Node::Leaf(entries) => {
+            if entries.iter().any(|e| e.point == *point && e.data == data) {
+                Ok(Some(vec![id]))
+            } else {
+                Ok(None)
+            }
+        }
+        Node::Inner { entries, .. } => {
+            for e in &entries {
+                if e.rect.contains_point(point.coords()) {
+                    if let Some(mut path) = find_leaf(tree, e.child, level - 1, point, data)? {
+                        path.insert(0, id);
+                        return Ok(Some(path));
+                    }
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Free every page of `node`'s subtree (the node's own page is freed by
+/// the caller) and collect the points it held.
+fn collect_points(tree: &RstarTree, node: &Node, out: &mut Vec<LeafEntry>) -> Result<()> {
+    match node {
+        Node::Leaf(entries) => out.extend(entries.iter().cloned()),
+        Node::Inner { level, entries } => {
+            for e in entries {
+                let child = tree.read_node(e.child, level - 1)?;
+                collect_points(tree, &child, out)?;
+                tree.pf.free(e.child)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shrink the root while it is an inner node with a single child, and
+/// replace an emptied inner root with an empty leaf.
+fn shrink_root(tree: &mut RstarTree) -> Result<()> {
+    loop {
+        let root_level = (tree.height - 1) as u16;
+        if root_level == 0 {
+            return Ok(());
+        }
+        let node = tree.read_node(tree.root, root_level)?;
+        let entries = match &node {
+            Node::Inner { entries, .. } => entries,
+            Node::Leaf(_) => unreachable!(),
+        };
+        match entries.len() {
+            0 => {
+                // Everything beneath the root was dissolved.
+                tree.pf.free(tree.root)?;
+                let leaf = Node::Leaf(Vec::new());
+                tree.root = tree.allocate_node(&leaf)?;
+                tree.height = 1;
+                tree.save_meta()?;
+                return Ok(());
+            }
+            1 => {
+                let child = entries[0].child;
+                tree.pf.free(tree.root)?;
+                tree.root = child;
+                tree.height -= 1;
+                tree.save_meta()?;
+                // loop: the new root may itself have a single child
+            }
+            _ => return Ok(()),
+        }
+    }
+}

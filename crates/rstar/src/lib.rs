@@ -1,0 +1,47 @@
+//! The R\*-tree (Beckmann, Kriegel, Schneider & Seeger, SIGMOD 1990) in
+//! point mode — the rectangle-region baseline of the SR-tree paper (§2.2).
+//!
+//! A disk-based, height-balanced tree of nested minimum bounding
+//! rectangles. This implementation follows the original R\*-tree
+//! algorithms:
+//!
+//! * **ChooseSubtree** — minimum overlap enlargement at the level above
+//!   the leaves, minimum area enlargement elsewhere;
+//! * **Forced reinsertion** — on the first overflow per level per
+//!   insertion, the 30% of entries farthest from the node's center are
+//!   reinserted instead of splitting ("close reinsert");
+//! * **R\*-split** — axis chosen by minimum margin sum, distribution by
+//!   minimum overlap, ties by minimum area;
+//! * **Deletion** — the R-tree condense-tree algorithm with orphan
+//!   reinsertion.
+//!
+//! Nearest-neighbor queries run the Roussopoulos et al. depth-first
+//! search from [`sr_query`], scoring regions with rectangle `MINDIST`.
+//!
+//! ```
+//! use sr_rstar::RstarTree;
+//! use sr_geometry::Point;
+//!
+//! let mut tree = RstarTree::create_in_memory(2, 8192).unwrap();
+//! for (i, xy) in [[0.0f32, 0.0], [1.0, 1.0], [0.2, 0.1]].iter().enumerate() {
+//!     tree.insert(Point::new(xy.to_vec()), i as u64).unwrap();
+//! }
+//! let hits = tree.knn(&[0.0, 0.0], 2).unwrap();
+//! assert_eq!(hits[0].data, 0);
+//! ```
+
+mod delete;
+mod error;
+mod insert;
+mod node;
+mod params;
+mod search;
+mod split;
+mod tree;
+pub mod verify;
+
+pub use error::{Result, TreeError};
+pub use params::RstarParams;
+pub use tree::RstarTree;
+
+pub use sr_query::Neighbor;

@@ -1,0 +1,133 @@
+//! Capacity parameters, derived from the page size exactly as the paper
+//! does (Table 1).
+//!
+//! On-disk sizes per entry (coordinates are stored as 8-byte floats, see
+//! `sr_pager::PageCodec::put_coords`):
+//!
+//! * node entry = bounding rectangle (`2·D·8` bytes) + child pointer (8);
+//! * leaf entry = point (`D·8` bytes) + data area (512 bytes by default —
+//!   "the size of the data area associated to each leaf entry is 512
+//!   bytes", §3.1 — the first 8 of which hold the `u64` payload).
+//!
+//! With `D = 16` and 8 KiB pages this yields 30 node entries and 12 leaf
+//! entries, matching the paper's Table 1 arithmetic for the R\*-tree.
+
+/// Per-node header: level (u16) + entry count (u16).
+pub(crate) const NODE_HEADER: usize = 4;
+
+/// Capacity and policy parameters of an R\*-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RstarParams {
+    /// Dimensionality of indexed points.
+    pub dim: usize,
+    /// Bytes reserved per leaf entry for the data record (≥ 8).
+    pub data_area: usize,
+    /// Maximum entries in an internal node.
+    pub max_node: usize,
+    /// Minimum entries in a non-root internal node (40% of max).
+    pub min_node: usize,
+    /// Maximum entries in a leaf.
+    pub max_leaf: usize,
+    /// Minimum entries in a non-root leaf (40% of max).
+    pub min_leaf: usize,
+    /// Entries removed by forced reinsertion (30% of max, ≥ 1).
+    pub reinsert_node: usize,
+    /// Entries removed by forced reinsertion from a leaf.
+    pub reinsert_leaf: usize,
+}
+
+impl RstarParams {
+    /// Derive parameters from the usable page payload (see
+    /// `PageFile::capacity`), the dimensionality, and the per-entry data
+    /// area.
+    ///
+    /// # Panics
+    /// Panics if the page is too small to hold at least 2 entries per
+    /// node and per leaf, or if `data_area < 8`.
+    pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        let usable = page_capacity - NODE_HEADER;
+        let node_entry = Self::node_entry_bytes(dim);
+        let leaf_entry = Self::leaf_entry_bytes(dim, data_area);
+        let max_node = usable / node_entry;
+        let max_leaf = usable / leaf_entry;
+        assert!(
+            max_node >= 2 && max_leaf >= 2,
+            "page too small: {max_node} node entries, {max_leaf} leaf entries"
+        );
+        RstarParams {
+            dim,
+            data_area,
+            max_node,
+            min_node: min_fill(max_node),
+            max_leaf,
+            min_leaf: min_fill(max_leaf),
+            reinsert_node: reinsert_count(max_node),
+            reinsert_leaf: reinsert_count(max_leaf),
+        }
+    }
+
+    /// Bytes of one internal-node entry on disk.
+    pub fn node_entry_bytes(dim: usize) -> usize {
+        2 * 8 * dim + 8
+    }
+
+    /// Bytes of one leaf entry on disk.
+    pub fn leaf_entry_bytes(dim: usize, data_area: usize) -> usize {
+        8 * dim + data_area
+    }
+}
+
+/// 40% minimum utilization, as the paper sets for every structure, but at
+/// least 2 so splits are possible.
+pub(crate) fn min_fill(max: usize) -> usize {
+    ((max * 2) / 5).max(2).min(max / 2)
+}
+
+/// 30% reinsert fraction, as the paper sets.
+pub(crate) fn reinsert_count(max: usize) -> usize {
+    ((max * 3) / 10).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_at_16_dimensions() {
+        // 8192-byte page, 5-byte page header → 8187 usable.
+        let p = RstarParams::derive(8187, 16, 512);
+        // node entry = 2*8*16 + 8 = 264 → (8187-4)/264 = 30
+        assert_eq!(p.max_node, 30);
+        // leaf entry = 8*16 + 512 = 640 → (8187-4)/640 = 12
+        assert_eq!(p.max_leaf, 12);
+        assert_eq!(p.min_node, 12); // 40%
+        assert_eq!(p.min_leaf, 4);
+        assert_eq!(p.reinsert_node, 9); // 30%
+        assert_eq!(p.reinsert_leaf, 3);
+    }
+
+    #[test]
+    fn fanout_shrinks_with_dimensionality() {
+        let lo = RstarParams::derive(8187, 8, 512);
+        let hi = RstarParams::derive(8187, 64, 512);
+        assert!(hi.max_node < lo.max_node);
+    }
+
+    #[test]
+    fn min_fill_bounds() {
+        for max in 2..200 {
+            let m = min_fill(max);
+            assert!(m >= 1 && m <= max / 2, "max={max} m={m}");
+            let r = reinsert_count(max);
+            assert!(r >= 1 && max + 1 - r >= m, "max={max} r={r} m={m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "page too small")]
+    fn tiny_page_rejected() {
+        let _ = RstarParams::derive(300, 64, 512);
+    }
+}

@@ -1,0 +1,83 @@
+//! Query plumbing: the [`sr_query::KnnSource`] implementation scoring
+//! regions with rectangle `MINDIST`, plus exact-match lookup.
+
+use sr_geometry::dist2;
+use sr_pager::PageId;
+use sr_query::{Expansion, KnnSource, Neighbor};
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::tree::RstarTree;
+
+struct Source<'a> {
+    tree: &'a RstarTree,
+}
+
+impl KnnSource for Source<'_> {
+    type Node = (PageId, u16);
+    type Error = TreeError;
+
+    fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
+    }
+
+    fn expand(
+        &self,
+        &(id, level): &Self::Node,
+        query: &[f32],
+        out: &mut Expansion<Self::Node>,
+    ) -> std::result::Result<(), TreeError> {
+        match self.tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    out.points.push(Neighbor {
+                        dist2: dist2(e.point.coords(), query),
+                        data: e.data,
+                    });
+                }
+            }
+            Node::Inner { entries, .. } => {
+                for e in &entries {
+                    out.branches
+                        .push((e.rect.min_dist2(query), (e.child, level - 1)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn knn(tree: &RstarTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+    sr_query::knn(&Source { tree }, query, k)
+}
+
+pub(crate) fn range(tree: &RstarTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    sr_query::range(&Source { tree }, query, radius)
+}
+
+pub(crate) fn contains(tree: &RstarTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
+    fn walk(
+        tree: &RstarTree,
+        id: PageId,
+        level: u16,
+        point: &sr_geometry::Point,
+        data: u64,
+    ) -> Result<bool> {
+        match tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                Ok(entries.iter().any(|e| e.point == *point && e.data == data))
+            }
+            Node::Inner { entries, .. } => {
+                for e in &entries {
+                    if e.rect.contains_point(point.coords())
+                        && walk(tree, e.child, level - 1, point, data)?
+                    {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+    walk(tree, tree.root, (tree.height - 1) as u16, point, data)
+}

@@ -1,0 +1,267 @@
+//! The public [`RstarTree`] type: lifecycle, metadata, and page helpers.
+
+use std::path::Path;
+
+use sr_geometry::{Point, Rect};
+use sr_pager::{PageCodec, PageFile, PageId, PageKind};
+use sr_query::Neighbor;
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::params::RstarParams;
+use crate::{delete, insert, search};
+
+const META_MAGIC: u32 = 0x5253_5452; // "RSTR"
+const META_VERSION: u32 = 1;
+
+/// A disk-based R\*-tree over points, used by the paper as the
+/// rectangle-region baseline.
+pub struct RstarTree {
+    pub(crate) pf: PageFile,
+    pub(crate) params: RstarParams,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a leaf. The root's level
+    /// number is `height - 1` (leaves are level 0).
+    pub(crate) height: u32,
+    pub(crate) count: u64,
+}
+
+impl RstarTree {
+    /// Create a new tree in an in-memory page file (tests, benchmarks).
+    pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
+        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+    }
+
+    /// Create a new tree in a page file on disk with the default 8 KiB
+    /// pages and the paper's 512-byte per-entry data area.
+    pub fn create(path: &Path, dim: usize) -> Result<Self> {
+        Self::create_from(PageFile::create(path)?, dim, 512)
+    }
+
+    /// Create a new tree over an existing empty [`PageFile`], with an
+    /// explicit per-leaf-entry data area (≥ 8 bytes).
+    pub fn create_from(pf: PageFile, dim: usize, data_area: usize) -> Result<Self> {
+        let params = RstarParams::derive(pf.capacity(), dim, data_area);
+        let root = pf.allocate(PageKind::Leaf)?;
+        let tree = RstarTree {
+            pf,
+            params,
+            root,
+            height: 1,
+            count: 0,
+        };
+        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.save_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopen a tree previously created with [`RstarTree::create`].
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_from(PageFile::open(path)?)
+    }
+
+    /// Reopen a tree from an already-open page file.
+    pub fn open_from(pf: PageFile) -> Result<Self> {
+        let meta = pf.user_meta();
+        if meta.len() < 36 {
+            return Err(TreeError::NotThisIndex("metadata too short".into()));
+        }
+        let mut meta = meta;
+        let mut c = PageCodec::new(&mut meta);
+        if c.get_u32() != META_MAGIC {
+            return Err(TreeError::NotThisIndex("not an R*-tree file".into()));
+        }
+        if c.get_u32() != META_VERSION {
+            return Err(TreeError::NotThisIndex("unsupported R*-tree version".into()));
+        }
+        let dim = c.get_u32() as usize;
+        let data_area = c.get_u32() as usize;
+        let root = c.get_u64();
+        let height = c.get_u32();
+        let count = c.get_u64();
+        let params = RstarParams::derive(pf.capacity(), dim, data_area);
+        Ok(RstarTree {
+            pf,
+            params,
+            root,
+            height,
+            count,
+        })
+    }
+
+    pub(crate) fn save_meta(&self) -> Result<()> {
+        let mut buf = vec![0u8; 36];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u32(META_MAGIC);
+        c.put_u32(META_VERSION);
+        c.put_u32(self.params.dim as u32);
+        c.put_u32(self.params.data_area as u32);
+        c.put_u64(self.root);
+        c.put_u32(self.height);
+        c.put_u64(self.count);
+        self.pf.set_user_meta(&buf)?;
+        Ok(())
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (1 = the root is a leaf). Reproduces the
+    /// paper's Tables 2 and 3.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Capacity parameters in force (Table 1).
+    pub fn params(&self) -> &RstarParams {
+        &self.params
+    }
+
+    /// The underlying page file, exposed for I/O statistics
+    /// ([`sr_pager::IoStats`]) and cache configuration in experiments.
+    pub fn pager(&self) -> &PageFile {
+        &self.pf
+    }
+
+    /// Flush all dirty pages and metadata to the backing store.
+    pub fn flush(&self) -> Result<()> {
+        self.pf.flush()?;
+        Ok(())
+    }
+
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.params.dim {
+            return Err(TreeError::DimensionMismatch {
+                expected: self.params.dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
+        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let payload = self.pf.read(id, kind)?;
+        let node = Node::decode(&payload, &self.params)?;
+        debug_assert_eq!(node.level(), level, "page {id} level mismatch");
+        Ok(node)
+    }
+
+    pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let payload = node.encode(&self.params, self.pf.capacity());
+        self.pf.write(id, kind, &payload)?;
+        Ok(())
+    }
+
+    pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let id = self.pf.allocate(kind)?;
+        self.write_node(id, node)?;
+        Ok(id)
+    }
+
+    pub(crate) fn max_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.max_leaf
+        } else {
+            self.params.max_node
+        }
+    }
+
+    pub(crate) fn min_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.min_leaf
+        } else {
+            self.params.min_node
+        }
+    }
+
+    /// Insert a point with a `u64` payload (typically a row id).
+    pub fn insert(&mut self, point: Point, data: u64) -> Result<()> {
+        self.check_dim(point.dim())?;
+        insert::insert_point(self, point, data)
+    }
+
+    /// Delete the entry matching `point` (exact coordinates) and `data`.
+    /// Returns `true` if an entry was removed.
+    pub fn delete(&mut self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        delete::delete(self, point, data)
+    }
+
+    /// Whether an exact entry `(point, data)` is stored.
+    pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        search::contains(self, point, data)
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k)
+    }
+
+    /// Every point within `radius` of `query`, sorted by ascending
+    /// distance.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius)
+    }
+
+    /// Bounding rectangles of all (non-empty) leaves — the "leaf-level
+    /// regions" whose volumes and diameters Figures 5, 12 and 13 measure.
+    pub fn leaf_regions(&self) -> Result<Vec<Rect>> {
+        let mut out = Vec::new();
+        self.collect_leaf_regions(self.root, (self.height - 1) as u16, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_leaf_regions(&self, id: PageId, level: u16, out: &mut Vec<Rect>) -> Result<()> {
+        let node = self.read_node(id, level)?;
+        match node {
+            Node::Leaf(ref entries) => {
+                if !entries.is_empty() {
+                    out.push(node.mbr());
+                }
+            }
+            Node::Inner { entries, level } => {
+                for e in entries {
+                    self.collect_leaf_regions(e.child, level - 1, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of leaf pages (used by the Figure 16 leaf-access
+    /// ratio).
+    pub fn num_leaves(&self) -> Result<u64> {
+        fn walk(tree: &RstarTree, id: PageId, level: u16) -> Result<u64> {
+            if level == 0 {
+                return Ok(1);
+            }
+            let node = tree.read_node(id, level)?;
+            let mut n = 0;
+            if let Node::Inner { entries, .. } = node {
+                for e in entries {
+                    n += walk(tree, e.child, level - 1)?;
+                }
+            }
+            Ok(n)
+        }
+        walk(self, self.root, (self.height - 1) as u16)
+    }
+}

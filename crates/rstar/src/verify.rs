@@ -1,0 +1,99 @@
+//! Structural-invariant checker, used heavily by the test suites.
+//!
+//! Checks, over the whole tree:
+//! * every stored bounding rectangle equals the exact MBR of its child
+//!   subtree (the R\*-tree maintains MBRs exactly);
+//! * every non-root node respects the `[min, max]` fanout bounds;
+//! * all leaves sit at depth `height - 1`;
+//! * the entry count in the metadata matches the points on disk.
+
+use sr_pager::PageId;
+
+use crate::node::Node;
+use crate::tree::RstarTree;
+
+/// Summary of a verified tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Internal nodes visited.
+    pub nodes: u64,
+    /// Leaves visited.
+    pub leaves: u64,
+    /// Points counted.
+    pub points: u64,
+}
+
+/// Walk the whole tree, validating every structural invariant.
+///
+/// Returns a human-readable description of the first violation found.
+pub fn check(tree: &RstarTree) -> Result<VerifyReport, String> {
+    let mut report = VerifyReport::default();
+    let root_level = (tree.height - 1) as u16;
+    walk(tree, tree.root, root_level, true, &mut report)?;
+    if report.points != tree.len() {
+        return Err(format!(
+            "metadata says {} points, tree holds {}",
+            tree.len(),
+            report.points
+        ));
+    }
+    Ok(report)
+}
+
+fn walk(
+    tree: &RstarTree,
+    id: PageId,
+    level: u16,
+    is_root: bool,
+    report: &mut VerifyReport,
+) -> Result<(), String> {
+    let node = tree
+        .read_node(id, level)
+        .map_err(|e| format!("page {id}: {e}"))?;
+    if node.level() != level {
+        return Err(format!(
+            "page {id}: stored level {} but expected {level}",
+            node.level()
+        ));
+    }
+    let (min, max) = if node.is_leaf() {
+        (tree.params().min_leaf, tree.params().max_leaf)
+    } else {
+        (tree.params().min_node, tree.params().max_node)
+    };
+    if !is_root && (node.len() < min || node.len() > max) {
+        return Err(format!(
+            "page {id} (level {level}): {} entries outside [{min}, {max}]",
+            node.len()
+        ));
+    }
+    if is_root && !node.is_leaf() && node.len() < 2 {
+        return Err(format!("inner root {id} has {} < 2 entries", node.len()));
+    }
+    match node {
+        Node::Leaf(entries) => {
+            report.leaves += 1;
+            report.points += entries.len() as u64;
+        }
+        Node::Inner { entries, .. } => {
+            report.nodes += 1;
+            for e in &entries {
+                let child = tree
+                    .read_node(e.child, level - 1)
+                    .map_err(|err| format!("page {}: {err}", e.child))?;
+                if child.len() == 0 {
+                    return Err(format!("page {} is an empty non-root node", e.child));
+                }
+                let mbr = child.mbr();
+                if mbr != e.rect {
+                    return Err(format!(
+                        "page {id}: stored rect {:?} differs from child {} MBR {:?}",
+                        e.rect, e.child, mbr
+                    ));
+                }
+                walk(tree, e.child, level - 1, false, report)?;
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Error type shared by all tree operations.
+
+use std::fmt;
+
+use sr_pager::PagerError;
+
+/// Result alias for SS-tree operations.
+pub type Result<T> = std::result::Result<T, TreeError>;
+
+/// Errors from tree operations.
+#[derive(Debug)]
+pub enum TreeError {
+    /// Underlying page I/O failed.
+    Pager(PagerError),
+    /// A point of the wrong dimensionality was offered.
+    DimensionMismatch {
+        /// Dimensionality the tree was created with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+    },
+    /// The page file does not contain this kind of index (bad magic or
+    /// incompatible version in the tree metadata).
+    NotThisIndex(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Pager(e) => write!(f, "page I/O failed: {e}"),
+            TreeError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+            }
+            TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TreeError::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PagerError> for TreeError {
+    fn from(e: PagerError) -> Self {
+        TreeError::Pager(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let e = TreeError::DimensionMismatch { expected: 16, got: 3 };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("3"));
+    }
+}

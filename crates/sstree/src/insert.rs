@@ -1,0 +1,323 @@
+//! SS-tree insertion: nearest-centroid ChooseSubtree and the aggressive
+//! forced-reinsertion policy ("reinsert unless reinsertion has been made
+//! at the same node or leaf", §2.3 of the paper).
+
+use std::collections::HashSet;
+
+use sr_geometry::Point;
+use sr_pager::PageId;
+
+use crate::error::Result;
+use crate::node::{InnerEntry, LeafEntry, Node};
+use crate::split;
+use crate::tree::SsTree;
+
+/// An entry being inserted at some level.
+pub(crate) enum AnyEntry {
+    Leaf(LeafEntry),
+    Inner(InnerEntry),
+}
+
+impl AnyEntry {
+    /// The centroid of the entry — what ChooseSubtree measures distance
+    /// to.
+    fn center(&self) -> &Point {
+        match self {
+            AnyEntry::Leaf(e) => &e.point,
+            AnyEntry::Inner(e) => e.sphere.center(),
+        }
+    }
+}
+
+/// Insert one point.
+pub(crate) fn insert_point(tree: &mut SsTree, point: Point, data: u64) -> Result<()> {
+    // The SS-tree rule tracks which *nodes* have already reinserted during
+    // this insertion, not which levels.
+    let mut reinserted: HashSet<PageId> = HashSet::new();
+    insert_at_level(
+        tree,
+        AnyEntry::Leaf(LeafEntry { point, data }),
+        0,
+        &mut reinserted,
+    )?;
+    tree.count += 1;
+    tree.save_meta()?;
+    Ok(())
+}
+
+/// Insert `entry` at `target_level` with overflow treatment.
+pub(crate) fn insert_at_level(
+    tree: &mut SsTree,
+    entry: AnyEntry,
+    target_level: u16,
+    reinserted: &mut HashSet<PageId>,
+) -> Result<()> {
+    debug_assert!((target_level as u32) < tree.height);
+    let path = choose_path(tree, entry.center(), target_level)?;
+    let mut node = tree.read_node(*path.last().unwrap(), target_level)?;
+    match entry {
+        AnyEntry::Leaf(e) => {
+            if let Node::Leaf(entries) = &mut node {
+                entries.push(e);
+            } else {
+                unreachable!("target level 0 must be a leaf");
+            }
+        }
+        AnyEntry::Inner(e) => {
+            if let Node::Inner { entries, .. } = &mut node {
+                entries.push(e);
+            } else {
+                unreachable!("target level >= 1 must be an inner node");
+            }
+        }
+    }
+
+    let mut idx = path.len() - 1;
+    loop {
+        if node.len() <= tree.max_for(&node) {
+            tree.write_node(path[idx], &node)?;
+            propagate_regions(tree, &path, idx, &node)?;
+            return Ok(());
+        }
+        if idx == 0 {
+            split_root(tree, node)?;
+            return Ok(());
+        }
+        if !reinserted.contains(&path[idx]) {
+            // --- forced reinsertion (per-node rule) ---
+            reinserted.insert(path[idx]);
+            let level = node.level();
+            let removed = remove_farthest(tree, &mut node);
+            tree.write_node(path[idx], &node)?;
+            propagate_regions(tree, &path, idx, &node)?;
+            for e in removed.into_iter().rev() {
+                insert_at_level(tree, e, level, reinserted)?;
+            }
+            return Ok(());
+        }
+        // --- split ---
+        let (a, b) = split::split_node(&tree.params, node);
+        let b_id = tree.allocate_node(&b)?;
+        tree.write_node(path[idx], &a)?;
+        let (a_region, a_weight) = (a.region(), a.weight());
+        let (b_region, b_weight) = (b.region(), b.weight());
+        idx -= 1;
+        let level = (tree.height as usize - 1 - idx) as u16;
+        let mut parent = tree.read_node(path[idx], level)?;
+        if let Node::Inner { entries, .. } = &mut parent {
+            let slot = entries
+                .iter_mut()
+                .find(|e| e.child == path[idx + 1])
+                .expect("parent lost track of its child");
+            slot.sphere = a_region;
+            slot.weight = a_weight;
+            entries.push(InnerEntry {
+                sphere: b_region,
+                weight: b_weight,
+                child: b_id,
+            });
+        } else {
+            unreachable!("parent of a split node must be an inner node");
+        }
+        node = parent;
+    }
+}
+
+/// Descend from the root toward `target_level`, at each node choosing the
+/// child whose centroid is nearest to the entry's center.
+fn choose_path(tree: &SsTree, center: &Point, target_level: u16) -> Result<Vec<PageId>> {
+    let mut path = vec![tree.root];
+    let mut level = (tree.height - 1) as u16;
+    let mut id = tree.root;
+    while level > target_level {
+        let node = tree.read_node(id, level)?;
+        let entries = match &node {
+            Node::Inner { entries, .. } => entries,
+            Node::Leaf(_) => unreachable!("descending past a leaf"),
+        };
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, e) in entries.iter().enumerate() {
+            let d = e.sphere.center().dist2(center);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        id = entries[best].child;
+        path.push(id);
+        level -= 1;
+    }
+    Ok(path)
+}
+
+/// After writing `node` at `path[idx]`, refresh the (sphere, weight)
+/// entries recorded for it in every ancestor.
+pub(crate) fn propagate_regions(
+    tree: &SsTree,
+    path: &[sr_pager::PageId],
+    idx: usize,
+    node: &Node,
+) -> Result<()> {
+    let mut child_region = node.region();
+    let mut child_weight = node.weight();
+    let mut child_id = path[idx];
+    for j in (0..idx).rev() {
+        let level = (tree.height as usize - 1 - j) as u16;
+        let mut parent = tree.read_node(path[j], level)?;
+        if let Node::Inner { entries, .. } = &mut parent {
+            let slot = entries
+                .iter_mut()
+                .find(|e| e.child == child_id)
+                .expect("parent lost track of its child");
+            if slot.sphere == child_region && slot.weight == child_weight {
+                return Ok(());
+            }
+            slot.sphere = child_region;
+            slot.weight = child_weight;
+        }
+        tree.write_node(path[j], &parent)?;
+        child_region = parent.region();
+        child_weight = parent.weight();
+        child_id = path[j];
+    }
+    Ok(())
+}
+
+/// Remove the reinsert fraction of entries farthest from the node's
+/// centroid, farthest-first.
+fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
+    let center = node.centroid();
+    let p = if node.is_leaf() {
+        tree.params.reinsert_leaf
+    } else {
+        tree.params.reinsert_node
+    };
+    match node {
+        Node::Leaf(entries) => {
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| {
+                entries[b]
+                    .point
+                    .dist2(&center)
+                    .partial_cmp(&entries[a].point.dist2(&center))
+                    .unwrap()
+            });
+            let victims: Vec<usize> = order.into_iter().take(p).collect();
+            extract(entries, &victims).into_iter().map(AnyEntry::Leaf).collect()
+        }
+        Node::Inner { entries, .. } => {
+            let mut order: Vec<usize> = (0..entries.len()).collect();
+            order.sort_by(|&a, &b| {
+                entries[b]
+                    .sphere
+                    .center()
+                    .dist2(&center)
+                    .partial_cmp(&entries[a].sphere.center().dist2(&center))
+                    .unwrap()
+            });
+            let victims: Vec<usize> = order.into_iter().take(p).collect();
+            extract(entries, &victims).into_iter().map(AnyEntry::Inner).collect()
+        }
+    }
+}
+
+/// Remove `victims` (indices) from `entries`, preserving the victims'
+/// order in the returned vector.
+fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
+    let mut sorted = victims.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut removed: Vec<(usize, T)> = sorted
+        .into_iter()
+        .map(|i| (i, entries.remove(i)))
+        .collect();
+    let mut out = Vec::with_capacity(victims.len());
+    for &v in victims {
+        let pos = removed.iter().position(|(i, _)| *i == v).unwrap();
+        out.push(removed.remove(pos).1);
+    }
+    out
+}
+
+/// Split an overflowing root, growing the tree by one level.
+fn split_root(tree: &mut SsTree, node: Node) -> Result<()> {
+    let level = node.level();
+    let (a, b) = split::split_node(&tree.params, node);
+    let a_id = tree.allocate_node(&a)?;
+    let b_id = tree.allocate_node(&b)?;
+    let new_root = Node::Inner {
+        level: level + 1,
+        entries: vec![
+            InnerEntry {
+                sphere: a.region(),
+                weight: a.weight(),
+                child: a_id,
+            },
+            InnerEntry {
+                sphere: b.region(),
+                weight: b.weight(),
+                child: b_id,
+            },
+        ],
+    };
+    tree.pf.free(tree.root)?;
+    let root_id = tree.allocate_node(&new_root)?;
+    tree.root = root_id;
+    tree.height += 1;
+    tree.save_meta()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_geometry::Sphere;
+
+    #[test]
+    fn extract_preserves_requested_order() {
+        let mut entries = vec![10, 20, 30, 40];
+        let got = extract(&mut entries, &[3, 0]);
+        assert_eq!(got, vec![40, 10]);
+        assert_eq!(entries, vec![20, 30]);
+    }
+
+    #[test]
+    fn remove_farthest_takes_centroid_outliers() {
+        // Unlike the R*-tree, the SS-tree measures from the *centroid*,
+        // so a single extreme outlier is removed first.
+        let pf = sr_pager::PageFile::create_in_memory(1024);
+        let tree = crate::tree::SsTree::create_from(pf, 2, 64).unwrap();
+        let mut node = Node::Leaf(
+            (0..9)
+                .map(|i| LeafEntry {
+                    point: Point::new(if i == 8 {
+                        vec![1000.0, 1000.0]
+                    } else {
+                        vec![i as f32 * 0.1, 0.0]
+                    }),
+                    data: i as u64,
+                })
+                .collect(),
+        );
+        let removed = remove_farthest(&tree, &mut node);
+        match &removed[0] {
+            AnyEntry::Leaf(e) => assert_eq!(e.data, 8, "outlier should go first"),
+            AnyEntry::Inner(_) => panic!("expected leaf entry"),
+        }
+    }
+
+    #[test]
+    fn any_entry_center_is_point_or_sphere_center() {
+        let leaf = AnyEntry::Leaf(LeafEntry {
+            point: Point::new(vec![1.0, 2.0]),
+            data: 0,
+        });
+        assert_eq!(leaf.center().coords(), &[1.0, 2.0]);
+        let inner = AnyEntry::Inner(InnerEntry {
+            sphere: Sphere::new(Point::new(vec![3.0, 4.0]), 1.0),
+            weight: 5,
+            child: 1,
+        });
+        assert_eq!(inner.center().coords(), &[3.0, 4.0]);
+    }
+}

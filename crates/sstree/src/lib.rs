@@ -1,0 +1,50 @@
+//! The SS-tree (White & Jain, ICDE 1996) — the similarity-indexing
+//! baseline the SR-tree improves on (paper §2.3).
+//!
+//! A disk-based, height-balanced tree whose regions are **bounding
+//! spheres** centered on the centroid of the underlying points:
+//!
+//! * **Insertion** descends to the subtree whose centroid is nearest to
+//!   the new point;
+//! * **Forced reinsertion** runs on overflow *unless reinsertion has
+//!   already been made at the same node or leaf* during this insertion —
+//!   more aggressive than the R\*-tree's once-per-level rule, promoting
+//!   dynamic reorganization;
+//! * **Split** picks the dimension with the highest variance of the child
+//!   centroids and the split position minimizing the two groups' summed
+//!   variance;
+//! * a node entry stores `D + 1` floats (center + radius) against a
+//!   rectangle's `2·D`, nearly doubling fanout — 55 vs the R\*-tree's 30
+//!   entries at `D = 16` with 8 KiB pages.
+//!
+//! Nearest-neighbor queries run the Roussopoulos et al. depth-first
+//! search from [`sr_query`], scoring regions with the distance to the
+//! sphere surface.
+//!
+//! ```
+//! use sr_sstree::SsTree;
+//! use sr_geometry::Point;
+//!
+//! let mut tree = SsTree::create_in_memory(2, 8192).unwrap();
+//! for (i, xy) in [[0.0f32, 0.0], [1.0, 1.0], [0.2, 0.1]].iter().enumerate() {
+//!     tree.insert(Point::new(xy.to_vec()), i as u64).unwrap();
+//! }
+//! let hits = tree.knn(&[0.0, 0.0], 2).unwrap();
+//! assert_eq!(hits[0].data, 0);
+//! ```
+
+mod delete;
+mod error;
+mod insert;
+mod node;
+mod params;
+mod search;
+mod split;
+mod tree;
+pub mod verify;
+
+pub use error::{Result, TreeError};
+pub use params::SsParams;
+pub use tree::SsTree;
+
+pub use sr_query::Neighbor;

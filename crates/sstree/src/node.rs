@@ -1,0 +1,260 @@
+//! In-memory node representation, region computation, and page codec.
+
+use sr_geometry::{
+    bounding_sphere_of_points, enclosing_radius_spheres, next_radius_up, Centroid, Point, Sphere,
+};
+use sr_pager::{PageCodec, PageId};
+
+use crate::error::{Result, TreeError};
+use crate::params::{SsParams, NODE_HEADER};
+
+/// One point stored in a leaf.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry {
+    pub point: Point,
+    pub data: u64,
+}
+
+/// One child reference stored in an internal node: the child's bounding
+/// sphere, the number of points beneath it (the `w` of the paper's node
+/// layout, which weights the centroid computation), and the child page.
+#[derive(Clone, Debug)]
+pub(crate) struct InnerEntry {
+    pub sphere: Sphere,
+    pub weight: u64,
+    pub child: PageId,
+}
+
+/// A materialized node. Level 0 is the leaf level.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    Leaf(Vec<LeafEntry>),
+    Inner { level: u16, entries: Vec<InnerEntry> },
+}
+
+impl Node {
+    pub fn level(&self) -> u16 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner { level, .. } => *level,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Total points in this node's subtree.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Node::Leaf(e) => e.len() as u64,
+            Node::Inner { entries, .. } => entries.iter().map(|e| e.weight).sum(),
+        }
+    }
+
+    /// The SS-tree region of this node: a sphere centered on the weighted
+    /// centroid, with radius `d_s` — just enough to enclose every child
+    /// sphere (every point, for a leaf).
+    ///
+    /// # Panics
+    /// Panics on an empty node.
+    pub fn region(&self) -> Sphere {
+        match self {
+            Node::Leaf(entries) => {
+                let pts: Vec<&[f32]> = entries.iter().map(|e| e.point.coords()).collect();
+                bounding_sphere_of_points(&pts)
+            }
+            Node::Inner { entries, .. } => {
+                assert!(!entries.is_empty(), "region of an empty node");
+                let mut c = Centroid::new(entries[0].sphere.dim());
+                for e in entries {
+                    c.add(e.sphere.center().coords(), e.weight);
+                }
+                let center = c.finish();
+                let d_s = enclosing_radius_spheres(
+                    &center,
+                    entries
+                        .iter()
+                        .map(|e| (e.sphere.center().coords(), e.sphere.radius())),
+                );
+                Sphere::new(center, next_radius_up(d_s))
+            }
+        }
+    }
+
+    /// The centroid this node's region would be centered on — the target
+    /// of the SS-tree's nearest-centroid ChooseSubtree.
+    pub fn centroid(&self) -> Point {
+        self.region().center().clone()
+    }
+
+    /// Serialize into a page payload.
+    pub fn encode(&self, params: &SsParams, capacity: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; capacity];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u16(self.level());
+        c.put_u16(self.len() as u16);
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    c.put_coords(e.point.coords());
+                    c.put_u64(e.data);
+                    c.put_padding(params.data_area - 8);
+                }
+            }
+            Node::Inner { entries, .. } => {
+                for e in entries {
+                    debug_assert!(e.weight <= u32::MAX as u64);
+                    c.put_coords(e.sphere.center().coords());
+                    c.put_f64(e.sphere.radius() as f64);
+                    c.put_u32(e.weight as u32);
+                    c.put_u64(e.child);
+                }
+            }
+        }
+        let len = c.pos();
+        buf.truncate(len);
+        buf
+    }
+
+    /// Deserialize from a page payload.
+    pub fn decode(payload: &[u8], params: &SsParams) -> Result<Node> {
+        if payload.len() < NODE_HEADER {
+            return Err(TreeError::NotThisIndex("node page too short".into()));
+        }
+        let mut data = payload.to_vec();
+        let mut c = PageCodec::new(&mut data);
+        let level = c.get_u16();
+        let n = c.get_u16() as usize;
+        if level == 0 {
+            let need = n * SsParams::leaf_entry_bytes(params.dim, params.data_area);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated leaf page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let point = Point::new(c.get_coords(params.dim));
+                let data = c.get_u64();
+                c.skip(params.data_area - 8);
+                entries.push(LeafEntry { point, data });
+            }
+            Ok(Node::Leaf(entries))
+        } else {
+            let need = n * SsParams::node_entry_bytes(params.dim);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated node page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let center = Point::new(c.get_coords(params.dim));
+                let radius = c.get_f64() as f32;
+                let weight = c.get_u32() as u64;
+                let child = c.get_u64();
+                entries.push(InnerEntry {
+                    sphere: Sphere::new(center, radius),
+                    weight,
+                    child,
+                });
+            }
+            Ok(Node::Inner { level, entries })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SsParams {
+        SsParams::derive(8187, 3, 512)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = params();
+        let node = Node::Leaf(vec![LeafEntry {
+            point: Point::new(vec![1.5, -2.0, 0.25]),
+            data: 7,
+        }]);
+        let bytes = node.encode(&p, 8187);
+        let back = Node::decode(&bytes, &p).unwrap();
+        if let Node::Leaf(e) = back {
+            assert_eq!(e[0].point.coords(), &[1.5, -2.0, 0.25]);
+            assert_eq!(e[0].data, 7);
+        } else {
+            panic!("expected leaf");
+        }
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        let p = params();
+        let node = Node::Inner {
+            level: 2,
+            entries: vec![InnerEntry {
+                sphere: Sphere::new(Point::new(vec![0.5, 0.5, 0.5]), 1.25),
+                weight: 99,
+                child: 31,
+            }],
+        };
+        let bytes = node.encode(&p, 8187);
+        let back = Node::decode(&bytes, &p).unwrap();
+        if let Node::Inner { entries, level } = back {
+            assert_eq!(level, 2);
+            assert_eq!(entries[0].sphere.radius(), 1.25);
+            assert_eq!(entries[0].weight, 99);
+            assert_eq!(entries[0].child, 31);
+        } else {
+            panic!("expected inner");
+        }
+    }
+
+    #[test]
+    fn leaf_region_contains_points() {
+        let node = Node::Leaf(vec![
+            LeafEntry { point: Point::new(vec![0.0, 0.0, 0.0]), data: 0 },
+            LeafEntry { point: Point::new(vec![1.0, 1.0, 1.0]), data: 1 },
+            LeafEntry { point: Point::new(vec![0.5, 0.3, 0.9]), data: 2 },
+        ]);
+        let s = node.region();
+        if let Node::Leaf(entries) = &node {
+            for e in entries {
+                assert!(s.contains_point(e.point.coords(), 0.0));
+            }
+        }
+        assert_eq!(node.weight(), 3);
+    }
+
+    #[test]
+    fn inner_region_contains_child_spheres() {
+        let mk = |x: f32, r: f32, w: u64| InnerEntry {
+            sphere: Sphere::new(Point::new(vec![x, 0.0, 0.0]), r),
+            weight: w,
+            child: 0,
+        };
+        let node = Node::Inner {
+            level: 1,
+            entries: vec![mk(0.0, 0.5, 10), mk(4.0, 1.0, 30)],
+        };
+        let s = node.region();
+        if let Node::Inner { entries, .. } = &node {
+            for e in entries {
+                assert!(
+                    s.contains_sphere(&e.sphere, 1e-6),
+                    "child sphere escaped: parent {s:?} child {:?}",
+                    e.sphere
+                );
+            }
+        }
+        // centroid weighted 10:30 toward x=4 → x = 3.0
+        assert!((s.center()[0] - 3.0).abs() < 1e-6);
+        assert_eq!(node.weight(), 40);
+    }
+}

@@ -1,0 +1,114 @@
+//! Capacity parameters for the SS-tree, derived from the page size
+//! (Table 1 of the paper).
+//!
+//! On-disk sizes per entry (coordinates stored as 8-byte floats):
+//!
+//! * node entry = bounding sphere (`(D+1)·8` bytes: center + radius)
+//!   + subtree point count (4) + child pointer (8);
+//! * leaf entry = point (`D·8`) + data area (512 default).
+//!
+//! At `D = 16` with 8 KiB pages this gives 55 node entries — nearly twice
+//! the R\*-tree's 30, the fanout advantage §2.3 describes — and 12 leaf
+//! entries.
+
+/// Per-node header: level (u16) + entry count (u16).
+pub(crate) const NODE_HEADER: usize = 4;
+
+/// Capacity and policy parameters of an SS-tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsParams {
+    /// Dimensionality of indexed points.
+    pub dim: usize,
+    /// Bytes reserved per leaf entry for the data record (≥ 8).
+    pub data_area: usize,
+    /// Maximum entries in an internal node.
+    pub max_node: usize,
+    /// Minimum entries in a non-root internal node (40%).
+    pub min_node: usize,
+    /// Maximum entries in a leaf.
+    pub max_leaf: usize,
+    /// Minimum entries in a non-root leaf (40%).
+    pub min_leaf: usize,
+    /// Entries removed by forced reinsertion (30%, ≥ 1).
+    pub reinsert_node: usize,
+    /// Entries removed by forced reinsertion from a leaf.
+    pub reinsert_leaf: usize,
+}
+
+impl SsParams {
+    /// Derive parameters from the usable page payload, dimensionality,
+    /// and per-entry data area.
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least 2 entries per node and
+    /// leaf, or if `data_area < 8`.
+    pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        let usable = page_capacity - NODE_HEADER;
+        let max_node = usable / Self::node_entry_bytes(dim);
+        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
+        assert!(
+            max_node >= 2 && max_leaf >= 2,
+            "page too small: {max_node} node entries, {max_leaf} leaf entries"
+        );
+        SsParams {
+            dim,
+            data_area,
+            max_node,
+            min_node: min_fill(max_node),
+            max_leaf,
+            min_leaf: min_fill(max_leaf),
+            reinsert_node: reinsert_count(max_node),
+            reinsert_leaf: reinsert_count(max_leaf),
+        }
+    }
+
+    /// Bytes of one internal-node entry on disk.
+    pub fn node_entry_bytes(dim: usize) -> usize {
+        (dim + 1) * 8 + 4 + 8
+    }
+
+    /// Bytes of one leaf entry on disk.
+    pub fn leaf_entry_bytes(dim: usize, data_area: usize) -> usize {
+        8 * dim + data_area
+    }
+}
+
+pub(crate) fn min_fill(max: usize) -> usize {
+    ((max * 2) / 5).max(2).min(max / 2)
+}
+
+pub(crate) fn reinsert_count(max: usize) -> usize {
+    ((max * 3) / 10).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_at_16_dimensions() {
+        let p = SsParams::derive(8187, 16, 512);
+        // node entry = 17*8 + 12 = 148 → (8187-4)/148 = 55
+        assert_eq!(p.max_node, 55);
+        assert_eq!(p.max_leaf, 12);
+        // fanout nearly double the R*-tree's 30 (§2.3)
+        assert!(p.max_node >= 2 * 30 - 6);
+    }
+
+    #[test]
+    fn minimums_are_forty_percent() {
+        let p = SsParams::derive(8187, 16, 512);
+        assert_eq!(p.min_node, 22);
+        assert_eq!(p.min_leaf, 4);
+        assert_eq!(p.reinsert_node, 16);
+        assert_eq!(p.reinsert_leaf, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "page too small")]
+    fn tiny_page_rejected() {
+        let _ = SsParams::derive(200, 64, 512);
+    }
+}

@@ -1,0 +1,270 @@
+//! The public [`SsTree`] type: lifecycle, metadata, and page helpers.
+
+use std::path::Path;
+
+use sr_geometry::{Point, Sphere};
+use sr_pager::{PageCodec, PageFile, PageId, PageKind};
+use sr_query::Neighbor;
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::params::SsParams;
+use crate::{delete, insert, search};
+
+const META_MAGIC: u32 = 0x5353_5452; // "SSTR"
+const META_VERSION: u32 = 1;
+
+/// A disk-based SS-tree over points — bounding-sphere regions, centroid
+/// insertion.
+pub struct SsTree {
+    pub(crate) pf: PageFile,
+    pub(crate) params: SsParams,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a leaf.
+    pub(crate) height: u32,
+    pub(crate) count: u64,
+}
+
+impl SsTree {
+    /// Create a new tree in an in-memory page file.
+    pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
+        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+    }
+
+    /// Create a new tree at `path` with 8 KiB pages and the paper's
+    /// 512-byte data area.
+    pub fn create(path: &Path, dim: usize) -> Result<Self> {
+        Self::create_from(PageFile::create(path)?, dim, 512)
+    }
+
+    /// Create a new tree over an empty [`PageFile`].
+    pub fn create_from(pf: PageFile, dim: usize, data_area: usize) -> Result<Self> {
+        let params = SsParams::derive(pf.capacity(), dim, data_area);
+        let root = pf.allocate(PageKind::Leaf)?;
+        let tree = SsTree {
+            pf,
+            params,
+            root,
+            height: 1,
+            count: 0,
+        };
+        tree.write_node(root, &Node::Leaf(Vec::new()))?;
+        tree.save_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopen a tree previously created with [`SsTree::create`].
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_from(PageFile::open(path)?)
+    }
+
+    /// Reopen a tree from an already-open page file.
+    pub fn open_from(pf: PageFile) -> Result<Self> {
+        let mut meta = pf.user_meta();
+        if meta.len() < 36 {
+            return Err(TreeError::NotThisIndex("metadata too short".into()));
+        }
+        let mut c = PageCodec::new(&mut meta);
+        if c.get_u32() != META_MAGIC {
+            return Err(TreeError::NotThisIndex("not an SS-tree file".into()));
+        }
+        if c.get_u32() != META_VERSION {
+            return Err(TreeError::NotThisIndex("unsupported SS-tree version".into()));
+        }
+        let dim = c.get_u32() as usize;
+        let data_area = c.get_u32() as usize;
+        let root = c.get_u64();
+        let height = c.get_u32();
+        let count = c.get_u64();
+        let params = SsParams::derive(pf.capacity(), dim, data_area);
+        Ok(SsTree {
+            pf,
+            params,
+            root,
+            height,
+            count,
+        })
+    }
+
+    pub(crate) fn save_meta(&self) -> Result<()> {
+        let mut buf = vec![0u8; 36];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u32(META_MAGIC);
+        c.put_u32(META_VERSION);
+        c.put_u32(self.params.dim as u32);
+        c.put_u32(self.params.data_area as u32);
+        c.put_u64(self.root);
+        c.put_u32(self.height);
+        c.put_u64(self.count);
+        self.pf.set_user_meta(&buf)?;
+        Ok(())
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Capacity parameters in force (Table 1).
+    pub fn params(&self) -> &SsParams {
+        &self.params
+    }
+
+    /// The underlying page file (I/O statistics, cache control).
+    pub fn pager(&self) -> &PageFile {
+        &self.pf
+    }
+
+    /// Flush all dirty pages and metadata.
+    pub fn flush(&self) -> Result<()> {
+        self.pf.flush()?;
+        Ok(())
+    }
+
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.params.dim {
+            return Err(TreeError::DimensionMismatch {
+                expected: self.params.dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
+        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let payload = self.pf.read(id, kind)?;
+        let node = Node::decode(&payload, &self.params)?;
+        debug_assert_eq!(node.level(), level, "page {id} level mismatch");
+        Ok(node)
+    }
+
+    pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let payload = node.encode(&self.params, self.pf.capacity());
+        self.pf.write(id, kind, &payload)?;
+        Ok(())
+    }
+
+    pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let id = self.pf.allocate(kind)?;
+        self.write_node(id, node)?;
+        Ok(id)
+    }
+
+    pub(crate) fn max_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.max_leaf
+        } else {
+            self.params.max_node
+        }
+    }
+
+    pub(crate) fn min_for(&self, node: &Node) -> usize {
+        if node.is_leaf() {
+            self.params.min_leaf
+        } else {
+            self.params.min_node
+        }
+    }
+
+    /// Insert a point with a `u64` payload.
+    pub fn insert(&mut self, point: Point, data: u64) -> Result<()> {
+        self.check_dim(point.dim())?;
+        insert::insert_point(self, point, data)
+    }
+
+    /// Delete the exact entry `(point, data)`; returns whether it existed.
+    pub fn delete(&mut self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        delete::delete(self, point, data)
+    }
+
+    /// Whether an exact entry `(point, data)` is stored.
+    pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        search::contains(self, point, data)
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k)
+    }
+
+    /// Every point within `radius` of `query`.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius)
+    }
+
+    /// Bounding spheres of all non-empty leaves — the leaf-level regions
+    /// of Figures 5, 12, 13.
+    pub fn leaf_regions(&self) -> Result<Vec<Sphere>> {
+        let mut out = Vec::new();
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
+            if node.len() > 0 {
+                out.push(node.region());
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Bounding *rectangles* of all non-empty leaves — the hypothetical
+    /// measurement of the paper's Figure 6 (what SS-tree leaf regions
+    /// would be if determined by rectangles instead of spheres).
+    pub fn leaf_bounding_rects(&self) -> Result<Vec<sr_geometry::Rect>> {
+        let mut out = Vec::new();
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
+            if let Node::Leaf(entries) = node {
+                if !entries.is_empty() {
+                    out.push(sr_geometry::bounding_rect_of_points(
+                        entries.iter().map(|e| e.point.coords()),
+                    ));
+                }
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Total number of leaf pages.
+    pub fn num_leaves(&self) -> Result<u64> {
+        let mut n = 0u64;
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| n += 1)?;
+        Ok(n)
+    }
+
+    fn walk_leaves(
+        &self,
+        id: PageId,
+        level: u16,
+        f: &mut impl FnMut(&Node),
+    ) -> Result<()> {
+        let node = self.read_node(id, level)?;
+        match &node {
+            Node::Leaf(_) => f(&node),
+            Node::Inner { entries, .. } => {
+                for e in entries {
+                    self.walk_leaves(e.child, level - 1, f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

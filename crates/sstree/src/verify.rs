@@ -1,0 +1,113 @@
+//! Structural-invariant checker for the SS-tree.
+//!
+//! Checks:
+//! * every stored bounding sphere contains every point of its child
+//!   subtree (the correctness precondition of k-NN pruning);
+//! * every stored sphere equals the region recomputed from the child
+//!   node (centers and radii are maintained deterministically);
+//! * stored subtree weights match actual point counts;
+//! * fanout bounds, uniform leaf depth, metadata count.
+
+use sr_pager::PageId;
+
+use crate::node::Node;
+use crate::tree::SsTree;
+
+/// Summary of a verified tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Internal nodes visited.
+    pub nodes: u64,
+    /// Leaves visited.
+    pub leaves: u64,
+    /// Points counted.
+    pub points: u64,
+}
+
+/// Walk the whole tree, validating every structural invariant.
+pub fn check(tree: &SsTree) -> Result<VerifyReport, String> {
+    let mut report = VerifyReport::default();
+    let root_level = (tree.height - 1) as u16;
+    walk(tree, tree.root, root_level, true, &mut report)?;
+    if report.points != tree.len() {
+        return Err(format!(
+            "metadata says {} points, tree holds {}",
+            tree.len(),
+            report.points
+        ));
+    }
+    Ok(report)
+}
+
+fn walk(
+    tree: &SsTree,
+    id: PageId,
+    level: u16,
+    is_root: bool,
+    report: &mut VerifyReport,
+) -> Result<Vec<(Vec<f32>, u64)>, String> {
+    let node = tree
+        .read_node(id, level)
+        .map_err(|e| format!("page {id}: {e}"))?;
+    let (min, max) = if node.is_leaf() {
+        (tree.params().min_leaf, tree.params().max_leaf)
+    } else {
+        (tree.params().min_node, tree.params().max_node)
+    };
+    if !is_root && (node.len() < min || node.len() > max) {
+        return Err(format!(
+            "page {id} (level {level}): {} entries outside [{min}, {max}]",
+            node.len()
+        ));
+    }
+    match node {
+        Node::Leaf(entries) => {
+            report.leaves += 1;
+            report.points += entries.len() as u64;
+            Ok(entries
+                .iter()
+                .map(|e| (e.point.coords().to_vec(), e.data))
+                .collect())
+        }
+        Node::Inner { entries, .. } => {
+            report.nodes += 1;
+            let mut all = Vec::new();
+            for e in &entries {
+                let child_node = tree
+                    .read_node(e.child, level - 1)
+                    .map_err(|err| format!("page {}: {err}", e.child))?;
+                if child_node.len() == 0 {
+                    return Err(format!("page {} is an empty non-root node", e.child));
+                }
+                // Stored region must equal the deterministic recomputation.
+                let recomputed = child_node.region();
+                if recomputed != e.sphere {
+                    return Err(format!(
+                        "page {id}: stored sphere {:?} differs from child {} region {:?}",
+                        e.sphere, e.child, recomputed
+                    ));
+                }
+                if e.weight != child_node.weight() {
+                    return Err(format!(
+                        "page {id}: stored weight {} differs from child {} weight {}",
+                        e.weight,
+                        e.child,
+                        child_node.weight()
+                    ));
+                }
+                let pts = walk(tree, e.child, level - 1, false, report)?;
+                // Every point beneath must lie inside the stored sphere.
+                for (p, _) in &pts {
+                    if !e.sphere.contains_point(p, 1e-5) {
+                        return Err(format!(
+                            "page {id}: point {p:?} escapes the sphere of child {}",
+                            e.child
+                        ));
+                    }
+                }
+                all.extend(pts);
+            }
+            Ok(all)
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! In-memory node representation and its page codec.
+
+use sr_geometry::{bounding_rect_of_points, Point, Rect};
+use sr_pager::{PageCodec, PageId};
+
+use crate::error::{Result, TreeError};
+use crate::params::{VamParams, NODE_HEADER};
+
+/// One point stored in a leaf.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry {
+    pub point: Point,
+    pub data: u64,
+}
+
+/// One child reference stored in an internal node.
+#[derive(Clone, Debug)]
+pub(crate) struct InnerEntry {
+    pub rect: Rect,
+    pub child: PageId,
+}
+
+/// A materialized node. `level` 0 is the leaf level.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    Leaf(Vec<LeafEntry>),
+    Inner { level: u16, entries: Vec<InnerEntry> },
+}
+
+impl Node {
+    pub fn level(&self) -> u16 {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner { level, .. } => *level,
+        }
+    }
+
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Exact minimum bounding rectangle of this node's entries.
+    ///
+    /// # Panics
+    /// Panics on an empty node — callers only compute MBRs of nodes that
+    /// hold at least one entry (the empty-root case is special-cased in
+    /// the tree).
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf(entries) => {
+                bounding_rect_of_points(entries.iter().map(|e| e.point.coords()))
+            }
+            Node::Inner { entries, .. } => {
+                let mut it = entries.iter();
+                let mut r = it.next().expect("mbr of empty node").rect.clone();
+                for e in it {
+                    r.expand_to_rect(&e.rect);
+                }
+                r
+            }
+        }
+    }
+
+    /// Serialize into a page payload.
+    pub fn encode(&self, params: &VamParams, capacity: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; capacity];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u16(self.level());
+        c.put_u16(self.len() as u16);
+        match self {
+            Node::Leaf(entries) => {
+                debug_assert!(entries.len() <= params.max_leaf + 1);
+                for e in entries {
+                    c.put_coords(e.point.coords());
+                    c.put_u64(e.data);
+                    c.put_padding(params.data_area - 8);
+                }
+            }
+            Node::Inner { entries, .. } => {
+                debug_assert!(entries.len() <= params.max_node + 1);
+                for e in entries {
+                    c.put_coords(e.rect.min());
+                    c.put_coords(e.rect.max());
+                    c.put_u64(e.child);
+                }
+            }
+        }
+        let len = c.pos();
+        buf.truncate(len);
+        buf
+    }
+
+    /// Deserialize from a page payload.
+    pub fn decode(payload: &[u8], params: &VamParams) -> Result<Node> {
+        if payload.len() < NODE_HEADER {
+            return Err(TreeError::NotThisIndex("node page too short".into()));
+        }
+        let mut data = payload.to_vec();
+        let mut c = PageCodec::new(&mut data);
+        let level = c.get_u16();
+        let n = c.get_u16() as usize;
+        if level == 0 {
+            let need = n * VamParams::leaf_entry_bytes(params.dim, params.data_area);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated leaf page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let point = Point::new(c.get_coords(params.dim));
+                let data = c.get_u64();
+                c.skip(params.data_area - 8);
+                entries.push(LeafEntry { point, data });
+            }
+            Ok(Node::Leaf(entries))
+        } else {
+            let need = n * VamParams::node_entry_bytes(params.dim);
+            if c.remaining() < need {
+                return Err(TreeError::NotThisIndex("truncated node page".into()));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let min = c.get_coords(params.dim);
+                let max = c.get_coords(params.dim);
+                let child = c.get_u64();
+                entries.push(InnerEntry {
+                    rect: Rect::new(min, max),
+                    child,
+                });
+            }
+            Ok(Node::Inner { level, entries })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> VamParams {
+        VamParams::derive(8187, 4, 512)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = params();
+        let node = Node::Leaf(vec![
+            LeafEntry {
+                point: Point::new(vec![1.0, 2.0, 3.0, 4.0]),
+                data: 42,
+            },
+            LeafEntry {
+                point: Point::new(vec![-1.0, 0.5, 0.0, 9.0]),
+                data: u64::MAX,
+            },
+        ]);
+        let bytes = node.encode(&p, 8187);
+        let back = Node::decode(&bytes, &p).unwrap();
+        assert!(back.is_leaf());
+        assert_eq!(back.len(), 2);
+        if let Node::Leaf(entries) = back {
+            assert_eq!(entries[0].point.coords(), &[1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(entries[0].data, 42);
+            assert_eq!(entries[1].data, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        let p = params();
+        let node = Node::Inner {
+            level: 3,
+            entries: vec![InnerEntry {
+                rect: Rect::new(vec![0.0, 0.0, 0.0, 0.0], vec![1.0, 2.0, 3.0, 4.0]),
+                child: 77,
+            }],
+        };
+        let bytes = node.encode(&p, 8187);
+        let back = Node::decode(&bytes, &p).unwrap();
+        assert_eq!(back.level(), 3);
+        if let Node::Inner { entries, .. } = back {
+            assert_eq!(entries[0].child, 77);
+            assert_eq!(entries[0].rect.max(), &[1.0, 2.0, 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let p = params();
+        let node = Node::Leaf(vec![]);
+        let bytes = node.encode(&p, 8187);
+        let back = Node::decode(&bytes, &p).unwrap();
+        assert_eq!(back.len(), 0);
+        assert!(back.is_leaf());
+    }
+
+    #[test]
+    fn mbr_of_leaf_and_inner() {
+        let leaf = Node::Leaf(vec![
+            LeafEntry { point: Point::new(vec![0.0, 5.0]), data: 0 },
+            LeafEntry { point: Point::new(vec![3.0, -1.0]), data: 1 },
+        ]);
+        let r = leaf.mbr();
+        assert_eq!(r.min(), &[0.0, -1.0]);
+        assert_eq!(r.max(), &[3.0, 5.0]);
+
+        let inner = Node::Inner {
+            level: 1,
+            entries: vec![
+                InnerEntry { rect: Rect::new(vec![0.0], vec![1.0]), child: 1 },
+                InnerEntry { rect: Rect::new(vec![5.0], vec![9.0]), child: 2 },
+            ],
+        };
+        let r = inner.mbr();
+        assert_eq!(r.min(), &[0.0]);
+        assert_eq!(r.max(), &[9.0]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let p = params();
+        assert!(Node::decode(&[1], &p).is_err());
+        // claims 100 entries but has no bytes
+        let mut junk = vec![0u8; 4];
+        junk[0] = 0;
+        junk[2] = 100;
+        assert!(Node::decode(&junk, &p).is_err());
+    }
+}

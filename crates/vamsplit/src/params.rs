@@ -1,0 +1,74 @@
+//! Capacity parameters for the VAMSplit R-tree — entry layout identical
+//! to the R\*-tree (rectangle + child pointer), 30 node entries and 12
+//! leaf entries at `D = 16` with 8 KiB pages.
+
+/// Per-node header: level (u16) + entry count (u16).
+pub(crate) const NODE_HEADER: usize = 4;
+
+/// Capacity parameters of a VAMSplit R-tree. Static bulk build packs
+/// pages fully, so no minimum fill is defined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VamParams {
+    /// Dimensionality of indexed points.
+    pub dim: usize,
+    /// Bytes reserved per leaf entry for the data record (≥ 8).
+    pub data_area: usize,
+    /// Maximum entries in an internal node.
+    pub max_node: usize,
+    /// Maximum entries in a leaf.
+    pub max_leaf: usize,
+    /// Unused for the static build; present so the shared node codec can
+    /// stay identical to the R\*-tree's.
+    pub min_node: usize,
+    /// See `min_node`.
+    pub min_leaf: usize,
+}
+
+impl VamParams {
+    /// Derive parameters from the usable page payload.
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least 2 entries per page kind,
+    /// or if `data_area < 8`.
+    pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        let usable = page_capacity - NODE_HEADER;
+        let max_node = usable / Self::node_entry_bytes(dim);
+        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
+        assert!(
+            max_node >= 2 && max_leaf >= 2,
+            "page too small: {max_node} node entries, {max_leaf} leaf entries"
+        );
+        VamParams {
+            dim,
+            data_area,
+            max_node,
+            max_leaf,
+            min_node: 1,
+            min_leaf: 1,
+        }
+    }
+
+    /// Bytes of one internal-node entry on disk.
+    pub fn node_entry_bytes(dim: usize) -> usize {
+        2 * 8 * dim + 8
+    }
+
+    /// Bytes of one leaf entry on disk.
+    pub fn leaf_entry_bytes(dim: usize, data_area: usize) -> usize {
+        8 * dim + data_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_rstar_capacities() {
+        let p = VamParams::derive(8187, 16, 512);
+        assert_eq!(p.max_node, 30);
+        assert_eq!(p.max_leaf, 12);
+    }
+}

@@ -1,0 +1,57 @@
+//! Query plumbing for the bulk-built tree: the
+//! [`sr_query::KnnSource`] implementation scoring regions with
+//! rectangle `MINDIST` (identical to the R-tree family).
+
+use sr_geometry::dist2;
+use sr_pager::PageId;
+use sr_query::{Expansion, KnnSource, Neighbor};
+
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::tree::VamTree;
+
+struct Source<'a> {
+    tree: &'a VamTree,
+}
+
+impl KnnSource for Source<'_> {
+    type Node = (PageId, u16);
+    type Error = TreeError;
+
+    fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
+    }
+
+    fn expand(
+        &self,
+        &(id, level): &Self::Node,
+        query: &[f32],
+        out: &mut Expansion<Self::Node>,
+    ) -> std::result::Result<(), TreeError> {
+        match self.tree.read_node(id, level)? {
+            Node::Leaf(entries) => {
+                for e in &entries {
+                    out.points.push(Neighbor {
+                        dist2: dist2(e.point.coords(), query),
+                        data: e.data,
+                    });
+                }
+            }
+            Node::Inner { entries, .. } => {
+                for e in &entries {
+                    out.branches
+                        .push((e.rect.min_dist2(query), (e.child, level - 1)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn knn(tree: &VamTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+    sr_query::knn(&Source { tree }, query, k)
+}
+
+pub(crate) fn range(tree: &VamTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    sr_query::range(&Source { tree }, query, radius)
+}

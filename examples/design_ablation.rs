@@ -1,0 +1,80 @@
+//! A guided tour of the SR-tree's design choices, using the ablation
+//! APIs: how much pruning each region shape buys, what forced
+//! reinsertion contributes, and what bulk loading changes.
+//!
+//! ```text
+//! cargo run --release --example design_ablation
+//! ```
+
+use srtree::dataset::{real_sim, sample_queries};
+use srtree::geometry::Point;
+use srtree::pager::PageFile;
+use srtree::tree::{DistanceBound, SrOptions, SrTree};
+
+const DIM: usize = 16;
+const N: usize = 10_000;
+const K: usize = 21;
+
+fn reads_per_query(tree: &SrTree, queries: &[Point], bound: DistanceBound) -> f64 {
+    tree.pager().set_cache_capacity(0).unwrap();
+    tree.pager().reset_stats();
+    for q in queries {
+        tree.knn_with_bound(q.coords(), K, bound).unwrap();
+    }
+    tree.pager().stats().tree_reads() as f64 / queries.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("indexing {N} simulated color histograms ({DIM}-d)...\n");
+    let points = real_sim(N, DIM, 7);
+    let queries = sample_queries(&points, 200, 11);
+    let with_ids: Vec<(Point, u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+
+    // --- the paper's SR-tree --------------------------------------------
+    let mut sr = SrTree::create_in_memory(DIM, 8192)?;
+    for (p, id) in &with_ids {
+        sr.insert(p.clone(), *id)?;
+    }
+
+    println!("§4.4 — which region shape does the pruning? (reads per {K}-NN query)");
+    let both = reads_per_query(&sr, &queries, DistanceBound::Both);
+    let sphere = reads_per_query(&sr, &queries, DistanceBound::SphereOnly);
+    let rect = reads_per_query(&sr, &queries, DistanceBound::RectOnly);
+    println!("  max(d_s, d_r)  (the SR-tree): {both:>8.1}");
+    println!("  sphere only     (an SS view): {sphere:>8.1}");
+    println!("  rectangle only  (an R* view): {rect:>8.1}");
+    assert!(both <= sphere && both <= rect);
+
+    // --- forced reinsertion ----------------------------------------------
+    let mut no_reinsert = SrTree::create_with_options(
+        PageFile::create_in_memory(8192),
+        DIM,
+        512,
+        SrOptions { disable_reinsertion: true, ..Default::default() },
+    )?;
+    for (p, id) in &with_ids {
+        no_reinsert.insert(p.clone(), *id)?;
+    }
+    let without = reads_per_query(&no_reinsert, &queries, DistanceBound::Both);
+    println!("\nforced reinsertion: {both:.1} reads with, {without:.1} without");
+
+    // --- bulk loading ------------------------------------------------------
+    let mut bulk = SrTree::create_in_memory(DIM, 8192)?;
+    bulk.bulk_load(with_ids.clone())?;
+    let bulk_reads = reads_per_query(&bulk, &queries, DistanceBound::Both);
+    println!(
+        "\nbulk-loaded tree: {} leaves vs {} dynamic; {bulk_reads:.1} reads vs {both:.1}",
+        bulk.num_leaves()?,
+        sr.num_leaves()?,
+    );
+    println!(
+        "\n(the dynamic tree reads less on clustered data: the centroid\n\
+         insertion algorithm organizes it better than spatial packing —\n\
+         the quiet hero of the paper's real-data results)"
+    );
+    Ok(())
+}

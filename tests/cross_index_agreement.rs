@@ -1,0 +1,173 @@
+//! Integration: all five index structures must return identical answers
+//! on identical workloads — the precondition for every comparison the
+//! paper makes.
+
+use srtree::dataset::{cluster, real_sim, sample_queries, uniform, ClusterSpec};
+use srtree::geometry::Point;
+use srtree::kdbtree::KdbTree;
+use srtree::query::brute_force_knn;
+use srtree::rstar::RstarTree;
+use srtree::sstree::SsTree;
+use srtree::tree::SrTree;
+use srtree::vamsplit::VamTree;
+
+struct Fleet {
+    kdb: KdbTree,
+    rstar: RstarTree,
+    ss: SsTree,
+    sr: SrTree,
+    vam: VamTree,
+}
+
+fn build_fleet(points: &[Point]) -> Fleet {
+    let dim = points[0].dim();
+    let mut kdb = KdbTree::create_in_memory(dim, 4096).unwrap();
+    let mut rstar = RstarTree::create_in_memory(dim, 4096).unwrap();
+    let mut ss = SsTree::create_in_memory(dim, 4096).unwrap();
+    let mut sr = SrTree::create_in_memory(dim, 4096).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        kdb.insert(p.clone(), i as u64).unwrap();
+        rstar.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+        sr.insert(p.clone(), i as u64).unwrap();
+    }
+    let with_ids: Vec<(Point, u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let vam = VamTree::build_in_memory(with_ids, dim, 4096).unwrap();
+    Fleet { kdb, rstar, ss, sr, vam }
+}
+
+fn check_agreement(points: &[Point], queries: &[Point], k: usize) {
+    let fleet = build_fleet(points);
+    let flat: Vec<(&[f32], u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.coords(), i as u64))
+        .collect();
+    for q in queries {
+        let truth = brute_force_knn(flat.iter().copied(), q.coords(), k);
+        let answers = [
+            fleet.kdb.knn(q.coords(), k).unwrap(),
+            fleet.rstar.knn(q.coords(), k).unwrap(),
+            fleet.ss.knn(q.coords(), k).unwrap(),
+            fleet.sr.knn(q.coords(), k).unwrap(),
+            fleet.vam.knn(q.coords(), k).unwrap(),
+        ];
+        for (i, got) in answers.iter().enumerate() {
+            assert_eq!(got.len(), truth.len(), "structure {i} length");
+            for (g, w) in got.iter().zip(truth.iter()) {
+                assert!(
+                    (g.dist2 - w.dist2).abs() < 1e-9,
+                    "structure {i}: {} vs {}",
+                    g.dist2,
+                    w.dist2
+                );
+            }
+            // Deterministic tie-breaking makes even the id lists equal.
+            assert_eq!(
+                got.iter().map(|n| n.data).collect::<Vec<_>>(),
+                truth.iter().map(|n| n.data).collect::<Vec<_>>(),
+                "structure {i} ids"
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_on_uniform_data() {
+    let points = uniform(1_500, 8, 101);
+    let queries = sample_queries(&points, 15, 5);
+    check_agreement(&points, &queries, 21);
+}
+
+#[test]
+fn agreement_on_clustered_data() {
+    let points = cluster(
+        ClusterSpec {
+            clusters: 15,
+            points_per_cluster: 80,
+            max_radius: 0.04,
+        },
+        8,
+        103,
+    );
+    let queries = sample_queries(&points, 15, 7);
+    check_agreement(&points, &queries, 10);
+}
+
+#[test]
+fn agreement_on_histogram_data() {
+    let points = real_sim(1_200, 16, 107);
+    let queries = sample_queries(&points, 10, 9);
+    check_agreement(&points, &queries, 21);
+}
+
+#[test]
+fn agreement_on_low_dimensional_data() {
+    let points = uniform(1_000, 2, 109);
+    let queries = sample_queries(&points, 15, 11);
+    check_agreement(&points, &queries, 5);
+}
+
+#[test]
+fn agreement_after_deletions() {
+    // Delete a third of the points from every dynamic structure and
+    // re-check agreement against the surviving ground truth.
+    let points = uniform(900, 4, 113);
+    let mut fleet = build_fleet(&points);
+    let mut survivors: Vec<(Point, u64)> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(fleet.kdb.delete(p, i as u64).unwrap());
+            assert!(fleet.rstar.delete(p, i as u64).unwrap());
+            assert!(fleet.ss.delete(p, i as u64).unwrap());
+            assert!(fleet.sr.delete(p, i as u64).unwrap());
+        } else {
+            survivors.push((p.clone(), i as u64));
+        }
+    }
+    let flat: Vec<(&[f32], u64)> = survivors
+        .iter()
+        .map(|(p, i)| (p.coords(), *i))
+        .collect();
+    for (q, _) in survivors.iter().step_by(97) {
+        let truth = brute_force_knn(flat.iter().copied(), q.coords(), 9);
+        for got in [
+            fleet.kdb.knn(q.coords(), 9).unwrap(),
+            fleet.rstar.knn(q.coords(), 9).unwrap(),
+            fleet.ss.knn(q.coords(), 9).unwrap(),
+            fleet.sr.knn(q.coords(), 9).unwrap(),
+        ] {
+            for (g, w) in got.iter().zip(truth.iter()) {
+                assert!((g.dist2 - w.dist2).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn range_agreement_across_structures() {
+    let points = uniform(800, 4, 127);
+    let fleet = build_fleet(&points);
+    let flat: Vec<(&[f32], u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.coords(), i as u64))
+        .collect();
+    for (qi, radius) in [(3usize, 0.2f64), (77, 0.4), (400, 0.6)] {
+        let q = points[qi].coords();
+        let truth: Vec<u64> = srtree::query::brute_force_range(flat.iter().copied(), q, radius)
+            .iter()
+            .map(|n| n.data)
+            .collect();
+        let ids = |v: Vec<srtree::query::Neighbor>| v.iter().map(|n| n.data).collect::<Vec<_>>();
+        assert_eq!(ids(fleet.kdb.range(q, radius).unwrap()), truth);
+        assert_eq!(ids(fleet.rstar.range(q, radius).unwrap()), truth);
+        assert_eq!(ids(fleet.ss.range(q, radius).unwrap()), truth);
+        assert_eq!(ids(fleet.sr.range(q, radius).unwrap()), truth);
+        assert_eq!(ids(fleet.vam.range(q, radius).unwrap()), truth);
+    }
+}

@@ -1,0 +1,209 @@
+//! Integration: the paper's qualitative claims, asserted as tests on
+//! scaled-down workloads. These are the "shape" checks of the
+//! reproduction — who wins and in which regime — kept small enough for
+//! CI.
+
+use srtree::dataset::{cluster, real_sim, sample_queries, uniform, ClusterSpec};
+use srtree::geometry::Point;
+use srtree::rstar::RstarTree;
+use srtree::sstree::SsTree;
+use srtree::tree::SrTree;
+
+const DIM: usize = 16;
+const K: usize = 21;
+
+fn reads_per_query<F: Fn(&[f32])>(pager: &srtree::pager::PageFile, queries: &[Point], go: F) -> f64 {
+    pager.set_cache_capacity(0).unwrap();
+    pager.reset_stats();
+    for q in queries {
+        go(q.coords());
+    }
+    pager.stats().tree_reads() as f64 / queries.len() as f64
+}
+
+/// §5.1 / Figure 11: on non-uniform (histogram) data the SR-tree reads
+/// substantially fewer pages than the SS-tree, which reads fewer than
+/// the R\*-tree.
+#[test]
+fn sr_beats_ss_beats_rstar_on_real_data() {
+    let points = real_sim(8_000, DIM, 31);
+    let queries = sample_queries(&points, 60, 33);
+
+    let mut sr = SrTree::create_in_memory(DIM, 8192).unwrap();
+    let mut ss = SsTree::create_in_memory(DIM, 8192).unwrap();
+    let mut rs = RstarTree::create_in_memory(DIM, 8192).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        sr.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+        rs.insert(p.clone(), i as u64).unwrap();
+    }
+
+    let sr_reads = reads_per_query(sr.pager(), &queries, |q| {
+        sr.knn(q, K).unwrap();
+    });
+    let ss_reads = reads_per_query(ss.pager(), &queries, |q| {
+        ss.knn(q, K).unwrap();
+    });
+    let rs_reads = reads_per_query(rs.pager(), &queries, |q| {
+        rs.knn(q, K).unwrap();
+    });
+
+    assert!(
+        sr_reads < 0.85 * ss_reads,
+        "SR {sr_reads:.1} should clearly beat SS {ss_reads:.1}"
+    );
+    assert!(
+        ss_reads < rs_reads,
+        "SS {ss_reads:.1} should beat R* {rs_reads:.1}"
+    );
+}
+
+/// §5.3 / Figure 14: the SR-tree pays *more* node-level reads (fanout is
+/// a third of the SS-tree's) but saves more leaf-level reads than that.
+#[test]
+fn fanout_problem_tradeoff() {
+    let points = real_sim(8_000, DIM, 41);
+    let queries = sample_queries(&points, 60, 43);
+
+    let mut sr = SrTree::create_in_memory(DIM, 8192).unwrap();
+    let mut ss = SsTree::create_in_memory(DIM, 8192).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        sr.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+    }
+
+    let run = |pager: &srtree::pager::PageFile, go: &dyn Fn(&[f32])| {
+        pager.set_cache_capacity(0).unwrap();
+        pager.reset_stats();
+        for q in &queries {
+            go(q.coords());
+        }
+        let s = pager.stats();
+        (
+            s.logical_reads(srtree::pager::PageKind::Node) as f64,
+            s.logical_reads(srtree::pager::PageKind::Leaf) as f64,
+        )
+    };
+    let (sr_node, sr_leaf) = run(sr.pager(), &|q| {
+        sr.knn(q, K).unwrap();
+    });
+    let (ss_node, ss_leaf) = run(ss.pager(), &|q| {
+        ss.knn(q, K).unwrap();
+    });
+
+    assert!(
+        sr_leaf < ss_leaf,
+        "SR leaf reads {sr_leaf} should undercut SS {ss_leaf}"
+    );
+    let total_sr = sr_node + sr_leaf;
+    let total_ss = ss_node + ss_leaf;
+    assert!(
+        total_sr < total_ss,
+        "total reads: SR {total_sr} vs SS {total_ss}"
+    );
+}
+
+/// §5.2 / Figures 12–13: SR-tree leaf regions have volumes no larger
+/// than the R\*-tree's *and* diameters no larger than the SS-tree's —
+/// "both small volumes and short diameters".
+#[test]
+fn sr_regions_are_small_and_short() {
+    let points = real_sim(6_000, DIM, 51);
+    let mut sr = SrTree::create_in_memory(DIM, 8192).unwrap();
+    let mut ss = SsTree::create_in_memory(DIM, 8192).unwrap();
+    let mut rs = RstarTree::create_in_memory(DIM, 8192).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        sr.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+        rs.insert(p.clone(), i as u64).unwrap();
+    }
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+
+    let sr_regions = sr.leaf_regions().unwrap();
+    let sr_vol = mean(sr_regions.iter().map(|(_, r)| r.volume()).collect());
+    let sr_diam = mean(sr_regions.iter().map(|(s, _)| s.diameter()).collect());
+
+    let ss_spheres = ss.leaf_regions().unwrap();
+    let ss_vol = mean(ss_spheres.iter().map(|s| s.volume()).collect());
+    let ss_diam = mean(ss_spheres.iter().map(|s| s.diameter()).collect());
+
+    let rs_rects = rs.leaf_regions().unwrap();
+    let rs_vol = mean(rs_rects.iter().map(|r| r.volume()).collect());
+
+    assert!(sr_vol <= rs_vol, "SR volume {sr_vol:e} vs R* {rs_vol:e}");
+    assert!(sr_vol < ss_vol / 100.0, "SR volume {sr_vol:e} vs SS {ss_vol:e}");
+    // "As short diameters as those of the SS-tree" — approximately:
+    // the trees differ in fanout, so split timing differs slightly.
+    assert!(
+        sr_diam <= ss_diam * 1.15,
+        "SR diameter {sr_diam} vs SS {ss_diam}"
+    );
+}
+
+/// §3.2 / Figure 5: bounding rectangles have far smaller volume but
+/// longer diameters than bounding spheres on the same data.
+#[test]
+fn rectangles_small_spheres_short() {
+    let points = uniform(6_000, DIM, 61);
+    let mut ss = SsTree::create_in_memory(DIM, 8192).unwrap();
+    let mut rs = RstarTree::create_in_memory(DIM, 8192).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        ss.insert(p.clone(), i as u64).unwrap();
+        rs.insert(p.clone(), i as u64).unwrap();
+    }
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    let ss_spheres = ss.leaf_regions().unwrap();
+    let ss_vol = mean(ss_spheres.iter().map(|s| s.volume()).collect());
+    let ss_diam = mean(ss_spheres.iter().map(|s| s.diameter()).collect());
+    let rs_rects = rs.leaf_regions().unwrap();
+    let rs_vol = mean(rs_rects.iter().map(|r| r.volume()).collect());
+    let rs_diam = mean(rs_rects.iter().map(|r| r.diagonal()).collect());
+
+    assert!(rs_vol < ss_vol / 10.0, "rect vol {rs_vol:e} vs sphere {ss_vol:e}");
+    assert!(rs_diam > ss_diam, "rect diag {rs_diam} vs sphere diam {ss_diam}");
+}
+
+/// §5.4 / Figure 19: the SR-tree's advantage grows as the data becomes
+/// less uniform (fewer, tighter clusters).
+#[test]
+fn advantage_grows_with_clustering() {
+    let total = 6_000;
+    let mut ratios = Vec::new();
+    for clusters in [20usize, 6_000] {
+        let points = if clusters >= total {
+            uniform(total, DIM, 71)
+        } else {
+            cluster(
+                ClusterSpec {
+                    clusters,
+                    points_per_cluster: total / clusters,
+                    max_radius: 0.1,
+                },
+                DIM,
+                71,
+            )
+        };
+        let queries = sample_queries(&points, 40, 73);
+        let mut sr = SrTree::create_in_memory(DIM, 8192).unwrap();
+        let mut ss = SsTree::create_in_memory(DIM, 8192).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            sr.insert(p.clone(), i as u64).unwrap();
+            ss.insert(p.clone(), i as u64).unwrap();
+        }
+        let sr_reads = reads_per_query(sr.pager(), &queries, |q| {
+            sr.knn(q, K).unwrap();
+        });
+        let ss_reads = reads_per_query(ss.pager(), &queries, |q| {
+            ss.knn(q, K).unwrap();
+        });
+        ratios.push(sr_reads / ss_reads);
+    }
+    // Clustered ratio must show a clearly larger advantage than uniform.
+    assert!(
+        ratios[0] < ratios[1],
+        "clustered SR/SS ratio {} should beat uniform {}",
+        ratios[0],
+        ratios[1]
+    );
+    assert!(ratios[0] < 0.75, "clustered advantage too weak: {}", ratios[0]);
+}
