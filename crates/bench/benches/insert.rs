@@ -1,21 +1,32 @@
-//! Criterion micro-bench: insertion throughput per structure
-//! (Figure 9's CPU panel, as a statistically sound micro-benchmark).
+//! Micro-bench: insertion throughput per structure (Figure 9's CPU
+//! panel). A plain timing harness (`harness = false`): the workspace
+//! carries no registry dependencies, so statistical machinery is
+//! replaced by warmup + median-of-samples, which is stable enough for
+//! the relative comparisons these benches exist for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use sr_bench::{AnyIndex, TreeKind};
 use sr_dataset::uniform;
 
-fn bench_insert(c: &mut Criterion) {
+fn main() {
     let points = uniform(2_000, 16, 42);
-    let mut group = c.benchmark_group("insert_2k_16d");
-    group.sample_size(10);
+    println!("insert_2k_16d (median of 10 builds)");
     for &kind in TreeKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| AnyIndex::build(kind, std::hint::black_box(&points)));
-        });
+        // Warmup build.
+        std::hint::black_box(AnyIndex::build(kind, &points));
+        let mut samples: Vec<f64> = (0..10)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(AnyIndex::build(kind, &points));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "  {:<12} {:>10.3} ms",
+            kind.label(),
+            samples[samples.len() / 2] * 1e3
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_insert);
-criterion_main!(benches);

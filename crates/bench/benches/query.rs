@@ -1,28 +1,34 @@
-//! Criterion micro-bench: 21-NN query latency per structure on the
-//! simulated real data set (Figures 4/11's CPU panels).
+//! Micro-bench: 21-NN query latency per structure on the simulated real
+//! data set (Figures 4/11's CPU panels). Plain timing harness; see
+//! `insert.rs` for the rationale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use sr_bench::{AnyIndex, TreeKind};
 use sr_dataset::{real_sim, sample_queries};
 
-fn bench_query(c: &mut Criterion) {
+fn main() {
     let points = real_sim(10_000, 16, 42);
     let queries = sample_queries(&points, 64, 7);
-    let mut group = c.benchmark_group("knn21_10k_16d_real");
+    println!(
+        "knn21_10k_16d_real (mean over {} queries x 5 rounds)",
+        queries.len()
+    );
     for &kind in TreeKind::ALL {
         let index = AnyIndex::build(kind, &points);
         index.reset_for_queries();
-        let mut qi = 0usize;
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
-            b.iter(|| {
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                std::hint::black_box(index.knn(q.coords(), 21))
-            });
-        });
+        // Warmup round.
+        for q in &queries {
+            std::hint::black_box(index.knn(q.coords(), 21));
+        }
+        let t = Instant::now();
+        let rounds = 5;
+        for _ in 0..rounds {
+            for q in &queries {
+                std::hint::black_box(index.knn(q.coords(), 21));
+            }
+        }
+        let per_query = t.elapsed().as_secs_f64() / (rounds * queries.len()) as f64;
+        println!("  {:<12} {:>10.1} us", kind.label(), per_query * 1e6);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_query);
-criterion_main!(benches);

@@ -1,11 +1,13 @@
-//! Criterion micro-bench: range-query latency per structure on
-//! clustered data (complements the k-NN bench).
+//! Micro-bench: range-query latency per structure on clustered data
+//! (complements the k-NN bench). Plain timing harness; see `insert.rs`
+//! for the rationale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use sr_bench::{AnyIndex, TreeKind};
 use sr_dataset::{cluster, sample_queries, ClusterSpec};
 
-fn bench_range(c: &mut Criterion) {
+fn main() {
     let points = cluster(
         ClusterSpec {
             clusters: 50,
@@ -16,21 +18,24 @@ fn bench_range(c: &mut Criterion) {
         42,
     );
     let queries = sample_queries(&points, 64, 7);
-    let mut group = c.benchmark_group("range_r0.05_10k_16d_cluster");
+    println!(
+        "range_r0.05_10k_16d_cluster (mean over {} queries x 5 rounds)",
+        queries.len()
+    );
     for &kind in TreeKind::ALL {
         let index = AnyIndex::build(kind, &points);
         index.reset_for_queries();
-        let mut qi = 0usize;
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            b.iter(|| {
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                std::hint::black_box(index.range(q.coords(), 0.05))
-            })
-        });
+        for q in &queries {
+            std::hint::black_box(index.range(q.coords(), 0.05));
+        }
+        let t = Instant::now();
+        let rounds = 5;
+        for _ in 0..rounds {
+            for q in &queries {
+                std::hint::black_box(index.range(q.coords(), 0.05));
+            }
+        }
+        let per_query = t.elapsed().as_secs_f64() / (rounds * queries.len()) as f64;
+        println!("  {:<12} {:>10.1} us", kind.label(), per_query * 1e6);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_range);
-criterion_main!(benches);

@@ -52,7 +52,10 @@ pub fn run(scale: &Scale) -> Result<(), String> {
     report.header(["variant", "reads/query"]);
 
     let full = build(SrOptions::default())?;
-    report.row(["SR-tree (paper)".to_string(), f(reads(&full, DistanceBound::Both)?)]);
+    report.row([
+        "SR-tree (paper)".to_string(),
+        f(reads(&full, DistanceBound::Both)?),
+    ]);
     report.row([
         "  query bound: sphere only".to_string(),
         f(reads(&full, DistanceBound::SphereOnly)?),

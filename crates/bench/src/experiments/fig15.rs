@@ -25,13 +25,7 @@ pub(crate) fn dim_sweep(
     gen: impl Fn(usize, usize) -> Vec<Point>,
 ) -> Result<(), String> {
     let mut report = Report::new(id, title);
-    report.header([
-        "dims",
-        "SS cpu_ms",
-        "SS reads",
-        "SR cpu_ms",
-        "SR reads",
-    ]);
+    report.header(["dims", "SS cpu_ms", "SS reads", "SR cpu_ms", "SR reads"]);
     let n = scale.dim_sweep_size();
     for &d in &scale.dims() {
         let points = gen(d, n);

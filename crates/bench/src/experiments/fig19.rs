@@ -14,13 +14,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
         "fig19",
         "21-NN cost vs number of clusters (16-d, fixed total points)",
     );
-    report.header([
-        "clusters",
-        "SS cpu_ms",
-        "SS reads",
-        "SR cpu_ms",
-        "SR reads",
-    ]);
+    report.header(["clusters", "SS cpu_ms", "SS reads", "SR cpu_ms", "SR reads"]);
     let total = scale.cluster_total();
     for &c in &scale.cluster_counts() {
         let points = if c >= total {

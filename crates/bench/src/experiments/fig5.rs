@@ -39,13 +39,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
         let rs_vol = mean(rects.iter().map(|r| r.volume()));
         let rs_diam = mean(rects.iter().map(|r| r.diagonal()));
 
-        report.row([
-            n.to_string(),
-            f(ss_vol),
-            f(ss_diam),
-            f(rs_vol),
-            f(rs_diam),
-        ]);
+        report.row([n.to_string(), f(ss_vol), f(ss_diam), f(rs_vol), f(rs_diam)]);
     }
     report.emit()
 }

@@ -6,7 +6,12 @@ use crate::measure::Scale;
 use crate::report::Report;
 
 pub fn run(scale: &Scale) -> Result<(), String> {
-    heights_table("table2", "tree heights (uniform data set)", scale.uniform_sizes(), uniform_data)
+    heights_table(
+        "table2",
+        "tree heights (uniform data set)",
+        scale.uniform_sizes(),
+        uniform_data,
+    )
 }
 
 pub(crate) fn heights_table(

@@ -5,5 +5,10 @@ use crate::experiments::{real_data, table2::heights_table};
 use crate::measure::Scale;
 
 pub fn run(scale: &Scale) -> Result<(), String> {
-    heights_table("table3", "tree heights (real data set)", scale.real_sizes(), real_data)
+    heights_table(
+        "table3",
+        "tree heights (real data set)",
+        scale.real_sizes(),
+        real_data,
+    )
 }

@@ -4,6 +4,8 @@
 
 use std::path::PathBuf;
 
+use sr_testkit::DataDist;
+
 /// Which index structure a command targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndexKind {
@@ -27,7 +29,9 @@ impl IndexKind {
             "rstar" | "r*" => Ok(IndexKind::Rstar),
             "kdb" => Ok(IndexKind::Kdb),
             "vam" => Ok(IndexKind::Vam),
-            other => Err(format!("unknown index kind {other:?} (sr|ss|rstar|kdb|vam)")),
+            other => Err(format!(
+                "unknown index kind {other:?} (sr|ss|rstar|kdb|vam)"
+            )),
         }
     }
 }
@@ -96,6 +100,16 @@ pub enum Command {
     Stats { index_path: PathBuf },
     /// Run the structural-invariant checker.
     Verify { index_path: PathBuf },
+    /// Replay a differential-fuzz op tape (opt-in; this is the replay
+    /// side of the `SEED=` lines the tier-1 fuzz tests print).
+    Fuzz {
+        seed: u64,
+        ops: usize,
+        dim: usize,
+        dist: DataDist,
+        page_size: usize,
+        verify_every: usize,
+    },
 }
 
 /// Parse `argv[1..]`.
@@ -117,7 +131,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let pos = positionals(&rest, 1)?;
             Ok(Command::Knn {
                 index_path: pos[0].into(),
-                k: flag(&rest, "--k")?.unwrap_or("21").parse().map_err(bad("--k"))?,
+                k: flag(&rest, "--k")?
+                    .unwrap_or("21")
+                    .parse()
+                    .map_err(bad("--k"))?,
                 query: parse_query(flag(&rest, "--query")?.ok_or("missing --query")?)?,
             })
         }
@@ -134,12 +151,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "stats" => {
             let pos = positionals(&rest, 1)?;
-            Ok(Command::Stats { index_path: pos[0].into() })
+            Ok(Command::Stats {
+                index_path: pos[0].into(),
+            })
         }
         "verify" => {
             let pos = positionals(&rest, 1)?;
-            Ok(Command::Verify { index_path: pos[0].into() })
+            Ok(Command::Verify {
+                index_path: pos[0].into(),
+            })
         }
+        "fuzz" => parse_fuzz(&rest),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -148,9 +170,18 @@ fn parse_gen(rest: &[&str]) -> Result<Command, String> {
     let pos = positionals(rest, 1)?;
     Ok(Command::Gen {
         kind: GenKind::from_str(flag(rest, "--kind")?.unwrap_or("uniform"))?,
-        n: flag(rest, "--n")?.unwrap_or("10000").parse().map_err(bad("--n"))?,
-        dim: flag(rest, "--dim")?.unwrap_or("16").parse().map_err(bad("--dim"))?,
-        seed: flag(rest, "--seed")?.unwrap_or("42").parse().map_err(bad("--seed"))?,
+        n: flag(rest, "--n")?
+            .unwrap_or("10000")
+            .parse()
+            .map_err(bad("--n"))?,
+        dim: flag(rest, "--dim")?
+            .unwrap_or("16")
+            .parse()
+            .map_err(bad("--dim"))?,
+        seed: flag(rest, "--seed")?
+            .unwrap_or("42")
+            .parse()
+            .map_err(bad("--seed"))?,
         clusters: flag(rest, "--clusters")?
             .unwrap_or("100")
             .parse()
@@ -163,10 +194,65 @@ fn parse_build(rest: &[&str]) -> Result<Command, String> {
     let pos = positionals(rest, 2)?;
     Ok(Command::Build {
         index: IndexKind::from_str(flag(rest, "--index")?.unwrap_or("sr"))?,
-        dim: flag(rest, "--dim")?.unwrap_or("16").parse().map_err(bad("--dim"))?,
+        dim: flag(rest, "--dim")?
+            .unwrap_or("16")
+            .parse()
+            .map_err(bad("--dim"))?,
         index_path: pos[0].into(),
         data_path: pos[1].into(),
     })
+}
+
+fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
+    positionals(rest, 0)?;
+    let dist_s = flag(rest, "--dist")?.unwrap_or("uniform");
+    let ops: usize = flag(rest, "--ops")?
+        .unwrap_or("2000")
+        .parse()
+        .map_err(bad("--ops"))?;
+    if ops == 0 {
+        return Err("--ops must be at least 1".into());
+    }
+    let dim: usize = flag(rest, "--dim")?
+        .unwrap_or("8")
+        .parse()
+        .map_err(bad("--dim"))?;
+    if !(1..=32).contains(&dim) {
+        return Err(format!("--dim {dim} out of range (1..=32)"));
+    }
+    let page_size: usize = flag(rest, "--page-size")?
+        .unwrap_or("2048")
+        .parse()
+        .map_err(bad("--page-size"))?;
+    // 2 KiB guarantees every structure can hold >= 2 entries per node
+    // at the paper's 512-byte data areas up to --dim 32.
+    if !(2048..=65536).contains(&page_size) {
+        return Err(format!(
+            "--page-size {page_size} out of range (2048..=65536)"
+        ));
+    }
+    Ok(Command::Fuzz {
+        seed: parse_seed(flag(rest, "--seed")?.unwrap_or("42"))?,
+        ops,
+        dim,
+        dist: DataDist::parse(dist_s)
+            .ok_or_else(|| format!("unknown --dist {dist_s:?} (uniform|cluster|real)"))?,
+        page_size,
+        verify_every: flag(rest, "--verify-every")?
+            .unwrap_or("500")
+            .parse()
+            .map_err(bad("--verify-every"))?,
+    })
+}
+
+/// A seed, decimal or `0x`-hex — the failure reports print hex, so the
+/// replay line must round-trip both spellings.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("bad --seed: {e}"))
 }
 
 /// Extract `--name value` from an argument slice.
@@ -203,7 +289,10 @@ fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, String
         }
     }
     if out.len() != want {
-        return Err(format!("expected {want} positional argument(s), got {}", out.len()));
+        return Err(format!(
+            "expected {want} positional argument(s), got {}",
+            out.len()
+        ));
     }
     Ok(out)
 }
@@ -222,7 +311,7 @@ fn bad(name: &'static str) -> impl Fn(std::num::ParseIntError) -> String {
 }
 
 fn usage() -> String {
-    "usage: srtool <gen|build|insert|knn|range|stats|verify> ...\n\
+    "usage: srtool <gen|build|insert|knn|range|stats|verify|fuzz> ...\n\
      see `srtool --help` output in the README"
         .to_string()
 }
@@ -239,7 +328,9 @@ mod tests {
     fn parse_gen_defaults() {
         let cmd = p(&["gen", "out.tsv"]).unwrap();
         match cmd {
-            Command::Gen { kind, n, dim, seed, .. } => {
+            Command::Gen {
+                kind, n, dim, seed, ..
+            } => {
                 assert_eq!(kind, GenKind::Uniform);
                 assert_eq!((n, dim, seed), (10000, 16, 42));
             }
@@ -250,11 +341,27 @@ mod tests {
     #[test]
     fn parse_gen_with_flags() {
         let cmd = p(&[
-            "gen", "--kind", "cluster", "--n", "500", "--dim", "8", "--clusters", "5", "x.tsv",
+            "gen",
+            "--kind",
+            "cluster",
+            "--n",
+            "500",
+            "--dim",
+            "8",
+            "--clusters",
+            "5",
+            "x.tsv",
         ])
         .unwrap();
         match cmd {
-            Command::Gen { kind, n, dim, clusters, out, .. } => {
+            Command::Gen {
+                kind,
+                n,
+                dim,
+                clusters,
+                out,
+                ..
+            } => {
                 assert_eq!(kind, GenKind::Cluster);
                 assert_eq!((n, dim, clusters), (500, 8, 5));
                 assert_eq!(out, std::path::PathBuf::from("x.tsv"));
@@ -300,5 +407,67 @@ mod tests {
     #[test]
     fn duplicate_flag_rejected() {
         assert!(p(&["gen", "--n", "1", "--n", "2", "o.tsv"]).is_err());
+    }
+
+    #[test]
+    fn parse_fuzz_defaults() {
+        let cmd = p(&["fuzz"]).unwrap();
+        match cmd {
+            Command::Fuzz {
+                seed,
+                ops,
+                dim,
+                dist,
+                page_size,
+                verify_every,
+            } => {
+                assert_eq!((seed, ops, dim), (42, 2000, 8));
+                assert_eq!(dist, DataDist::Uniform);
+                assert_eq!((page_size, verify_every), (2048, 500));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_fuzz_replay_line_round_trips() {
+        // Exactly the spelling `sr_testkit::seed_line` prints.
+        let cmd = p(&[
+            "fuzz",
+            "--seed",
+            "0xd1ff0002",
+            "--ops",
+            "2000",
+            "--dim",
+            "8",
+            "--dist",
+            "cluster",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Fuzz {
+                seed,
+                ops,
+                dim,
+                dist,
+                ..
+            } => {
+                assert_eq!((seed, ops, dim), (0xD1FF_0002, 2000, 8));
+                assert_eq!(dist, DataDist::Clustered);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Decimal seeds keep working too.
+        assert!(matches!(
+            p(&["fuzz", "--seed", "7"]).unwrap(),
+            Command::Fuzz { seed: 7, .. }
+        ));
+        assert!(p(&["fuzz", "--dist", "zipf"]).is_err());
+        assert!(p(&["fuzz", "--seed", "0xgg"]).is_err());
+        assert!(p(&["fuzz", "stray-positional"]).is_err());
+        assert!(p(&["fuzz", "--ops", "0"]).is_err());
+        assert!(p(&["fuzz", "--dim", "0"]).is_err());
+        assert!(p(&["fuzz", "--dim", "33"]).is_err());
+        assert!(p(&["fuzz", "--page-size", "64"]).is_err());
     }
 }

@@ -4,6 +4,7 @@ use std::io::Write;
 
 use sr_dataset::{cluster, real_sim, uniform, ClusterSpec};
 use sr_geometry::Point;
+use sr_testkit::{failure_report, generate, minimize, run_tape, DiffConfig, WorkloadSpec};
 
 use crate::args::{Command, GenKind};
 use crate::data::{read_points, write_points};
@@ -12,7 +13,14 @@ use crate::store::AnyStore;
 /// Execute a parsed command, writing output to `out`.
 pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
     match cmd {
-        Command::Gen { kind, n, dim, seed, clusters, out: path } => {
+        Command::Gen {
+            kind,
+            n,
+            dim,
+            seed,
+            clusters,
+            out: path,
+        } => {
             let points: Vec<Point> = match kind {
                 GenKind::Uniform => uniform(n, dim, seed),
                 GenKind::Histogram => real_sim(n, dim, seed),
@@ -35,10 +43,20 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                 .map(|(i, p)| (p, i as u64))
                 .collect();
             write_points(&path, &with_ids)?;
-            writeln!(out, "wrote {} points ({dim}-d) to {}", with_ids.len(), path.display())
-                .map_err(|e| e.to_string())
+            writeln!(
+                out,
+                "wrote {} points ({dim}-d) to {}",
+                with_ids.len(),
+                path.display()
+            )
+            .map_err(|e| e.to_string())
         }
-        Command::Build { index, dim, index_path, data_path } => {
+        Command::Build {
+            index,
+            dim,
+            index_path,
+            data_path,
+        } => {
             let points = read_points(&data_path)?;
             if let Some((p, _)) = points.first() {
                 if p.dim() != dim {
@@ -60,16 +78,26 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             )
             .map_err(|e| e.to_string())
         }
-        Command::Insert { index_path, data_path } => {
+        Command::Insert {
+            index_path,
+            data_path,
+        } => {
             let points = read_points(&data_path)?;
             let n = points.len();
             let mut store = AnyStore::open(&index_path)?;
             store.insert(points)?;
             let (_, len, height) = store.summary();
-            writeln!(out, "inserted {n} points; index now holds {len}, height {height}")
-                .map_err(|e| e.to_string())
+            writeln!(
+                out,
+                "inserted {n} points; index now holds {len}, height {height}"
+            )
+            .map_err(|e| e.to_string())
         }
-        Command::Knn { index_path, k, query } => {
+        Command::Knn {
+            index_path,
+            k,
+            query,
+        } => {
             let store = AnyStore::open(&index_path)?;
             let hits = store.knn(&query, k)?;
             for (id, dist) in hits {
@@ -77,7 +105,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Range { index_path, radius, query } => {
+        Command::Range {
+            index_path,
+            radius,
+            query,
+        } => {
             let store = AnyStore::open(&index_path)?;
             let hits = store.range(&query, radius)?;
             for (id, dist) in hits {
@@ -99,6 +131,45 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             let store = AnyStore::open(&index_path)?;
             let summary = store.verify()?;
             writeln!(out, "{} OK: {summary}", store.kind_name()).map_err(|e| e.to_string())
+        }
+        Command::Fuzz {
+            seed,
+            ops,
+            dim,
+            dist,
+            page_size,
+            verify_every,
+        } => {
+            let spec = WorkloadSpec::standard(ops, dim, dist);
+            let tape = generate(&spec, seed);
+            let cfg = DiffConfig {
+                page_size,
+                verify_every,
+                ..DiffConfig::default()
+            };
+            match run_tape(&tape, &cfg) {
+                Ok(r) => writeln!(
+                    out,
+                    "fuzz OK: {} ops over {} {dim}-d data (seed {seed:#x}): \
+                     {} inserts, {} deletes, {} knn, {} range, \
+                     {} verify sweeps, {} live at end",
+                    r.ops,
+                    dist.name(),
+                    r.inserts,
+                    r.deletes,
+                    r.knns,
+                    r.ranges,
+                    r.verifies,
+                    r.final_live
+                )
+                .map_err(|e| e.to_string()),
+                Err(d) => {
+                    // Nonzero exit with the minimized reproduction in
+                    // the error text, same shape the tier-1 tests print.
+                    let minimized = minimize(&tape, &cfg, 60);
+                    Err(failure_report(&tape, &minimized, &d))
+                }
+            }
         }
     }
 }

@@ -24,8 +24,8 @@ pub fn read_points(path: &Path) -> Result<Vec<(Point, u64)>, String> {
             .parse()
             .map_err(|e| format!("{}:{}: bad id: {e}", path.display(), lineno + 1))?;
         let coords: Result<Vec<f32>, _> = fields.map(|f| f.parse::<f32>()).collect();
-        let coords =
-            coords.map_err(|e| format!("{}:{}: bad coordinate: {e}", path.display(), lineno + 1))?;
+        let coords = coords
+            .map_err(|e| format!("{}:{}: bad coordinate: {e}", path.display(), lineno + 1))?;
         if coords.is_empty() {
             return Err(format!("{}:{}: no coordinates", path.display(), lineno + 1));
         }

@@ -12,6 +12,7 @@
 //! srtool range   index.pages --radius 0.5 --query 0.1,0.2,...
 //! srtool stats   index.pages
 //! srtool verify  index.pages
+//! srtool fuzz    --seed 0xd1ff0001 --ops 2000 --dim 8 --dist uniform|cluster|real
 //! ```
 //!
 //! Data files are TSV: one point per line, `id <TAB> c0 <TAB> c1 ...`.

@@ -90,10 +90,7 @@ impl AnyStore {
         if let Ok(t) = VamTree::open(path) {
             return Ok(AnyStore::Vam(t));
         }
-        Err(format!(
-            "{}: not a recognizable index file",
-            path.display()
-        ))
+        Err(format!("{}: not a recognizable index file", path.display()))
     }
 
     /// Human-readable type name.
@@ -178,12 +175,24 @@ impl AnyStore {
     /// Run the structure's invariant checker, returning a summary line.
     pub fn verify(&self) -> Result<String, String> {
         match self {
-            AnyStore::Sr(t) => sr_tree::verify::check(t)
-                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
-            AnyStore::Ss(t) => sr_sstree::verify::check(t)
-                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
-            AnyStore::Rstar(t) => sr_rstar::verify::check(t)
-                .map(|r| format!("{} nodes, {} leaves, {} points", r.nodes, r.leaves, r.points)),
+            AnyStore::Sr(t) => sr_tree::verify::check(t).map(|r| {
+                format!(
+                    "{} nodes, {} leaves, {} points",
+                    r.nodes, r.leaves, r.points
+                )
+            }),
+            AnyStore::Ss(t) => sr_sstree::verify::check(t).map(|r| {
+                format!(
+                    "{} nodes, {} leaves, {} points",
+                    r.nodes, r.leaves, r.points
+                )
+            }),
+            AnyStore::Rstar(t) => sr_rstar::verify::check(t).map(|r| {
+                format!(
+                    "{} nodes, {} leaves, {} points",
+                    r.nodes, r.leaves, r.points
+                )
+            }),
             AnyStore::Kdb(t) => sr_kdbtree::verify::check(t).map(|r| {
                 format!(
                     "{} nodes, {} leaves ({} empty), {} points",

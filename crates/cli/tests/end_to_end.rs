@@ -22,7 +22,15 @@ fn full_workflow_for_every_index_kind() {
     let dir = tmpdir();
     let data = dir.join("data.tsv");
     let out = sh(&[
-        "gen", "--kind", "histogram", "--n", "2000", "--dim", "16", "--seed", "5",
+        "gen",
+        "--kind",
+        "histogram",
+        "--n",
+        "2000",
+        "--dim",
+        "16",
+        "--seed",
+        "5",
         data.to_str().unwrap(),
     ])
     .unwrap();
@@ -31,8 +39,13 @@ fn full_workflow_for_every_index_kind() {
     for kind in ["sr", "ss", "rstar", "kdb", "vam"] {
         let index = dir.join(format!("{kind}.pages"));
         let out = sh(&[
-            "build", "--index", kind, "--dim", "16",
-            index.to_str().unwrap(), data.to_str().unwrap(),
+            "build",
+            "--index",
+            kind,
+            "--dim",
+            "16",
+            index.to_str().unwrap(),
+            data.to_str().unwrap(),
         ])
         .unwrap();
         assert!(out.contains("2000 points loaded"), "{kind}: {out}");
@@ -46,15 +59,17 @@ fn full_workflow_for_every_index_kind() {
 
         // kNN: query a vector near the simplex center.
         let q = vec!["0.0625"; 16].join(",");
-        let out = sh(&[
-            "knn", index.to_str().unwrap(), "--k", "5", "--query", &q,
-        ])
-        .unwrap();
+        let out = sh(&["knn", index.to_str().unwrap(), "--k", "5", "--query", &q]).unwrap();
         assert_eq!(out.lines().count(), 5, "{kind}: {out}");
 
         // range with a generous radius returns something.
         let out = sh(&[
-            "range", index.to_str().unwrap(), "--radius", "0.5", "--query", &q,
+            "range",
+            index.to_str().unwrap(),
+            "--radius",
+            "0.5",
+            "--query",
+            &q,
         ])
         .unwrap();
         assert!(!out.is_empty(), "{kind}");
@@ -69,8 +84,18 @@ fn knn_answers_are_identical_across_kinds() {
     let dir = tmpdir();
     let data = dir.join("agree.tsv");
     sh(&[
-        "gen", "--kind", "cluster", "--n", "1500", "--dim", "8", "--clusters", "10",
-        "--seed", "9", data.to_str().unwrap(),
+        "gen",
+        "--kind",
+        "cluster",
+        "--n",
+        "1500",
+        "--dim",
+        "8",
+        "--clusters",
+        "10",
+        "--seed",
+        "9",
+        data.to_str().unwrap(),
     ])
     .unwrap();
     let q = "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5";
@@ -78,8 +103,13 @@ fn knn_answers_are_identical_across_kinds() {
     for kind in ["sr", "ss", "rstar", "kdb", "vam"] {
         let index = dir.join(format!("agree-{kind}.pages"));
         sh(&[
-            "build", "--index", kind, "--dim", "8",
-            index.to_str().unwrap(), data.to_str().unwrap(),
+            "build",
+            "--index",
+            kind,
+            "--dim",
+            "8",
+            index.to_str().unwrap(),
+            data.to_str().unwrap(),
         ])
         .unwrap();
         answers.push(sh(&["knn", index.to_str().unwrap(), "--k", "7", "--query", q]).unwrap());
@@ -96,13 +126,41 @@ fn insert_into_existing_index() {
     let dir = tmpdir();
     let a = dir.join("a.tsv");
     let b = dir.join("b.tsv");
-    sh(&["gen", "--n", "500", "--dim", "4", "--seed", "1", a.to_str().unwrap()]).unwrap();
+    sh(&[
+        "gen",
+        "--n",
+        "500",
+        "--dim",
+        "4",
+        "--seed",
+        "1",
+        a.to_str().unwrap(),
+    ])
+    .unwrap();
     // second batch: ids must not collide for the test's sanity, but the
     // index itself does not require uniqueness
-    sh(&["gen", "--n", "300", "--dim", "4", "--seed", "2", b.to_str().unwrap()]).unwrap();
+    sh(&[
+        "gen",
+        "--n",
+        "300",
+        "--dim",
+        "4",
+        "--seed",
+        "2",
+        b.to_str().unwrap(),
+    ])
+    .unwrap();
     let index = dir.join("grow.pages");
-    sh(&["build", "--index", "sr", "--dim", "4", index.to_str().unwrap(), a.to_str().unwrap()])
-        .unwrap();
+    sh(&[
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "4",
+        index.to_str().unwrap(),
+        a.to_str().unwrap(),
+    ])
+    .unwrap();
     let out = sh(&["insert", index.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
     assert!(out.contains("index now holds 800"), "{out}");
     let out = sh(&["verify", index.to_str().unwrap()]).unwrap();
@@ -116,10 +174,28 @@ fn insert_into_existing_index() {
 fn vam_rejects_insert() {
     let dir = tmpdir();
     let data = dir.join("vam.tsv");
-    sh(&["gen", "--n", "200", "--dim", "4", "--seed", "3", data.to_str().unwrap()]).unwrap();
+    sh(&[
+        "gen",
+        "--n",
+        "200",
+        "--dim",
+        "4",
+        "--seed",
+        "3",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
     let index = dir.join("vam.pages");
-    sh(&["build", "--index", "vam", "--dim", "4", index.to_str().unwrap(), data.to_str().unwrap()])
-        .unwrap();
+    sh(&[
+        "build",
+        "--index",
+        "vam",
+        "--dim",
+        "4",
+        index.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
     let err = sh(&["insert", index.to_str().unwrap(), data.to_str().unwrap()]).unwrap_err();
     assert!(err.contains("static"), "{err}");
     std::fs::remove_file(&data).ok();
@@ -132,7 +208,10 @@ fn open_of_garbage_fails_cleanly() {
     let junk = dir.join("junk.pages");
     std::fs::write(&junk, vec![0u8; 4096]).unwrap();
     let err = sh(&["stats", junk.to_str().unwrap()]).unwrap_err();
-    assert!(err.contains("not a recognizable index file") || err.contains("corrupt"), "{err}");
+    assert!(
+        err.contains("not a recognizable index file") || err.contains("corrupt"),
+        "{err}"
+    );
     std::fs::remove_file(&junk).ok();
 }
 
@@ -140,11 +219,26 @@ fn open_of_garbage_fails_cleanly() {
 fn dim_mismatch_reported_at_build() {
     let dir = tmpdir();
     let data = dir.join("dim.tsv");
-    sh(&["gen", "--n", "50", "--dim", "4", "--seed", "3", data.to_str().unwrap()]).unwrap();
+    sh(&[
+        "gen",
+        "--n",
+        "50",
+        "--dim",
+        "4",
+        "--seed",
+        "3",
+        data.to_str().unwrap(),
+    ])
+    .unwrap();
     let index = dir.join("dim.pages");
     let err = sh(&[
-        "build", "--index", "sr", "--dim", "8",
-        index.to_str().unwrap(), data.to_str().unwrap(),
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "8",
+        index.to_str().unwrap(),
+        data.to_str().unwrap(),
     ])
     .unwrap_err();
     assert!(err.contains("4-d"), "{err}");

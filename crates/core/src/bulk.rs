@@ -156,8 +156,9 @@ mod tests {
     #[test]
     fn split_balanced_sizes_differ_by_at_most_one() {
         for (n, k) in [(100usize, 7usize), (13, 13), (50, 3), (9, 2), (1, 1)] {
-            let mut items: Vec<Vec<f32>> =
-                (0..n).map(|i| vec![(i * 37 % 101) as f32, i as f32]).collect();
+            let mut items: Vec<Vec<f32>> = (0..n)
+                .map(|i| vec![(i * 37 % 101) as f32, i as f32])
+                .collect();
             let mut chunks: Vec<&mut [Vec<f32>]> = Vec::new();
             split_balanced(&mut items, k, &|v| v.as_slice(), &mut chunks);
             assert_eq!(chunks.len(), k);

@@ -29,7 +29,10 @@ impl fmt::Display for TreeError {
         match self {
             TreeError::Pager(e) => write!(f, "page I/O failed: {e}"),
             TreeError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: tree is {expected}-d, point is {got}-d"
+                )
             }
             TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
         }
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_mentions_dimensions() {
-        let e = TreeError::DimensionMismatch { expected: 16, got: 3 };
+        let e = TreeError::DimensionMismatch {
+            expected: 16,
+            got: 3,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("3"));
     }

@@ -207,7 +207,10 @@ fn remove_farthest(tree: &SrTree, node: &mut Node) -> Vec<AnyEntry> {
                     .unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Leaf).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Leaf)
+                .collect()
         }
         Node::Inner { entries, .. } => {
             let mut order: Vec<usize> = (0..entries.len()).collect();
@@ -220,7 +223,10 @@ fn remove_farthest(tree: &SrTree, node: &mut Node) -> Vec<AnyEntry> {
                     .unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Inner).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Inner)
+                .collect()
         }
     }
 }
@@ -228,10 +234,7 @@ fn remove_farthest(tree: &SrTree, node: &mut Node) -> Vec<AnyEntry> {
 fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
     let mut sorted = victims.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let mut removed: Vec<(usize, T)> = sorted
-        .into_iter()
-        .map(|i| (i, entries.remove(i)))
-        .collect();
+    let mut removed: Vec<(usize, T)> = sorted.into_iter().map(|i| (i, entries.remove(i))).collect();
     let mut out = Vec::with_capacity(victims.len());
     for &v in victims {
         let pos = removed.iter().position(|(i, _)| *i == v).unwrap();
@@ -246,7 +249,10 @@ fn split_root(tree: &mut SrTree, node: Node) -> Result<()> {
     let (a, b) = split::split_node(&tree.params, node);
     let a_id = tree.allocate_node(&a)?;
     let b_id = tree.allocate_node(&b)?;
-    let (ra, rb) = (a.region(tree.params.radius_rule), b.region(tree.params.radius_rule));
+    let (ra, rb) = (
+        a.region(tree.params.radius_rule),
+        b.region(tree.params.radius_rule),
+    );
     let new_root = Node::Inner {
         level: level + 1,
         entries: vec![

@@ -50,9 +50,9 @@ mod tree;
 pub mod verify;
 
 pub use error::{Result, TreeError};
+pub use params::RadiusRule;
 pub use params::SrParams;
 pub use search::DistanceBound;
-pub use params::RadiusRule;
 pub use tree::{SrOptions, SrTree};
 
 pub use sr_query::Neighbor;

@@ -39,7 +39,10 @@ pub(crate) struct Region {
 #[derive(Clone, Debug)]
 pub(crate) enum Node {
     Leaf(Vec<LeafEntry>),
-    Inner { level: u16, entries: Vec<InnerEntry> },
+    Inner {
+        level: u16,
+        entries: Vec<InnerEntry>,
+    },
 }
 
 impl Node {
@@ -107,8 +110,7 @@ impl Node {
                 );
                 let radius = match rule {
                     RadiusRule::MinDsDr => {
-                        let d_r =
-                            enclosing_radius_rects(&center, entries.iter().map(|e| &e.rect));
+                        let d_r = enclosing_radius_rects(&center, entries.iter().map(|e| &e.rect));
                         next_radius_up(d_s.min(d_r))
                     }
                     RadiusRule::SphereOnly => next_radius_up(d_s),
@@ -277,8 +279,14 @@ mod tests {
     #[test]
     fn leaf_region_is_sphere_and_rect_of_points() {
         let node = Node::Leaf(vec![
-            LeafEntry { point: Point::new(vec![0.0, 0.0]), data: 0 },
-            LeafEntry { point: Point::new(vec![2.0, 0.0]), data: 1 },
+            LeafEntry {
+                point: Point::new(vec![0.0, 0.0]),
+                data: 0,
+            },
+            LeafEntry {
+                point: Point::new(vec![2.0, 0.0]),
+                data: 1,
+            },
         ]);
         let r = node.region(RadiusRule::MinDsDr);
         assert_eq!(r.rect.min(), &[0.0, 0.0]);
@@ -297,7 +305,10 @@ mod tests {
             weight: 4,
             child: 1,
         };
-        let node = Node::Inner { level: 1, entries: vec![child.clone()] };
+        let node = Node::Inner {
+            level: 1,
+            entries: vec![child.clone()],
+        };
         let r = node.region(RadiusRule::MinDsDr);
         // d_s = 0 (center coincides) + 5.0; d_r = MAXDIST(center, rect)
         // from (3,0) to farthest corner ≈ 0.1414.
@@ -313,7 +324,10 @@ mod tests {
         // qualify by construction; so do axis-aligned points at the
         // sphere boundary, which sit inside the rect too.
         let entries = vec![entry(0.0, 0.0, 0.5, 3), entry(4.0, 1.0, 0.25, 9)];
-        let node = Node::Inner { level: 1, entries: entries.clone() };
+        let node = Node::Inner {
+            level: 1,
+            entries: entries.clone(),
+        };
         let r = node.region(RadiusRule::MinDsDr);
         for e in &entries {
             let c = e.sphere.center();

@@ -92,11 +92,25 @@ pub(crate) fn knn_with_bound(
 }
 
 pub(crate) fn knn_best_first(tree: &SrTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-    sr_query::knn_best_first(&Source { tree, bound: DistanceBound::Both }, query, k)
+    sr_query::knn_best_first(
+        &Source {
+            tree,
+            bound: DistanceBound::Both,
+        },
+        query,
+        k,
+    )
 }
 
 pub(crate) fn range(tree: &SrTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-    sr_query::range(&Source { tree, bound: DistanceBound::Both }, query, radius)
+    sr_query::range(
+        &Source {
+            tree,
+            bound: DistanceBound::Both,
+        },
+        query,
+        radius,
+    )
 }
 
 pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
@@ -108,9 +122,7 @@ pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> 
         data: u64,
     ) -> Result<bool> {
         match tree.read_node(id, level)? {
-            Node::Leaf(entries) => {
-                Ok(entries.iter().any(|e| e.point == *point && e.data == data))
-            }
+            Node::Leaf(entries) => Ok(entries.iter().any(|e| e.point == *point && e.data == data)),
             Node::Inner { entries, .. } => {
                 for e in &entries {
                     if e.rect.contains_point(point.coords())

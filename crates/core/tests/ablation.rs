@@ -30,8 +30,14 @@ fn every_variant_is_correct() {
         .collect();
     for options in [
         SrOptions::default(),
-        SrOptions { radius_rule: RadiusRule::SphereOnly, ..Default::default() },
-        SrOptions { disable_reinsertion: true, ..Default::default() },
+        SrOptions {
+            radius_rule: RadiusRule::SphereOnly,
+            ..Default::default()
+        },
+        SrOptions {
+            disable_reinsertion: true,
+            ..Default::default()
+        },
         SrOptions {
             radius_rule: RadiusRule::SphereOnly,
             disable_reinsertion: true,
@@ -56,11 +62,15 @@ fn all_distance_bounds_agree_on_results() {
     let t = build_with(&points, SrOptions::default());
     let queries = sample_queries(&points, 10, 305);
     for q in &queries {
-        let both = t.knn_with_bound(q.coords(), 21, DistanceBound::Both).unwrap();
+        let both = t
+            .knn_with_bound(q.coords(), 21, DistanceBound::Both)
+            .unwrap();
         let sphere = t
             .knn_with_bound(q.coords(), 21, DistanceBound::SphereOnly)
             .unwrap();
-        let rect = t.knn_with_bound(q.coords(), 21, DistanceBound::RectOnly).unwrap();
+        let rect = t
+            .knn_with_bound(q.coords(), 21, DistanceBound::RectOnly)
+            .unwrap();
         let ids = |v: &[sr_tree::Neighbor]| v.iter().map(|n| n.data).collect::<Vec<_>>();
         assert_eq!(ids(&both), ids(&sphere));
         assert_eq!(ids(&both), ids(&rect));
@@ -98,7 +108,10 @@ fn sr_radius_rule_shrinks_spheres() {
     let sr_rule = build_with(&points, SrOptions::default());
     let ss_rule = build_with(
         &points,
-        SrOptions { radius_rule: RadiusRule::SphereOnly, ..Default::default() },
+        SrOptions {
+            radius_rule: RadiusRule::SphereOnly,
+            ..Default::default()
+        },
     );
     let mean_radius = |t: &SrTree| {
         let rs = t.leaf_regions().unwrap();
@@ -179,5 +192,8 @@ fn best_first_equals_depth_first_and_reads_no_more() {
         );
     }
     // Best-first is I/O-optimal: never more page reads than DFS.
-    assert!(bf_reads <= df_reads, "best-first {bf_reads} vs DFS {df_reads}");
+    assert!(
+        bf_reads <= df_reads,
+        "best-first {bf_reads} vs DFS {df_reads}"
+    );
 }

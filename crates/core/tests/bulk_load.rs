@@ -54,7 +54,10 @@ fn bulk_load_packs_pages_tightly() {
     );
     // Packed to the theoretical minimum (±1 from balanced chunking).
     let min_possible = 3_000u64.div_ceil(bulk.params().max_leaf as u64);
-    assert!(bulk_leaves <= min_possible + 1, "{bulk_leaves} vs {min_possible}");
+    assert!(
+        bulk_leaves <= min_possible + 1,
+        "{bulk_leaves} vs {min_possible}"
+    );
 }
 
 #[test]
@@ -79,7 +82,11 @@ fn bulk_load_small_and_edge_sizes() {
     for n in [0usize, 1, 2, 12, 13, 25] {
         let points = real_sim(n.max(1), 16, 419);
         let mut t = SrTree::create_in_memory(16, 8192).unwrap();
-        let input = if n == 0 { Vec::new() } else { with_ids(&points[..n]) };
+        let input = if n == 0 {
+            Vec::new()
+        } else {
+            with_ids(&points[..n])
+        };
         t.bulk_load(input).unwrap();
         assert_eq!(t.len(), n as u64);
         verify::check(&t).unwrap_or_else(|e| panic!("n={n}: {e}"));

@@ -1,111 +1,36 @@
 //! Failure injection: when the backing store starts failing, every tree
 //! operation must surface an error — never panic, never corrupt the
 //! in-memory handle so badly that recovery is impossible.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+//!
+//! The fault layer is the pager's own `FaultInjector` (see
+//! `sr_pager::fault`); `crash_after(n)` reproduces the "store dies after
+//! N operations" schedule at every interesting point of an insert
+//! volume. The repo-level `tests/fault_injection.rs` covers targeted
+//! single-write faults, torn writes, and reopen-after-crash.
 
 use sr_dataset::uniform;
-use sr_pager::{MemPageStore, PageFile, PageId, PageStore, PagerError};
+use sr_pager::{FaultInjector, FaultKind, MemPageStore, PageFile, PagerError};
 use sr_tree::{SrTree, TreeError};
 
-/// A store that fails every operation once `fail_after` operations have
-/// happened.
-struct FailingStore {
-    inner: MemPageStore,
-    ops: AtomicU64,
-    fail_after: u64,
-}
-
-impl FailingStore {
-    fn new(page_size: usize, fail_after: u64) -> Self {
-        FailingStore {
-            inner: MemPageStore::new(page_size),
-            ops: AtomicU64::new(0),
-            fail_after,
-        }
-    }
-
-    fn trip(&self) -> Result<(), PagerError> {
-        let n = self.ops.fetch_add(1, Ordering::Relaxed);
-        if n >= self.fail_after {
-            Err(PagerError::Io(std::io::Error::other("injected failure")))
-        } else {
-            Ok(())
-        }
-    }
-}
-
-impl PageStore for FailingStore {
-    fn page_size(&self) -> usize {
-        self.inner.page_size()
-    }
-    fn num_pages(&self) -> u64 {
-        self.inner.num_pages()
-    }
-    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), PagerError> {
-        self.trip()?;
-        self.inner.read_page(id, buf)
-    }
-    fn write_page(&self, id: PageId, data: &[u8]) -> Result<(), PagerError> {
-        self.trip()?;
-        self.inner.write_page(id, data)
-    }
-    fn grow(&self, n: u64) -> Result<(), PagerError> {
-        self.trip()?;
-        self.inner.grow(n)
-    }
-    fn sync(&self) -> Result<(), PagerError> {
-        // sync is called from Drop paths; keep it infallible so drops
-        // stay quiet.
-        self.inner.sync()
-    }
-}
-
-/// Drive inserts until the injected failure fires; the error must be a
+/// Drive inserts until the injected cutoff fires; the error must be a
 /// clean `TreeError::Pager`, at any failure point.
 #[test]
 fn insert_failures_surface_as_errors() {
     let points = uniform(300, 4, 501);
     for fail_after in [5u64, 17, 60, 150, 400] {
-        let store = Arc::new(FailingStore::new(1024, fail_after));
-        // PageFile takes Box<dyn PageStore>; wrap the Arc.
-        struct Shared(Arc<FailingStore>);
-        impl PageStore for Shared {
-            fn page_size(&self) -> usize {
-                self.0.page_size()
-            }
-            fn num_pages(&self) -> u64 {
-                self.0.num_pages()
-            }
-            fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), PagerError> {
-                self.0.read_page(id, buf)
-            }
-            fn write_page(&self, id: PageId, data: &[u8]) -> Result<(), PagerError> {
-                self.0.write_page(id, data)
-            }
-            fn grow(&self, n: u64) -> Result<(), PagerError> {
-                self.0.grow(n)
-            }
-            fn sync(&self) -> Result<(), PagerError> {
-                self.0.sync()
-            }
-        }
-        let Ok(pf) = PageFile::create_from_store(Box::new(Shared(store.clone()))) else {
-            continue; // failed during creation: also a clean error
-        };
+        let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(1024)));
+        let pf = PageFile::create_from_store(store).unwrap();
         // Cache off so failures hit promptly and deterministically.
-        if pf.set_cache_capacity(0).is_err() {
-            continue;
-        }
-        let Ok(mut tree) = SrTree::create_from(pf, 4, 64) else {
-            continue;
-        };
+        pf.set_cache_capacity(0).unwrap();
+        let mut tree = SrTree::create_from(pf, 4, 64).unwrap();
+
+        handle.crash_after(fail_after);
         let mut saw_error = false;
         for (i, p) in points.iter().enumerate() {
             match tree.insert(p.clone(), i as u64) {
                 Ok(()) => {}
-                Err(TreeError::Pager(_)) => {
+                Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+                    assert_eq!(kind, FaultKind::Crash);
                     saw_error = true;
                     break;
                 }
@@ -116,7 +41,16 @@ fn insert_failures_surface_as_errors() {
             saw_error,
             "fail_after={fail_after}: the injected failure never surfaced"
         );
-        // Queries after the failure also error cleanly rather than panic.
+        assert!(handle.crashed());
+        // Queries against the dead store also error cleanly rather than
+        // panic.
+        match tree.knn(points[0].coords(), 3) {
+            Ok(_) | Err(TreeError::Pager(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+        // Once the store recovers, queries run again without panicking
+        // (the tree may legitimately be mid-split, so no answer check).
+        handle.clear();
         match tree.knn(points[0].coords(), 3) {
             Ok(_) | Err(TreeError::Pager(_)) => {}
             Err(other) => panic!("unexpected error kind: {other}"),
@@ -129,21 +63,38 @@ fn insert_failures_surface_as_errors() {
 #[test]
 fn query_failures_do_not_poison_the_tree() {
     let points = uniform(500, 4, 503);
-    // Build cleanly first.
-    let pf = PageFile::create_in_memory(1024);
+    let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(1024)));
+    let pf = PageFile::create_from_store(store).unwrap();
+    pf.set_cache_capacity(0).unwrap();
     let mut tree = SrTree::create_from(pf, 4, 64).unwrap();
     for (i, p) in points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).unwrap();
     }
-    // No failure store here — instead simulate recovery by checking the
-    // query path is pure: two identical queries give identical answers
-    // even after an interleaved failed-dimension query (which errors
-    // before touching any page).
     let good = tree.knn(points[0].coords(), 5).unwrap();
-    assert!(tree.knn(&[0.0, 0.0], 5).is_err()); // wrong dimension
+
+    // Fail the first read of the next query, then clear: the repeated
+    // query must give the identical answer.
+    handle.fail_nth_read(0);
+    assert!(matches!(
+        tree.knn(points[0].coords(), 5),
+        Err(TreeError::Pager(PagerError::Injected {
+            kind: FaultKind::Read,
+            ..
+        }))
+    ));
+    handle.clear();
     let again = tree.knn(points[0].coords(), 5).unwrap();
     assert_eq!(
         good.iter().map(|n| n.data).collect::<Vec<_>>(),
         again.iter().map(|n| n.data).collect::<Vec<_>>()
+    );
+
+    // A dimension-mismatch query errors before touching any page and
+    // likewise leaves the tree intact.
+    assert!(tree.knn(&[0.0, 0.0], 5).is_err());
+    let third = tree.knn(points[0].coords(), 5).unwrap();
+    assert_eq!(
+        again.iter().map(|n| n.data).collect::<Vec<_>>(),
+        third.iter().map(|n| n.data).collect::<Vec<_>>()
     );
 }

@@ -13,8 +13,7 @@ use sr_tree::{verify, SrTree};
 const SMALL_PAGE: usize = 1024;
 
 fn build(points: &[Point], page: usize) -> SrTree {
-    let mut t = SrTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64)
-        .unwrap();
+    let mut t = SrTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64).unwrap();
     for (i, p) in points.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
     }

@@ -11,12 +11,11 @@
 //! `rand_distr` is not among the approved dependencies, so the Gamma
 //! sampler (Marsaglia & Tsang 2000) is implemented here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SeededRng;
 
 /// Standard normal via Box–Muller (we only need modest statistical
 /// quality, not extreme-tail accuracy).
-fn gauss(rng: &mut StdRng) -> f64 {
+fn gauss(rng: &mut SeededRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.random();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -24,7 +23,7 @@ fn gauss(rng: &mut StdRng) -> f64 {
 
 /// Gamma(shape, 1) via Marsaglia & Tsang's squeeze method, with the
 /// standard `U^{1/a}` boost for `shape < 1`.
-fn gamma(rng: &mut StdRng, shape: f64) -> f64 {
+fn gamma(rng: &mut SeededRng, shape: f64) -> f64 {
     assert!(shape > 0.0, "gamma shape must be positive");
     if shape < 1.0 {
         // Boosting: G(a) = G(a+1) * U^(1/a)
@@ -57,7 +56,7 @@ fn gamma(rng: &mut StdRng, shape: f64) -> f64 {
 /// color histogram of one scene type.
 pub struct DirichletMixture {
     components: Vec<Vec<f64>>,
-    rng: StdRng,
+    rng: SeededRng,
 }
 
 impl DirichletMixture {
@@ -67,8 +66,11 @@ impl DirichletMixture {
     /// # Panics
     /// Panics if `k == 0` or `dim == 0`.
     pub fn new(dim: usize, k: usize, seed: u64) -> Self {
-        assert!(dim > 0 && k > 0, "need at least one dimension and component");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_D1A1);
+        assert!(
+            dim > 0 && k > 0,
+            "need at least one dimension and component"
+        );
+        let mut rng = SeededRng::seed_from_u64(seed ^ 0x5EED_D1A1);
         let mut components = Vec::with_capacity(k);
         for _ in 0..k {
             // 2–4 dominant bins per component, like an image dominated by
@@ -158,7 +160,7 @@ mod tests {
 
     #[test]
     fn gamma_mean_is_roughly_shape() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeededRng::seed_from_u64(5);
         for shape in [0.3f64, 1.0, 4.5] {
             let n = 4000;
             let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;

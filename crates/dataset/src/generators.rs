@@ -1,16 +1,15 @@
 //! The three data sets of the paper plus query sampling.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sr_geometry::Point;
 
 use crate::dirichlet::DirichletMixture;
+use crate::rng::SeededRng;
 
 /// The uniform data set of §3.1: `n` points, each coordinate uniform in
 /// `[0, 1)`.
 pub fn uniform(n: usize, dim: usize, seed: u64) -> Vec<Point> {
     assert!(dim > 0, "dimensionality must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     (0..n)
         .map(|_| Point::new((0..dim).map(|_| rng.random::<f32>()).collect::<Vec<_>>()))
         .collect()
@@ -49,7 +48,7 @@ impl Default for ClusterSpec {
 pub fn cluster(spec: ClusterSpec, dim: usize, seed: u64) -> Vec<Point> {
     assert!(dim > 0, "dimensionality must be positive");
     assert!(spec.clusters > 0 && spec.points_per_cluster > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(spec.clusters * spec.points_per_cluster);
     for _ in 0..spec.clusters {
         let center: Vec<f32> = (0..dim).map(|_| rng.random::<f32>()).collect();
@@ -67,7 +66,11 @@ pub fn cluster(spec: ClusterSpec, dim: usize, seed: u64) -> Vec<Point> {
                 .iter()
                 .zip(dir.iter())
                 .map(|(&c, &d)| {
-                    let n = if norm < 1e-12 { (dim as f64).sqrt() } else { norm };
+                    let n = if norm < 1e-12 {
+                        (dim as f64).sqrt()
+                    } else {
+                        norm
+                    };
                     c + (radius as f64 * shift * d / n) as f32
                 })
                 .collect();
@@ -93,14 +96,17 @@ pub fn real_sim(n: usize, dim: usize, seed: u64) -> Vec<Point> {
 /// in `seed`. Sampling is with replacement, matching "1,000 random
 /// trials".
 pub fn sample_queries(data: &[Point], n: usize, seed: u64) -> Vec<Point> {
-    assert!(!data.is_empty(), "cannot sample queries from an empty data set");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    assert!(
+        !data.is_empty(),
+        "cannot sample queries from an empty data set"
+    );
+    let mut rng = SeededRng::seed_from_u64(seed ^ 0x9E37_79B9);
     (0..n)
         .map(|_| data[rng.random_range(0..data.len())].clone())
         .collect()
 }
 
-fn gauss(rng: &mut StdRng) -> f64 {
+fn gauss(rng: &mut SeededRng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.random();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

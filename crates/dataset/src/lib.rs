@@ -20,6 +20,8 @@
 
 mod dirichlet;
 mod generators;
+mod rng;
 
 pub use dirichlet::DirichletMixture;
 pub use generators::{cluster, real_sim, sample_queries, uniform, ClusterSpec};
+pub use rng::{FromRng, SeededRng};

@@ -1,0 +1,223 @@
+//! A small, deterministic, dependency-free pseudo-random number
+//! generator for data synthesis and testing.
+//!
+//! The workspace's dependency policy admits no registry crates, so the
+//! generator is implemented here: xoshiro256++ (Blackman & Vigna 2019)
+//! seeded through SplitMix64, the standard pairing. Statistical quality
+//! is far beyond what data-set synthesis and fuzzing need, the state is
+//! 32 bytes, and — crucially for the differential test harness — every
+//! stream is exactly reproducible from a single `u64` seed on every
+//! platform.
+//!
+//! The API deliberately mirrors the subset of the `rand` crate the
+//! workspace used to consume (`seed_from_u64`, `random`, `random_range`)
+//! so call sites read the same.
+
+/// Deterministic xoshiro256++ generator, seedable from a single `u64`.
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+/// Types [`SeededRng::random`] can produce.
+pub trait FromRng {
+    /// Draw one value from the generator.
+    fn from_rng(rng: &mut SeededRng) -> Self;
+}
+
+impl SeededRng {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SeededRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Draw a value of type `T` (uniform over the type's natural range;
+    /// floats are uniform in `[0, 1)`).
+    #[inline]
+    pub fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Debiased multiply-shift (Lemire); the rejection loop is
+        // entered with probability span/2^64, i.e. effectively never
+        // for the small spans used here.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut lo = m as u64;
+        if lo < span {
+            let t = span.wrapping_neg() % span;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                lo = m as u64;
+            }
+        }
+        range.start + (m >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.random_range(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl FromRng for u64 {
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for u8 {
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_rng(rng: &mut SeededRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SeededRng::seed_from_u64(7);
+        let mut b = SeededRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SeededRng::seed_from_u64(8);
+        assert_ne!(SeededRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SeededRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_interval() {
+        let mut r = SeededRng::seed_from_u64(2);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive_and_unbiased() {
+        let mut r = SeededRng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..10_000 {
+            let v = r.random_range(2..7);
+            assert!((2..7).contains(&v));
+            counts[v - 2] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "biased bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        SeededRng::seed_from_u64(0).random_range(3..3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SeededRng::seed_from_u64(4);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(xs, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn bool_probability_respected() {
+        let mut r = SeededRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -177,11 +177,7 @@ mod tests {
 
     #[test]
     fn bounding_rect_covers_all() {
-        let pts: Vec<Vec<f32>> = vec![
-            vec![0.0, 5.0],
-            vec![-1.0, 2.0],
-            vec![3.0, -4.0],
-        ];
+        let pts: Vec<Vec<f32>> = vec![vec![0.0, 5.0], vec![-1.0, 2.0], vec![3.0, -4.0]];
         let r = bounding_rect_of_points(pts.iter().map(|p| p.as_slice()));
         assert_eq!(r.min(), &[-1.0, -4.0]);
         assert_eq!(r.max(), &[3.0, 5.0]);
@@ -221,12 +217,8 @@ mod tests {
     #[test]
     fn enclosing_radius_spheres_reaches_far_child() {
         let center = Point::new(vec![0.0, 0.0]);
-        let children: Vec<(Vec<f32>, f32)> =
-            vec![(vec![3.0, 0.0], 1.0), (vec![0.0, 1.0], 0.5)];
-        let d = enclosing_radius_spheres(
-            &center,
-            children.iter().map(|(c, r)| (c.as_slice(), *r)),
-        );
+        let children: Vec<(Vec<f32>, f32)> = vec![(vec![3.0, 0.0], 1.0), (vec![0.0, 1.0], 0.5)];
+        let d = enclosing_radius_spheres(&center, children.iter().map(|(c, r)| (c.as_slice(), *r)));
         assert!((d - 4.0).abs() < 1e-9);
     }
 
@@ -247,7 +239,8 @@ mod tests {
         let child_center: &[f32] = &[3.0, 0.0];
         let child_sphere_r = 2.0f32;
         let rect = Rect::new(vec![2.5, -0.1], vec![3.5, 0.1]);
-        let d_s = enclosing_radius_spheres(&center, std::iter::once((child_center, child_sphere_r)));
+        let d_s =
+            enclosing_radius_spheres(&center, std::iter::once((child_center, child_sphere_r)));
         let d_r = enclosing_radius_rects(&center, std::iter::once(&rect));
         assert!(d_r < d_s);
         assert!(d_s.min(d_r) == d_r);

@@ -26,7 +26,10 @@ impl Rect {
     pub fn new(min: impl Into<Box<[f32]>>, max: impl Into<Box<[f32]>>) -> Self {
         let (min, max) = (min.into(), max.into());
         assert_eq!(min.len(), max.len(), "bound slices must match in length");
-        assert!(!min.is_empty(), "rectangles must have at least one dimension");
+        assert!(
+            !min.is_empty(),
+            "rectangles must have at least one dimension"
+        );
         for i in 0..min.len() {
             assert!(
                 min[i] <= max[i],

@@ -6,9 +6,9 @@
 //! which is exactly the fanout advantage §2.3 of the paper credits the
 //! SS-tree with.
 
+use crate::ln_unit_ball_volume;
 use crate::rect::Rect;
 use crate::vector::{dist2, Point};
-use crate::ln_unit_ball_volume;
 
 /// A bounding sphere: center + radius.
 #[derive(Clone, Debug, PartialEq)]

@@ -22,7 +22,10 @@ impl Point {
     /// to every algorithm in this workspace.
     pub fn new(coords: impl Into<Box<[f32]>>) -> Self {
         let coords = coords.into();
-        assert!(!coords.is_empty(), "points must have at least one dimension");
+        assert!(
+            !coords.is_empty(),
+            "points must have at least one dimension"
+        );
         Point(coords)
     }
 

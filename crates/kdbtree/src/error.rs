@@ -34,7 +34,10 @@ impl fmt::Display for TreeError {
         match self {
             TreeError::Pager(e) => write!(f, "page I/O failed: {e}"),
             TreeError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: tree is {expected}-d, point is {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: tree is {expected}-d, point is {got}-d"
+                )
             }
             TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
             TreeError::Unsplittable => write!(
@@ -67,7 +70,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(TreeError::Unsplittable.to_string().contains("coincident"));
-        let e = TreeError::DimensionMismatch { expected: 2, got: 5 };
+        let e = TreeError::DimensionMismatch {
+            expected: 2,
+            got: 5,
+        };
         assert!(e.to_string().contains('5'));
     }
 }

@@ -70,8 +70,14 @@ pub(crate) fn insert_point(tree: &mut KdbTree, point: sr_geometry::Point, data: 
             let new_root = Node::Region {
                 level: level + 1,
                 entries: vec![
-                    RegionEntry { rect: left_rect, child: left_id },
-                    RegionEntry { rect: right_rect, child: right_id },
+                    RegionEntry {
+                        rect: left_rect,
+                        child: left_id,
+                    },
+                    RegionEntry {
+                        rect: right_rect,
+                        child: right_id,
+                    },
                 ],
             };
             tree.pf.free(tree.root)?;
@@ -88,8 +94,14 @@ pub(crate) fn insert_point(tree: &mut KdbTree, point: sr_geometry::Point, data: 
                 .iter()
                 .position(|e| e.child == path[idx].0)
                 .expect("parent lost track of its child");
-            entries[pos] = RegionEntry { rect: left_rect, child: path[idx].0 };
-            entries.push(RegionEntry { rect: right_rect, child: right_id });
+            entries[pos] = RegionEntry {
+                rect: left_rect,
+                child: path[idx].0,
+            };
+            entries.push(RegionEntry {
+                rect: right_rect,
+                child: right_id,
+            });
         }
         node = parent;
         idx -= 1;
@@ -215,8 +227,14 @@ fn split_in_memory(tree: &KdbTree, node: Node, dim: usize, value: f32) -> Result
                 }
             }
             Ok((
-                Node::Region { level, entries: left },
-                Node::Region { level, entries: right },
+                Node::Region {
+                    level,
+                    entries: left,
+                },
+                Node::Region {
+                    level,
+                    entries: right,
+                },
             ))
         }
     }

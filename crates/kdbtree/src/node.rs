@@ -25,7 +25,10 @@ pub(crate) struct RegionEntry {
 #[derive(Clone, Debug)]
 pub(crate) enum Node {
     Leaf(Vec<LeafEntry>),
-    Region { level: u16, entries: Vec<RegionEntry> },
+    Region {
+        level: u16,
+        entries: Vec<RegionEntry>,
+    },
 }
 
 /// Half-open containment: `min <= x < max` per dimension, except that an
@@ -48,10 +51,7 @@ pub(crate) fn kdb_contains(rect: &Rect, p: &[f32]) -> bool {
 /// The rectangle covering all of `dim`-dimensional space — the region of
 /// the root.
 pub(crate) fn full_space(dim: usize) -> Rect {
-    Rect::new(
-        vec![f32::NEG_INFINITY; dim],
-        vec![f32::INFINITY; dim],
-    )
+    Rect::new(vec![f32::NEG_INFINITY; dim], vec![f32::INFINITY; dim])
 }
 
 /// Clip `rect` to the half below / above the plane `x[dim] = value`.

@@ -70,7 +70,9 @@ impl KdbTree {
             return Err(TreeError::NotThisIndex("not a K-D-B-tree file".into()));
         }
         if c.get_u32() != META_VERSION {
-            return Err(TreeError::NotThisIndex("unsupported K-D-B-tree version".into()));
+            return Err(TreeError::NotThisIndex(
+                "unsupported K-D-B-tree version".into(),
+            ));
         }
         let dim = c.get_u32() as usize;
         let data_area = c.get_u32() as usize;
@@ -148,7 +150,11 @@ impl KdbTree {
     }
 
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
-        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let kind = if level == 0 {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let payload = self.pf.read(id, kind)?;
         let node = Node::decode(&payload, &self.params)?;
         debug_assert_eq!(node.level(), level, "page {id} level mismatch");
@@ -156,14 +162,22 @@ impl KdbTree {
     }
 
     pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
-        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let kind = if node.is_leaf() {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let payload = node.encode(&self.params, self.pf.capacity());
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
 
     pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
-        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let kind = if node.is_leaf() {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let id = self.pf.allocate(kind)?;
         self.write_node(id, node)?;
         Ok(id)
@@ -194,7 +208,9 @@ impl KdbTree {
                 Node::Region { entries, .. } => entries,
                 Node::Leaf(_) => unreachable!(),
             };
-            let Some(e) = entries.iter().find(|e| kdb_contains(&e.rect, point.coords()))
+            let Some(e) = entries
+                .iter()
+                .find(|e| kdb_contains(&e.rect, point.coords()))
             else {
                 return Ok(false);
             };
@@ -230,7 +246,9 @@ impl KdbTree {
                 Node::Region { entries, .. } => entries,
                 Node::Leaf(_) => unreachable!(),
             };
-            let Some(e) = entries.iter().find(|e| kdb_contains(&e.rect, point.coords()))
+            let Some(e) = entries
+                .iter()
+                .find(|e| kdb_contains(&e.rect, point.coords()))
             else {
                 return Ok(false);
             };

@@ -74,7 +74,12 @@ impl LruCache {
     /// Insert (or overwrite) a page image. Returns the evicted page if one
     /// had to make room **and** was dirty — the caller must write it back.
     #[must_use = "a returned page is dirty and must be written back"]
-    pub fn insert(&mut self, id: PageId, data: Box<[u8]>, dirty: bool) -> Option<(PageId, Box<[u8]>)> {
+    pub fn insert(
+        &mut self,
+        id: PageId,
+        data: Box<[u8]>,
+        dirty: bool,
+    ) -> Option<(PageId, Box<[u8]>)> {
         if self.capacity == 0 {
             debug_assert!(!dirty, "dirty insert into a disabled cache loses data");
             return None;
@@ -206,9 +211,11 @@ mod tests {
     #[test]
     fn zero_capacity_caches_nothing() {
         let mut c = LruCache::new(0);
+        assert!(c.is_empty());
         assert!(c.insert(1, page(1), false).is_none());
         assert!(c.get(1).is_none());
         assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub enum PagerError {
     /// The file is not a page file, has a bad magic/version, or its header
     /// is internally inconsistent.
     Corrupt(String),
+    /// A deliberately injected fault from the test kit's
+    /// [`FaultInjector`](crate::FaultInjector). Distinguishable from real
+    /// I/O errors so tests can assert the failure they armed is the one
+    /// that surfaced.
+    Injected {
+        /// Which fault fired.
+        kind: crate::FaultKind,
+        /// The store-level operation count at which it fired.
+        op: u64,
+    },
 }
 
 impl fmt::Display for PagerError {
@@ -51,11 +61,18 @@ impl fmt::Display for PagerError {
             PagerError::PayloadTooLarge { len, capacity } => {
                 write!(f, "payload of {len} bytes exceeds page capacity {capacity}")
             }
-            PagerError::KindMismatch { id, found, expected } => write!(
+            PagerError::KindMismatch {
+                id,
+                found,
+                expected,
+            } => write!(
                 f,
                 "page {id} has kind {found} but kind {expected} was expected"
             ),
             PagerError::Corrupt(msg) => write!(f, "page file corrupt: {msg}"),
+            PagerError::Injected { kind, op } => {
+                write!(f, "injected fault {kind:?} at store op {op}")
+            }
         }
     }
 }
@@ -81,9 +98,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = PagerError::PageOutOfRange { id: 7, num_pages: 3 };
+        let e = PagerError::PageOutOfRange {
+            id: 7,
+            num_pages: 3,
+        };
         assert!(e.to_string().contains("page 7"));
-        let e = PagerError::KindMismatch { id: 1, found: 2, expected: 1 };
+        let e = PagerError::KindMismatch {
+            id: 1,
+            found: 2,
+            expected: 1,
+        };
         assert!(e.to_string().contains("kind 2"));
     }
 

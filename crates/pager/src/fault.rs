@@ -1,0 +1,407 @@
+//! Deterministic fault injection at the page-store boundary.
+//!
+//! [`FaultInjector`] wraps any [`PageStore`] and forwards every call,
+//! except when a fault armed through its paired [`FaultHandle`] applies.
+//! Because the [`PageFile`](crate::PageFile) takes ownership of its store
+//! (`Box<dyn PageStore>`), the handle is the way to keep arming and
+//! inspecting faults after the page file is built:
+//!
+//! ```
+//! use sr_pager::{FaultInjector, MemPageStore, PageFile, PageKind, PagerError};
+//!
+//! let (store, faults) = FaultInjector::wrap(Box::new(MemPageStore::new(512)));
+//! let pf = PageFile::create_from_store(store).unwrap();
+//! pf.set_cache_capacity(0).unwrap(); // every logical op hits the store
+//!
+//! let id = pf.allocate(PageKind::Leaf).unwrap();
+//! faults.fail_nth_write(0); // the very next write fails
+//! assert!(matches!(
+//!     pf.write(id, PageKind::Leaf, b"x"),
+//!     Err(PagerError::Injected { .. })
+//! ));
+//! faults.clear();
+//! pf.write(id, PageKind::Leaf, b"x").unwrap(); // store is healthy again
+//! ```
+//!
+//! Three fault families are supported, all deterministic:
+//!
+//! * **fail Nth** — the Nth read (or write) from *now* returns
+//!   [`PagerError::Injected`] without touching the store;
+//! * **torn write** — the Nth write persists only a prefix of the page
+//!   and then errors, simulating a power cut mid-sector;
+//! * **crash point** — after a total operation budget is exhausted, every
+//!   subsequent read, write, and grow fails, simulating the process being
+//!   cut off from the device.
+//!
+//! Reads and writes are counted separately for the Nth-op faults; the
+//! crash budget counts reads + writes + grows. `sync` is never failed:
+//! it is called from `Drop` paths and must stay quiet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{PagerError, Result};
+use crate::page::PageId;
+use crate::store::PageStore;
+
+/// Which injected fault fired — carried inside [`PagerError::Injected`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An armed Nth-read fault.
+    Read,
+    /// An armed Nth-write fault.
+    Write,
+    /// A torn (partial) write: a prefix reached the store, then the
+    /// operation errored.
+    TornWrite,
+    /// The crash budget is exhausted; all I/O is cut off.
+    Crash,
+}
+
+/// Counters of what the injector has done, via [`FaultHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads forwarded to the inner store (successfully or not).
+    pub reads: u64,
+    /// Writes forwarded to the inner store.
+    pub writes: u64,
+    /// Grows forwarded to the inner store.
+    pub grows: u64,
+    /// Faults of any kind injected.
+    pub injected: u64,
+    /// Torn writes performed (prefix persisted, error returned).
+    pub torn_writes: u64,
+}
+
+const DISARMED: u64 = u64::MAX;
+
+/// Shared state between the [`FaultInjector`] (owned by the page file)
+/// and the [`FaultHandle`] (kept by the test).
+#[derive(Debug)]
+struct FaultState {
+    // Operation counters since creation (never reset; faults are armed
+    // relative to "now" by adding the current counter).
+    reads: AtomicU64,
+    writes: AtomicU64,
+    grows: AtomicU64,
+    injected: AtomicU64,
+    torn_writes: AtomicU64,
+    // Absolute operation numbers at which each fault fires; DISARMED
+    // means off.
+    fail_read_at: AtomicU64,
+    fail_write_at: AtomicU64,
+    torn_write_at: AtomicU64,
+    torn_keep_bytes: AtomicU64,
+    // Total (read+write+grow) budget after which everything fails.
+    crash_at: AtomicU64,
+}
+
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            grows: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            fail_read_at: AtomicU64::new(DISARMED),
+            fail_write_at: AtomicU64::new(DISARMED),
+            torn_write_at: AtomicU64::new(DISARMED),
+            torn_keep_bytes: AtomicU64::new(0),
+            crash_at: AtomicU64::new(DISARMED),
+        }
+    }
+
+    fn total_ops(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+            + self.writes.load(Ordering::SeqCst)
+            + self.grows.load(Ordering::SeqCst)
+    }
+
+    fn crashed(&self) -> bool {
+        self.total_ops() >= self.crash_at.load(Ordering::SeqCst)
+    }
+
+    fn inject(&self, kind: FaultKind, op: u64) -> PagerError {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        PagerError::Injected { kind, op }
+    }
+}
+
+/// Test-side handle for arming faults and reading statistics.
+///
+/// Cloning is cheap; all clones share the same state.
+#[derive(Clone, Debug)]
+pub struct FaultHandle {
+    state: Arc<FaultState>,
+}
+
+impl FaultHandle {
+    /// Fail the `n`-th read from now (0 = the very next read).
+    pub fn fail_nth_read(&self, n: u64) {
+        let at = self.state.reads.load(Ordering::SeqCst) + n;
+        self.state.fail_read_at.store(at, Ordering::SeqCst);
+    }
+
+    /// Fail the `n`-th write from now (0 = the very next write).
+    pub fn fail_nth_write(&self, n: u64) {
+        let at = self.state.writes.load(Ordering::SeqCst) + n;
+        self.state.fail_write_at.store(at, Ordering::SeqCst);
+    }
+
+    /// Make the `n`-th write from now *torn*: only the first
+    /// `keep_bytes` bytes of the page reach the store, the rest of the
+    /// page keeps its previous contents, and the call errors.
+    pub fn torn_nth_write(&self, n: u64, keep_bytes: usize) {
+        let at = self.state.writes.load(Ordering::SeqCst) + n;
+        self.state
+            .torn_keep_bytes
+            .store(keep_bytes as u64, Ordering::SeqCst);
+        self.state.torn_write_at.store(at, Ordering::SeqCst);
+    }
+
+    /// Cut off all I/O after `n` more operations (reads + writes +
+    /// grows). `n = 0` makes every subsequent operation fail.
+    pub fn crash_after(&self, n: u64) {
+        let at = self.state.total_ops() + n;
+        self.state.crash_at.store(at, Ordering::SeqCst);
+    }
+
+    /// Disarm every pending fault (the crash point included). Statistics
+    /// are kept.
+    pub fn clear(&self) {
+        self.state.fail_read_at.store(DISARMED, Ordering::SeqCst);
+        self.state.fail_write_at.store(DISARMED, Ordering::SeqCst);
+        self.state.torn_write_at.store(DISARMED, Ordering::SeqCst);
+        self.state.crash_at.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.state.crash_at.load(Ordering::SeqCst) != DISARMED && self.state.crashed()
+    }
+
+    /// Snapshot of the injector's counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            reads: self.state.reads.load(Ordering::SeqCst),
+            writes: self.state.writes.load(Ordering::SeqCst),
+            grows: self.state.grows.load(Ordering::SeqCst),
+            injected: self.state.injected.load(Ordering::SeqCst),
+            torn_writes: self.state.torn_writes.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A [`PageStore`] adapter that injects deterministic faults.
+///
+/// Built with [`FaultInjector::wrap`], which returns the boxed store to
+/// hand to the page file plus the [`FaultHandle`] to keep.
+pub struct FaultInjector {
+    inner: Box<dyn PageStore>,
+    state: Arc<FaultState>,
+}
+
+impl FaultInjector {
+    /// Wrap `inner`, returning the injector (as a boxed store, ready for
+    /// [`PageFile::create_from_store`](crate::PageFile::create_from_store))
+    /// and the handle that controls it.
+    pub fn wrap(inner: Box<dyn PageStore>) -> (Box<dyn PageStore>, FaultHandle) {
+        let state = Arc::new(FaultState::new());
+        let handle = FaultHandle {
+            state: state.clone(),
+        };
+        (Box::new(FaultInjector { inner, state }), handle)
+    }
+}
+
+impl PageStore for FaultInjector {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if self.state.crashed() {
+            return Err(self.state.inject(FaultKind::Crash, self.state.total_ops()));
+        }
+        let n = self.state.reads.fetch_add(1, Ordering::SeqCst);
+        if n == self.state.fail_read_at.load(Ordering::SeqCst) {
+            return Err(self.state.inject(FaultKind::Read, n));
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
+        if self.state.crashed() {
+            return Err(self.state.inject(FaultKind::Crash, self.state.total_ops()));
+        }
+        let n = self.state.writes.fetch_add(1, Ordering::SeqCst);
+        if n == self.state.fail_write_at.load(Ordering::SeqCst) {
+            return Err(self.state.inject(FaultKind::Write, n));
+        }
+        if n == self.state.torn_write_at.load(Ordering::SeqCst) {
+            let keep = (self.state.torn_keep_bytes.load(Ordering::SeqCst) as usize).min(data.len());
+            // Persist the prefix over the page's previous contents: read
+            // the old page, splice the new prefix in, write it back.
+            let mut old = vec![0u8; self.inner.page_size()];
+            if self.inner.read_page(id, &mut old).is_ok() {
+                old[..keep].copy_from_slice(&data[..keep]);
+                let _ = self.inner.write_page(id, &old);
+            }
+            self.state.torn_writes.fetch_add(1, Ordering::SeqCst);
+            return Err(self.state.inject(FaultKind::TornWrite, n));
+        }
+        self.inner.write_page(id, data)
+    }
+
+    fn grow(&self, new_num_pages: u64) -> Result<()> {
+        if self.state.crashed() {
+            return Err(self.state.inject(FaultKind::Crash, self.state.total_ops()));
+        }
+        self.state.grows.fetch_add(1, Ordering::SeqCst);
+        self.inner.grow(new_num_pages)
+    }
+
+    fn sync(&self) -> Result<()> {
+        // Never failed: sync runs from Drop paths and must stay quiet.
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+
+    fn wrapped(page_size: usize) -> (Box<dyn PageStore>, FaultHandle) {
+        FaultInjector::wrap(Box::new(MemPageStore::new(page_size)))
+    }
+
+    #[test]
+    fn passthrough_when_disarmed() {
+        let (store, faults) = wrapped(64);
+        store.grow(2).unwrap();
+        store.write_page(0, &[7u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+        let s = faults.stats();
+        assert_eq!((s.reads, s.writes, s.grows, s.injected), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn nth_read_fails_once() {
+        let (store, faults) = wrapped(64);
+        store.grow(1).unwrap();
+        store.write_page(0, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        faults.fail_nth_read(1); // the read after the next
+        store.read_page(0, &mut buf).unwrap();
+        let err = store.read_page(0, &mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            PagerError::Injected {
+                kind: FaultKind::Read,
+                ..
+            }
+        ));
+        // One-shot: the counter has moved past the armed point.
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(faults.stats().injected, 1);
+    }
+
+    #[test]
+    fn nth_write_fails_and_leaves_page_untouched() {
+        let (store, faults) = wrapped(64);
+        store.grow(1).unwrap();
+        store.write_page(0, &[1u8; 64]).unwrap();
+        faults.fail_nth_write(0);
+        let err = store.write_page(0, &[2u8; 64]).unwrap_err();
+        assert!(matches!(
+            err,
+            PagerError::Injected {
+                kind: FaultKind::Write,
+                ..
+            }
+        ));
+        let mut buf = [0u8; 64];
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64], "failed write must not reach the store");
+    }
+
+    #[test]
+    fn torn_write_persists_only_the_prefix() {
+        let (store, faults) = wrapped(64);
+        store.grow(1).unwrap();
+        store.write_page(0, &[0xAA; 64]).unwrap();
+        faults.torn_nth_write(0, 3);
+        let err = store.write_page(0, &[0xBB; 64]).unwrap_err();
+        assert!(matches!(
+            err,
+            PagerError::Injected {
+                kind: FaultKind::TornWrite,
+                ..
+            }
+        ));
+        let mut buf = [0u8; 64];
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(&buf[..3], &[0xBB; 3], "prefix must be the new data");
+        assert_eq!(&buf[3..], &[0xAA; 61], "suffix must be the old data");
+        assert_eq!(faults.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn crash_point_cuts_off_everything() {
+        let (store, faults) = wrapped(64);
+        store.grow(1).unwrap();
+        faults.crash_after(2);
+        let mut buf = [0u8; 64];
+        store.write_page(0, &[1u8; 64]).unwrap();
+        store.read_page(0, &mut buf).unwrap();
+        assert!(faults.crashed());
+        for _ in 0..3 {
+            assert!(matches!(
+                store.read_page(0, &mut buf),
+                Err(PagerError::Injected {
+                    kind: FaultKind::Crash,
+                    ..
+                })
+            ));
+            assert!(matches!(
+                store.write_page(0, &[2u8; 64]),
+                Err(PagerError::Injected {
+                    kind: FaultKind::Crash,
+                    ..
+                })
+            ));
+            assert!(matches!(
+                store.grow(4),
+                Err(PagerError::Injected {
+                    kind: FaultKind::Crash,
+                    ..
+                })
+            ));
+        }
+        store.sync().unwrap(); // sync stays quiet even after the crash
+        faults.clear();
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+    }
+
+    #[test]
+    fn clear_disarms_pending_faults() {
+        let (store, faults) = wrapped(64);
+        store.grow(1).unwrap();
+        faults.fail_nth_write(0);
+        faults.fail_nth_read(0);
+        faults.clear();
+        store.write_page(0, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(faults.stats().injected, 0);
+    }
+}

@@ -27,12 +27,15 @@
 
 mod cache;
 mod error;
+mod fault;
 mod page;
 mod pagefile;
 mod stats;
 mod store;
+mod sync;
 
 pub use error::{PagerError, Result};
+pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultStats};
 pub use page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
 pub use pagefile::PageFile;
 pub use stats::IoStats;

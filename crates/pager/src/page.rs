@@ -204,7 +204,12 @@ mod tests {
 
     #[test]
     fn kind_roundtrip() {
-        for k in [PageKind::Meta, PageKind::Node, PageKind::Leaf, PageKind::Free] {
+        for k in [
+            PageKind::Meta,
+            PageKind::Node,
+            PageKind::Leaf,
+            PageKind::Free,
+        ] {
             assert_eq!(PageKind::from_u8(k as u8), Some(k));
         }
         assert_eq!(PageKind::from_u8(42), None);

@@ -14,7 +14,7 @@
 
 use std::path::Path;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::cache::LruCache;
 use crate::error::{PagerError, Result};
@@ -109,7 +109,9 @@ impl PageFile {
             return Err(PagerError::Corrupt(format!("bad magic {magic:#x}")));
         }
         if version != VERSION {
-            return Err(PagerError::Corrupt(format!("unsupported version {version}")));
+            return Err(PagerError::Corrupt(format!(
+                "unsupported version {version}"
+            )));
         }
         let store = Box::new(FilePageStore::open(path, page_size)?);
         Self::open_from_store(store)
@@ -220,7 +222,10 @@ impl PageFile {
     /// Allocate a page, reusing the free list when possible. The page is
     /// initialized with an empty payload of the given kind.
     pub fn allocate(&self, kind: PageKind) -> Result<PageId> {
-        assert!(kind != PageKind::Meta && kind != PageKind::Free, "cannot allocate {kind:?}");
+        assert!(
+            kind != PageKind::Meta && kind != PageKind::Free,
+            "cannot allocate {kind:?}"
+        );
         let id = {
             let mut inner = self.inner.lock();
             if inner.free_head != NIL {

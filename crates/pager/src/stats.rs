@@ -82,8 +82,7 @@ impl IoStats {
         let mut d = IoStats::new();
         for i in 0..4 {
             d.logical_reads[i] = self.logical_reads[i].saturating_sub(earlier.logical_reads[i]);
-            d.logical_writes[i] =
-                self.logical_writes[i].saturating_sub(earlier.logical_writes[i]);
+            d.logical_writes[i] = self.logical_writes[i].saturating_sub(earlier.logical_writes[i]);
         }
         d.physical_reads = self.physical_reads.saturating_sub(earlier.physical_reads);
         d.physical_writes = self.physical_writes.saturating_sub(earlier.physical_writes);

@@ -5,7 +5,7 @@ use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::error::{PagerError, Result};
 use crate::page::PageId;
@@ -256,7 +256,7 @@ mod tests {
         {
             let s = FilePageStore::create(&path, 128).unwrap();
             s.grow(2).unwrap();
-            s.write_page(1, &vec![7u8; 128]).unwrap();
+            s.write_page(1, &[7u8; 128]).unwrap();
             s.sync().unwrap();
         }
         {

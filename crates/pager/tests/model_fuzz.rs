@@ -2,10 +2,15 @@
 //! allocate/write/read/free/flush/cache-resize operations is run against
 //! both the real `PageFile` and a trivial in-memory model; they must
 //! agree at every step, under every cache capacity.
+//!
+//! Deterministic seeded loops stand in for a property-testing framework
+//! (the workspace carries no registry dependencies): each case derives
+//! from a fixed base seed, so any failure message's seed reproduces the
+//! exact op sequence.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use sr_dataset::SeededRng;
 use sr_pager::{PageFile, PageId, PageKind};
 
 #[derive(Clone, Debug)]
@@ -22,22 +27,34 @@ enum Op {
     SetCache(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Allocate),
-        4 => (any::<usize>(), any::<u8>(), 0usize..200).prop_map(|(i, b, l)| Op::Write(i, b, l)),
-        4 => any::<usize>().prop_map(Op::Read),
-        1 => any::<usize>().prop_map(Op::Free),
-        1 => Just(Op::Flush),
-        1 => (0usize..8).prop_map(Op::SetCache),
-    ]
+/// Weighted op distribution matching the old proptest strategy:
+/// 2 allocate : 4 write : 4 read : 1 free : 1 flush : 1 cache-resize.
+fn arb_op(rng: &mut SeededRng) -> Op {
+    match rng.random_range(0..13) {
+        0 | 1 => Op::Allocate,
+        2..=5 => Op::Write(
+            rng.random_range(0..usize::MAX),
+            rng.random::<u8>(),
+            rng.random_range(0..200),
+        ),
+        6..=9 => Op::Read(rng.random_range(0..usize::MAX)),
+        10 => Op::Free(rng.random_range(0..usize::MAX)),
+        11 => Op::Flush,
+        _ => Op::SetCache(rng.random_range(0..8)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_ops(seed: u64, max_len: usize) -> Vec<Op> {
+    let mut rng = SeededRng::seed_from_u64(seed);
+    let len = 1 + rng.random_range(0..max_len);
+    (0..len).map(|_| arb_op(&mut rng)).collect()
+}
 
-    #[test]
-    fn pagefile_matches_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+#[test]
+fn pagefile_matches_model() {
+    for case in 0..64u64 {
+        let seed = 0x9A6E_F055_u64 ^ case;
+        let ops = arb_ops(seed, 120);
         let pf = PageFile::create_in_memory(512);
         let mut model: HashMap<PageId, Vec<u8>> = HashMap::new();
         let mut live: Vec<PageId> = Vec::new();
@@ -46,25 +63,34 @@ proptest! {
             match op {
                 Op::Allocate => {
                     let id = pf.allocate(PageKind::Leaf).unwrap();
-                    prop_assert!(!model.contains_key(&id), "allocated a live page twice");
+                    assert!(
+                        !model.contains_key(&id),
+                        "SEED={seed}: allocated a live page twice"
+                    );
                     model.insert(id, Vec::new());
                     live.push(id);
                 }
                 Op::Write(i, b, l) => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let id = live[i % live.len()];
                     let payload = vec![b; l.min(pf.capacity())];
                     pf.write(id, PageKind::Leaf, &payload).unwrap();
                     model.insert(id, payload);
                 }
                 Op::Read(i) => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let id = live[i % live.len()];
                     let got = pf.read(id, PageKind::Leaf).unwrap();
-                    prop_assert_eq!(&got, model.get(&id).unwrap());
+                    assert_eq!(&got, model.get(&id).unwrap(), "SEED={seed}");
                 }
                 Op::Free(i) => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let idx = i % live.len();
                     let id = live.swap_remove(idx);
                     pf.free(id).unwrap();
@@ -78,25 +104,21 @@ proptest! {
         // Final sweep: every live page still reads back exactly.
         for &id in &live {
             let got = pf.read(id, PageKind::Leaf).unwrap();
-            prop_assert_eq!(&got, model.get(&id).unwrap());
+            assert_eq!(&got, model.get(&id).unwrap(), "SEED={seed}");
         }
     }
+}
 
-    /// The same trace must also survive persistence: flush, reopen from
-    /// the same backing store — wait, the in-memory store dies with the
-    /// PageFile, so persistence is tested through a real file instead.
-    #[test]
-    fn pagefile_trace_survives_reopen(ops in prop::collection::vec(arb_op(), 1..60)) {
-        let dir = std::env::temp_dir().join(format!("sr-pager-fuzz-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        // Unique file per proptest case to avoid clashes.
-        let path = dir.join(format!(
-            "trace-{}.pages",
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .unwrap()
-                .as_nanos()
-        ));
+/// The same traces must also survive persistence: run against a real
+/// file, flush, reopen, and verify every live page.
+#[test]
+fn pagefile_trace_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("sr-pager-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for case in 0..32u64 {
+        let seed = 0xF11E_5EED ^ case;
+        let ops = arb_ops(seed, 60);
+        let path = dir.join(format!("trace-{case}.pages"));
         let mut model: HashMap<PageId, Vec<u8>> = HashMap::new();
         let mut live: Vec<PageId> = Vec::new();
         {
@@ -109,14 +131,18 @@ proptest! {
                         live.push(id);
                     }
                     Op::Write(i, b, l) => {
-                        if live.is_empty() { continue; }
+                        if live.is_empty() {
+                            continue;
+                        }
                         let id = live[i % live.len()];
                         let payload = vec![b; l.min(pf.capacity())];
                         pf.write(id, PageKind::Leaf, &payload).unwrap();
                         model.insert(id, payload);
                     }
                     Op::Free(i) => {
-                        if live.is_empty() { continue; }
+                        if live.is_empty() {
+                            continue;
+                        }
                         let idx = i % live.len();
                         let id = live.swap_remove(idx);
                         pf.free(id).unwrap();
@@ -132,8 +158,10 @@ proptest! {
         let pf = PageFile::open(&path).unwrap();
         for &id in &live {
             let got = pf.read(id, PageKind::Leaf).unwrap();
-            prop_assert_eq!(&got, model.get(&id).unwrap());
+            assert_eq!(&got, model.get(&id).unwrap(), "SEED={seed}");
         }
+        drop(pf);
         std::fs::remove_file(&path).ok();
     }
+    std::fs::remove_dir_all(&dir).ok();
 }

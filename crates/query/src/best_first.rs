@@ -138,8 +138,7 @@ mod tests {
         for d in [2usize, 8] {
             let pts = pseudo_points(400, d, 17 + d as u64);
             let tree = MockTree(MockNode::build(pts.clone(), 16));
-            let flat: Vec<(&[f32], u64)> =
-                pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
+            let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
             for (qi, k) in [(0usize, 1usize), (11, 5), (200, 21)] {
                 let q = &pts[qi].0;
                 let got = knn_best_first(&tree, q, k).unwrap();

@@ -138,11 +138,7 @@ pub(crate) mod mock {
             }
             let d = lo.len();
             let dim = (0..d)
-                .max_by(|&a, &b| {
-                    (hi[a] - lo[a])
-                        .partial_cmp(&(hi[b] - lo[b]))
-                        .unwrap()
-                })
+                .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
                 .unwrap();
             points.sort_by(|a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
             let right = points.split_off(points.len() / 2);
@@ -196,7 +192,8 @@ pub(crate) mod mock {
             match node {
                 MockNode::Inner { children, .. } => {
                     for c in children {
-                        out.branches.push((c.min_dist2(query), c as *const MockNode));
+                        out.branches
+                            .push((c.min_dist2(query), c as *const MockNode));
                     }
                 }
                 MockNode::Leaf { points, .. } => {
@@ -208,7 +205,10 @@ pub(crate) mod mock {
                             let t = p[i] as f64 - query[i] as f64;
                             d += t * t;
                         }
-                        out.points.push(Neighbor { dist2: d, data: *id });
+                        out.points.push(Neighbor {
+                            dist2: d,
+                            data: *id,
+                        });
                     }
                 }
             }
@@ -242,8 +242,7 @@ mod tests {
         for d in [2usize, 8, 16] {
             let pts = pseudo_points(500, d, 42 + d as u64);
             let tree = MockTree(MockNode::build(pts.clone(), 16));
-            let flat: Vec<(&[f32], u64)> =
-                pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
+            let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
             for (qi, k) in [(0usize, 1usize), (13, 5), (77, 21)] {
                 let q = &pts[qi].0;
                 let got = knn(&tree, q, k).unwrap();

@@ -10,11 +10,7 @@ use crate::knn::{Expansion, KnnSource};
 /// A branch is visited iff its region distance is `<= radius^2`; a point
 /// is reported iff its exact distance is. Boundary points (distance
 /// exactly `radius`) are included.
-pub fn range<S: KnnSource>(
-    src: &S,
-    query: &[f32],
-    radius: f64,
-) -> Result<Vec<Neighbor>, S::Error> {
+pub fn range<S: KnnSource>(src: &S, query: &[f32], radius: f64) -> Result<Vec<Neighbor>, S::Error> {
     assert!(radius >= 0.0, "range radius must be non-negative");
     let r2 = radius * radius;
     let mut out = Vec::new();

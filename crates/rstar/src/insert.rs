@@ -28,11 +28,20 @@ impl AnyEntry {
 }
 
 /// Public entry point: insert one point.
-pub(crate) fn insert_point(tree: &mut RstarTree, point: sr_geometry::Point, data: u64) -> Result<()> {
+pub(crate) fn insert_point(
+    tree: &mut RstarTree,
+    point: sr_geometry::Point,
+    data: u64,
+) -> Result<()> {
     // One "reinserted" flag per level, for the R*-tree rule that forced
     // reinsertion runs at most once per level per insertion.
     let mut reinserted = vec![false; tree.height as usize];
-    insert_at_level(tree, AnyEntry::Leaf(LeafEntry { point, data }), 0, &mut reinserted)?;
+    insert_at_level(
+        tree,
+        AnyEntry::Leaf(LeafEntry { point, data }),
+        0,
+        &mut reinserted,
+    )?;
     tree.count += 1;
     tree.save_meta()?;
     Ok(())
@@ -99,14 +108,20 @@ pub(crate) fn insert_at_level(
         tree.write_node(path[idx], &a)?;
         let (a_mbr, b_mbr) = (a.mbr(), b.mbr());
         idx -= 1;
-        let mut parent = tree.read_node(path[idx], (target_level as usize + (path.len() - 1 - idx)) as u16)?;
+        let mut parent = tree.read_node(
+            path[idx],
+            (target_level as usize + (path.len() - 1 - idx)) as u16,
+        )?;
         if let Node::Inner { entries, .. } = &mut parent {
             let slot = entries
                 .iter_mut()
                 .find(|e| e.child == path[idx + 1])
                 .expect("parent lost track of its child");
             slot.rect = a_mbr;
-            entries.push(InnerEntry { rect: b_mbr, child: b_id });
+            entries.push(InnerEntry {
+                rect: b_mbr,
+                child: b_id,
+            });
         } else {
             unreachable!("parent of a split node must be an inner node");
         }
@@ -152,8 +167,7 @@ fn choose_min_overlap(entries: &[InnerEntry], rect: &Rect) -> usize {
             if i == j {
                 continue;
             }
-            overlap_delta +=
-                enlarged.overlap_volume(&o.rect) - e.rect.overlap_volume(&o.rect);
+            overlap_delta += enlarged.overlap_volume(&o.rect) - e.rect.overlap_volume(&o.rect);
         }
         let area = e.rect.volume();
         let key = (overlap_delta, enlarged.volume() - area, area);
@@ -230,7 +244,10 @@ fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Vec<AnyEntry> {
                 db.partial_cmp(&da).unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Leaf).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Leaf)
+                .collect()
         }
         Node::Inner { entries, .. } => {
             let mut order: Vec<usize> = (0..entries.len()).collect();
@@ -240,7 +257,10 @@ fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Vec<AnyEntry> {
                 db.partial_cmp(&da).unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Inner).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Inner)
+                .collect()
         }
     }
 }
@@ -250,10 +270,7 @@ fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Vec<AnyEntry> {
 fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
     let mut sorted = victims.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let mut removed: Vec<(usize, T)> = sorted
-        .into_iter()
-        .map(|i| (i, entries.remove(i)))
-        .collect();
+    let mut removed: Vec<(usize, T)> = sorted.into_iter().map(|i| (i, entries.remove(i))).collect();
     // restore the caller's requested order
     let mut out = Vec::with_capacity(victims.len());
     for &v in victims {
@@ -272,8 +289,14 @@ fn split_root(tree: &mut RstarTree, node: Node) -> Result<()> {
     let new_root = Node::Inner {
         level: level + 1,
         entries: vec![
-            InnerEntry { rect: a.mbr(), child: a_id },
-            InnerEntry { rect: b.mbr(), child: b_id },
+            InnerEntry {
+                rect: a.mbr(),
+                child: a_id,
+            },
+            InnerEntry {
+                rect: b.mbr(),
+                child: b_id,
+            },
         ],
     };
     // Reuse the old root page for the new root so the meta root pointer
@@ -312,8 +335,14 @@ mod tests {
     #[test]
     fn choose_min_enlargement_prefers_containing_rect() {
         let entries = vec![
-            InnerEntry { rect: Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]), child: 1 },
-            InnerEntry { rect: Rect::new(vec![5.0, 5.0], vec![6.0, 6.0]), child: 2 },
+            InnerEntry {
+                rect: Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+                child: 1,
+            },
+            InnerEntry {
+                rect: Rect::new(vec![5.0, 5.0], vec![6.0, 6.0]),
+                child: 2,
+            },
         ];
         let target = Rect::from_point(&Point::new(vec![0.5, 0.5]));
         assert_eq!(choose_min_enlargement(&entries, &target), 0);
@@ -327,8 +356,14 @@ mod tests {
         // rect to take the point overlaps the right rect less than the
         // converse (the right rect is bigger).
         let entries = vec![
-            InnerEntry { rect: Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]), child: 1 },
-            InnerEntry { rect: Rect::new(vec![2.0, 0.0], vec![5.0, 5.0]), child: 2 },
+            InnerEntry {
+                rect: Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+                child: 1,
+            },
+            InnerEntry {
+                rect: Rect::new(vec![2.0, 0.0], vec![5.0, 5.0]),
+                child: 2,
+            },
         ];
         let target = Rect::from_point(&Point::new(vec![1.5, 0.5]));
         let got = choose_min_overlap(&entries, &target);

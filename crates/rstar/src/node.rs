@@ -24,7 +24,10 @@ pub(crate) struct InnerEntry {
 #[derive(Clone, Debug)]
 pub(crate) enum Node {
     Leaf(Vec<LeafEntry>),
-    Inner { level: u16, entries: Vec<InnerEntry> },
+    Inner {
+        level: u16,
+        entries: Vec<InnerEntry>,
+    },
 }
 
 impl Node {
@@ -203,8 +206,14 @@ mod tests {
     #[test]
     fn mbr_of_leaf_and_inner() {
         let leaf = Node::Leaf(vec![
-            LeafEntry { point: Point::new(vec![0.0, 5.0]), data: 0 },
-            LeafEntry { point: Point::new(vec![3.0, -1.0]), data: 1 },
+            LeafEntry {
+                point: Point::new(vec![0.0, 5.0]),
+                data: 0,
+            },
+            LeafEntry {
+                point: Point::new(vec![3.0, -1.0]),
+                data: 1,
+            },
         ]);
         let r = leaf.mbr();
         assert_eq!(r.min(), &[0.0, -1.0]);
@@ -213,8 +222,14 @@ mod tests {
         let inner = Node::Inner {
             level: 1,
             entries: vec![
-                InnerEntry { rect: Rect::new(vec![0.0], vec![1.0]), child: 1 },
-                InnerEntry { rect: Rect::new(vec![5.0], vec![9.0]), child: 2 },
+                InnerEntry {
+                    rect: Rect::new(vec![0.0], vec![1.0]),
+                    child: 1,
+                },
+                InnerEntry {
+                    rect: Rect::new(vec![5.0], vec![9.0]),
+                    child: 2,
+                },
             ],
         };
         let r = inner.mbr();

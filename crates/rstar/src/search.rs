@@ -64,9 +64,7 @@ pub(crate) fn contains(tree: &RstarTree, point: &sr_geometry::Point, data: u64) 
         data: u64,
     ) -> Result<bool> {
         match tree.read_node(id, level)? {
-            Node::Leaf(entries) => {
-                Ok(entries.iter().any(|e| e.point == *point && e.data == data))
-            }
+            Node::Leaf(entries) => Ok(entries.iter().any(|e| e.point == *point && e.data == data)),
             Node::Inner { entries, .. } => {
                 for e in &entries {
                     if e.rect.contains_point(point.coords())

@@ -108,9 +108,7 @@ pub(crate) fn rstar_split(rects: &[Rect], m: usize) -> (Vec<usize>, Vec<usize>) 
             let area = prefix[k - 1].volume() + suffix[k].volume();
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((overlap, area, order.clone(), k));
@@ -165,8 +163,7 @@ mod tests {
             [10.05, 0.2],
         ]);
         let (a, b) = rstar_split(&rects, 2);
-        let cluster =
-            |idx: &[usize]| idx.iter().all(|&i| i < 3) || idx.iter().all(|&i| i >= 3);
+        let cluster = |idx: &[usize]| idx.iter().all(|&i| i < 3) || idx.iter().all(|&i| i >= 3);
         assert!(cluster(&a) && cluster(&b), "a={a:?} b={b:?}");
     }
 

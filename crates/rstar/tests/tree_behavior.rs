@@ -13,8 +13,8 @@ use sr_rstar::{verify, RstarTree};
 const SMALL_PAGE: usize = 1024;
 
 fn build(points: &[Point], page: usize) -> RstarTree {
-    let mut t = RstarTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64)
-        .unwrap();
+    let mut t =
+        RstarTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64).unwrap();
     for (i, p) in points.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
     }

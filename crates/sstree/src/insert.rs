@@ -204,7 +204,10 @@ fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
                     .unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Leaf).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Leaf)
+                .collect()
         }
         Node::Inner { entries, .. } => {
             let mut order: Vec<usize> = (0..entries.len()).collect();
@@ -217,7 +220,10 @@ fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
                     .unwrap()
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims).into_iter().map(AnyEntry::Inner).collect()
+            extract(entries, &victims)
+                .into_iter()
+                .map(AnyEntry::Inner)
+                .collect()
         }
     }
 }
@@ -227,10 +233,7 @@ fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
 fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
     let mut sorted = victims.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let mut removed: Vec<(usize, T)> = sorted
-        .into_iter()
-        .map(|i| (i, entries.remove(i)))
-        .collect();
+    let mut removed: Vec<(usize, T)> = sorted.into_iter().map(|i| (i, entries.remove(i))).collect();
     let mut out = Vec::with_capacity(victims.len());
     for &v in victims {
         let pos = removed.iter().position(|(i, _)| *i == v).unwrap();

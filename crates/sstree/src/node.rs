@@ -29,7 +29,10 @@ pub(crate) struct InnerEntry {
 #[derive(Clone, Debug)]
 pub(crate) enum Node {
     Leaf(Vec<LeafEntry>),
-    Inner { level: u16, entries: Vec<InnerEntry> },
+    Inner {
+        level: u16,
+        entries: Vec<InnerEntry>,
+    },
 }
 
 impl Node {
@@ -219,9 +222,18 @@ mod tests {
     #[test]
     fn leaf_region_contains_points() {
         let node = Node::Leaf(vec![
-            LeafEntry { point: Point::new(vec![0.0, 0.0, 0.0]), data: 0 },
-            LeafEntry { point: Point::new(vec![1.0, 1.0, 1.0]), data: 1 },
-            LeafEntry { point: Point::new(vec![0.5, 0.3, 0.9]), data: 2 },
+            LeafEntry {
+                point: Point::new(vec![0.0, 0.0, 0.0]),
+                data: 0,
+            },
+            LeafEntry {
+                point: Point::new(vec![1.0, 1.0, 1.0]),
+                data: 1,
+            },
+            LeafEntry {
+                point: Point::new(vec![0.5, 0.3, 0.9]),
+                data: 2,
+            },
         ]);
         let s = node.region();
         if let Node::Leaf(entries) = &node {

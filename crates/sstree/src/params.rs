@@ -44,7 +44,10 @@ impl SsParams {
     /// leaf, or if `data_area < 8`.
     pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        assert!(data_area >= 8, "data area must hold at least the u64 payload");
+        assert!(
+            data_area >= 8,
+            "data area must hold at least the u64 payload"
+        );
         let usable = page_capacity - NODE_HEADER;
         let max_node = usable / Self::node_entry_bytes(dim);
         let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);

@@ -15,8 +15,7 @@ pub(crate) fn split_node(params: &SsParams, node: Node) -> (Node, Node) {
             (Node::Leaf(a), Node::Leaf(b))
         }
         Node::Inner { level, entries } => {
-            let centers: Vec<&[f32]> =
-                entries.iter().map(|e| e.sphere.center().coords()).collect();
+            let centers: Vec<&[f32]> = entries.iter().map(|e| e.sphere.center().coords()).collect();
             let (k, order) = variance_split(&centers, params.min_node);
             let (a, b) = partition(entries, &order, k);
             (

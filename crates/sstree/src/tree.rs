@@ -69,7 +69,9 @@ impl SsTree {
             return Err(TreeError::NotThisIndex("not an SS-tree file".into()));
         }
         if c.get_u32() != META_VERSION {
-            return Err(TreeError::NotThisIndex("unsupported SS-tree version".into()));
+            return Err(TreeError::NotThisIndex(
+                "unsupported SS-tree version".into(),
+            ));
         }
         let dim = c.get_u32() as usize;
         let data_area = c.get_u32() as usize;
@@ -147,7 +149,11 @@ impl SsTree {
     }
 
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
-        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let kind = if level == 0 {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let payload = self.pf.read(id, kind)?;
         let node = Node::decode(&payload, &self.params)?;
         debug_assert_eq!(node.level(), level, "page {id} level mismatch");
@@ -155,14 +161,22 @@ impl SsTree {
     }
 
     pub(crate) fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
-        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let kind = if node.is_leaf() {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let payload = node.encode(&self.params, self.pf.capacity());
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
 
     pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
-        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let kind = if node.is_leaf() {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let id = self.pf.allocate(kind)?;
         self.write_node(id, node)?;
         Ok(id)
@@ -250,12 +264,7 @@ impl SsTree {
         Ok(n)
     }
 
-    fn walk_leaves(
-        &self,
-        id: PageId,
-        level: u16,
-        f: &mut impl FnMut(&Node),
-    ) -> Result<()> {
+    fn walk_leaves(&self, id: PageId, level: u16, f: &mut impl FnMut(&Node)) -> Result<()> {
         let node = self.read_node(id, level)?;
         match &node {
             Node::Leaf(_) => f(&node),

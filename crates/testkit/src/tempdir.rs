@@ -1,0 +1,70 @@
+//! A scoped temporary directory that cleans up after itself.
+//!
+//! The integration suites used to leak `srtree-integration-{pid}`
+//! directories on every run; this guard removes the whole directory on
+//! drop. Each instance gets a unique path (pid + process-wide counter),
+//! so tests running in parallel within one binary never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed
+/// (recursively) when the guard is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `<system-temp>/<prefix>-<pid>-<n>`.
+    pub fn new(prefix: &str) -> io::Result<Self> {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for a file inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failure to clean up must never fail a test.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let td = TempDir::new("sr-testkit-unit").unwrap();
+            kept = td.path().to_path_buf();
+            assert!(kept.is_dir());
+            fs::write(td.file("x.bin"), b"abc").unwrap();
+        }
+        assert!(!kept.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn instances_do_not_collide() {
+        let a = TempDir::new("sr-testkit-unit").unwrap();
+        let b = TempDir::new("sr-testkit-unit").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

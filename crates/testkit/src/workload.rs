@@ -1,0 +1,295 @@
+//! Seeded workload tapes: concrete operation sequences for the
+//! differential executor.
+//!
+//! A tape is *materialized* — every operation carries its full operands
+//! (the point, the id, the query, the radius) rather than being derived
+//! from a seed at replay time. That choice is what makes shrinking work:
+//! any subsequence of a tape is itself a valid tape and replays
+//! identically, because deleting an `Insert` merely turns the matching
+//! `Delete` into a consistent not-found in both the trees and the model.
+
+use sr_dataset::{cluster, real_sim, uniform, ClusterSpec, SeededRng};
+use sr_geometry::Point;
+
+/// One operation of a workload tape, with all operands materialized.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Insert `point` with payload `id`.
+    Insert(Point, u64),
+    /// Delete the entry `(point, id)`; may be a miss.
+    Delete(Point, u64),
+    /// k-nearest-neighbor query.
+    Knn(Point, usize),
+    /// Range query with the given radius.
+    Range(Point, f64),
+}
+
+impl Op {
+    /// Short tag for failure messages.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::Insert(..) => "insert",
+            Op::Delete(..) => "delete",
+            Op::Knn(..) => "knn",
+            Op::Range(..) => "range",
+        }
+    }
+}
+
+/// The data distribution the tape's points are drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataDist {
+    /// Uniform in the unit cube (§3.1).
+    Uniform,
+    /// Clustered (§5.4).
+    Clustered,
+    /// Simulated color-histogram vectors (§3.1 "real data").
+    RealSim,
+}
+
+impl DataDist {
+    /// Parse the `srtool fuzz --dist` spelling.
+    pub fn parse(s: &str) -> Option<DataDist> {
+        match s {
+            "uniform" => Some(DataDist::Uniform),
+            "cluster" | "clustered" => Some(DataDist::Clustered),
+            "real" | "realsim" | "real-sim" => Some(DataDist::RealSim),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, for `SEED=` replay lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataDist::Uniform => "uniform",
+            DataDist::Clustered => "cluster",
+            DataDist::RealSim => "real",
+        }
+    }
+}
+
+/// Shape of a generated workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Total number of operations on the tape.
+    pub ops: usize,
+    /// Dimensionality of every point.
+    pub dim: usize,
+    /// Distribution the insert points are drawn from.
+    pub dist: DataDist,
+    /// Relative weights of insert / delete / knn / range draws.
+    /// Inserts are forced while the live set is empty.
+    pub weights: [u32; 4],
+}
+
+impl WorkloadSpec {
+    /// The mix used by the tier-1 fuzz tests: insert-heavy with steady
+    /// churn and a query every few steps.
+    pub fn standard(ops: usize, dim: usize, dist: DataDist) -> Self {
+        WorkloadSpec {
+            ops,
+            dim,
+            dist,
+            weights: [55, 25, 15, 5],
+        }
+    }
+}
+
+/// A fully materialized operation sequence.
+#[derive(Clone, Debug)]
+pub struct OpTape {
+    /// Seed the tape was generated from (kept for reporting).
+    pub seed: u64,
+    /// Dimensionality of every point on the tape.
+    pub dim: usize,
+    /// Distribution tag (kept for reporting).
+    pub dist: DataDist,
+    /// The operations.
+    pub ops: Vec<Op>,
+}
+
+/// Generate a tape deterministically from `seed`.
+///
+/// Every inserted point is distinct (the K-D-B-tree cannot store more
+/// coincident points than fit one page, so coincident-point behavior is
+/// covered by dedicated tests, not the differential fuzzer). Deletes
+/// target a live entry 90% of the time and a guaranteed miss otherwise,
+/// exercising the not-found path. Queries are sampled near live data so
+/// they traverse meaningful subtrees.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> OpTape {
+    assert!(spec.dim > 0 && spec.ops > 0);
+    let mut rng = SeededRng::seed_from_u64(seed);
+
+    // Draw the insert pool: one distinct point per potential insert.
+    let mut pool = match spec.dist {
+        DataDist::Uniform => uniform(spec.ops, spec.dim, seed ^ 0xDA7A_0001),
+        DataDist::Clustered => {
+            let clusters = (spec.ops / 64).max(2);
+            cluster(
+                ClusterSpec {
+                    clusters,
+                    points_per_cluster: spec.ops / clusters + 1,
+                    max_radius: 0.08,
+                },
+                spec.dim,
+                seed ^ 0xDA7A_0002,
+            )
+        }
+        DataDist::RealSim => real_sim(spec.ops, spec.dim, seed ^ 0xDA7A_0003),
+    };
+    // Enforce distinctness (coincidences are astronomically rare for
+    // continuous generators, but the guarantee matters).
+    pool.sort_by(|a, b| a.coords().partial_cmp(b.coords()).unwrap());
+    pool.dedup();
+    rng.shuffle(&mut pool);
+
+    let total_w: u32 = spec.weights.iter().sum();
+    let mut ops = Vec::with_capacity(spec.ops);
+    let mut live: Vec<(Point, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for _ in 0..spec.ops {
+        let mut roll = rng.random_range(0..total_w as usize) as u32;
+        let choice = spec
+            .weights
+            .iter()
+            .position(|&w| {
+                if roll < w {
+                    true
+                } else {
+                    roll -= w;
+                    false
+                }
+            })
+            .unwrap_or(0);
+        let choice = if live.is_empty() || (choice == 0 && pool.is_empty()) {
+            if pool.is_empty() {
+                2 // both exhausted-insert and empty-live: fall back to knn
+            } else {
+                0
+            }
+        } else {
+            choice
+        };
+        match choice {
+            0 => {
+                let p = pool.pop().expect("pool sized to the op budget");
+                ops.push(Op::Insert(p.clone(), next_id));
+                live.push((p, next_id));
+                next_id += 1;
+            }
+            1 => {
+                if rng.random_bool(0.9) {
+                    let i = rng.random_range(0..live.len());
+                    let (p, id) = live.swap_remove(i);
+                    ops.push(Op::Delete(p, id));
+                } else {
+                    // Guaranteed miss: an id no insert ever used.
+                    let i = rng.random_range(0..live.len());
+                    let p = live[i].0.clone();
+                    ops.push(Op::Delete(p, u64::MAX - next_id));
+                }
+            }
+            2 => {
+                let q = query_point(&mut rng, &live, spec.dim);
+                let k = 1 + rng.random_range(0..10);
+                ops.push(Op::Knn(q, k));
+            }
+            _ => {
+                let q = query_point(&mut rng, &live, spec.dim);
+                let radius = 0.05 + 0.45 * rng.random::<f64>();
+                ops.push(Op::Range(q, radius));
+            }
+        }
+    }
+    OpTape {
+        seed,
+        dim: spec.dim,
+        dist: spec.dist,
+        ops,
+    }
+}
+
+/// A query point: a live point perturbed slightly (so it lands inside
+/// populated regions but is rarely an exact data point), or a uniform
+/// point when nothing is live.
+fn query_point(rng: &mut SeededRng, live: &[(Point, u64)], dim: usize) -> Point {
+    if live.is_empty() {
+        return Point::new((0..dim).map(|_| rng.random::<f32>()).collect::<Vec<_>>());
+    }
+    let base = &live[rng.random_range(0..live.len())].0;
+    let coords: Vec<f32> = base
+        .coords()
+        .iter()
+        .map(|&c| c + (rng.random::<f32>() - 0.5) * 0.02)
+        .collect();
+    Point::new(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::standard(500, 4, DataDist::Uniform);
+        let a = generate(&spec, 42);
+        let b = generate(&spec, 42);
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(b.ops.iter()) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let c = generate(&spec, 43);
+        assert!(
+            a.ops
+                .iter()
+                .zip(c.ops.iter())
+                .any(|(x, y)| format!("{x:?}") != format!("{y:?}")),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn inserted_points_are_distinct() {
+        let spec = WorkloadSpec::standard(800, 4, DataDist::Clustered);
+        let tape = generate(&spec, 7);
+        let mut seen = Vec::new();
+        for op in &tape.ops {
+            if let Op::Insert(p, _) = op {
+                assert!(!seen.contains(p), "duplicate insert point");
+                seen.push(p.clone());
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn op_mix_roughly_matches_weights() {
+        let spec = WorkloadSpec::standard(2_000, 4, DataDist::Uniform);
+        let tape = generate(&spec, 11);
+        let inserts = tape.ops.iter().filter(|o| o.tag() == "insert").count();
+        let deletes = tape.ops.iter().filter(|o| o.tag() == "delete").count();
+        let queries = tape.ops.len() - inserts - deletes;
+        assert!(inserts > deletes, "{inserts} inserts vs {deletes} deletes");
+        assert!(queries > 100, "only {queries} queries");
+        assert_eq!(tape.ops.len(), 2_000);
+    }
+
+    #[test]
+    fn all_distributions_generate() {
+        for dist in [DataDist::Uniform, DataDist::Clustered, DataDist::RealSim] {
+            let spec = WorkloadSpec::standard(200, 8, dist);
+            let tape = generate(&spec, 3);
+            assert_eq!(tape.ops.len(), 200);
+            assert_eq!(tape.dim, 8);
+        }
+    }
+
+    #[test]
+    fn dist_parse_round_trips() {
+        for dist in [DataDist::Uniform, DataDist::Clustered, DataDist::RealSim] {
+            assert_eq!(DataDist::parse(dist.name()), Some(dist));
+        }
+        assert_eq!(DataDist::parse("nope"), None);
+    }
+}

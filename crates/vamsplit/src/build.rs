@@ -17,10 +17,7 @@ use crate::tree::VamTree;
 
 /// Build the tree structure for `points`, returning the root page id and
 /// the height.
-pub(crate) fn bulk_build(
-    tree: &VamTree,
-    mut points: Vec<(Point, u64)>,
-) -> Result<(PageId, u32)> {
+pub(crate) fn bulk_build(tree: &VamTree, mut points: Vec<(Point, u64)>) -> Result<(PageId, u32)> {
     let m_l = tree.params.max_leaf;
     let m_n = tree.params.max_node;
     if points.is_empty() {
@@ -40,11 +37,7 @@ pub(crate) fn bulk_build(
 
 /// Build a subtree of exactly `height` levels over `points`, returning
 /// its page id and exact MBR.
-fn build_rec(
-    tree: &VamTree,
-    points: &mut [(Point, u64)],
-    height: u32,
-) -> Result<(PageId, Rect)> {
+fn build_rec(tree: &VamTree, points: &mut [(Point, u64)], height: u32) -> Result<(PageId, Rect)> {
     if height == 1 {
         debug_assert!(points.len() <= tree.params.max_leaf);
         debug_assert!(!points.is_empty());
@@ -60,15 +53,18 @@ fn build_rec(
         return Ok((id, mbr));
     }
     // Capacity of one full child subtree.
-    let child_cap = (tree.params.max_leaf as u64
-        * (tree.params.max_node as u64).pow(height - 2)) as usize;
+    let child_cap =
+        (tree.params.max_leaf as u64 * (tree.params.max_node as u64).pow(height - 2)) as usize;
     let mut entries: Vec<InnerEntry> = Vec::new();
     vam_partition(points, child_cap, &mut |chunk| {
         let (child, rect) = build_rec(tree, chunk, height - 1)?;
         entries.push(InnerEntry { rect, child });
         Ok(())
     })?;
-    debug_assert!(entries.len() <= tree.params.max_node, "chunking overflowed a node");
+    debug_assert!(
+        entries.len() <= tree.params.max_node,
+        "chunking overflowed a node"
+    );
     let mut mbr = entries[0].rect.clone();
     for e in &entries[1..] {
         mbr.expand_to_rect(&e.rect);

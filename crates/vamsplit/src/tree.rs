@@ -168,7 +168,11 @@ impl VamTree {
     }
 
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
-        let kind = if level == 0 { PageKind::Leaf } else { PageKind::Node };
+        let kind = if level == 0 {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let payload = self.pf.read(id, kind)?;
         let node = Node::decode(&payload, &self.params)?;
         debug_assert_eq!(node.level(), level, "page {id} level mismatch");
@@ -176,7 +180,11 @@ impl VamTree {
     }
 
     pub(crate) fn allocate_node(&self, node: &Node) -> Result<PageId> {
-        let kind = if node.is_leaf() { PageKind::Leaf } else { PageKind::Node };
+        let kind = if node.is_leaf() {
+            PageKind::Leaf
+        } else {
+            PageKind::Node
+        };
         let id = self.pf.allocate(kind)?;
         let payload = node.encode(&self.params, self.pf.capacity());
         self.pf.write(id, kind, &payload)?;
@@ -186,13 +194,7 @@ impl VamTree {
     /// Whether an exact entry `(point, data)` is stored.
     pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
         self.check_dim(point.dim())?;
-        fn walk(
-            tree: &VamTree,
-            id: PageId,
-            level: u16,
-            point: &Point,
-            data: u64,
-        ) -> Result<bool> {
+        fn walk(tree: &VamTree, id: PageId, level: u16, point: &Point, data: u64) -> Result<bool> {
             match tree.read_node(id, level)? {
                 Node::Leaf(entries) => {
                     Ok(entries.iter().any(|e| e.point == *point && e.data == data))

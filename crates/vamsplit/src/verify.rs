@@ -51,7 +51,10 @@ fn walk(
         tree.params().max_node
     };
     if node.len() > max {
-        return Err(format!("page {id}: {} entries exceed capacity {max}", node.len()));
+        return Err(format!(
+            "page {id}: {} entries exceed capacity {max}",
+            node.len()
+        ));
     }
     if !is_root && node.len() == 0 {
         return Err(format!("page {id} is an empty non-root page"));

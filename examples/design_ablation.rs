@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PageFile::create_in_memory(8192),
         DIM,
         512,
-        SrOptions { disable_reinsertion: true, ..Default::default() },
+        SrOptions {
+            disable_reinsertion: true,
+            ..Default::default()
+        },
     )?;
     for (p, id) in &with_ids {
         no_reinsert.insert(p.clone(), *id)?;

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let exact = brute_force_knn(flat.iter().copied(), q.coords(), K);
         assert_eq!(hits.len(), exact.len());
         for (h, e) in hits.iter().zip(exact.iter()) {
-            assert!((h.dist2 - e.dist2).abs() < 1e-9, "index disagrees with scan");
+            assert!(
+                (h.dist2 - e.dist2).abs() < 1e-9,
+                "index disagrees with scan"
+            );
         }
         println!(
             "query {}: top-{} similar images {:?} (exact match with linear scan)",

@@ -15,6 +15,8 @@ use srtree::dataset::{cluster, ClusterSpec};
 use srtree::sstree::SsTree;
 use srtree::tree::SrTree;
 
+type KnnProbe<'a> = (&'a srtree::pager::PageFile, &'a dyn Fn(&[f32]) -> usize);
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const DIM: usize = 16;
     const SHOTS: usize = 200; // clusters
@@ -65,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probes: Vec<usize> = (0..frames.len()).step_by(199).collect();
     let mut reads = Vec::new();
     for (label, tree_reads) in [("SS-tree", false), ("SR-tree", true)] {
-        let (pager, knn): (&srtree::pager::PageFile, &dyn Fn(&[f32]) -> usize) = if tree_reads {
+        let (pager, knn): KnnProbe = if tree_reads {
             (sr.pager(), &|q| sr.knn(q, K).unwrap().len())
         } else {
             (ss.pager(), &|q| ss.knn(q, K).unwrap().len())

@@ -14,21 +14,21 @@
 //! The individual crates remain usable on their own; see the workspace
 //! README for the architecture overview.
 
+/// Workload generators: uniform, cluster, simulated color-histogram data.
+pub use sr_dataset as dataset;
 /// Geometry kernel: points, rectangles, spheres, MINDIST/MAXDIST.
 pub use sr_geometry as geometry;
+/// Baseline: the K-D-B-tree (Robinson, SIGMOD 1981).
+pub use sr_kdbtree as kdbtree;
 /// Disk page store: 8 KiB pages, LRU buffer pool, I/O statistics.
 pub use sr_pager as pager;
 /// Generic k-NN / range search engines and brute-force ground truth.
 pub use sr_query as query;
-/// Workload generators: uniform, cluster, simulated color-histogram data.
-pub use sr_dataset as dataset;
-/// The SR-tree itself (paper §4).
-pub use sr_tree as tree;
 /// Baseline: the R\*-tree (Beckmann et al., SIGMOD 1990).
 pub use sr_rstar as rstar;
 /// Baseline: the SS-tree (White & Jain, ICDE 1996).
 pub use sr_sstree as sstree;
-/// Baseline: the K-D-B-tree (Robinson, SIGMOD 1981).
-pub use sr_kdbtree as kdbtree;
+/// The SR-tree itself (paper §4).
+pub use sr_tree as tree;
 /// Baseline: the VAMSplit R-tree (White & Jain, SPIE 1996), static build.
 pub use sr_vamsplit as vamsplit;

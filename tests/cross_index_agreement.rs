@@ -37,7 +37,13 @@ fn build_fleet(points: &[Point]) -> Fleet {
         .map(|(i, p)| (p.clone(), i as u64))
         .collect();
     let vam = VamTree::build_in_memory(with_ids, dim, 4096).unwrap();
-    Fleet { kdb, rstar, ss, sr, vam }
+    Fleet {
+        kdb,
+        rstar,
+        ss,
+        sr,
+        vam,
+    }
 }
 
 fn check_agreement(points: &[Point], queries: &[Point], k: usize) {
@@ -129,10 +135,7 @@ fn agreement_after_deletions() {
             survivors.push((p.clone(), i as u64));
         }
     }
-    let flat: Vec<(&[f32], u64)> = survivors
-        .iter()
-        .map(|(p, i)| (p.coords(), *i))
-        .collect();
+    let flat: Vec<(&[f32], u64)> = survivors.iter().map(|(p, i)| (p.coords(), *i)).collect();
     for (q, _) in survivors.iter().step_by(97) {
         let truth = brute_force_knn(flat.iter().copied(), q.coords(), 9);
         for got in [

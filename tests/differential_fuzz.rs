@@ -1,0 +1,94 @@
+//! Tier-1 differential fuzzing: seeded op tapes replayed through the
+//! SR-, SS-, R*-, K-D-B-, and VAMSplit trees in lock step with a
+//! brute-force oracle. Any divergence in k-NN / range answers or any
+//! invariant-checker failure panics with a minimized, copy-pastable
+//! `SEED=` reproduction line (see `sr_testkit::failure_report`).
+//!
+//! Set `SRTREE_FUZZ_SEED` (decimal or `0x`-hex) to replay a reported
+//! failure; the fixed default seeds below make CI deterministic.
+
+use sr_testkit::{fuzz_case, generate, seed_line, DataDist, DiffConfig, DiffReport, WorkloadSpec};
+
+/// Per-tape op count. The issue floor is 2,000 ops per tape.
+const OPS: usize = 2_000;
+
+fn seed_for(default: u64) -> u64 {
+    match std::env::var("SRTREE_FUZZ_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("bad SRTREE_FUZZ_SEED {s:?}")),
+        Err(_) => default,
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Every tape must actually exercise all four op kinds and run the
+/// invariant checkers — a tape that silently degenerated to inserts
+/// would pass while testing nothing.
+fn assert_exercised(report: &DiffReport, ops: usize) {
+    assert_eq!(report.ops, ops);
+    assert!(report.inserts > 0, "tape had no inserts: {report:?}");
+    assert!(report.deletes > 0, "tape had no deletes: {report:?}");
+    assert!(report.knns > 0, "tape had no k-NN queries: {report:?}");
+    assert!(report.ranges > 0, "tape had no range queries: {report:?}");
+    assert!(report.verifies > 0, "no verify sweeps ran: {report:?}");
+    assert!(
+        report.vam_rebuilds > 0,
+        "VAMSplit never rebuilt: {report:?}"
+    );
+}
+
+#[test]
+fn uniform_tape_has_no_divergence() {
+    let spec = WorkloadSpec::standard(OPS, 6, DataDist::Uniform);
+    let report = fuzz_case(&spec, seed_for(0xD1FF_0001), &DiffConfig::default());
+    assert_exercised(&report, OPS);
+}
+
+#[test]
+fn clustered_tape_has_no_divergence() {
+    let spec = WorkloadSpec::standard(OPS, 8, DataDist::Clustered);
+    let report = fuzz_case(&spec, seed_for(0xD1FF_0002), &DiffConfig::default());
+    assert_exercised(&report, OPS);
+}
+
+#[test]
+fn real_sim_tape_has_no_divergence() {
+    let spec = WorkloadSpec::standard(OPS, 4, DataDist::RealSim);
+    let report = fuzz_case(&spec, seed_for(0xD1FF_0003), &DiffConfig::default());
+    assert_exercised(&report, OPS);
+}
+
+/// A smaller page size forces deep trees and frequent splits /
+/// underflows, the structurally hardest paths; verify after every 100
+/// ops to pin a hypothetical violation close to the op that caused it.
+#[test]
+fn small_page_tape_has_no_divergence() {
+    let spec = WorkloadSpec::standard(1_200, 5, DataDist::Clustered);
+    let cfg = DiffConfig {
+        page_size: 1536,
+        verify_every: 100,
+        ..DiffConfig::default()
+    };
+    let report = fuzz_case(&spec, seed_for(0xD1FF_0004), &cfg);
+    assert_eq!(report.ops, 1_200);
+    assert!(
+        report.verifies >= 12,
+        "expected dense verify sweeps: {report:?}"
+    );
+}
+
+#[test]
+fn failure_output_carries_replayable_seed_line() {
+    let tape = generate(&WorkloadSpec::standard(50, 4, DataDist::Clustered), 0xBEEF);
+    let line = seed_line(&tape);
+    assert!(line.contains("SEED=0xbeef"), "not copy-pastable: {line}");
+    assert!(
+        line.contains("srtool fuzz --seed 0xbeef --ops 50 --dim 4 --dist cluster"),
+        "replay command drifted from the CLI grammar: {line}"
+    );
+}

@@ -1,0 +1,281 @@
+//! Tier-1 fault injection: the pager's `FaultInjector` fails chosen
+//! reads/writes, tears writes mid-page, and cuts off all I/O at a crash
+//! point. Every injected fault must surface as a typed `Err` — never a
+//! panic — and a file that took faults mid-update must, on reopen,
+//! either verify clean or fail with a typed corruption error.
+//!
+//! The cache is disabled (`set_cache_capacity(0)`) throughout so every
+//! logical page access is a physical store op and the armed fault fires
+//! inside the operation that caused it.
+
+use sr_testkit::{FaultHandle, FaultInjector, FaultKind, TempDir};
+use srtree::dataset::uniform;
+use srtree::pager::{FilePageStore, MemPageStore, PageFile, PagerError};
+use srtree::tree::{verify, SrOptions, SrTree, TreeError};
+
+const DIM: usize = 4;
+const PAGE: usize = 1024;
+const DATA_AREA: usize = 64;
+
+/// Split-on-overflow options: forced reinsertion is disabled so the
+/// first leaf overflow goes straight down the split path we want to
+/// fault.
+fn split_opts() -> SrOptions {
+    SrOptions {
+        disable_reinsertion: true,
+        ..SrOptions::default()
+    }
+}
+
+/// An SR-tree over a fault-wrapped in-memory store, cache off.
+fn faulty_mem_tree() -> (SrTree, FaultHandle) {
+    let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(PAGE)));
+    let pf = PageFile::create_from_store(store).unwrap();
+    pf.set_cache_capacity(0).unwrap();
+    let tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+    (tree, handle)
+}
+
+/// Index of the first insert that splits the root leaf (height 1 -> 2),
+/// found on a clean shadow tree with identical parameters.
+fn first_split_index(points: &[srtree::geometry::Point]) -> usize {
+    let pf = PageFile::create_in_memory(PAGE);
+    let mut shadow = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        shadow.insert(p.clone(), i as u64).unwrap();
+        if shadow.height() > 1 {
+            return i;
+        }
+    }
+    panic!(
+        "no split within {} inserts; shrink the page size",
+        points.len()
+    );
+}
+
+#[test]
+fn write_failure_during_split_surfaces_as_err() {
+    let points = uniform(200, DIM, 701);
+    let split_at = first_split_index(&points);
+
+    // Fault every write the splitting insert performs, in turn. Small n
+    // hits the split machinery itself (the leaf is overfull, so the
+    // first writes of that insert are the split); larger n may land past
+    // the insert's last write, which must then succeed.
+    let mut injected_errs = 0;
+    for nth_write in 0..8u64 {
+        let (mut tree, handle) = faulty_mem_tree();
+        for (i, p) in points[..split_at].iter().enumerate() {
+            tree.insert(p.clone(), i as u64).unwrap();
+        }
+        assert_eq!(
+            tree.height(),
+            1,
+            "split happened earlier than the shadow run"
+        );
+        handle.fail_nth_write(nth_write);
+        let was_err = match tree.insert(points[split_at].clone(), split_at as u64) {
+            Ok(()) => {
+                assert_eq!(tree.height(), 2);
+                false
+            }
+            Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+                assert_eq!(kind, FaultKind::Write);
+                injected_errs += 1;
+                true
+            }
+            Err(other) => panic!("nth_write={nth_write}: unexpected error kind: {other}"),
+        };
+        // The handle's statistics attribute the fault correctly.
+        assert_eq!(handle.stats().injected, was_err as u64);
+        handle.clear();
+        // After the store recovers, the tree handle still answers
+        // queries without panicking (possibly over a partial split).
+        let _ = tree.knn(points[0].coords(), 3);
+    }
+    assert!(
+        injected_errs > 0,
+        "no write of the splitting insert was faulted; split writes fewer pages than expected"
+    );
+}
+
+#[test]
+fn read_failure_during_query_is_clean_and_clears() {
+    let points = uniform(400, DIM, 703);
+    let (mut tree, handle) = faulty_mem_tree();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let want = tree.knn(points[0].coords(), 5).unwrap();
+
+    handle.fail_nth_read(0);
+    match tree.knn(points[0].coords(), 5) {
+        Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+            assert_eq!(kind, FaultKind::Read)
+        }
+        Ok(_) => panic!("armed read fault never fired"),
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+    assert_eq!(handle.stats().injected, 1);
+
+    // Reads are side-effect free: after clearing the fault the same
+    // query gives the same answer.
+    handle.clear();
+    let again = tree.knn(points[0].coords(), 5).unwrap();
+    assert_eq!(
+        want.iter().map(|n| n.data).collect::<Vec<_>>(),
+        again.iter().map(|n| n.data).collect::<Vec<_>>()
+    );
+}
+
+/// Outcome of reopening a file that took faults mid-update. Allowed:
+/// the tree verifies clean (recovery), `verify` reports the corruption,
+/// or open itself fails with a typed error. A panic anywhere, or a
+/// corruption report when `must_recover` says the on-disk state was
+/// never touched after the last flush, fails the test.
+fn check_reopen(path: &std::path::Path, max_len: u64, must_recover: bool, what: &str) {
+    let reopened = std::panic::catch_unwind(|| {
+        let pf = PageFile::open(path)?;
+        pf.set_cache_capacity(0)?;
+        let tree = SrTree::open_from(pf)?;
+        // Verify (and one probe query) inside the catch: corruption must
+        // be *reported*, not panicked on.
+        let verdict = verify::check(&tree).map(|_| tree.len());
+        Ok::<_, TreeError>((verdict, tree))
+    });
+    let result = match reopened {
+        Ok(r) => r,
+        Err(_) => panic!("{what}: reopen panicked instead of returning a typed error"),
+    };
+    match result {
+        Ok((Ok(len), _tree)) => {
+            // Recovered to a fully verifiable tree; it cannot claim
+            // entries that were never durably inserted.
+            assert!(len <= max_len, "{what}: len {len} > {max_len}");
+        }
+        Ok((Err(report), _tree)) => {
+            // Typed corruption report from the invariant checker.
+            assert!(!report.is_empty(), "{what}: empty corruption report");
+            assert!(
+                !must_recover,
+                "{what}: no write hit disk after the last flush, yet verify failed: {report}"
+            );
+        }
+        Err(TreeError::Pager(e)) => {
+            // Typed corruption/IO error: fine, as long as it is not the
+            // injector's own variant leaking through a clean store.
+            assert!(
+                !matches!(e, PagerError::Injected { .. }),
+                "{what}: reopen through a clean store reported an injected fault"
+            );
+            assert!(!must_recover, "{what}: untouched file failed to open: {e}");
+        }
+        Err(TreeError::NotThisIndex(msg)) => {
+            // Typed: the header never made it down intact.
+            assert!(
+                !must_recover,
+                "{what}: untouched file failed to open: {msg}"
+            );
+        }
+        Err(other) => panic!("{what}: unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn crash_mid_update_then_reopen_recovers_or_errors_typed() {
+    let points = uniform(300, DIM, 707);
+    for crash_after in [3u64, 40, 200, 900] {
+        let dir = TempDir::new("sr-fault-crash").unwrap();
+        let path = dir.file("crash.pages");
+        let inserted;
+        let must_recover;
+        {
+            let store = FilePageStore::create(&path, PAGE).unwrap();
+            let (store, handle) = FaultInjector::wrap(Box::new(store));
+            let pf = PageFile::create_from_store(store).unwrap();
+            pf.set_cache_capacity(0).unwrap();
+            let mut tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+            // A durable prefix, flushed before the crash is armed.
+            let mut ok = 0u64;
+            for (i, p) in points.iter().take(60).enumerate() {
+                tree.insert(p.clone(), i as u64).unwrap();
+                ok += 1;
+            }
+            tree.flush().unwrap();
+            let writes_at_flush = handle.stats().writes;
+
+            handle.crash_after(crash_after);
+            let mut saw_cutoff = false;
+            for (i, p) in points.iter().enumerate().skip(60) {
+                match tree.insert(p.clone(), i as u64) {
+                    Ok(()) => ok += 1,
+                    Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+                        assert_eq!(kind, FaultKind::Crash);
+                        saw_cutoff = true;
+                        break;
+                    }
+                    Err(other) => {
+                        panic!("crash_after={crash_after}: unexpected error kind: {other}")
+                    }
+                }
+            }
+            assert!(saw_cutoff, "crash_after={crash_after}: cutoff never fired");
+            assert!(handle.crashed());
+            // If the crash cut in before any post-flush write reached
+            // the store, the durable state is exactly the flushed tree
+            // and reopen MUST recover it.
+            must_recover = handle.stats().writes == writes_at_flush;
+            // Post-crash the handle is dead for writes: flush errors
+            // (or silently drops cached state), it must not panic.
+            let _ = tree.flush();
+            inserted = ok;
+        } // drop releases the file handle; Drop paths must stay quiet
+        check_reopen(
+            &path,
+            inserted + 1,
+            must_recover,
+            &format!("crash_after={crash_after}"),
+        );
+    }
+}
+
+#[test]
+fn torn_write_then_reopen_recovers_or_errors_typed() {
+    let points = uniform(300, DIM, 709);
+    // Tear a write during insert volume at several points, keeping only
+    // a prefix of the page: simulates a power cut mid-sector.
+    for (nth, keep) in [(0u64, 13usize), (5, 100), (11, PAGE / 2)] {
+        let dir = TempDir::new("sr-fault-torn").unwrap();
+        let path = dir.file("torn.pages");
+        {
+            let store = FilePageStore::create(&path, PAGE).unwrap();
+            let (store, handle) = FaultInjector::wrap(Box::new(store));
+            let pf = PageFile::create_from_store(store).unwrap();
+            pf.set_cache_capacity(0).unwrap();
+            let mut tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+            for (i, p) in points.iter().take(80).enumerate() {
+                tree.insert(p.clone(), i as u64).unwrap();
+            }
+            tree.flush().unwrap();
+
+            handle.torn_nth_write(nth, keep);
+            let mut torn = false;
+            for (i, p) in points.iter().enumerate().skip(80) {
+                match tree.insert(p.clone(), i as u64) {
+                    Ok(()) => {}
+                    Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+                        assert_eq!(kind, FaultKind::TornWrite);
+                        torn = true;
+                        break;
+                    }
+                    Err(other) => panic!("torn nth={nth}: unexpected error kind: {other}"),
+                }
+            }
+            assert!(torn, "torn nth={nth}: the armed torn write never fired");
+            assert_eq!(handle.stats().torn_writes, 1);
+            handle.clear();
+            let _ = tree.flush();
+        }
+        check_reopen(&path, 300, false, &format!("torn nth={nth} keep={keep}"));
+    }
+}

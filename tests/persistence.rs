@@ -2,6 +2,7 @@
 //! with identical query behavior; files are mutually type-checked (an
 //! SR-tree file refuses to open as an SS-tree, etc.).
 
+use sr_testkit::TempDir;
 use srtree::dataset::{sample_queries, uniform};
 use srtree::geometry::Point;
 use srtree::kdbtree::KdbTree;
@@ -10,23 +11,20 @@ use srtree::sstree::SsTree;
 use srtree::tree::SrTree;
 use srtree::vamsplit::VamTree;
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("srtree-integration-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(name)
-}
-
 #[test]
 fn all_structures_survive_reopen() {
     let points = uniform(2_000, 8, 11);
     let queries = sample_queries(&points, 10, 13);
 
-    // Build + close each structure, collecting pre-close answers.
-    let sr_path = tmp("sr.pages");
-    let ss_path = tmp("ss.pages");
-    let rs_path = tmp("rs.pages");
-    let kdb_path = tmp("kdb.pages");
-    let vam_path = tmp("vam.pages");
+    // Build + close each structure, collecting pre-close answers. The
+    // guard removes the directory (and every index file) on drop, even
+    // if an assertion below fails.
+    let dir = TempDir::new("srtree-integration").unwrap();
+    let sr_path = dir.file("sr.pages");
+    let ss_path = dir.file("ss.pages");
+    let rs_path = dir.file("rs.pages");
+    let kdb_path = dir.file("kdb.pages");
+    let vam_path = dir.file("vam.pages");
     let mut expected: Vec<Vec<u64>> = Vec::new();
     {
         let mut sr = SrTree::create(&sr_path, 8).unwrap();
@@ -79,23 +77,18 @@ fn all_structures_survive_reopen() {
         assert_eq!(&got, want, "SR-tree answers changed across reopen");
         // Other structures agree with the SR-tree (same deterministic
         // tie-breaking).
-        let ids = |v: Vec<srtree::query::Neighbor>| {
-            v.iter().map(|n| n.data).collect::<Vec<u64>>()
-        };
+        let ids = |v: Vec<srtree::query::Neighbor>| v.iter().map(|n| n.data).collect::<Vec<u64>>();
         assert_eq!(ids(ss.knn(q.coords(), 9).unwrap()), *want);
         assert_eq!(ids(rs.knn(q.coords(), 9).unwrap()), *want);
         assert_eq!(ids(kdb.knn(q.coords(), 9).unwrap()), *want);
         assert_eq!(ids(vam.knn(q.coords(), 9).unwrap()), *want);
     }
-
-    for p in [sr_path, ss_path, rs_path, kdb_path, vam_path] {
-        std::fs::remove_file(p).ok();
-    }
 }
 
 #[test]
 fn index_files_are_type_checked() {
-    let path = tmp("typed.pages");
+    let dir = TempDir::new("srtree-integration").unwrap();
+    let path = dir.file("typed.pages");
     {
         let mut sr = SrTree::create(&path, 4).unwrap();
         sr.insert(Point::new(vec![0.0, 0.0, 0.0, 0.0]), 0).unwrap();
@@ -108,12 +101,12 @@ fn index_files_are_type_checked() {
     assert!(VamTree::open(&path).is_err());
     // And still a valid SR-tree.
     assert!(SrTree::open(&path).is_ok());
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn updates_after_reopen_keep_working() {
-    let path = tmp("update-after-reopen.pages");
+    let dir = TempDir::new("srtree-integration").unwrap();
+    let path = dir.file("update-after-reopen.pages");
     let points = uniform(600, 4, 17);
     {
         let mut sr = SrTree::create(&path, 4).unwrap();
@@ -135,5 +128,4 @@ fn updates_after_reopen_keep_working() {
     let sr = SrTree::open(&path).unwrap();
     assert_eq!(sr.len(), 500);
     srtree::tree::verify::check(&sr).unwrap();
-    std::fs::remove_file(&path).ok();
 }

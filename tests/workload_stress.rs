@@ -2,8 +2,7 @@
 //! periodic full invariant verification — the closest thing to a
 //! soak test that fits in CI.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use srtree::dataset::SeededRng;
 use srtree::dataset::{real_sim, uniform};
 use srtree::geometry::Point;
 use srtree::query::brute_force_knn;
@@ -17,21 +16,17 @@ struct Model {
 
 impl Model {
     fn knn(&self, q: &[f32], k: usize) -> Vec<f64> {
-        brute_force_knn(
-            self.live.iter().map(|(p, id)| (p.coords(), *id)),
-            q,
-            k,
-        )
-        .iter()
-        .map(|n| n.dist2)
-        .collect()
+        brute_force_knn(self.live.iter().map(|(p, id)| (p.coords(), *id)), q, k)
+            .iter()
+            .map(|n| n.dist2)
+            .collect()
     }
 }
 
 #[test]
 fn srtree_survives_mixed_churn() {
     let pool = uniform(3_000, 8, 999);
-    let mut rng = StdRng::seed_from_u64(1234);
+    let mut rng = SeededRng::seed_from_u64(1234);
     let mut tree = SrTree::create_in_memory(8, 2048).unwrap();
     let mut model = Model { live: Vec::new() };
     let mut next_id = 0u64;
@@ -76,7 +71,7 @@ fn srtree_survives_mixed_churn() {
 #[test]
 fn sstree_survives_mixed_churn() {
     let pool = real_sim(2_000, 8, 888);
-    let mut rng = StdRng::seed_from_u64(4321);
+    let mut rng = SeededRng::seed_from_u64(4321);
     let mut tree = SsTree::create_in_memory(8, 2048).unwrap();
     let mut model: Vec<(Point, u64)> = Vec::new();
     let mut next_id = 0u64;
@@ -162,7 +157,12 @@ fn adversarial_coordinates() {
         let want = brute_force_knn(flat.iter().copied(), q.coords(), 7);
         for (g, w) in got.iter().zip(want.iter()) {
             let tol = 1e-6 * w.dist2.max(1.0);
-            assert!((g.dist2 - w.dist2).abs() <= tol, "{} vs {}", g.dist2, w.dist2);
+            assert!(
+                (g.dist2 - w.dist2).abs() <= tol,
+                "{} vs {}",
+                g.dist2,
+                w.dist2
+            );
         }
     }
 }
