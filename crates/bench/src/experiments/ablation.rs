@@ -24,7 +24,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
 
     let build = |options: SrOptions| -> Result<SrTree, String> {
         let mut t = SrTree::create_with_options(
-            PageFile::create_in_memory(PAGE_SIZE),
+            PageFile::create_in_memory(PAGE_SIZE).expect("in-memory page file"),
             points[0].dim(),
             DATA_AREA,
             options,

@@ -30,7 +30,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
         let dyn_cost = measure_knn(&dynamic, &queries, K);
 
         let mut bulk = SrTree::create_from(
-            PageFile::create_in_memory(PAGE_SIZE),
+            PageFile::create_in_memory(PAGE_SIZE).expect("in-memory page file"),
             points[0].dim(),
             DATA_AREA,
         )

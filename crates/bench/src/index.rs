@@ -76,7 +76,7 @@ impl AnyIndex {
     /// continuous).
     pub fn build(kind: TreeKind, points: &[Point]) -> AnyIndex {
         let dim = points[0].dim();
-        let pf = PageFile::create_in_memory(PAGE_SIZE);
+        let pf = PageFile::create_in_memory(PAGE_SIZE).expect("in-memory page file");
         match kind {
             TreeKind::Kdb => {
                 let mut t = KdbTree::create_from(pf, dim, DATA_AREA).unwrap();

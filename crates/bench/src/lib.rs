@@ -16,6 +16,8 @@
 //! wins, by what factor, where the crossovers fall) are the reproduction
 //! target. EXPERIMENTS.md records paper-vs-measured for every id.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod index;
 pub mod measure;

@@ -1,10 +1,57 @@
 //! Hand-rolled argument parsing (the workspace's dependency policy
 //! admits no CLI framework; the grammar is small enough not to need
 //! one).
+//!
+//! Every way user input can be malformed maps to a variant of
+//! [`ArgError`]; the binary prints the error plus the usage banner and
+//! exits non-zero.
 
+use std::fmt;
 use std::path::PathBuf;
 
 use sr_testkit::DataDist;
+
+/// The usage banner printed alongside argument errors.
+pub const USAGE: &str = "usage: srtool <gen|build|insert|knn|range|stats|verify|fuzz|lint> ...\n\
+     see `srtool --help` output in the README";
+
+/// A malformed `srtool` invocation. Each variant pinpoints the flag or
+/// argument at fault so the message tells the user what to fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A flag's value failed to parse or is out of range.
+    BadValue { flag: &'static str, detail: String },
+    /// A required flag was not given.
+    MissingFlag(&'static str),
+    /// A flag appeared twice.
+    DuplicateFlag(&'static str),
+    /// A flag was given with no value after it.
+    MissingValue(&'static str),
+    /// Wrong number of positional arguments.
+    WrongPositionals { want: usize, got: usize },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given"),
+            ArgError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+            ArgError::BadValue { flag, detail } => write!(f, "bad {flag}: {detail}"),
+            ArgError::MissingFlag(flag) => write!(f, "missing {flag}"),
+            ArgError::DuplicateFlag(flag) => write!(f, "{flag} given twice"),
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::WrongPositionals { want, got } => {
+                write!(f, "expected {want} positional argument(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Which index structure a command targets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,16 +69,17 @@ pub enum IndexKind {
 }
 
 impl IndexKind {
-    fn from_str(s: &str) -> Result<Self, String> {
+    fn from_str(s: &str) -> Result<Self, ArgError> {
         match s {
             "sr" => Ok(IndexKind::Sr),
             "ss" => Ok(IndexKind::Ss),
             "rstar" | "r*" => Ok(IndexKind::Rstar),
             "kdb" => Ok(IndexKind::Kdb),
             "vam" => Ok(IndexKind::Vam),
-            other => Err(format!(
-                "unknown index kind {other:?} (sr|ss|rstar|kdb|vam)"
-            )),
+            other => Err(ArgError::BadValue {
+                flag: "--index",
+                detail: format!("unknown index kind {other:?} (sr|ss|rstar|kdb|vam)"),
+            }),
         }
     }
 }
@@ -48,14 +96,15 @@ pub enum GenKind {
 }
 
 impl GenKind {
-    fn from_str(s: &str) -> Result<Self, String> {
+    fn from_str(s: &str) -> Result<Self, ArgError> {
         match s {
             "uniform" => Ok(GenKind::Uniform),
             "cluster" => Ok(GenKind::Cluster),
             "histogram" | "real" => Ok(GenKind::Histogram),
-            other => Err(format!(
-                "unknown data kind {other:?} (uniform|cluster|histogram)"
-            )),
+            other => Err(ArgError::BadValue {
+                flag: "--kind",
+                detail: format!("unknown data kind {other:?} (uniform|cluster|histogram)"),
+            }),
         }
     }
 }
@@ -110,12 +159,14 @@ pub enum Command {
         page_size: usize,
         verify_every: usize,
     },
+    /// Run the srlint static-analysis pass over the workspace.
+    Lint { json: bool, root: Option<PathBuf> },
 }
 
 /// Parse `argv[1..]`.
-pub fn parse(args: &[String]) -> Result<Command, String> {
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let mut it = args.iter().map(|s| s.as_str());
-    let verb = it.next().ok_or_else(usage)?;
+    let verb = it.next().ok_or(ArgError::MissingCommand)?;
     let rest: Vec<&str> = it.collect();
     match verb {
         "gen" => parse_gen(&rest),
@@ -135,7 +186,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .unwrap_or("21")
                     .parse()
                     .map_err(bad("--k"))?,
-                query: parse_query(flag(&rest, "--query")?.ok_or("missing --query")?)?,
+                query: parse_query(
+                    flag(&rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
+                )?,
             })
         }
         "range" => {
@@ -143,10 +196,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Range {
                 index_path: pos[0].into(),
                 radius: flag(&rest, "--radius")?
-                    .ok_or("missing --radius")?
+                    .ok_or(ArgError::MissingFlag("--radius"))?
                     .parse()
-                    .map_err(|e| format!("bad --radius: {e}"))?,
-                query: parse_query(flag(&rest, "--query")?.ok_or("missing --query")?)?,
+                    .map_err(bad("--radius"))?,
+                query: parse_query(
+                    flag(&rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
+                )?,
             })
         }
         "stats" => {
@@ -162,11 +217,36 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             })
         }
         "fuzz" => parse_fuzz(&rest),
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        "lint" => {
+            let mut json = false;
+            let mut root = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--root" => {
+                        let v = rest.get(i + 1).ok_or(ArgError::MissingValue("--root"))?;
+                        root = Some(PathBuf::from(v));
+                        i += 2;
+                    }
+                    other => {
+                        return Err(ArgError::BadValue {
+                            flag: "lint",
+                            detail: format!("unknown argument {other:?} (--json, --root <dir>)"),
+                        })
+                    }
+                }
+            }
+            Ok(Command::Lint { json, root })
+        }
+        other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
 
-fn parse_gen(rest: &[&str]) -> Result<Command, String> {
+fn parse_gen(rest: &[&str]) -> Result<Command, ArgError> {
     let pos = positionals(rest, 1)?;
     Ok(Command::Gen {
         kind: GenKind::from_str(flag(rest, "--kind")?.unwrap_or("uniform"))?,
@@ -190,7 +270,7 @@ fn parse_gen(rest: &[&str]) -> Result<Command, String> {
     })
 }
 
-fn parse_build(rest: &[&str]) -> Result<Command, String> {
+fn parse_build(rest: &[&str]) -> Result<Command, ArgError> {
     let pos = positionals(rest, 2)?;
     Ok(Command::Build {
         index: IndexKind::from_str(flag(rest, "--index")?.unwrap_or("sr"))?,
@@ -203,7 +283,7 @@ fn parse_build(rest: &[&str]) -> Result<Command, String> {
     })
 }
 
-fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
+fn parse_fuzz(rest: &[&str]) -> Result<Command, ArgError> {
     positionals(rest, 0)?;
     let dist_s = flag(rest, "--dist")?.unwrap_or("uniform");
     let ops: usize = flag(rest, "--ops")?
@@ -211,14 +291,20 @@ fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
         .parse()
         .map_err(bad("--ops"))?;
     if ops == 0 {
-        return Err("--ops must be at least 1".into());
+        return Err(ArgError::BadValue {
+            flag: "--ops",
+            detail: "must be at least 1".into(),
+        });
     }
     let dim: usize = flag(rest, "--dim")?
         .unwrap_or("8")
         .parse()
         .map_err(bad("--dim"))?;
     if !(1..=32).contains(&dim) {
-        return Err(format!("--dim {dim} out of range (1..=32)"));
+        return Err(ArgError::BadValue {
+            flag: "--dim",
+            detail: format!("{dim} out of range (1..=32)"),
+        });
     }
     let page_size: usize = flag(rest, "--page-size")?
         .unwrap_or("2048")
@@ -227,16 +313,19 @@ fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
     // 2 KiB guarantees every structure can hold >= 2 entries per node
     // at the paper's 512-byte data areas up to --dim 32.
     if !(2048..=65536).contains(&page_size) {
-        return Err(format!(
-            "--page-size {page_size} out of range (2048..=65536)"
-        ));
+        return Err(ArgError::BadValue {
+            flag: "--page-size",
+            detail: format!("{page_size} out of range (2048..=65536)"),
+        });
     }
     Ok(Command::Fuzz {
         seed: parse_seed(flag(rest, "--seed")?.unwrap_or("42"))?,
         ops,
         dim,
-        dist: DataDist::parse(dist_s)
-            .ok_or_else(|| format!("unknown --dist {dist_s:?} (uniform|cluster|real)"))?,
+        dist: DataDist::parse(dist_s).ok_or_else(|| ArgError::BadValue {
+            flag: "--dist",
+            detail: format!("unknown distribution {dist_s:?} (uniform|cluster|real)"),
+        })?,
         page_size,
         verify_every: flag(rest, "--verify-every")?
             .unwrap_or("500")
@@ -247,25 +336,23 @@ fn parse_fuzz(rest: &[&str]) -> Result<Command, String> {
 
 /// A seed, decimal or `0x`-hex — the failure reports print hex, so the
 /// replay line must round-trip both spellings.
-fn parse_seed(s: &str) -> Result<u64, String> {
+fn parse_seed(s: &str) -> Result<u64, ArgError> {
     let parsed = match s.strip_prefix("0x") {
         Some(hex) => u64::from_str_radix(hex, 16),
         None => s.parse(),
     };
-    parsed.map_err(|e| format!("bad --seed: {e}"))
+    parsed.map_err(bad("--seed"))
 }
 
 /// Extract `--name value` from an argument slice.
-fn flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, String> {
+fn flag<'a>(rest: &[&'a str], name: &'static str) -> Result<Option<&'a str>, ArgError> {
     let mut found = None;
     let mut i = 0;
     while i < rest.len() {
         if rest[i] == name {
-            let v = rest
-                .get(i + 1)
-                .ok_or_else(|| format!("{name} needs a value"))?;
+            let v = rest.get(i + 1).ok_or(ArgError::MissingValue(name))?;
             if found.is_some() {
-                return Err(format!("{name} given twice"));
+                return Err(ArgError::DuplicateFlag(name));
             }
             found = Some(*v);
             i += 2;
@@ -277,7 +364,7 @@ fn flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, String> {
 }
 
 /// Non-flag arguments, validated for count.
-fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, String> {
+fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, ArgError> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -289,38 +376,38 @@ fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, String
         }
     }
     if out.len() != want {
-        return Err(format!(
-            "expected {want} positional argument(s), got {}",
-            out.len()
-        ));
+        return Err(ArgError::WrongPositionals {
+            want,
+            got: out.len(),
+        });
     }
     Ok(out)
 }
 
-fn parse_query(s: &str) -> Result<Vec<f32>, String> {
+fn parse_query(s: &str) -> Result<Vec<f32>, ArgError> {
     let coords: Result<Vec<f32>, _> = s.split(',').map(|c| c.trim().parse::<f32>()).collect();
-    let coords = coords.map_err(|e| format!("bad --query: {e}"))?;
+    let coords = coords.map_err(bad("--query"))?;
     if coords.is_empty() {
-        return Err("empty --query".into());
+        return Err(ArgError::BadValue {
+            flag: "--query",
+            detail: "empty query vector".into(),
+        });
     }
     Ok(coords)
 }
 
-fn bad(name: &'static str) -> impl Fn(std::num::ParseIntError) -> String {
-    move |e| format!("bad {name}: {e}")
-}
-
-fn usage() -> String {
-    "usage: srtool <gen|build|insert|knn|range|stats|verify|fuzz> ...\n\
-     see `srtool --help` output in the README"
-        .to_string()
+fn bad<E: fmt::Display>(flag: &'static str) -> impl Fn(E) -> ArgError {
+    move |e| ArgError::BadValue {
+        flag,
+        detail: e.to_string(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn p(args: &[&str]) -> Result<Command, String> {
+    fn p(args: &[&str]) -> Result<Command, ArgError> {
         parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -395,18 +482,76 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(p(&["knn", "i.pages"]).is_err()); // missing --query
-        assert!(p(&["frobnicate"]).is_err());
-        assert!(p(&["gen"]).is_err()); // missing out path
-        assert!(p(&["build", "--index", "nope", "a", "b"]).is_err());
-        assert!(p(&["knn", "i.pages", "--query", "a,b"]).is_err());
-        assert!(p(&["range", "i.pages", "--query", "1"]).is_err()); // missing radius
+    fn errors_are_typed() {
+        assert_eq!(
+            p(&["knn", "i.pages"]),
+            Err(ArgError::MissingFlag("--query"))
+        );
+        assert_eq!(
+            p(&["frobnicate"]),
+            Err(ArgError::UnknownCommand("frobnicate".to_string()))
+        );
+        assert_eq!(p(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            p(&["gen"]),
+            Err(ArgError::WrongPositionals { want: 1, got: 0 })
+        );
+        assert!(matches!(
+            p(&["build", "--index", "nope", "a", "b"]),
+            Err(ArgError::BadValue {
+                flag: "--index",
+                ..
+            })
+        ));
+        assert!(matches!(
+            p(&["knn", "i.pages", "--query", "a,b"]),
+            Err(ArgError::BadValue {
+                flag: "--query",
+                ..
+            })
+        ));
+        assert_eq!(
+            p(&["range", "i.pages", "--query", "1"]),
+            Err(ArgError::MissingFlag("--radius"))
+        );
+        assert_eq!(
+            p(&["knn", "i.pages", "--query"]),
+            Err(ArgError::MissingValue("--query"))
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_flag() {
+        let err = p(&["knn", "i.pages", "--k", "many", "--query", "1"]).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { flag: "--k", .. }));
+        assert!(err.to_string().starts_with("bad --k:"), "{err}");
     }
 
     #[test]
     fn duplicate_flag_rejected() {
-        assert!(p(&["gen", "--n", "1", "--n", "2", "o.tsv"]).is_err());
+        assert_eq!(
+            p(&["gen", "--n", "1", "--n", "2", "o.tsv"]),
+            Err(ArgError::DuplicateFlag("--n"))
+        );
+    }
+
+    #[test]
+    fn parse_lint() {
+        assert_eq!(
+            p(&["lint"]).unwrap(),
+            Command::Lint {
+                json: false,
+                root: None
+            }
+        );
+        assert_eq!(
+            p(&["lint", "--json", "--root", "/tmp/ws"]).unwrap(),
+            Command::Lint {
+                json: true,
+                root: Some(PathBuf::from("/tmp/ws"))
+            }
+        );
+        assert!(p(&["lint", "--frobnicate"]).is_err());
     }
 
     #[test]

@@ -3,12 +3,15 @@
 //! See the crate docs of `sr-cli` or the workspace README for the
 //! command grammar.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match sr_cli::parse(&args) {
         Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("srtool: {e}");
+            eprintln!("{}", sr_cli::args::USAGE);
             std::process::exit(2);
         }
     };

@@ -42,7 +42,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                 .enumerate()
                 .map(|(i, p)| (p, i as u64))
                 .collect();
-            write_points(&path, &with_ids)?;
+            write_points(&path, &with_ids).map_err(|e| e.to_string())?;
             writeln!(
                 out,
                 "wrote {} points ({dim}-d) to {}",
@@ -57,7 +57,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             index_path,
             data_path,
         } => {
-            let points = read_points(&data_path)?;
+            let points = read_points(&data_path).map_err(|e| e.to_string())?;
             if let Some((p, _)) = points.first() {
                 if p.dim() != dim {
                     return Err(format!(
@@ -82,7 +82,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             index_path,
             data_path,
         } => {
-            let points = read_points(&data_path)?;
+            let points = read_points(&data_path).map_err(|e| e.to_string())?;
             let n = points.len();
             let mut store = AnyStore::open(&index_path)?;
             store.insert(points)?;
@@ -169,6 +169,37 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                     let minimized = minimize(&tape, &cfg, 60);
                     Err(failure_report(&tape, &minimized, &d))
                 }
+            }
+        }
+        Command::Lint { json, root } => {
+            let root = root
+                .or_else(|| {
+                    let cwd = std::env::current_dir().ok()?;
+                    sr_lint::find_workspace_root(&cwd)
+                })
+                .ok_or_else(|| "no workspace root found (pass --root)".to_string())?;
+            let report = sr_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+            if json {
+                write!(out, "{}", report.to_json()).map_err(|e| e.to_string())?;
+            } else {
+                for d in &report.diagnostics {
+                    writeln!(out, "{d}").map_err(|e| e.to_string())?;
+                }
+                writeln!(
+                    out,
+                    "srlint: {} violation(s), {} escape hatch(es) in use",
+                    report.diagnostics.len(),
+                    report.hatches_used
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "srlint found {} violation(s)",
+                    report.diagnostics.len()
+                ))
             }
         }
     }

@@ -13,16 +13,20 @@
 //! srtool stats   index.pages
 //! srtool verify  index.pages
 //! srtool fuzz    --seed 0xd1ff0001 --ops 2000 --dim 8 --dist uniform|cluster|real
+//! srtool lint    [--json] [--root <workspace-root>]
 //! ```
 //!
 //! Data files are TSV: one point per line, `id <TAB> c0 <TAB> c1 ...`.
+
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod commands;
 pub mod data;
 pub mod store;
 
-pub use args::{parse, Command};
+pub use args::{parse, ArgError, Command};
+pub use data::DataError;
 
 /// Run a parsed command, writing human-readable output to `out`.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {

@@ -175,36 +175,46 @@ impl AnyStore {
     /// Run the structure's invariant checker, returning a summary line.
     pub fn verify(&self) -> Result<String, String> {
         match self {
-            AnyStore::Sr(t) => sr_tree::verify::check(t).map(|r| {
-                format!(
-                    "{} nodes, {} leaves, {} points",
-                    r.nodes, r.leaves, r.points
-                )
-            }),
-            AnyStore::Ss(t) => sr_sstree::verify::check(t).map(|r| {
-                format!(
-                    "{} nodes, {} leaves, {} points",
-                    r.nodes, r.leaves, r.points
-                )
-            }),
-            AnyStore::Rstar(t) => sr_rstar::verify::check(t).map(|r| {
-                format!(
-                    "{} nodes, {} leaves, {} points",
-                    r.nodes, r.leaves, r.points
-                )
-            }),
-            AnyStore::Kdb(t) => sr_kdbtree::verify::check(t).map(|r| {
-                format!(
-                    "{} nodes, {} leaves ({} empty), {} points",
-                    r.nodes, r.leaves, r.empty_leaves, r.points
-                )
-            }),
-            AnyStore::Vam(t) => sr_vamsplit::verify::check(t).map(|r| {
-                format!(
-                    "{} nodes, {} leaves ({} full), {} points",
-                    r.nodes, r.leaves, r.full_leaves, r.points
-                )
-            }),
+            AnyStore::Sr(t) => sr_tree::verify::check(t)
+                .map(|r| {
+                    format!(
+                        "{} nodes, {} leaves, {} points",
+                        r.nodes, r.leaves, r.points
+                    )
+                })
+                .map_err(|e| e.to_string()),
+            AnyStore::Ss(t) => sr_sstree::verify::check(t)
+                .map(|r| {
+                    format!(
+                        "{} nodes, {} leaves, {} points",
+                        r.nodes, r.leaves, r.points
+                    )
+                })
+                .map_err(|e| e.to_string()),
+            AnyStore::Rstar(t) => sr_rstar::verify::check(t)
+                .map(|r| {
+                    format!(
+                        "{} nodes, {} leaves, {} points",
+                        r.nodes, r.leaves, r.points
+                    )
+                })
+                .map_err(|e| e.to_string()),
+            AnyStore::Kdb(t) => sr_kdbtree::verify::check(t)
+                .map(|r| {
+                    format!(
+                        "{} nodes, {} leaves ({} empty), {} points",
+                        r.nodes, r.leaves, r.empty_leaves, r.points
+                    )
+                })
+                .map_err(|e| e.to_string()),
+            AnyStore::Vam(t) => sr_vamsplit::verify::check(t)
+                .map(|r| {
+                    format!(
+                        "{} nodes, {} leaves ({} full), {} points",
+                        r.nodes, r.leaves, r.full_leaves, r.points
+                    )
+                })
+                .map_err(|e| e.to_string()),
         }
     }
 }

@@ -1,0 +1,115 @@
+//! Malformed-input handling: the binary must reject bad arguments and
+//! bad data files with a typed error, a usage hint, and a non-zero
+//! exit — never a panic.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+use sr_cli::{parse, ArgError};
+
+fn srtool(args: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_srtool"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srtool-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn parse_err(args: &[&str]) -> ArgError {
+    parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+}
+
+#[test]
+fn no_command_exits_2_with_usage() {
+    let out = srtool(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage"), "{stderr}");
+    assert!(stderr.contains("no command given"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = srtool(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn malformed_flag_value_exits_2() {
+    // --n wants a usize; "many" is not one.
+    let out = srtool(&["gen", "--n", "many", "--dim", "4", "--seed", "1", "x.tsv"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--n"), "{stderr}");
+    assert!(matches!(
+        parse_err(&["gen", "--n", "many", "--dim", "4", "--seed", "1", "x.tsv"]),
+        ArgError::BadValue { flag: "--n", .. }
+    ));
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = srtool(&["knn", "index.pages", "--k"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(matches!(
+        parse_err(&["knn", "index.pages", "--k"]),
+        ArgError::MissingValue("--k")
+    ));
+}
+
+#[test]
+fn malformed_query_vector_exits_2() {
+    let out = srtool(&["knn", "index.pages", "--k", "3", "--query", "0.1,zap,0.3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--query"), "{stderr}");
+}
+
+#[test]
+fn malformed_data_file_exits_1_with_location() {
+    let data = tmpfile("bad.tsv");
+    std::fs::write(&data, "1\t0.5\t0.5\nnot-an-id\t0.5\t0.5\n").unwrap();
+    let index = tmpfile("bad.pages");
+    let out = srtool(&[
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "2",
+        index.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    // The DataError names the file and line of the bad id.
+    assert!(stderr.contains(":2:"), "{stderr}");
+    assert!(stderr.contains("bad id"), "{stderr}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn missing_data_file_exits_1() {
+    let index = tmpfile("missing.pages");
+    let out = srtool(&[
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "2",
+        index.to_str().unwrap(),
+        "/nonexistent/nope.tsv",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("nope.tsv"), "{stderr}");
+    std::fs::remove_file(&index).ok();
+}

@@ -11,7 +11,8 @@ fn tmpdir() -> std::path::PathBuf {
 }
 
 fn sh(args: &[&str]) -> Result<String, String> {
-    let cmd: Command = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())?;
+    let cmd: Command = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        .map_err(|e| e.to_string())?;
     let mut out = Vec::new();
     run(cmd, &mut out)?;
     Ok(String::from_utf8(out).unwrap())

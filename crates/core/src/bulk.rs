@@ -41,7 +41,7 @@ pub(crate) fn bulk_load(tree: &mut SrTree, points: Vec<(Point, u64)>) -> Result<
     let mut level_entries: Vec<InnerEntry> = Vec::with_capacity(k);
     for chunk in chunks {
         let node = Node::Leaf(chunk.to_vec());
-        let region = node.region(rule);
+        let region = node.region(rule)?;
         let id = tree.allocate_node(&node)?;
         level_entries.push(InnerEntry {
             sphere: region.sphere,
@@ -68,7 +68,7 @@ pub(crate) fn bulk_load(tree: &mut SrTree, points: Vec<(Point, u64)>) -> Result<
                 level,
                 entries: chunk.to_vec(),
             };
-            let region = node.region(rule);
+            let region = node.region(rule)?;
             let id = tree.allocate_node(&node)?;
             next.push(InnerEntry {
                 sphere: region.sphere,
@@ -121,7 +121,7 @@ fn split_balanced<'a, T>(
     // chunk within ±1 of n/k.
     let pos = items.len() * kl / k;
     let dim = max_variance_dim(items, center);
-    items.sort_by(|a, b| center(a)[dim].partial_cmp(&center(b)[dim]).unwrap());
+    items.sort_by(|a, b| center(a)[dim].total_cmp(&center(b)[dim]));
     let (left, right) = items.split_at_mut(pos);
     split_balanced(left, kl, center, out);
     split_balanced(right, kr, center, out);

@@ -7,7 +7,7 @@ use std::collections::HashSet;
 
 use sr_pager::PageId;
 
-use crate::error::Result;
+use crate::error::{Result, TreeError};
 use crate::insert::{insert_at_level, propagate_regions, AnyEntry};
 use crate::node::{LeafEntry, Node};
 use crate::tree::SrTree;
@@ -19,12 +19,17 @@ pub(crate) fn delete(tree: &mut SrTree, point: &sr_geometry::Point, data: u64) -
         return Ok(false);
     };
 
-    let mut node = tree.read_node(*path.last().unwrap(), 0)?;
+    let &leaf_id = path
+        .last()
+        .ok_or_else(|| TreeError::Corrupt("empty deletion path".into()))?;
+    let mut node = tree.read_node(leaf_id, 0)?;
     if let Node::Leaf(entries) = &mut node {
         let pos = entries
             .iter()
             .position(|e| e.point == *point && e.data == data)
-            .expect("find_leaf returned a leaf without the entry");
+            .ok_or_else(|| {
+                TreeError::Corrupt("find_leaf returned a leaf without the entry".into())
+            })?;
         entries.remove(pos);
     }
 
@@ -45,7 +50,7 @@ pub(crate) fn delete(tree: &mut SrTree, point: &sr_geometry::Point, data: u64) -
                 let pos = entries
                     .iter()
                     .position(|e| e.child == path[idx + 1])
-                    .expect("parent lost track of its child");
+                    .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
                 entries.remove(pos);
             }
             node = parent;
@@ -126,7 +131,11 @@ fn shrink_root(tree: &mut SrTree) -> Result<()> {
         let node = tree.read_node(tree.root, root_level)?;
         let entries = match &node {
             Node::Inner { entries, .. } => entries,
-            Node::Leaf(_) => unreachable!(),
+            Node::Leaf(_) => {
+                return Err(TreeError::Corrupt(
+                    "root is a leaf but the recorded height says otherwise".into(),
+                ))
+            }
         };
         match entries.len() {
             0 => {

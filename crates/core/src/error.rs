@@ -22,6 +22,11 @@ pub enum TreeError {
     /// The page file does not contain this kind of index (bad magic or
     /// incompatible version in the tree metadata).
     NotThisIndex(String),
+    /// A structural invariant of the tree does not hold — a decoded page
+    /// contradicts itself or its parent (empty node, dangling child link,
+    /// invalid region geometry). Always a sign of on-disk corruption or an
+    /// internal bug; never raised on well-formed input.
+    Corrupt(String),
 }
 
 impl fmt::Display for TreeError {
@@ -35,6 +40,7 @@ impl fmt::Display for TreeError {
                 )
             }
             TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+            TreeError::Corrupt(msg) => write!(f, "tree structure corrupt: {msg}"),
         }
     }
 }

@@ -83,25 +83,30 @@ impl Node {
     /// * Rectangle: the minimum bounding rectangle of the child
     ///   rectangles (R-tree rule).
     ///
-    /// # Panics
-    /// Panics on an empty node.
-    pub fn region(&self, rule: RadiusRule) -> Region {
+    /// # Errors
+    /// [`TreeError::Corrupt`] for an empty or zero-weight node — both are
+    /// reachable from a corrupted page, never from a well-formed tree.
+    pub fn region(&self, rule: RadiusRule) -> Result<Region> {
         match self {
             Node::Leaf(entries) => {
-                assert!(!entries.is_empty(), "region of an empty leaf");
                 let pts: Vec<&[f32]> = entries.iter().map(|e| e.point.coords()).collect();
-                Region {
-                    sphere: bounding_sphere_of_points(&pts),
-                    rect: bounding_rect_of_points(pts.iter().copied()),
-                }
+                let sphere = bounding_sphere_of_points(&pts)
+                    .ok_or_else(|| TreeError::Corrupt("region of an empty leaf".into()))?;
+                let rect = bounding_rect_of_points(pts.iter().copied())
+                    .ok_or_else(|| TreeError::Corrupt("region of an empty leaf".into()))?;
+                Ok(Region { sphere, rect })
             }
             Node::Inner { entries, .. } => {
-                assert!(!entries.is_empty(), "region of an empty node");
-                let mut c = Centroid::new(entries[0].sphere.dim());
+                let first = entries
+                    .first()
+                    .ok_or_else(|| TreeError::Corrupt("region of an empty node".into()))?;
+                let mut c = Centroid::new(first.sphere.dim());
                 for e in entries {
                     c.add(e.sphere.center().coords(), e.weight);
                 }
-                let center = c.finish();
+                let center = c.finish().ok_or_else(|| {
+                    TreeError::Corrupt("zero total weight in an internal node".into())
+                })?;
                 let d_s = enclosing_radius_spheres(
                     &center,
                     entries
@@ -115,78 +120,105 @@ impl Node {
                     }
                     RadiusRule::SphereOnly => next_radius_up(d_s),
                 };
-                let mut rect = entries[0].rect.clone();
-                for e in &entries[1..] {
+                let mut rect = first.rect.clone();
+                for e in entries.iter().skip(1) {
                     rect.expand_to_rect(&e.rect);
                 }
-                Region {
+                Ok(Region {
                     sphere: Sphere::new(center, radius),
                     rect,
-                }
+                })
             }
         }
     }
 
     /// The centroid targeted by the nearest-centroid ChooseSubtree.
-    pub fn centroid(&self) -> Point {
-        match self {
+    ///
+    /// # Errors
+    /// [`TreeError::Corrupt`] for an empty or zero-weight node.
+    pub fn centroid(&self) -> Result<Point> {
+        let c = match self {
             Node::Leaf(entries) => {
-                let mut c = Centroid::new(entries[0].point.dim());
+                let first = entries
+                    .first()
+                    .ok_or_else(|| TreeError::Corrupt("centroid of an empty leaf".into()))?;
+                let mut c = Centroid::new(first.point.dim());
                 for e in entries {
                     c.add(e.point.coords(), 1);
                 }
-                c.finish()
+                c
             }
             Node::Inner { entries, .. } => {
-                let mut c = Centroid::new(entries[0].sphere.dim());
+                let first = entries
+                    .first()
+                    .ok_or_else(|| TreeError::Corrupt("centroid of an empty node".into()))?;
+                let mut c = Centroid::new(first.sphere.dim());
                 for e in entries {
                     c.add(e.sphere.center().coords(), e.weight);
                 }
-                c.finish()
+                c
             }
-        }
+        };
+        c.finish()
+            .ok_or_else(|| TreeError::Corrupt("centroid of a zero-weight node".into()))
     }
 
     /// Serialize into a page payload.
-    pub fn encode(&self, params: &SrParams, capacity: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`TreeError::Corrupt`] when the node violates the on-disk format's
+    /// field widths (entry count beyond `u16`, subtree weight beyond `u32`)
+    /// or when the encoded entries overrun `capacity`.
+    pub fn encode(&self, params: &SrParams, capacity: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; capacity];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u16(self.level());
-        c.put_u16(self.len() as u16);
+        c.put_u16(self.level())?;
+        let n = u16::try_from(self.len()).map_err(|_| {
+            TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
+        })?;
+        c.put_u16(n)?;
         match self {
             Node::Leaf(entries) => {
                 for e in entries {
-                    c.put_coords(e.point.coords());
-                    c.put_u64(e.data);
-                    c.put_padding(params.data_area - 8);
+                    c.put_coords(e.point.coords())?;
+                    c.put_u64(e.data)?;
+                    c.put_padding(params.data_area - 8)?;
                 }
             }
             Node::Inner { entries, .. } => {
                 for e in entries {
-                    debug_assert!(e.weight <= u32::MAX as u64);
-                    c.put_coords(e.sphere.center().coords());
-                    c.put_f64(e.sphere.radius() as f64);
-                    c.put_coords(e.rect.min());
-                    c.put_coords(e.rect.max());
-                    c.put_u32(e.weight as u32);
-                    c.put_u64(e.child);
+                    let weight = u32::try_from(e.weight).map_err(|_| {
+                        TreeError::Corrupt(format!(
+                            "subtree weight {} overflows the u32 field",
+                            e.weight
+                        ))
+                    })?;
+                    c.put_coords(e.sphere.center().coords())?;
+                    c.put_f64(f64::from(e.sphere.radius()))?;
+                    c.put_coords(e.rect.min())?;
+                    c.put_coords(e.rect.max())?;
+                    c.put_u32(weight)?;
+                    c.put_u64(e.child)?;
                 }
             }
         }
         let len = c.pos();
         buf.truncate(len);
-        buf
+        Ok(buf)
     }
 
-    /// Deserialize from a page payload.
+    /// Deserialize from a page payload, validating every field whose
+    /// misvalue would later feed a panicking constructor: sphere radii must
+    /// be finite and non-negative, coordinates finite, and rectangles must
+    /// satisfy `min <= max` per axis.
     pub fn decode(payload: &[u8], params: &SrParams) -> Result<Node> {
         if payload.len() < NODE_HEADER {
             return Err(TreeError::NotThisIndex("node page too short".into()));
         }
         let mut data = payload.to_vec();
         let mut c = PageCodec::new(&mut data);
-        let level = c.get_u16();
-        let n = c.get_u16() as usize;
+        let level = c.get_u16()?;
+        let n = usize::from(c.get_u16()?);
         if level == 0 {
             let need = n * SrParams::leaf_entry_bytes(params.dim, params.data_area);
             if c.remaining() < need {
@@ -194,9 +226,13 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let point = Point::new(c.get_coords(params.dim));
-                let data = c.get_u64();
-                c.skip(params.data_area - 8);
+                let coords = c.get_coords(params.dim)?;
+                if !all_finite(&coords) {
+                    return Err(TreeError::Corrupt("non-finite leaf coordinate".into()));
+                }
+                let point = Point::new(coords);
+                let data = c.get_u64()?;
+                c.skip(params.data_area - 8)?;
                 entries.push(LeafEntry { point, data });
             }
             Ok(Node::Leaf(entries))
@@ -207,14 +243,22 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let center = Point::new(c.get_coords(params.dim));
-                let radius = c.get_f64() as f32;
-                let min = c.get_coords(params.dim);
-                let max = c.get_coords(params.dim);
-                let weight = c.get_u32() as u64;
-                let child = c.get_u64();
+                let center = c.get_coords(params.dim)?;
+                let radius = c.get_f64()? as f32;
+                let min = c.get_coords(params.dim)?;
+                let max = c.get_coords(params.dim)?;
+                let weight = u64::from(c.get_u32()?);
+                let child = c.get_u64()?;
+                if !all_finite(&center) || !radius.is_finite() || radius < 0.0 {
+                    return Err(TreeError::Corrupt("invalid bounding sphere on disk".into()));
+                }
+                if !min.iter().zip(max.iter()).all(|(lo, hi)| lo <= hi) {
+                    return Err(TreeError::Corrupt(
+                        "inverted bounding rectangle on disk".into(),
+                    ));
+                }
                 entries.push(InnerEntry {
-                    sphere: Sphere::new(center, radius),
+                    sphere: Sphere::new(Point::new(center), radius),
                     rect: Rect::new(min, max),
                     weight,
                     child,
@@ -223,6 +267,12 @@ impl Node {
             Ok(Node::Inner { level, entries })
         }
     }
+}
+
+/// True when every coordinate is a finite float (rejects NaN and ±∞, both
+/// of which would poison centroid and distance arithmetic downstream).
+fn all_finite(coords: &[f32]) -> bool {
+    coords.iter().all(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -249,7 +299,7 @@ mod tests {
             point: Point::new(vec![0.25, -3.5]),
             data: 9,
         }]);
-        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        let back = Node::decode(&node.encode(&p, 8187).unwrap(), &p).unwrap();
         if let Node::Leaf(e) = back {
             assert_eq!(e[0].point.coords(), &[0.25, -3.5]);
             assert_eq!(e[0].data, 9);
@@ -265,7 +315,7 @@ mod tests {
             level: 4,
             entries: vec![entry(1.0, 2.0, 0.5, 17)],
         };
-        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        let back = Node::decode(&node.encode(&p, 8187).unwrap(), &p).unwrap();
         if let Node::Inner { entries, level } = back {
             assert_eq!(level, 4);
             assert_eq!(entries[0].sphere.radius(), 0.5);
@@ -288,7 +338,7 @@ mod tests {
                 data: 1,
             },
         ]);
-        let r = node.region(RadiusRule::MinDsDr);
+        let r = node.region(RadiusRule::MinDsDr).unwrap();
         assert_eq!(r.rect.min(), &[0.0, 0.0]);
         assert_eq!(r.rect.max(), &[2.0, 0.0]);
         assert_eq!(r.sphere.center().coords(), &[1.0, 0.0]);
@@ -309,7 +359,7 @@ mod tests {
             level: 1,
             entries: vec![child.clone()],
         };
-        let r = node.region(RadiusRule::MinDsDr);
+        let r = node.region(RadiusRule::MinDsDr).unwrap();
         // d_s = 0 (center coincides) + 5.0; d_r = MAXDIST(center, rect)
         // from (3,0) to farthest corner ≈ 0.1414.
         assert!(r.sphere.radius() < 0.2, "radius {}", r.sphere.radius());
@@ -328,7 +378,7 @@ mod tests {
             level: 1,
             entries: entries.clone(),
         };
-        let r = node.region(RadiusRule::MinDsDr);
+        let r = node.region(RadiusRule::MinDsDr).unwrap();
         for e in &entries {
             let c = e.sphere.center();
             let rad = e.sphere.radius();
@@ -367,7 +417,7 @@ mod tests {
             level: 1,
             entries: vec![entry(0.0, 0.0, 0.1, 1), entry(4.0, 0.0, 0.1, 3)],
         };
-        let c = node.centroid();
+        let c = node.centroid().unwrap();
         assert!((c[0] - 3.0).abs() < 1e-6);
     }
 }

@@ -39,7 +39,7 @@ pub struct SrTree {
 impl SrTree {
     /// Create a new tree in an in-memory page file.
     pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
-        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+        Self::create_from(PageFile::create_in_memory(page_size)?, dim, 512)
     }
 
     /// Create a new tree at `path` with 8 KiB pages and the paper's
@@ -88,21 +88,26 @@ impl SrTree {
             return Err(TreeError::NotThisIndex("metadata too short".into()));
         }
         let mut c = PageCodec::new(&mut meta);
-        if c.get_u32() != META_MAGIC {
+        if c.get_u32()? != META_MAGIC {
             return Err(TreeError::NotThisIndex("not an SR-tree file".into()));
         }
-        if c.get_u32() != META_VERSION {
+        if c.get_u32()? != META_VERSION {
             return Err(TreeError::NotThisIndex(
                 "unsupported SR-tree version".into(),
             ));
         }
-        let dim = c.get_u32() as usize;
-        let data_area = c.get_u32() as usize;
-        let root = c.get_u64();
-        let height = c.get_u32();
-        let count = c.get_u64();
-        let flags = c.get_u32();
-        let mut params = SrParams::derive(pf.capacity(), dim, data_area);
+        let dim = c.get_u32()? as usize;
+        let data_area = c.get_u32()? as usize;
+        let root = c.get_u64()?;
+        let height = c.get_u32()?;
+        let count = c.get_u64()?;
+        let flags = c.get_u32()?;
+        let mut params = SrParams::try_derive(pf.capacity(), dim, data_area).ok_or_else(|| {
+            TreeError::NotThisIndex(format!(
+                "stored parameters (dim {dim}, data area {data_area}) do not fit a {}-byte page",
+                pf.capacity()
+            ))
+        })?;
         params.radius_rule = if flags & 1 != 0 {
             RadiusRule::SphereOnly
         } else {
@@ -121,13 +126,13 @@ impl SrTree {
     pub(crate) fn save_meta(&self) -> Result<()> {
         let mut buf = vec![0u8; 40];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u32(META_MAGIC);
-        c.put_u32(META_VERSION);
-        c.put_u32(self.params.dim as u32);
-        c.put_u32(self.params.data_area as u32);
-        c.put_u64(self.root);
-        c.put_u32(self.height);
-        c.put_u64(self.count);
+        c.put_u32(META_MAGIC)?;
+        c.put_u32(META_VERSION)?;
+        c.put_u32(self.params.dim as u32)?;
+        c.put_u32(self.params.data_area as u32)?;
+        c.put_u64(self.root)?;
+        c.put_u32(self.height)?;
+        c.put_u64(self.count)?;
         let mut flags = 0u32;
         if self.params.radius_rule == RadiusRule::SphereOnly {
             flags |= 1;
@@ -135,7 +140,7 @@ impl SrTree {
         if !self.params.reinsert_enabled {
             flags |= 2;
         }
-        c.put_u32(flags);
+        c.put_u32(flags)?;
         self.pf.set_user_meta(&buf)?;
         Ok(())
     }
@@ -204,7 +209,7 @@ impl SrTree {
         } else {
             PageKind::Node
         };
-        let payload = node.encode(&self.params, self.pf.capacity());
+        let payload = node.encode(&self.params, self.pf.capacity())?;
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
@@ -313,9 +318,10 @@ impl SrTree {
         let rule = self.params.radius_rule;
         self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
             if node.len() > 0 {
-                let r = node.region(rule);
+                let r = node.region(rule)?;
                 out.push((r.sphere, r.rect));
             }
+            Ok(())
         })?;
         Ok(out)
     }
@@ -323,14 +329,22 @@ impl SrTree {
     /// Total number of leaf pages.
     pub fn num_leaves(&self) -> Result<u64> {
         let mut n = 0u64;
-        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| n += 1)?;
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| {
+            n += 1;
+            Ok(())
+        })?;
         Ok(n)
     }
 
-    fn walk_leaves(&self, id: PageId, level: u16, f: &mut impl FnMut(&Node)) -> Result<()> {
+    fn walk_leaves(
+        &self,
+        id: PageId,
+        level: u16,
+        f: &mut impl FnMut(&Node) -> Result<()>,
+    ) -> Result<()> {
         let node = self.read_node(id, level)?;
         match &node {
-            Node::Leaf(_) => f(&node),
+            Node::Leaf(_) => f(&node)?,
             Node::Inner { entries, .. } => {
                 for e in entries {
                     self.walk_leaves(e.child, level - 1, f)?;
@@ -363,7 +377,7 @@ mod tests {
 
     #[test]
     fn open_rejects_foreign_magic() {
-        let pf = sr_pager::PageFile::create_in_memory(4096);
+        let pf = sr_pager::PageFile::create_in_memory(4096).unwrap();
         pf.set_user_meta(&[0u8; 40]).unwrap();
         assert!(matches!(
             SrTree::open_from(pf),

@@ -8,7 +8,7 @@ use sr_tree::{verify, DistanceBound, RadiusRule, SrOptions, SrTree};
 
 fn build_with(points: &[sr_geometry::Point], options: SrOptions) -> SrTree {
     let mut t = SrTree::create_with_options(
-        PageFile::create_in_memory(2048),
+        PageFile::create_in_memory(2048).unwrap(),
         points[0].dim(),
         64,
         options,

@@ -18,7 +18,7 @@ fn with_ids(points: &[Point]) -> Vec<(Point, u64)> {
 #[test]
 fn bulk_load_is_correct_and_valid() {
     let points = uniform(3_000, 8, 401);
-    let mut t = SrTree::create_from(PageFile::create_in_memory(2048), 8, 64).unwrap();
+    let mut t = SrTree::create_from(PageFile::create_in_memory(2048).unwrap(), 8, 64).unwrap();
     t.bulk_load(with_ids(&points)).unwrap();
     assert_eq!(t.len(), 3_000);
     verify::check(&t).unwrap();
@@ -40,9 +40,10 @@ fn bulk_load_is_correct_and_valid() {
 #[test]
 fn bulk_load_packs_pages_tightly() {
     let points = uniform(3_000, 8, 407);
-    let mut bulk = SrTree::create_from(PageFile::create_in_memory(2048), 8, 64).unwrap();
+    let mut bulk = SrTree::create_from(PageFile::create_in_memory(2048).unwrap(), 8, 64).unwrap();
     bulk.bulk_load(with_ids(&points)).unwrap();
-    let mut dynamic = SrTree::create_from(PageFile::create_in_memory(2048), 8, 64).unwrap();
+    let mut dynamic =
+        SrTree::create_from(PageFile::create_in_memory(2048).unwrap(), 8, 64).unwrap();
     for (p, id) in with_ids(&points) {
         dynamic.insert(p, id).unwrap();
     }
@@ -63,7 +64,7 @@ fn bulk_load_packs_pages_tightly() {
 #[test]
 fn bulk_load_then_dynamic_updates() {
     let points = uniform(1_000, 4, 409);
-    let mut t = SrTree::create_from(PageFile::create_in_memory(2048), 4, 64).unwrap();
+    let mut t = SrTree::create_from(PageFile::create_in_memory(2048).unwrap(), 4, 64).unwrap();
     t.bulk_load(with_ids(&points)).unwrap();
     // Inserts and deletes on a bulk-loaded tree must keep working.
     let extra = uniform(300, 4, 411);

@@ -18,6 +18,8 @@
 //! points relative to a particular point in the data set", i.e. query
 //! points are sampled *from the data set* ([`sample_queries`]).
 
+#![forbid(unsafe_code)]
+
 mod dirichlet;
 mod generators;
 mod rng;

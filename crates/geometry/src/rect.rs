@@ -30,13 +30,8 @@ impl Rect {
             !min.is_empty(),
             "rectangles must have at least one dimension"
         );
-        for i in 0..min.len() {
-            assert!(
-                min[i] <= max[i],
-                "dimension {i}: min {} > max {}",
-                min[i],
-                max[i]
-            );
+        for (i, (&lo, &hi)) in min.iter().zip(max.iter()).enumerate() {
+            assert!(lo <= hi, "dimension {i}: min {lo} > max {hi}");
         }
         Rect { min, max }
     }
@@ -67,10 +62,19 @@ impl Rect {
         &self.max
     }
 
-    /// Extent along dimension `i` (`max - min`).
+    /// Extent along dimension `i` (`max - min`); `0.0` for an
+    /// out-of-range dimension.
     #[inline]
     pub fn extent(&self, i: usize) -> f32 {
-        self.max[i] - self.min[i]
+        debug_assert!(
+            i < self.dim(),
+            "extent of dimension {i} in {}-d",
+            self.dim()
+        );
+        match (self.min.get(i), self.max.get(i)) {
+            (Some(&lo), Some(&hi)) => hi - lo,
+            _ => 0.0,
+        }
     }
 
     /// The center point of the rectangle.
@@ -97,13 +101,15 @@ impl Rect {
     /// Whether `other` lies entirely inside `self` (boundary inclusive).
     pub fn contains_rect(&self, other: &Rect) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        (0..self.dim()).all(|i| self.min[i] <= other.min[i] && other.max[i] <= self.max[i])
+        self.min.iter().zip(other.min.iter()).all(|(&a, &b)| a <= b)
+            && other.max.iter().zip(self.max.iter()).all(|(&a, &b)| a <= b)
     }
 
     /// Whether the two rectangles intersect (boundary touching counts).
     pub fn intersects(&self, other: &Rect) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        (0..self.dim()).all(|i| self.min[i] <= other.max[i] && other.min[i] <= self.max[i])
+        self.min.iter().zip(other.max.iter()).all(|(&a, &b)| a <= b)
+            && other.min.iter().zip(self.max.iter()).all(|(&a, &b)| a <= b)
     }
 
     /// Smallest rectangle containing both inputs.
@@ -130,18 +136,22 @@ impl Rect {
     /// Grow `self` in place to cover `p`.
     pub fn expand_to_point(&mut self, p: &[f32]) {
         debug_assert_eq!(p.len(), self.dim());
-        for (i, &x) in p.iter().enumerate() {
-            self.min[i] = self.min[i].min(x);
-            self.max[i] = self.max[i].max(x);
+        for (lo, &x) in self.min.iter_mut().zip(p.iter()) {
+            *lo = lo.min(x);
+        }
+        for (hi, &x) in self.max.iter_mut().zip(p.iter()) {
+            *hi = hi.max(x);
         }
     }
 
     /// Grow `self` in place to cover `other`.
     pub fn expand_to_rect(&mut self, other: &Rect) {
         debug_assert_eq!(self.dim(), other.dim());
-        for i in 0..self.dim() {
-            self.min[i] = self.min[i].min(other.min[i]);
-            self.max[i] = self.max[i].max(other.max[i]);
+        for (lo, &x) in self.min.iter_mut().zip(other.min.iter()) {
+            *lo = lo.min(x);
+        }
+        for (hi, &x) in self.max.iter_mut().zip(other.max.iter()) {
+            *hi = hi.max(x);
         }
     }
 
@@ -151,7 +161,7 @@ impl Rect {
         self.min
             .iter()
             .zip(self.max.iter())
-            .map(|(&lo, &hi)| (hi - lo) as f64)
+            .map(|(&lo, &hi)| f64::from(hi - lo))
             .product()
     }
 
@@ -160,7 +170,7 @@ impl Rect {
         self.min
             .iter()
             .zip(self.max.iter())
-            .map(|(&lo, &hi)| ((hi - lo) as f64).ln())
+            .map(|(&lo, &hi)| f64::from(hi - lo).ln())
             .sum()
     }
 
@@ -170,7 +180,7 @@ impl Rect {
         self.min
             .iter()
             .zip(self.max.iter())
-            .map(|(&lo, &hi)| (hi - lo) as f64)
+            .map(|(&lo, &hi)| f64::from(hi - lo))
             .sum()
     }
 
@@ -182,7 +192,7 @@ impl Rect {
             .iter()
             .zip(self.max.iter())
             .map(|(&lo, &hi)| {
-                let e = (hi - lo) as f64;
+                let e = f64::from(hi - lo);
                 e * e
             })
             .sum::<f64>()
@@ -193,13 +203,18 @@ impl Rect {
     pub fn overlap_volume(&self, other: &Rect) -> f64 {
         debug_assert_eq!(self.dim(), other.dim());
         let mut v = 1.0f64;
-        for i in 0..self.dim() {
-            let lo = self.min[i].max(other.min[i]);
-            let hi = self.max[i].min(other.max[i]);
+        for ((&slo, &shi), (&olo, &ohi)) in self
+            .min
+            .iter()
+            .zip(self.max.iter())
+            .zip(other.min.iter().zip(other.max.iter()))
+        {
+            let lo = slo.max(olo);
+            let hi = shi.min(ohi);
             if hi <= lo {
                 return 0.0;
             }
-            v *= (hi - lo) as f64;
+            v *= f64::from(hi - lo);
         }
         v
     }
@@ -218,11 +233,11 @@ impl Rect {
     pub fn min_dist2(&self, p: &[f32]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         let mut acc = 0.0f64;
-        for (i, &x) in p.iter().enumerate() {
-            let d = if x < self.min[i] {
-                (self.min[i] - x) as f64
-            } else if x > self.max[i] {
-                (x - self.max[i]) as f64
+        for ((&lo, &hi), &x) in self.min.iter().zip(self.max.iter()).zip(p.iter()) {
+            let d = if x < lo {
+                f64::from(lo) - f64::from(x)
+            } else if x > hi {
+                f64::from(x) - f64::from(hi)
             } else {
                 0.0
             };
@@ -241,10 +256,10 @@ impl Rect {
     pub fn max_dist2(&self, p: &[f32]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         let mut acc = 0.0f64;
-        for (i, &xp) in p.iter().enumerate() {
-            let x = xp as f64;
-            let dlo = (x - self.min[i] as f64).abs();
-            let dhi = (x - self.max[i] as f64).abs();
+        for ((&lo, &hi), &xp) in self.min.iter().zip(self.max.iter()).zip(p.iter()) {
+            let x = f64::from(xp);
+            let dlo = (x - f64::from(lo)).abs();
+            let dhi = (x - f64::from(hi)).abs();
             let d = dlo.max(dhi);
             acc += d * d;
         }
@@ -257,11 +272,16 @@ impl Rect {
     pub fn rect_min_dist2(&self, other: &Rect) -> f64 {
         debug_assert_eq!(self.dim(), other.dim());
         let mut acc = 0.0f64;
-        for i in 0..self.dim() {
-            let d = if other.max[i] < self.min[i] {
-                (self.min[i] - other.max[i]) as f64
-            } else if other.min[i] > self.max[i] {
-                (other.min[i] - self.max[i]) as f64
+        for ((&slo, &shi), (&olo, &ohi)) in self
+            .min
+            .iter()
+            .zip(self.max.iter())
+            .zip(other.min.iter().zip(other.max.iter()))
+        {
+            let d = if ohi < slo {
+                f64::from(slo) - f64::from(ohi)
+            } else if olo > shi {
+                f64::from(olo) - f64::from(shi)
             } else {
                 0.0
             };

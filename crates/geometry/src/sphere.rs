@@ -60,14 +60,14 @@ impl Sphere {
     /// sphere regions in Figures 5, 12, 13.
     #[inline]
     pub fn diameter(&self) -> f64 {
-        2.0 * self.radius as f64
+        2.0 * f64::from(self.radius)
     }
 
     /// Whether point `p` lies inside the sphere, with a relative tolerance
     /// `eps` on the radius (floating-point centroids make exact containment
     /// too strict for verification work; pass `0.0` for exact checks).
     pub fn contains_point(&self, p: &[f32], eps: f64) -> bool {
-        let r = self.radius as f64 * (1.0 + eps) + eps;
+        let r = f64::from(self.radius) * (1.0 + eps) + eps;
         dist2(self.center.coords(), p) <= r * r
     }
 
@@ -78,7 +78,7 @@ impl Sphere {
     /// `d_s = max(0, ||p − center|| − r)`.
     #[inline]
     pub fn min_dist2(&self, p: &[f32]) -> f64 {
-        let d = dist2(self.center.coords(), p).sqrt() - self.radius as f64;
+        let d = dist2(self.center.coords(), p).sqrt() - f64::from(self.radius);
         if d <= 0.0 {
             0.0
         } else {
@@ -90,27 +90,27 @@ impl Sphere {
     /// `(||p − center|| + r)^2`.
     #[inline]
     pub fn max_dist2(&self, p: &[f32]) -> f64 {
-        let d = dist2(self.center.coords(), p).sqrt() + self.radius as f64;
+        let d = dist2(self.center.coords(), p).sqrt() + f64::from(self.radius);
         d * d
     }
 
     /// Whether the two spheres intersect (touching counts).
     pub fn intersects(&self, other: &Sphere) -> bool {
         let d = self.center.dist(&other.center);
-        d <= self.radius as f64 + other.radius as f64
+        d <= f64::from(self.radius) + f64::from(other.radius)
     }
 
     /// Whether `other` lies entirely inside `self`, with relative tolerance
     /// `eps` on the radius.
     pub fn contains_sphere(&self, other: &Sphere, eps: f64) -> bool {
         let d = self.center.dist(&other.center);
-        d + other.radius as f64 <= self.radius as f64 * (1.0 + eps) + eps
+        d + f64::from(other.radius) <= f64::from(self.radius) * (1.0 + eps) + eps
     }
 
     /// Whether the sphere and a rectangle intersect: true iff
     /// `MINDIST(center, R) <= r`.
     pub fn intersects_rect(&self, rect: &Rect) -> bool {
-        rect.min_dist2(self.center.coords()) <= (self.radius as f64) * (self.radius as f64)
+        rect.min_dist2(self.center.coords()) <= f64::from(self.radius) * f64::from(self.radius)
     }
 
     /// Volume of the ball. Underflows/overflows for extreme radii and
@@ -122,7 +122,8 @@ impl Sphere {
     /// Natural log of the ball volume:
     /// `ln V_d + d·ln r`; `-inf` for radius zero.
     pub fn ln_volume(&self) -> f64 {
-        ln_unit_ball_volume(self.dim()) + self.dim() as f64 * (self.radius as f64).ln()
+        ln_unit_ball_volume(self.dim())
+            + crate::usize_to_f64(self.dim()) * f64::from(self.radius).ln()
     }
 
     /// The smallest axis-aligned rectangle enclosing the sphere.

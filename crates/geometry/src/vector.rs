@@ -76,7 +76,10 @@ impl Deref for Point {
 impl Index<usize> for Point {
     type Output = f32;
     #[inline]
+    #[allow(clippy::indexing_slicing)]
     fn index(&self, i: usize) -> &f32 {
+        // srlint: allow(index) -- this IS the indexing primitive for Point;
+        // the slice access carries the same panic-on-OOB contract as [f32].
         &self.0[i]
     }
 }
@@ -111,7 +114,7 @@ pub fn dist2(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dimensionality mismatch");
     let mut acc = 0.0f64;
     for (&x, &y) in a.iter().zip(b.iter()) {
-        let d = x as f64 - y as f64;
+        let d = f64::from(x) - f64::from(y);
         acc += d * d;
     }
     acc

@@ -27,6 +27,11 @@ pub enum TreeError {
     /// K-D-B-tree splits *space*, and coincident points cannot be
     /// separated by any plane.
     Unsplittable,
+    /// A structural invariant of the tree does not hold — a decoded page
+    /// contradicts itself or its parent (coverage hole, overlapping
+    /// siblings, invalid region geometry). Always a sign of on-disk
+    /// corruption or an internal bug; never raised on well-formed input.
+    Corrupt(String),
 }
 
 impl fmt::Display for TreeError {
@@ -44,6 +49,7 @@ impl fmt::Display for TreeError {
                 f,
                 "page overflow cannot be resolved: too many coincident points for one page"
             ),
+            TreeError::Corrupt(msg) => write!(f, "tree structure corrupt: {msg}"),
         }
     }
 }

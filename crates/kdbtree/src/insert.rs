@@ -27,12 +27,18 @@ pub(crate) fn insert_point(tree: &mut KdbTree, point: sr_geometry::Point, data: 
         let node = tree.read_node(id, level)?;
         let entries = match &node {
             Node::Region { entries, .. } => entries,
-            Node::Leaf(_) => unreachable!(),
+            Node::Leaf(_) => {
+                return Err(TreeError::Corrupt(
+                    "point page found above the leaf level while descending".into(),
+                ))
+            }
         };
         let e = entries
             .iter()
             .find(|e| kdb_contains(&e.rect, point.coords()))
-            .expect("K-D-B regions must cover all of space");
+            .ok_or_else(|| {
+                TreeError::Corrupt("coverage hole: no region contains the point".into())
+            })?;
         id = e.child;
         region = e.rect.clone();
         path.push((id, region.clone()));
@@ -93,7 +99,7 @@ pub(crate) fn insert_point(tree: &mut KdbTree, point: sr_geometry::Point, data: 
             let pos = entries
                 .iter()
                 .position(|e| e.child == path[idx].0)
-                .expect("parent lost track of its child");
+                .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
             entries[pos] = RegionEntry {
                 rect: left_rect,
                 child: path[idx].0,
@@ -127,7 +133,7 @@ fn choose_point_plane(entries: &[LeafEntry]) -> Result<(usize, f32)> {
     let mut best: Option<(f32, usize, f32)> = None; // (spread, dim, value)
     for d in 0..dim {
         let mut coords: Vec<f32> = entries.iter().map(|e| e.point[d]).collect();
-        coords.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        coords.sort_by(|a, b| a.total_cmp(b));
         let spread = coords[coords.len() - 1] - coords[0];
         if spread <= 0.0 {
             continue; // all coincident on this dimension
@@ -136,10 +142,12 @@ fn choose_point_plane(entries: &[LeafEntry]) -> Result<(usize, f32)> {
         // strictly-less under the half-open rule).
         let mut value = coords[coords.len() / 2];
         if value == coords[0] {
-            value = *coords
-                .iter()
-                .find(|&&c| c > coords[0])
-                .expect("spread > 0 implies a larger coordinate");
+            match coords.iter().find(|&&c| c > coords[0]) {
+                Some(&c) => value = c,
+                // Unreachable when spread > 0; treat it as degenerate
+                // rather than asserting on it.
+                None => continue,
+            }
         }
         match best {
             Some((s, _, _)) if s >= spread => {}
@@ -166,7 +174,7 @@ fn choose_region_plane(entries: &[RegionEntry]) -> Result<(usize, f32)> {
                 candidates.push(e.rect.max()[d]);
             }
         }
-        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.sort_by(|a, b| a.total_cmp(b));
         candidates.dedup();
         for &v in &candidates {
             let mut left = 0usize;

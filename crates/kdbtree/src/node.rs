@@ -88,41 +88,52 @@ impl Node {
     }
 
     /// Serialize into a page payload.
-    pub fn encode(&self, params: &KdbParams, capacity: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`TreeError::Corrupt`] when the node violates the on-disk format's
+    /// field widths or the encoded entries overrun `capacity`.
+    pub fn encode(&self, params: &KdbParams, capacity: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; capacity];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u16(self.level());
-        c.put_u16(self.len() as u16);
+        c.put_u16(self.level())?;
+        let n = u16::try_from(self.len()).map_err(|_| {
+            TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
+        })?;
+        c.put_u16(n)?;
         match self {
             Node::Leaf(entries) => {
                 for e in entries {
-                    c.put_coords(e.point.coords());
-                    c.put_u64(e.data);
-                    c.put_padding(params.data_area - 8);
+                    c.put_coords(e.point.coords())?;
+                    c.put_u64(e.data)?;
+                    c.put_padding(params.data_area - 8)?;
                 }
             }
             Node::Region { entries, .. } => {
                 for e in entries {
-                    c.put_coords(e.rect.min());
-                    c.put_coords(e.rect.max());
-                    c.put_u64(e.child);
+                    c.put_coords(e.rect.min())?;
+                    c.put_coords(e.rect.max())?;
+                    c.put_u64(e.child)?;
                 }
             }
         }
         let len = c.pos();
         buf.truncate(len);
-        buf
+        Ok(buf)
     }
 
-    /// Deserialize from a page payload.
+    /// Deserialize from a page payload, validating every field whose
+    /// misvalue would later feed a panicking constructor. Point
+    /// coordinates must be finite; region bounds may be infinite (the
+    /// root region covers all of space) but never NaN, and must be
+    /// ordered per axis.
     pub fn decode(payload: &[u8], params: &KdbParams) -> Result<Node> {
         if payload.len() < NODE_HEADER {
             return Err(TreeError::NotThisIndex("page too short".into()));
         }
         let mut data = payload.to_vec();
         let mut c = PageCodec::new(&mut data);
-        let level = c.get_u16();
-        let n = c.get_u16() as usize;
+        let level = c.get_u16()?;
+        let n = usize::from(c.get_u16()?);
         if level == 0 {
             let need = n * KdbParams::leaf_entry_bytes(params.dim, params.data_area);
             if c.remaining() < need {
@@ -130,9 +141,13 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let point = Point::new(c.get_coords(params.dim));
-                let data = c.get_u64();
-                c.skip(params.data_area - 8);
+                let coords = c.get_coords(params.dim)?;
+                if !coords.iter().all(|v| v.is_finite()) {
+                    return Err(TreeError::Corrupt("non-finite point coordinate".into()));
+                }
+                let point = Point::new(coords);
+                let data = c.get_u64()?;
+                c.skip(params.data_area - 8)?;
                 entries.push(LeafEntry { point, data });
             }
             Ok(Node::Leaf(entries))
@@ -143,9 +158,18 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let min = c.get_coords(params.dim);
-                let max = c.get_coords(params.dim);
-                let child = c.get_u64();
+                let min = c.get_coords(params.dim)?;
+                let max = c.get_coords(params.dim)?;
+                let child = c.get_u64()?;
+                let ordered = min
+                    .iter()
+                    .zip(max.iter())
+                    .all(|(lo, hi)| !lo.is_nan() && !hi.is_nan() && lo <= hi);
+                if !ordered {
+                    return Err(TreeError::Corrupt(
+                        "invalid region rectangle on disk".into(),
+                    ));
+                }
                 entries.push(RegionEntry {
                     rect: Rect::new(min, max),
                     child,
@@ -207,7 +231,7 @@ mod tests {
                 child: 3,
             }],
         };
-        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        let back = Node::decode(&node.encode(&p, 8187).unwrap(), &p).unwrap();
         if let Node::Region { entries, .. } = back {
             assert_eq!(entries[0].rect, full_space(2));
             assert_eq!(entries[0].child, 3);
@@ -223,7 +247,7 @@ mod tests {
             point: Point::new(vec![3.5, -1.25]),
             data: 77,
         }]);
-        let back = Node::decode(&node.encode(&p, 8187), &p).unwrap();
+        let back = Node::decode(&node.encode(&p, 8187).unwrap(), &p).unwrap();
         if let Node::Leaf(e) = back {
             assert_eq!(e[0].point.coords(), &[3.5, -1.25]);
             assert_eq!(e[0].data, 77);

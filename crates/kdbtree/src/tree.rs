@@ -29,7 +29,7 @@ pub struct KdbTree {
 impl KdbTree {
     /// Create a new tree in an in-memory page file.
     pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
-        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+        Self::create_from(PageFile::create_in_memory(page_size)?, dim, 512)
     }
 
     /// Create a new tree at `path` with 8 KiB pages and the paper's
@@ -66,20 +66,25 @@ impl KdbTree {
             return Err(TreeError::NotThisIndex("metadata too short".into()));
         }
         let mut c = PageCodec::new(&mut meta);
-        if c.get_u32() != META_MAGIC {
+        if c.get_u32()? != META_MAGIC {
             return Err(TreeError::NotThisIndex("not a K-D-B-tree file".into()));
         }
-        if c.get_u32() != META_VERSION {
+        if c.get_u32()? != META_VERSION {
             return Err(TreeError::NotThisIndex(
                 "unsupported K-D-B-tree version".into(),
             ));
         }
-        let dim = c.get_u32() as usize;
-        let data_area = c.get_u32() as usize;
-        let root = c.get_u64();
-        let height = c.get_u32();
-        let count = c.get_u64();
-        let params = KdbParams::derive(pf.capacity(), dim, data_area);
+        let dim = c.get_u32()? as usize;
+        let data_area = c.get_u32()? as usize;
+        let root = c.get_u64()?;
+        let height = c.get_u32()?;
+        let count = c.get_u64()?;
+        let params = KdbParams::try_derive(pf.capacity(), dim, data_area).ok_or_else(|| {
+            TreeError::NotThisIndex(format!(
+                "stored parameters (dim {dim}, data area {data_area}) do not fit a {}-byte page",
+                pf.capacity()
+            ))
+        })?;
         Ok(KdbTree {
             pf,
             params,
@@ -92,13 +97,13 @@ impl KdbTree {
     pub(crate) fn save_meta(&self) -> Result<()> {
         let mut buf = vec![0u8; 36];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u32(META_MAGIC);
-        c.put_u32(META_VERSION);
-        c.put_u32(self.params.dim as u32);
-        c.put_u32(self.params.data_area as u32);
-        c.put_u64(self.root);
-        c.put_u32(self.height);
-        c.put_u64(self.count);
+        c.put_u32(META_MAGIC)?;
+        c.put_u32(META_VERSION)?;
+        c.put_u32(self.params.dim as u32)?;
+        c.put_u32(self.params.data_area as u32)?;
+        c.put_u64(self.root)?;
+        c.put_u32(self.height)?;
+        c.put_u64(self.count)?;
         self.pf.set_user_meta(&buf)?;
         Ok(())
     }
@@ -167,7 +172,7 @@ impl KdbTree {
         } else {
             PageKind::Node
         };
-        let payload = node.encode(&self.params, self.pf.capacity());
+        let payload = node.encode(&self.params, self.pf.capacity())?;
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
@@ -206,7 +211,11 @@ impl KdbTree {
             let node = self.read_node(id, level)?;
             let entries = match &node {
                 Node::Region { entries, .. } => entries,
-                Node::Leaf(_) => unreachable!(),
+                Node::Leaf(_) => {
+                    return Err(TreeError::Corrupt(
+                        "point page found above the leaf level while descending".into(),
+                    ))
+                }
             };
             let Some(e) = entries
                 .iter()
@@ -244,7 +253,11 @@ impl KdbTree {
             let node = self.read_node(id, level)?;
             let entries = match &node {
                 Node::Region { entries, .. } => entries,
-                Node::Leaf(_) => unreachable!(),
+                Node::Leaf(_) => {
+                    return Err(TreeError::Corrupt(
+                        "point page found above the leaf level while descending".into(),
+                    ))
+                }
             };
             let Some(e) = entries
                 .iter()
@@ -255,11 +268,11 @@ impl KdbTree {
             id = e.child;
             level -= 1;
         }
-        let node = self.read_node(id, 0)?;
-        if let Node::Leaf(entries) = node {
-            Ok(entries.iter().any(|e| e.point == *point && e.data == data))
-        } else {
-            unreachable!()
+        match self.read_node(id, 0)? {
+            Node::Leaf(entries) => Ok(entries.iter().any(|e| e.point == *point && e.data == data)),
+            Node::Region { .. } => Err(TreeError::Corrupt(
+                "region page found at the point-page level".into(),
+            )),
         }
     }
 

@@ -12,6 +12,7 @@
 use sr_geometry::Rect;
 use sr_pager::PageId;
 
+use crate::error::{Result, TreeError};
 use crate::node::{full_space, kdb_contains, Node};
 use crate::tree::KdbTree;
 
@@ -29,7 +30,11 @@ pub struct VerifyReport {
 }
 
 /// Walk the whole tree, validating every structural invariant.
-pub fn check(tree: &KdbTree) -> Result<VerifyReport, String> {
+///
+/// # Errors
+/// [`TreeError::Corrupt`] naming the offending page and invariant;
+/// [`TreeError::Pager`] when a page cannot be read at all.
+pub fn check(tree: &KdbTree) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
     let root_level = (tree.height - 1) as u16;
     walk(
@@ -40,11 +45,11 @@ pub fn check(tree: &KdbTree) -> Result<VerifyReport, String> {
         &mut report,
     )?;
     if report.points != tree.len() {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "metadata says {} points, tree holds {}",
             tree.len(),
             report.points
-        ));
+        )));
     }
     Ok(report)
 }
@@ -61,10 +66,8 @@ fn walk(
     level: u16,
     region: &Rect,
     report: &mut VerifyReport,
-) -> Result<(), String> {
-    let node = tree
-        .read_node(id, level)
-        .map_err(|e| format!("page {id}: {e}"))?;
+) -> Result<()> {
+    let node = tree.read_node(id, level)?;
     match node {
         Node::Leaf(entries) => {
             report.leaves += 1;
@@ -74,40 +77,42 @@ fn walk(
             }
             for e in &entries {
                 if !kdb_contains(region, e.point.coords()) {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: point {:?} outside its region {region:?}",
                         e.point
-                    ));
+                    )));
                 }
                 // Routing check: the single-path descent from the root
                 // must land on this very page (disjointness + coverage).
-                let found = route(tree, e.point.coords()).map_err(|e| e.to_string())?;
+                let found = route(tree, e.point.coords())?;
                 if found != id {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "point {:?} stored in page {id} but routed to page {found}",
                         e.point
-                    ));
+                    )));
                 }
             }
         }
         Node::Region { entries, .. } => {
             report.nodes += 1;
             if entries.is_empty() {
-                return Err(format!("region page {id} has no entries"));
+                return Err(TreeError::Corrupt(format!(
+                    "region page {id} has no entries"
+                )));
             }
             for (i, a) in entries.iter().enumerate() {
                 if !region.contains_rect(&a.rect) {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: child region {:?} escapes parent {region:?}",
                         a.rect
-                    ));
+                    )));
                 }
                 for b in entries.iter().skip(i + 1) {
                     if !half_open_disjoint(&a.rect, &b.rect) {
-                        return Err(format!(
+                        return Err(TreeError::Corrupt(format!(
                             "page {id}: sibling regions overlap: {:?} and {:?}",
                             a.rect, b.rect
-                        ));
+                        )));
                     }
                 }
             }
@@ -120,7 +125,7 @@ fn walk(
 }
 
 /// The unique root-to-leaf descent for a point.
-fn route(tree: &KdbTree, p: &[f32]) -> crate::error::Result<PageId> {
+fn route(tree: &KdbTree, p: &[f32]) -> Result<PageId> {
     let mut id = tree.root;
     let mut level = (tree.height - 1) as u16;
     while level > 0 {
@@ -129,7 +134,9 @@ fn route(tree: &KdbTree, p: &[f32]) -> crate::error::Result<PageId> {
             let e = entries
                 .iter()
                 .find(|e| kdb_contains(&e.rect, p))
-                .expect("coverage hole: no region contains the point");
+                .ok_or_else(|| {
+                    TreeError::Corrupt("coverage hole: no region contains the point".into())
+                })?;
             id = e.child;
         }
         level -= 1;

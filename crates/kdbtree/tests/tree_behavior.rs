@@ -9,8 +9,12 @@ use sr_query::brute_force_knn;
 const SMALL_PAGE: usize = 1024;
 
 fn build(points: &[Point], page: usize) -> KdbTree {
-    let mut t =
-        KdbTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64).unwrap();
+    let mut t = KdbTree::create_from(
+        PageFile::create_in_memory(page).unwrap(),
+        points[0].dim(),
+        64,
+    )
+    .unwrap();
     for (i, p) in points.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
     }
@@ -36,7 +40,8 @@ fn assert_knn_matches(tree: &KdbTree, points: &[Point], queries: &[Point], k: us
 #[test]
 fn invariants_hold_during_growth() {
     let pts = uniform(600, 4, 11);
-    let mut t = KdbTree::create_from(PageFile::create_in_memory(SMALL_PAGE), 4, 64).unwrap();
+    let mut t =
+        KdbTree::create_from(PageFile::create_in_memory(SMALL_PAGE).unwrap(), 4, 64).unwrap();
     for (i, p) in pts.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
         if i % 97 == 0 {
@@ -129,7 +134,8 @@ fn point_query_reads_one_page_per_level() {
 
 #[test]
 fn coincident_point_overflow_is_reported() {
-    let mut t = KdbTree::create_from(PageFile::create_in_memory(SMALL_PAGE), 2, 64).unwrap();
+    let mut t =
+        KdbTree::create_from(PageFile::create_in_memory(SMALL_PAGE).unwrap(), 2, 64).unwrap();
     let p = Point::new(vec![0.5f32, 0.5]);
     let mut err = None;
     for i in 0..200 {
@@ -207,7 +213,7 @@ fn persistence_roundtrip() {
 
 #[test]
 fn dimension_mismatch_is_an_error() {
-    let mut t = KdbTree::create_from(PageFile::create_in_memory(1024), 4, 64).unwrap();
+    let mut t = KdbTree::create_from(PageFile::create_in_memory(1024).unwrap(), 4, 64).unwrap();
     let wrong = Point::new(vec![1.0f32, 2.0]);
     assert!(t.insert(wrong.clone(), 0).is_err());
     assert!(t.knn(&[0.0, 0.0], 1).is_err());
@@ -215,7 +221,7 @@ fn dimension_mismatch_is_an_error() {
 
 #[test]
 fn empty_tree_queries() {
-    let t = KdbTree::create_from(PageFile::create_in_memory(1024), 3, 64).unwrap();
+    let t = KdbTree::create_from(PageFile::create_in_memory(1024).unwrap(), 3, 64).unwrap();
     assert!(t.knn(&[0.0, 0.0, 0.0], 5).unwrap().is_empty());
     assert!(t.range(&[0.0, 0.0, 0.0], 10.0).unwrap().is_empty());
     verify::check(&t).unwrap();

@@ -1,0 +1,547 @@
+//! A hand-rolled Rust lexer, just deep enough for the srlint rules.
+//!
+//! The lexer does not aim to be a full Rust grammar: it produces a flat
+//! token stream (identifiers, numbers, literals, single-character
+//! punctuation) with exact line/column positions, strips comments and
+//! string contents so rule passes never match inside them, extracts
+//! `// srlint: allow(<rule>) -- <reason>` escape hatches, and computes a
+//! per-token "test code" mask by matching `#[cfg(test)]` / `#[test]` /
+//! `#[bench]` attributes to the item that follows them.
+
+/// Token classes the rule passes distinguish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (possibly including a fractional part).
+    Num,
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Lit,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+}
+
+/// One `// srlint: allow(<rule>) -- <reason>` escape hatch. It suppresses
+/// matching diagnostics on its own line (trailing comment) and on the
+/// line of the next token after the comment block (preceding comment).
+#[derive(Clone, Debug)]
+pub struct Hatch {
+    pub rule: String,
+    /// Lines the hatch covers: its own and the next code line.
+    pub covers: [u32; 2],
+    /// Line of the hatch comment itself (for reporting).
+    pub line: u32,
+    /// Set by the rule passes when the hatch suppresses a diagnostic.
+    pub used: bool,
+}
+
+/// A lexed source file.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub hatches: Vec<Hatch>,
+    /// Positions of comments that start with `srlint:` but do not parse
+    /// as a well-formed hatch.
+    pub malformed_hatches: Vec<(u32, u32)>,
+    /// `true` for tokens inside `#[cfg(test)]` / `#[test]` items.
+    pub test_mask: Vec<bool>,
+}
+
+impl Lexed {
+    /// Consume a hatch for `rule` covering `line`, if one exists.
+    pub fn allow(&mut self, rule: &str, line: u32) -> bool {
+        for h in &mut self.hatches {
+            if h.rule == rule && h.covers.contains(&line) {
+                h.used = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Lex a whole source file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut hatches: Vec<Hatch> = Vec::new();
+    let mut malformed = Vec::new();
+    // Hatches waiting for the next token to learn which line they cover.
+    let mut pending: Vec<usize> = Vec::new();
+
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr, $col:expr) => {{
+            for &h in &pending {
+                hatches[h].covers[1] = $line;
+            }
+            pending.clear();
+            tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line: $line,
+                col: $col,
+            });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: scan to end of line, check for a hatch.
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let trimmed = text.trim_start_matches(['/', '!']).trim();
+                if let Some(rest) = trimmed.strip_prefix("srlint:") {
+                    match parse_hatch(rest) {
+                        Some(rule) => {
+                            hatches.push(Hatch {
+                                rule,
+                                covers: [tl, tl],
+                                line: tl,
+                                used: false,
+                            });
+                            pending.push(hatches.len() - 1);
+                        }
+                        None => malformed.push((tl, tc)),
+                    }
+                }
+                col += (j - i) as u32;
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                let mut j = i + 2;
+                col += 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                        col += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                        col += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            line += 1;
+                            col = 1;
+                        } else {
+                            col += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let j = scan_string(&chars, i, &mut line, &mut col);
+                push_tok!(Kind::Lit, String::new(), tl, tc);
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if chars.get(i + 1) == Some(&'\\')
+                    || (chars.get(i + 2) == Some(&'\'')
+                        && chars.get(i + 1).is_some_and(|&n| n != '\''))
+                {
+                    // '\x'-style escape or 'c'.
+                    let mut j = i + 1;
+                    if chars[j] == '\\' {
+                        j += 2; // skip the escaped char
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1; // \u{...} etc.
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    j += 1; // closing quote
+                    col += (j - i) as u32;
+                    push_tok!(Kind::Lit, String::new(), tl, tc);
+                    i = j;
+                } else {
+                    // Lifetime: consume ident chars after the quote.
+                    let mut j = i + 1;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    col += (j - i) as u32;
+                    push_tok!(Kind::Lifetime, String::new(), tl, tc);
+                    i = j;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw/byte string prefixes lex as literals, not idents.
+                if let Some(j) = scan_prefixed_string(&chars, i, &mut line, &mut col) {
+                    push_tok!(Kind::Lit, String::new(), tl, tc);
+                    i = j;
+                    continue;
+                }
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                col += (j - i) as u32;
+                push_tok!(Kind::Ident, text, tl, tc);
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.'
+                        && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !chars[i..j].contains(&'.')
+                    {
+                        // One fractional point; leaves `0..n` as three tokens.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                col += (j - i) as u32;
+                push_tok!(Kind::Num, text, tl, tc);
+                i = j;
+            }
+            c => {
+                col += 1;
+                push_tok!(Kind::Punct(c), String::new(), tl, tc);
+                i += 1;
+            }
+        }
+    }
+
+    let test_mask = test_mask(&tokens);
+    Lexed {
+        tokens,
+        hatches,
+        malformed_hatches: malformed,
+        test_mask,
+    }
+}
+
+/// Parse the tail of a hatch comment: `allow(<rule>) -- <reason>`.
+fn parse_hatch(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest.get(..close)?.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let tail = rest.get(close + 1..)?.trim_start();
+    let reason = tail.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(rule.to_string())
+}
+
+/// Scan a plain `"..."` string starting at `start`; returns the index
+/// just past the closing quote and updates line/col.
+fn scan_string(chars: &[char], start: usize, line: &mut u32, col: &mut u32) -> usize {
+    let mut j = start + 1;
+    *col += 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                *col += 2;
+                j += 2;
+            }
+            '"' => {
+                *col += 1;
+                return j + 1;
+            }
+            '\n' => {
+                *line += 1;
+                *col = 1;
+                j += 1;
+            }
+            _ => {
+                *col += 1;
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Scan `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` starting at an
+/// alphabetic char; returns `None` when the chars do not begin such a
+/// literal.
+fn scan_prefixed_string(
+    chars: &[char],
+    start: usize,
+    line: &mut u32,
+    col: &mut u32,
+) -> Option<usize> {
+    let mut j = start;
+    let mut raw = false;
+    match chars[j] {
+        'b' => {
+            j += 1;
+            if chars.get(j) == Some(&'\'') {
+                // Byte char literal b'x' / b'\n'.
+                let mut k = j + 1;
+                if chars.get(k) == Some(&'\\') {
+                    k += 1;
+                }
+                while k < chars.len() && chars[k] != '\'' {
+                    k += 1;
+                }
+                *col += (k + 1 - start) as u32;
+                return Some(k + 1);
+            }
+            if chars.get(j) == Some(&'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        'r' => {
+            raw = true;
+            j += 1;
+        }
+        _ => return None,
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    if !raw {
+        *col += (j - start) as u32;
+        return Some(scan_string(chars, j, line, col));
+    }
+    // Raw string: scan to `"` followed by `hashes` hashes.
+    *col += (j + 1 - start) as u32;
+    let mut k = j + 1;
+    while k < chars.len() {
+        if chars[k] == '\n' {
+            *line += 1;
+            *col = 1;
+            k += 1;
+            continue;
+        }
+        *col += 1;
+        if chars[k] == '"'
+            && chars[k + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            *col += hashes as u32;
+            return Some(k + 1 + hashes);
+        }
+        k += 1;
+    }
+    Some(k)
+}
+
+/// Mark every token belonging to a `#[cfg(test)]` / `#[test]` /
+/// `#[bench]` item (the attribute, any stacked attributes, and the item
+/// body up to its closing brace or semicolon).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let open = if inner { i + 2 } else { i + 1 };
+        if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let close = match_bracket(tokens, open);
+        if !attr_is_test(&tokens[open + 1..close.min(n)]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is test code.
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        // Skip any further stacked attributes, then the attached item.
+        let mut j = close + 1;
+        while j < n && tokens[j].is_punct('#') && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = match_bracket(tokens, j + 1) + 1;
+        }
+        let mut depth = 0usize;
+        while j < n {
+            if tokens[j].is_punct('{') {
+                depth += 1;
+            } else if tokens[j].is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[j].is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take((j + 1).min(n)).skip(i) {
+            *m = true;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Does the attribute token slice mark test-only code? `test` or `bench`
+/// must appear, and `not` must not (so `#[cfg(not(test))]` stays live).
+fn attr_is_test(attr: &[Token]) -> bool {
+    let mut saw_test = false;
+    for t in attr {
+        if t.kind == Kind::Ident {
+            match t.text.as_str() {
+                "test" | "bench" => saw_test = true,
+                "not" => return false,
+                _ => {}
+            }
+        }
+    }
+    saw_test
+}
+
+/// Index of the `]` matching the `[` at `open` (or `tokens.len()`).
+fn match_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_positions() {
+        let l = lex("let x = foo.unwrap();\n");
+        let unwrap = l.tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (1, 13));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let l = lex("// unwrap()\nlet s = \"panic!()\"; /* todo!() */\n");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("todo")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { r#\"unwrap()\"# ; x }");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.kind == Kind::Lifetime));
+    }
+
+    #[test]
+    fn hatch_parses_and_covers_next_code_line() {
+        let src = "// srlint: allow(panic) -- tested invariant\nx.unwrap();\n";
+        let l = lex(src);
+        assert_eq!(l.hatches.len(), 1);
+        assert_eq!(l.hatches[0].rule, "panic");
+        assert_eq!(l.hatches[0].covers, [1, 2]);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn hatch_without_reason_is_malformed() {
+        let l = lex("// srlint: allow(panic)\nx.unwrap();\n");
+        assert!(l.hatches.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn live2() {}\n";
+        let l = lex(src);
+        for (t, &m) in l.tokens.iter().zip(&l.test_mask) {
+            if t.is_ident("unwrap") {
+                assert!(m, "unwrap inside cfg(test) must be masked");
+            }
+            if t.is_ident("live") || t.is_ident("live2") {
+                assert!(!m, "{} wrongly masked", t.text);
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let l = lex(src);
+        let unwrap = l.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!l.test_mask[unwrap]);
+    }
+}

@@ -1,0 +1,282 @@
+//! srlint — offline static analysis for the SR-tree workspace.
+//!
+//! A dependency-free lint pass (no `syn`, no registry crates) built on a
+//! hand-rolled Rust lexer. Three rule families guard the invariants the
+//! fault-injection and differential-fuzz suites rely on:
+//!
+//! * **L1/panic** — library crates must not call `unwrap()`, `expect()`,
+//!   `panic!`, `unreachable!`, `todo!`, or `unimplemented!` outside test
+//!   code; every fallible path returns a typed error.
+//! * **L2/index, L2/cast** — the geometry distance kernels and the pager
+//!   page codec (the files where an out-of-bounds access or silent
+//!   narrowing corrupts query results) must not use slice indexing or
+//!   `as` numeric casts.
+//! * **L3/error-type, L3/dead-variant** — public `Result`-returning
+//!   functions name crate-local typed errors, and every error variant is
+//!   constructed somewhere.
+//!
+//! The escape hatch is `// srlint: allow(<rule>) -- <reason>`, where
+//! `<rule>` is `panic`, `index`, `cast`, `error-type`, or
+//! `dead-variant`. A hatch covers its own line and the next code line;
+//! unused or malformed hatches are themselves violations.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::Lexed;
+
+/// Library crates under the L1 and L3 rules (directory names under
+/// `crates/`).
+pub const LIB_CRATES: &[&str] = &[
+    "pager", "geometry", "core", "sstree", "rstar", "kdbtree", "vamsplit", "query",
+];
+
+/// Hot-path files under the L2 rules, relative to the workspace root.
+pub const L2_FILES: &[&str] = &[
+    "crates/geometry/src/rect.rs",
+    "crates/geometry/src/sphere.rs",
+    "crates/geometry/src/vector.rs",
+    "crates/pager/src/page.rs",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Rule id, e.g. `L1/panic`.
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A source file handed to the linter.
+pub struct SourceFile {
+    /// Display path (workspace-relative for real runs).
+    pub path: String,
+    pub source: String,
+    /// Whether the file is under the L2 hot-path audit.
+    pub l2: bool,
+}
+
+/// All sources of one library crate.
+pub struct CrateSources {
+    pub name: String,
+    pub files: Vec<SourceFile>,
+}
+
+/// Result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Escape hatches that suppressed at least one finding.
+    pub hatches_used: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable output for CI artifact upload.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"violations\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&d.file),
+                d.line,
+                d.col,
+                json_str(&d.rule),
+                json_str(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"violation_count\": {},\n  \"hatches_used\": {}\n}}\n",
+            self.diagnostics.len(),
+            self.hatches_used
+        ));
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint a set of library crates. `extra_sources` (tests, benches, other
+/// crates) feed the L3 dead-variant construction census only.
+pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> LintReport {
+    let mut diags = Vec::new();
+    let mut enums = Vec::new();
+    let mut constructed: HashSet<(String, String)> = HashSet::new();
+    // (path, lexed) pairs retained so the dead-variant pass can consume
+    // hatches and the hygiene pass sees final usage.
+    let mut lexed_files: Vec<(String, Lexed)> = Vec::new();
+
+    for krate in crates {
+        let mut crate_has_alias = false;
+        let start = lexed_files.len();
+        for file in &krate.files {
+            let lx = lexer::lex(&file.source);
+            crate_has_alias |= rules::has_result_alias(&lx);
+            lexed_files.push((file.path.clone(), lx));
+        }
+        for (file, (path, lx)) in krate.files.iter().zip(&mut lexed_files[start..]) {
+            rules::l1_panic(lx, path, &mut diags);
+            if file.l2 {
+                rules::l2_hot_path(lx, path, &mut diags);
+            }
+            rules::l3_result_signatures(lx, path, crate_has_alias, &mut diags);
+            enums.extend(rules::collect_error_enums(lx, path));
+            rules::collect_constructions(lx, &mut constructed);
+        }
+    }
+    for file in extra_sources {
+        let lx = lexer::lex(&file.source);
+        rules::collect_constructions(&lx, &mut constructed);
+    }
+    rules::l3_dead_variants(&enums, &constructed, &mut lexed_files, &mut diags);
+    let mut hatches_used = 0;
+    for (path, lx) in &lexed_files {
+        rules::hatch_hygiene(lx, path, &mut diags);
+        hatches_used += lx.hatches.iter().filter(|h| h.used).count();
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    LintReport {
+        diagnostics: diags,
+        hatches_used,
+    }
+}
+
+/// Walk the workspace at `root` and lint it with the project
+/// configuration ([`LIB_CRATES`], [`L2_FILES`]).
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut crates = Vec::new();
+    for name in LIB_CRATES {
+        let dir = root.join("crates").join(name).join("src");
+        let mut files = Vec::new();
+        for path in rust_files(&dir)? {
+            let rel = rel_path(root, &path);
+            files.push(SourceFile {
+                l2: L2_FILES.contains(&rel.as_str()),
+                source: std::fs::read_to_string(&path)?,
+                path: rel,
+            });
+        }
+        crates.push(CrateSources {
+            name: (*name).to_string(),
+            files,
+        });
+    }
+    // Everything else only feeds the construction census: other crates,
+    // integration tests, benches, examples.
+    let mut extra = Vec::new();
+    for dir in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(dir);
+        if !dir.exists() {
+            continue;
+        }
+        for path in rust_files(&dir)? {
+            let rel = rel_path(root, &path);
+            let in_lib_src = LIB_CRATES
+                .iter()
+                .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+            // The linter's own fixtures deliberately violate the rules
+            // and must not feed the census.
+            if in_lib_src || rel.starts_with("crates/lint/tests/") {
+                continue;
+            }
+            extra.push(SourceFile {
+                path: rel,
+                source: std::fs::read_to_string(&path)?,
+                l2: false,
+            });
+        }
+    }
+    Ok(lint_crates(&crates, &extra))
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// All `.rs` files under `dir`, sorted for deterministic reports.
+fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if !d.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            if path.is_dir() {
+                if name.as_deref() != Some("target") {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Find the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

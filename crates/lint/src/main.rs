@@ -1,0 +1,67 @@
+//! `sr-lint` — run the srlint workspace checks from the command line.
+//!
+//! ```text
+//! sr-lint [--json] [--root <workspace-root>]
+//! ```
+//!
+//! Exit code 0 when the workspace is clean, 1 on violations, 2 on usage
+//! or I/O errors. `srtool lint` is the same entry point routed through
+//! the CLI.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("sr-lint: --root needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "sr-lint: unknown argument {other:?}\nusage: sr-lint [--json] [--root <dir>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        sr_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("sr-lint: no workspace root found (pass --root)");
+        std::process::exit(2);
+    };
+    let report = match sr_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sr-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "srlint: {} violation(s), {} escape hatch(es) in use",
+            report.diagnostics.len(),
+            report.hatches_used
+        );
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,527 @@
+//! The three srlint rule passes.
+//!
+//! * **L1 (panic)** — no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` in non-test library
+//!   code. `assert!` / `debug_assert!` stay legal: they guard caller
+//!   contracts, not data-dependent paths.
+//! * **L2 (index / cast)** — no slice indexing `[...]` and no `as`
+//!   numeric casts in the audited hot-path files (geometry distance
+//!   kernels, pager page codec).
+//! * **L3 (error-type / dead-variant)** — every public `fn` returning
+//!   `Result` names a typed error, and every declared error-enum variant
+//!   is constructed somewhere in the workspace.
+
+use std::collections::HashSet;
+
+use crate::lexer::{Kind, Lexed, Token};
+use crate::Diagnostic;
+
+/// Identifiers that L1 flags when invoked as `.name(`.
+const L1_METHODS: &[&str] = &["unwrap", "expect"];
+/// Identifiers that L1 flags when invoked as `name!`.
+const L1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Numeric primitive names for the L2 `as`-cast check.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn diag(file: &str, t: &Token, rule: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        rule: rule.to_string(),
+        message,
+    }
+}
+
+/// L1: panic-freedom in non-test library code.
+pub fn l1_panic(lexed: &mut Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
+    for i in 0..lexed.tokens.len() {
+        if lexed.test_mask[i] || lexed.tokens[i].kind != Kind::Ident {
+            continue;
+        }
+        let name = lexed.tokens[i].text.clone();
+        let prev_dot = i > 0 && lexed.tokens[i - 1].is_punct('.');
+        let next_paren = lexed.tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let next_bang = lexed.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let flagged = if L1_METHODS.contains(&name.as_str()) {
+            prev_dot && next_paren
+        } else {
+            L1_MACROS.contains(&name.as_str()) && next_bang
+        };
+        if !flagged {
+            continue;
+        }
+        let line = lexed.tokens[i].line;
+        if lexed.allow("panic", line) {
+            continue;
+        }
+        let what = if L1_METHODS.contains(&name.as_str()) {
+            format!("`.{name}()` can panic")
+        } else {
+            format!("`{name}!` aborts")
+        };
+        diags.push(diag(
+            file,
+            &lexed.tokens[i],
+            "L1/panic",
+            format!("{what} in non-test library code; return a typed error instead"),
+        ));
+    }
+}
+
+/// L2: no slice indexing or `as` numeric casts in audited hot-path files.
+pub fn l2_hot_path(lexed: &mut Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
+    for i in 0..lexed.tokens.len() {
+        if lexed.test_mask[i] {
+            continue;
+        }
+        let t = &lexed.tokens[i];
+        // Indexing: `[` directly after an expression tail (identifier,
+        // closing bracket, or closing paren). Array types/literals follow
+        // punctuation instead and stay legal.
+        if t.is_punct('[') && i > 0 {
+            let prev = &lexed.tokens[i - 1];
+            let indexing = prev.kind == Kind::Ident
+                && !matches!(prev.text.as_str(), "mut" | "ref" | "return" | "in" | "box")
+                || prev.kind == Kind::Num // tuple-field access like `self.0[i]`
+                || prev.is_punct(']')
+                || prev.is_punct(')');
+            if indexing {
+                let line = t.line;
+                let pos = t.clone();
+                if !lexed.allow("index", line) {
+                    diags.push(diag(
+                        file,
+                        &pos,
+                        "L2/index",
+                        "slice indexing in an audited hot path; use `get`/iterators or a checked split".to_string(),
+                    ));
+                }
+                continue;
+            }
+        }
+        if t.is_ident("as")
+            && lexed
+                .tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == Kind::Ident && NUMERIC_TYPES.contains(&n.text.as_str()))
+        {
+            let line = t.line;
+            let pos = t.clone();
+            let target = lexed.tokens[i + 1].text.clone();
+            if !lexed.allow("cast", line) {
+                diags.push(diag(
+                    file,
+                    &pos,
+                    "L2/cast",
+                    format!("`as {target}` cast in an audited hot path; use `From`/`try_from` or a widening helper"),
+                ));
+            }
+        }
+    }
+}
+
+/// An error enum declared in a library crate.
+#[derive(Clone, Debug)]
+pub struct ErrorEnum {
+    pub name: String,
+    /// Variant name with the declaration position.
+    pub variants: Vec<(String, u32, u32)>,
+    pub file: String,
+}
+
+/// Collect declarations of enums whose name ends in `Error`.
+pub fn collect_error_enums(lexed: &Lexed, file: &str) -> Vec<ErrorEnum> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("enum")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == Kind::Ident && t.text.ends_with("Error")))
+        {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Find the enum body.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        let mut expect_variant = false;
+        let mut variants = Vec::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if t.is_punct(',') {
+                    expect_variant = true;
+                } else if t.is_punct('#') {
+                    // Skip a variant attribute.
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct('[')) {
+                        let mut bd = 0usize;
+                        let mut k = j + 1;
+                        while k < toks.len() {
+                            if toks[k].is_punct('[') {
+                                bd += 1;
+                            } else if toks[k].is_punct(']') {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            k += 1;
+                        }
+                        j = k;
+                    }
+                } else if expect_variant && t.kind == Kind::Ident {
+                    variants.push((t.text.clone(), t.line, t.col));
+                    expect_variant = false;
+                }
+            }
+            j += 1;
+        }
+        out.push(ErrorEnum {
+            name,
+            variants,
+            file: file.to_string(),
+        });
+        i = j + 1;
+    }
+    out
+}
+
+/// Does the file declare a `type Result` alias?
+pub fn has_result_alias(lexed: &Lexed) -> bool {
+    lexed
+        .tokens
+        .windows(2)
+        .any(|w| w[0].is_ident("type") && w[1].is_ident("Result"))
+}
+
+/// Collect `Enum::Variant` value constructions (not match patterns) into
+/// `(enum, variant)` pairs. `Self::Variant` records the enum as `"Self"`,
+/// which [`l3_dead_variants`] treats as a wildcard.
+pub fn collect_constructions(lexed: &Lexed, out: &mut HashSet<(String, String)>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != Kind::Ident {
+            continue;
+        }
+        // Shape: Ident :: Ident, where the second is the variant.
+        if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.kind == Kind::Ident))
+        {
+            continue;
+        }
+        let enum_name = &toks[i].text;
+        let variant = &toks[i + 3].text;
+        // Longer paths (a::b::C::V) re-match at each segment; only the
+        // final pair matters, and spurious earlier pairs are harmless
+        // (they record non-variant names nothing looks up).
+        // Skip past a payload to see what follows the construction.
+        let mut j = i + 4;
+        if toks
+            .get(j)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+        {
+            let (open, close) = if toks[j].is_punct('(') {
+                ('(', ')')
+            } else {
+                ('{', '}')
+            };
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct(open) {
+                    depth += 1;
+                } else if toks[j].is_punct(close) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // `=> ...` or `= ...` after the path means a match/let pattern,
+        // not a construction.
+        if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        out.insert((enum_name.clone(), variant.clone()));
+    }
+}
+
+/// L3b: report declared variants never constructed anywhere.
+pub fn l3_dead_variants(
+    enums: &[ErrorEnum],
+    constructed: &HashSet<(String, String)>,
+    hatch_files: &mut [(String, Lexed)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for e in enums {
+        for (variant, line, col) in &e.variants {
+            let live = constructed.contains(&(e.name.clone(), variant.clone()))
+                || constructed.contains(&("Self".to_string(), variant.clone()));
+            if live {
+                continue;
+            }
+            let hatched = hatch_files
+                .iter_mut()
+                .find(|(f, _)| *f == e.file)
+                .is_some_and(|(_, lx)| lx.allow("dead-variant", *line));
+            if hatched {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: e.file.clone(),
+                line: *line,
+                col: *col,
+                rule: "L3/dead-variant".to_string(),
+                message: format!(
+                    "error variant `{}::{variant}` is never constructed; delete it or construct it",
+                    e.name
+                ),
+            });
+        }
+    }
+}
+
+/// L3a: every public `fn` returning `Result` must name a typed error —
+/// the crate's `Result` alias, a `*Error` type, an associated
+/// `::Error`, or `Infallible`. `String`, `Box<dyn ...>`, and
+/// `std::io::Result` are not typed errors.
+pub fn l3_result_signatures(
+    lexed: &mut Lexed,
+    file: &str,
+    crate_has_alias: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0;
+    while i < lexed.tokens.len() {
+        if lexed.test_mask[i] || !lexed.tokens[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // `pub(crate)` / `pub(in ...)` restriction.
+        if lexed.tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            let mut depth = 0usize;
+            while j < lexed.tokens.len() {
+                if lexed.tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if lexed.tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Qualifiers before `fn`.
+        while lexed.tokens.get(j).is_some_and(|t| {
+            matches!(t.text.as_str(), "const" | "async" | "extern") || t.kind == Kind::Lit
+        }) {
+            j += 1;
+        }
+        if !lexed.tokens.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i = j.max(i + 1);
+            continue;
+        }
+        let fn_name = lexed
+            .tokens
+            .get(j + 1)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        j += 2;
+        // Generics.
+        if lexed.tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(&lexed.tokens, j);
+        }
+        // Parameter list.
+        if lexed.tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            let mut depth = 0usize;
+            while j < lexed.tokens.len() {
+                if lexed.tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if lexed.tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            j += 1;
+        }
+        // Return type, if any.
+        if !(lexed.tokens.get(j).is_some_and(|t| t.is_punct('-'))
+            && lexed.tokens.get(j + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            i = j;
+            continue;
+        }
+        let ret_start = j + 2;
+        let mut end = ret_start;
+        while end < lexed.tokens.len() {
+            let t = &lexed.tokens[end];
+            if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                break;
+            }
+            end += 1;
+        }
+        let sig_line = lexed.tokens[i].line;
+        let sig_tok = lexed.tokens[i].clone();
+        if let Some(problem) = untyped_result_error(&lexed.tokens[ret_start..end], crate_has_alias)
+        {
+            if !lexed.allow("error-type", sig_line) {
+                diags.push(diag(
+                    file,
+                    &sig_tok,
+                    "L3/error-type",
+                    format!(
+                        "public fn `{fn_name}` returns {problem}; name a crate-local typed error"
+                    ),
+                ));
+            }
+        }
+        i = end;
+    }
+}
+
+/// Skip a `<...>` generic group starting at `open`; `->` inside bounds
+/// does not close the group.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct('<') {
+            depth += 1;
+        } else if toks[j].is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Inspect a return-type token slice. Returns a description of the
+/// violation when it is a `Result` without a typed error, else `None`.
+fn untyped_result_error(ret: &[Token], crate_has_alias: bool) -> Option<String> {
+    let pos = ret.iter().position(|t| t.is_ident("Result"))?;
+    // `std::io::Result<T>` is typed only by the io module, not the crate.
+    let io_qualified = pos >= 2 && ret[pos - 1].is_punct(':') && {
+        let head = &ret[..pos - 2];
+        head.last().is_some_and(|t| t.is_ident("io"))
+    };
+    // Split the generic arguments at the top-level comma.
+    if !ret.get(pos + 1).is_some_and(|t| t.is_punct('<')) {
+        return Some("a bare `Result`".to_string());
+    }
+    let mut depth = 1i32;
+    let mut paren = 0i32;
+    let mut j = pos + 2;
+    let mut comma = None;
+    let close;
+    loop {
+        let Some(t) = ret.get(j) else {
+            close = j;
+            break;
+        };
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !ret.get(j - 1).is_some_and(|p| p.is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                close = j;
+                break;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct(',') && depth == 1 && paren == 0 && comma.is_none() {
+            comma = Some(j);
+        }
+        j += 1;
+    }
+    let Some(comma) = comma else {
+        // One-argument `Result<T>`: fine iff it is the crate alias.
+        if io_qualified {
+            return Some("`std::io::Result`".to_string());
+        }
+        if crate_has_alias {
+            return None;
+        }
+        return Some("`Result` with no visible error type or crate alias".to_string());
+    };
+    let err_toks = &ret[comma + 1..close];
+    let idents: Vec<&str> = err_toks
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    if idents
+        .iter()
+        .any(|s| matches!(*s, "String" | "str" | "Box" | "dyn" | "Vec"))
+    {
+        return Some(format!("`Result<_, {}>`", idents.join(" ")));
+    }
+    match idents.last() {
+        Some(last) if last.ends_with("Error") || *last == "Infallible" => None,
+        Some(last) => Some(format!("`Result<_, {last}>`")),
+        None => Some("`Result` with an empty error type".to_string()),
+    }
+}
+
+/// Report malformed `srlint:` comments and hatches that suppressed
+/// nothing (an unused hatch hides future violations, so it is itself a
+/// violation).
+pub fn hatch_hygiene(lexed: &Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
+    for &(line, col) in &lexed.malformed_hatches {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule: "hatch/malformed".to_string(),
+            message: "malformed srlint comment: expected `// srlint: allow(<rule>) -- <reason>`"
+                .to_string(),
+        });
+    }
+    for h in &lexed.hatches {
+        if !h.used {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: h.line,
+                col: 1,
+                rule: "hatch/unused".to_string(),
+                message: format!(
+                    "srlint hatch `allow({})` suppresses nothing; remove it",
+                    h.rule
+                ),
+            });
+        }
+    }
+}

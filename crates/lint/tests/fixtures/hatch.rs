@@ -1,0 +1,23 @@
+//! Fixture: escape hatches — justified, trailing, unused, and
+//! malformed. NOT compiled.
+
+pub fn justified(xs: &[u32]) -> u32 {
+    // srlint: allow(panic) -- slice is non-empty by construction in the
+    // only caller; the invariant is asserted one frame up.
+    let first = xs.first().unwrap();
+    *first
+}
+
+pub fn trailing(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // srlint: allow(panic) -- same invariant as above
+}
+
+pub fn unused_hatch(x: u32) -> u32 {
+    // srlint: allow(panic) -- nothing here actually panics
+    x + 1
+}
+
+pub fn malformed_hatch(xs: &[u32]) -> u32 {
+    // srlint: allow(panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,38 @@
+//! Fixture: every L1 violation class, plus test code that must be
+//! skipped. NOT compiled — parsed by the lint fixture tests only.
+
+pub fn lookup(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if *first > *second {
+        panic!("out of order");
+    }
+    match first {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => *first,
+    }
+}
+
+pub fn asserts_are_fine(x: usize) -> usize {
+    assert!(x < 100, "caller contract");
+    debug_assert!(x != 7);
+    x + 1
+}
+
+pub fn fallbacks_are_fine(x: Option<u32>) -> u32 {
+    // `unwrap_or` and friends are total functions, not panics.
+    x.unwrap_or(0).max(x.unwrap_or_else(|| 1)).max(x.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = None;
+        let _ = std::panic::catch_unwind(|| w.expect("boom"));
+        panic!("test panics are fine");
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: L2 violations in a (pretend) hot-path file. NOT compiled.
+
+pub fn min_dist(q: &[f32], lo: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..q.len() {
+        let d = (q[i] - lo[i]) as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+pub fn clean_variant(q: &[f32], lo: &[f32]) -> f64 {
+    q.iter()
+        .zip(lo.iter())
+        .map(|(a, b)| {
+            let d = f64::from(a - b);
+            d * d
+        })
+        .sum()
+}
+
+pub fn array_types_are_fine(bytes: [u8; 8]) -> u64 {
+    // A type position `[u8; 8]` and an array literal are not indexing.
+    let copy: [u8; 8] = bytes;
+    u64::from_le_bytes(copy)
+}

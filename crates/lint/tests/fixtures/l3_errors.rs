@@ -1,0 +1,37 @@
+//! Fixture: L3 violations — untyped Result errors and a dead error
+//! variant. NOT compiled.
+
+/// A typed error with one live and one dead variant.
+pub enum FixtureError {
+    /// Constructed below: live.
+    Live(String),
+    /// Never constructed anywhere: dead.
+    Dead,
+}
+
+pub fn stringly(x: u32) -> Result<u32, String> {
+    if x > 0 {
+        Ok(x)
+    } else {
+        Err("zero".to_string())
+    }
+}
+
+pub fn io_result(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+pub fn typed(x: u32) -> Result<u32, FixtureError> {
+    if x > 0 {
+        Ok(x)
+    } else {
+        Err(FixtureError::Live("zero".into()))
+    }
+}
+
+pub fn matches_are_not_constructions(e: &FixtureError) -> &'static str {
+    match e {
+        FixtureError::Live(_) => "live",
+        FixtureError::Dead => "dead",
+    }
+}

@@ -1,0 +1,177 @@
+//! Exact-diagnostic tests for every srlint rule, run over the fixture
+//! files in `tests/fixtures/` (which are parsed, never compiled).
+
+use sr_lint::{lint_crates, CrateSources, Diagnostic, SourceFile};
+
+fn lint_one(path: &str, source: &str, l2: bool) -> Vec<Diagnostic> {
+    let krate = CrateSources {
+        name: "fixture".to_string(),
+        files: vec![SourceFile {
+            path: path.to_string(),
+            source: source.to_string(),
+            l2,
+        }],
+    };
+    lint_crates(&[krate], &[]).diagnostics
+}
+
+fn rules_at(diags: &[Diagnostic]) -> Vec<(String, u32)> {
+    diags.iter().map(|d| (d.rule.clone(), d.line)).collect()
+}
+
+#[test]
+fn l1_flags_every_panic_class_and_skips_tests() {
+    let diags = lint_one("l1_panic.rs", include_str!("fixtures/l1_panic.rs"), false);
+    let l1: Vec<_> = diags.iter().filter(|d| d.rule == "L1/panic").collect();
+    // unwrap, expect, panic!, todo!, unreachable! — and nothing from the
+    // cfg(test) module or the assert/unwrap_or families.
+    assert_eq!(
+        rules_at(&diags.clone()),
+        vec![
+            ("L1/panic".to_string(), 5),
+            ("L1/panic".to_string(), 6),
+            ("L1/panic".to_string(), 8),
+            ("L1/panic".to_string(), 11),
+            ("L1/panic".to_string(), 12),
+        ],
+        "{diags:#?}"
+    );
+    // Exact positions and messages for the first two.
+    assert_eq!(l1[0].line, 5);
+    assert_eq!(l1[0].col, 28);
+    assert_eq!(
+        l1[0].message,
+        "`.unwrap()` can panic in non-test library code; return a typed error instead"
+    );
+    assert_eq!(
+        l1[1].message,
+        "`.expect()` can panic in non-test library code; return a typed error instead"
+    );
+    assert!(
+        diags.iter().all(|d| d.line < 28,),
+        "cfg(test) module must be exempt: {diags:#?}"
+    );
+}
+
+#[test]
+fn l2_flags_indexing_and_casts_only_in_audited_files() {
+    let src = include_str!("fixtures/l2_hotpath.rs");
+    let diags = lint_one("l2_hotpath.rs", src, true);
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            ("L2/index".to_string(), 6),
+            ("L2/index".to_string(), 6),
+            ("L2/cast".to_string(), 6),
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        diags[2].message,
+        "`as f64` cast in an audited hot path; use `From`/`try_from` or a widening helper"
+    );
+    // The same file outside the L2 audit raises nothing.
+    assert!(lint_one("not_hot.rs", src, false).is_empty());
+}
+
+#[test]
+fn l3_flags_untyped_results_and_dead_variants() {
+    let diags = lint_one("l3_errors.rs", include_str!("fixtures/l3_errors.rs"), false);
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            ("L3/dead-variant".to_string(), 9),
+            ("L3/error-type".to_string(), 12),
+            ("L3/error-type".to_string(), 20),
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(
+        diags[0].message,
+        "error variant `FixtureError::Dead` is never constructed; delete it or construct it"
+    );
+    assert!(diags[1].message.contains("`stringly`"), "{:?}", diags[1]);
+    assert!(diags[1].message.contains("String"), "{:?}", diags[1]);
+    assert!(
+        diags[2].message.contains("std::io::Result"),
+        "{:?}",
+        diags[2]
+    );
+}
+
+#[test]
+fn dead_variant_constructed_in_another_file_is_live() {
+    let krate = CrateSources {
+        name: "fixture".to_string(),
+        files: vec![SourceFile {
+            path: "l3_errors.rs".to_string(),
+            source: include_str!("fixtures/l3_errors.rs").to_string(),
+            l2: false,
+        }],
+    };
+    // A test elsewhere constructs the dead variant: the census spans the
+    // whole workspace, so the variant is live.
+    let extra = SourceFile {
+        path: "tests/x.rs".to_string(),
+        source: "fn t() { let _ = FixtureError::Dead; }".to_string(),
+        l2: false,
+    };
+    let report = lint_crates(&[krate], &[extra]);
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "L3/dead-variant"),
+        "{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn hatches_suppress_exactly_once_each() {
+    let diags = lint_one("hatch.rs", include_str!("fixtures/hatch.rs"), false);
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            ("hatch/unused".to_string(), 16),
+            ("hatch/malformed".to_string(), 21),
+            ("L1/panic".to_string(), 22),
+        ],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn clean_file_is_clean_even_under_l2() {
+    let report = {
+        let krate = CrateSources {
+            name: "fixture".to_string(),
+            files: vec![SourceFile {
+                path: "clean.rs".to_string(),
+                source: include_str!("fixtures/clean.rs").to_string(),
+                l2: true,
+            }],
+        };
+        lint_crates(&[krate], &[])
+    };
+    assert!(report.is_clean(), "{:#?}", report.diagnostics);
+    assert_eq!(report.hatches_used, 0);
+}
+
+#[test]
+fn json_output_is_well_formed_and_escaped() {
+    let diags = lint_one(
+        "weird\"path.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        false,
+    );
+    assert_eq!(diags.len(), 1);
+    let report = sr_lint::LintReport {
+        diagnostics: diags,
+        hatches_used: 0,
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"violation_count\": 1"), "{json}");
+    assert!(json.contains("weird\\\"path.rs"), "{json}");
+    assert!(json.contains("\"rule\": \"L1/panic\""), "{json}");
+}

@@ -1,0 +1,100 @@
+//! Self-check: the real workspace passes srlint clean, within the hatch
+//! budget, and a seeded violation is caught.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_passes_srlint_clean() {
+    let report = sr_lint::lint_workspace(&workspace_root()).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "srlint violations in the workspace:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn hatch_budget_respected() {
+    // The acceptance bar: fewer than 10 justified escape hatches total.
+    let report = sr_lint::lint_workspace(&workspace_root()).expect("lint run");
+    assert!(
+        report.hatches_used < 10,
+        "{} hatches in use; the budget is < 10",
+        report.hatches_used
+    );
+}
+
+#[test]
+fn seeded_violation_fails_the_gate() {
+    // Simulate a PR that sneaks an unwrap into a library crate: the same
+    // configuration that passes above must fail with the file poisoned.
+    let root = workspace_root();
+    let mut crates = Vec::new();
+    for name in sr_lint::LIB_CRATES {
+        let dir = root.join("crates").join(name).join("src");
+        let mut files = Vec::new();
+        for entry in walk(&dir) {
+            let rel = entry
+                .strip_prefix(&root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let mut source = std::fs::read_to_string(&entry).expect("read source");
+            if rel == "crates/pager/src/pagefile.rs" {
+                source.push_str("\npub fn seeded(v: Option<u32>) -> u32 { v.unwrap() }\n");
+            }
+            files.push(sr_lint::SourceFile {
+                l2: sr_lint::L2_FILES.contains(&rel.as_str()),
+                path: rel,
+                source,
+            });
+        }
+        crates.push(sr_lint::CrateSources {
+            name: (*name).to_string(),
+            files,
+        });
+    }
+    let report = sr_lint::lint_crates(&crates, &[]);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "L1/panic" && d.file == "crates/pager/src/pagefile.rs"),
+        "seeded unwrap not caught: {:#?}",
+        report.diagnostics
+    );
+}
+
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -96,9 +96,10 @@ impl LruCache {
         if self.map.len() >= self.capacity {
             if let Some((&tick, &victim)) = self.order.iter().next() {
                 self.order.remove(&tick);
-                let e = self.map.remove(&victim).expect("order/map out of sync");
-                if e.dirty {
-                    evicted = Some((victim, e.data));
+                if let Some(e) = self.map.remove(&victim) {
+                    if e.dirty {
+                        evicted = Some((victim, e.data));
+                    }
                 }
             }
         }
@@ -135,11 +136,16 @@ impl LruCache {
         self.capacity = capacity;
         let mut out = Vec::new();
         while self.map.len() > self.capacity {
-            let (&tick, &victim) = self.order.iter().next().expect("non-empty");
+            let Some((&tick, &victim)) = self.order.iter().next() else {
+                break; // order/map out of sync; nothing left to evict
+            };
             self.order.remove(&tick);
-            let e = self.map.remove(&victim).expect("order/map out of sync");
-            if e.dirty {
-                out.push((victim, e.data));
+            if let Some(e) = self.map.remove(&victim) {
+                if e.dirty {
+                    out.push((victim, e.data));
+                }
+            } else {
+                break; // order/map out of sync; avoid spinning forever
             }
         }
         out

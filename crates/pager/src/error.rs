@@ -39,6 +39,17 @@ pub enum PagerError {
     /// The file is not a page file, has a bad magic/version, or its header
     /// is internally inconsistent.
     Corrupt(String),
+    /// A [`PageCodec`](crate::PageCodec) read or write ran past the end of
+    /// its buffer — a truncated or corrupted page payload (or, for writes,
+    /// an entry that does not fit the page it was sized for).
+    CodecOverrun {
+        /// Cursor position at which the access was attempted.
+        pos: usize,
+        /// Bytes the access needed.
+        want: usize,
+        /// Total buffer length.
+        len: usize,
+    },
     /// A deliberately injected fault from the test kit's
     /// [`FaultInjector`](crate::FaultInjector). Distinguishable from real
     /// I/O errors so tests can assert the failure they armed is the one
@@ -70,6 +81,10 @@ impl fmt::Display for PagerError {
                 "page {id} has kind {found} but kind {expected} was expected"
             ),
             PagerError::Corrupt(msg) => write!(f, "page file corrupt: {msg}"),
+            PagerError::CodecOverrun { pos, want, len } => write!(
+                f,
+                "page codec overrun: {want} byte(s) at offset {pos} in a {len}-byte buffer"
+            ),
             PagerError::Injected { kind, op } => {
                 write!(f, "injected fault {kind:?} at store op {op}")
             }

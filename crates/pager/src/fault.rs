@@ -244,12 +244,16 @@ impl PageStore for FaultInjector {
             return Err(self.state.inject(FaultKind::Write, n));
         }
         if n == self.state.torn_write_at.load(Ordering::SeqCst) {
-            let keep = (self.state.torn_keep_bytes.load(Ordering::SeqCst) as usize).min(data.len());
+            let keep = usize::try_from(self.state.torn_keep_bytes.load(Ordering::SeqCst))
+                .unwrap_or(usize::MAX)
+                .min(data.len());
             // Persist the prefix over the page's previous contents: read
             // the old page, splice the new prefix in, write it back.
             let mut old = vec![0u8; self.inner.page_size()];
             if self.inner.read_page(id, &mut old).is_ok() {
-                old[..keep].copy_from_slice(&data[..keep]);
+                if let (Some(dst), Some(src)) = (old.get_mut(..keep), data.get(..keep)) {
+                    dst.copy_from_slice(src);
+                }
                 let _ = self.inner.write_page(id, &old);
             }
             self.state.torn_writes.fetch_add(1, Ordering::SeqCst);

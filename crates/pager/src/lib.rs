@@ -18,12 +18,14 @@
 //! ```
 //! use sr_pager::{PageFile, PageKind};
 //!
-//! let mut pf = PageFile::create_in_memory(8192);
+//! let pf = PageFile::create_in_memory(8192).unwrap();
 //! let id = pf.allocate(PageKind::Leaf).unwrap();
 //! pf.write(id, PageKind::Leaf, b"hello").unwrap();
 //! assert_eq!(&pf.read(id, PageKind::Leaf).unwrap()[..5], b"hello");
 //! assert_eq!(pf.stats().logical_reads(PageKind::Leaf), 1);
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod cache;
 mod error;

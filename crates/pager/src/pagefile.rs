@@ -55,9 +55,8 @@ impl PageFile {
     pub const DEFAULT_CACHE_PAGES: usize = 256;
 
     /// Create a page file over an in-memory store.
-    pub fn create_in_memory(page_size: usize) -> PageFile {
+    pub fn create_in_memory(page_size: usize) -> Result<PageFile> {
         Self::create_from_store(Box::new(MemPageStore::new(page_size)))
-            .expect("in-memory create cannot fail")
     }
 
     /// Create a page file at `path` with the default 8192-byte pages.
@@ -73,10 +72,11 @@ impl PageFile {
     /// Create a page file over any store (the store must be empty).
     pub fn create_from_store(store: Box<dyn PageStore>) -> Result<PageFile> {
         let page_size = store.page_size();
-        assert!(
-            page_size > META_HEADER + PAGE_HEADER + 64,
-            "page size {page_size} too small to be useful"
-        );
+        if page_size <= META_HEADER + PAGE_HEADER + 64 {
+            return Err(PagerError::Corrupt(format!(
+                "page size {page_size} too small to be useful"
+            )));
+        }
         store.grow(1)?;
         let pf = PageFile {
             store,
@@ -98,13 +98,15 @@ impl PageFile {
     pub fn open(path: &Path) -> Result<PageFile> {
         // The page size lives inside the meta page; peek at the raw header
         // first.
-        let raw = std::fs::read(path)?;
+        let mut raw = std::fs::read(path)?;
         if raw.len() < META_HEADER {
             return Err(PagerError::Corrupt("file too short for a meta page".into()));
         }
-        let magic = u32::from_le_bytes(raw[0..4].try_into().unwrap());
-        let version = u32::from_le_bytes(raw[4..8].try_into().unwrap());
-        let page_size = u32::from_le_bytes(raw[8..12].try_into().unwrap()) as usize;
+        let mut c = PageCodec::new(raw.as_mut_slice());
+        let magic = c.get_u32()?;
+        let version = c.get_u32()?;
+        let page_size = usize::try_from(c.get_u32()?)
+            .map_err(|_| PagerError::Corrupt("page size does not fit usize".into()))?;
         if magic != MAGIC {
             return Err(PagerError::Corrupt(format!("bad magic {magic:#x}")));
         }
@@ -123,26 +125,28 @@ impl PageFile {
         let mut buf = vec![0u8; page_size];
         store.read_page(0, &mut buf)?;
         let mut c = PageCodec::new(&mut buf);
-        if c.get_u32() != MAGIC {
+        if c.get_u32()? != MAGIC {
             return Err(PagerError::Corrupt("bad magic in meta page".into()));
         }
-        if c.get_u32() != VERSION {
+        if c.get_u32()? != VERSION {
             return Err(PagerError::Corrupt("unsupported version".into()));
         }
-        let stored_ps = c.get_u32() as usize;
+        let stored_ps = usize::try_from(c.get_u32()?)
+            .map_err(|_| PagerError::Corrupt("page size does not fit usize".into()))?;
         if stored_ps != page_size {
             return Err(PagerError::Corrupt(format!(
                 "meta page says page size {stored_ps}, store says {page_size}"
             )));
         }
-        let free_head = c.get_u64();
-        let meta_len = c.get_u32() as usize;
+        let free_head = c.get_u64()?;
+        let meta_len = usize::try_from(c.get_u32()?)
+            .map_err(|_| PagerError::Corrupt("metadata length does not fit usize".into()))?;
         if meta_len > page_size - META_HEADER {
             return Err(PagerError::Corrupt(format!(
                 "user metadata length {meta_len} exceeds page"
             )));
         }
-        let user_meta = c.get_bytes(meta_len).to_vec();
+        let user_meta = c.get_bytes(meta_len)?.to_vec();
         Ok(PageFile {
             store,
             page_size,
@@ -234,14 +238,14 @@ impl PageFile {
                 let data = self.read_raw(&mut inner, id)?;
                 let mut data = data;
                 let mut c = PageCodec::new(&mut data);
-                let k = c.get_u8();
-                if k != PageKind::Free as u8 {
+                let k = c.get_u8()?;
+                if k != PageKind::Free.as_u8() {
                     return Err(PagerError::Corrupt(format!(
                         "free-list page {id} has kind {k}"
                     )));
                 }
-                let _len = c.get_u32();
-                inner.free_head = c.get_u64();
+                c.skip(4)?; // stored payload length, unused here
+                inner.free_head = c.get_u64()?;
                 inner.meta_dirty = true;
                 Some(id)
             } else {
@@ -269,9 +273,9 @@ impl PageFile {
         let head = inner.free_head;
         {
             let mut c = PageCodec::new(&mut page);
-            c.put_u8(PageKind::Free as u8);
-            c.put_u32(8);
-            c.put_u64(head);
+            c.put_u8(PageKind::Free.as_u8())?;
+            c.put_u32(8)?;
+            c.put_u64(head)?;
         }
         inner.stats.record_physical_write();
         self.store.write_page(id, &page)?;
@@ -301,21 +305,22 @@ impl PageFile {
         let mut data = self.read_raw(&mut inner, id)?;
         drop(inner);
         let mut c = PageCodec::new(&mut data);
-        let kind = c.get_u8();
-        if kind != expected as u8 {
+        let kind = c.get_u8()?;
+        if kind != expected.as_u8() {
             return Err(PagerError::KindMismatch {
                 id,
                 found: kind,
-                expected: expected as u8,
+                expected: expected.as_u8(),
             });
         }
-        let len = c.get_u32() as usize;
+        let len = usize::try_from(c.get_u32()?)
+            .map_err(|_| PagerError::Corrupt("payload length does not fit usize".into()))?;
         if len > self.capacity() {
             return Err(PagerError::Corrupt(format!(
                 "page {id} claims payload of {len} bytes"
             )));
         }
-        Ok(c.get_bytes(len).to_vec())
+        Ok(c.get_bytes(len)?.to_vec())
     }
 
     /// Write `payload` to page `id` with the given kind.
@@ -326,12 +331,16 @@ impl PageFile {
                 capacity: self.capacity(),
             });
         }
+        let len = u32::try_from(payload.len()).map_err(|_| PagerError::PayloadTooLarge {
+            len: payload.len(),
+            capacity: self.capacity(),
+        })?;
         let mut page = vec![0u8; self.page_size].into_boxed_slice();
         {
             let mut c = PageCodec::new(&mut page);
-            c.put_u8(kind as u8);
-            c.put_u32(payload.len() as u32);
-            c.put_bytes(payload);
+            c.put_u8(kind.as_u8())?;
+            c.put_u32(len)?;
+            c.put_bytes(payload)?;
         }
         let mut inner = self.inner.lock();
         inner.stats.record_logical_write(kind);
@@ -354,15 +363,19 @@ impl PageFile {
             self.store.write_page(id, &data)?;
         }
         if inner.meta_dirty {
+            let page_size = u32::try_from(self.page_size)
+                .map_err(|_| PagerError::Corrupt("page size does not fit u32".into()))?;
+            let meta_len = u32::try_from(inner.user_meta.len())
+                .map_err(|_| PagerError::Corrupt("user metadata length does not fit u32".into()))?;
             let mut page = vec![0u8; self.page_size];
             let mut c = PageCodec::new(&mut page);
-            c.put_u32(MAGIC);
-            c.put_u32(VERSION);
-            c.put_u32(self.page_size as u32);
-            c.put_u64(inner.free_head);
-            c.put_u32(inner.user_meta.len() as u32);
+            c.put_u32(MAGIC)?;
+            c.put_u32(VERSION)?;
+            c.put_u32(page_size)?;
+            c.put_u64(inner.free_head)?;
+            c.put_u32(meta_len)?;
             let meta = inner.user_meta.clone();
-            c.put_bytes(&meta);
+            c.put_bytes(&meta)?;
             inner.stats.record_physical_write();
             self.store.write_page(0, &page)?;
             inner.meta_dirty = false;
@@ -385,7 +398,7 @@ mod tests {
 
     #[test]
     fn roundtrip_in_memory() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let id = pf.allocate(PageKind::Leaf).unwrap();
         pf.write(id, PageKind::Leaf, b"payload").unwrap();
         assert_eq!(pf.read(id, PageKind::Leaf).unwrap(), b"payload");
@@ -393,7 +406,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_detected() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let id = pf.allocate(PageKind::Leaf).unwrap();
         assert!(matches!(
             pf.read(id, PageKind::Node),
@@ -403,7 +416,7 @@ mod tests {
 
     #[test]
     fn payload_too_large_rejected() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let id = pf.allocate(PageKind::Node).unwrap();
         let big = vec![0u8; pf.capacity() + 1];
         assert!(matches!(
@@ -418,7 +431,7 @@ mod tests {
 
     #[test]
     fn free_list_reuses_pages() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let a = pf.allocate(PageKind::Leaf).unwrap();
         let b = pf.allocate(PageKind::Leaf).unwrap();
         let before = pf.num_pages();
@@ -432,7 +445,7 @@ mod tests {
 
     #[test]
     fn stats_count_logical_and_physical() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let id = pf.allocate(PageKind::Leaf).unwrap();
         pf.write(id, PageKind::Leaf, b"x").unwrap();
         pf.reset_stats();
@@ -455,7 +468,7 @@ mod tests {
 
     #[test]
     fn cold_cache_write_goes_straight_to_store() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         pf.set_cache_capacity(0).unwrap();
         let id = pf.allocate(PageKind::Node).unwrap();
         pf.reset_stats();
@@ -466,7 +479,7 @@ mod tests {
 
     #[test]
     fn user_meta_roundtrip_and_limit() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         pf.set_user_meta(b"root=42").unwrap();
         assert_eq!(pf.user_meta(), b"root=42");
         let too_big = vec![0u8; pf.user_meta_capacity() + 1];
@@ -530,7 +543,7 @@ mod tests {
 
     #[test]
     fn eviction_writes_back_dirty_pages() {
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         pf.set_cache_capacity(2).unwrap();
         let ids: Vec<_> = (0..8)
             .map(|i| {

@@ -26,11 +26,15 @@ impl IoStats {
     }
 
     pub(crate) fn record_logical_read(&mut self, kind: PageKind) {
-        self.logical_reads[kind as usize] += 1;
+        if let Some(c) = self.logical_reads.get_mut(kind as usize) {
+            *c += 1;
+        }
     }
 
     pub(crate) fn record_logical_write(&mut self, kind: PageKind) {
-        self.logical_writes[kind as usize] += 1;
+        if let Some(c) = self.logical_writes.get_mut(kind as usize) {
+            *c += 1;
+        }
     }
 
     pub(crate) fn record_physical_read(&mut self) {
@@ -43,12 +47,12 @@ impl IoStats {
 
     /// Logical reads of pages of `kind`.
     pub fn logical_reads(&self, kind: PageKind) -> u64 {
-        self.logical_reads[kind as usize]
+        self.logical_reads.get(kind as usize).copied().unwrap_or(0)
     }
 
     /// Logical writes of pages of `kind`.
     pub fn logical_writes(&self, kind: PageKind) -> u64 {
-        self.logical_writes[kind as usize]
+        self.logical_writes.get(kind as usize).copied().unwrap_or(0)
     }
 
     /// Total logical reads of node and leaf pages — the paper's
@@ -80,10 +84,21 @@ impl IoStats {
     /// reset in between.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         let mut d = IoStats::new();
-        for i in 0..4 {
-            d.logical_reads[i] = self.logical_reads[i].saturating_sub(earlier.logical_reads[i]);
-            d.logical_writes[i] = self.logical_writes[i].saturating_sub(earlier.logical_writes[i]);
-        }
+        let sub = |now: &[u64; 4], then: &[u64; 4], out: &mut [u64; 4]| {
+            for (o, (a, b)) in out.iter_mut().zip(now.iter().zip(then)) {
+                *o = a.saturating_sub(*b);
+            }
+        };
+        sub(
+            &self.logical_reads,
+            &earlier.logical_reads,
+            &mut d.logical_reads,
+        );
+        sub(
+            &self.logical_writes,
+            &earlier.logical_writes,
+            &mut d.logical_writes,
+        );
         d.physical_reads = self.physical_reads.saturating_sub(earlier.physical_reads);
         d.physical_writes = self.physical_writes.saturating_sub(earlier.physical_writes);
         d

@@ -50,6 +50,14 @@ impl MemPageStore {
             pages: RwLock::new(Vec::new()),
         }
     }
+
+    /// Byte range of page `id`, or `None` if it lies past `len` (or the
+    /// offset arithmetic would overflow).
+    fn page_range(&self, id: PageId, len: usize) -> Option<std::ops::Range<usize>> {
+        let off = usize::try_from(id).ok()?.checked_mul(self.page_size)?;
+        let end = off.checked_add(self.page_size)?;
+        (end <= len).then_some(off..end)
+    }
 }
 
 impl PageStore for MemPageStore {
@@ -64,29 +72,32 @@ impl PageStore for MemPageStore {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), self.page_size);
         let pages = self.pages.read();
-        let off = id as usize * self.page_size;
-        if off + self.page_size > pages.len() {
-            return Err(PagerError::PageOutOfRange {
+        match self.page_range(id, pages.len()).and_then(|r| pages.get(r)) {
+            Some(src) => {
+                buf.copy_from_slice(src);
+                Ok(())
+            }
+            None => Err(PagerError::PageOutOfRange {
                 id,
                 num_pages: (pages.len() / self.page_size) as u64,
-            });
+            }),
         }
-        buf.copy_from_slice(&pages[off..off + self.page_size]);
-        Ok(())
     }
 
     fn write_page(&self, id: PageId, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), self.page_size);
         let mut pages = self.pages.write();
-        let off = id as usize * self.page_size;
-        if off + self.page_size > pages.len() {
-            return Err(PagerError::PageOutOfRange {
+        let len = pages.len();
+        match self.page_range(id, len).and_then(|r| pages.get_mut(r)) {
+            Some(dst) => {
+                dst.copy_from_slice(data);
+                Ok(())
+            }
+            None => Err(PagerError::PageOutOfRange {
                 id,
-                num_pages: (pages.len() / self.page_size) as u64,
-            });
+                num_pages: (len / self.page_size) as u64,
+            }),
         }
-        pages[off..off + self.page_size].copy_from_slice(data);
-        Ok(())
     }
 
     fn grow(&self, new_num_pages: u64) -> Result<()> {

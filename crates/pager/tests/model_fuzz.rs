@@ -55,7 +55,7 @@ fn pagefile_matches_model() {
     for case in 0..64u64 {
         let seed = 0x9A6E_F055_u64 ^ case;
         let ops = arb_ops(seed, 120);
-        let pf = PageFile::create_in_memory(512);
+        let pf = PageFile::create_in_memory(512).unwrap();
         let mut model: HashMap<PageId, Vec<u8>> = HashMap::new();
         let mut live: Vec<PageId> = Vec::new();
 

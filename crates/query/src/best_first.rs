@@ -118,7 +118,7 @@ pub fn knn_best_first<S: KnnSource>(
 mod tests {
     use super::*;
     use crate::bruteforce::brute_force_knn;
-    use crate::knn::mock::{MockNode, MockTree};
+    use crate::knn::mock::MockTree;
 
     fn pseudo_points(n: usize, d: usize, seed: u64) -> Vec<(Vec<f32>, u64)> {
         let mut s = seed.max(1);
@@ -137,7 +137,7 @@ mod tests {
     fn best_first_matches_brute_force() {
         for d in [2usize, 8] {
             let pts = pseudo_points(400, d, 17 + d as u64);
-            let tree = MockTree(MockNode::build(pts.clone(), 16));
+            let tree = MockTree::build(pts.clone(), 16);
             let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
             for (qi, k) in [(0usize, 1usize), (11, 5), (200, 21)] {
                 let q = &pts[qi].0;
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn best_first_equals_depth_first() {
         let pts = pseudo_points(500, 4, 99);
-        let tree = MockTree(MockNode::build(pts.clone(), 12));
+        let tree = MockTree::build(pts.clone(), 12);
         for k in [1usize, 7, 30] {
             let q = &pts[k].0;
             let bf = knn_best_first(&tree, q, k).unwrap();
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn k_larger_than_dataset() {
         let pts = pseudo_points(9, 3, 7);
-        let tree = MockTree(MockNode::build(pts.clone(), 4));
+        let tree = MockTree::build(pts.clone(), 4);
         let got = knn_best_first(&tree, &pts[0].0, 100).unwrap();
         assert_eq!(got.len(), 9);
         for w in got.windows(2) {

@@ -77,9 +77,9 @@ pub fn pairwise_distance_stats(points: &[&[f32]], sample_cap: usize) -> Distance
     let mut max: f64 = 0.0;
     let mut sum = 0.0f64;
     let mut count = 0u64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dist2(points[i], points[j]).sqrt();
+    for (i, a) in points.iter().take(n).enumerate() {
+        for b in points.iter().take(n).skip(i + 1) {
+            let d = dist2(a, b).sqrt();
             min = min.min(d);
             max = max.max(d);
             sum += d;

@@ -100,7 +100,9 @@ fn visit<S: KnnSource>(
 pub(crate) mod mock {
     //! A tiny in-memory binary "index" over points, used to test the
     //! engine without dragging a real tree in: splits points in half on
-    //! the widest dimension and bounds each half with a rectangle.
+    //! the widest dimension and bounds each half with a rectangle. Nodes
+    //! live in an arena and node handles are arena indices, so the mock
+    //! stays within `#![forbid(unsafe_code)]`.
 
     use super::*;
 
@@ -108,7 +110,7 @@ pub(crate) mod mock {
         Inner {
             lo: Vec<f32>,
             hi: Vec<f32>,
-            children: Vec<MockNode>,
+            children: Vec<usize>,
         },
         Leaf {
             lo: Vec<f32>,
@@ -131,27 +133,6 @@ pub(crate) mod mock {
             (lo, hi)
         }
 
-        pub fn build(mut points: Vec<(Vec<f32>, u64)>, leaf_cap: usize) -> MockNode {
-            let (lo, hi) = Self::bounds(&points);
-            if points.len() <= leaf_cap {
-                return MockNode::Leaf { lo, hi, points };
-            }
-            let d = lo.len();
-            let dim = (0..d)
-                .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
-                .unwrap();
-            points.sort_by(|a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
-            let right = points.split_off(points.len() / 2);
-            MockNode::Inner {
-                lo,
-                hi,
-                children: vec![
-                    MockNode::build(points, leaf_cap),
-                    MockNode::build(right, leaf_cap),
-                ],
-            }
-        }
-
         fn min_dist2(&self, q: &[f32]) -> f64 {
             let (lo, hi) = match self {
                 MockNode::Inner { lo, hi, .. } => (lo, hi),
@@ -172,14 +153,55 @@ pub(crate) mod mock {
         }
     }
 
-    pub struct MockTree(pub MockNode);
+    /// Node arena; index 0 is the root.
+    pub struct MockTree {
+        nodes: Vec<MockNode>,
+    }
+
+    impl MockTree {
+        pub fn build(points: Vec<(Vec<f32>, u64)>, leaf_cap: usize) -> MockTree {
+            let mut tree = MockTree { nodes: Vec::new() };
+            tree.build_node(points, leaf_cap);
+            tree
+        }
+
+        /// Append the subtree over `points` to the arena, returning its
+        /// root's index.
+        fn build_node(&mut self, mut points: Vec<(Vec<f32>, u64)>, leaf_cap: usize) -> usize {
+            let (lo, hi) = MockNode::bounds(&points);
+            let id = self.nodes.len();
+            if points.len() <= leaf_cap {
+                self.nodes.push(MockNode::Leaf { lo, hi, points });
+                return id;
+            }
+            let d = lo.len();
+            let dim = (0..d)
+                .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+                .unwrap_or(0);
+            points.sort_by(|a, b| a.0[dim].total_cmp(&b.0[dim]));
+            let right = points.split_off(points.len() / 2);
+            // Reserve the inner node's slot before recursing so the root
+            // of the whole tree stays at index 0.
+            self.nodes.push(MockNode::Inner {
+                lo,
+                hi,
+                children: Vec::new(),
+            });
+            let left_id = self.build_node(points, leaf_cap);
+            let right_id = self.build_node(right, leaf_cap);
+            if let MockNode::Inner { children, .. } = &mut self.nodes[id] {
+                *children = vec![left_id, right_id];
+            }
+            id
+        }
+    }
 
     impl KnnSource for MockTree {
-        type Node = *const MockNode;
+        type Node = usize;
         type Error = std::convert::Infallible;
 
         fn root(&self) -> Result<Option<Self::Node>, Self::Error> {
-            Ok(Some(&self.0 as *const MockNode))
+            Ok((!self.nodes.is_empty()).then_some(0))
         }
 
         fn expand(
@@ -188,12 +210,10 @@ pub(crate) mod mock {
             query: &[f32],
             out: &mut Expansion<Self::Node>,
         ) -> Result<(), Self::Error> {
-            let node: &MockNode = unsafe { &**node };
-            match node {
+            match &self.nodes[*node] {
                 MockNode::Inner { children, .. } => {
-                    for c in children {
-                        out.branches
-                            .push((c.min_dist2(query), c as *const MockNode));
+                    for &c in children {
+                        out.branches.push((self.nodes[c].min_dist2(query), c));
                     }
                 }
                 MockNode::Leaf { points, .. } => {
@@ -219,7 +239,7 @@ pub(crate) mod mock {
 
 #[cfg(test)]
 mod tests {
-    use super::mock::{MockNode, MockTree};
+    use super::mock::MockTree;
     use super::*;
     use crate::bruteforce::brute_force_knn;
 
@@ -241,7 +261,7 @@ mod tests {
     fn knn_matches_brute_force() {
         for d in [2usize, 8, 16] {
             let pts = pseudo_points(500, d, 42 + d as u64);
-            let tree = MockTree(MockNode::build(pts.clone(), 16));
+            let tree = MockTree::build(pts.clone(), 16);
             let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
             for (qi, k) in [(0usize, 1usize), (13, 5), (77, 21)] {
                 let q = &pts[qi].0;
@@ -263,7 +283,7 @@ mod tests {
     #[test]
     fn knn_with_k_larger_than_dataset() {
         let pts = pseudo_points(10, 4, 7);
-        let tree = MockTree(MockNode::build(pts.clone(), 4));
+        let tree = MockTree::build(pts.clone(), 4);
         let got = knn(&tree, &pts[0].0, 50).unwrap();
         assert_eq!(got.len(), 10);
         // sorted ascending
@@ -275,7 +295,7 @@ mod tests {
     #[test]
     fn self_query_returns_self_first() {
         let pts = pseudo_points(100, 8, 99);
-        let tree = MockTree(MockNode::build(pts.clone(), 8));
+        let tree = MockTree::build(pts.clone(), 8);
         let got = knn(&tree, &pts[42].0, 1).unwrap();
         assert_eq!(got[0].dist2, 0.0);
     }

@@ -20,6 +20,8 @@
 //! [`brute_force_knn`] provides exact linear-scan answers used as ground
 //! truth by every correctness test in the workspace.
 
+#![forbid(unsafe_code)]
+
 mod best_first;
 mod bruteforce;
 mod heap;

@@ -52,7 +52,7 @@ fn visit<S: KnnSource>(
 mod tests {
     use super::*;
     use crate::bruteforce::brute_force_range;
-    use crate::knn::mock::{MockNode, MockTree};
+    use crate::knn::mock::MockTree;
 
     fn grid_points() -> Vec<(Vec<f32>, u64)> {
         let mut pts = Vec::new();
@@ -67,7 +67,7 @@ mod tests {
     #[test]
     fn range_matches_brute_force() {
         let pts = grid_points();
-        let tree = MockTree(MockNode::build(pts.clone(), 7));
+        let tree = MockTree::build(pts.clone(), 7);
         let flat: Vec<(&[f32], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
         for radius in [0.0, 1.0, 1.5, 3.7, 100.0] {
             let q = [4.5f32, 4.5];
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn boundary_point_included() {
         let pts = grid_points();
-        let tree = MockTree(MockNode::build(pts.clone(), 7));
+        let tree = MockTree::build(pts.clone(), 7);
         // query at (0,0); point (3,4) is at distance exactly 5
         let got = range(&tree, &[0.0, 0.0], 5.0).unwrap();
         assert!(got.iter().any(|n| n.data == 34));
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn empty_result_for_far_query() {
         let pts = grid_points();
-        let tree = MockTree(MockNode::build(pts, 7));
+        let tree = MockTree::build(pts, 7);
         let got = range(&tree, &[1000.0, 1000.0], 1.0).unwrap();
         assert!(got.is_empty());
     }

@@ -4,7 +4,7 @@
 use sr_geometry::Rect;
 use sr_pager::PageId;
 
-use crate::error::Result;
+use crate::error::{Result, TreeError};
 use crate::node::{InnerEntry, LeafEntry, Node};
 use crate::split;
 use crate::tree::RstarTree;
@@ -59,21 +59,17 @@ pub(crate) fn insert_at_level(
     debug_assert!((target_level as u32) < tree.height);
     let entry_rect = entry.rect();
     let path = choose_path(tree, &entry_rect, target_level)?;
-    let mut node = tree.read_node(*path.last().unwrap(), target_level)?;
-    match entry {
-        AnyEntry::Leaf(e) => {
-            if let Node::Leaf(entries) = &mut node {
-                entries.push(e);
-            } else {
-                unreachable!("target level 0 must be a leaf");
-            }
-        }
-        AnyEntry::Inner(e) => {
-            if let Node::Inner { entries, .. } = &mut node {
-                entries.push(e);
-            } else {
-                unreachable!("target level >= 1 must be an inner node");
-            }
+    let &target = path
+        .last()
+        .ok_or_else(|| TreeError::Corrupt("empty descent path".into()))?;
+    let mut node = tree.read_node(target, target_level)?;
+    match (entry, &mut node) {
+        (AnyEntry::Leaf(e), Node::Leaf(entries)) => entries.push(e),
+        (AnyEntry::Inner(e), Node::Inner { entries, .. }) => entries.push(e),
+        _ => {
+            return Err(TreeError::Corrupt(
+                "insertion target level does not match the node kind on disk".into(),
+            ))
         }
     }
 
@@ -81,7 +77,7 @@ pub(crate) fn insert_at_level(
     loop {
         if node.len() <= tree.max_for(&node) {
             tree.write_node(path[idx], &node)?;
-            propagate_mbrs(tree, &path, idx, node.mbr())?;
+            propagate_mbrs(tree, &path, idx, node.mbr()?)?;
             return Ok(());
         }
         if idx == 0 {
@@ -92,9 +88,9 @@ pub(crate) fn insert_at_level(
         if !reinserted.get(level).copied().unwrap_or(true) {
             // --- forced reinsertion ---
             reinserted[level] = true;
-            let removed = remove_farthest(tree, &mut node);
+            let removed = remove_farthest(tree, &mut node)?;
             tree.write_node(path[idx], &node)?;
-            propagate_mbrs(tree, &path, idx, node.mbr())?;
+            propagate_mbrs(tree, &path, idx, node.mbr()?)?;
             // "Close reinsert": re-add starting with the entry closest to
             // the node center (removed is sorted farthest-first).
             for e in removed.into_iter().rev() {
@@ -106,7 +102,7 @@ pub(crate) fn insert_at_level(
         let (a, b) = split::split_node(&tree.params, node);
         let b_id = tree.allocate_node(&b)?;
         tree.write_node(path[idx], &a)?;
-        let (a_mbr, b_mbr) = (a.mbr(), b.mbr());
+        let (a_mbr, b_mbr) = (a.mbr()?, b.mbr()?);
         idx -= 1;
         let mut parent = tree.read_node(
             path[idx],
@@ -116,14 +112,16 @@ pub(crate) fn insert_at_level(
             let slot = entries
                 .iter_mut()
                 .find(|e| e.child == path[idx + 1])
-                .expect("parent lost track of its child");
+                .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
             slot.rect = a_mbr;
             entries.push(InnerEntry {
                 rect: b_mbr,
                 child: b_id,
             });
         } else {
-            unreachable!("parent of a split node must be an inner node");
+            return Err(TreeError::Corrupt(
+                "parent of a split node is not an inner node".into(),
+            ));
         }
         node = parent;
     }
@@ -140,7 +138,11 @@ fn choose_path(tree: &RstarTree, rect: &Rect, target_level: u16) -> Result<Vec<P
         let node = tree.read_node(id, level)?;
         let entries = match &node {
             Node::Inner { entries, .. } => entries,
-            Node::Leaf(_) => unreachable!("descending past a leaf"),
+            Node::Leaf(_) => {
+                return Err(TreeError::Corrupt(
+                    "leaf found above the target level while descending".into(),
+                ))
+            }
         };
         let idx = if level == 1 {
             // children are leaves: minimize overlap enlargement
@@ -213,14 +215,14 @@ pub(crate) fn propagate_mbrs(
             let slot = entries
                 .iter_mut()
                 .find(|e| e.child == child_id)
-                .expect("parent lost track of its child");
+                .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
             if slot.rect == child_mbr {
                 return Ok(()); // nothing changed; ancestors are exact
             }
             slot.rect = child_mbr;
         }
         tree.write_node(path[j], &parent)?;
-        child_mbr = parent.mbr();
+        child_mbr = parent.mbr()?;
         child_id = path[j];
     }
     Ok(())
@@ -228,8 +230,8 @@ pub(crate) fn propagate_mbrs(
 
 /// Remove the reinsert-fraction of entries farthest from the node's MBR
 /// center, returning them farthest-first.
-fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Vec<AnyEntry> {
-    let center = node.mbr().center();
+fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Result<Vec<AnyEntry>> {
+    let center = node.mbr()?.center();
     let p = if node.is_leaf() {
         tree.params.reinsert_leaf
     } else {
@@ -241,26 +243,26 @@ fn remove_farthest(tree: &RstarTree, node: &mut Node) -> Vec<AnyEntry> {
             order.sort_by(|&a, &b| {
                 let da = entries[a].point.dist2(&center);
                 let db = entries[b].point.dist2(&center);
-                db.partial_cmp(&da).unwrap()
+                db.total_cmp(&da)
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims)
+            Ok(extract(entries, &victims)
                 .into_iter()
                 .map(AnyEntry::Leaf)
-                .collect()
+                .collect())
         }
         Node::Inner { entries, .. } => {
             let mut order: Vec<usize> = (0..entries.len()).collect();
             order.sort_by(|&a, &b| {
                 let da = entries[a].rect.center().dist2(&center);
                 let db = entries[b].rect.center().dist2(&center);
-                db.partial_cmp(&da).unwrap()
+                db.total_cmp(&da)
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims)
+            Ok(extract(entries, &victims)
                 .into_iter()
                 .map(AnyEntry::Inner)
-                .collect()
+                .collect())
         }
     }
 }
@@ -274,8 +276,10 @@ fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
     // restore the caller's requested order
     let mut out = Vec::with_capacity(victims.len());
     for &v in victims {
-        let pos = removed.iter().position(|(i, _)| *i == v).unwrap();
-        out.push(removed.remove(pos).1);
+        // `victims` holds distinct indices, so every lookup hits.
+        if let Some(pos) = removed.iter().position(|(i, _)| *i == v) {
+            out.push(removed.remove(pos).1);
+        }
     }
     out
 }
@@ -290,11 +294,11 @@ fn split_root(tree: &mut RstarTree, node: Node) -> Result<()> {
         level: level + 1,
         entries: vec![
             InnerEntry {
-                rect: a.mbr(),
+                rect: a.mbr()?,
                 child: a_id,
             },
             InnerEntry {
-                rect: b.mbr(),
+                rect: b.mbr()?,
                 child: b_id,
             },
         ],
@@ -375,7 +379,7 @@ mod tests {
     fn remove_farthest_takes_outliers() {
         // Build a fake tree handle cheaply: remove_farthest needs params
         // only for the count, so use a leaf with a known outlier.
-        let pf = sr_pager::PageFile::create_in_memory(1024);
+        let pf = sr_pager::PageFile::create_in_memory(1024).unwrap();
         let tree = crate::tree::RstarTree::create_from(pf, 2, 64).unwrap();
         let mut node = Node::Leaf(
             (0..8)
@@ -389,8 +393,8 @@ mod tests {
                 })
                 .collect(),
         );
-        let center = node.mbr().center();
-        let removed = remove_farthest(&tree, &mut node);
+        let center = node.mbr().unwrap().center();
+        let removed = remove_farthest(&tree, &mut node).unwrap();
         assert!(!removed.is_empty());
         // Contract: every removed entry is at least as far from the
         // (pre-removal) MBR center as every kept entry. (Note the R*

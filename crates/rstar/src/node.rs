@@ -51,64 +51,77 @@ impl Node {
 
     /// Exact minimum bounding rectangle of this node's entries.
     ///
-    /// # Panics
-    /// Panics on an empty node — callers only compute MBRs of nodes that
-    /// hold at least one entry (the empty-root case is special-cased in
-    /// the tree).
-    pub fn mbr(&self) -> Rect {
+    /// # Errors
+    /// [`TreeError::Corrupt`] for an empty node — reachable from a
+    /// corrupted page, never from a well-formed tree (the empty-root case
+    /// is special-cased in the tree).
+    pub fn mbr(&self) -> Result<Rect> {
         match self {
             Node::Leaf(entries) => {
                 bounding_rect_of_points(entries.iter().map(|e| e.point.coords()))
+                    .ok_or_else(|| TreeError::Corrupt("MBR of an empty leaf".into()))
             }
             Node::Inner { entries, .. } => {
                 let mut it = entries.iter();
-                let mut r = it.next().expect("mbr of empty node").rect.clone();
+                let first = it
+                    .next()
+                    .ok_or_else(|| TreeError::Corrupt("MBR of an empty node".into()))?;
+                let mut r = first.rect.clone();
                 for e in it {
                     r.expand_to_rect(&e.rect);
                 }
-                r
+                Ok(r)
             }
         }
     }
 
     /// Serialize into a page payload.
-    pub fn encode(&self, params: &RstarParams, capacity: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`TreeError::Corrupt`] when the node violates the on-disk format's
+    /// field widths or the encoded entries overrun `capacity`.
+    pub fn encode(&self, params: &RstarParams, capacity: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; capacity];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u16(self.level());
-        c.put_u16(self.len() as u16);
+        c.put_u16(self.level())?;
+        let n = u16::try_from(self.len()).map_err(|_| {
+            TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
+        })?;
+        c.put_u16(n)?;
         match self {
             Node::Leaf(entries) => {
                 debug_assert!(entries.len() <= params.max_leaf + 1);
                 for e in entries {
-                    c.put_coords(e.point.coords());
-                    c.put_u64(e.data);
-                    c.put_padding(params.data_area - 8);
+                    c.put_coords(e.point.coords())?;
+                    c.put_u64(e.data)?;
+                    c.put_padding(params.data_area - 8)?;
                 }
             }
             Node::Inner { entries, .. } => {
                 debug_assert!(entries.len() <= params.max_node + 1);
                 for e in entries {
-                    c.put_coords(e.rect.min());
-                    c.put_coords(e.rect.max());
-                    c.put_u64(e.child);
+                    c.put_coords(e.rect.min())?;
+                    c.put_coords(e.rect.max())?;
+                    c.put_u64(e.child)?;
                 }
             }
         }
         let len = c.pos();
         buf.truncate(len);
-        buf
+        Ok(buf)
     }
 
-    /// Deserialize from a page payload.
+    /// Deserialize from a page payload, validating every field whose
+    /// misvalue would later feed a panicking constructor: coordinates must
+    /// be finite, rectangle bounds ordered per axis.
     pub fn decode(payload: &[u8], params: &RstarParams) -> Result<Node> {
         if payload.len() < NODE_HEADER {
             return Err(TreeError::NotThisIndex("node page too short".into()));
         }
         let mut data = payload.to_vec();
         let mut c = PageCodec::new(&mut data);
-        let level = c.get_u16();
-        let n = c.get_u16() as usize;
+        let level = c.get_u16()?;
+        let n = usize::from(c.get_u16()?);
         if level == 0 {
             let need = n * RstarParams::leaf_entry_bytes(params.dim, params.data_area);
             if c.remaining() < need {
@@ -116,9 +129,13 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let point = Point::new(c.get_coords(params.dim));
-                let data = c.get_u64();
-                c.skip(params.data_area - 8);
+                let coords = c.get_coords(params.dim)?;
+                if !all_finite(&coords) {
+                    return Err(TreeError::Corrupt("non-finite leaf coordinate".into()));
+                }
+                let point = Point::new(coords);
+                let data = c.get_u64()?;
+                c.skip(params.data_area - 8)?;
                 entries.push(LeafEntry { point, data });
             }
             Ok(Node::Leaf(entries))
@@ -129,9 +146,19 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let min = c.get_coords(params.dim);
-                let max = c.get_coords(params.dim);
-                let child = c.get_u64();
+                let min = c.get_coords(params.dim)?;
+                let max = c.get_coords(params.dim)?;
+                let child = c.get_u64()?;
+                if !all_finite(&min) || !all_finite(&max) {
+                    return Err(TreeError::Corrupt(
+                        "non-finite rectangle bound on disk".into(),
+                    ));
+                }
+                if !min.iter().zip(max.iter()).all(|(lo, hi)| lo <= hi) {
+                    return Err(TreeError::Corrupt(
+                        "inverted bounding rectangle on disk".into(),
+                    ));
+                }
                 entries.push(InnerEntry {
                     rect: Rect::new(min, max),
                     child,
@@ -140,6 +167,12 @@ impl Node {
             Ok(Node::Inner { level, entries })
         }
     }
+}
+
+/// True when every coordinate is a finite float (rejects NaN and ±∞, both
+/// of which would poison distance arithmetic downstream).
+fn all_finite(coords: &[f32]) -> bool {
+    coords.iter().all(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -163,7 +196,7 @@ mod tests {
                 data: u64::MAX,
             },
         ]);
-        let bytes = node.encode(&p, 8187);
+        let bytes = node.encode(&p, 8187).unwrap();
         let back = Node::decode(&bytes, &p).unwrap();
         assert!(back.is_leaf());
         assert_eq!(back.len(), 2);
@@ -184,7 +217,7 @@ mod tests {
                 child: 77,
             }],
         };
-        let bytes = node.encode(&p, 8187);
+        let bytes = node.encode(&p, 8187).unwrap();
         let back = Node::decode(&bytes, &p).unwrap();
         assert_eq!(back.level(), 3);
         if let Node::Inner { entries, .. } = back {
@@ -197,7 +230,7 @@ mod tests {
     fn empty_leaf_roundtrip() {
         let p = params();
         let node = Node::Leaf(vec![]);
-        let bytes = node.encode(&p, 8187);
+        let bytes = node.encode(&p, 8187).unwrap();
         let back = Node::decode(&bytes, &p).unwrap();
         assert_eq!(back.len(), 0);
         assert!(back.is_leaf());
@@ -215,7 +248,7 @@ mod tests {
                 data: 1,
             },
         ]);
-        let r = leaf.mbr();
+        let r = leaf.mbr().unwrap();
         assert_eq!(r.min(), &[0.0, -1.0]);
         assert_eq!(r.max(), &[3.0, 5.0]);
 
@@ -232,7 +265,7 @@ mod tests {
                 },
             ],
         };
-        let r = inner.mbr();
+        let r = inner.mbr().unwrap();
         assert_eq!(r.min(), &[0.0]);
         assert_eq!(r.max(), &[9.0]);
     }

@@ -71,6 +71,32 @@ impl RstarParams {
         }
     }
 
+    /// Non-panicking variant of [`RstarParams::derive`] for parameters
+    /// read back from disk, where every precondition violation is a
+    /// corruption symptom rather than a caller bug: returns `None`
+    /// wherever `derive` would panic.
+    pub fn try_derive(page_capacity: usize, dim: usize, data_area: usize) -> Option<Self> {
+        if dim == 0 || data_area < 8 {
+            return None;
+        }
+        let usable = page_capacity.checked_sub(NODE_HEADER)?;
+        let max_node = usable / Self::node_entry_bytes(dim);
+        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
+        if max_node < 2 || max_leaf < 2 {
+            return None;
+        }
+        Some(RstarParams {
+            dim,
+            data_area,
+            max_node,
+            min_node: min_fill(max_node),
+            max_leaf,
+            min_leaf: min_fill(max_leaf),
+            reinsert_node: reinsert_count(max_node),
+            reinsert_leaf: reinsert_count(max_leaf),
+        })
+    }
+
     /// Bytes of one internal-node entry on disk.
     pub fn node_entry_bytes(dim: usize) -> usize {
         2 * 8 * dim + 8

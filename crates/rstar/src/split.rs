@@ -31,13 +31,15 @@ pub(crate) fn split_node(params: &RstarParams, node: Node) -> (Node, Node) {
 fn partition<T>(mut entries: Vec<T>, left: &[usize], right: &[usize]) -> (Vec<T>, Vec<T>) {
     debug_assert_eq!(left.len() + right.len(), entries.len());
     let mut tagged: Vec<Option<T>> = entries.drain(..).map(Some).collect();
-    let take = |idx: &[usize], tagged: &mut Vec<Option<T>>| {
-        idx.iter()
-            .map(|&i| tagged[i].take().expect("index used twice in split"))
-            .collect::<Vec<T>>()
+    // The index lists are disjoint and in-bounds, so every take hits a
+    // still-occupied slot; a duplicated index simply yields nothing.
+    let mut pick = |idxs: &[usize]| -> Vec<T> {
+        idxs.iter()
+            .filter_map(|&i| tagged.get_mut(i).and_then(Option::take))
+            .collect()
     };
-    let a = take(left, &mut tagged);
-    let b = take(right, &mut tagged);
+    let a = pick(left);
+    let b = pick(right);
     (a, b)
 }
 
@@ -55,32 +57,23 @@ pub(crate) fn rstar_split(rects: &[Rect], m: usize) -> (Vec<usize>, Vec<usize>) 
     debug_assert!(n >= 2 * m, "cannot split {n} entries with minimum {m}");
     let dim = rects[0].dim();
 
-    let mut best_axis = 0usize;
     let mut best_axis_margin = f64::INFINITY;
-    let mut best_axis_orders: Option<[Vec<usize>; 2]> = None;
+    // Seeded below on the first axis, so the orders are never empty even
+    // when every margin compares as INFINITY or NaN.
+    let mut orders: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
 
     for axis in 0..dim {
         let mut by_lower: Vec<usize> = (0..n).collect();
         by_lower.sort_by(|&a, &b| {
             rects[a].min()[axis]
-                .partial_cmp(&rects[b].min()[axis])
-                .unwrap()
-                .then_with(|| {
-                    rects[a].max()[axis]
-                        .partial_cmp(&rects[b].max()[axis])
-                        .unwrap()
-                })
+                .total_cmp(&rects[b].min()[axis])
+                .then_with(|| rects[a].max()[axis].total_cmp(&rects[b].max()[axis]))
         });
         let mut by_upper: Vec<usize> = (0..n).collect();
         by_upper.sort_by(|&a, &b| {
             rects[a].max()[axis]
-                .partial_cmp(&rects[b].max()[axis])
-                .unwrap()
-                .then_with(|| {
-                    rects[a].min()[axis]
-                        .partial_cmp(&rects[b].min()[axis])
-                        .unwrap()
-                })
+                .total_cmp(&rects[b].max()[axis])
+                .then_with(|| rects[a].min()[axis].total_cmp(&rects[b].min()[axis]))
         });
 
         let mut margin_sum = 0.0f64;
@@ -90,32 +83,27 @@ pub(crate) fn rstar_split(rects: &[Rect], m: usize) -> (Vec<usize>, Vec<usize>) 
                 margin_sum += prefix[k - 1].margin() + suffix[k].margin();
             }
         }
-        if margin_sum < best_axis_margin {
+        if axis == 0 || margin_sum < best_axis_margin {
             best_axis_margin = margin_sum;
-            best_axis = axis;
-            best_axis_orders = Some([by_lower, by_upper]);
+            orders = [by_lower, by_upper];
         }
     }
-    let _ = best_axis; // axis choice is embodied in the retained orders
 
-    // Choose the distribution on the winning axis.
-    let orders = best_axis_orders.expect("at least one axis");
-    let mut best: Option<(f64, f64, Vec<usize>, usize)> = None;
+    // Choose the distribution on the winning axis. The fallback — the
+    // lower-bound order split at the minimum fill — is a legal
+    // distribution, reached only if every overlap/area compares as NaN.
+    let mut best: (f64, f64, &[usize], usize) = (f64::INFINITY, f64::INFINITY, &orders[0], m);
     for order in &orders {
         let (prefix, suffix) = prefix_suffix_bbs(rects, order);
         for k in m..=(n - m) {
             let overlap = prefix[k - 1].overlap_volume(&suffix[k]);
             let area = prefix[k - 1].volume() + suffix[k].volume();
-            let better = match &best {
-                None => true,
-                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
-            };
-            if better {
-                best = Some((overlap, area, order.clone(), k));
+            if overlap < best.0 || (overlap == best.0 && area < best.1) {
+                best = (overlap, area, order, k);
             }
         }
     }
-    let (_, _, order, k) = best.expect("at least one distribution");
+    let (_, _, order, k) = best;
     (order[..k].to_vec(), order[k..].to_vec())
 }
 

@@ -29,7 +29,7 @@ pub struct RstarTree {
 impl RstarTree {
     /// Create a new tree in an in-memory page file (tests, benchmarks).
     pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
-        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+        Self::create_from(PageFile::create_in_memory(page_size)?, dim, 512)
     }
 
     /// Create a new tree in a page file on disk with the default 8 KiB
@@ -68,20 +68,25 @@ impl RstarTree {
         }
         let mut meta = meta;
         let mut c = PageCodec::new(&mut meta);
-        if c.get_u32() != META_MAGIC {
+        if c.get_u32()? != META_MAGIC {
             return Err(TreeError::NotThisIndex("not an R*-tree file".into()));
         }
-        if c.get_u32() != META_VERSION {
+        if c.get_u32()? != META_VERSION {
             return Err(TreeError::NotThisIndex(
                 "unsupported R*-tree version".into(),
             ));
         }
-        let dim = c.get_u32() as usize;
-        let data_area = c.get_u32() as usize;
-        let root = c.get_u64();
-        let height = c.get_u32();
-        let count = c.get_u64();
-        let params = RstarParams::derive(pf.capacity(), dim, data_area);
+        let dim = c.get_u32()? as usize;
+        let data_area = c.get_u32()? as usize;
+        let root = c.get_u64()?;
+        let height = c.get_u32()?;
+        let count = c.get_u64()?;
+        let params = RstarParams::try_derive(pf.capacity(), dim, data_area).ok_or_else(|| {
+            TreeError::NotThisIndex(format!(
+                "stored parameters (dim {dim}, data area {data_area}) do not fit a {}-byte page",
+                pf.capacity()
+            ))
+        })?;
         Ok(RstarTree {
             pf,
             params,
@@ -94,13 +99,13 @@ impl RstarTree {
     pub(crate) fn save_meta(&self) -> Result<()> {
         let mut buf = vec![0u8; 36];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u32(META_MAGIC);
-        c.put_u32(META_VERSION);
-        c.put_u32(self.params.dim as u32);
-        c.put_u32(self.params.data_area as u32);
-        c.put_u64(self.root);
-        c.put_u32(self.height);
-        c.put_u64(self.count);
+        c.put_u32(META_MAGIC)?;
+        c.put_u32(META_VERSION)?;
+        c.put_u32(self.params.dim as u32)?;
+        c.put_u32(self.params.data_area as u32)?;
+        c.put_u64(self.root)?;
+        c.put_u32(self.height)?;
+        c.put_u64(self.count)?;
         self.pf.set_user_meta(&buf)?;
         Ok(())
     }
@@ -171,7 +176,7 @@ impl RstarTree {
         } else {
             PageKind::Node
         };
-        let payload = node.encode(&self.params, self.pf.capacity());
+        let payload = node.encode(&self.params, self.pf.capacity())?;
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
@@ -248,7 +253,7 @@ impl RstarTree {
         match node {
             Node::Leaf(ref entries) => {
                 if !entries.is_empty() {
-                    out.push(node.mbr());
+                    out.push(node.mbr()?);
                 }
             }
             Node::Inner { entries, level } => {

@@ -9,6 +9,7 @@
 
 use sr_pager::PageId;
 
+use crate::error::{Result, TreeError};
 use crate::node::Node;
 use crate::tree::RstarTree;
 
@@ -25,17 +26,19 @@ pub struct VerifyReport {
 
 /// Walk the whole tree, validating every structural invariant.
 ///
-/// Returns a human-readable description of the first violation found.
-pub fn check(tree: &RstarTree) -> Result<VerifyReport, String> {
+/// # Errors
+/// [`TreeError::Corrupt`] naming the offending page and invariant;
+/// [`TreeError::Pager`] when a page cannot be read at all.
+pub fn check(tree: &RstarTree) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
     let root_level = (tree.height - 1) as u16;
     walk(tree, tree.root, root_level, true, &mut report)?;
     if report.points != tree.len() {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "metadata says {} points, tree holds {}",
             tree.len(),
             report.points
-        ));
+        )));
     }
     Ok(report)
 }
@@ -46,15 +49,13 @@ fn walk(
     level: u16,
     is_root: bool,
     report: &mut VerifyReport,
-) -> Result<(), String> {
-    let node = tree
-        .read_node(id, level)
-        .map_err(|e| format!("page {id}: {e}"))?;
+) -> Result<()> {
+    let node = tree.read_node(id, level)?;
     if node.level() != level {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "page {id}: stored level {} but expected {level}",
             node.level()
-        ));
+        )));
     }
     let (min, max) = if node.is_leaf() {
         (tree.params().min_leaf, tree.params().max_leaf)
@@ -62,13 +63,16 @@ fn walk(
         (tree.params().min_node, tree.params().max_node)
     };
     if !is_root && (node.len() < min || node.len() > max) {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "page {id} (level {level}): {} entries outside [{min}, {max}]",
             node.len()
-        ));
+        )));
     }
     if is_root && !node.is_leaf() && node.len() < 2 {
-        return Err(format!("inner root {id} has {} < 2 entries", node.len()));
+        return Err(TreeError::Corrupt(format!(
+            "inner root {id} has {} < 2 entries",
+            node.len()
+        )));
     }
     match node {
         Node::Leaf(entries) => {
@@ -78,18 +82,19 @@ fn walk(
         Node::Inner { entries, .. } => {
             report.nodes += 1;
             for e in &entries {
-                let child = tree
-                    .read_node(e.child, level - 1)
-                    .map_err(|err| format!("page {}: {err}", e.child))?;
+                let child = tree.read_node(e.child, level - 1)?;
                 if child.len() == 0 {
-                    return Err(format!("page {} is an empty non-root node", e.child));
+                    return Err(TreeError::Corrupt(format!(
+                        "page {} is an empty non-root node",
+                        e.child
+                    )));
                 }
-                let mbr = child.mbr();
+                let mbr = child.mbr()?;
                 if mbr != e.rect {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: stored rect {:?} differs from child {} MBR {:?}",
                         e.rect, e.child, mbr
-                    ));
+                    )));
                 }
                 walk(tree, e.child, level - 1, false, report)?;
             }

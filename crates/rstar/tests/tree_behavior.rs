@@ -13,8 +13,12 @@ use sr_rstar::{verify, RstarTree};
 const SMALL_PAGE: usize = 1024;
 
 fn build(points: &[Point], page: usize) -> RstarTree {
-    let mut t =
-        RstarTree::create_from(PageFile::create_in_memory(page), points[0].dim(), 64).unwrap();
+    let mut t = RstarTree::create_from(
+        PageFile::create_in_memory(page).unwrap(),
+        points[0].dim(),
+        64,
+    )
+    .unwrap();
     for (i, p) in points.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
     }
@@ -45,7 +49,8 @@ fn assert_knn_matches(tree: &RstarTree, points: &[Point], queries: &[Point], k: 
 #[test]
 fn invariants_hold_during_growth() {
     let pts = uniform(600, 4, 11);
-    let mut t = RstarTree::create_from(PageFile::create_in_memory(SMALL_PAGE), 4, 64).unwrap();
+    let mut t =
+        RstarTree::create_from(PageFile::create_in_memory(SMALL_PAGE).unwrap(), 4, 64).unwrap();
     for (i, p) in pts.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
         if i % 97 == 0 {
@@ -147,7 +152,7 @@ fn contains_finds_every_inserted_point() {
 #[test]
 fn duplicate_points_are_all_kept() {
     let p = Point::new(vec![0.5f32, 0.5]);
-    let mut t = RstarTree::create_from(PageFile::create_in_memory(1024), 2, 64).unwrap();
+    let mut t = RstarTree::create_from(PageFile::create_in_memory(1024).unwrap(), 2, 64).unwrap();
     for i in 0..100 {
         t.insert(p.clone(), i).unwrap();
     }
@@ -214,7 +219,8 @@ fn delete_missing_point_returns_false() {
 #[test]
 fn mixed_insert_delete_churn() {
     let pts = uniform(600, 4, 53);
-    let mut t = RstarTree::create_from(PageFile::create_in_memory(SMALL_PAGE), 4, 64).unwrap();
+    let mut t =
+        RstarTree::create_from(PageFile::create_in_memory(SMALL_PAGE).unwrap(), 4, 64).unwrap();
     // insert first 400
     for (i, p) in pts[..400].iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
@@ -258,7 +264,7 @@ fn persistence_roundtrip() {
 
 #[test]
 fn dimension_mismatch_is_an_error() {
-    let mut t = RstarTree::create_from(PageFile::create_in_memory(1024), 4, 64).unwrap();
+    let mut t = RstarTree::create_from(PageFile::create_in_memory(1024).unwrap(), 4, 64).unwrap();
     let wrong = Point::new(vec![1.0f32, 2.0]);
     assert!(t.insert(wrong.clone(), 0).is_err());
     assert!(t.knn(&[0.0, 0.0], 1).is_err());
@@ -267,7 +273,7 @@ fn dimension_mismatch_is_an_error() {
 
 #[test]
 fn empty_tree_queries() {
-    let t = RstarTree::create_from(PageFile::create_in_memory(1024), 3, 64).unwrap();
+    let t = RstarTree::create_from(PageFile::create_in_memory(1024).unwrap(), 3, 64).unwrap();
     assert!(t.knn(&[0.0, 0.0, 0.0], 5).unwrap().is_empty());
     assert!(t.range(&[0.0, 0.0, 0.0], 10.0).unwrap().is_empty());
     verify::check(&t).unwrap();

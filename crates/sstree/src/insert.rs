@@ -7,7 +7,7 @@ use std::collections::HashSet;
 use sr_geometry::Point;
 use sr_pager::PageId;
 
-use crate::error::Result;
+use crate::error::{Result, TreeError};
 use crate::node::{InnerEntry, LeafEntry, Node};
 use crate::split;
 use crate::tree::SsTree;
@@ -54,21 +54,17 @@ pub(crate) fn insert_at_level(
 ) -> Result<()> {
     debug_assert!((target_level as u32) < tree.height);
     let path = choose_path(tree, entry.center(), target_level)?;
-    let mut node = tree.read_node(*path.last().unwrap(), target_level)?;
-    match entry {
-        AnyEntry::Leaf(e) => {
-            if let Node::Leaf(entries) = &mut node {
-                entries.push(e);
-            } else {
-                unreachable!("target level 0 must be a leaf");
-            }
-        }
-        AnyEntry::Inner(e) => {
-            if let Node::Inner { entries, .. } = &mut node {
-                entries.push(e);
-            } else {
-                unreachable!("target level >= 1 must be an inner node");
-            }
+    let &target = path
+        .last()
+        .ok_or_else(|| TreeError::Corrupt("empty insertion path".into()))?;
+    let mut node = tree.read_node(target, target_level)?;
+    match (entry, &mut node) {
+        (AnyEntry::Leaf(e), Node::Leaf(entries)) => entries.push(e),
+        (AnyEntry::Inner(e), Node::Inner { entries, .. }) => entries.push(e),
+        _ => {
+            return Err(TreeError::Corrupt(
+                "insertion target level does not match the node kind on disk".into(),
+            ))
         }
     }
 
@@ -87,7 +83,7 @@ pub(crate) fn insert_at_level(
             // --- forced reinsertion (per-node rule) ---
             reinserted.insert(path[idx]);
             let level = node.level();
-            let removed = remove_farthest(tree, &mut node);
+            let removed = remove_farthest(tree, &mut node)?;
             tree.write_node(path[idx], &node)?;
             propagate_regions(tree, &path, idx, &node)?;
             for e in removed.into_iter().rev() {
@@ -99,8 +95,8 @@ pub(crate) fn insert_at_level(
         let (a, b) = split::split_node(&tree.params, node);
         let b_id = tree.allocate_node(&b)?;
         tree.write_node(path[idx], &a)?;
-        let (a_region, a_weight) = (a.region(), a.weight());
-        let (b_region, b_weight) = (b.region(), b.weight());
+        let (a_region, a_weight) = (a.region()?, a.weight());
+        let (b_region, b_weight) = (b.region()?, b.weight());
         idx -= 1;
         let level = (tree.height as usize - 1 - idx) as u16;
         let mut parent = tree.read_node(path[idx], level)?;
@@ -108,7 +104,7 @@ pub(crate) fn insert_at_level(
             let slot = entries
                 .iter_mut()
                 .find(|e| e.child == path[idx + 1])
-                .expect("parent lost track of its child");
+                .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
             slot.sphere = a_region;
             slot.weight = a_weight;
             entries.push(InnerEntry {
@@ -117,7 +113,9 @@ pub(crate) fn insert_at_level(
                 child: b_id,
             });
         } else {
-            unreachable!("parent of a split node must be an inner node");
+            return Err(TreeError::Corrupt(
+                "parent of a split node is not an inner node".into(),
+            ));
         }
         node = parent;
     }
@@ -133,7 +131,11 @@ fn choose_path(tree: &SsTree, center: &Point, target_level: u16) -> Result<Vec<P
         let node = tree.read_node(id, level)?;
         let entries = match &node {
             Node::Inner { entries, .. } => entries,
-            Node::Leaf(_) => unreachable!("descending past a leaf"),
+            Node::Leaf(_) => {
+                return Err(TreeError::Corrupt(
+                    "leaf found above the target level while descending".into(),
+                ))
+            }
         };
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
@@ -159,7 +161,7 @@ pub(crate) fn propagate_regions(
     idx: usize,
     node: &Node,
 ) -> Result<()> {
-    let mut child_region = node.region();
+    let mut child_region = node.region()?;
     let mut child_weight = node.weight();
     let mut child_id = path[idx];
     for j in (0..idx).rev() {
@@ -169,7 +171,7 @@ pub(crate) fn propagate_regions(
             let slot = entries
                 .iter_mut()
                 .find(|e| e.child == child_id)
-                .expect("parent lost track of its child");
+                .ok_or_else(|| TreeError::Corrupt("parent lost track of its child".into()))?;
             if slot.sphere == child_region && slot.weight == child_weight {
                 return Ok(());
             }
@@ -177,7 +179,7 @@ pub(crate) fn propagate_regions(
             slot.weight = child_weight;
         }
         tree.write_node(path[j], &parent)?;
-        child_region = parent.region();
+        child_region = parent.region()?;
         child_weight = parent.weight();
         child_id = path[j];
     }
@@ -186,8 +188,8 @@ pub(crate) fn propagate_regions(
 
 /// Remove the reinsert fraction of entries farthest from the node's
 /// centroid, farthest-first.
-fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
-    let center = node.centroid();
+fn remove_farthest(tree: &SsTree, node: &mut Node) -> Result<Vec<AnyEntry>> {
+    let center = node.centroid()?;
     let p = if node.is_leaf() {
         tree.params.reinsert_leaf
     } else {
@@ -200,14 +202,13 @@ fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
                 entries[b]
                     .point
                     .dist2(&center)
-                    .partial_cmp(&entries[a].point.dist2(&center))
-                    .unwrap()
+                    .total_cmp(&entries[a].point.dist2(&center))
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims)
+            Ok(extract(entries, &victims)
                 .into_iter()
                 .map(AnyEntry::Leaf)
-                .collect()
+                .collect())
         }
         Node::Inner { entries, .. } => {
             let mut order: Vec<usize> = (0..entries.len()).collect();
@@ -216,14 +217,13 @@ fn remove_farthest(tree: &SsTree, node: &mut Node) -> Vec<AnyEntry> {
                     .sphere
                     .center()
                     .dist2(&center)
-                    .partial_cmp(&entries[a].sphere.center().dist2(&center))
-                    .unwrap()
+                    .total_cmp(&entries[a].sphere.center().dist2(&center))
             });
             let victims: Vec<usize> = order.into_iter().take(p).collect();
-            extract(entries, &victims)
+            Ok(extract(entries, &victims)
                 .into_iter()
                 .map(AnyEntry::Inner)
-                .collect()
+                .collect())
         }
     }
 }
@@ -236,8 +236,10 @@ fn extract<T>(entries: &mut Vec<T>, victims: &[usize]) -> Vec<T> {
     let mut removed: Vec<(usize, T)> = sorted.into_iter().map(|i| (i, entries.remove(i))).collect();
     let mut out = Vec::with_capacity(victims.len());
     for &v in victims {
-        let pos = removed.iter().position(|(i, _)| *i == v).unwrap();
-        out.push(removed.remove(pos).1);
+        // `victims` holds distinct indices, so every lookup hits.
+        if let Some(pos) = removed.iter().position(|(i, _)| *i == v) {
+            out.push(removed.remove(pos).1);
+        }
     }
     out
 }
@@ -252,12 +254,12 @@ fn split_root(tree: &mut SsTree, node: Node) -> Result<()> {
         level: level + 1,
         entries: vec![
             InnerEntry {
-                sphere: a.region(),
+                sphere: a.region()?,
                 weight: a.weight(),
                 child: a_id,
             },
             InnerEntry {
-                sphere: b.region(),
+                sphere: b.region()?,
                 weight: b.weight(),
                 child: b_id,
             },
@@ -288,7 +290,7 @@ mod tests {
     fn remove_farthest_takes_centroid_outliers() {
         // Unlike the R*-tree, the SS-tree measures from the *centroid*,
         // so a single extreme outlier is removed first.
-        let pf = sr_pager::PageFile::create_in_memory(1024);
+        let pf = sr_pager::PageFile::create_in_memory(1024).unwrap();
         let tree = crate::tree::SsTree::create_from(pf, 2, 64).unwrap();
         let mut node = Node::Leaf(
             (0..9)
@@ -302,7 +304,7 @@ mod tests {
                 })
                 .collect(),
         );
-        let removed = remove_farthest(&tree, &mut node);
+        let removed = remove_farthest(&tree, &mut node).unwrap();
         match &removed[0] {
             AnyEntry::Leaf(e) => assert_eq!(e.data, 8, "outlier should go first"),
             AnyEntry::Inner(_) => panic!("expected leaf entry"),

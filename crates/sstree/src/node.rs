@@ -66,76 +66,96 @@ impl Node {
     /// centroid, with radius `d_s` — just enough to enclose every child
     /// sphere (every point, for a leaf).
     ///
-    /// # Panics
-    /// Panics on an empty node.
-    pub fn region(&self) -> Sphere {
+    /// # Errors
+    /// [`TreeError::Corrupt`] for an empty or zero-weight node — both are
+    /// reachable from a corrupted page, never from a well-formed tree.
+    pub fn region(&self) -> Result<Sphere> {
         match self {
             Node::Leaf(entries) => {
                 let pts: Vec<&[f32]> = entries.iter().map(|e| e.point.coords()).collect();
                 bounding_sphere_of_points(&pts)
+                    .ok_or_else(|| TreeError::Corrupt("region of an empty leaf".into()))
             }
             Node::Inner { entries, .. } => {
-                assert!(!entries.is_empty(), "region of an empty node");
-                let mut c = Centroid::new(entries[0].sphere.dim());
+                let first = entries
+                    .first()
+                    .ok_or_else(|| TreeError::Corrupt("region of an empty node".into()))?;
+                let mut c = Centroid::new(first.sphere.dim());
                 for e in entries {
                     c.add(e.sphere.center().coords(), e.weight);
                 }
-                let center = c.finish();
+                let center = c.finish().ok_or_else(|| {
+                    TreeError::Corrupt("zero total weight in an internal node".into())
+                })?;
                 let d_s = enclosing_radius_spheres(
                     &center,
                     entries
                         .iter()
                         .map(|e| (e.sphere.center().coords(), e.sphere.radius())),
                 );
-                Sphere::new(center, next_radius_up(d_s))
+                Ok(Sphere::new(center, next_radius_up(d_s)))
             }
         }
     }
 
     /// The centroid this node's region would be centered on — the target
     /// of the SS-tree's nearest-centroid ChooseSubtree.
-    pub fn centroid(&self) -> Point {
-        self.region().center().clone()
+    pub fn centroid(&self) -> Result<Point> {
+        Ok(self.region()?.center().clone())
     }
 
     /// Serialize into a page payload.
-    pub fn encode(&self, params: &SsParams, capacity: usize) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`TreeError::Corrupt`] when the node violates the on-disk format's
+    /// field widths or the encoded entries overrun `capacity`.
+    pub fn encode(&self, params: &SsParams, capacity: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; capacity];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u16(self.level());
-        c.put_u16(self.len() as u16);
+        c.put_u16(self.level())?;
+        let n = u16::try_from(self.len()).map_err(|_| {
+            TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
+        })?;
+        c.put_u16(n)?;
         match self {
             Node::Leaf(entries) => {
                 for e in entries {
-                    c.put_coords(e.point.coords());
-                    c.put_u64(e.data);
-                    c.put_padding(params.data_area - 8);
+                    c.put_coords(e.point.coords())?;
+                    c.put_u64(e.data)?;
+                    c.put_padding(params.data_area - 8)?;
                 }
             }
             Node::Inner { entries, .. } => {
                 for e in entries {
-                    debug_assert!(e.weight <= u32::MAX as u64);
-                    c.put_coords(e.sphere.center().coords());
-                    c.put_f64(e.sphere.radius() as f64);
-                    c.put_u32(e.weight as u32);
-                    c.put_u64(e.child);
+                    let weight = u32::try_from(e.weight).map_err(|_| {
+                        TreeError::Corrupt(format!(
+                            "subtree weight {} overflows the u32 field",
+                            e.weight
+                        ))
+                    })?;
+                    c.put_coords(e.sphere.center().coords())?;
+                    c.put_f64(f64::from(e.sphere.radius()))?;
+                    c.put_u32(weight)?;
+                    c.put_u64(e.child)?;
                 }
             }
         }
         let len = c.pos();
         buf.truncate(len);
-        buf
+        Ok(buf)
     }
 
-    /// Deserialize from a page payload.
+    /// Deserialize from a page payload, validating every field whose
+    /// misvalue would later feed a panicking constructor: sphere radii must
+    /// be finite and non-negative, coordinates finite.
     pub fn decode(payload: &[u8], params: &SsParams) -> Result<Node> {
         if payload.len() < NODE_HEADER {
             return Err(TreeError::NotThisIndex("node page too short".into()));
         }
         let mut data = payload.to_vec();
         let mut c = PageCodec::new(&mut data);
-        let level = c.get_u16();
-        let n = c.get_u16() as usize;
+        let level = c.get_u16()?;
+        let n = usize::from(c.get_u16()?);
         if level == 0 {
             let need = n * SsParams::leaf_entry_bytes(params.dim, params.data_area);
             if c.remaining() < need {
@@ -143,9 +163,13 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let point = Point::new(c.get_coords(params.dim));
-                let data = c.get_u64();
-                c.skip(params.data_area - 8);
+                let coords = c.get_coords(params.dim)?;
+                if !all_finite(&coords) {
+                    return Err(TreeError::Corrupt("non-finite leaf coordinate".into()));
+                }
+                let point = Point::new(coords);
+                let data = c.get_u64()?;
+                c.skip(params.data_area - 8)?;
                 entries.push(LeafEntry { point, data });
             }
             Ok(Node::Leaf(entries))
@@ -156,12 +180,15 @@ impl Node {
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let center = Point::new(c.get_coords(params.dim));
-                let radius = c.get_f64() as f32;
-                let weight = c.get_u32() as u64;
-                let child = c.get_u64();
+                let center = c.get_coords(params.dim)?;
+                let radius = c.get_f64()? as f32;
+                let weight = u64::from(c.get_u32()?);
+                let child = c.get_u64()?;
+                if !all_finite(&center) || !radius.is_finite() || radius < 0.0 {
+                    return Err(TreeError::Corrupt("invalid bounding sphere on disk".into()));
+                }
                 entries.push(InnerEntry {
-                    sphere: Sphere::new(center, radius),
+                    sphere: Sphere::new(Point::new(center), radius),
                     weight,
                     child,
                 });
@@ -169,6 +196,12 @@ impl Node {
             Ok(Node::Inner { level, entries })
         }
     }
+}
+
+/// True when every coordinate is a finite float (rejects NaN and ±∞, both
+/// of which would poison centroid and distance arithmetic downstream).
+fn all_finite(coords: &[f32]) -> bool {
+    coords.iter().all(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -186,7 +219,7 @@ mod tests {
             point: Point::new(vec![1.5, -2.0, 0.25]),
             data: 7,
         }]);
-        let bytes = node.encode(&p, 8187);
+        let bytes = node.encode(&p, 8187).unwrap();
         let back = Node::decode(&bytes, &p).unwrap();
         if let Node::Leaf(e) = back {
             assert_eq!(e[0].point.coords(), &[1.5, -2.0, 0.25]);
@@ -207,7 +240,7 @@ mod tests {
                 child: 31,
             }],
         };
-        let bytes = node.encode(&p, 8187);
+        let bytes = node.encode(&p, 8187).unwrap();
         let back = Node::decode(&bytes, &p).unwrap();
         if let Node::Inner { entries, level } = back {
             assert_eq!(level, 2);
@@ -235,7 +268,7 @@ mod tests {
                 data: 2,
             },
         ]);
-        let s = node.region();
+        let s = node.region().unwrap();
         if let Node::Leaf(entries) = &node {
             for e in entries {
                 assert!(s.contains_point(e.point.coords(), 0.0));
@@ -255,7 +288,7 @@ mod tests {
             level: 1,
             entries: vec![mk(0.0, 0.5, 10), mk(4.0, 1.0, 30)],
         };
-        let s = node.region();
+        let s = node.region().unwrap();
         if let Node::Inner { entries, .. } = &node {
             for e in entries {
                 assert!(

@@ -27,15 +27,16 @@ pub(crate) fn split_node(params: &SsParams, node: Node) -> (Node, Node) {
 }
 
 fn partition<T>(mut entries: Vec<T>, order: &[usize], k: usize) -> (Vec<T>, Vec<T>) {
+    // `order` is a permutation of 0..entries.len(), so each slot is taken
+    // exactly once; an out-of-range or repeated index is simply skipped.
     let mut tagged: Vec<Option<T>> = entries.drain(..).map(Some).collect();
-    let a = order[..k]
-        .iter()
-        .map(|&i| tagged[i].take().expect("index used twice"))
-        .collect();
-    let b = order[k..]
-        .iter()
-        .map(|&i| tagged[i].take().expect("index used twice"))
-        .collect();
+    let mut pick = |idxs: &[usize]| -> Vec<T> {
+        idxs.iter()
+            .filter_map(|&i| tagged.get_mut(i).and_then(Option::take))
+            .collect()
+    };
+    let a = pick(&order[..k]);
+    let b = pick(&order[k..]);
     (a, b)
 }
 
@@ -70,11 +71,7 @@ pub(crate) fn variance_split(centers: &[&[f32]], m: usize) -> (usize, Vec<usize>
 
     // Order by that coordinate.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        centers[a][best_dim]
-            .partial_cmp(&centers[b][best_dim])
-            .unwrap()
-    });
+    order.sort_by(|&a, &b| centers[a][best_dim].total_cmp(&centers[b][best_dim]));
 
     // Split position minimizing summed group variance, via prefix sums.
     let xs: Vec<f64> = order.iter().map(|&i| centers[i][best_dim] as f64).collect();

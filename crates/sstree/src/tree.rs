@@ -28,7 +28,7 @@ pub struct SsTree {
 impl SsTree {
     /// Create a new tree in an in-memory page file.
     pub fn create_in_memory(dim: usize, page_size: usize) -> Result<Self> {
-        Self::create_from(PageFile::create_in_memory(page_size), dim, 512)
+        Self::create_from(PageFile::create_in_memory(page_size)?, dim, 512)
     }
 
     /// Create a new tree at `path` with 8 KiB pages and the paper's
@@ -65,20 +65,25 @@ impl SsTree {
             return Err(TreeError::NotThisIndex("metadata too short".into()));
         }
         let mut c = PageCodec::new(&mut meta);
-        if c.get_u32() != META_MAGIC {
+        if c.get_u32()? != META_MAGIC {
             return Err(TreeError::NotThisIndex("not an SS-tree file".into()));
         }
-        if c.get_u32() != META_VERSION {
+        if c.get_u32()? != META_VERSION {
             return Err(TreeError::NotThisIndex(
                 "unsupported SS-tree version".into(),
             ));
         }
-        let dim = c.get_u32() as usize;
-        let data_area = c.get_u32() as usize;
-        let root = c.get_u64();
-        let height = c.get_u32();
-        let count = c.get_u64();
-        let params = SsParams::derive(pf.capacity(), dim, data_area);
+        let dim = c.get_u32()? as usize;
+        let data_area = c.get_u32()? as usize;
+        let root = c.get_u64()?;
+        let height = c.get_u32()?;
+        let count = c.get_u64()?;
+        let params = SsParams::try_derive(pf.capacity(), dim, data_area).ok_or_else(|| {
+            TreeError::NotThisIndex(format!(
+                "stored parameters (dim {dim}, data area {data_area}) do not fit a {}-byte page",
+                pf.capacity()
+            ))
+        })?;
         Ok(SsTree {
             pf,
             params,
@@ -91,13 +96,13 @@ impl SsTree {
     pub(crate) fn save_meta(&self) -> Result<()> {
         let mut buf = vec![0u8; 36];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u32(META_MAGIC);
-        c.put_u32(META_VERSION);
-        c.put_u32(self.params.dim as u32);
-        c.put_u32(self.params.data_area as u32);
-        c.put_u64(self.root);
-        c.put_u32(self.height);
-        c.put_u64(self.count);
+        c.put_u32(META_MAGIC)?;
+        c.put_u32(META_VERSION)?;
+        c.put_u32(self.params.dim as u32)?;
+        c.put_u32(self.params.data_area as u32)?;
+        c.put_u64(self.root)?;
+        c.put_u32(self.height)?;
+        c.put_u64(self.count)?;
         self.pf.set_user_meta(&buf)?;
         Ok(())
     }
@@ -166,7 +171,7 @@ impl SsTree {
         } else {
             PageKind::Node
         };
-        let payload = node.encode(&self.params, self.pf.capacity());
+        let payload = node.encode(&self.params, self.pf.capacity())?;
         self.pf.write(id, kind, &payload)?;
         Ok(())
     }
@@ -234,8 +239,9 @@ impl SsTree {
         let mut out = Vec::new();
         self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
             if node.len() > 0 {
-                out.push(node.region());
+                out.push(node.region()?);
             }
+            Ok(())
         })?;
         Ok(out)
     }
@@ -247,12 +253,13 @@ impl SsTree {
         let mut out = Vec::new();
         self.walk_leaves(self.root, (self.height - 1) as u16, &mut |node| {
             if let Node::Leaf(entries) = node {
-                if !entries.is_empty() {
-                    out.push(sr_geometry::bounding_rect_of_points(
-                        entries.iter().map(|e| e.point.coords()),
-                    ));
+                if let Some(rect) =
+                    sr_geometry::bounding_rect_of_points(entries.iter().map(|e| e.point.coords()))
+                {
+                    out.push(rect);
                 }
             }
+            Ok(())
         })?;
         Ok(out)
     }
@@ -260,14 +267,22 @@ impl SsTree {
     /// Total number of leaf pages.
     pub fn num_leaves(&self) -> Result<u64> {
         let mut n = 0u64;
-        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| n += 1)?;
+        self.walk_leaves(self.root, (self.height - 1) as u16, &mut |_| {
+            n += 1;
+            Ok(())
+        })?;
         Ok(n)
     }
 
-    fn walk_leaves(&self, id: PageId, level: u16, f: &mut impl FnMut(&Node)) -> Result<()> {
+    fn walk_leaves(
+        &self,
+        id: PageId,
+        level: u16,
+        f: &mut impl FnMut(&Node) -> Result<()>,
+    ) -> Result<()> {
         let node = self.read_node(id, level)?;
         match &node {
-            Node::Leaf(_) => f(&node),
+            Node::Leaf(_) => f(&node)?,
             Node::Inner { entries, .. } => {
                 for e in entries {
                     self.walk_leaves(e.child, level - 1, f)?;

@@ -10,6 +10,7 @@
 
 use sr_pager::PageId;
 
+use crate::error::{Result, TreeError};
 use crate::node::Node;
 use crate::tree::SsTree;
 
@@ -25,16 +26,20 @@ pub struct VerifyReport {
 }
 
 /// Walk the whole tree, validating every structural invariant.
-pub fn check(tree: &SsTree) -> Result<VerifyReport, String> {
+///
+/// # Errors
+/// [`TreeError::Corrupt`] naming the offending page and invariant;
+/// [`TreeError::Pager`] when a page cannot be read at all.
+pub fn check(tree: &SsTree) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
     let root_level = (tree.height - 1) as u16;
     walk(tree, tree.root, root_level, true, &mut report)?;
     if report.points != tree.len() {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "metadata says {} points, tree holds {}",
             tree.len(),
             report.points
-        ));
+        )));
     }
     Ok(report)
 }
@@ -45,20 +50,18 @@ fn walk(
     level: u16,
     is_root: bool,
     report: &mut VerifyReport,
-) -> Result<Vec<(Vec<f32>, u64)>, String> {
-    let node = tree
-        .read_node(id, level)
-        .map_err(|e| format!("page {id}: {e}"))?;
+) -> Result<Vec<(Vec<f32>, u64)>> {
+    let node = tree.read_node(id, level)?;
     let (min, max) = if node.is_leaf() {
         (tree.params().min_leaf, tree.params().max_leaf)
     } else {
         (tree.params().min_node, tree.params().max_node)
     };
     if !is_root && (node.len() < min || node.len() > max) {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "page {id} (level {level}): {} entries outside [{min}, {max}]",
             node.len()
-        ));
+        )));
     }
     match node {
         Node::Leaf(entries) => {
@@ -73,36 +76,37 @@ fn walk(
             report.nodes += 1;
             let mut all = Vec::new();
             for e in &entries {
-                let child_node = tree
-                    .read_node(e.child, level - 1)
-                    .map_err(|err| format!("page {}: {err}", e.child))?;
+                let child_node = tree.read_node(e.child, level - 1)?;
                 if child_node.len() == 0 {
-                    return Err(format!("page {} is an empty non-root node", e.child));
+                    return Err(TreeError::Corrupt(format!(
+                        "page {} is an empty non-root node",
+                        e.child
+                    )));
                 }
                 // Stored region must equal the deterministic recomputation.
-                let recomputed = child_node.region();
+                let recomputed = child_node.region()?;
                 if recomputed != e.sphere {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: stored sphere {:?} differs from child {} region {:?}",
                         e.sphere, e.child, recomputed
-                    ));
+                    )));
                 }
                 if e.weight != child_node.weight() {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: stored weight {} differs from child {} weight {}",
                         e.weight,
                         e.child,
                         child_node.weight()
-                    ));
+                    )));
                 }
                 let pts = walk(tree, e.child, level - 1, false, report)?;
                 // Every point beneath must lie inside the stored sphere.
                 for (p, _) in &pts {
                     if !e.sphere.contains_point(p, 1e-5) {
-                        return Err(format!(
+                        return Err(TreeError::Corrupt(format!(
                             "page {id}: point {p:?} escapes the sphere of child {}",
                             e.child
-                        ));
+                        )));
                     }
                 }
                 all.extend(pts);

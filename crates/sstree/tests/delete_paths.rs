@@ -10,7 +10,7 @@ use sr_query::brute_force_knn;
 use sr_sstree::{verify, SsTree};
 
 fn build(points: &[Point]) -> SsTree {
-    let mut t = SsTree::create_from(PageFile::create_in_memory(1024), 3, 64).unwrap();
+    let mut t = SsTree::create_from(PageFile::create_in_memory(1024).unwrap(), 3, 64).unwrap();
     for (i, p) in points.iter().enumerate() {
         t.insert(p.clone(), i as u64).unwrap();
     }

@@ -364,13 +364,13 @@ fn verify_fleet(fleet: &Fleet, model: &Model, step: usize) -> Result<(), Diverge
         structure,
         detail,
     };
-    sr_tree::verify::check(&fleet.sr).map_err(|e| vdiv("sr-tree", e))?;
-    sr_sstree::verify::check(&fleet.ss).map_err(|e| vdiv("ss-tree", e))?;
-    sr_rstar::verify::check(&fleet.rstar).map_err(|e| vdiv("rstar-tree", e))?;
-    sr_kdbtree::verify::check(&fleet.kdb).map_err(|e| vdiv("kdb-tree", e))?;
+    sr_tree::verify::check(&fleet.sr).map_err(|e| vdiv("sr-tree", e.to_string()))?;
+    sr_sstree::verify::check(&fleet.ss).map_err(|e| vdiv("ss-tree", e.to_string()))?;
+    sr_rstar::verify::check(&fleet.rstar).map_err(|e| vdiv("rstar-tree", e.to_string()))?;
+    sr_kdbtree::verify::check(&fleet.kdb).map_err(|e| vdiv("kdb-tree", e.to_string()))?;
     if let Some(vam) = &fleet.vam {
         if !fleet.vam_dirty {
-            sr_vamsplit::verify::check(vam).map_err(|e| vdiv("vam-tree", e))?;
+            sr_vamsplit::verify::check(vam).map_err(|e| vdiv("vam-tree", e.to_string()))?;
         }
     }
     let want = model.len() as u64;

@@ -23,6 +23,8 @@
 //! --dist uniform)`. Running that command (or re-running the failing
 //! test with `SRTREE_FUZZ_SEED=0x2a`) regenerates the identical tape.
 
+#![forbid(unsafe_code)]
+
 pub mod diff;
 pub mod model;
 pub mod tempdir;

@@ -11,7 +11,7 @@ use sr_pager::PageId;
 
 use sr_geometry::{bounding_rect_of_points, Rect};
 
-use crate::error::Result;
+use crate::error::{Result, TreeError};
 use crate::node::{InnerEntry, LeafEntry, Node};
 use crate::tree::VamTree;
 
@@ -41,7 +41,8 @@ fn build_rec(tree: &VamTree, points: &mut [(Point, u64)], height: u32) -> Result
     if height == 1 {
         debug_assert!(points.len() <= tree.params.max_leaf);
         debug_assert!(!points.is_empty());
-        let mbr = bounding_rect_of_points(points.iter().map(|(p, _)| p.coords()));
+        let mbr = bounding_rect_of_points(points.iter().map(|(p, _)| p.coords()))
+            .ok_or_else(|| TreeError::Corrupt("bulk build produced an empty leaf chunk".into()))?;
         let entries: Vec<LeafEntry> = points
             .iter()
             .map(|(p, d)| LeafEntry {
@@ -65,8 +66,13 @@ fn build_rec(tree: &VamTree, points: &mut [(Point, u64)], height: u32) -> Result
         entries.len() <= tree.params.max_node,
         "chunking overflowed a node"
     );
-    let mut mbr = entries[0].rect.clone();
-    for e in &entries[1..] {
+    let mut it = entries.iter();
+    let mut mbr = it
+        .next()
+        .ok_or_else(|| TreeError::Corrupt("bulk build produced an empty inner node".into()))?
+        .rect
+        .clone();
+    for e in it {
         mbr.expand_to_rect(&e.rect);
     }
     let id = tree.allocate_node(&Node::Inner {
@@ -101,7 +107,7 @@ fn vam_partition(
             split = chunk_cap.min(n - 1);
         }
     }
-    points.sort_by(|a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+    points.sort_by(|a, b| a.0[dim].total_cmp(&b.0[dim]));
     let (left, right) = points.split_at_mut(split);
     vam_partition(left, chunk_cap, emit)?;
     vam_partition(right, chunk_cap, emit)

@@ -32,7 +32,7 @@ impl VamTree {
         dim: usize,
         page_size: usize,
     ) -> Result<Self> {
-        Self::build_from(PageFile::create_in_memory(page_size), points, dim, 512)
+        Self::build_from(PageFile::create_in_memory(page_size)?, points, dim, 512)
     }
 
     /// Bulk-build into a page file at `path` (8 KiB pages, 512-byte data
@@ -84,20 +84,25 @@ impl VamTree {
             return Err(TreeError::NotThisIndex("metadata too short".into()));
         }
         let mut c = PageCodec::new(&mut meta);
-        if c.get_u32() != META_MAGIC {
+        if c.get_u32()? != META_MAGIC {
             return Err(TreeError::NotThisIndex("not a VAMSplit R-tree file".into()));
         }
-        if c.get_u32() != META_VERSION {
+        if c.get_u32()? != META_VERSION {
             return Err(TreeError::NotThisIndex(
                 "unsupported VAMSplit R-tree version".into(),
             ));
         }
-        let dim = c.get_u32() as usize;
-        let data_area = c.get_u32() as usize;
-        let root = c.get_u64();
-        let height = c.get_u32();
-        let count = c.get_u64();
-        let params = VamParams::derive(pf.capacity(), dim, data_area);
+        let dim = c.get_u32()? as usize;
+        let data_area = c.get_u32()? as usize;
+        let root = c.get_u64()?;
+        let height = c.get_u32()?;
+        let count = c.get_u64()?;
+        let params = VamParams::try_derive(pf.capacity(), dim, data_area).ok_or_else(|| {
+            TreeError::NotThisIndex(format!(
+                "stored parameters (dim {dim}, data area {data_area}) do not fit a {}-byte page",
+                pf.capacity()
+            ))
+        })?;
         Ok(VamTree {
             pf,
             params,
@@ -110,13 +115,13 @@ impl VamTree {
     fn save_meta(&self) -> Result<()> {
         let mut buf = vec![0u8; 36];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u32(META_MAGIC);
-        c.put_u32(META_VERSION);
-        c.put_u32(self.params.dim as u32);
-        c.put_u32(self.params.data_area as u32);
-        c.put_u64(self.root);
-        c.put_u32(self.height);
-        c.put_u64(self.count);
+        c.put_u32(META_MAGIC)?;
+        c.put_u32(META_VERSION)?;
+        c.put_u32(self.params.dim as u32)?;
+        c.put_u32(self.params.data_area as u32)?;
+        c.put_u64(self.root)?;
+        c.put_u32(self.height)?;
+        c.put_u64(self.count)?;
         self.pf.set_user_meta(&buf)?;
         Ok(())
     }
@@ -186,7 +191,7 @@ impl VamTree {
             PageKind::Node
         };
         let id = self.pf.allocate(kind)?;
-        let payload = node.encode(&self.params, self.pf.capacity());
+        let payload = node.encode(&self.params, self.pf.capacity())?;
         self.pf.write(id, kind, &payload)?;
         Ok(id)
     }
@@ -234,7 +239,7 @@ impl VamTree {
             match node {
                 Node::Leaf(ref entries) => {
                     if !entries.is_empty() {
-                        out.push(node.mbr());
+                        out.push(node.mbr()?);
                     }
                 }
                 Node::Inner { entries, level } => {

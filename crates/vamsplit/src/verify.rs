@@ -4,6 +4,7 @@
 
 use sr_pager::PageId;
 
+use crate::error::{Result, TreeError};
 use crate::node::Node;
 use crate::tree::VamTree;
 
@@ -22,15 +23,19 @@ pub struct VerifyReport {
 }
 
 /// Walk the whole tree, validating every structural invariant.
-pub fn check(tree: &VamTree) -> Result<VerifyReport, String> {
+///
+/// # Errors
+/// [`TreeError::Corrupt`] naming the offending page and invariant;
+/// [`TreeError::Pager`] when a page cannot be read at all.
+pub fn check(tree: &VamTree) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
     walk(tree, tree.root, (tree.height - 1) as u16, true, &mut report)?;
     if report.points != tree.len() {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "metadata says {} points, tree holds {}",
             tree.len(),
             report.points
-        ));
+        )));
     }
     Ok(report)
 }
@@ -41,23 +46,23 @@ fn walk(
     level: u16,
     is_root: bool,
     report: &mut VerifyReport,
-) -> Result<(), String> {
-    let node = tree
-        .read_node(id, level)
-        .map_err(|e| format!("page {id}: {e}"))?;
+) -> Result<()> {
+    let node = tree.read_node(id, level)?;
     let max = if node.is_leaf() {
         tree.params().max_leaf
     } else {
         tree.params().max_node
     };
     if node.len() > max {
-        return Err(format!(
+        return Err(TreeError::Corrupt(format!(
             "page {id}: {} entries exceed capacity {max}",
             node.len()
-        ));
+        )));
     }
     if !is_root && node.len() == 0 {
-        return Err(format!("page {id} is an empty non-root page"));
+        return Err(TreeError::Corrupt(format!(
+            "page {id} is an empty non-root page"
+        )));
     }
     match node {
         Node::Leaf(ref entries) => {
@@ -70,15 +75,13 @@ fn walk(
         Node::Inner { entries, .. } => {
             report.nodes += 1;
             for e in &entries {
-                let child = tree
-                    .read_node(e.child, level - 1)
-                    .map_err(|err| format!("page {}: {err}", e.child))?;
-                let mbr = child.mbr();
+                let child = tree.read_node(e.child, level - 1)?;
+                let mbr = child.mbr()?;
                 if mbr != e.rect {
-                    return Err(format!(
+                    return Err(TreeError::Corrupt(format!(
                         "page {id}: stored rect {:?} differs from child {} MBR {:?}",
                         e.rect, e.child, mbr
-                    ));
+                    )));
                 }
                 walk(tree, e.child, level - 1, false, report)?;
             }

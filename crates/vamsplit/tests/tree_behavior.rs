@@ -16,7 +16,7 @@ fn with_ids(points: Vec<Point>) -> Vec<(Point, u64)> {
 
 fn build(points: &[Point], page: usize) -> VamTree {
     VamTree::build_from(
-        PageFile::create_in_memory(page),
+        PageFile::create_in_memory(page).unwrap(),
         with_ids(points.to_vec()),
         points[0].dim(),
         64,
@@ -118,7 +118,8 @@ fn contains_finds_every_point() {
 
 #[test]
 fn empty_build() {
-    let t = VamTree::build_from(PageFile::create_in_memory(1024), Vec::new(), 3, 64).unwrap();
+    let t =
+        VamTree::build_from(PageFile::create_in_memory(1024).unwrap(), Vec::new(), 3, 64).unwrap();
     assert!(t.is_empty());
     assert!(t.knn(&[0.0, 0.0, 0.0], 5).unwrap().is_empty());
     verify::check(&t).unwrap();
@@ -127,7 +128,7 @@ fn empty_build() {
 #[test]
 fn single_point_build() {
     let t = VamTree::build_from(
-        PageFile::create_in_memory(1024),
+        PageFile::create_in_memory(1024).unwrap(),
         vec![(Point::new(vec![1.0f32, 2.0]), 7)],
         2,
         64,
@@ -179,8 +180,9 @@ fn persistence_roundtrip() {
 #[test]
 fn dimension_mismatch_is_an_error() {
     let bad = vec![(Point::new(vec![1.0f32, 2.0, 3.0]), 0)];
-    assert!(VamTree::build_from(PageFile::create_in_memory(1024), bad, 2, 64).is_err());
-    let t = VamTree::build_from(PageFile::create_in_memory(1024), Vec::new(), 2, 64).unwrap();
+    assert!(VamTree::build_from(PageFile::create_in_memory(1024).unwrap(), bad, 2, 64).is_err());
+    let t =
+        VamTree::build_from(PageFile::create_in_memory(1024).unwrap(), Vec::new(), 2, 64).unwrap();
     assert!(t.knn(&[0.0, 0.0, 0.0], 1).is_err());
 }
 

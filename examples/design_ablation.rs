@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- forced reinsertion ----------------------------------------------
     let mut no_reinsert = SrTree::create_with_options(
-        PageFile::create_in_memory(8192),
+        PageFile::create_in_memory(8192)?,
         DIM,
         512,
         SrOptions {

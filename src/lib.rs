@@ -14,6 +14,8 @@
 //! The individual crates remain usable on their own; see the workspace
 //! README for the architecture overview.
 
+#![forbid(unsafe_code)]
+
 /// Workload generators: uniform, cluster, simulated color-histogram data.
 pub use sr_dataset as dataset;
 /// Geometry kernel: points, rectangles, spheres, MINDIST/MAXDIST.

@@ -39,7 +39,7 @@ fn faulty_mem_tree() -> (SrTree, FaultHandle) {
 /// Index of the first insert that splits the root leaf (height 1 -> 2),
 /// found on a clean shadow tree with identical parameters.
 fn first_split_index(points: &[srtree::geometry::Point]) -> usize {
-    let pf = PageFile::create_in_memory(PAGE);
+    let pf = PageFile::create_in_memory(PAGE).unwrap();
     let mut shadow = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
     for (i, p) in points.iter().enumerate() {
         shadow.insert(p.clone(), i as u64).unwrap();
@@ -155,7 +155,10 @@ fn check_reopen(path: &std::path::Path, max_len: u64, must_recover: bool, what: 
         }
         Ok((Err(report), _tree)) => {
             // Typed corruption report from the invariant checker.
-            assert!(!report.is_empty(), "{what}: empty corruption report");
+            assert!(
+                !report.to_string().is_empty(),
+                "{what}: empty corruption report"
+            );
             assert!(
                 !must_recover,
                 "{what}: no write hit disk after the last flush, yet verify failed: {report}"
@@ -236,6 +239,86 @@ fn crash_mid_update_then_reopen_recovers_or_errors_typed() {
             must_recover,
             &format!("crash_after={crash_after}"),
         );
+    }
+}
+
+#[test]
+fn flush_write_failure_surfaces_as_err_and_clears() {
+    let points = uniform(120, DIM, 711);
+    let (mut tree, handle) = faulty_mem_tree();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    // The next write the flush performs (the meta page, since the cache
+    // is write-through) is faulted: flush must return the typed
+    // injected error, not panic or swallow it.
+    handle.fail_nth_write(0);
+    match tree.flush() {
+        Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
+            assert_eq!(kind, FaultKind::Write)
+        }
+        Ok(()) => panic!("armed write fault never fired during flush"),
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+    handle.clear();
+    // A clean retry succeeds, and the tree is still fully usable.
+    tree.flush().unwrap();
+    assert_eq!(tree.len(), points.len() as u64);
+    tree.knn(points[0].coords(), 3).unwrap();
+}
+
+/// Header-decode paths that formerly `unwrap()`ed inside the pager now
+/// return `PagerError::Corrupt` for every malformed prefix we can
+/// construct: truncation below the meta header, a clobbered magic, and
+/// an absurd page-size field.
+#[test]
+fn corrupt_header_variants_error_typed_not_panic() {
+    let points = uniform(50, DIM, 713);
+    let dir = TempDir::new("sr-fault-header").unwrap();
+    let good = dir.file("good.pages");
+    {
+        let store = FilePageStore::create(&good, PAGE).unwrap();
+        let pf = PageFile::create_from_store(Box::new(store)).unwrap();
+        let mut tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(p.clone(), i as u64).unwrap();
+        }
+        tree.flush().unwrap();
+    }
+    let pristine = std::fs::read(&good).unwrap();
+
+    let mut cases: Vec<(String, Vec<u8>)> = Vec::new();
+    for keep in [0usize, 1, 7, 15] {
+        cases.push((
+            format!("truncated to {keep} bytes"),
+            pristine[..keep.min(pristine.len())].to_vec(),
+        ));
+    }
+    let mut bad_magic = pristine.clone();
+    for b in bad_magic.iter_mut().take(4) {
+        *b ^= 0xff;
+    }
+    cases.push(("magic clobbered".into(), bad_magic));
+    let mut huge_page = pristine.clone();
+    // The page-size field sits after the magic; saturate it.
+    for b in huge_page.iter_mut().skip(8).take(8) {
+        *b = 0xff;
+    }
+    cases.push(("page-size field saturated".into(), huge_page));
+
+    for (what, bytes) in cases {
+        let path = dir.file("mangled.pages");
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = std::panic::catch_unwind(|| PageFile::open(&path).map(|_| ()));
+        match outcome {
+            Ok(Err(PagerError::Corrupt(msg))) => {
+                assert!(!msg.is_empty(), "{what}: empty corruption message")
+            }
+            Ok(Err(PagerError::Io(_))) => {} // acceptable for truncation
+            Ok(Err(other)) => panic!("{what}: unexpected error kind: {other}"),
+            Ok(Ok(())) => panic!("{what}: mangled header opened cleanly"),
+            Err(_) => panic!("{what}: open panicked instead of returning a typed error"),
+        }
     }
 }
 
