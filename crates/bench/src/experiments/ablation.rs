@@ -9,6 +9,7 @@
 //!    vs always splitting.
 
 use sr_dataset::sample_queries;
+use sr_obs::{Counter, StatsRecorder};
 use sr_pager::PageFile;
 use sr_tree::{DistanceBound, RadiusRule, SrOptions, SrTree};
 
@@ -35,53 +36,76 @@ pub fn run(scale: &Scale) -> Result<(), String> {
         }
         Ok(t)
     };
-    let reads = |t: &SrTree, bound: DistanceBound| -> Result<f64, String> {
+    // Per-query means: tree reads plus the sr-obs prune breakdown, which
+    // quantifies §4.4 directly — how many of the prunes each bounding
+    // shape would have delivered on its own.
+    let measure = |t: &SrTree, bound: DistanceBound| -> Result<[f64; 4], String> {
         t.pager().set_cache_capacity(0).map_err(|e| e.to_string())?;
         t.pager().reset_stats();
+        let rec = StatsRecorder::new();
         for q in &queries {
-            t.knn_with_bound(q.coords(), K, bound)
+            t.knn_with_bound_traced(q.coords(), K, bound, &rec)
                 .map_err(|e| e.to_string())?;
         }
-        Ok(t.pager().stats().tree_reads() as f64 / queries.len() as f64)
+        let m = rec.snapshot();
+        let n = queries.len() as f64;
+        Ok([
+            t.pager().stats().tree_reads() as f64 / n,
+            m.counter(Counter::PruneEvents) as f64 / n,
+            m.counter(Counter::PruneSphere) as f64 / n,
+            m.counter(Counter::PruneRect) as f64 / n,
+        ])
     };
 
     let mut report = Report::new(
         "ablation",
         format!("SR-tree design-choice ablation (real data set, n = {n})").as_str(),
     );
-    report.header(["variant", "reads/query"]);
+    report.header([
+        "variant",
+        "reads/query",
+        "prunes/query",
+        "by sphere",
+        "by rect",
+    ]);
+    let mut add_row = |label: &str, cost: [f64; 4]| {
+        report.row([
+            label.to_string(),
+            f(cost[0]),
+            f(cost[1]),
+            f(cost[2]),
+            f(cost[3]),
+        ]);
+    };
 
     let full = build(SrOptions::default())?;
-    report.row([
-        "SR-tree (paper)".to_string(),
-        f(reads(&full, DistanceBound::Both)?),
-    ]);
-    report.row([
-        "  query bound: sphere only".to_string(),
-        f(reads(&full, DistanceBound::SphereOnly)?),
-    ]);
-    report.row([
-        "  query bound: rect only".to_string(),
-        f(reads(&full, DistanceBound::RectOnly)?),
-    ]);
+    add_row("SR-tree (paper)", measure(&full, DistanceBound::Both)?);
+    add_row(
+        "  query bound: sphere only",
+        measure(&full, DistanceBound::SphereOnly)?,
+    );
+    add_row(
+        "  query bound: rect only",
+        measure(&full, DistanceBound::RectOnly)?,
+    );
 
     let no_rule = build(SrOptions {
         radius_rule: RadiusRule::SphereOnly,
         ..Default::default()
     })?;
-    report.row([
-        "  radius rule: d_s only (SS radius)".to_string(),
-        f(reads(&no_rule, DistanceBound::Both)?),
-    ]);
+    add_row(
+        "  radius rule: d_s only (SS radius)",
+        measure(&no_rule, DistanceBound::Both)?,
+    );
 
     let no_reinsert = build(SrOptions {
         disable_reinsertion: true,
         ..Default::default()
     })?;
-    report.row([
-        "  forced reinsertion disabled".to_string(),
-        f(reads(&no_reinsert, DistanceBound::Both)?),
-    ]);
+    add_row(
+        "  forced reinsertion disabled",
+        measure(&no_reinsert, DistanceBound::Both)?,
+    );
 
     report.emit()
 }

@@ -1,0 +1,53 @@
+//! Observability breakdown (beyond the paper's figures): the sr-obs
+//! per-query counters for every structure on the real data set — node
+//! expansions, prune events split by which bounding shape delivered them
+//! (§4.4), and the buffer-pool hit rate under a modest warm pool.
+//!
+//! The prune attribution credits every shape whose bound alone would
+//! have pruned, so for the SR-tree `prunes >= max(by sphere, by rect)`
+//! and the two shape columns show how often each one is the winner.
+
+use sr_dataset::sample_queries;
+
+use crate::experiments::{real_data, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{measure_knn, measure_knn_at_capacity, Scale, K};
+use crate::report::{f, Report};
+
+/// Warm buffer pool used for the hit-rate column, in pages.
+const WARM_POOL: usize = 128;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let n = if scale.paper { 20_000 } else { 10_000 };
+    let points = real_data(n);
+    let queries = sample_queries(&points, scale.trials(), QUERY_SEED);
+
+    let mut report = Report::new(
+        "obs",
+        format!("per-query observability counters (real data set, n = {n})").as_str(),
+    );
+    report.header([
+        "tree",
+        "reads/query",
+        "expansions",
+        "prunes",
+        "by sphere",
+        "by rect",
+        "warm hit%",
+    ]);
+    for &kind in TreeKind::ALL {
+        let index = AnyIndex::build(kind, &points);
+        let cold = measure_knn(&index, &queries, K);
+        let warm = measure_knn_at_capacity(&index, &queries, K, WARM_POOL);
+        report.row([
+            kind.label().to_string(),
+            f(cold.reads),
+            f(cold.expansions),
+            f(cold.prune_events),
+            f(cold.prune_sphere),
+            f(cold.prune_rect),
+            f(warm.cache_hit_rate * 100.0),
+        ]);
+    }
+    report.emit()
+}

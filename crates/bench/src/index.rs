@@ -119,12 +119,17 @@ impl AnyIndex {
 
     /// k-nearest-neighbor query.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.knn_traced(query, k, &sr_obs::Noop)
+    }
+
+    /// [`AnyIndex::knn`] with a metrics recorder (see `sr-obs`).
+    pub fn knn_traced(&self, query: &[f32], k: usize, rec: &dyn sr_obs::Recorder) -> Vec<Neighbor> {
         match self {
-            AnyIndex::Kdb(t) => t.knn(query, k).unwrap(),
-            AnyIndex::Rstar(t) => t.knn(query, k).unwrap(),
-            AnyIndex::Ss(t) => t.knn(query, k).unwrap(),
-            AnyIndex::Vam(t) => t.knn(query, k).unwrap(),
-            AnyIndex::Sr(t) => t.knn(query, k).unwrap(),
+            AnyIndex::Kdb(t) => t.knn_traced(query, k, rec).unwrap(),
+            AnyIndex::Rstar(t) => t.knn_traced(query, k, rec).unwrap(),
+            AnyIndex::Ss(t) => t.knn_traced(query, k, rec).unwrap(),
+            AnyIndex::Vam(t) => t.knn_traced(query, k, rec).unwrap(),
+            AnyIndex::Sr(t) => t.knn_traced(query, k, rec).unwrap(),
         }
     }
 
@@ -175,7 +180,12 @@ impl AnyIndex {
     /// Disable the buffer pool (cold-cache query accounting) and zero the
     /// I/O counters.
     pub fn reset_for_queries(&self) {
-        self.pager().set_cache_capacity(0).unwrap();
+        self.reset_for_queries_at(0);
+    }
+
+    /// Set the buffer pool to `pages` pages and zero the I/O counters.
+    pub fn reset_for_queries_at(&self, pages: usize) {
+        self.pager().set_cache_capacity(pages).unwrap();
         self.pager().reset_stats();
     }
 

@@ -4,6 +4,7 @@
 use std::time::Instant;
 
 use sr_geometry::Point;
+use sr_obs::{Counter, StatsRecorder};
 use sr_pager::PageKind;
 
 use crate::index::{AnyIndex, TreeKind, DATA_AREA, PAGE_SIZE};
@@ -101,27 +102,60 @@ pub struct QueryCost {
     pub node_reads: f64,
     /// Mean leaf-level reads per query (Figure 14).
     pub leaf_reads: f64,
+    /// Mean node expansions per query (sr-obs).
+    pub expansions: f64,
+    /// Mean prune events per query, however attributed.
+    pub prune_events: f64,
+    /// Mean prunes per query the sphere bound alone would deliver (§4.4).
+    pub prune_sphere: f64,
+    /// Mean prunes per query the rectangle bound alone would deliver.
+    pub prune_rect: f64,
+    /// Buffer-pool hit rate over the workload (0 under the cold cache).
+    pub cache_hit_rate: f64,
 }
 
 /// Run the paper's query workload (k = 21 nearest neighbors, cold cache)
 /// and average the costs.
 pub fn measure_knn(index: &AnyIndex, queries: &[Point], k: usize) -> QueryCost {
-    index.reset_for_queries();
+    measure_knn_at_capacity(index, queries, k, 0)
+}
+
+/// [`measure_knn`] with a buffer pool of `cache_pages` pages instead of
+/// the paper's cold cache (`cache_hit_rate` is only meaningful here).
+pub fn measure_knn_at_capacity(
+    index: &AnyIndex,
+    queries: &[Point],
+    k: usize,
+    cache_pages: usize,
+) -> QueryCost {
+    index.reset_for_queries_at(cache_pages);
+    let rec = StatsRecorder::new();
     let before = index.stats();
     let t0 = Instant::now();
     for q in queries {
-        let hits = index.knn(q.coords(), k);
+        let hits = index.knn_traced(q.coords(), k, &rec);
         std::hint::black_box(&hits);
     }
     let elapsed = t0.elapsed();
     let after = index.stats();
     let d = after.since(&before);
+    let m = rec.snapshot();
+    let probes = d.cache_hits() + d.cache_misses();
     let n = queries.len() as f64;
     QueryCost {
         cpu_ms: elapsed.as_secs_f64() * 1e3 / n,
         reads: d.tree_reads() as f64 / n,
         node_reads: d.logical_reads(PageKind::Node) as f64 / n,
         leaf_reads: d.logical_reads(PageKind::Leaf) as f64 / n,
+        expansions: m.counter(Counter::NodeExpansions) as f64 / n,
+        prune_events: m.counter(Counter::PruneEvents) as f64 / n,
+        prune_sphere: m.counter(Counter::PruneSphere) as f64 / n,
+        prune_rect: m.counter(Counter::PruneRect) as f64 / n,
+        cache_hit_rate: if probes == 0 {
+            0.0
+        } else {
+            d.cache_hits() as f64 / probes as f64
+        },
     }
 }
 
@@ -174,6 +208,22 @@ mod tests {
         assert!(c.reads > 0.0);
         assert!(c.cpu_ms > 0.0);
         assert!((c.node_reads + c.leaf_reads - c.reads).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_knn_reports_prune_breakdown_and_hit_rate() {
+        let pts = uniform(2_000, 8, 7);
+        let idx = AnyIndex::build(TreeKind::Sr, &pts);
+        let qs = sample_queries(&pts, 20, 4);
+        let cold = measure_knn(&idx, &qs, K);
+        assert!(cold.expansions > 0.0);
+        assert!(cold.prune_events >= cold.prune_sphere.max(cold.prune_rect));
+        assert!(
+            (cold.cache_hit_rate - 0.0).abs() < f64::EPSILON,
+            "cold cache never hits"
+        );
+        let warm = measure_knn_at_capacity(&idx, &qs, K, 4096);
+        assert!(warm.cache_hit_rate > 0.0, "large pool must absorb rereads");
     }
 
     #[test]

@@ -138,15 +138,22 @@ pub enum Command {
         index_path: PathBuf,
         k: usize,
         query: Vec<f32>,
+        /// Emit a per-query metrics line (expansions, prune breakdown,
+        /// I/O window) after the results.
+        trace: bool,
+        /// Machine-readable output: one JSON object instead of TSV rows.
+        json: bool,
     },
     /// Range query.
     Range {
         index_path: PathBuf,
         radius: f64,
         query: Vec<f32>,
+        trace: bool,
+        json: bool,
     },
-    /// Print index metadata and parameters.
-    Stats { index_path: PathBuf },
+    /// Print index metadata, parameters, and I/O statistics.
+    Stats { index_path: PathBuf, json: bool },
     /// Run the structural-invariant checker.
     Verify { index_path: PathBuf },
     /// Replay a differential-fuzz op tape (opt-in; this is the replay
@@ -189,25 +196,39 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 query: parse_query(
                     flag(&rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
                 )?,
+                trace: bool_flag(&rest, "--trace")?,
+                json: bool_flag(&rest, "--json")?,
             })
         }
         "range" => {
             let pos = positionals(&rest, 1)?;
+            let radius: f64 = flag(&rest, "--radius")?
+                .ok_or(ArgError::MissingFlag("--radius"))?
+                .parse()
+                .map_err(bad("--radius"))?;
+            // Reject at parse time so a bad radius is a usage error
+            // (exit 2), matching the trees' TreeError::InvalidRadius.
+            if radius.is_nan() || radius < 0.0 {
+                return Err(ArgError::BadValue {
+                    flag: "--radius",
+                    detail: format!("{radius} must be non-negative"),
+                });
+            }
             Ok(Command::Range {
                 index_path: pos[0].into(),
-                radius: flag(&rest, "--radius")?
-                    .ok_or(ArgError::MissingFlag("--radius"))?
-                    .parse()
-                    .map_err(bad("--radius"))?,
+                radius,
                 query: parse_query(
                     flag(&rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
                 )?,
+                trace: bool_flag(&rest, "--trace")?,
+                json: bool_flag(&rest, "--json")?,
             })
         }
         "stats" => {
             let pos = positionals(&rest, 1)?;
             Ok(Command::Stats {
                 index_path: pos[0].into(),
+                json: bool_flag(&rest, "--json")?,
             })
         }
         "verify" => {
@@ -344,6 +365,9 @@ fn parse_seed(s: &str) -> Result<u64, ArgError> {
     parsed.map_err(bad("--seed"))
 }
 
+/// Flags that take no value (everything else is `--name value`).
+const BOOL_FLAGS: &[&str] = &["--trace", "--json"];
+
 /// Extract `--name value` from an argument slice.
 fn flag<'a>(rest: &[&'a str], name: &'static str) -> Result<Option<&'a str>, ArgError> {
     let mut found = None;
@@ -363,13 +387,23 @@ fn flag<'a>(rest: &[&'a str], name: &'static str) -> Result<Option<&'a str>, Arg
     Ok(found)
 }
 
+/// Whether a valueless flag is present.
+fn bool_flag(rest: &[&str], name: &'static str) -> Result<bool, ArgError> {
+    match rest.iter().filter(|a| **a == name).count() {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(ArgError::DuplicateFlag(name)),
+    }
+}
+
 /// Non-flag arguments, validated for count.
 fn positionals<'a>(rest: &[&'a str], want: usize) -> Result<Vec<&'a str>, ArgError> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         if rest[i].starts_with("--") {
-            i += 2; // skip flag + value
+            // Boolean flags occupy one slot, valued flags two.
+            i += if BOOL_FLAGS.contains(&rest[i]) { 1 } else { 2 };
         } else {
             out.push(rest[i]);
             i += 1;
@@ -473,12 +507,65 @@ mod tests {
     fn parse_knn_query_vector() {
         let cmd = p(&["knn", "i.pages", "--k", "5", "--query", "0.1, 0.2,0.3"]).unwrap();
         match cmd {
-            Command::Knn { k, query, .. } => {
+            Command::Knn {
+                k,
+                query,
+                trace,
+                json,
+                ..
+            } => {
                 assert_eq!(k, 5);
                 assert_eq!(query, vec![0.1, 0.2, 0.3]);
+                assert!(!trace && !json);
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parse_trace_and_json_flags() {
+        // Boolean flags must not swallow the following argument — here
+        // `--trace` sits directly before the positional path.
+        let cmd = p(&["knn", "--trace", "i.pages", "--json", "--query", "1,2"]).unwrap();
+        match cmd {
+            Command::Knn {
+                index_path,
+                trace,
+                json,
+                ..
+            } => {
+                assert_eq!(index_path, PathBuf::from("i.pages"));
+                assert!(trace && json);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert_eq!(
+            p(&["knn", "i.pages", "--trace", "--trace", "--query", "1"]),
+            Err(ArgError::DuplicateFlag("--trace"))
+        );
+        match p(&["stats", "i.pages", "--json"]).unwrap() {
+            Command::Stats { json, .. } => assert!(json),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn negative_or_nan_radius_is_a_usage_error() {
+        for r in ["-1", "-0.5", "NaN"] {
+            assert!(
+                matches!(
+                    p(&["range", "i.pages", "--radius", r, "--query", "1,2"]),
+                    Err(ArgError::BadValue {
+                        flag: "--radius",
+                        ..
+                    })
+                ),
+                "radius {r} must be rejected at parse time"
+            );
+        }
+        // Zero and +inf remain valid radii.
+        assert!(p(&["range", "i.pages", "--radius", "0", "--query", "1"]).is_ok());
+        assert!(p(&["range", "i.pages", "--radius", "inf", "--query", "1"]).is_ok());
     }
 
     #[test]

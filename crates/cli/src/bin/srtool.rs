@@ -18,6 +18,11 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = sr_cli::run(cmd, &mut stdout) {
         eprintln!("srtool: {e}");
-        std::process::exit(1);
+        // Usage errors share exit code 2 with parse errors; runtime
+        // failures exit 1.
+        std::process::exit(match e {
+            sr_cli::CmdError::Usage(_) => 2,
+            sr_cli::CmdError::Failure(_) => 1,
+        });
     }
 }

@@ -1,17 +1,127 @@
 //! Command execution.
 
+use std::fmt;
 use std::io::Write;
 
 use sr_dataset::{cluster, real_sim, uniform, ClusterSpec};
 use sr_geometry::Point;
+use sr_obs::StatsRecorder;
+use sr_pager::{IoStats, PageKind};
 use sr_testkit::{failure_report, generate, minimize, run_tape, DiffConfig, WorkloadSpec};
 
 use crate::args::{Command, GenKind};
 use crate::data::{read_points, write_points};
 use crate::store::AnyStore;
 
+/// A failed command, split by exit code: usage errors (bad input the
+/// user can fix — exit 2) versus execution failures (exit 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CmdError {
+    /// The invocation was well-formed but semantically invalid.
+    Usage(String),
+    /// The command ran and failed.
+    Failure(String),
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdError::Usage(s) | CmdError::Failure(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<String> for CmdError {
+    fn from(s: String) -> Self {
+        CmdError::Failure(s)
+    }
+}
+
+/// The I/O-window half of a trace line (plus pool capacity).
+fn io_json(w: &IoStats, cache_capacity: usize) -> String {
+    format!(
+        "{{\"node_reads\":{},\"leaf_reads\":{},\"physical_reads\":{},\
+         \"physical_writes\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_evictions\":{},\"cache_capacity\":{cache_capacity}}}",
+        w.logical_reads(PageKind::Node),
+        w.logical_reads(PageKind::Leaf),
+        w.physical_reads(),
+        w.physical_writes(),
+        w.cache_hits(),
+        w.cache_misses(),
+        w.cache_evictions(),
+    )
+}
+
+/// One structured line per traced query: the recorder snapshot plus the
+/// query's I/O window.
+fn trace_json(cmd: &str, results: usize, rec: &StatsRecorder, io: &IoStats, cap: usize) -> String {
+    format!(
+        "{{\"cmd\":\"{cmd}\",\"results\":{results},\"metrics\":{},\"io\":{}}}",
+        rec.snapshot().to_json(),
+        io_json(io, cap),
+    )
+}
+
+fn results_json(hits: &[(u64, f64)]) -> String {
+    let rows: Vec<String> = hits
+        .iter()
+        .map(|(id, dist)| format!("{{\"id\":{id},\"dist\":{dist}}}"))
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Shared tail of `knn` and `range`: run the (possibly traced) query
+/// and print TSV rows or a JSON object.
+fn run_query(
+    store: &AnyStore,
+    cmd_name: &str,
+    trace: bool,
+    json: bool,
+    out: &mut dyn Write,
+    query: impl FnOnce(&dyn sr_obs::Recorder) -> Result<Vec<(u64, f64)>, String>,
+) -> Result<(), CmdError> {
+    let rec = StatsRecorder::new();
+    let before = store.pager().stats();
+    let hits = if trace {
+        query(&rec)?
+    } else {
+        query(&sr_obs::Noop)?
+    };
+    let io = store.pager().stats().since(&before);
+    let cap = store.pager().cache_capacity();
+    let e = |err: std::io::Error| CmdError::Failure(err.to_string());
+    if json {
+        let trace_field = if trace {
+            format!(
+                ",\"trace\":{}",
+                trace_json(cmd_name, hits.len(), &rec, &io, cap)
+            )
+        } else {
+            String::new()
+        };
+        writeln!(
+            out,
+            "{{\"cmd\":\"{cmd_name}\",\"results\":{}{trace_field}}}",
+            results_json(&hits)
+        )
+        .map_err(e)?;
+    } else {
+        for (id, dist) in &hits {
+            writeln!(out, "{id}\t{dist}").map_err(e)?;
+        }
+        if trace {
+            // Keep stdout parseable: the trace line goes to stderr.
+            eprintln!("{}", trace_json(cmd_name, hits.len(), &rec, &io, cap));
+        }
+    }
+    Ok(())
+}
+
 /// Execute a parsed command, writing output to `out`.
-pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
+pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
     match cmd {
         Command::Gen {
             kind,
@@ -49,7 +159,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                 with_ids.len(),
                 path.display()
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| CmdError::Failure(e.to_string()))
         }
         Command::Build {
             index,
@@ -60,11 +170,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             let points = read_points(&data_path).map_err(|e| e.to_string())?;
             if let Some((p, _)) = points.first() {
                 if p.dim() != dim {
-                    return Err(format!(
+                    return Err(CmdError::Usage(format!(
                         "--dim {dim} but {} has {}-d points",
                         data_path.display(),
                         p.dim()
-                    ));
+                    )));
                 }
             }
             let n = points.len();
@@ -76,7 +186,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                 store.kind_name(),
                 index_path.display()
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| CmdError::Failure(e.to_string()))
         }
         Command::Insert {
             index_path,
@@ -91,46 +201,80 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                 out,
                 "inserted {n} points; index now holds {len}, height {height}"
             )
-            .map_err(|e| e.to_string())
+            .map_err(|e| CmdError::Failure(e.to_string()))
         }
         Command::Knn {
             index_path,
             k,
             query,
+            trace,
+            json,
         } => {
             let store = AnyStore::open(&index_path)?;
-            let hits = store.knn(&query, k)?;
-            for (id, dist) in hits {
-                writeln!(out, "{id}\t{dist}").map_err(|e| e.to_string())?;
-            }
-            Ok(())
+            run_query(&store, "knn", trace, json, out, |rec| {
+                store.knn_traced(&query, k, rec)
+            })
         }
         Command::Range {
             index_path,
             radius,
             query,
+            trace,
+            json,
         } => {
             let store = AnyStore::open(&index_path)?;
-            let hits = store.range(&query, radius)?;
-            for (id, dist) in hits {
-                writeln!(out, "{id}\t{dist}").map_err(|e| e.to_string())?;
-            }
-            Ok(())
+            run_query(&store, "range", trace, json, out, |rec| {
+                store.range_traced(&query, radius, rec)
+            })
         }
-        Command::Stats { index_path } => {
+        Command::Stats { index_path, json } => {
             let store = AnyStore::open(&index_path)?;
             let (dim, len, height) = store.summary();
-            writeln!(
-                out,
-                "{}: {len} points, {dim} dimensions, height {height}",
-                store.kind_name()
-            )
-            .map_err(|e| e.to_string())
+            let io = store.pager().stats();
+            let cap = store.pager().cache_capacity();
+            let page_size = store.pager().page_size();
+            let e = |err: std::io::Error| CmdError::Failure(err.to_string());
+            if json {
+                writeln!(
+                    out,
+                    "{{\"kind\":\"{}\",\"points\":{len},\"dim\":{dim},\
+                     \"height\":{height},\"page_size\":{page_size},\"io\":{}}}",
+                    store.kind_name(),
+                    io_json(&io, cap)
+                )
+                .map_err(e)
+            } else {
+                writeln!(
+                    out,
+                    "{}: {len} points, {dim} dimensions, height {height}",
+                    store.kind_name()
+                )
+                .map_err(e)?;
+                writeln!(out, "pager: {page_size} B pages, buffer pool {cap} pages").map_err(e)?;
+                let hit_rate = io
+                    .cache_hit_rate()
+                    .map_or_else(|| "n/a".to_string(), |r| format!("{:.1}%", r * 100.0));
+                writeln!(
+                    out,
+                    "io since open: {} tree reads ({} node, {} leaf), \
+                     {} physical reads, cache {} hits / {} misses / {} evictions \
+                     (hit rate {hit_rate})",
+                    io.tree_reads(),
+                    io.logical_reads(PageKind::Node),
+                    io.logical_reads(PageKind::Leaf),
+                    io.physical_reads(),
+                    io.cache_hits(),
+                    io.cache_misses(),
+                    io.cache_evictions(),
+                )
+                .map_err(e)
+            }
         }
         Command::Verify { index_path } => {
             let store = AnyStore::open(&index_path)?;
             let summary = store.verify()?;
-            writeln!(out, "{} OK: {summary}", store.kind_name()).map_err(|e| e.to_string())
+            writeln!(out, "{} OK: {summary}", store.kind_name())
+                .map_err(|e| CmdError::Failure(e.to_string()))
         }
         Command::Fuzz {
             seed,
@@ -162,12 +306,12 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
                     r.verifies,
                     r.final_live
                 )
-                .map_err(|e| e.to_string()),
+                .map_err(|e| CmdError::Failure(e.to_string())),
                 Err(d) => {
                     // Nonzero exit with the minimized reproduction in
                     // the error text, same shape the tier-1 tests print.
                     let minimized = minimize(&tape, &cfg, 60);
-                    Err(failure_report(&tape, &minimized, &d))
+                    Err(CmdError::Failure(failure_report(&tape, &minimized, &d)))
                 }
             }
         }
@@ -196,10 +340,10 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
             if report.is_clean() {
                 Ok(())
             } else {
-                Err(format!(
+                Err(CmdError::Failure(format!(
                     "srlint found {} violation(s)",
                     report.diagnostics.len()
-                ))
+                )))
             }
         }
     }

@@ -26,9 +26,10 @@ pub mod data;
 pub mod store;
 
 pub use args::{parse, ArgError, Command};
+pub use commands::CmdError;
 pub use data::DataError;
 
 /// Run a parsed command, writing human-readable output to `out`.
-pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CmdError> {
     commands::run(cmd, out)
 }

@@ -150,26 +150,67 @@ impl AnyStore {
 
     /// k-NN query, returning `(id, distance)` pairs.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f64)>, String> {
+        self.knn_traced(query, k, &sr_obs::Noop)
+    }
+
+    /// [`AnyStore::knn`] with a metrics recorder (see `sr-obs`).
+    pub fn knn_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<(u64, f64)>, String> {
         let hits = match self {
-            AnyStore::Sr(t) => t.knn(query, k).map_err(|e| e.to_string())?,
-            AnyStore::Ss(t) => t.knn(query, k).map_err(|e| e.to_string())?,
-            AnyStore::Rstar(t) => t.knn(query, k).map_err(|e| e.to_string())?,
-            AnyStore::Kdb(t) => t.knn(query, k).map_err(|e| e.to_string())?,
-            AnyStore::Vam(t) => t.knn(query, k).map_err(|e| e.to_string())?,
+            AnyStore::Sr(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
+            AnyStore::Ss(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
+            AnyStore::Rstar(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
+            AnyStore::Kdb(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
+            AnyStore::Vam(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
         };
         Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
     }
 
     /// Range query, returning `(id, distance)` pairs.
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<(u64, f64)>, String> {
+        self.range_traced(query, radius, &sr_obs::Noop)
+    }
+
+    /// [`AnyStore::range`] with a metrics recorder.
+    pub fn range_traced(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<(u64, f64)>, String> {
         let hits = match self {
-            AnyStore::Sr(t) => t.range(query, radius).map_err(|e| e.to_string())?,
-            AnyStore::Ss(t) => t.range(query, radius).map_err(|e| e.to_string())?,
-            AnyStore::Rstar(t) => t.range(query, radius).map_err(|e| e.to_string())?,
-            AnyStore::Kdb(t) => t.range(query, radius).map_err(|e| e.to_string())?,
-            AnyStore::Vam(t) => t.range(query, radius).map_err(|e| e.to_string())?,
+            AnyStore::Sr(t) => t
+                .range_traced(query, radius, rec)
+                .map_err(|e| e.to_string())?,
+            AnyStore::Ss(t) => t
+                .range_traced(query, radius, rec)
+                .map_err(|e| e.to_string())?,
+            AnyStore::Rstar(t) => t
+                .range_traced(query, radius, rec)
+                .map_err(|e| e.to_string())?,
+            AnyStore::Kdb(t) => t
+                .range_traced(query, radius, rec)
+                .map_err(|e| e.to_string())?,
+            AnyStore::Vam(t) => t
+                .range_traced(query, radius, rec)
+                .map_err(|e| e.to_string())?,
         };
         Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
+    }
+
+    /// The underlying page file (I/O statistics, buffer-pool control).
+    pub fn pager(&self) -> &sr_pager::PageFile {
+        match self {
+            AnyStore::Sr(t) => t.pager(),
+            AnyStore::Ss(t) => t.pager(),
+            AnyStore::Rstar(t) => t.pager(),
+            AnyStore::Kdb(t) => t.pager(),
+            AnyStore::Vam(t) => t.pager(),
+        }
     }
 
     /// Run the structure's invariant checker, returning a summary line.

@@ -97,6 +97,121 @@ fn malformed_data_file_exits_1_with_location() {
 }
 
 #[test]
+fn negative_radius_exits_2() {
+    // Rejected at parse time: a negative (or NaN) search radius is a
+    // usage error, not a runtime failure.
+    for bad in ["-1", "-0.5", "NaN"] {
+        let out = srtool(&[
+            "range",
+            "index.pages",
+            "--radius",
+            bad,
+            "--query",
+            "0.1,0.2",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "radius {bad}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("--radius"), "radius {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn trace_json_emits_metrics_schema() {
+    // Build a small index through the binary, query it with
+    // --trace --json, and check the structured line's schema: the
+    // fields CI depends on must exist with sane values.
+    let data = tmpfile("trace.tsv");
+    let index = tmpfile("trace.pages");
+    let gen = srtool(&[
+        "gen",
+        "--n",
+        "800",
+        "--dim",
+        "8",
+        "--seed",
+        "11",
+        data.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let build = srtool(&[
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "8",
+        index.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert!(build.status.success());
+
+    let q = vec!["0.5"; 8].join(",");
+    let out = srtool(&[
+        "knn",
+        index.to_str().unwrap(),
+        "--k",
+        "5",
+        "--query",
+        &q,
+        "--trace",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for field in [
+        "\"cmd\":\"knn\"",
+        "\"results\":[",
+        "\"trace\":",
+        "\"metrics\":",
+        "\"node_expansions\":",
+        "\"points_scored\":",
+        "\"prune_events\":",
+        "\"heap_high_water\":",
+        "\"query_ns\":",
+        "\"io\":",
+        "\"cache_hits\":",
+        "\"cache_misses\":",
+    ] {
+        assert!(line.contains(field), "missing {field} in {line}");
+    }
+    // A fresh open means the query's window did real work.
+    let expansions: u64 = extract_u64(line, "\"node_expansions\":");
+    assert!(expansions > 0, "{line}");
+
+    // Without --json the trace line moves to stderr and stdout stays TSV.
+    let out = srtool(&[
+        "knn",
+        index.to_str().unwrap(),
+        "--k",
+        "5",
+        "--query",
+        &q,
+        "--trace",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 5, "{stdout}");
+    assert!(!stdout.contains('{'), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("\"metrics\":"), "{stderr}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+/// Pull the integer following `key` out of a flat JSON line.
+fn extract_u64(line: &str, key: &str) -> u64 {
+    let start = line.find(key).map(|i| i + key.len()).unwrap_or(0);
+    line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+#[test]
 fn missing_data_file_exits_1() {
     let index = tmpfile("missing.pages");
     let out = srtool(&[

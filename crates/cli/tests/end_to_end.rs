@@ -14,7 +14,7 @@ fn sh(args: &[&str]) -> Result<String, String> {
     let cmd: Command = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
         .map_err(|e| e.to_string())?;
     let mut out = Vec::new();
-    run(cmd, &mut out)?;
+    run(cmd, &mut out).map_err(|e| e.to_string())?;
     Ok(String::from_utf8(out).unwrap())
 }
 

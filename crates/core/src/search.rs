@@ -8,9 +8,10 @@
 //! for the intersection and strictly tighter than either shape alone,
 //! which is where the SR-tree's pruning advantage comes from.
 
-use sr_geometry::dist2;
+use sr_geometry::{dist2, CONTAINMENT_EPS};
+use sr_obs::Recorder;
 use sr_pager::PageId;
-use sr_query::{Expansion, KnnSource, Neighbor};
+use sr_query::{Expansion, KnnSource, Neighbor, QueryError};
 
 use crate::error::{Result, TreeError};
 use crate::node::Node;
@@ -42,6 +43,13 @@ impl KnnSource for Source<'_> {
     type Error = TreeError;
 
     fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        // `height == 0` can only come from a hand-edited or truncated
+        // metadata page, but `height - 1` below would underflow on it, so
+        // both the no-points and the no-levels cases mean "nothing to
+        // search".
+        if self.tree.is_empty() || self.tree.height == 0 {
+            return Ok(None);
+        }
         Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
     }
 
@@ -54,23 +62,29 @@ impl KnnSource for Source<'_> {
         match self.tree.read_node(id, level)? {
             Node::Leaf(entries) => {
                 for e in &entries {
-                    out.points.push(Neighbor {
-                        dist2: dist2(e.point.coords(), query),
-                        data: e.data,
-                    });
+                    out.push_point(dist2(e.point.coords(), query), e.data);
                 }
             }
             Node::Inner { entries, .. } => {
                 for e in &entries {
                     // The §4.4 combined bound (or a single-shape ablation).
-                    let d = match self.bound {
-                        DistanceBound::Both => {
-                            e.sphere.min_dist2(query).max(e.rect.min_dist2(query))
+                    // The combined form keeps both components so prune
+                    // events can be attributed to the shape that earned
+                    // them (sr-obs prune-breakdown counters).
+                    let child = (e.child, level - 1);
+                    match self.bound {
+                        DistanceBound::Both => out.push_max_branch(
+                            e.sphere.min_dist2(query),
+                            e.rect.min_dist2(query),
+                            child,
+                        ),
+                        DistanceBound::SphereOnly => {
+                            out.push_sphere_branch(e.sphere.min_dist2(query), child)
                         }
-                        DistanceBound::SphereOnly => e.sphere.min_dist2(query),
-                        DistanceBound::RectOnly => e.rect.min_dist2(query),
-                    };
-                    out.branches.push((d, (e.child, level - 1)));
+                        DistanceBound::RectOnly => {
+                            out.push_rect_branch(e.rect.min_dist2(query), child)
+                        }
+                    }
                 }
             }
         }
@@ -78,8 +92,13 @@ impl KnnSource for Source<'_> {
     }
 }
 
-pub(crate) fn knn(tree: &SrTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-    knn_with_bound(tree, query, k, DistanceBound::Both)
+pub(crate) fn knn(
+    tree: &SrTree,
+    query: &[f32],
+    k: usize,
+    rec: &dyn Recorder,
+) -> Result<Vec<Neighbor>> {
+    knn_with_bound(tree, query, k, DistanceBound::Both, rec)
 }
 
 pub(crate) fn knn_with_bound(
@@ -87,30 +106,47 @@ pub(crate) fn knn_with_bound(
     query: &[f32],
     k: usize,
     bound: DistanceBound,
+    rec: &dyn Recorder,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::knn(&Source { tree, bound }, query, k)
+    sr_query::knn_traced(&Source { tree, bound }, query, k, rec)
 }
 
-pub(crate) fn knn_best_first(tree: &SrTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-    sr_query::knn_best_first(
+pub(crate) fn knn_best_first(
+    tree: &SrTree,
+    query: &[f32],
+    k: usize,
+    rec: &dyn Recorder,
+) -> Result<Vec<Neighbor>> {
+    sr_query::knn_best_first_traced(
         &Source {
             tree,
             bound: DistanceBound::Both,
         },
         query,
         k,
+        rec,
     )
 }
 
-pub(crate) fn range(tree: &SrTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-    sr_query::range(
+pub(crate) fn range(
+    tree: &SrTree,
+    query: &[f32],
+    radius: f64,
+    rec: &dyn Recorder,
+) -> Result<Vec<Neighbor>> {
+    sr_query::range_traced(
         &Source {
             tree,
             bound: DistanceBound::Both,
         },
         query,
         radius,
+        rec,
     )
+    .map_err(|e| match e {
+        QueryError::InvalidRadius(r) => TreeError::InvalidRadius(r),
+        QueryError::Source(e) => e,
+    })
 }
 
 pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
@@ -125,8 +161,13 @@ pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> 
             Node::Leaf(entries) => Ok(entries.iter().any(|e| e.point == *point && e.data == data)),
             Node::Inner { entries, .. } => {
                 for e in &entries {
+                    // The rectangle is maintained with exact f32 min/max,
+                    // so its test is authoritative; the sphere is rebuilt
+                    // from rounded centroids, so a stored point can sit a
+                    // few ulps outside it and the test needs tolerance or
+                    // live entries become unfindable.
                     if e.rect.contains_point(point.coords())
-                        && e.sphere.contains_point(point.coords(), 0.0)
+                        && e.sphere.contains_point(point.coords(), CONTAINMENT_EPS)
                         && walk(tree, e.child, level - 1, point, data)?
                     {
                         return Ok(true);
@@ -135,6 +176,9 @@ pub(crate) fn contains(tree: &SrTree, point: &sr_geometry::Point, data: u64) -> 
                 Ok(false)
             }
         }
+    }
+    if tree.is_empty() || tree.height == 0 {
+        return Ok(false);
     }
     walk(tree, tree.root, (tree.height - 1) as u16, point, data)
 }

@@ -276,8 +276,19 @@ impl SrTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.knn_traced(query, k, &sr_obs::Noop)
+    }
+
+    /// [`SrTree::knn`] with a metrics recorder (node expansions, prune
+    /// breakdown by shape, heap high-water — see `sr-obs`).
+    pub fn knn_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::knn(self, query, k)
+        search::knn(self, query, k, rec)
     }
 
     /// k-NN via best-first ("distance browsing", Hjaltason & Samet)
@@ -285,8 +296,18 @@ impl SrTree {
     /// extension. Returns exactly the same neighbors; reads no more
     /// pages than any traversal order can (I/O-optimal for the tree).
     pub fn knn_best_first(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.knn_best_first_traced(query, k, &sr_obs::Noop)
+    }
+
+    /// [`SrTree::knn_best_first`] with a metrics recorder.
+    pub fn knn_best_first_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::knn_best_first(self, query, k)
+        search::knn_best_first(self, query, k, rec)
     }
 
     /// k-NN with an explicit region-distance bound — the ablation knob
@@ -299,14 +320,38 @@ impl SrTree {
         k: usize,
         bound: crate::search::DistanceBound,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn_with_bound(self, query, k, bound)
+        self.knn_with_bound_traced(query, k, bound, &sr_obs::Noop)
     }
 
-    /// Every point within `radius` of `query`.
-    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    /// [`SrTree::knn_with_bound`] with a metrics recorder — the pairing
+    /// that measures the §4.4 pruning advantage directly (prune events
+    /// split by which shape's bound achieved them).
+    pub fn knn_with_bound_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        bound: crate::search::DistanceBound,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::range(self, query, radius)
+        search::knn_with_bound(self, query, k, bound, rec)
+    }
+
+    /// Every point within `radius` of `query`. A negative or NaN radius
+    /// is rejected with [`TreeError::InvalidRadius`].
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.range_traced(query, radius, &sr_obs::Noop)
+    }
+
+    /// [`SrTree::range`] with a metrics recorder.
+    pub fn range_traced(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
     }
 
     /// The (sphere, rectangle) region pairs of all non-empty leaves.

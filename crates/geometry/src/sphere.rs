@@ -10,6 +10,13 @@ use crate::ln_unit_ball_volume;
 use crate::rect::Rect;
 use crate::vector::{dist2, Point};
 
+/// Radius tolerance for sphere-containment descents over *stored* points.
+///
+/// The same value the structural verifiers accept: large enough to absorb
+/// the f32 rounding of centroid/radius maintenance, small enough to keep
+/// the sphere test a useful filter during `contains`/`delete` walks.
+pub const CONTAINMENT_EPS: f64 = 1e-5;
+
 /// A bounding sphere: center + radius.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Sphere {
@@ -66,6 +73,12 @@ impl Sphere {
     /// Whether point `p` lies inside the sphere, with a relative tolerance
     /// `eps` on the radius (floating-point centroids make exact containment
     /// too strict for verification work; pass `0.0` for exact checks).
+    ///
+    /// Descents that must find every *stored* point (`contains`, `delete`)
+    /// use [`CONTAINMENT_EPS`]: centroid/radius updates round in f32, so a
+    /// live entry can sit a few ulps outside its recomputed bounding
+    /// sphere, and an exact test would silently skip the only subtree
+    /// that holds it.
     pub fn contains_point(&self, p: &[f32], eps: f64) -> bool {
         let r = f64::from(self.radius) * (1.0 + eps) + eps;
         dist2(self.center.coords(), p) <= r * r
@@ -149,6 +162,32 @@ mod tests {
         assert!(a.contains_point(&[1.0, 0.0], 0.0)); // surface inclusive
         assert!(!a.contains_point(&[1.1, 0.0], 0.0));
         assert!(a.contains_point(&[1.05, 0.0], 0.1)); // within tolerance
+    }
+
+    /// Regression for the contains/delete descent bug: a stored point
+    /// can drift a few f32 ulps outside its ancestor's rebuilt sphere.
+    /// The exact test rejects such a point (that was the bug — the only
+    /// subtree holding the entry was skipped); the `CONTAINMENT_EPS`
+    /// test must accept it.
+    #[test]
+    fn boundary_point_ulps_outside_is_accepted_with_eps() {
+        let radius = 0.25f32;
+        let a = s(&[0.5, 0.5, 0.5, 0.5], radius);
+        // One-ulp and several-ulp drift past the surface along an axis.
+        for ulps in 1..=8u32 {
+            let drifted = f32::from_bits((0.5f32 + radius).to_bits() + ulps);
+            let p = [drifted, 0.5, 0.5, 0.5];
+            assert!(
+                !a.contains_point(&p, 0.0),
+                "{ulps} ulps outside: exact test rejects (the old bug)"
+            );
+            assert!(
+                a.contains_point(&p, CONTAINMENT_EPS),
+                "{ulps} ulps outside: tolerant test must accept"
+            );
+        }
+        // The tolerance is tight: a point clearly outside stays outside.
+        assert!(!a.contains_point(&[0.5 + radius * 1.01, 0.5, 0.5, 0.5], CONTAINMENT_EPS));
     }
 
     #[test]

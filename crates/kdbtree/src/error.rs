@@ -21,6 +21,8 @@ pub enum TreeError {
     },
     /// The page file does not contain this kind of index.
     NotThisIndex(String),
+    /// A range query was asked with a negative or NaN radius.
+    InvalidRadius(f64),
     /// A page overflowed but no coordinate plane can separate its
     /// entries — more coincident points than fit in one page. This is an
     /// inherent limitation of space-partitioning structures: the
@@ -45,6 +47,9 @@ impl fmt::Display for TreeError {
                 )
             }
             TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+            TreeError::InvalidRadius(r) => {
+                write!(f, "invalid range radius {r}: must be non-negative")
+            }
             TreeError::Unsplittable => write!(
                 f,
                 "page overflow cannot be resolved: too many coincident points for one page"

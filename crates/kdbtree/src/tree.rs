@@ -203,6 +203,9 @@ impl KdbTree {
     /// reorganization to offline rebuilds), so deletion cannot underflow.
     pub fn delete(&mut self, point: &Point, data: u64) -> Result<bool> {
         self.check_dim(point.dim())?;
+        if self.is_empty() || self.height == 0 {
+            return Ok(false);
+        }
         // Disjointness: exactly one root-to-leaf path can hold the point.
         let mut id = self.root;
         let mut level = (self.height - 1) as u16;
@@ -247,6 +250,9 @@ impl KdbTree {
     /// descent — the disjointness property the paper highlights.
     pub fn contains(&self, point: &Point, data: u64) -> Result<bool> {
         self.check_dim(point.dim())?;
+        if self.is_empty() || self.height == 0 {
+            return Ok(false);
+        }
         let mut id = self.root;
         let mut level = (self.height - 1) as u16;
         while level > 0 {
@@ -278,14 +284,36 @@ impl KdbTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k)
+        self.knn_traced(query, k, &sr_obs::Noop)
     }
 
-    /// Every point within `radius` of `query`.
-    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    /// [`KdbTree::knn`] with a metrics recorder (node expansions, prune
+    /// events, heap high-water — see `sr-obs`).
+    pub fn knn_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::range(self, query, radius)
+        search::knn(self, query, k, rec)
+    }
+
+    /// Every point within `radius` of `query`. A negative or NaN radius
+    /// is rejected with [`TreeError::InvalidRadius`].
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.range_traced(query, radius, &sr_obs::Noop)
+    }
+
+    /// [`KdbTree::range`] with a metrics recorder.
+    pub fn range_traced(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
     }
 
     /// The region rectangle of the root (all of space).

@@ -28,6 +28,27 @@ fn workspace_passes_srlint_clean() {
 }
 
 #[test]
+fn query_and_obs_crates_are_under_the_lint_gate() {
+    // The query hot path and the observability substrate must stay under
+    // the L1/L3 rules: a regression that drops either from the
+    // configuration would silently exempt the code most PRs touch.
+    for name in ["query", "obs"] {
+        assert!(
+            sr_lint::LIB_CRATES.contains(&name),
+            "{name} missing from LIB_CRATES"
+        );
+        assert!(
+            workspace_root()
+                .join("crates")
+                .join(name)
+                .join("src")
+                .is_dir(),
+            "crates/{name}/src missing on disk"
+        );
+    }
+}
+
+#[test]
 fn hatch_budget_respected() {
     // The acceptance bar: fewer than 10 justified escape hatches total.
     let report = sr_lint::lint_workspace(&workspace_root()).expect("lint run");

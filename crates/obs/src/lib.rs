@@ -1,0 +1,33 @@
+//! Observability substrate for the SR-tree workspace.
+//!
+//! Every headline figure in the paper (Figures 8–13) is a per-query
+//! measurement — disk reads, CPU time, pruning effectiveness of the §4.4
+//! combined `max(d_sphere, d_rect)` bound. This crate is the instrument:
+//! a dependency-free set of monotonic counters, log-scaled histograms and
+//! span timers behind the [`Recorder`] trait.
+//!
+//! Two implementations ship:
+//!
+//! * [`Noop`] — every method is an empty `#[inline]` body, so engines
+//!   generic over `R: Recorder` monomorphize the instrumentation away
+//!   entirely. This is the default on every hot path.
+//! * [`StatsRecorder`] — lock-free atomic counters, suitable for sharing
+//!   across threads, snapshotted into a [`MetricsSnapshot`] that renders
+//!   itself as a flat JSON object for `srtool --trace` lines.
+//!
+//! The metric *names* are a closed enum set ([`Counter`], [`Gauge`],
+//! [`Hist`]) rather than strings: recording is an array index plus a
+//! relaxed atomic add, and the schema the CLI emits is stable by
+//! construction.
+
+#![forbid(unsafe_code)]
+
+mod metric;
+mod recorder;
+mod span;
+mod stats;
+
+pub use metric::{Counter, Gauge, Hist};
+pub use recorder::{Noop, Recorder};
+pub use span::SpanTimer;
+pub use stats::{HistSnapshot, MetricsSnapshot, StatsRecorder};

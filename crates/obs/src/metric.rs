@@ -1,0 +1,131 @@
+//! The closed set of metric names.
+//!
+//! Enums rather than strings: recording compiles to an array index and a
+//! relaxed atomic add, and the JSON schema emitted by `srtool --trace` is
+//! fixed at compile time.
+
+/// Monotonic counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Internal (non-leaf) nodes expanded by a query.
+    NodeExpansions,
+    /// Leaf nodes expanded by a query.
+    LeafExpansions,
+    /// Points whose exact distance to the query was computed.
+    PointsScored,
+    /// Child branches scored with a region lower bound (pruned or not).
+    BranchesConsidered,
+    /// Branches skipped because their lower bound could not beat the
+    /// current candidate set / range radius.
+    PruneEvents,
+    /// Prune events where the *sphere* bound alone was sufficient.
+    /// Under `DistanceBound::Both` a single event can count toward both
+    /// shapes, so `PruneSphere + PruneRect >= PruneEvents` there.
+    PruneSphere,
+    /// Prune events where the *rectangle* bound alone was sufficient.
+    PruneRect,
+    /// Buffer-pool hits observed by the caller (mirrored from `IoStats`).
+    CacheHits,
+    /// Buffer-pool misses observed by the caller (mirrored from `IoStats`).
+    CacheMisses,
+}
+
+impl Counter {
+    /// Every counter, in rendering order.
+    pub const ALL: [Counter; 9] = [
+        Counter::NodeExpansions,
+        Counter::LeafExpansions,
+        Counter::PointsScored,
+        Counter::BranchesConsidered,
+        Counter::PruneEvents,
+        Counter::PruneSphere,
+        Counter::PruneRect,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+    ];
+
+    /// Stable snake_case name used in JSON output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NodeExpansions => "node_expansions",
+            Counter::LeafExpansions => "leaf_expansions",
+            Counter::PointsScored => "points_scored",
+            Counter::BranchesConsidered => "branches_considered",
+            Counter::PruneEvents => "prune_events",
+            Counter::PruneSphere => "prune_sphere",
+            Counter::PruneRect => "prune_rect",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Counter::NodeExpansions => 0,
+            Counter::LeafExpansions => 1,
+            Counter::PointsScored => 2,
+            Counter::BranchesConsidered => 3,
+            Counter::PruneEvents => 4,
+            Counter::PruneSphere => 5,
+            Counter::PruneRect => 6,
+            Counter::CacheHits => 7,
+            Counter::CacheMisses => 8,
+        }
+    }
+}
+
+/// High-water-mark gauges (recorded with `max`, never reset implicitly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gauge {
+    /// Largest size the search frontier reached: the priority queue for
+    /// best-first, the candidate heap for depth-first.
+    HeapHighWater,
+}
+
+impl Gauge {
+    /// Every gauge, in rendering order.
+    pub const ALL: [Gauge; 1] = [Gauge::HeapHighWater];
+
+    /// Stable snake_case name used in JSON output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::HeapHighWater => "heap_high_water",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Gauge::HeapHighWater => 0,
+        }
+    }
+}
+
+/// Log-scaled histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hist {
+    /// Wall-clock nanoseconds per query (span-timed).
+    QueryNs,
+    /// Scored branches per internal-node expansion (fan-out actually
+    /// considered, before pruning).
+    NodeFanout,
+}
+
+impl Hist {
+    /// Every histogram, in rendering order.
+    pub const ALL: [Hist; 2] = [Hist::QueryNs, Hist::NodeFanout];
+
+    /// Stable snake_case name used in JSON output and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::QueryNs => "query_ns",
+            Hist::NodeFanout => "node_fanout",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Hist::QueryNs => 0,
+            Hist::NodeFanout => 1,
+        }
+    }
+}

@@ -15,6 +15,19 @@ struct Entry {
     tick: u64,
 }
 
+/// A page pushed out of the pool to make room.
+///
+/// `dirty_data` is `Some` when the page carried unwritten changes —
+/// the caller must write it back. Clean evictions are reported too so
+/// the pager can count them (`IoStats::cache_evictions`).
+#[must_use = "a dirty eviction must be written back"]
+pub struct Eviction {
+    /// The evicted page.
+    pub id: PageId,
+    /// The page image, if it still needs a write-back.
+    pub dirty_data: Option<Box<[u8]>>,
+}
+
 /// LRU cache of page images. `capacity == 0` disables caching entirely —
 /// the mode query experiments run in so logical reads equal physical reads.
 pub struct LruCache {
@@ -71,15 +84,11 @@ impl LruCache {
         }
     }
 
-    /// Insert (or overwrite) a page image. Returns the evicted page if one
-    /// had to make room **and** was dirty — the caller must write it back.
-    #[must_use = "a returned page is dirty and must be written back"]
-    pub fn insert(
-        &mut self,
-        id: PageId,
-        data: Box<[u8]>,
-        dirty: bool,
-    ) -> Option<(PageId, Box<[u8]>)> {
+    /// Insert (or overwrite) a page image. Returns the eviction made to
+    /// make room, if any; a dirty victim carries its image and must be
+    /// written back by the caller.
+    #[must_use = "a dirty eviction must be written back"]
+    pub fn insert(&mut self, id: PageId, data: Box<[u8]>, dirty: bool) -> Option<Eviction> {
         if self.capacity == 0 {
             debug_assert!(!dirty, "dirty insert into a disabled cache loses data");
             return None;
@@ -97,9 +106,10 @@ impl LruCache {
             if let Some((&tick, &victim)) = self.order.iter().next() {
                 self.order.remove(&tick);
                 if let Some(e) = self.map.remove(&victim) {
-                    if e.dirty {
-                        evicted = Some((victim, e.data));
-                    }
+                    evicted = Some(Eviction {
+                        id: victim,
+                        dirty_data: e.dirty.then_some(e.data),
+                    });
                 }
             }
         }
@@ -130,9 +140,10 @@ impl LruCache {
         out
     }
 
-    /// Change capacity; returns dirty pages evicted by a shrink.
-    #[must_use = "returned pages are dirty and must be written back"]
-    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(PageId, Box<[u8]>)> {
+    /// Change capacity; returns every page evicted by a shrink (dirty
+    /// ones carry their image for write-back).
+    #[must_use = "dirty evictions must be written back"]
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<Eviction> {
         self.capacity = capacity;
         let mut out = Vec::new();
         while self.map.len() > self.capacity {
@@ -141,9 +152,10 @@ impl LruCache {
             };
             self.order.remove(&tick);
             if let Some(e) = self.map.remove(&victim) {
-                if e.dirty {
-                    out.push((victim, e.data));
-                }
+                out.push(Eviction {
+                    id: victim,
+                    dirty_data: e.dirty.then_some(e.data),
+                });
             } else {
                 break; // order/map out of sync; avoid spinning forever
             }
@@ -174,25 +186,29 @@ mod tests {
         assert!(c.insert(1, page(1), false).is_none());
         assert!(c.insert(2, page(2), false).is_none());
         let _ = c.get(1); // 2 is now LRU
-        assert!(c.insert(3, page(3), false).is_none());
+        let ev = c.insert(3, page(3), false);
+        assert_eq!(ev.map(|e| e.id), Some(2), "page 2 was LRU");
         assert!(c.get(2).is_none(), "page 2 should have been evicted");
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
     }
 
     #[test]
-    fn dirty_eviction_returns_page() {
+    fn dirty_eviction_returns_page_image() {
         let mut c = LruCache::new(1);
         assert!(c.insert(1, page(1), true).is_none());
-        let ev = c.insert(2, page(2), false);
-        assert_eq!(ev.map(|(id, d)| (id, d[0])), Some((1, 1)));
+        let ev = c.insert(2, page(2), false).expect("capacity 1 must evict");
+        assert_eq!(ev.id, 1);
+        assert_eq!(ev.dirty_data.as_deref().map(|d| d[0]), Some(1));
     }
 
     #[test]
-    fn clean_eviction_returns_nothing() {
+    fn clean_eviction_reported_without_write_back() {
         let mut c = LruCache::new(1);
         assert!(c.insert(1, page(1), false).is_none());
-        assert!(c.insert(2, page(2), false).is_none());
+        let ev = c.insert(2, page(2), false).expect("capacity 1 must evict");
+        assert_eq!(ev.id, 1);
+        assert!(ev.dirty_data.is_none(), "clean page needs no write-back");
     }
 
     #[test]
@@ -231,7 +247,12 @@ mod tests {
         assert!(c.insert(2, page(2), true).is_none());
         assert!(c.insert(3, page(3), false).is_none());
         let spilled = c.set_capacity(1);
-        assert_eq!(spilled.len(), 2);
+        assert_eq!(spilled.len(), 2, "two pages must leave the pool");
+        assert_eq!(
+            spilled.iter().filter(|e| e.dirty_data.is_some()).count(),
+            2,
+            "both evicted pages were dirty"
+        );
         assert_eq!(c.len(), 1);
     }
 

@@ -196,11 +196,19 @@ impl PageFile {
     pub fn set_cache_capacity(&self, pages: usize) -> Result<()> {
         let mut inner = self.inner.lock();
         let spilled = inner.cache.set_capacity(pages);
-        for (id, data) in spilled {
-            inner.stats.record_physical_write();
-            self.store.write_page(id, &data)?;
+        inner.stats.record_cache_evictions(spilled.len() as u64);
+        for ev in spilled {
+            if let Some(data) = ev.dirty_data {
+                inner.stats.record_physical_write();
+                self.store.write_page(ev.id, &data)?;
+            }
         }
         Ok(())
+    }
+
+    /// Current buffer-pool capacity in pages (`0` = caching disabled).
+    pub fn cache_capacity(&self) -> usize {
+        self.inner.lock().cache.capacity()
     }
 
     /// The persistent user metadata blob (index root id etc.).
@@ -286,14 +294,19 @@ impl PageFile {
 
     fn read_raw(&self, inner: &mut Inner, id: PageId) -> Result<Box<[u8]>> {
         if let Some(data) = inner.cache.get(id) {
+            inner.stats.record_cache_hit();
             return Ok(data.to_vec().into_boxed_slice());
         }
+        inner.stats.record_cache_miss();
         let mut buf = vec![0u8; self.page_size].into_boxed_slice();
         inner.stats.record_physical_read();
         self.store.read_page(id, &mut buf)?;
-        if let Some((victim, dirty)) = inner.cache.insert(id, buf.clone(), false) {
-            inner.stats.record_physical_write();
-            self.store.write_page(victim, &dirty)?;
+        if let Some(ev) = inner.cache.insert(id, buf.clone(), false) {
+            inner.stats.record_cache_evictions(1);
+            if let Some(dirty) = ev.dirty_data {
+                inner.stats.record_physical_write();
+                self.store.write_page(ev.id, &dirty)?;
+            }
         }
         Ok(buf)
     }
@@ -347,9 +360,12 @@ impl PageFile {
         if inner.cache.capacity() == 0 {
             inner.stats.record_physical_write();
             self.store.write_page(id, &page)?;
-        } else if let Some((victim, dirty)) = inner.cache.insert(id, page, true) {
-            inner.stats.record_physical_write();
-            self.store.write_page(victim, &dirty)?;
+        } else if let Some(ev) = inner.cache.insert(id, page, true) {
+            inner.stats.record_cache_evictions(1);
+            if let Some(dirty) = ev.dirty_data {
+                inner.stats.record_physical_write();
+                self.store.write_page(ev.id, &dirty)?;
+            }
         }
         Ok(())
     }
@@ -539,6 +555,50 @@ mod tests {
         std::fs::write(&path, vec![0x55u8; 1024]).unwrap();
         assert!(matches!(PageFile::open(&path), Err(PagerError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_counters_track_hits_misses_and_evictions() {
+        let pf = PageFile::create_in_memory(512).unwrap();
+        pf.set_cache_capacity(2).unwrap();
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                let id = pf.allocate(PageKind::Leaf).unwrap();
+                pf.write(id, PageKind::Leaf, &[i as u8; 8]).unwrap();
+                id
+            })
+            .collect();
+        pf.reset_stats();
+
+        // Sweep all four pages through a 2-page pool: every read misses
+        // (the pool never holds the page we ask for next), and since the
+        // writes above left the pool full, every miss also evicts.
+        for &id in &ids {
+            let _ = pf.read(id, PageKind::Leaf).unwrap();
+        }
+        let s = pf.stats();
+        assert_eq!(s.cache_misses(), 4);
+        assert_eq!(
+            s.cache_misses(),
+            s.physical_reads(),
+            "every miss is exactly one physical read"
+        );
+        assert_eq!(s.cache_evictions(), 4, "full pool: one eviction per miss");
+
+        // Re-read the two resident pages: pure hits.
+        pf.reset_stats();
+        let _ = pf.read(ids[2], PageKind::Leaf).unwrap();
+        let _ = pf.read(ids[3], PageKind::Leaf).unwrap();
+        let s = pf.stats();
+        assert_eq!(s.cache_hits(), 2);
+        assert_eq!(s.cache_misses(), 0);
+        assert_eq!(s.cache_hit_rate(), Some(1.0));
+
+        // Shrinking the pool counts its spills as evictions.
+        pf.reset_stats();
+        pf.set_cache_capacity(0).unwrap();
+        assert_eq!(pf.stats().cache_evictions(), 2);
+        assert_eq!(pf.cache_capacity(), 0);
     }
 
     #[test]

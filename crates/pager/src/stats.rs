@@ -11,12 +11,19 @@ use crate::page::PageKind;
 ///   the paper's per-query disk-read plots use.
 /// * **Physical** reads/writes count only requests that reached the
 ///   underlying [`crate::PageStore`].
+/// * **Cache** hits/misses count buffer-pool probes on the read path
+///   (every logical read is exactly one hit or one miss, and every miss
+///   is exactly one physical read); evictions count pages pushed out of
+///   the pool to make room, dirty or clean.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IoStats {
     logical_reads: [u64; 4],
     logical_writes: [u64; 4],
     physical_reads: u64,
     physical_writes: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
 }
 
 impl IoStats {
@@ -43,6 +50,18 @@ impl IoStats {
 
     pub(crate) fn record_physical_write(&mut self) {
         self.physical_writes += 1;
+    }
+
+    pub(crate) fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    pub(crate) fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
+    pub(crate) fn record_cache_evictions(&mut self, n: u64) {
+        self.cache_evictions += n;
     }
 
     /// Logical reads of pages of `kind`.
@@ -79,6 +98,30 @@ impl IoStats {
         self.physical_writes
     }
 
+    /// Read-path buffer-pool probes answered from memory.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Read-path buffer-pool probes that had to go to the store. Always
+    /// equal to [`IoStats::physical_reads`].
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Pages evicted from the buffer pool to make room (dirty or clean),
+    /// including those spilled by a capacity shrink.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    /// Hit fraction of read-path probes, or `None` before the first probe.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        #[allow(clippy::cast_precision_loss)] // display-only ratio
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
     /// Difference `self - earlier`, for windowed measurements around a
     /// single query. Saturates rather than panicking if counters were
     /// reset in between.
@@ -101,6 +144,9 @@ impl IoStats {
         );
         d.physical_reads = self.physical_reads.saturating_sub(earlier.physical_reads);
         d.physical_writes = self.physical_writes.saturating_sub(earlier.physical_writes);
+        d.cache_hits = self.cache_hits.saturating_sub(earlier.cache_hits);
+        d.cache_misses = self.cache_misses.saturating_sub(earlier.cache_misses);
+        d.cache_evictions = self.cache_evictions.saturating_sub(earlier.cache_evictions);
         d
     }
 }
@@ -141,5 +187,28 @@ mod tests {
         old.record_physical_read();
         let fresh = IoStats::new();
         assert_eq!(fresh.since(&old).physical_reads(), 0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_window() {
+        let mut s = IoStats::new();
+        assert_eq!(s.cache_hit_rate(), None, "no probes yet");
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_evictions(2);
+        assert_eq!(s.cache_hits(), 3);
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_evictions(), 2);
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
+
+        let snapshot = s.clone();
+        s.record_cache_miss();
+        s.record_cache_evictions(1);
+        let d = s.since(&snapshot);
+        assert_eq!(d.cache_hits(), 0);
+        assert_eq!(d.cache_misses(), 1);
+        assert_eq!(d.cache_evictions(), 1);
     }
 }

@@ -14,11 +14,16 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use sr_obs::{Gauge, Hist, Noop, Recorder, SpanTimer};
+
 use crate::heap::{CandidateSet, Neighbor};
-use crate::knn::{Expansion, KnnSource};
+use crate::knn::{record_expansion, record_prune, Expansion, KnnSource, RegionBound};
 
 enum Item<N> {
-    Node(N),
+    /// An unexpanded region and the provenance of its lower bound (kept
+    /// so regions still queued when the search stops can be attributed as
+    /// prune events).
+    Node(N, RegionBound),
     Point(Neighbor),
 }
 
@@ -67,6 +72,18 @@ pub fn knn_best_first<S: KnnSource>(
     query: &[f32],
     k: usize,
 ) -> Result<Vec<Neighbor>, S::Error> {
+    knn_best_first_traced(src, query, k, &Noop)
+}
+
+/// [`knn_best_first`] with a metrics recorder. With [`Noop`] this
+/// monomorphizes to exactly the uninstrumented search.
+pub fn knn_best_first_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    k: usize,
+    rec: &R,
+) -> Result<Vec<Neighbor>, S::Error> {
+    let _span = SpanTimer::start(rec, Hist::QueryNs);
     let mut cands = CandidateSet::new(k);
     let mut heap: BinaryHeap<QueueEntry<S::Node>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -75,19 +92,33 @@ pub fn knn_best_first<S: KnnSource>(
             dist2: 0.0,
             point_first: false,
             seq,
-            item: Item::Node(root),
+            // The root's provenance never matters: at distance 0 it is
+            // expanded before anything can prune it.
+            item: Item::Node(root, RegionBound::Rect),
         });
     }
     let mut exp = Expansion::default();
     while let Some(entry) = heap.pop() {
         if entry.dist2 >= cands.prune_dist2() {
-            break; // nothing closer can ever surface
+            // Nothing closer can ever surface. Every region still queued
+            // is a prune event: best-first skips it exactly the way DFS
+            // skips a branch that cannot beat the k-th candidate.
+            if rec.enabled() {
+                let thr = cands.prune_dist2();
+                for e in std::iter::once(entry).chain(heap.drain()) {
+                    if let Item::Node(_, bound) = e.item {
+                        record_prune(rec, bound, |c| c >= thr);
+                    }
+                }
+            }
+            break;
         }
         match entry.item {
             Item::Point(n) => cands.offer(n.dist2, n.data),
-            Item::Node(node) => {
+            Item::Node(node, _) => {
                 exp.clear();
                 src.expand(&node, query, &mut exp)?;
+                record_expansion(rec, &exp);
                 for n in exp.points.drain(..) {
                     seq += 1;
                     heap.push(QueueEntry {
@@ -97,17 +128,21 @@ pub fn knn_best_first<S: KnnSource>(
                         item: Item::Point(n),
                     });
                 }
-                for (d, child) in exp.branches.drain(..) {
-                    if d < cands.prune_dist2() {
+                for b in exp.branches.drain(..) {
+                    let thr = cands.prune_dist2();
+                    if b.dist2 < thr {
                         seq += 1;
                         heap.push(QueueEntry {
-                            dist2: d,
+                            dist2: b.dist2,
                             point_first: false,
                             seq,
-                            item: Item::Node(child),
+                            item: Item::Node(b.node, b.bound),
                         });
+                    } else {
+                        record_prune(rec, b.bound, |c| c >= thr);
                     }
                 }
+                rec.gauge_max(Gauge::HeapHighWater, heap.len() as u64);
             }
         }
     }
@@ -119,6 +154,7 @@ mod tests {
     use super::*;
     use crate::bruteforce::brute_force_knn;
     use crate::knn::mock::MockTree;
+    use sr_obs::{Counter, StatsRecorder};
 
     fn pseudo_points(n: usize, d: usize, seed: u64) -> Vec<(Vec<f32>, u64)> {
         let mut s = seed.max(1);
@@ -176,5 +212,26 @@ mod tests {
         for w in got.windows(2) {
             assert!(w[0].dist2 <= w[1].dist2);
         }
+    }
+
+    #[test]
+    fn traced_best_first_tracks_heap_high_water() {
+        let pts = pseudo_points(500, 8, 321);
+        let tree = MockTree::build(pts.clone(), 16);
+        let rec = StatsRecorder::new();
+        let got = knn_best_first_traced(&tree, &pts[3].0, 5, &rec).unwrap();
+        let plain = knn_best_first(&tree, &pts[3].0, 5).unwrap();
+        assert_eq!(got, plain, "tracing must not change results");
+        let s = rec.snapshot();
+        assert!(s.gauge(Gauge::HeapHighWater) > 0);
+        assert!(s.counter(Counter::LeafExpansions) > 0);
+        // Best-first reads no more pages than DFS on the same tree.
+        let df_rec = StatsRecorder::new();
+        let _ = crate::knn_traced(&tree, &pts[3].0, 5, &df_rec).unwrap();
+        let df = df_rec.snapshot();
+        assert!(
+            s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions)
+                <= df.counter(Counter::NodeExpansions) + df.counter(Counter::LeafExpansions)
+        );
     }
 }

@@ -1,0 +1,51 @@
+//! Typed query errors.
+
+use std::fmt;
+
+/// Error of the [`crate::range`] engine.
+///
+/// A range query can fail for two reasons: the query itself is invalid
+/// (negative or NaN radius — previously an `assert!`, which violated the
+/// workspace's no-panic policy for library crates), or the underlying
+/// tree failed while fetching nodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryError<E> {
+    /// The range radius was negative or NaN.
+    InvalidRadius(f64),
+    /// The underlying tree failed.
+    Source(E),
+}
+
+impl<E: fmt::Display> fmt::Display for QueryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidRadius(r) => {
+                write!(f, "invalid range radius {r}: must be non-negative")
+            }
+            QueryError::Source(e) => e.fmt(f),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for QueryError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::InvalidRadius(_) => None,
+            QueryError::Source(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e: QueryError<std::io::Error> = QueryError::InvalidRadius(-2.0);
+        assert_eq!(
+            e.to_string(),
+            "invalid range radius -2: must be non-negative"
+        );
+    }
+}

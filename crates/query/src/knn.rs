@@ -1,17 +1,53 @@
 //! The depth-first branch-and-bound k-NN search of Roussopoulos, Kelley &
 //! Vincent (SIGMOD 1995), generic over the tree it runs on.
 
+use sr_obs::{Counter, Gauge, Hist, Noop, Recorder, SpanTimer};
+
 use crate::heap::{CandidateSet, Neighbor};
+
+/// Which region shape produced a branch's lower bound — the provenance
+/// the prune-breakdown metrics attribute skipped branches to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RegionBound {
+    /// Rectangle `MINDIST` alone (R\*-tree, K-D-B-tree, VAMSplit R-tree).
+    Rect,
+    /// Sphere surface distance alone (SS-tree).
+    Sphere,
+    /// The SR-tree's §4.4 combined bound `max(d_sphere, d_rect)`. Both
+    /// squared components are kept so a prune event can be credited to
+    /// every shape whose bound would have sufficed on its own — which is
+    /// what quantifies the combined bound's advantage: per query,
+    /// `PruneEvents >= max(PruneSphere, PruneRect)` by construction, and
+    /// any excess over a single shape's count is pruning only the
+    /// combination achieves.
+    Max {
+        /// Squared sphere-surface distance from the query to the region.
+        sphere2: f64,
+        /// Squared rectangle `MINDIST` from the query to the region.
+        rect2: f64,
+    },
+}
+
+/// A scored child branch: the child's region lower bound, its provenance,
+/// and the opaque node handle to expand it with.
+#[derive(Clone, Copy, Debug)]
+pub struct Branch<N> {
+    /// Squared lower bound on the distance from the query point to any
+    /// point stored under this branch.
+    pub dist2: f64,
+    /// Which shape(s) produced `dist2`.
+    pub bound: RegionBound,
+    /// The tree's node handle.
+    pub node: N,
+}
 
 /// What a node expands into: scored child branches (internal node) or
 /// scored points (leaf). A tree fills exactly one of the two vectors per
-/// call, but the engine does not care if both are filled.
+/// call; the metrics layer classifies an expansion with no branches as a
+/// leaf expansion.
 pub struct Expansion<N> {
-    /// Child branches with the squared distance from the query point to
-    /// the child's *region* — the tree-specific lower bound (MINDIST for
-    /// rectangles, sphere-surface distance for spheres, their max for the
-    /// SR-tree).
-    pub branches: Vec<(f64, N)>,
+    /// Child branches with their region lower bounds.
+    pub branches: Vec<Branch<N>>,
     /// Leaf points with their exact squared distance from the query.
     pub points: Vec<Neighbor>,
 }
@@ -31,6 +67,38 @@ impl<N> Expansion<N> {
     pub fn clear(&mut self) {
         self.branches.clear();
         self.points.clear();
+    }
+
+    /// Push a leaf point with its exact squared distance.
+    pub fn push_point(&mut self, dist2: f64, data: u64) {
+        self.points.push(Neighbor { dist2, data });
+    }
+
+    /// Push a branch bounded by a rectangle `MINDIST` alone.
+    pub fn push_rect_branch(&mut self, rect2: f64, node: N) {
+        self.branches.push(Branch {
+            dist2: rect2,
+            bound: RegionBound::Rect,
+            node,
+        });
+    }
+
+    /// Push a branch bounded by a sphere surface distance alone.
+    pub fn push_sphere_branch(&mut self, sphere2: f64, node: N) {
+        self.branches.push(Branch {
+            dist2: sphere2,
+            bound: RegionBound::Sphere,
+            node,
+        });
+    }
+
+    /// Push a branch bounded by the SR-tree's `max(d_sphere, d_rect)`.
+    pub fn push_max_branch(&mut self, sphere2: f64, rect2: f64, node: N) {
+        self.branches.push(Branch {
+            dist2: sphere2.max(rect2),
+            bound: RegionBound::Max { sphere2, rect2 },
+            node,
+        });
     }
 }
 
@@ -54,6 +122,42 @@ pub trait KnnSource {
     ) -> Result<(), Self::Error>;
 }
 
+/// Count one node expansion: node-vs-leaf split, points scored, branches
+/// considered, fan-out histogram.
+pub(crate) fn record_expansion<N, R: Recorder + ?Sized>(rec: &R, exp: &Expansion<N>) {
+    if exp.branches.is_empty() {
+        rec.incr(Counter::LeafExpansions, 1);
+    } else {
+        rec.incr(Counter::NodeExpansions, 1);
+        rec.incr(Counter::BranchesConsidered, exp.branches.len() as u64);
+        rec.observe(Hist::NodeFanout, exp.branches.len() as u64);
+    }
+    rec.incr(Counter::PointsScored, exp.points.len() as u64);
+}
+
+/// Count one pruned branch, attributing the event to every shape whose
+/// bound would have pruned on its own (`would_prune` applies the engine's
+/// prune comparison — `>= thr` for k-NN, `> r²` for range).
+pub(crate) fn record_prune<R: Recorder + ?Sized>(
+    rec: &R,
+    bound: RegionBound,
+    would_prune: impl Fn(f64) -> bool,
+) {
+    rec.incr(Counter::PruneEvents, 1);
+    match bound {
+        RegionBound::Rect => rec.incr(Counter::PruneRect, 1),
+        RegionBound::Sphere => rec.incr(Counter::PruneSphere, 1),
+        RegionBound::Max { sphere2, rect2 } => {
+            if would_prune(sphere2) {
+                rec.incr(Counter::PruneSphere, 1);
+            }
+            if would_prune(rect2) {
+                rec.incr(Counter::PruneRect, 1);
+            }
+        }
+    }
+}
+
 /// Find the `k` nearest neighbors of `query`, sorted by ascending
 /// distance.
 ///
@@ -64,33 +168,54 @@ pub trait KnnSource {
 /// controls — the SR-tree's `max(d_sphere, d_rect)` bound prunes strictly
 /// more than either bound alone.
 pub fn knn<S: KnnSource>(src: &S, query: &[f32], k: usize) -> Result<Vec<Neighbor>, S::Error> {
+    knn_traced(src, query, k, &Noop)
+}
+
+/// [`knn`] with a metrics recorder. With [`Noop`] this monomorphizes to
+/// exactly the uninstrumented search.
+pub fn knn_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    k: usize,
+    rec: &R,
+) -> Result<Vec<Neighbor>, S::Error> {
+    let _span = SpanTimer::start(rec, Hist::QueryNs);
     let mut cands = CandidateSet::new(k);
     if let Some(root) = src.root()? {
-        visit(src, &root, query, &mut cands)?;
+        visit(src, &root, query, &mut cands, rec)?;
     }
+    rec.gauge_max(Gauge::HeapHighWater, cands.len() as u64);
     Ok(cands.into_sorted())
 }
 
-fn visit<S: KnnSource>(
+fn visit<S: KnnSource, R: Recorder + ?Sized>(
     src: &S,
     node: &S::Node,
     query: &[f32],
     cands: &mut CandidateSet,
+    rec: &R,
 ) -> Result<(), S::Error> {
     let mut exp = Expansion::default();
     src.expand(node, query, &mut exp)?;
+    record_expansion(rec, &exp);
     for n in &exp.points {
         cands.offer(n.dist2, n.data);
     }
     // Visit nearer regions first: they tighten the pruning bound fastest,
     // which is what lets the later, farther siblings be skipped.
-    exp.branches
-        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    for (d, child) in &exp.branches {
+    exp.branches.sort_by(|a, b| {
+        a.dist2
+            .partial_cmp(&b.dist2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for b in &exp.branches {
         // A region at exactly the k-th distance cannot contain a strictly
         // better point, so strict inequality is the correct prune.
-        if *d < cands.prune_dist2() {
-            visit(src, child, query, cands)?;
+        let thr = cands.prune_dist2();
+        if b.dist2 < thr {
+            visit(src, &b.node, query, cands, rec)?;
+        } else {
+            record_prune(rec, b.bound, |c| c >= thr);
         }
     }
     Ok(())
@@ -213,7 +338,7 @@ pub(crate) mod mock {
             match &self.nodes[*node] {
                 MockNode::Inner { children, .. } => {
                     for &c in children {
-                        out.branches.push((self.nodes[c].min_dist2(query), c));
+                        out.push_rect_branch(self.nodes[c].min_dist2(query), c);
                     }
                 }
                 MockNode::Leaf { points, .. } => {
@@ -225,10 +350,7 @@ pub(crate) mod mock {
                             let t = p[i] as f64 - query[i] as f64;
                             d += t * t;
                         }
-                        out.points.push(Neighbor {
-                            dist2: d,
-                            data: *id,
-                        });
+                        out.push_point(d, *id);
                     }
                 }
             }
@@ -242,6 +364,7 @@ mod tests {
     use super::mock::MockTree;
     use super::*;
     use crate::bruteforce::brute_force_knn;
+    use sr_obs::StatsRecorder;
 
     fn pseudo_points(n: usize, d: usize, seed: u64) -> Vec<(Vec<f32>, u64)> {
         // Deterministic xorshift so the test needs no external RNG.
@@ -298,5 +421,62 @@ mod tests {
         let tree = MockTree::build(pts.clone(), 8);
         let got = knn(&tree, &pts[42].0, 1).unwrap();
         assert_eq!(got[0].dist2, 0.0);
+    }
+
+    #[test]
+    fn traced_knn_counts_expansions_and_prunes() {
+        let pts = pseudo_points(500, 8, 1234);
+        let tree = MockTree::build(pts.clone(), 16);
+        let rec = StatsRecorder::new();
+        let got = knn_traced(&tree, &pts[7].0, 5, &rec).unwrap();
+        let plain = knn(&tree, &pts[7].0, 5).unwrap();
+        assert_eq!(got, plain, "tracing must not change results");
+        let s = rec.snapshot();
+        assert!(s.counter(Counter::NodeExpansions) > 0);
+        assert!(s.counter(Counter::LeafExpansions) > 0);
+        assert!(s.counter(Counter::PointsScored) >= 5);
+        // Every branch either got expanded (as a node or leaf) or pruned;
+        // the root is expanded without ever being a branch.
+        let expanded = s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions) - 1;
+        assert_eq!(
+            s.counter(Counter::BranchesConsidered),
+            expanded + s.counter(Counter::PruneEvents)
+        );
+        // The mock scores branches with rectangles only.
+        assert_eq!(
+            s.counter(Counter::PruneEvents),
+            s.counter(Counter::PruneRect)
+        );
+        assert_eq!(s.counter(Counter::PruneSphere), 0);
+        assert_eq!(s.gauge(Gauge::HeapHighWater), 5);
+        assert_eq!(s.hist(Hist::QueryNs).count, 1);
+    }
+
+    #[test]
+    fn max_bound_prune_attribution_credits_each_sufficient_shape() {
+        let rec = StatsRecorder::new();
+        let thr = 10.0;
+        // Sphere alone suffices.
+        record_prune(
+            &rec,
+            RegionBound::Max {
+                sphere2: 12.0,
+                rect2: 5.0,
+            },
+            |c| c >= thr,
+        );
+        // Both suffice.
+        record_prune(
+            &rec,
+            RegionBound::Max {
+                sphere2: 11.0,
+                rect2: 13.0,
+            },
+            |c| c >= thr,
+        );
+        let s = rec.snapshot();
+        assert_eq!(s.counter(Counter::PruneEvents), 2);
+        assert_eq!(s.counter(Counter::PruneSphere), 2);
+        assert_eq!(s.counter(Counter::PruneRect), 1);
     }
 }

@@ -15,7 +15,10 @@
 //! To keep that distinction in one place per tree, the engine is generic
 //! over [`KnnSource`]: a tree exposes its root and a way to *expand* a node
 //! into scored child branches or leaf points, and [`knn`] / [`range`] do
-//! the rest.
+//! the rest. Branches carry their bound's provenance ([`RegionBound`]), so
+//! the `_traced` engine variants can attribute every prune event to the
+//! shape whose bound achieved it — the measurement behind the paper's
+//! Figure 8–10 series, recorded through `sr-obs`.
 //!
 //! [`brute_force_knn`] provides exact linear-scan answers used as ground
 //! truth by every correctness test in the workspace.
@@ -24,12 +27,14 @@
 
 mod best_first;
 mod bruteforce;
+mod error;
 mod heap;
 mod knn;
 mod range;
 
-pub use best_first::knn_best_first;
+pub use best_first::{knn_best_first, knn_best_first_traced};
 pub use bruteforce::{brute_force_knn, brute_force_range, pairwise_distance_stats, DistanceStats};
+pub use error::QueryError;
 pub use heap::{CandidateSet, Neighbor};
-pub use knn::{knn, Expansion, KnnSource};
-pub use range::range;
+pub use knn::{knn, knn_traced, Branch, Expansion, KnnSource, RegionBound};
+pub use range::{range, range_traced};

@@ -1,8 +1,11 @@
 //! Sphere range search over the same [`KnnSource`] abstraction as the
 //! k-NN engine.
 
+use sr_obs::{Hist, Noop, Recorder, SpanTimer};
+
+use crate::error::QueryError;
 use crate::heap::Neighbor;
-use crate::knn::{Expansion, KnnSource};
+use crate::knn::{record_expansion, record_prune, Expansion, KnnSource};
 
 /// Find every point within `radius` of `query`, sorted by ascending
 /// distance (ties broken by payload).
@@ -10,12 +13,33 @@ use crate::knn::{Expansion, KnnSource};
 /// A branch is visited iff its region distance is `<= radius^2`; a point
 /// is reported iff its exact distance is. Boundary points (distance
 /// exactly `radius`) are included.
-pub fn range<S: KnnSource>(src: &S, query: &[f32], radius: f64) -> Result<Vec<Neighbor>, S::Error> {
-    assert!(radius >= 0.0, "range radius must be non-negative");
+///
+/// A negative or NaN radius is rejected with
+/// [`QueryError::InvalidRadius`] — never a panic.
+pub fn range<S: KnnSource>(
+    src: &S,
+    query: &[f32],
+    radius: f64,
+) -> Result<Vec<Neighbor>, QueryError<S::Error>> {
+    range_traced(src, query, radius, &Noop)
+}
+
+/// [`range`] with a metrics recorder. With [`Noop`] this monomorphizes to
+/// exactly the uninstrumented search.
+pub fn range_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    radius: f64,
+    rec: &R,
+) -> Result<Vec<Neighbor>, QueryError<S::Error>> {
+    if radius.is_nan() || radius < 0.0 {
+        return Err(QueryError::InvalidRadius(radius));
+    }
+    let _span = SpanTimer::start(rec, Hist::QueryNs);
     let r2 = radius * radius;
     let mut out = Vec::new();
-    if let Some(root) = src.root()? {
-        visit(src, &root, query, r2, &mut out)?;
+    if let Some(root) = src.root().map_err(QueryError::Source)? {
+        visit(src, &root, query, r2, &mut out, rec).map_err(QueryError::Source)?;
     }
     out.sort_by(|a, b| {
         a.dist2
@@ -26,23 +50,27 @@ pub fn range<S: KnnSource>(src: &S, query: &[f32], radius: f64) -> Result<Vec<Ne
     Ok(out)
 }
 
-fn visit<S: KnnSource>(
+fn visit<S: KnnSource, R: Recorder + ?Sized>(
     src: &S,
     node: &S::Node,
     query: &[f32],
     r2: f64,
     out: &mut Vec<Neighbor>,
+    rec: &R,
 ) -> Result<(), S::Error> {
     let mut exp = Expansion::default();
     src.expand(node, query, &mut exp)?;
+    record_expansion(rec, &exp);
     for n in &exp.points {
         if n.dist2 <= r2 {
             out.push(*n);
         }
     }
-    for (d, child) in &exp.branches {
-        if *d <= r2 {
-            visit(src, child, query, r2, out)?;
+    for b in &exp.branches {
+        if b.dist2 <= r2 {
+            visit(src, &b.node, query, r2, out, rec)?;
+        } else {
+            record_prune(rec, b.bound, |c| c > r2);
         }
     }
     Ok(())
@@ -53,6 +81,7 @@ mod tests {
     use super::*;
     use crate::bruteforce::brute_force_range;
     use crate::knn::mock::MockTree;
+    use sr_obs::{Counter, StatsRecorder};
 
     fn grid_points() -> Vec<(Vec<f32>, u64)> {
         let mut pts = Vec::new();
@@ -96,5 +125,38 @@ mod tests {
         let tree = MockTree::build(pts, 7);
         let got = range(&tree, &[1000.0, 1000.0], 1.0).unwrap();
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn negative_radius_is_a_typed_error_not_a_panic() {
+        let pts = grid_points();
+        let tree = MockTree::build(pts, 7);
+        match range(&tree, &[0.0, 0.0], -1.0) {
+            Err(QueryError::InvalidRadius(r)) => assert_eq!(r, -1.0),
+            other => panic!("expected InvalidRadius, got {other:?}"),
+        }
+        assert!(matches!(
+            range(&tree, &[0.0, 0.0], f64::NAN),
+            Err(QueryError::InvalidRadius(_))
+        ));
+        // Zero stays valid: it returns exact matches only.
+        assert!(range(&tree, &[0.0, 0.0], 0.0).is_ok());
+    }
+
+    #[test]
+    fn traced_range_counts_prunes() {
+        let pts = grid_points();
+        let tree = MockTree::build(pts, 7);
+        let rec = StatsRecorder::new();
+        let got = range_traced(&tree, &[4.5, 4.5], 1.5, &rec).unwrap();
+        assert!(!got.is_empty());
+        let s = rec.snapshot();
+        assert!(s.counter(Counter::LeafExpansions) > 0);
+        // A 1.5-radius ball over a 10x10 grid skips most of the tree.
+        assert!(s.counter(Counter::PruneEvents) > 0);
+        assert_eq!(
+            s.counter(Counter::PruneEvents),
+            s.counter(Counter::PruneRect)
+        );
     }
 }

@@ -2,8 +2,9 @@
 //! regions with rectangle `MINDIST`, plus exact-match lookup.
 
 use sr_geometry::dist2;
+use sr_obs::Recorder;
 use sr_pager::PageId;
-use sr_query::{Expansion, KnnSource, Neighbor};
+use sr_query::{Expansion, KnnSource, Neighbor, QueryError};
 
 use crate::error::{Result, TreeError};
 use crate::node::Node;
@@ -18,6 +19,11 @@ impl KnnSource for Source<'_> {
     type Error = TreeError;
 
     fn root(&self) -> std::result::Result<Option<Self::Node>, TreeError> {
+        // Guard the `height - 1` below: an empty tree has nothing to
+        // search, and a height of 0 (corrupt metadata) would underflow.
+        if self.tree.is_empty() || self.tree.height == 0 {
+            return Ok(None);
+        }
         Ok(Some((self.tree.root, (self.tree.height - 1) as u16)))
     }
 
@@ -30,16 +36,12 @@ impl KnnSource for Source<'_> {
         match self.tree.read_node(id, level)? {
             Node::Leaf(entries) => {
                 for e in &entries {
-                    out.points.push(Neighbor {
-                        dist2: dist2(e.point.coords(), query),
-                        data: e.data,
-                    });
+                    out.push_point(dist2(e.point.coords(), query), e.data);
                 }
             }
             Node::Inner { entries, .. } => {
                 for e in &entries {
-                    out.branches
-                        .push((e.rect.min_dist2(query), (e.child, level - 1)));
+                    out.push_rect_branch(e.rect.min_dist2(query), (e.child, level - 1));
                 }
             }
         }
@@ -47,12 +49,25 @@ impl KnnSource for Source<'_> {
     }
 }
 
-pub(crate) fn knn(tree: &RstarTree, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-    sr_query::knn(&Source { tree }, query, k)
+pub(crate) fn knn(
+    tree: &RstarTree,
+    query: &[f32],
+    k: usize,
+    rec: &dyn Recorder,
+) -> Result<Vec<Neighbor>> {
+    sr_query::knn_traced(&Source { tree }, query, k, rec)
 }
 
-pub(crate) fn range(tree: &RstarTree, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-    sr_query::range(&Source { tree }, query, radius)
+pub(crate) fn range(
+    tree: &RstarTree,
+    query: &[f32],
+    radius: f64,
+    rec: &dyn Recorder,
+) -> Result<Vec<Neighbor>> {
+    sr_query::range_traced(&Source { tree }, query, radius, rec).map_err(|e| match e {
+        QueryError::InvalidRadius(r) => TreeError::InvalidRadius(r),
+        QueryError::Source(e) => e,
+    })
 }
 
 pub(crate) fn contains(tree: &RstarTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
@@ -76,6 +91,9 @@ pub(crate) fn contains(tree: &RstarTree, point: &sr_geometry::Point, data: u64) 
                 Ok(false)
             }
         }
+    }
+    if tree.is_empty() || tree.height == 0 {
+        return Ok(false);
     }
     walk(tree, tree.root, (tree.height - 1) as u16, point, data)
 }

@@ -4,6 +4,7 @@
 
 use std::collections::HashSet;
 
+use sr_geometry::CONTAINMENT_EPS;
 use sr_pager::PageId;
 
 use crate::error::{Result, TreeError};
@@ -13,6 +14,9 @@ use crate::tree::SsTree;
 
 /// Delete the exact entry `(point, data)`. Returns whether it was found.
 pub(crate) fn delete(tree: &mut SsTree, point: &sr_geometry::Point, data: u64) -> Result<bool> {
+    if tree.is_empty() || tree.height == 0 {
+        return Ok(false);
+    }
     let root_level = (tree.height - 1) as u16;
     let Some(path) = find_leaf(tree, tree.root, root_level, point, data)? else {
         return Ok(false);
@@ -93,7 +97,11 @@ fn find_leaf(
         }
         Node::Inner { entries, .. } => {
             for e in &entries {
-                if e.sphere.contains_point(point.coords(), 0.0) {
+                // Tolerant sphere test: the sphere is rebuilt from rounded
+                // f32 centroids, so the stored point can sit a few ulps
+                // outside it. An exact test here made delete silently miss
+                // live entries.
+                if e.sphere.contains_point(point.coords(), CONTAINMENT_EPS) {
                     if let Some(mut path) = find_leaf(tree, e.child, level - 1, point, data)? {
                         path.insert(0, id);
                         return Ok(Some(path));

@@ -22,6 +22,8 @@ pub enum TreeError {
     /// The page file does not contain this kind of index (bad magic or
     /// incompatible version in the tree metadata).
     NotThisIndex(String),
+    /// A range query was asked with a negative or NaN radius.
+    InvalidRadius(f64),
     /// A structural invariant of the tree does not hold — a decoded page
     /// contradicts itself or its parent. Always a sign of on-disk
     /// corruption or an internal bug; never raised on well-formed input.
@@ -39,6 +41,9 @@ impl fmt::Display for TreeError {
                 )
             }
             TreeError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+            TreeError::InvalidRadius(r) => {
+                write!(f, "invalid range radius {r}: must be non-negative")
+            }
             TreeError::Corrupt(msg) => write!(f, "tree structure corrupt: {msg}"),
         }
     }

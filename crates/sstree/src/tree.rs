@@ -223,14 +223,37 @@ impl SsTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k)
+        self.knn_traced(query, k, &sr_obs::Noop)
     }
 
-    /// Every point within `radius` of `query`.
-    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    /// [`SsTree::knn`] with a metrics recorder (node expansions, prune
+    /// events, heap high-water — see `sr-obs`).
+    pub fn knn_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::range(self, query, radius)
+        search::knn(self, query, k, rec)
+    }
+
+    /// Every point within `radius` of `query`, sorted by ascending
+    /// distance. A negative or NaN radius is rejected with
+    /// [`TreeError::InvalidRadius`].
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.range_traced(query, radius, &sr_obs::Noop)
+    }
+
+    /// [`SsTree::range`] with a metrics recorder.
+    pub fn range_traced(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
     }
 
     /// Bounding spheres of all non-empty leaves — the leaf-level regions

@@ -216,19 +216,44 @@ impl VamTree {
                 }
             }
         }
+        if self.is_empty() || self.height == 0 {
+            return Ok(false);
+        }
         walk(self, self.root, (self.height - 1) as u16, point, data)
     }
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k)
+        self.knn_traced(query, k, &sr_obs::Noop)
     }
 
-    /// Every point within `radius` of `query`.
-    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+    /// [`VamTree::knn`] with a metrics recorder (node expansions, prune
+    /// events, heap high-water — see `sr-obs`).
+    pub fn knn_traced(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
-        search::range(self, query, radius)
+        search::knn(self, query, k, rec)
+    }
+
+    /// Every point within `radius` of `query`. A negative or NaN radius
+    /// is rejected with [`TreeError::InvalidRadius`].
+    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
+        self.range_traced(query, radius, &sr_obs::Noop)
+    }
+
+    /// [`VamTree::range`] with a metrics recorder.
+    pub fn range_traced(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
     }
 
     /// Bounding rectangles of all (non-empty) leaves.

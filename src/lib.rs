@@ -22,6 +22,8 @@ pub use sr_dataset as dataset;
 pub use sr_geometry as geometry;
 /// Baseline: the K-D-B-tree (Robinson, SIGMOD 1981).
 pub use sr_kdbtree as kdbtree;
+/// Observability: counters, histograms, span timers behind `Recorder`.
+pub use sr_obs as obs;
 /// Disk page store: 8 KiB pages, LRU buffer pool, I/O statistics.
 pub use sr_pager as pager;
 /// Generic k-NN / range search engines and brute-force ground truth.

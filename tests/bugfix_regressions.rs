@@ -1,0 +1,207 @@
+//! Regression tests for three correctness bugs the observability work
+//! exposed:
+//!
+//! 1. **Zero-tolerance sphere containment** — `contains`/`delete`
+//!    descend by testing the stored point against each child's bounding
+//!    sphere. Spheres are rebuilt from f32-rounded centroids, so a live
+//!    point can sit a few ulps outside its ancestor's sphere; an exact
+//!    test silently missed such entries. Fixed with an epsilon-tolerant
+//!    test (`CONTAINMENT_EPS`).
+//! 2. **Empty-tree height underflow** — query entry points computed
+//!    `(height - 1) as u16` before checking for an empty tree, which
+//!    underflows for height 0 (corrupt metadata) and did useless page
+//!    walks for height 1 with an empty root. All five indexes now
+//!    short-circuit empty trees.
+//! 3. **Negative-radius panic** — `range` used to `assert!` on a
+//!    negative radius. It is now a typed error (`InvalidRadius`) on all
+//!    five indexes.
+
+use srtree::dataset::{cluster, uniform, ClusterSpec};
+use srtree::geometry::Point;
+use srtree::kdbtree::KdbTree;
+use srtree::rstar::RstarTree;
+use srtree::sstree::SsTree;
+use srtree::tree::SrTree;
+use srtree::vamsplit::VamTree;
+
+// ---------------------------------------------------------------------
+// Bug 1: sphere-boundary containment.
+// ---------------------------------------------------------------------
+
+/// Clustered data maximizes centroid-update rounding: many near-identical
+/// coordinates accumulate f32 error in the running means the spheres are
+/// rebuilt from. Every inserted entry must remain visible to `contains`
+/// and removable by `delete`.
+#[test]
+fn sr_tree_contains_and_delete_find_every_live_entry() {
+    let points = cluster(
+        ClusterSpec {
+            clusters: 10,
+            points_per_cluster: 150,
+            max_radius: 0.001,
+        },
+        16,
+        41,
+    );
+    let mut tree = SrTree::create_in_memory(16, 4096).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            tree.contains(p, i as u64).unwrap(),
+            "entry {i} was inserted but contains() cannot see it"
+        );
+    }
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            tree.delete(p, i as u64).unwrap(),
+            "entry {i} was inserted but delete() cannot find it"
+        );
+    }
+    assert!(tree.is_empty());
+}
+
+#[test]
+fn ss_tree_contains_and_delete_find_every_live_entry() {
+    let points = cluster(
+        ClusterSpec {
+            clusters: 10,
+            points_per_cluster: 150,
+            max_radius: 0.001,
+        },
+        16,
+        43,
+    );
+    let mut tree = SsTree::create_in_memory(16, 4096).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            tree.contains(p, i as u64).unwrap(),
+            "entry {i} was inserted but contains() cannot see it"
+        );
+    }
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            tree.delete(p, i as u64).unwrap(),
+            "entry {i} was inserted but delete() cannot find it"
+        );
+    }
+    assert!(tree.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Bug 2: empty-tree queries.
+// ---------------------------------------------------------------------
+
+/// Every query entry point must handle a tree that holds no points —
+/// no panics, no underflow, empty results.
+#[test]
+fn empty_trees_answer_every_query_shape() {
+    let q = vec![0.5f32; 8];
+    let p = Point::new(q.clone());
+
+    let mut sr = SrTree::create_in_memory(8, 4096).unwrap();
+    assert!(sr.knn(&q, 5).unwrap().is_empty());
+    assert!(sr.knn_best_first(&q, 5).unwrap().is_empty());
+    assert!(sr.range(&q, 1.0).unwrap().is_empty());
+    assert!(!sr.contains(&p, 0).unwrap());
+    assert!(!sr.delete(&p, 0).unwrap());
+
+    let mut ss = SsTree::create_in_memory(8, 4096).unwrap();
+    assert!(ss.knn(&q, 5).unwrap().is_empty());
+    assert!(ss.range(&q, 1.0).unwrap().is_empty());
+    assert!(!ss.contains(&p, 0).unwrap());
+    assert!(!ss.delete(&p, 0).unwrap());
+
+    let mut rs = RstarTree::create_in_memory(8, 4096).unwrap();
+    assert!(rs.knn(&q, 5).unwrap().is_empty());
+    assert!(rs.range(&q, 1.0).unwrap().is_empty());
+    assert!(!rs.contains(&p, 0).unwrap());
+    assert!(!rs.delete(&p, 0).unwrap());
+
+    let mut kdb = KdbTree::create_in_memory(8, 4096).unwrap();
+    assert!(kdb.knn(&q, 5).unwrap().is_empty());
+    assert!(kdb.range(&q, 1.0).unwrap().is_empty());
+    assert!(!kdb.contains(&p, 0).unwrap());
+    assert!(!kdb.delete(&p, 0).unwrap());
+
+    let vam = VamTree::build_in_memory(Vec::new(), 8, 4096).unwrap();
+    assert!(vam.knn(&q, 5).unwrap().is_empty());
+    assert!(vam.range(&q, 1.0).unwrap().is_empty());
+    assert!(!vam.contains(&p, 0).unwrap());
+}
+
+/// Deleting the last entry takes a tree back to empty; queries must
+/// keep working afterwards (this exercises the post-shrink state, not
+/// just the freshly created one).
+#[test]
+fn trees_emptied_by_deletion_still_answer_queries() {
+    let q = vec![0.5f32; 4];
+    let p = Point::new(q.clone());
+
+    let mut sr = SrTree::create_in_memory(4, 4096).unwrap();
+    sr.insert(p.clone(), 7).unwrap();
+    assert!(sr.delete(&p, 7).unwrap());
+    assert!(sr.knn(&q, 3).unwrap().is_empty());
+    assert!(sr.range(&q, 10.0).unwrap().is_empty());
+    assert!(!sr.contains(&p, 7).unwrap());
+}
+
+// ---------------------------------------------------------------------
+// Bug 3: negative radius is a typed error.
+// ---------------------------------------------------------------------
+
+#[test]
+fn negative_radius_is_rejected_not_a_panic() {
+    let points = uniform(100, 4, 47);
+    let q = vec![0.5f32; 4];
+
+    let mut sr = SrTree::create_in_memory(4, 4096).unwrap();
+    let mut ss = SsTree::create_in_memory(4, 4096).unwrap();
+    let mut rs = RstarTree::create_in_memory(4, 4096).unwrap();
+    let mut kdb = KdbTree::create_in_memory(4, 4096).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        sr.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+        rs.insert(p.clone(), i as u64).unwrap();
+        kdb.insert(p.clone(), i as u64).unwrap();
+    }
+    let with_ids: Vec<(Point, u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+    let vam = VamTree::build_in_memory(with_ids, 4, 4096).unwrap();
+
+    use srtree::kdbtree::TreeError as KdbError;
+    use srtree::rstar::TreeError as RsError;
+    use srtree::sstree::TreeError as SsError;
+    use srtree::tree::TreeError as SrError;
+    use srtree::vamsplit::TreeError as VamError;
+
+    assert!(matches!(
+        sr.range(&q, -1.0),
+        Err(SrError::InvalidRadius(r)) if r == -1.0
+    ));
+    assert!(matches!(ss.range(&q, -1.0), Err(SsError::InvalidRadius(_))));
+    assert!(matches!(rs.range(&q, -1.0), Err(RsError::InvalidRadius(_))));
+    assert!(matches!(
+        kdb.range(&q, -1.0),
+        Err(KdbError::InvalidRadius(_))
+    ));
+    assert!(matches!(
+        vam.range(&q, -1.0),
+        Err(VamError::InvalidRadius(_))
+    ));
+    assert!(matches!(
+        sr.range(&q, f64::NAN),
+        Err(SrError::InvalidRadius(_))
+    ));
+
+    // Zero and +inf stay valid: a degenerate and a full-scan radius.
+    assert!(sr.range(&q, 0.0).is_ok());
+    assert_eq!(sr.range(&q, f64::INFINITY).unwrap().len(), points.len());
+}

@@ -1,0 +1,118 @@
+//! Integration: the per-query prune breakdown recorded by `sr-obs`
+//! quantifies the paper's §4.4 claim — the combined lower bound
+//! `max(d_sphere, d_rect)` prunes at least as well as either shape's
+//! bound alone.
+//!
+//! Attribution semantics: under `DistanceBound::Both`, a prune event
+//! credits *every* shape whose bound alone would have sufficed, so per
+//! query `prune_events >= max(prune_sphere, prune_rect)` holds by
+//! construction, and the excess of `prune_events` over a single shape's
+//! count is exactly the advantage of combining them.
+
+use srtree::dataset::{sample_queries, uniform};
+use srtree::obs::{Counter, StatsRecorder};
+use srtree::tree::{DistanceBound, SrTree};
+
+fn build(n: usize, dim: usize, seed: u64) -> SrTree {
+    let points = uniform(n, dim, seed);
+    let mut tree = SrTree::create_in_memory(dim, 4096).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn combined_bound_prunes_at_least_each_single_shape() {
+    let dim = 16;
+    let tree = build(3_000, dim, 59);
+    let queries = sample_queries(&uniform(3_000, dim, 59), 15, 61);
+
+    let rec = StatsRecorder::new();
+    let mut before = rec.snapshot();
+    let mut saw_sphere_prune = false;
+    let mut saw_rect_prune = false;
+
+    for q in &queries {
+        let _ = tree
+            .knn_with_bound_traced(q.coords(), 10, DistanceBound::Both, &rec)
+            .unwrap();
+        let now = rec.snapshot();
+        let w = now.since(&before);
+        before = now;
+
+        let events = w.counter(Counter::PruneEvents);
+        let sphere = w.counter(Counter::PruneSphere);
+        let rect = w.counter(Counter::PruneRect);
+        assert!(
+            events >= sphere.max(rect),
+            "per query, the combined bound must prune at least as much as \
+             either shape alone: events {events}, sphere {sphere}, rect {rect}"
+        );
+        assert!(
+            w.counter(Counter::NodeExpansions) + w.counter(Counter::LeafExpansions) > 0,
+            "a knn query over 3000 points must expand nodes"
+        );
+        saw_sphere_prune |= sphere > 0;
+        saw_rect_prune |= rect > 0;
+    }
+
+    // Across the workload both shapes must contribute — that is the
+    // point of storing both (paper §4.4, Figures 8-10).
+    assert!(saw_sphere_prune, "sphere bound never achieved a prune");
+    assert!(saw_rect_prune, "rect bound never achieved a prune");
+}
+
+#[test]
+fn combined_bound_expands_no_more_nodes_than_single_shapes() {
+    let dim = 16;
+    let tree = build(3_000, dim, 67);
+    let queries = sample_queries(&uniform(3_000, dim, 67), 10, 71);
+
+    let expansions = |bound: DistanceBound| -> u64 {
+        let rec = StatsRecorder::new();
+        for q in &queries {
+            let _ = tree
+                .knn_with_bound_traced(q.coords(), 10, bound, &rec)
+                .unwrap();
+        }
+        let s = rec.snapshot();
+        s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions)
+    };
+
+    let both = expansions(DistanceBound::Both);
+    let sphere_only = expansions(DistanceBound::SphereOnly);
+    let rect_only = expansions(DistanceBound::RectOnly);
+    assert!(
+        both <= sphere_only,
+        "combined bound must not expand more than sphere-only ({both} > {sphere_only})"
+    );
+    assert!(
+        both <= rect_only,
+        "combined bound must not expand more than rect-only ({both} > {rect_only})"
+    );
+}
+
+#[test]
+fn results_identical_across_bounds_while_counters_differ() {
+    let dim = 8;
+    let tree = build(1_000, dim, 73);
+    let q = sample_queries(&uniform(1_000, dim, 73), 1, 79);
+    let q = q[0].coords();
+
+    let rec = StatsRecorder::new();
+    let both = tree
+        .knn_with_bound_traced(q, 10, DistanceBound::Both, &rec)
+        .unwrap();
+    let sphere = tree
+        .knn_with_bound(q, 10, DistanceBound::SphereOnly)
+        .unwrap();
+    let rect = tree.knn_with_bound(q, 10, DistanceBound::RectOnly).unwrap();
+    let ids = |v: &[srtree::query::Neighbor]| v.iter().map(|n| n.data).collect::<Vec<_>>();
+    assert_eq!(ids(&both), ids(&sphere));
+    assert_eq!(ids(&both), ids(&rect));
+
+    let s = rec.snapshot();
+    assert_eq!(s.hist(srtree::obs::Hist::QueryNs).count, 1);
+    assert!(s.counter(Counter::PointsScored) >= 10);
+}
