@@ -44,7 +44,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
         t.pager().reset_stats();
         let rec = StatsRecorder::new();
         for q in &queries {
-            t.knn_with_bound_traced(q.coords(), K, bound, &rec)
+            t.knn_bounded_with(q.coords(), K, bound, &rec)
                 .map_err(|e| e.to_string())?;
         }
         let m = rec.snapshot();

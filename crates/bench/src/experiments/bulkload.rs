@@ -43,7 +43,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
                 .collect(),
         )
         .map_err(|e| e.to_string())?;
-        let bulk_idx = AnyIndex::Sr(bulk);
+        let bulk_idx = AnyIndex::from_sr(bulk);
         let bulk_cost = measure_knn(&bulk_idx, &queries, K);
 
         let vam = AnyIndex::build(TreeKind::Vam, &points);

@@ -7,7 +7,7 @@ use sr_geometry::Point;
 
 use crate::experiments::fig5::mean;
 use crate::experiments::uniform_data;
-use crate::index::{AnyIndex, TreeKind};
+use crate::index::{build_rstar, build_sr, build_ss};
 use crate::measure::Scale;
 use crate::report::{f, Report};
 
@@ -38,26 +38,17 @@ pub(crate) fn region_table(
     ]);
     for &n in sizes {
         let points = gen(n);
-        let rs = match AnyIndex::build(TreeKind::Rstar, &points) {
-            AnyIndex::Rstar(t) => t,
-            _ => unreachable!(),
-        };
+        let rs = build_rstar(&points);
         let rects = rs.leaf_regions().map_err(|e| e.to_string())?;
         let rs_vol = mean(rects.iter().map(|r| r.volume()));
         let rs_diam = mean(rects.iter().map(|r| r.diagonal()));
 
-        let ss = match AnyIndex::build(TreeKind::Ss, &points) {
-            AnyIndex::Ss(t) => t,
-            _ => unreachable!(),
-        };
+        let ss = build_ss(&points);
         let spheres = ss.leaf_regions().map_err(|e| e.to_string())?;
         let ss_vol = mean(spheres.iter().map(|s| s.volume()));
         let ss_diam = mean(spheres.iter().map(|s| s.diameter()));
 
-        let sr = match AnyIndex::build(TreeKind::Sr, &points) {
-            AnyIndex::Sr(t) => t,
-            _ => unreachable!(),
-        };
+        let sr = build_sr(&points);
         let pairs = sr.leaf_regions().map_err(|e| e.to_string())?;
         // Volume upper bound: the bounding rectangle; diameter upper
         // bound: the bounding sphere (the paper's Figure 12/13 markers).

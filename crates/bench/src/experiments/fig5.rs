@@ -4,7 +4,7 @@
 //! spheres are short-diameter but huge.
 
 use crate::experiments::uniform_data;
-use crate::index::{AnyIndex, TreeKind};
+use crate::index::{build_rstar, build_ss};
 use crate::measure::Scale;
 use crate::report::{f, Report};
 
@@ -23,18 +23,12 @@ pub fn run(scale: &Scale) -> Result<(), String> {
     for &n in &scale.uniform_sizes() {
         let points = uniform_data(n);
 
-        let ss = match AnyIndex::build(TreeKind::Ss, &points) {
-            AnyIndex::Ss(t) => t,
-            _ => unreachable!(),
-        };
+        let ss = build_ss(&points);
         let spheres = ss.leaf_regions().map_err(|e| e.to_string())?;
         let ss_vol = mean(spheres.iter().map(|s| s.volume()));
         let ss_diam = mean(spheres.iter().map(|s| s.diameter()));
 
-        let rs = match AnyIndex::build(TreeKind::Rstar, &points) {
-            AnyIndex::Rstar(t) => t,
-            _ => unreachable!(),
-        };
+        let rs = build_rstar(&points);
         let rects = rs.leaf_regions().map_err(|e| e.to_string())?;
         let rs_vol = mean(rects.iter().map(|r| r.volume()));
         let rs_diam = mean(rects.iter().map(|r| r.diagonal()));

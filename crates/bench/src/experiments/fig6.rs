@@ -5,7 +5,7 @@
 
 use crate::experiments::fig5::mean;
 use crate::experiments::uniform_data;
-use crate::index::{AnyIndex, TreeKind};
+use crate::index::{build_rstar, build_ss};
 use crate::measure::Scale;
 use crate::report::{f, Report};
 
@@ -17,10 +17,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
     report.header(["size", "SS sphere vol", "SS rect vol", "R* rect vol"]);
     for &n in &scale.uniform_sizes() {
         let points = uniform_data(n);
-        let ss = match AnyIndex::build(TreeKind::Ss, &points) {
-            AnyIndex::Ss(t) => t,
-            _ => unreachable!(),
-        };
+        let ss = build_ss(&points);
         let sphere_vol = mean(
             ss.leaf_regions()
                 .map_err(|e| e.to_string())?
@@ -33,10 +30,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
                 .iter()
                 .map(|r| r.volume()),
         );
-        let rs = match AnyIndex::build(TreeKind::Rstar, &points) {
-            AnyIndex::Rstar(t) => t,
-            _ => unreachable!(),
-        };
+        let rs = build_rstar(&points);
         let rs_vol = mean(
             rs.leaf_regions()
                 .map_err(|e| e.to_string())?

@@ -23,6 +23,7 @@ pub mod obs;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;
 
 use sr_dataset::{real_sim, sample_queries, uniform};
 use sr_geometry::Point;

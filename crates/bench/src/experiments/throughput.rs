@@ -1,0 +1,90 @@
+//! Batch-query throughput scaling (beyond the paper's figures): queries
+//! per second and speedup over one thread when a k-NN batch is fanned
+//! across T ∈ {1, 2, 4, 8} workers by `sr-exec`, for every structure on
+//! the uniform 16-d workload.
+//!
+//! The paper measures single-query cost (§5); this experiment measures
+//! what the ROADMAP's serving scenario cares about — how far the shared
+//! read path (lock-striped buffer pool, `&self` queries) scales before
+//! shard contention bites. Every run asserts the parallel results are
+//! identical to the single-threaded ones, so the table can't silently
+//! trade correctness for speed.
+
+use std::time::Instant;
+
+use sr_dataset::sample_queries;
+
+use crate::experiments::{uniform_data, QUERY_SEED};
+use crate::index::{AnyIndex, TreeKind};
+use crate::measure::{Scale, K};
+use crate::report::{f, Report};
+
+/// Thread counts swept, first entry is the baseline.
+pub const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Buffer pool during the sweep, in pages. Large enough that the hot
+/// upper levels stay resident (a serving pool, not the paper's
+/// cold-cache accounting pool), small enough that leaves still churn
+/// through the sharded LRU under every thread count.
+const POOL_PAGES: usize = 256;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let n = if scale.paper { 100_000 } else { 10_000 };
+    let batch = if scale.paper { 2_000 } else { 800 };
+    let points = uniform_data(n);
+    let queries: Vec<Vec<f32>> = sample_queries(&points, batch, QUERY_SEED)
+        .into_iter()
+        .map(|p| p.coords().to_vec())
+        .collect();
+
+    let mut report = Report::new(
+        "throughput",
+        format!("batch k-NN throughput vs threads (uniform, n = {n}, batch = {batch})").as_str(),
+    );
+    report.header([
+        "tree", "T=1 q/s", "T=2 q/s", "T=4 q/s", "T=8 q/s", "x2", "x4", "x8",
+    ]);
+    for &kind in TreeKind::ALL {
+        let index = AnyIndex::build(kind, &points);
+        index.reset_for_queries_at(POOL_PAGES);
+
+        let mut qps = Vec::with_capacity(THREADS.len());
+        let mut baseline_results = None;
+        for &t in THREADS {
+            // One untimed warm-up pass fills the pool so every thread
+            // count sees the same cache state.
+            let warm =
+                sr_exec::run_knn_batch(index.index(), &queries, K, t).map_err(|e| e.to_string())?;
+            let t0 = Instant::now();
+            let out =
+                sr_exec::run_knn_batch(index.index(), &queries, K, t).map_err(|e| e.to_string())?;
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&warm);
+            match &baseline_results {
+                None => baseline_results = Some(out.results),
+                Some(base) => {
+                    if *base != out.results {
+                        return Err(format!(
+                            "{}: results at T={t} diverged from T=1",
+                            kind.label()
+                        ));
+                    }
+                }
+            }
+            qps.push(queries.len() as f64 / secs);
+        }
+
+        let base = qps.first().copied().unwrap_or(1.0);
+        report.row([
+            kind.label().to_string(),
+            f(qps[0]),
+            f(qps[1]),
+            f(qps[2]),
+            f(qps[3]),
+            f(qps[1] / base),
+            f(qps[2] / base),
+            f(qps[3] / base),
+        ]);
+    }
+    report.emit()
+}

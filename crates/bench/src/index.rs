@@ -1,10 +1,13 @@
 //! A uniform wrapper over the five index structures so experiments can
-//! iterate over them.
+//! iterate over them. Everything after construction dispatches through
+//! `sr-query`'s [`SpatialIndex`] trait; only construction (and the few
+//! experiments that need structure-specific accessors like
+//! `leaf_regions`) name concrete tree types.
 
 use sr_geometry::Point;
 use sr_kdbtree::KdbTree;
 use sr_pager::{IoStats, PageFile};
-use sr_query::Neighbor;
+use sr_query::{Neighbor, SpatialIndex};
 use sr_rstar::RstarTree;
 use sr_sstree::SsTree;
 use sr_tree::SrTree;
@@ -51,19 +54,48 @@ impl TreeKind {
     ];
 }
 
-/// One of the five index structures, behind a uniform interface.
-pub enum AnyIndex {
-    Kdb(KdbTree),
-    Rstar(RstarTree),
-    Ss(SsTree),
-    Vam(VamTree),
-    Sr(SrTree),
+/// One of the five index structures behind [`SpatialIndex`].
+pub struct AnyIndex {
+    kind: TreeKind,
+    index: Box<dyn SpatialIndex>,
 }
 
 /// The paper's page size.
 pub const PAGE_SIZE: usize = 8192;
 /// The paper's per-leaf-entry data area.
 pub const DATA_AREA: usize = 512;
+
+fn paper_pagefile() -> PageFile {
+    PageFile::create_in_memory(PAGE_SIZE).expect("in-memory page file")
+}
+
+/// Build an SS-tree over `points` with the paper's layout (for
+/// experiments that need [`SsTree::leaf_regions`]).
+pub fn build_ss(points: &[Point]) -> SsTree {
+    let mut t = SsTree::create_from(paper_pagefile(), points[0].dim(), DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        t.insert(p.clone(), i as u64).unwrap();
+    }
+    t
+}
+
+/// Build an R\*-tree over `points` with the paper's layout.
+pub fn build_rstar(points: &[Point]) -> RstarTree {
+    let mut t = RstarTree::create_from(paper_pagefile(), points[0].dim(), DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        t.insert(p.clone(), i as u64).unwrap();
+    }
+    t
+}
+
+/// Build an SR-tree over `points` with the paper's layout.
+pub fn build_sr(points: &[Point]) -> SrTree {
+    let mut t = SrTree::create_from(paper_pagefile(), points[0].dim(), DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        t.insert(p.clone(), i as u64).unwrap();
+    }
+    t
+}
 
 impl AnyIndex {
     /// Build an index of `kind` over `points` (in-memory page file, the
@@ -76,105 +108,76 @@ impl AnyIndex {
     /// continuous).
     pub fn build(kind: TreeKind, points: &[Point]) -> AnyIndex {
         let dim = points[0].dim();
-        let pf = PageFile::create_in_memory(PAGE_SIZE).expect("in-memory page file");
-        match kind {
+        let index: Box<dyn SpatialIndex> = match kind {
             TreeKind::Kdb => {
-                let mut t = KdbTree::create_from(pf, dim, DATA_AREA).unwrap();
+                let mut t = KdbTree::create_from(paper_pagefile(), dim, DATA_AREA).unwrap();
                 for (i, p) in points.iter().enumerate() {
                     t.insert(p.clone(), i as u64).unwrap();
                 }
-                AnyIndex::Kdb(t)
+                Box::new(t)
             }
-            TreeKind::Rstar => {
-                let mut t = RstarTree::create_from(pf, dim, DATA_AREA).unwrap();
-                for (i, p) in points.iter().enumerate() {
-                    t.insert(p.clone(), i as u64).unwrap();
-                }
-                AnyIndex::Rstar(t)
-            }
-            TreeKind::Ss => {
-                let mut t = SsTree::create_from(pf, dim, DATA_AREA).unwrap();
-                for (i, p) in points.iter().enumerate() {
-                    t.insert(p.clone(), i as u64).unwrap();
-                }
-                AnyIndex::Ss(t)
-            }
+            TreeKind::Rstar => Box::new(build_rstar(points)),
+            TreeKind::Ss => Box::new(build_ss(points)),
             TreeKind::Vam => {
                 let with_ids: Vec<(Point, u64)> = points
                     .iter()
                     .enumerate()
                     .map(|(i, p)| (p.clone(), i as u64))
                     .collect();
-                AnyIndex::Vam(VamTree::build_from(pf, with_ids, dim, DATA_AREA).unwrap())
+                Box::new(VamTree::build_from(paper_pagefile(), with_ids, dim, DATA_AREA).unwrap())
             }
-            TreeKind::Sr => {
-                let mut t = SrTree::create_from(pf, dim, DATA_AREA).unwrap();
-                for (i, p) in points.iter().enumerate() {
-                    t.insert(p.clone(), i as u64).unwrap();
-                }
-                AnyIndex::Sr(t)
-            }
+            TreeKind::Sr => Box::new(build_sr(points)),
+        };
+        AnyIndex { kind, index }
+    }
+
+    /// Wrap an already-built SR-tree (e.g. from `bulk_load`).
+    pub fn from_sr(tree: SrTree) -> AnyIndex {
+        AnyIndex {
+            kind: TreeKind::Sr,
+            index: Box::new(tree),
         }
+    }
+
+    /// Which structure this is.
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    /// The trait object itself, for callers (the batch executor) that
+    /// want the [`SpatialIndex`] API directly.
+    pub fn index(&self) -> &dyn SpatialIndex {
+        self.index.as_ref()
     }
 
     /// k-nearest-neighbor query.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`AnyIndex::knn`] with a metrics recorder (see `sr-obs`).
-    pub fn knn_traced(&self, query: &[f32], k: usize, rec: &dyn sr_obs::Recorder) -> Vec<Neighbor> {
-        match self {
-            AnyIndex::Kdb(t) => t.knn_traced(query, k, rec).unwrap(),
-            AnyIndex::Rstar(t) => t.knn_traced(query, k, rec).unwrap(),
-            AnyIndex::Ss(t) => t.knn_traced(query, k, rec).unwrap(),
-            AnyIndex::Vam(t) => t.knn_traced(query, k, rec).unwrap(),
-            AnyIndex::Sr(t) => t.knn_traced(query, k, rec).unwrap(),
-        }
+    pub fn knn_with(&self, query: &[f32], k: usize, rec: &dyn sr_obs::Recorder) -> Vec<Neighbor> {
+        self.index.knn_with(query, k, rec).unwrap()
     }
 
     /// Range query.
     pub fn range(&self, query: &[f32], radius: f64) -> Vec<Neighbor> {
-        match self {
-            AnyIndex::Kdb(t) => t.range(query, radius).unwrap(),
-            AnyIndex::Rstar(t) => t.range(query, radius).unwrap(),
-            AnyIndex::Ss(t) => t.range(query, radius).unwrap(),
-            AnyIndex::Vam(t) => t.range(query, radius).unwrap(),
-            AnyIndex::Sr(t) => t.range(query, radius).unwrap(),
-        }
+        self.index.range(query, radius).unwrap()
     }
 
     /// The underlying page file.
     pub fn pager(&self) -> &PageFile {
-        match self {
-            AnyIndex::Kdb(t) => t.pager(),
-            AnyIndex::Rstar(t) => t.pager(),
-            AnyIndex::Ss(t) => t.pager(),
-            AnyIndex::Vam(t) => t.pager(),
-            AnyIndex::Sr(t) => t.pager(),
-        }
+        self.index.pager()
     }
 
     /// Tree height in levels.
     pub fn height(&self) -> u32 {
-        match self {
-            AnyIndex::Kdb(t) => t.height(),
-            AnyIndex::Rstar(t) => t.height(),
-            AnyIndex::Ss(t) => t.height(),
-            AnyIndex::Vam(t) => t.height(),
-            AnyIndex::Sr(t) => t.height(),
-        }
+        self.index.height()
     }
 
     /// Number of leaf pages.
     pub fn num_leaves(&self) -> u64 {
-        match self {
-            AnyIndex::Kdb(t) => t.num_leaves().unwrap(),
-            AnyIndex::Rstar(t) => t.num_leaves().unwrap(),
-            AnyIndex::Ss(t) => t.num_leaves().unwrap(),
-            AnyIndex::Vam(t) => t.num_leaves().unwrap(),
-            AnyIndex::Sr(t) => t.num_leaves().unwrap(),
-        }
+        self.index.num_leaves().unwrap()
     }
 
     /// Disable the buffer pool (cold-cache query accounting) and zero the
@@ -207,6 +210,7 @@ mod tests {
         let mut answers: Vec<Vec<u64>> = Vec::new();
         for &kind in TreeKind::ALL {
             let idx = AnyIndex::build(kind, &pts);
+            assert_eq!(idx.kind(), kind);
             let hits = idx.knn(q, 7);
             assert_eq!(hits.len(), 7, "{}", kind.label());
             answers.push(hits.iter().map(|n| n.data).collect());

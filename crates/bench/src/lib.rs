@@ -28,9 +28,28 @@ pub use measure::{BuildCost, QueryCost, Scale};
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation", "bulkload",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablation",
+    "bulkload",
     "obs",
+    "throughput",
 ];
 
 /// Run one experiment by id. `paper` selects the paper-exact scale.
@@ -58,6 +77,7 @@ pub fn run_experiment(id: &str, paper: bool) -> Result<(), String> {
         "ablation" => experiments::ablation::run(&scale),
         "bulkload" => experiments::bulkload::run(&scale),
         "obs" => experiments::obs::run(&scale),
+        "throughput" => experiments::throughput::run(&scale),
         other => Err(format!(
             "unknown experiment {other:?}; known: {}",
             ALL_EXPERIMENTS.join(", ")

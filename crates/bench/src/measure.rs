@@ -133,7 +133,7 @@ pub fn measure_knn_at_capacity(
     let before = index.stats();
     let t0 = Instant::now();
     for q in queries {
-        let hits = index.knn_traced(q.coords(), k, &rec);
+        let hits = index.knn_with(q.coords(), k, &rec);
         std::hint::black_box(&hits);
     }
     let elapsed = t0.elapsed();

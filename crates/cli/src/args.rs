@@ -133,11 +133,17 @@ pub enum Command {
         index_path: PathBuf,
         data_path: PathBuf,
     },
-    /// k-nearest-neighbor query.
+    /// k-nearest-neighbor query — one `--query` vector, or a `--batch`
+    /// file of query vectors fanned across `--threads` workers.
     Knn {
         index_path: PathBuf,
         k: usize,
-        query: Vec<f32>,
+        /// Single query vector (`--query`); exclusive with `batch`.
+        query: Option<Vec<f32>>,
+        /// TSV file of query vectors (`--batch`); exclusive with `query`.
+        batch: Option<PathBuf>,
+        /// Worker threads for batch mode (>= 1; ignored with `--query`).
+        threads: usize,
         /// Emit a per-query metrics line (expansions, prune breakdown,
         /// I/O window) after the results.
         trace: bool,
@@ -187,15 +193,38 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         }
         "knn" => {
             let pos = positionals(&rest, 1)?;
+            let k: usize = flag(&rest, "--k")?
+                .unwrap_or("21")
+                .parse()
+                .map_err(bad("--k"))?;
+            let query = flag(&rest, "--query")?.map(parse_query).transpose()?;
+            let batch = flag(&rest, "--batch")?.map(PathBuf::from);
+            match (&query, &batch) {
+                (None, None) => return Err(ArgError::MissingFlag("--query")),
+                (Some(_), Some(_)) => {
+                    return Err(ArgError::BadValue {
+                        flag: "--batch",
+                        detail: "exclusive with --query: give one or the other".into(),
+                    })
+                }
+                _ => {}
+            }
+            let threads: usize = flag(&rest, "--threads")?
+                .unwrap_or("1")
+                .parse()
+                .map_err(bad("--threads"))?;
+            if threads == 0 {
+                return Err(ArgError::BadValue {
+                    flag: "--threads",
+                    detail: "must be at least 1".into(),
+                });
+            }
             Ok(Command::Knn {
                 index_path: pos[0].into(),
-                k: flag(&rest, "--k")?
-                    .unwrap_or("21")
-                    .parse()
-                    .map_err(bad("--k"))?,
-                query: parse_query(
-                    flag(&rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
-                )?,
+                k,
+                query,
+                batch,
+                threads,
                 trace: bool_flag(&rest, "--trace")?,
                 json: bool_flag(&rest, "--json")?,
             })
@@ -510,16 +539,57 @@ mod tests {
             Command::Knn {
                 k,
                 query,
+                batch,
+                threads,
                 trace,
                 json,
                 ..
             } => {
                 assert_eq!(k, 5);
-                assert_eq!(query, vec![0.1, 0.2, 0.3]);
+                assert_eq!(query, Some(vec![0.1, 0.2, 0.3]));
+                assert_eq!(batch, None);
+                assert_eq!(threads, 1);
                 assert!(!trace && !json);
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parse_knn_batch_mode() {
+        let cmd = p(&["knn", "i.pages", "--batch", "q.tsv", "--threads", "8"]).unwrap();
+        match cmd {
+            Command::Knn {
+                query,
+                batch,
+                threads,
+                ..
+            } => {
+                assert_eq!(query, None);
+                assert_eq!(batch, Some(PathBuf::from("q.tsv")));
+                assert_eq!(threads, 8);
+            }
+            _ => panic!("wrong command"),
+        }
+        // --query and --batch are mutually exclusive; one is required.
+        assert!(matches!(
+            p(&["knn", "i.pages", "--query", "1,2", "--batch", "q.tsv"]),
+            Err(ArgError::BadValue {
+                flag: "--batch",
+                ..
+            })
+        ));
+        assert_eq!(
+            p(&["knn", "i.pages", "--threads", "4"]),
+            Err(ArgError::MissingFlag("--query"))
+        );
+        assert!(matches!(
+            p(&["knn", "i.pages", "--batch", "q.tsv", "--threads", "0"]),
+            Err(ArgError::BadValue {
+                flag: "--threads",
+                ..
+            })
+        ));
     }
 
     #[test]

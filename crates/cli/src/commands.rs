@@ -65,6 +65,25 @@ fn trace_json(cmd: &str, results: usize, rec: &StatsRecorder, io: &IoStats, cap:
     )
 }
 
+/// The batch flavor of [`trace_json`]: per-worker recorders merged into
+/// one snapshot, I/O windowed over the whole batch. Keeps the same
+/// `metrics`/`io` field shapes so downstream jq filters work unchanged.
+fn batch_trace_json(
+    results: usize,
+    threads: usize,
+    queries: usize,
+    metrics: &sr_obs::MetricsSnapshot,
+    io: &IoStats,
+    cap: usize,
+) -> String {
+    format!(
+        "{{\"cmd\":\"knn_batch\",\"results\":{results},\"threads\":{threads},\
+         \"queries\":{queries},\"metrics\":{},\"io\":{}}}",
+        metrics.to_json(),
+        io_json(io, cap),
+    )
+}
+
 fn results_json(hits: &[(u64, f64)]) -> String {
     let rows: Vec<String> = hits
         .iter()
@@ -115,6 +134,86 @@ fn run_query(
         if trace {
             // Keep stdout parseable: the trace line goes to stderr.
             eprintln!("{}", trace_json(cmd_name, hits.len(), &rec, &io, cap));
+        }
+    }
+    Ok(())
+}
+
+/// Batch k-NN: fan the query file across `threads` workers via
+/// `sr-exec`. Output rows are `qidx <TAB> id <TAB> dist`, in input
+/// order regardless of thread count.
+fn run_knn_batch(
+    store: &AnyStore,
+    batch_path: &std::path::Path,
+    k: usize,
+    threads: usize,
+    trace: bool,
+    json: bool,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    let queries: Vec<Vec<f32>> = read_points(batch_path)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|(p, _)| p.coords().to_vec())
+        .collect();
+    let n_queries = queries.len();
+    let result = sr_exec::run_knn_batch(store.index(), &queries, k, threads)
+        .map_err(|e| CmdError::Failure(format!("{}: {e}", batch_path.display())))?;
+    let cap = store.pager().cache_capacity();
+    let total: usize = result.results.iter().map(Vec::len).sum();
+    let e = |err: std::io::Error| CmdError::Failure(err.to_string());
+    if json {
+        let per_query: Vec<String> = result
+            .results
+            .iter()
+            .map(|hits| {
+                let pairs: Vec<(u64, f64)> =
+                    hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect();
+                results_json(&pairs)
+            })
+            .collect();
+        let trace_field = if trace {
+            format!(
+                ",\"trace\":{}",
+                batch_trace_json(
+                    total,
+                    result.threads,
+                    n_queries,
+                    &result.metrics,
+                    &result.io,
+                    cap
+                )
+            )
+        } else {
+            String::new()
+        };
+        writeln!(
+            out,
+            "{{\"cmd\":\"knn_batch\",\"queries\":{n_queries},\"threads\":{},\
+             \"results\":[{}]{trace_field}}}",
+            result.threads,
+            per_query.join(","),
+        )
+        .map_err(e)?;
+    } else {
+        for (qidx, hits) in result.results.iter().enumerate() {
+            for n in hits {
+                writeln!(out, "{qidx}\t{}\t{}", n.data, n.dist2.sqrt()).map_err(e)?;
+            }
+        }
+        if trace {
+            // Keep stdout parseable: the trace line goes to stderr.
+            eprintln!(
+                "{}",
+                batch_trace_json(
+                    total,
+                    result.threads,
+                    n_queries,
+                    &result.metrics,
+                    &result.io,
+                    cap
+                )
+            );
         }
     }
     Ok(())
@@ -207,12 +306,18 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
             index_path,
             k,
             query,
+            batch,
+            threads,
             trace,
             json,
         } => {
             let store = AnyStore::open(&index_path)?;
+            if let Some(batch_path) = batch {
+                return run_knn_batch(&store, &batch_path, k, threads, trace, json, out);
+            }
+            let query = query.ok_or_else(|| CmdError::Usage("missing --query".into()))?;
             run_query(&store, "knn", trace, json, out, |rec| {
-                store.knn_traced(&query, k, rec)
+                store.knn_with(&query, k, rec)
             })
         }
         Command::Range {
@@ -224,7 +329,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
         } => {
             let store = AnyStore::open(&index_path)?;
             run_query(&store, "range", trace, json, out, |rec| {
-                store.range_traced(&query, radius, rec)
+                store.range_with(&query, radius, rec)
             })
         }
         Command::Stats { index_path, json } => {

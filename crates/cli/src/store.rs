@@ -1,11 +1,14 @@
 //! Opening, building, and querying any of the five on-disk index types
-//! behind one enum. Files are self-describing (each tree writes a magic
-//! into the page-file metadata), so `open` sniffs the type.
+//! behind one `Box<dyn SpatialIndex>`. Files are self-describing (each
+//! tree writes a magic into the page-file metadata), so `open` sniffs
+//! the type; everything after construction goes through the trait, so
+//! there are no per-tree `match` arms left on the query path.
 
 use std::path::Path;
 
 use sr_geometry::Point;
 use sr_kdbtree::KdbTree;
+use sr_query::SpatialIndex;
 use sr_rstar::RstarTree;
 use sr_sstree::SsTree;
 use sr_tree::SrTree;
@@ -13,13 +16,9 @@ use sr_vamsplit::VamTree;
 
 use crate::args::IndexKind;
 
-/// Any on-disk index.
-pub enum AnyStore {
-    Sr(SrTree),
-    Ss(SsTree),
-    Rstar(RstarTree),
-    Kdb(KdbTree),
-    Vam(VamTree),
+/// Any on-disk index, dispatched through [`SpatialIndex`].
+pub struct AnyStore {
+    index: Box<dyn SpatialIndex>,
 }
 
 impl AnyStore {
@@ -31,231 +30,138 @@ impl AnyStore {
         points: Vec<(Point, u64)>,
     ) -> Result<AnyStore, String> {
         let e = |err: &dyn std::fmt::Display| format!("{}: {err}", path.display());
-        match kind {
-            IndexKind::Vam => {
-                let t = VamTree::build_at(path, points, dim).map_err(|x| e(&x))?;
-                t.flush().map_err(|x| e(&x))?;
-                Ok(AnyStore::Vam(t))
-            }
+        // Construction is the one per-kind step: the VAMSplit R-tree
+        // bulk-loads, the four dynamic trees insert point by point.
+        let index: Box<dyn SpatialIndex> = match kind {
+            IndexKind::Vam => Box::new(VamTree::build_at(path, points, dim).map_err(|x| e(&x))?),
             IndexKind::Sr => {
                 let mut t = SrTree::create(path, dim).map_err(|x| e(&x))?;
                 for (p, id) in points {
                     t.insert(p, id).map_err(|x| e(&x))?;
                 }
-                t.flush().map_err(|x| e(&x))?;
-                Ok(AnyStore::Sr(t))
+                Box::new(t)
             }
             IndexKind::Ss => {
                 let mut t = SsTree::create(path, dim).map_err(|x| e(&x))?;
                 for (p, id) in points {
                     t.insert(p, id).map_err(|x| e(&x))?;
                 }
-                t.flush().map_err(|x| e(&x))?;
-                Ok(AnyStore::Ss(t))
+                Box::new(t)
             }
             IndexKind::Rstar => {
                 let mut t = RstarTree::create(path, dim).map_err(|x| e(&x))?;
                 for (p, id) in points {
                     t.insert(p, id).map_err(|x| e(&x))?;
                 }
-                t.flush().map_err(|x| e(&x))?;
-                Ok(AnyStore::Rstar(t))
+                Box::new(t)
             }
             IndexKind::Kdb => {
                 let mut t = KdbTree::create(path, dim).map_err(|x| e(&x))?;
                 for (p, id) in points {
                     t.insert(p, id).map_err(|x| e(&x))?;
                 }
-                t.flush().map_err(|x| e(&x))?;
-                Ok(AnyStore::Kdb(t))
+                Box::new(t)
             }
-        }
+        };
+        index.flush().map_err(|x| e(&x))?;
+        Ok(AnyStore { index })
     }
 
     /// Open an existing index file, detecting its type from the metadata
     /// magic.
     pub fn open(path: &Path) -> Result<AnyStore, String> {
         if let Ok(t) = SrTree::open(path) {
-            return Ok(AnyStore::Sr(t));
+            return Ok(AnyStore { index: Box::new(t) });
         }
         if let Ok(t) = SsTree::open(path) {
-            return Ok(AnyStore::Ss(t));
+            return Ok(AnyStore { index: Box::new(t) });
         }
         if let Ok(t) = RstarTree::open(path) {
-            return Ok(AnyStore::Rstar(t));
+            return Ok(AnyStore { index: Box::new(t) });
         }
         if let Ok(t) = KdbTree::open(path) {
-            return Ok(AnyStore::Kdb(t));
+            return Ok(AnyStore { index: Box::new(t) });
         }
         if let Ok(t) = VamTree::open(path) {
-            return Ok(AnyStore::Vam(t));
+            return Ok(AnyStore { index: Box::new(t) });
         }
         Err(format!("{}: not a recognizable index file", path.display()))
     }
 
+    /// The trait object itself, for callers (batch execution) that want
+    /// the [`SpatialIndex`] API directly.
+    pub fn index(&self) -> &dyn SpatialIndex {
+        self.index.as_ref()
+    }
+
     /// Human-readable type name.
     pub fn kind_name(&self) -> &'static str {
-        match self {
-            AnyStore::Sr(_) => "SR-tree",
-            AnyStore::Ss(_) => "SS-tree",
-            AnyStore::Rstar(_) => "R*-tree",
-            AnyStore::Kdb(_) => "K-D-B-tree",
-            AnyStore::Vam(_) => "VAMSplit R-tree",
-        }
+        self.index.kind_name()
     }
 
     /// (dim, len, height).
     pub fn summary(&self) -> (usize, u64, u32) {
-        match self {
-            AnyStore::Sr(t) => (t.dim(), t.len(), t.height()),
-            AnyStore::Ss(t) => (t.dim(), t.len(), t.height()),
-            AnyStore::Rstar(t) => (t.dim(), t.len(), t.height()),
-            AnyStore::Kdb(t) => (t.dim(), t.len(), t.height()),
-            AnyStore::Vam(t) => (t.dim(), t.len(), t.height()),
-        }
+        (self.index.dim(), self.index.len(), self.index.height())
     }
 
     /// Insert points (errors for the static VAMSplit R-tree).
     pub fn insert(&mut self, points: Vec<(Point, u64)>) -> Result<(), String> {
-        match self {
-            AnyStore::Sr(t) => {
-                for (p, id) in points {
-                    t.insert(p, id).map_err(|e| e.to_string())?;
+        for (p, id) in points {
+            self.index.insert(p.coords(), id).map_err(|e| match e {
+                sr_query::IndexError::Unsupported(_) => {
+                    "the VAMSplit R-tree is static: rebuild it with `srtool build`".to_string()
                 }
-                t.flush().map_err(|e| e.to_string())
-            }
-            AnyStore::Ss(t) => {
-                for (p, id) in points {
-                    t.insert(p, id).map_err(|e| e.to_string())?;
-                }
-                t.flush().map_err(|e| e.to_string())
-            }
-            AnyStore::Rstar(t) => {
-                for (p, id) in points {
-                    t.insert(p, id).map_err(|e| e.to_string())?;
-                }
-                t.flush().map_err(|e| e.to_string())
-            }
-            AnyStore::Kdb(t) => {
-                for (p, id) in points {
-                    t.insert(p, id).map_err(|e| e.to_string())?;
-                }
-                t.flush().map_err(|e| e.to_string())
-            }
-            AnyStore::Vam(_) => {
-                Err("the VAMSplit R-tree is static: rebuild it with `srtool build`".into())
-            }
+                other => other.to_string(),
+            })?;
         }
+        self.index.flush().map_err(|e| e.to_string())
     }
 
     /// k-NN query, returning `(id, distance)` pairs.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f64)>, String> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`AnyStore::knn`] with a metrics recorder (see `sr-obs`).
-    pub fn knn_traced(
+    pub fn knn_with(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<(u64, f64)>, String> {
-        let hits = match self {
-            AnyStore::Sr(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
-            AnyStore::Ss(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
-            AnyStore::Rstar(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
-            AnyStore::Kdb(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
-            AnyStore::Vam(t) => t.knn_traced(query, k, rec).map_err(|e| e.to_string())?,
-        };
+        let hits = self
+            .index
+            .knn_with(query, k, rec)
+            .map_err(|e| e.to_string())?;
         Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
     }
 
     /// Range query, returning `(id, distance)` pairs.
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<(u64, f64)>, String> {
-        self.range_traced(query, radius, &sr_obs::Noop)
+        self.range_with(query, radius, &sr_obs::Noop)
     }
 
     /// [`AnyStore::range`] with a metrics recorder.
-    pub fn range_traced(
+    pub fn range_with(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<(u64, f64)>, String> {
-        let hits = match self {
-            AnyStore::Sr(t) => t
-                .range_traced(query, radius, rec)
-                .map_err(|e| e.to_string())?,
-            AnyStore::Ss(t) => t
-                .range_traced(query, radius, rec)
-                .map_err(|e| e.to_string())?,
-            AnyStore::Rstar(t) => t
-                .range_traced(query, radius, rec)
-                .map_err(|e| e.to_string())?,
-            AnyStore::Kdb(t) => t
-                .range_traced(query, radius, rec)
-                .map_err(|e| e.to_string())?,
-            AnyStore::Vam(t) => t
-                .range_traced(query, radius, rec)
-                .map_err(|e| e.to_string())?,
-        };
+        let hits = self
+            .index
+            .range_with(query, radius, rec)
+            .map_err(|e| e.to_string())?;
         Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
     }
 
     /// The underlying page file (I/O statistics, buffer-pool control).
     pub fn pager(&self) -> &sr_pager::PageFile {
-        match self {
-            AnyStore::Sr(t) => t.pager(),
-            AnyStore::Ss(t) => t.pager(),
-            AnyStore::Rstar(t) => t.pager(),
-            AnyStore::Kdb(t) => t.pager(),
-            AnyStore::Vam(t) => t.pager(),
-        }
+        self.index.pager()
     }
 
     /// Run the structure's invariant checker, returning a summary line.
     pub fn verify(&self) -> Result<String, String> {
-        match self {
-            AnyStore::Sr(t) => sr_tree::verify::check(t)
-                .map(|r| {
-                    format!(
-                        "{} nodes, {} leaves, {} points",
-                        r.nodes, r.leaves, r.points
-                    )
-                })
-                .map_err(|e| e.to_string()),
-            AnyStore::Ss(t) => sr_sstree::verify::check(t)
-                .map(|r| {
-                    format!(
-                        "{} nodes, {} leaves, {} points",
-                        r.nodes, r.leaves, r.points
-                    )
-                })
-                .map_err(|e| e.to_string()),
-            AnyStore::Rstar(t) => sr_rstar::verify::check(t)
-                .map(|r| {
-                    format!(
-                        "{} nodes, {} leaves, {} points",
-                        r.nodes, r.leaves, r.points
-                    )
-                })
-                .map_err(|e| e.to_string()),
-            AnyStore::Kdb(t) => sr_kdbtree::verify::check(t)
-                .map(|r| {
-                    format!(
-                        "{} nodes, {} leaves ({} empty), {} points",
-                        r.nodes, r.leaves, r.empty_leaves, r.points
-                    )
-                })
-                .map_err(|e| e.to_string()),
-            AnyStore::Vam(t) => sr_vamsplit::verify::check(t)
-                .map(|r| {
-                    format!(
-                        "{} nodes, {} leaves ({} full), {} points",
-                        r.nodes, r.leaves, r.full_leaves, r.points
-                    )
-                })
-                .map_err(|e| e.to_string()),
-        }
+        self.index.verify().map_err(|e| e.to_string())
     }
 }

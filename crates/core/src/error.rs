@@ -65,6 +65,21 @@ impl From<PagerError> for TreeError {
     }
 }
 
+impl From<TreeError> for sr_query::IndexError {
+    fn from(e: TreeError) -> Self {
+        use sr_query::IndexError;
+        match e {
+            TreeError::Pager(p) => IndexError::Pager(p),
+            TreeError::DimensionMismatch { expected, got } => {
+                IndexError::DimensionMismatch { expected, got }
+            }
+            TreeError::NotThisIndex(s) => IndexError::NotThisIndex(s),
+            TreeError::InvalidRadius(r) => IndexError::InvalidRadius(r),
+            TreeError::Corrupt(s) => IndexError::Corrupt(s),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -92,32 +92,32 @@ impl KnnSource for Source<'_> {
     }
 }
 
-pub(crate) fn knn(
+pub(crate) fn knn<R: Recorder + ?Sized>(
     tree: &SrTree,
     query: &[f32],
     k: usize,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
     knn_with_bound(tree, query, k, DistanceBound::Both, rec)
 }
 
-pub(crate) fn knn_with_bound(
+pub(crate) fn knn_with_bound<R: Recorder + ?Sized>(
     tree: &SrTree,
     query: &[f32],
     k: usize,
     bound: DistanceBound,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::knn_traced(&Source { tree, bound }, query, k, rec)
+    sr_query::knn_with(&Source { tree, bound }, query, k, rec)
 }
 
-pub(crate) fn knn_best_first(
+pub(crate) fn knn_best_first<R: Recorder + ?Sized>(
     tree: &SrTree,
     query: &[f32],
     k: usize,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::knn_best_first_traced(
+    sr_query::knn_best_first_with(
         &Source {
             tree,
             bound: DistanceBound::Both,
@@ -128,13 +128,13 @@ pub(crate) fn knn_best_first(
     )
 }
 
-pub(crate) fn range(
+pub(crate) fn range<R: Recorder + ?Sized>(
     tree: &SrTree,
     query: &[f32],
     radius: f64,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::range_traced(
+    sr_query::range_with(
         &Source {
             tree,
             bound: DistanceBound::Both,

@@ -276,19 +276,30 @@ impl SrTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`SrTree::knn`] with a metrics recorder (node expansions, prune
     /// breakdown by shape, heap high-water — see `sr-obs`).
+    pub fn knn_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k, rec)
+    }
+
+    /// Deprecated spelling of [`SrTree::knn_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
     pub fn knn_traced(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k, rec)
+        self.knn_with(query, k, rec)
     }
 
     /// k-NN via best-first ("distance browsing", Hjaltason & Samet)
@@ -296,18 +307,29 @@ impl SrTree {
     /// extension. Returns exactly the same neighbors; reads no more
     /// pages than any traversal order can (I/O-optimal for the tree).
     pub fn knn_best_first(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.knn_best_first_traced(query, k, &sr_obs::Noop)
+        self.knn_best_first_with(query, k, &sr_obs::Noop)
     }
 
     /// [`SrTree::knn_best_first`] with a metrics recorder.
+    pub fn knn_best_first_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_best_first(self, query, k, rec)
+    }
+
+    /// Deprecated spelling of [`SrTree::knn_best_first_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_best_first_with`")]
     pub fn knn_best_first_traced(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn_best_first(self, query, k, rec)
+        self.knn_best_first_with(query, k, rec)
     }
 
     /// k-NN with an explicit region-distance bound — the ablation knob
@@ -320,12 +342,25 @@ impl SrTree {
         k: usize,
         bound: crate::search::DistanceBound,
     ) -> Result<Vec<Neighbor>> {
-        self.knn_with_bound_traced(query, k, bound, &sr_obs::Noop)
+        self.knn_bounded_with(query, k, bound, &sr_obs::Noop)
     }
 
     /// [`SrTree::knn_with_bound`] with a metrics recorder — the pairing
     /// that measures the §4.4 pruning advantage directly (prune events
     /// split by which shape's bound achieved them).
+    pub fn knn_bounded_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        bound: crate::search::DistanceBound,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_with_bound(self, query, k, bound, rec)
+    }
+
+    /// Deprecated spelling of [`SrTree::knn_bounded_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_bounded_with`")]
     pub fn knn_with_bound_traced(
         &self,
         query: &[f32],
@@ -333,25 +368,35 @@ impl SrTree {
         bound: crate::search::DistanceBound,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn_with_bound(self, query, k, bound, rec)
+        self.knn_bounded_with(query, k, bound, rec)
     }
 
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-        self.range_traced(query, radius, &sr_obs::Noop)
+        self.range_with(query, radius, &sr_obs::Noop)
     }
 
     /// [`SrTree::range`] with a metrics recorder.
+    pub fn range_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
+    }
+
+    /// Deprecated spelling of [`SrTree::range_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
     pub fn range_traced(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::range(self, query, radius, rec)
+        self.range_with(query, radius, rec)
     }
 
     /// The (sphere, rectangle) region pairs of all non-empty leaves.
@@ -397,6 +442,76 @@ impl SrTree {
             }
         }
         Ok(())
+    }
+}
+
+impl sr_query::SpatialIndex for SrTree {
+    fn kind_name(&self) -> &'static str {
+        "SR-tree"
+    }
+
+    fn dim(&self) -> usize {
+        SrTree::dim(self)
+    }
+
+    fn len(&self) -> u64 {
+        SrTree::len(self)
+    }
+
+    fn height(&self) -> u32 {
+        SrTree::height(self)
+    }
+
+    fn num_leaves(&self) -> std::result::Result<u64, sr_query::IndexError> {
+        Ok(SrTree::num_leaves(self)?)
+    }
+
+    fn insert(
+        &mut self,
+        point: &[f32],
+        data: u64,
+    ) -> std::result::Result<(), sr_query::IndexError> {
+        if point.is_empty() {
+            return Err(sr_query::IndexError::DimensionMismatch {
+                expected: SrTree::dim(self),
+                got: 0,
+            });
+        }
+        Ok(SrTree::insert(self, Point::new(point), data)?)
+    }
+
+    fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(SrTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn range_with(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(SrTree::range_with(self, query, radius, rec)?)
+    }
+
+    fn pager(&self) -> &PageFile {
+        SrTree::pager(self)
+    }
+
+    fn flush(&self) -> std::result::Result<(), sr_query::IndexError> {
+        Ok(SrTree::flush(self)?)
+    }
+
+    fn verify(&self) -> std::result::Result<String, sr_query::IndexError> {
+        let r = crate::verify::check(self)?;
+        Ok(format!(
+            "{} nodes, {} leaves, {} points",
+            r.nodes, r.leaves, r.points
+        ))
     }
 }
 

@@ -284,36 +284,58 @@ impl KdbTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`KdbTree::knn`] with a metrics recorder (node expansions, prune
     /// events, heap high-water — see `sr-obs`).
+    pub fn knn_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k, rec)
+    }
+
+    /// Deprecated spelling of [`KdbTree::knn_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
     pub fn knn_traced(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k, rec)
+        self.knn_with(query, k, rec)
     }
 
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-        self.range_traced(query, radius, &sr_obs::Noop)
+        self.range_with(query, radius, &sr_obs::Noop)
     }
 
     /// [`KdbTree::range`] with a metrics recorder.
+    pub fn range_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
+    }
+
+    /// Deprecated spelling of [`KdbTree::range_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
     pub fn range_traced(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::range(self, query, radius, rec)
+        self.range_with(query, radius, rec)
     }
 
     /// The region rectangle of the root (all of space).
@@ -338,5 +360,75 @@ impl KdbTree {
             Ok(n)
         }
         walk(self, self.root, (self.height - 1) as u16)
+    }
+}
+
+impl sr_query::SpatialIndex for KdbTree {
+    fn kind_name(&self) -> &'static str {
+        "K-D-B-tree"
+    }
+
+    fn dim(&self) -> usize {
+        KdbTree::dim(self)
+    }
+
+    fn len(&self) -> u64 {
+        KdbTree::len(self)
+    }
+
+    fn height(&self) -> u32 {
+        KdbTree::height(self)
+    }
+
+    fn num_leaves(&self) -> std::result::Result<u64, sr_query::IndexError> {
+        Ok(KdbTree::num_leaves(self)?)
+    }
+
+    fn insert(
+        &mut self,
+        point: &[f32],
+        data: u64,
+    ) -> std::result::Result<(), sr_query::IndexError> {
+        if point.is_empty() {
+            return Err(sr_query::IndexError::DimensionMismatch {
+                expected: KdbTree::dim(self),
+                got: 0,
+            });
+        }
+        Ok(KdbTree::insert(self, Point::new(point), data)?)
+    }
+
+    fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(KdbTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn range_with(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(KdbTree::range_with(self, query, radius, rec)?)
+    }
+
+    fn pager(&self) -> &PageFile {
+        KdbTree::pager(self)
+    }
+
+    fn flush(&self) -> std::result::Result<(), sr_query::IndexError> {
+        Ok(KdbTree::flush(self)?)
+    }
+
+    fn verify(&self) -> std::result::Result<String, sr_query::IndexError> {
+        let r = crate::verify::check(self)?;
+        Ok(format!(
+            "{} nodes, {} leaves ({} empty), {} points",
+            r.nodes, r.leaves, r.empty_leaves, r.points
+        ))
     }
 }

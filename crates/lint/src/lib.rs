@@ -34,7 +34,7 @@ use lexer::Lexed;
 /// Library crates under the L1 and L3 rules (directory names under
 /// `crates/`).
 pub const LIB_CRATES: &[&str] = &[
-    "pager", "geometry", "core", "sstree", "rstar", "kdbtree", "vamsplit", "query", "obs",
+    "pager", "geometry", "core", "sstree", "rstar", "kdbtree", "vamsplit", "query", "obs", "exec",
 ];
 
 /// Hot-path files under the L2 rules, relative to the workspace root.

@@ -200,7 +200,22 @@ pub struct MetricsSnapshot {
     hists: [HistSnapshot; N_HISTS],
 }
 
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; N_COUNTERS],
+            gauges: [0; N_GAUGES],
+            hists: std::array::from_fn(|_| HistSnapshot::default()),
+        }
+    }
+}
+
 impl MetricsSnapshot {
+    /// All-zero snapshot — the identity for [`MetricsSnapshot::merge`].
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
     /// Value of one counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters.get(c.index()).copied().unwrap_or(0)
@@ -238,6 +253,40 @@ impl MetricsSnapshot {
                         let a = now.buckets.get(j).copied().unwrap_or(0);
                         let b = then.buckets.get(j).copied().unwrap_or(0);
                         a.saturating_sub(b)
+                    }),
+                }
+            }),
+        }
+    }
+
+    /// Combine `self` with `other`, as if one recorder had seen both
+    /// streams of events: counters and histogram count/sum/buckets add,
+    /// gauges and histogram max take the maximum (they are high-water
+    /// marks). This is how the batch executor folds per-worker recorders
+    /// into one batch-wide snapshot. Saturates instead of overflowing.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: std::array::from_fn(|i| {
+                let a = self.counters.get(i).copied().unwrap_or(0);
+                let b = other.counters.get(i).copied().unwrap_or(0);
+                a.saturating_add(b)
+            }),
+            gauges: std::array::from_fn(|i| {
+                let a = self.gauges.get(i).copied().unwrap_or(0);
+                let b = other.gauges.get(i).copied().unwrap_or(0);
+                a.max(b)
+            }),
+            hists: std::array::from_fn(|i| {
+                let a = self.hists.get(i).cloned().unwrap_or_default();
+                let b = other.hists.get(i).cloned().unwrap_or_default();
+                HistSnapshot {
+                    count: a.count.saturating_add(b.count),
+                    sum: a.sum.saturating_add(b.sum),
+                    max: a.max.max(b.max),
+                    buckets: std::array::from_fn(|j| {
+                        let x = a.buckets.get(j).copied().unwrap_or(0);
+                        let y = b.buckets.get(j).copied().unwrap_or(0);
+                        x.saturating_add(y)
                     }),
                 }
             }),
@@ -348,6 +397,33 @@ mod tests {
         assert_eq!(d.counter(Counter::PointsScored), 7);
         assert_eq!(d.hist(Hist::QueryNs).count, 1);
         assert_eq!(d.hist(Hist::QueryNs).sum, 70);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_maxes_highwater() {
+        let a = StatsRecorder::new();
+        a.incr(Counter::NodeExpansions, 3);
+        a.gauge_max(Gauge::HeapHighWater, 4);
+        a.observe(Hist::QueryNs, 10);
+        a.observe(Hist::QueryNs, 100);
+        let b = StatsRecorder::new();
+        b.incr(Counter::NodeExpansions, 2);
+        b.incr(Counter::PruneSphere, 1);
+        b.gauge_max(Gauge::HeapHighWater, 9);
+        b.observe(Hist::QueryNs, 50);
+
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counter(Counter::NodeExpansions), 5);
+        assert_eq!(m.counter(Counter::PruneSphere), 1);
+        assert_eq!(m.gauge(Gauge::HeapHighWater), 9);
+        let h = m.hist(Hist::QueryNs);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 160);
+        assert_eq!(h.max, 100);
+
+        // empty() is the identity on both sides.
+        assert_eq!(MetricsSnapshot::empty().merge(&m), m);
+        assert_eq!(m.merge(&MetricsSnapshot::empty()), m);
     }
 
     #[test]

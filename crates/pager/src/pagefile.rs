@@ -11,15 +11,35 @@
 //!   reports the usable payload bytes per page; the index crates size
 //!   their fanout from it (Table 1 of the paper).
 //! * Freed pages are chained into a free list through their payload.
+//!
+//! ## Concurrency
+//!
+//! The read path is safe to drive from many threads at once. The buffer
+//! pool is split into [`PageFile::CACHE_SHARDS`] lock-striped LRU shards
+//! keyed by `page_id % CACHE_SHARDS`, so concurrent readers touching
+//! different shards never contend; I/O counters are relaxed atomics
+//! ([`crate::stats`]). A shard's lock is held across the read-through
+//! (probe → store read → insert), which keeps the accounting exact —
+//! every miss is exactly one physical read, with no duplicate fetches of
+//! the same page — at the cost of serializing same-shard misses.
+//!
+//! The metadata state (free-list head, user metadata) has its own mutex.
+//! Lock order is always meta → shard (allocate/free take the meta lock
+//! first); the read/write path takes only a shard lock, so the ordering
+//! cannot invert. Mutating operations (`allocate`/`free`/`write`/
+//! `set_user_meta`/`flush`) remain single-writer by contract: they are
+//! internally consistent, but the index crates' `&mut self` update paths
+//! are what actually serializes structural changes.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::sync::Mutex;
 
 use crate::cache::LruCache;
 use crate::error::{PagerError, Result};
 use crate::page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
-use crate::stats::IoStats;
+use crate::stats::{AtomicIoStats, IoStats};
 use crate::store::{FilePageStore, MemPageStore, PageStore};
 
 const MAGIC: u32 = 0x5352_5047; // "SRPG"
@@ -31,28 +51,75 @@ const META_HEADER: usize = 4 + 4 + 4 + 8 + 4;
 /// "no page" sentinel for the free list (page 0 is the meta page).
 const NIL: PageId = 0;
 
-struct Inner {
-    cache: LruCache,
-    stats: IoStats,
+/// Free-list head and user metadata, guarded together because both live
+/// on the meta page and are flushed as one unit.
+struct MetaState {
     free_head: PageId,
     user_meta: Vec<u8>,
     meta_dirty: bool,
 }
 
-/// A page file: fixed-size pages addressed by [`PageId`], with an LRU
-/// buffer pool, a free list, persistent user metadata, and I/O statistics.
+/// A page file: fixed-size pages addressed by [`PageId`], with a sharded
+/// LRU buffer pool, a free list, persistent user metadata, and I/O
+/// statistics.
 ///
-/// All methods take `&self`; the interior is a single mutex, which is fine
-/// for this workspace's one-writer-per-tree usage.
+/// All methods take `&self`. The read path (`read`, `stats`) is safe and
+/// scalable under concurrent use; see the module docs for the locking
+/// contract.
 pub struct PageFile {
     store: Box<dyn PageStore>,
     page_size: usize,
-    inner: Mutex<Inner>,
+    /// Lock-striped buffer pool; shard of page `id` is
+    /// `id % CACHE_SHARDS`.
+    shards: Vec<Mutex<LruCache>>,
+    /// Total requested pool capacity (the sum of per-shard capacities).
+    cache_pages: AtomicUsize,
+    stats: AtomicIoStats,
+    meta: Mutex<MetaState>,
 }
 
 impl PageFile {
     /// Default buffer-pool capacity for freshly created files, in pages.
     pub const DEFAULT_CACHE_PAGES: usize = 256;
+
+    /// Number of lock stripes in the buffer pool. A small power of two:
+    /// enough stripes that a typical batch-query worker pool (≤ 8-ish
+    /// threads) rarely collides on a stripe, few enough that even modest
+    /// pool capacities spread usefully across them.
+    pub const CACHE_SHARDS: usize = 8;
+
+    /// Split a total pool capacity across the shards: `total / SHARDS`
+    /// each, with the remainder going one page at a time to the lowest
+    /// shards. The sum is always exactly `total`, so the pool never holds
+    /// more pages than asked for; capacities below [`Self::CACHE_SHARDS`]
+    /// leave some shards cache-less (their pages read through).
+    fn shard_capacities(total: usize) -> Vec<usize> {
+        let base = total / Self::CACHE_SHARDS;
+        let rem = total % Self::CACHE_SHARDS;
+        (0..Self::CACHE_SHARDS)
+            .map(|i| base + usize::from(i < rem))
+            .collect()
+    }
+
+    fn new_shards(total: usize) -> Vec<Mutex<LruCache>> {
+        Self::shard_capacities(total)
+            .into_iter()
+            .map(|cap| Mutex::new(LruCache::new(cap)))
+            .collect()
+    }
+
+    /// The shard holding page `id`. Infallible in practice (the index is
+    /// a modulus of the shard count); typed rather than panicking per the
+    /// workspace's no-panic policy.
+    fn shard(&self, id: PageId) -> Result<&Mutex<LruCache>> {
+        let n = u64::try_from(self.shards.len())
+            .map_err(|_| PagerError::Corrupt("shard count does not fit u64".into()))?;
+        let idx = usize::try_from(id % n.max(1))
+            .map_err(|_| PagerError::Corrupt("shard index does not fit usize".into()))?;
+        self.shards
+            .get(idx)
+            .ok_or_else(|| PagerError::Corrupt(format!("shard {idx} out of range")))
+    }
 
     /// Create a page file over an in-memory store.
     pub fn create_in_memory(page_size: usize) -> Result<PageFile> {
@@ -81,9 +148,10 @@ impl PageFile {
         let pf = PageFile {
             store,
             page_size,
-            inner: Mutex::new(Inner {
-                cache: LruCache::new(Self::DEFAULT_CACHE_PAGES),
-                stats: IoStats::new(),
+            shards: Self::new_shards(Self::DEFAULT_CACHE_PAGES),
+            cache_pages: AtomicUsize::new(Self::DEFAULT_CACHE_PAGES),
+            stats: AtomicIoStats::new(),
+            meta: Mutex::new(MetaState {
                 free_head: NIL,
                 user_meta: Vec::new(),
                 meta_dirty: true,
@@ -150,9 +218,10 @@ impl PageFile {
         Ok(PageFile {
             store,
             page_size,
-            inner: Mutex::new(Inner {
-                cache: LruCache::new(Self::DEFAULT_CACHE_PAGES),
-                stats: IoStats::new(),
+            shards: Self::new_shards(Self::DEFAULT_CACHE_PAGES),
+            cache_pages: AtomicUsize::new(Self::DEFAULT_CACHE_PAGES),
+            stats: AtomicIoStats::new(),
+            meta: Mutex::new(MetaState {
                 free_head,
                 user_meta,
                 meta_dirty: false,
@@ -183,37 +252,43 @@ impl PageFile {
 
     /// Snapshot of the I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats.clone()
+        self.stats.snapshot()
     }
 
     /// Zero the I/O counters.
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = IoStats::new();
+        self.stats.reset();
     }
 
     /// Resize the buffer pool; `0` disables caching (every read and write
     /// goes straight to the store — the paper's cold-cache query mode).
+    /// The capacity is split across the shards per
+    /// [`PageFile::CACHE_SHARDS`].
     pub fn set_cache_capacity(&self, pages: usize) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let spilled = inner.cache.set_capacity(pages);
-        inner.stats.record_cache_evictions(spilled.len() as u64);
-        for ev in spilled {
-            if let Some(data) = ev.dirty_data {
-                inner.stats.record_physical_write();
-                self.store.write_page(ev.id, &data)?;
+        self.cache_pages.store(pages, Ordering::Relaxed);
+        for (shard, cap) in self.shards.iter().zip(Self::shard_capacities(pages)) {
+            let mut cache = shard.lock();
+            let spilled = cache.set_capacity(cap);
+            self.stats.record_cache_evictions(spilled.len() as u64);
+            for ev in spilled {
+                if let Some(data) = ev.dirty_data {
+                    self.stats.record_physical_write();
+                    self.store.write_page(ev.id, &data)?;
+                }
             }
         }
         Ok(())
     }
 
-    /// Current buffer-pool capacity in pages (`0` = caching disabled).
+    /// Current total buffer-pool capacity in pages (`0` = caching
+    /// disabled).
     pub fn cache_capacity(&self) -> usize {
-        self.inner.lock().cache.capacity()
+        self.cache_pages.load(Ordering::Relaxed)
     }
 
     /// The persistent user metadata blob (index root id etc.).
     pub fn user_meta(&self) -> Vec<u8> {
-        self.inner.lock().user_meta.clone()
+        self.meta.lock().user_meta.clone()
     }
 
     /// Replace the user metadata blob. Persisted on the next
@@ -225,9 +300,9 @@ impl PageFile {
                 capacity: self.user_meta_capacity(),
             });
         }
-        let mut inner = self.inner.lock();
-        inner.user_meta = meta.to_vec();
-        inner.meta_dirty = true;
+        let mut state = self.meta.lock();
+        state.user_meta = meta.to_vec();
+        state.meta_dirty = true;
         Ok(())
     }
 
@@ -239,12 +314,13 @@ impl PageFile {
             "cannot allocate {kind:?}"
         );
         let id = {
-            let mut inner = self.inner.lock();
-            if inner.free_head != NIL {
-                let id = inner.free_head;
+            // meta → shard lock order: read_raw below takes the shard lock
+            // while we hold the meta lock.
+            let mut state = self.meta.lock();
+            if state.free_head != NIL {
+                let id = state.free_head;
                 // Next pointer lives in the freed page's payload.
-                let data = self.read_raw(&mut inner, id)?;
-                let mut data = data;
+                let mut data = self.read_raw(id)?;
                 let mut c = PageCodec::new(&mut data);
                 let k = c.get_u8()?;
                 if k != PageKind::Free.as_u8() {
@@ -253,8 +329,8 @@ impl PageFile {
                     )));
                 }
                 c.skip(4)?; // stored payload length, unused here
-                inner.free_head = c.get_u64()?;
-                inner.meta_dirty = true;
+                state.free_head = c.get_u64()?;
+                state.meta_dirty = true;
                 Some(id)
             } else {
                 None
@@ -275,36 +351,40 @@ impl PageFile {
     /// Return a page to the free list.
     pub fn free(&self, id: PageId) -> Result<()> {
         assert!(id != 0, "cannot free the meta page");
-        let mut inner = self.inner.lock();
-        inner.cache.remove(id);
+        let mut state = self.meta.lock();
+        self.shard(id)?.lock().remove(id);
         let mut page = vec![0u8; self.page_size];
-        let head = inner.free_head;
+        let head = state.free_head;
         {
             let mut c = PageCodec::new(&mut page);
             c.put_u8(PageKind::Free.as_u8())?;
             c.put_u32(8)?;
             c.put_u64(head)?;
         }
-        inner.stats.record_physical_write();
+        self.stats.record_physical_write();
         self.store.write_page(id, &page)?;
-        inner.free_head = id;
-        inner.meta_dirty = true;
+        state.free_head = id;
+        state.meta_dirty = true;
         Ok(())
     }
 
-    fn read_raw(&self, inner: &mut Inner, id: PageId) -> Result<Box<[u8]>> {
-        if let Some(data) = inner.cache.get(id) {
-            inner.stats.record_cache_hit();
+    /// Cache-through read of the raw page bytes. The shard lock is held
+    /// across probe → store read → insert so that accounting stays exact
+    /// under concurrency: every miss is exactly one physical read.
+    fn read_raw(&self, id: PageId) -> Result<Box<[u8]>> {
+        let mut cache = self.shard(id)?.lock();
+        if let Some(data) = cache.get(id) {
+            self.stats.record_cache_hit();
             return Ok(data.to_vec().into_boxed_slice());
         }
-        inner.stats.record_cache_miss();
+        self.stats.record_cache_miss();
         let mut buf = vec![0u8; self.page_size].into_boxed_slice();
-        inner.stats.record_physical_read();
+        self.stats.record_physical_read();
         self.store.read_page(id, &mut buf)?;
-        if let Some(ev) = inner.cache.insert(id, buf.clone(), false) {
-            inner.stats.record_cache_evictions(1);
+        if let Some(ev) = cache.insert(id, buf.clone(), false) {
+            self.stats.record_cache_evictions(1);
             if let Some(dirty) = ev.dirty_data {
-                inner.stats.record_physical_write();
+                self.stats.record_physical_write();
                 self.store.write_page(ev.id, &dirty)?;
             }
         }
@@ -313,10 +393,8 @@ impl PageFile {
 
     /// Read the payload of page `id`, checking that its kind matches.
     pub fn read(&self, id: PageId, expected: PageKind) -> Result<Vec<u8>> {
-        let mut inner = self.inner.lock();
-        inner.stats.record_logical_read(expected);
-        let mut data = self.read_raw(&mut inner, id)?;
-        drop(inner);
+        self.stats.record_logical_read(expected);
+        let mut data = self.read_raw(id)?;
         let mut c = PageCodec::new(&mut data);
         let kind = c.get_u8()?;
         if kind != expected.as_u8() {
@@ -355,15 +433,17 @@ impl PageFile {
             c.put_u32(len)?;
             c.put_bytes(payload)?;
         }
-        let mut inner = self.inner.lock();
-        inner.stats.record_logical_write(kind);
-        if inner.cache.capacity() == 0 {
-            inner.stats.record_physical_write();
+        self.stats.record_logical_write(kind);
+        let mut cache = self.shard(id)?.lock();
+        if cache.capacity() == 0 {
+            // This page's shard has no pool space (total capacity 0, or
+            // fewer total pages than shards): write through.
+            self.stats.record_physical_write();
             self.store.write_page(id, &page)?;
-        } else if let Some(ev) = inner.cache.insert(id, page, true) {
-            inner.stats.record_cache_evictions(1);
+        } else if let Some(ev) = cache.insert(id, page, true) {
+            self.stats.record_cache_evictions(1);
             if let Some(dirty) = ev.dirty_data {
-                inner.stats.record_physical_write();
+                self.stats.record_physical_write();
                 self.store.write_page(ev.id, &dirty)?;
             }
         }
@@ -373,28 +453,32 @@ impl PageFile {
     /// Write back every dirty page and the metadata page, then sync the
     /// store.
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        for (id, data) in inner.cache.drain_dirty() {
-            inner.stats.record_physical_write();
-            self.store.write_page(id, &data)?;
+        // Shard locks are taken one at a time and released before the meta
+        // lock, so this cannot invert the meta → shard ordering.
+        for shard in &self.shards {
+            let dirty = shard.lock().drain_dirty();
+            for (id, data) in dirty {
+                self.stats.record_physical_write();
+                self.store.write_page(id, &data)?;
+            }
         }
-        if inner.meta_dirty {
+        let mut state = self.meta.lock();
+        if state.meta_dirty {
             let page_size = u32::try_from(self.page_size)
                 .map_err(|_| PagerError::Corrupt("page size does not fit u32".into()))?;
-            let meta_len = u32::try_from(inner.user_meta.len())
+            let meta_len = u32::try_from(state.user_meta.len())
                 .map_err(|_| PagerError::Corrupt("user metadata length does not fit u32".into()))?;
             let mut page = vec![0u8; self.page_size];
             let mut c = PageCodec::new(&mut page);
             c.put_u32(MAGIC)?;
             c.put_u32(VERSION)?;
             c.put_u32(page_size)?;
-            c.put_u64(inner.free_head)?;
+            c.put_u64(state.free_head)?;
             c.put_u32(meta_len)?;
-            let meta = inner.user_meta.clone();
-            c.put_bytes(&meta)?;
-            inner.stats.record_physical_write();
+            c.put_bytes(&state.user_meta)?;
+            self.stats.record_physical_write();
             self.store.write_page(0, &page)?;
-            inner.meta_dirty = false;
+            state.meta_dirty = false;
         }
         self.store.sync()?;
         Ok(())
@@ -559,9 +643,12 @@ mod tests {
 
     #[test]
     fn cache_counters_track_hits_misses_and_evictions() {
+        // One page of pool per shard, two pages of data per shard: a sweep
+        // over all pages thrashes every shard deterministically.
+        let shards = PageFile::CACHE_SHARDS;
         let pf = PageFile::create_in_memory(512).unwrap();
-        pf.set_cache_capacity(2).unwrap();
-        let ids: Vec<_> = (0..4)
+        pf.set_cache_capacity(shards).unwrap();
+        let ids: Vec<_> = (0..2 * shards)
             .map(|i| {
                 let id = pf.allocate(PageKind::Leaf).unwrap();
                 pf.write(id, PageKind::Leaf, &[i as u8; 8]).unwrap();
@@ -570,35 +657,89 @@ mod tests {
             .collect();
         pf.reset_stats();
 
-        // Sweep all four pages through a 2-page pool: every read misses
-        // (the pool never holds the page we ask for next), and since the
-        // writes above left the pool full, every miss also evicts.
+        // Sweep all pages: each shard's single slot always holds the
+        // other page of its pair, so every read misses, and because the
+        // writes above left each slot full, every miss also evicts.
         for &id in &ids {
             let _ = pf.read(id, PageKind::Leaf).unwrap();
         }
         let s = pf.stats();
-        assert_eq!(s.cache_misses(), 4);
+        assert_eq!(s.cache_misses(), 2 * shards as u64);
         assert_eq!(
             s.cache_misses(),
             s.physical_reads(),
             "every miss is exactly one physical read"
         );
-        assert_eq!(s.cache_evictions(), 4, "full pool: one eviction per miss");
+        assert_eq!(
+            s.cache_evictions(),
+            2 * shards as u64,
+            "full pool: one eviction per miss"
+        );
 
-        // Re-read the two resident pages: pure hits.
+        // Re-read the second half (the resident page of each shard): pure
+        // hits.
         pf.reset_stats();
-        let _ = pf.read(ids[2], PageKind::Leaf).unwrap();
-        let _ = pf.read(ids[3], PageKind::Leaf).unwrap();
+        for &id in &ids[shards..] {
+            let _ = pf.read(id, PageKind::Leaf).unwrap();
+        }
         let s = pf.stats();
-        assert_eq!(s.cache_hits(), 2);
+        assert_eq!(s.cache_hits(), shards as u64);
         assert_eq!(s.cache_misses(), 0);
         assert_eq!(s.cache_hit_rate(), Some(1.0));
 
         // Shrinking the pool counts its spills as evictions.
         pf.reset_stats();
         pf.set_cache_capacity(0).unwrap();
-        assert_eq!(pf.stats().cache_evictions(), 2);
+        assert_eq!(pf.stats().cache_evictions(), shards as u64);
         assert_eq!(pf.cache_capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_reads_keep_accounting_exact() {
+        let pf = PageFile::create_in_memory(512).unwrap();
+        let ids: Vec<_> = (0..32u8)
+            .map(|i| {
+                let id = pf.allocate(PageKind::Leaf).unwrap();
+                pf.write(id, PageKind::Leaf, &[i; 8]).unwrap();
+                id
+            })
+            .collect();
+        pf.flush().unwrap();
+        // Small pool so concurrent sweeps force misses and evictions.
+        pf.set_cache_capacity(8).unwrap();
+        pf.reset_stats();
+
+        const THREADS: u64 = 4;
+        const ROUNDS: u64 = 50;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        for (i, &id) in ids.iter().enumerate() {
+                            let data = pf.read(id, PageKind::Leaf).unwrap();
+                            assert_eq!(data, vec![i as u8; 8], "torn or misrouted page");
+                        }
+                    }
+                });
+            }
+        });
+
+        let s = pf.stats();
+        assert_eq!(
+            s.logical_reads(PageKind::Leaf),
+            THREADS * ROUNDS * ids.len() as u64,
+            "no logical read lost"
+        );
+        assert_eq!(
+            s.cache_hits() + s.cache_misses(),
+            s.logical_reads(PageKind::Leaf),
+            "every probe is exactly one hit or one miss"
+        );
+        assert_eq!(
+            s.cache_misses(),
+            s.physical_reads(),
+            "every miss is exactly one physical read, even under contention"
+        );
     }
 
     #[test]

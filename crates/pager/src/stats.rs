@@ -1,5 +1,11 @@
 //! I/O statistics — the measurement instrument behind every "number of
 //! disk reads" series in the paper.
+//!
+//! Recording happens through [`AtomicIoStats`] (relaxed atomics, so the
+//! sharded buffer pool can count from many threads without a lock);
+//! [`IoStats`] is the plain snapshot type the public API hands out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::page::PageKind;
 
@@ -26,42 +32,99 @@ pub struct IoStats {
     cache_evictions: u64,
 }
 
+/// The live, thread-safe counters behind a `PageFile`. All increments are
+/// relaxed atomics: counts from concurrent readers are never lost, though a
+/// [`AtomicIoStats::snapshot`] taken mid-operation may observe one counter
+/// of a pair (e.g. miss/physical-read) before the other. Snapshots taken
+/// at a quiescent point are exact.
+#[derive(Default)]
+pub(crate) struct AtomicIoStats {
+    logical_reads: [AtomicU64; 4],
+    logical_writes: [AtomicU64; 4],
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+impl AtomicIoStats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_logical_read(&self, kind: PageKind) {
+        if let Some(c) = self.logical_reads.get(kind as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_logical_write(&self, kind: PageKind) {
+        if let Some(c) = self.logical_writes.get(kind as usize) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_evictions(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy the counters into a plain [`IoStats`] value.
+    pub(crate) fn snapshot(&self) -> IoStats {
+        let arr = |a: &[AtomicU64; 4]| {
+            let mut out = [0u64; 4];
+            for (o, c) in out.iter_mut().zip(a.iter()) {
+                *o = c.load(Ordering::Relaxed);
+            }
+            out
+        };
+        IoStats {
+            logical_reads: arr(&self.logical_reads),
+            logical_writes: arr(&self.logical_writes),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub(crate) fn reset(&self) {
+        for c in &self.logical_reads {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.logical_writes {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
+    }
+}
+
 impl IoStats {
     /// Fresh, all-zero counters.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    pub(crate) fn record_logical_read(&mut self, kind: PageKind) {
-        if let Some(c) = self.logical_reads.get_mut(kind as usize) {
-            *c += 1;
-        }
-    }
-
-    pub(crate) fn record_logical_write(&mut self, kind: PageKind) {
-        if let Some(c) = self.logical_writes.get_mut(kind as usize) {
-            *c += 1;
-        }
-    }
-
-    pub(crate) fn record_physical_read(&mut self) {
-        self.physical_reads += 1;
-    }
-
-    pub(crate) fn record_physical_write(&mut self) {
-        self.physical_writes += 1;
-    }
-
-    pub(crate) fn record_cache_hit(&mut self) {
-        self.cache_hits += 1;
-    }
-
-    pub(crate) fn record_cache_miss(&mut self) {
-        self.cache_misses += 1;
-    }
-
-    pub(crate) fn record_cache_evictions(&mut self, n: u64) {
-        self.cache_evictions += n;
     }
 
     /// Logical reads of pages of `kind`.
@@ -157,11 +220,12 @@ mod tests {
 
     #[test]
     fn counters_accumulate_per_kind() {
-        let mut s = IoStats::new();
-        s.record_logical_read(PageKind::Node);
-        s.record_logical_read(PageKind::Node);
-        s.record_logical_read(PageKind::Leaf);
-        s.record_logical_write(PageKind::Leaf);
+        let a = AtomicIoStats::new();
+        a.record_logical_read(PageKind::Node);
+        a.record_logical_read(PageKind::Node);
+        a.record_logical_read(PageKind::Leaf);
+        a.record_logical_write(PageKind::Leaf);
+        let s = a.snapshot();
         assert_eq!(s.logical_reads(PageKind::Node), 2);
         assert_eq!(s.logical_reads(PageKind::Leaf), 1);
         assert_eq!(s.logical_reads(PageKind::Meta), 0);
@@ -171,44 +235,64 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let mut a = IoStats::new();
+        let a = AtomicIoStats::new();
         a.record_logical_read(PageKind::Leaf);
-        let snapshot = a.clone();
+        let snapshot = a.snapshot();
         a.record_logical_read(PageKind::Leaf);
         a.record_physical_read();
-        let d = a.since(&snapshot);
+        let d = a.snapshot().since(&snapshot);
         assert_eq!(d.logical_reads(PageKind::Leaf), 1);
         assert_eq!(d.physical_reads(), 1);
     }
 
     #[test]
     fn since_saturates_after_reset() {
-        let mut old = IoStats::new();
-        old.record_physical_read();
-        let fresh = IoStats::new();
-        assert_eq!(fresh.since(&old).physical_reads(), 0);
+        let a = AtomicIoStats::new();
+        a.record_physical_read();
+        let old = a.snapshot();
+        a.reset();
+        assert_eq!(a.snapshot().since(&old).physical_reads(), 0);
     }
 
     #[test]
     fn cache_counters_accumulate_and_window() {
-        let mut s = IoStats::new();
-        assert_eq!(s.cache_hit_rate(), None, "no probes yet");
-        s.record_cache_hit();
-        s.record_cache_hit();
-        s.record_cache_hit();
-        s.record_cache_miss();
-        s.record_cache_evictions(2);
+        let a = AtomicIoStats::new();
+        assert_eq!(a.snapshot().cache_hit_rate(), None, "no probes yet");
+        a.record_cache_hit();
+        a.record_cache_hit();
+        a.record_cache_hit();
+        a.record_cache_miss();
+        a.record_cache_evictions(2);
+        let s = a.snapshot();
         assert_eq!(s.cache_hits(), 3);
         assert_eq!(s.cache_misses(), 1);
         assert_eq!(s.cache_evictions(), 2);
         assert_eq!(s.cache_hit_rate(), Some(0.75));
 
         let snapshot = s.clone();
-        s.record_cache_miss();
-        s.record_cache_evictions(1);
-        let d = s.since(&snapshot);
+        a.record_cache_miss();
+        a.record_cache_evictions(1);
+        let d = a.snapshot().since(&snapshot);
         assert_eq!(d.cache_hits(), 0);
         assert_eq!(d.cache_misses(), 1);
         assert_eq!(d.cache_evictions(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let a = AtomicIoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        a.record_cache_hit();
+                        a.record_logical_read(PageKind::Leaf);
+                    }
+                });
+            }
+        });
+        let s = a.snapshot();
+        assert_eq!(s.cache_hits(), 4000);
+        assert_eq!(s.logical_reads(PageKind::Leaf), 4000);
     }
 }

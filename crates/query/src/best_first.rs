@@ -72,12 +72,23 @@ pub fn knn_best_first<S: KnnSource>(
     query: &[f32],
     k: usize,
 ) -> Result<Vec<Neighbor>, S::Error> {
-    knn_best_first_traced(src, query, k, &Noop)
+    knn_best_first_with(src, query, k, &Noop)
+}
+
+/// Deprecated spelling of [`knn_best_first_with`].
+#[deprecated(since = "0.2.0", note = "renamed to `knn_best_first_with`")]
+pub fn knn_best_first_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    k: usize,
+    rec: &R,
+) -> Result<Vec<Neighbor>, S::Error> {
+    knn_best_first_with(src, query, k, rec)
 }
 
 /// [`knn_best_first`] with a metrics recorder. With [`Noop`] this
 /// monomorphizes to exactly the uninstrumented search.
-pub fn knn_best_first_traced<S: KnnSource, R: Recorder + ?Sized>(
+pub fn knn_best_first_with<S: KnnSource, R: Recorder + ?Sized>(
     src: &S,
     query: &[f32],
     k: usize,
@@ -219,7 +230,7 @@ mod tests {
         let pts = pseudo_points(500, 8, 321);
         let tree = MockTree::build(pts.clone(), 16);
         let rec = StatsRecorder::new();
-        let got = knn_best_first_traced(&tree, &pts[3].0, 5, &rec).unwrap();
+        let got = knn_best_first_with(&tree, &pts[3].0, 5, &rec).unwrap();
         let plain = knn_best_first(&tree, &pts[3].0, 5).unwrap();
         assert_eq!(got, plain, "tracing must not change results");
         let s = rec.snapshot();
@@ -227,7 +238,7 @@ mod tests {
         assert!(s.counter(Counter::LeafExpansions) > 0);
         // Best-first reads no more pages than DFS on the same tree.
         let df_rec = StatsRecorder::new();
-        let _ = crate::knn_traced(&tree, &pts[3].0, 5, &df_rec).unwrap();
+        let _ = crate::knn_with(&tree, &pts[3].0, 5, &df_rec).unwrap();
         let df = df_rec.snapshot();
         assert!(
             s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions)

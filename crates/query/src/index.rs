@@ -1,0 +1,280 @@
+//! The unified index API: one trait all five tree structures implement.
+//!
+//! Everything downstream of the tree crates — the CLI, the benchmark
+//! harness, the batch-query executor — used to dispatch over the concrete
+//! tree types with five-arm `match` blocks. [`SpatialIndex`] replaces
+//! that: a `Box<dyn SpatialIndex>` (or a generic bound) gives callers the
+//! whole read/write surface, and [`IndexError`] folds the per-crate
+//! `TreeError` enums into one type they can actually handle.
+//!
+//! The trait is deliberately object-safe (recorders are passed as
+//! `&dyn Recorder`) and its query methods take `&self`: with the sharded
+//! pager underneath, a `dyn SpatialIndex + Sync` is what the parallel
+//! batch executor in `sr-exec` fans out over.
+
+use std::fmt;
+
+use sr_obs::{Noop, Recorder};
+use sr_pager::{IoStats, PageFile, PagerError};
+
+use crate::heap::Neighbor;
+
+/// Errors from operations on a [`SpatialIndex`], folding each tree
+/// crate's own error enum into one API-level type.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying page I/O failed.
+    Pager(PagerError),
+    /// A point or query of the wrong dimensionality was offered.
+    DimensionMismatch {
+        /// Dimensionality the index was created with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+    },
+    /// The page file does not contain this kind of index.
+    NotThisIndex(String),
+    /// A range query was asked with a negative or NaN radius.
+    InvalidRadius(f64),
+    /// The operation is not supported by this index structure (e.g.
+    /// inserting into the bulk-load-only VAMSplit R-tree).
+    Unsupported(&'static str),
+    /// A structural invariant of the index does not hold — on-disk
+    /// corruption or an internal bug, never well-formed input.
+    Corrupt(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Pager(e) => write!(f, "page I/O failed: {e}"),
+            IndexError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: index is {expected}-d, point is {got}-d"
+                )
+            }
+            IndexError::NotThisIndex(msg) => write!(f, "not a valid index file: {msg}"),
+            IndexError::InvalidRadius(r) => {
+                write!(f, "invalid range radius {r}: must be non-negative")
+            }
+            IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            IndexError::Corrupt(msg) => write!(f, "index structure corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PagerError> for IndexError {
+    fn from(e: PagerError) -> Self {
+        IndexError::Pager(e)
+    }
+}
+
+/// A disk-resident spatial index over `f32` points with `u64` payloads.
+///
+/// Implemented by all five tree structures in the workspace (SR-tree,
+/// SS-tree, R\*-tree, K-D-B-tree, VAMSplit R-tree). Queries take `&self`
+/// and are safe to call from many threads at once (`Send + Sync` is a
+/// supertrait); mutation (`insert`) takes `&mut self` and is therefore
+/// exclusive by construction.
+pub trait SpatialIndex: Send + Sync {
+    /// Short stable name of the index structure (e.g. `"sr"`, `"rstar"`).
+    fn kind_name(&self) -> &'static str;
+
+    /// Dimensionality of the indexed points.
+    fn dim(&self) -> usize;
+
+    /// Number of stored entries.
+    fn len(&self) -> u64;
+
+    /// Whether the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Height of the tree (0 = empty).
+    fn height(&self) -> u32;
+
+    /// Total number of leaf pages.
+    fn num_leaves(&self) -> Result<u64, IndexError>;
+
+    /// Insert one point. Structures that only support bulk construction
+    /// return [`IndexError::Unsupported`].
+    fn insert(&mut self, point: &[f32], data: u64) -> Result<(), IndexError>;
+
+    /// The `k` nearest neighbors of `query`, sorted by ascending
+    /// distance (ties broken by payload id), with a metrics recorder.
+    fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<Neighbor>, IndexError>;
+
+    /// Every point within `radius` of `query`, sorted by ascending
+    /// distance, with a metrics recorder.
+    fn range_with(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<Neighbor>, IndexError>;
+
+    /// [`SpatialIndex::knn_with`] without instrumentation.
+    fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        self.knn_with(query, k, &Noop)
+    }
+
+    /// [`SpatialIndex::range_with`] without instrumentation.
+    fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>, IndexError> {
+        self.range_with(query, radius, &Noop)
+    }
+
+    /// The pager underneath — for cache-capacity control and I/O
+    /// accounting.
+    fn pager(&self) -> &PageFile;
+
+    /// Snapshot of the pager's I/O counters.
+    fn io_stats(&self) -> IoStats {
+        self.pager().stats()
+    }
+
+    /// Write back dirty pages and metadata.
+    fn flush(&self) -> Result<(), IndexError>;
+
+    /// Check the structure's invariants, returning a one-line summary on
+    /// success. Structures without a checker report
+    /// [`IndexError::Unsupported`].
+    fn verify(&self) -> Result<String, IndexError> {
+        Err(IndexError::Unsupported("no invariant checker"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-memory implementation to exercise the trait's default
+    /// methods and object safety.
+    struct BruteIndex {
+        pager: PageFile,
+        dim: usize,
+        points: Vec<(Vec<f32>, u64)>,
+    }
+
+    impl SpatialIndex for BruteIndex {
+        fn kind_name(&self) -> &'static str {
+            "brute"
+        }
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn len(&self) -> u64 {
+            self.points.len() as u64
+        }
+        fn height(&self) -> u32 {
+            1
+        }
+        fn num_leaves(&self) -> Result<u64, IndexError> {
+            Ok(1)
+        }
+        fn insert(&mut self, point: &[f32], data: u64) -> Result<(), IndexError> {
+            if point.len() != self.dim {
+                return Err(IndexError::DimensionMismatch {
+                    expected: self.dim,
+                    got: point.len(),
+                });
+            }
+            self.points.push((point.to_vec(), data));
+            Ok(())
+        }
+        fn knn_with(
+            &self,
+            query: &[f32],
+            k: usize,
+            _rec: &dyn Recorder,
+        ) -> Result<Vec<Neighbor>, IndexError> {
+            let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
+            Ok(crate::brute_force_knn(flat, query, k))
+        }
+        fn range_with(
+            &self,
+            query: &[f32],
+            radius: f64,
+            _rec: &dyn Recorder,
+        ) -> Result<Vec<Neighbor>, IndexError> {
+            if radius.is_nan() || radius < 0.0 {
+                return Err(IndexError::InvalidRadius(radius));
+            }
+            let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
+            Ok(crate::brute_force_range(flat, query, radius))
+        }
+        fn pager(&self) -> &PageFile {
+            &self.pager
+        }
+        fn flush(&self) -> Result<(), IndexError> {
+            Ok(self.pager.flush()?)
+        }
+    }
+
+    fn sample() -> BruteIndex {
+        let mut ix = BruteIndex {
+            pager: PageFile::create_in_memory(512).expect("in-memory pager"),
+            dim: 2,
+            points: Vec::new(),
+        };
+        for (i, p) in [[0.0f32, 0.0], [1.0, 0.0], [0.0, 2.0], [3.0, 3.0]]
+            .iter()
+            .enumerate()
+        {
+            ix.insert(p, i as u64).expect("insert");
+        }
+        ix
+    }
+
+    #[test]
+    fn trait_object_queries_work() {
+        let ix = sample();
+        let dynix: &dyn SpatialIndex = &ix;
+        assert_eq!(dynix.kind_name(), "brute");
+        assert_eq!(dynix.len(), 4);
+        assert!(!dynix.is_empty());
+        let nn = dynix.knn(&[0.1, 0.1], 2).expect("knn");
+        assert_eq!(nn[0].data, 0);
+        assert_eq!(nn.len(), 2);
+        let within = dynix.range(&[0.0, 0.0], 2.0).expect("range");
+        assert_eq!(
+            within.iter().map(|n| n.data).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(matches!(
+            dynix.range(&[0.0, 0.0], -1.0),
+            Err(IndexError::InvalidRadius(_))
+        ));
+        // default verify is a typed refusal, not a panic
+        assert!(matches!(dynix.verify(), Err(IndexError::Unsupported(_))));
+        // io_stats default goes through the pager
+        let _ = dynix.io_stats();
+    }
+
+    #[test]
+    fn index_error_display_and_source() {
+        let e = IndexError::DimensionMismatch {
+            expected: 16,
+            got: 2,
+        };
+        assert!(e.to_string().contains("16"));
+        let e: IndexError = PagerError::Corrupt("boom".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(IndexError::Unsupported("x").to_string().contains('x'));
+    }
+}

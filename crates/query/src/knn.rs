@@ -168,12 +168,23 @@ pub(crate) fn record_prune<R: Recorder + ?Sized>(
 /// controls — the SR-tree's `max(d_sphere, d_rect)` bound prunes strictly
 /// more than either bound alone.
 pub fn knn<S: KnnSource>(src: &S, query: &[f32], k: usize) -> Result<Vec<Neighbor>, S::Error> {
-    knn_traced(src, query, k, &Noop)
+    knn_with(src, query, k, &Noop)
+}
+
+/// Deprecated spelling of [`knn_with`].
+#[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
+pub fn knn_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    k: usize,
+    rec: &R,
+) -> Result<Vec<Neighbor>, S::Error> {
+    knn_with(src, query, k, rec)
 }
 
 /// [`knn`] with a metrics recorder. With [`Noop`] this monomorphizes to
 /// exactly the uninstrumented search.
-pub fn knn_traced<S: KnnSource, R: Recorder + ?Sized>(
+pub fn knn_with<S: KnnSource, R: Recorder + ?Sized>(
     src: &S,
     query: &[f32],
     k: usize,
@@ -428,7 +439,7 @@ mod tests {
         let pts = pseudo_points(500, 8, 1234);
         let tree = MockTree::build(pts.clone(), 16);
         let rec = StatsRecorder::new();
-        let got = knn_traced(&tree, &pts[7].0, 5, &rec).unwrap();
+        let got = knn_with(&tree, &pts[7].0, 5, &rec).unwrap();
         let plain = knn(&tree, &pts[7].0, 5).unwrap();
         assert_eq!(got, plain, "tracing must not change results");
         let s = rec.snapshot();

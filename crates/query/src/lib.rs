@@ -16,9 +16,15 @@
 //! over [`KnnSource`]: a tree exposes its root and a way to *expand* a node
 //! into scored child branches or leaf points, and [`knn`] / [`range`] do
 //! the rest. Branches carry their bound's provenance ([`RegionBound`]), so
-//! the `_traced` engine variants can attribute every prune event to the
-//! shape whose bound achieved it — the measurement behind the paper's
-//! Figure 8–10 series, recorded through `sr-obs`.
+//! the `_with` engine variants (which take any `sr-obs` recorder; the
+//! plain forms are `Noop` conveniences) can attribute every prune event to
+//! the shape whose bound achieved it — the measurement behind the paper's
+//! Figure 8–10 series. The old `_traced` spellings remain as deprecated
+//! aliases.
+//!
+//! [`SpatialIndex`] is the unified, object-safe API all five tree crates
+//! implement on top of these engines — the single dispatch surface the
+//! CLI, the benchmark harness, and the `sr-exec` batch executor use.
 //!
 //! [`brute_force_knn`] provides exact linear-scan answers used as ground
 //! truth by every correctness test in the workspace.
@@ -29,12 +35,21 @@ mod best_first;
 mod bruteforce;
 mod error;
 mod heap;
+mod index;
 mod knn;
 mod range;
 
-pub use best_first::{knn_best_first, knn_best_first_traced};
+pub use best_first::{knn_best_first, knn_best_first_with};
 pub use bruteforce::{brute_force_knn, brute_force_range, pairwise_distance_stats, DistanceStats};
 pub use error::QueryError;
 pub use heap::{CandidateSet, Neighbor};
-pub use knn::{knn, knn_traced, Branch, Expansion, KnnSource, RegionBound};
-pub use range::{range, range_traced};
+pub use index::{IndexError, SpatialIndex};
+pub use knn::{knn, knn_with, Branch, Expansion, KnnSource, RegionBound};
+pub use range::{range, range_with};
+
+#[allow(deprecated)]
+pub use best_first::knn_best_first_traced;
+#[allow(deprecated)]
+pub use knn::knn_traced;
+#[allow(deprecated)]
+pub use range::range_traced;

@@ -21,12 +21,23 @@ pub fn range<S: KnnSource>(
     query: &[f32],
     radius: f64,
 ) -> Result<Vec<Neighbor>, QueryError<S::Error>> {
-    range_traced(src, query, radius, &Noop)
+    range_with(src, query, radius, &Noop)
+}
+
+/// Deprecated spelling of [`range_with`].
+#[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
+pub fn range_traced<S: KnnSource, R: Recorder + ?Sized>(
+    src: &S,
+    query: &[f32],
+    radius: f64,
+    rec: &R,
+) -> Result<Vec<Neighbor>, QueryError<S::Error>> {
+    range_with(src, query, radius, rec)
 }
 
 /// [`range`] with a metrics recorder. With [`Noop`] this monomorphizes to
 /// exactly the uninstrumented search.
-pub fn range_traced<S: KnnSource, R: Recorder + ?Sized>(
+pub fn range_with<S: KnnSource, R: Recorder + ?Sized>(
     src: &S,
     query: &[f32],
     radius: f64,
@@ -148,7 +159,7 @@ mod tests {
         let pts = grid_points();
         let tree = MockTree::build(pts, 7);
         let rec = StatsRecorder::new();
-        let got = range_traced(&tree, &[4.5, 4.5], 1.5, &rec).unwrap();
+        let got = range_with(&tree, &[4.5, 4.5], 1.5, &rec).unwrap();
         assert!(!got.is_empty());
         let s = rec.snapshot();
         assert!(s.counter(Counter::LeafExpansions) > 0);

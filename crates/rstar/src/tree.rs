@@ -229,37 +229,59 @@ impl RstarTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`RstarTree::knn`] with a metrics recorder (node expansions, prune
     /// events, heap high-water — see `sr-obs`).
+    pub fn knn_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k, rec)
+    }
+
+    /// Deprecated spelling of [`RstarTree::knn_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
     pub fn knn_traced(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k, rec)
+        self.knn_with(query, k, rec)
     }
 
     /// Every point within `radius` of `query`, sorted by ascending
     /// distance. A negative or NaN radius is rejected with
     /// [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-        self.range_traced(query, radius, &sr_obs::Noop)
+        self.range_with(query, radius, &sr_obs::Noop)
     }
 
     /// [`RstarTree::range`] with a metrics recorder.
+    pub fn range_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
+    }
+
+    /// Deprecated spelling of [`RstarTree::range_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
     pub fn range_traced(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::range(self, query, radius, rec)
+        self.range_with(query, radius, rec)
     }
 
     /// Bounding rectangles of all (non-empty) leaves — the "leaf-level
@@ -304,5 +326,75 @@ impl RstarTree {
             Ok(n)
         }
         walk(self, self.root, (self.height - 1) as u16)
+    }
+}
+
+impl sr_query::SpatialIndex for RstarTree {
+    fn kind_name(&self) -> &'static str {
+        "R*-tree"
+    }
+
+    fn dim(&self) -> usize {
+        RstarTree::dim(self)
+    }
+
+    fn len(&self) -> u64 {
+        RstarTree::len(self)
+    }
+
+    fn height(&self) -> u32 {
+        RstarTree::height(self)
+    }
+
+    fn num_leaves(&self) -> std::result::Result<u64, sr_query::IndexError> {
+        Ok(RstarTree::num_leaves(self)?)
+    }
+
+    fn insert(
+        &mut self,
+        point: &[f32],
+        data: u64,
+    ) -> std::result::Result<(), sr_query::IndexError> {
+        if point.is_empty() {
+            return Err(sr_query::IndexError::DimensionMismatch {
+                expected: RstarTree::dim(self),
+                got: 0,
+            });
+        }
+        Ok(RstarTree::insert(self, Point::new(point), data)?)
+    }
+
+    fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(RstarTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn range_with(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(RstarTree::range_with(self, query, radius, rec)?)
+    }
+
+    fn pager(&self) -> &PageFile {
+        RstarTree::pager(self)
+    }
+
+    fn flush(&self) -> std::result::Result<(), sr_query::IndexError> {
+        Ok(RstarTree::flush(self)?)
+    }
+
+    fn verify(&self) -> std::result::Result<String, sr_query::IndexError> {
+        let r = crate::verify::check(self)?;
+        Ok(format!(
+            "{} nodes, {} leaves, {} points",
+            r.nodes, r.leaves, r.points
+        ))
     }
 }

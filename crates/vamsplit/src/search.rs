@@ -50,22 +50,22 @@ impl KnnSource for Source<'_> {
     }
 }
 
-pub(crate) fn knn(
+pub(crate) fn knn<R: Recorder + ?Sized>(
     tree: &VamTree,
     query: &[f32],
     k: usize,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::knn_traced(&Source { tree }, query, k, rec)
+    sr_query::knn_with(&Source { tree }, query, k, rec)
 }
 
-pub(crate) fn range(
+pub(crate) fn range<R: Recorder + ?Sized>(
     tree: &VamTree,
     query: &[f32],
     radius: f64,
-    rec: &dyn Recorder,
+    rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::range_traced(&Source { tree }, query, radius, rec).map_err(|e| match e {
+    sr_query::range_with(&Source { tree }, query, radius, rec).map_err(|e| match e {
         QueryError::InvalidRadius(r) => TreeError::InvalidRadius(r),
         QueryError::Source(e) => e,
     })

@@ -224,36 +224,58 @@ impl VamTree {
 
     /// The `k` nearest neighbors of `query`, sorted by ascending distance.
     pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>> {
-        self.knn_traced(query, k, &sr_obs::Noop)
+        self.knn_with(query, k, &sr_obs::Noop)
     }
 
     /// [`VamTree::knn`] with a metrics recorder (node expansions, prune
     /// events, heap high-water — see `sr-obs`).
+    pub fn knn_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn(self, query, k, rec)
+    }
+
+    /// Deprecated spelling of [`VamTree::knn_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
     pub fn knn_traced(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::knn(self, query, k, rec)
+        self.knn_with(query, k, rec)
     }
 
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
-        self.range_traced(query, radius, &sr_obs::Noop)
+        self.range_with(query, radius, &sr_obs::Noop)
     }
 
     /// [`VamTree::range`] with a metrics recorder.
+    pub fn range_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::range(self, query, radius, rec)
+    }
+
+    /// Deprecated spelling of [`VamTree::range_with`].
+    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
     pub fn range_traced(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn sr_obs::Recorder,
     ) -> Result<Vec<Neighbor>> {
-        self.check_dim(query.len())?;
-        search::range(self, query, radius, rec)
+        self.range_with(query, radius, rec)
     }
 
     /// Bounding rectangles of all (non-empty) leaves.
@@ -295,5 +317,71 @@ impl VamTree {
             Ok(n)
         }
         walk(self, self.root, (self.height - 1) as u16)
+    }
+}
+
+impl sr_query::SpatialIndex for VamTree {
+    fn kind_name(&self) -> &'static str {
+        "VAMSplit R-tree"
+    }
+
+    fn dim(&self) -> usize {
+        VamTree::dim(self)
+    }
+
+    fn len(&self) -> u64 {
+        VamTree::len(self)
+    }
+
+    fn height(&self) -> u32 {
+        VamTree::height(self)
+    }
+
+    fn num_leaves(&self) -> std::result::Result<u64, sr_query::IndexError> {
+        Ok(VamTree::num_leaves(self)?)
+    }
+
+    fn insert(
+        &mut self,
+        _point: &[f32],
+        _data: u64,
+    ) -> std::result::Result<(), sr_query::IndexError> {
+        Err(sr_query::IndexError::Unsupported(
+            "the VAMSplit R-tree is bulk-load only",
+        ))
+    }
+
+    fn knn_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(VamTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn range_with(
+        &self,
+        query: &[f32],
+        radius: f64,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(VamTree::range_with(self, query, radius, rec)?)
+    }
+
+    fn pager(&self) -> &PageFile {
+        VamTree::pager(self)
+    }
+
+    fn flush(&self) -> std::result::Result<(), sr_query::IndexError> {
+        Ok(VamTree::flush(self)?)
+    }
+
+    fn verify(&self) -> std::result::Result<String, sr_query::IndexError> {
+        let r = crate::verify::check(self)?;
+        Ok(format!(
+            "{} nodes, {} leaves ({} full), {} points",
+            r.nodes, r.leaves, r.full_leaves, r.points
+        ))
     }
 }

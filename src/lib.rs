@@ -18,6 +18,8 @@
 
 /// Workload generators: uniform, cluster, simulated color-histogram data.
 pub use sr_dataset as dataset;
+/// Parallel batch-query executor over any `SpatialIndex`.
+pub use sr_exec as exec;
 /// Geometry kernel: points, rectangles, spheres, MINDIST/MAXDIST.
 pub use sr_geometry as geometry;
 /// Baseline: the K-D-B-tree (Robinson, SIGMOD 1981).

@@ -1,0 +1,165 @@
+//! Integration: the parallel batch-query executor is invisible in the
+//! output.
+//!
+//! The contract `sr-exec` promises (and the tentpole of the concurrent
+//! read path): fanning a batch across T workers returns *byte-identical*
+//! neighbor lists to a single-threaded loop, for every index structure,
+//! while the answers stay equal to the brute-force oracle. A read fault
+//! in one worker must surface as a typed error without poisoning the
+//! index for subsequent batches.
+
+use srtree::dataset::{sample_queries, uniform};
+use srtree::exec::{run_knn_batch, ExecError};
+use srtree::geometry::Point;
+use srtree::kdbtree::KdbTree;
+use srtree::pager::{FaultInjector, MemPageStore, PageFile, PagerError};
+use srtree::query::{IndexError, SpatialIndex};
+use srtree::rstar::RstarTree;
+use srtree::sstree::SsTree;
+use srtree::tree::SrTree;
+use srtree::vamsplit::VamTree;
+
+use sr_testkit::Model;
+
+const DIM: usize = 8;
+const K: usize = 10;
+const PAGE_SIZE: usize = 8192;
+const DATA_AREA: usize = 512;
+
+fn pagefile() -> PageFile {
+    PageFile::create_in_memory(PAGE_SIZE).unwrap()
+}
+
+/// Build all five structures over the same seeded point set.
+fn build_all(points: &[Point]) -> Vec<Box<dyn SpatialIndex>> {
+    let with_ids = |points: &[Point]| -> Vec<(Point, u64)> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i as u64))
+            .collect()
+    };
+    let mut out: Vec<Box<dyn SpatialIndex>> = Vec::new();
+    let mut sr = SrTree::create_from(pagefile(), DIM, DATA_AREA).unwrap();
+    let mut ss = SsTree::create_from(pagefile(), DIM, DATA_AREA).unwrap();
+    let mut rs = RstarTree::create_from(pagefile(), DIM, DATA_AREA).unwrap();
+    let mut kdb = KdbTree::create_from(pagefile(), DIM, DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        sr.insert(p.clone(), i as u64).unwrap();
+        ss.insert(p.clone(), i as u64).unwrap();
+        rs.insert(p.clone(), i as u64).unwrap();
+        kdb.insert(p.clone(), i as u64).unwrap();
+    }
+    out.push(Box::new(sr));
+    out.push(Box::new(ss));
+    out.push(Box::new(rs));
+    out.push(Box::new(kdb));
+    out.push(Box::new(
+        VamTree::build_from(pagefile(), with_ids(points), DIM, DATA_AREA).unwrap(),
+    ));
+    out
+}
+
+fn query_batch(points: &[Point], n: usize) -> Vec<Vec<f32>> {
+    sample_queries(points, n, 0xBA7C)
+        .into_iter()
+        .map(|p| p.coords().to_vec())
+        .collect()
+}
+
+/// T=1 and T=8 produce byte-identical neighbor lists on every structure,
+/// and both match the brute-force oracle.
+#[test]
+fn t1_and_t8_agree_on_all_five_trees() {
+    let points = uniform(2_000, DIM, 0x5EED);
+    let queries = query_batch(&points, 48);
+
+    let mut oracle = Model::new();
+    for (i, p) in points.iter().enumerate() {
+        oracle.insert(p.clone(), i as u64);
+    }
+
+    for index in build_all(&points) {
+        // A small pool forces real churn through the sharded cache.
+        index.pager().set_cache_capacity(16).unwrap();
+        let seq = run_knn_batch(index.as_ref(), &queries, K, 1).unwrap();
+        let par = run_knn_batch(index.as_ref(), &queries, K, 8).unwrap();
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 8);
+        assert_eq!(
+            seq.results,
+            par.results,
+            "{}: T=8 diverged from T=1",
+            index.kind_name()
+        );
+        for (q, hits) in queries.iter().zip(&seq.results) {
+            let expect = oracle.knn(q, K);
+            assert_eq!(
+                hits,
+                &expect,
+                "{}: tree disagrees with brute-force oracle",
+                index.kind_name()
+            );
+        }
+    }
+}
+
+/// The merged batch I/O window obeys the same exactness invariants as a
+/// single-threaded query loop: every miss is one physical read.
+#[test]
+fn batch_io_window_stays_exact_at_t8() {
+    let points = uniform(1_500, DIM, 0x10A2);
+    let queries = query_batch(&points, 40);
+    for index in build_all(&points) {
+        index.pager().set_cache_capacity(8).unwrap();
+        index.pager().reset_stats();
+        let out = run_knn_batch(index.as_ref(), &queries, K, 8).unwrap();
+        assert_eq!(
+            out.io.cache_misses(),
+            out.io.physical_reads(),
+            "{}: sharded pool lost a read under T=8",
+            index.kind_name()
+        );
+        assert!(out.io.physical_reads() > 0, "the batch must touch pages");
+    }
+}
+
+/// One worker hitting an injected read fault aborts the batch with a
+/// typed [`ExecError::Query`] whose source is the pager fault — and the
+/// index is *not* poisoned: the same batch succeeds afterwards with
+/// results identical to a clean run.
+#[test]
+fn injected_read_fault_is_typed_and_does_not_poison_the_pool() {
+    let points = uniform(1_000, DIM, 0xFA17);
+    let (store, faults) = FaultInjector::wrap(Box::new(MemPageStore::new(PAGE_SIZE)));
+    let pf = PageFile::create_from_store(store).unwrap();
+    let mut tree = SrTree::create_from(pf, DIM, DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    // Cold cache: every logical read reaches the store, so the armed
+    // fault reliably fires mid-batch.
+    tree.pager().set_cache_capacity(0).unwrap();
+    let queries = query_batch(&points, 32);
+
+    let clean = run_knn_batch(&tree, &queries, K, 1).unwrap();
+
+    faults.fail_nth_read(40);
+    let err = run_knn_batch(&tree, &queries, K, 4).expect_err("armed fault must surface");
+    match err {
+        ExecError::Query { index, source } => {
+            assert!(index < queries.len());
+            assert!(
+                matches!(source, IndexError::Pager(PagerError::Injected { .. })),
+                "fault must arrive as a pager error, got: {source}"
+            );
+        }
+        other => panic!("wrong error shape: {other}"),
+    }
+
+    // The store is healthy again and no shard lock, stat counter, or
+    // cached page was poisoned: the identical batch now succeeds.
+    faults.clear();
+    let retry = run_knn_batch(&tree, &queries, K, 4).unwrap();
+    assert_eq!(clean.results, retry.results, "results changed after fault");
+}

@@ -103,6 +103,70 @@ fn windowed_accounting_small_pool_churns() {
     assert!(s.cache_misses() > 0);
 }
 
+/// Drive the same query workload from many threads at once and check
+/// that the sharded pool's counters stay *exact*: every miss is exactly
+/// one physical read (the shard lock is held across the read-through, so
+/// two racing readers of one page can never both fetch it), and every
+/// logical read is exactly one hit or one miss.
+fn check_concurrent_invariants_at_capacity(tree: &SrTree, capacity: usize, threads: usize) {
+    tree.pager().set_cache_capacity(capacity).unwrap();
+    tree.pager().reset_stats();
+
+    let queries = sample_queries(&uniform(500, tree.dim(), 23), 64, 31);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queries = &queries;
+            scope.spawn(move || {
+                for q in queries.iter().skip(w).step_by(threads) {
+                    let found = tree.knn(q.coords(), 5).unwrap();
+                    assert_eq!(found.len(), 5);
+                }
+            });
+        }
+    });
+
+    let s = tree.pager().stats();
+    let logical = total_logical_reads(&s);
+    assert!(logical > 0, "the workload must read pages");
+    assert_eq!(
+        s.cache_hits() + s.cache_misses(),
+        logical,
+        "every logical read is one hit or one miss, even under {threads} threads"
+    );
+    assert_eq!(
+        s.cache_misses(),
+        s.physical_reads(),
+        "misses must equal physical reads exactly under {threads} threads"
+    );
+    if capacity == 0 {
+        assert_eq!(s.cache_hits(), 0, "capacity 0 must stay a true cold cache");
+        assert_eq!(logical, s.physical_reads());
+    }
+}
+
+#[test]
+fn concurrent_accounting_stays_exact_under_churn() {
+    let tree = build_tree(500, 8);
+    // A 2-page pool guarantees every worker churns shared shards.
+    check_concurrent_invariants_at_capacity(&tree, 2, 8);
+    let s = tree.pager().stats();
+    assert!(s.cache_evictions() > 0, "a tiny pool must evict");
+}
+
+#[test]
+fn concurrent_accounting_cold_cache() {
+    let tree = build_tree(500, 8);
+    check_concurrent_invariants_at_capacity(&tree, 0, 8);
+}
+
+#[test]
+fn concurrent_accounting_warm_pool() {
+    let tree = build_tree(500, 8);
+    check_concurrent_invariants_at_capacity(&tree, 4096, 8);
+    let s = tree.pager().stats();
+    assert!(s.cache_hits() > 0, "a pool larger than the file must hit");
+}
+
 #[test]
 fn windowed_accounting_large_pool_absorbs_reads() {
     let tree = build_tree(500, 8);
