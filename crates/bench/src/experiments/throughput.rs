@@ -28,6 +28,11 @@ pub const THREADS: &[usize] = &[1, 2, 4, 8];
 /// through the sharded LRU under every thread count.
 const POOL_PAGES: usize = 256;
 
+/// Snapshot file accumulating the perf trajectory PR over PR: the
+/// committed copy records the numbers this PR shipped with, and every
+/// rerun overwrites it so a regression shows up as a diff.
+const SNAPSHOT: &str = "BENCH_PR5.json";
+
 pub fn run(scale: &Scale) -> Result<(), String> {
     let n = if scale.paper { 100_000 } else { 10_000 };
     let batch = if scale.paper { 2_000 } else { 800 };
@@ -44,6 +49,7 @@ pub fn run(scale: &Scale) -> Result<(), String> {
     report.header([
         "tree", "T=1 q/s", "T=2 q/s", "T=4 q/s", "T=8 q/s", "x2", "x4", "x8",
     ]);
+    let mut snapshot = Vec::new();
     for &kind in TreeKind::ALL {
         let index = AnyIndex::build(kind, &points);
         index.reset_for_queries_at(POOL_PAGES);
@@ -85,6 +91,42 @@ pub fn run(scale: &Scale) -> Result<(), String> {
             f(qps[2] / base),
             f(qps[3] / base),
         ]);
+        snapshot.push((kind.label().to_string(), qps));
     }
+    write_snapshot(n, batch, &snapshot)?;
     report.emit()
+}
+
+/// Write the machine-readable `BENCH_PR5.json` snapshot next to the
+/// working directory (the workspace root under `cargo run`).
+fn write_snapshot(n: usize, batch: usize, trees: &[(String, Vec<f64>)]) -> Result<(), String> {
+    let mut s = String::from("{\n");
+    s.push_str("  \"pr\": 5,\n  \"experiment\": \"throughput\",\n");
+    s.push_str(&format!("  \"n\": {n},\n  \"batch\": {batch},\n"));
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n  \"trees\": {{\n",
+        THREADS
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (i, (label, qps)) in trees.iter().enumerate() {
+        let base = qps.first().copied().unwrap_or(1.0);
+        let fmt_list = |vals: &[f64]| {
+            vals.iter()
+                .map(|v| format!("{v:.1}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let speedups: Vec<f64> = qps.iter().map(|q| q / base).collect();
+        s.push_str(&format!(
+            "    \"{label}\": {{\"qps\": [{}], \"speedup\": [{}]}}{}\n",
+            fmt_list(qps),
+            fmt_list(&speedups),
+            if i + 1 < trees.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    std::fs::write(SNAPSHOT, s).map_err(|e| format!("write {SNAPSHOT}: {e}"))
 }

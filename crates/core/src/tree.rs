@@ -291,17 +291,6 @@ impl SrTree {
         search::knn(self, query, k, rec)
     }
 
-    /// Deprecated spelling of [`SrTree::knn_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
-    pub fn knn_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_with(query, k, rec)
-    }
-
     /// k-NN via best-first ("distance browsing", Hjaltason & Samet)
     /// traversal instead of the paper's depth-first search — an
     /// extension. Returns exactly the same neighbors; reads no more
@@ -319,17 +308,6 @@ impl SrTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::knn_best_first(self, query, k, rec)
-    }
-
-    /// Deprecated spelling of [`SrTree::knn_best_first_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_best_first_with`")]
-    pub fn knn_best_first_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_best_first_with(query, k, rec)
     }
 
     /// k-NN with an explicit region-distance bound — the ablation knob
@@ -359,18 +337,6 @@ impl SrTree {
         search::knn_with_bound(self, query, k, bound, rec)
     }
 
-    /// Deprecated spelling of [`SrTree::knn_bounded_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_bounded_with`")]
-    pub fn knn_with_bound_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        bound: crate::search::DistanceBound,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_bounded_with(query, k, bound, rec)
-    }
-
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
@@ -386,17 +352,6 @@ impl SrTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::range(self, query, radius, rec)
-    }
-
-    /// Deprecated spelling of [`SrTree::range_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
-    pub fn range_traced(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.range_with(query, radius, rec)
     }
 
     /// The (sphere, rectangle) region pairs of all non-empty leaves.

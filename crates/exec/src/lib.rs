@@ -64,6 +64,13 @@ pub enum ExecError {
         /// Which worker (0-based) panicked.
         worker: usize,
     },
+    /// The caller asked for zero worker threads. Rejected up front rather
+    /// than silently promoted to one: a zero almost always means a
+    /// configuration bug (an unset CLI flag, a miscomputed pool size).
+    ZeroThreads,
+    /// The input batch was empty. Rejected so that "no results" can never
+    /// be confused with "every query succeeded".
+    EmptyBatch,
     /// An internal invariant of the executor failed — always a bug in
     /// this crate, never caused by input.
     Internal(&'static str),
@@ -78,6 +85,8 @@ impl fmt::Display for ExecError {
             ExecError::WorkerPanic { worker } => {
                 write!(f, "batch worker {worker} panicked")
             }
+            ExecError::ZeroThreads => write!(f, "batch requested with zero worker threads"),
+            ExecError::EmptyBatch => write!(f, "batch contains no queries"),
             ExecError::Internal(msg) => write!(f, "batch executor internal error: {msg}"),
         }
     }
@@ -117,8 +126,9 @@ pub struct BatchResult {
     pub threads: usize,
 }
 
-/// Clamp a requested thread count to something sane for `n` queries:
-/// at least 1, at most one worker per query.
+/// Clamp a positive requested thread count to at most one worker per
+/// query. Zero threads and zero queries are rejected by [`run_batch`]
+/// before this is consulted.
 pub fn effective_threads(requested: usize, n_queries: usize) -> usize {
     requested.max(1).min(n_queries.max(1))
 }
@@ -129,7 +139,10 @@ pub fn effective_threads(requested: usize, n_queries: usize) -> usize {
 /// `job` receives the query's input index, the query itself, and a
 /// per-worker recorder; it must be `Sync` because every worker calls it.
 /// The first failing query by input index aborts the batch with
-/// [`ExecError::Query`] (other queries' work is discarded).
+/// [`ExecError::Query`] (other queries' work is discarded). A zero
+/// thread count or an empty batch is rejected up front with a typed
+/// error ([`ExecError::ZeroThreads`] / [`ExecError::EmptyBatch`]) —
+/// degenerate requests fail loudly instead of being reinterpreted.
 pub fn run_batch<Q, T, F>(
     queries: &[Q],
     threads: usize,
@@ -140,14 +153,13 @@ where
     T: Send,
     F: Fn(usize, &Q, &dyn Recorder) -> Result<T, IndexError> + Sync,
 {
-    let threads = effective_threads(threads, queries.len());
-    if queries.is_empty() {
-        return Ok(BatchOutput {
-            results: Vec::new(),
-            metrics: MetricsSnapshot::empty(),
-            threads,
-        });
+    if threads == 0 {
+        return Err(ExecError::ZeroThreads);
     }
+    if queries.is_empty() {
+        return Err(ExecError::EmptyBatch);
+    }
+    let threads = effective_threads(threads, queries.len());
 
     // Each worker returns its own (input index, result) pairs plus its
     // metrics snapshot; the scope owns no shared mutable state, so a
@@ -371,18 +383,27 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_is_fine() {
+    fn empty_batch_is_a_typed_error() {
         let ix = BruteIndex::grid(10);
-        let out = run_knn_batch(&ix, &[], 3, 8).expect("empty batch");
-        assert!(out.results.is_empty());
-        assert_eq!(out.threads, 1);
+        let err = run_knn_batch(&ix, &[], 3, 8).expect_err("empty batch must be rejected");
+        assert!(matches!(err, ExecError::EmptyBatch));
+        assert!(err.to_string().contains("no queries"));
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error_not_a_hang() {
+        let ix = BruteIndex::grid(10);
+        let err = run_knn_batch(&ix, &queries(4), 3, 0).expect_err("0 threads must be rejected");
+        assert!(matches!(err, ExecError::ZeroThreads));
+        // the degenerate request leaves no state behind: a sane retry works
+        let out = run_knn_batch(&ix, &queries(4), 3, 2).expect("retry");
+        assert_eq!(out.results.len(), 4);
     }
 
     #[test]
     fn thread_count_is_clamped() {
-        assert_eq!(effective_threads(0, 10), 1);
         assert_eq!(effective_threads(16, 3), 3);
-        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(2, 10), 2);
         let ix = BruteIndex::grid(10);
         let qs = queries(2);
         let out = run_knn_batch(&ix, &qs, 64, 3).expect("clamped");

@@ -299,17 +299,6 @@ impl KdbTree {
         search::knn(self, query, k, rec)
     }
 
-    /// Deprecated spelling of [`KdbTree::knn_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
-    pub fn knn_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_with(query, k, rec)
-    }
-
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
@@ -325,17 +314,6 @@ impl KdbTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::range(self, query, radius, rec)
-    }
-
-    /// Deprecated spelling of [`KdbTree::range_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
-    pub fn range_traced(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.range_with(query, radius, rec)
     }
 
     /// The region rectangle of the root (all of space).

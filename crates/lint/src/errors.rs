@@ -1,0 +1,370 @@
+//! L6 — scope-aware error discipline (the successor to the L3
+//! signature heuristics).
+//!
+//! A workspace-wide registry maps every public function to the
+//! concrete error type it returns (`Result<_, XError>`, or the crate's
+//! `Result<T>` alias error; names registered with conflicting errors
+//! become ambiguous and drop out). Three rules consume it:
+//!
+//! * **L6/error-conversion** — a `?` inside a public function whose
+//!   error type is `E`, applied to a registry call returning `X`, must
+//!   have a `From<X> for E` chain (`map_err` escapes naturally: it
+//!   becomes the call the `?` applies to).
+//! * **L6/swallowed-error** — `.ok()`, `.unwrap_or_default()`,
+//!   `.unwrap_or(..)`, `.unwrap_or_else(..)` directly on a registry
+//!   call silently discards a typed error (`PagerError`, `TreeError`,
+//!   `IndexError`, `ExecError`, ...); match on it or propagate it.
+//! * **L6/stale-deprecated** — `#[deprecated]` items may live in a
+//!   library crate for at most one PR: the PR that deprecates an item
+//!   hatches it with `allow(stale-deprecated)`, and the next PR must
+//!   delete both.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::lexer::{Kind, Lexed, Token};
+use crate::parser::{Item, ItemKind};
+use crate::{Diagnostic, ParsedFile};
+
+/// Methods that silently discard a `Result`'s error.
+const SWALLOWERS: &[&str] = &["ok", "unwrap_or_default", "unwrap_or", "unwrap_or_else"];
+
+/// A zero-argument `.lock()` / `.read()` / `.write()` method call is a
+/// lock acquisition (L4's model), never a call into the fallible-fn
+/// registry — `self.0.read()` must not alias `PageFile::read(id, kind)`.
+fn is_lock_acquisition(tokens: &[Token], name_idx: usize) -> bool {
+    let t = &tokens[name_idx];
+    matches!(t.text.as_str(), "lock" | "read" | "write")
+        && name_idx > 0
+        && tokens[name_idx - 1].is_punct('.')
+        && tokens.get(name_idx + 2).is_some_and(|n| n.is_punct(')'))
+}
+
+/// Workspace registry of public fallible functions and `From` chains.
+#[derive(Debug, Default)]
+pub struct ErrorRegistry {
+    /// Function name → concrete error type (last path ident).
+    fns: BTreeMap<String, String>,
+    /// Names registered with conflicting error types: skipped.
+    ambiguous: BTreeSet<String>,
+    /// `impl From<Source> for Target` pairs, by last path ident.
+    froms: BTreeSet<(String, String)>,
+}
+
+impl ErrorRegistry {
+    /// The registered error type of `name`, unless ambiguous.
+    fn error_of(&self, name: &str) -> Option<&str> {
+        if self.ambiguous.contains(name) {
+            return None;
+        }
+        self.fns.get(name).map(String::as_str)
+    }
+
+    fn register_fn(&mut self, name: &str, error: &str) {
+        if self.ambiguous.contains(name) {
+            return;
+        }
+        match self.fns.get(name) {
+            Some(e) if e != error => {
+                self.fns.remove(name);
+                self.ambiguous.insert(name.to_string());
+            }
+            Some(_) => {}
+            None => {
+                self.fns.insert(name.to_string(), error.to_string());
+            }
+        }
+    }
+
+    /// Is there a `From` chain converting `src` into `dst`?
+    fn converts(&self, src: &str, dst: &str) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![src];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            for (a, b) in &self.froms {
+                if a == s {
+                    if b == dst {
+                        return true;
+                    }
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// `X` is a concrete crate error type: the last path ident ends with
+/// `Error` but is not the bare associated/std `Error`.
+fn is_concrete_error(ident: &str) -> bool {
+    ident.ends_with("Error") && ident != "Error"
+}
+
+/// The crate's `type Result<T> = ... , XError>;` alias error, if any.
+pub fn crate_alias_error(files: &[ParsedFile]) -> Option<String> {
+    for f in files {
+        let mut found = None;
+        walk_items(&f.items, false, &mut |item, _| {
+            if item.kind == ItemKind::TypeAlias && item.name == "Result" && found.is_none() {
+                let err = (item.first..=item.last)
+                    .filter_map(|i| f.lexed.tokens.get(i))
+                    .rfind(|t| t.kind == Kind::Ident && is_concrete_error(&t.text))
+                    .map(|t| t.text.clone());
+                found = err;
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Phase 1: feed one crate's public functions and `From` impls into
+/// the workspace registry.
+pub fn collect_registry(files: &[ParsedFile], alias_error: Option<&str>, reg: &mut ErrorRegistry) {
+    for f in files {
+        let lexed = &f.lexed;
+        walk_items(&f.items, false, &mut |item, in_pub_trait| {
+            if lexed.test_mask.get(item.first).copied().unwrap_or(false) {
+                return;
+            }
+            if item.kind == ItemKind::Impl {
+                if item.impl_trait.first().map(String::as_str) == Some("From") {
+                    let src = item
+                        .impl_trait
+                        .iter()
+                        .skip(1)
+                        .next_back()
+                        .cloned()
+                        .unwrap_or_default();
+                    let dst = item.impl_ty.last().cloned().unwrap_or_default();
+                    if !src.is_empty() && !dst.is_empty() {
+                        reg.froms.insert((src, dst));
+                    }
+                }
+                return;
+            }
+            if item.kind != ItemKind::Fn || !(item.is_pub || in_pub_trait) {
+                return;
+            }
+            if let Some(err) = fn_error(item, &lexed.tokens, alias_error) {
+                if is_concrete_error(&err) {
+                    reg.register_fn(&item.name, &err);
+                }
+            }
+        });
+    }
+}
+
+/// Walk items recursively; the callback receives whether the item sits
+/// directly inside a `pub trait` (its methods are public API).
+fn walk_items(items: &[Item], in_pub_trait: bool, f: &mut impl FnMut(&Item, bool)) {
+    for item in items {
+        f(item, in_pub_trait);
+        let child_trait = item.kind == ItemKind::Trait && item.is_pub;
+        walk_items(&item.children, child_trait, f);
+    }
+}
+
+/// The error type named by a fn's return range: the second generic
+/// argument of `Result<..>`, or the crate alias for a bare
+/// `Result<T>`.
+fn fn_error(item: &Item, tokens: &[Token], alias_error: Option<&str>) -> Option<String> {
+    let (rs, re) = item.ret?;
+    let range = &tokens[rs.min(tokens.len())..re.min(tokens.len())];
+    let pos = range.iter().position(|t| t.is_ident("Result"))?;
+    // Parse the generic list after `Result`.
+    let mut depth = 0usize;
+    let mut top_commas = 0usize;
+    let mut last_ident_after_comma: Option<String> = None;
+    for t in range.iter().skip(pos + 1) {
+        match t.kind {
+            Kind::Punct('<') => depth += 1,
+            Kind::Punct('>') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            Kind::Punct(',') if depth == 1 => {
+                top_commas += 1;
+                last_ident_after_comma = None;
+            }
+            Kind::Ident if depth >= 1 && top_commas == 1 => {
+                last_ident_after_comma = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    if top_commas == 0 {
+        return alias_error.map(str::to_string);
+    }
+    last_ident_after_comma
+}
+
+/// Phase 2: check one file's `?` conversions, swallowed errors, and
+/// stale deprecations.
+pub fn l6_errors(
+    path: &str,
+    lexed: &mut Lexed,
+    items: &[Item],
+    reg: &ErrorRegistry,
+    alias_error: Option<&str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // `?` conversion inside public fns with a concrete error type.
+    let mut checks: Vec<(u32, u32, String, String, String)> = Vec::new();
+    walk_items(items, false, &mut |item, _| {
+        if item.kind != ItemKind::Fn
+            || !item.is_pub
+            || lexed.test_mask.get(item.first).copied().unwrap_or(false)
+        {
+            return;
+        }
+        let Some(body) = &item.body else { return };
+        let Some(own) = fn_error(item, &lexed.tokens, alias_error) else {
+            return;
+        };
+        if !is_concrete_error(&own) {
+            return;
+        }
+        for k in body.open + 1..body.close.min(lexed.tokens.len()) {
+            if !lexed.tokens[k].is_punct('?') {
+                continue;
+            }
+            let Some(callee) = call_before(&lexed.tokens, k) else {
+                continue;
+            };
+            let Some(x) = reg.error_of(&callee) else {
+                continue;
+            };
+            if !reg.converts(x, &own) {
+                let t = &lexed.tokens[k];
+                checks.push((t.line, t.col, callee, x.to_string(), own.clone()));
+            }
+        }
+    });
+    for (line, col, callee, x, own) in checks {
+        if !lexed.allow("error-conversion", line) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L6/error-conversion".to_string(),
+                message: format!(
+                    "`?` on `{callee}()` propagates `{x}` but the function returns \
+                     `Result<_, {own}>` and no `From<{x}> for {own}` chain exists; \
+                     convert with `map_err` or add the impl"
+                ),
+            });
+        }
+    }
+
+    // Swallowed typed errors, anywhere in non-test code.
+    let mut swallows: Vec<(u32, u32, String, String, String)> = Vec::new();
+    for k in 0..lexed.tokens.len() {
+        let t = &lexed.tokens[k];
+        if t.kind != Kind::Ident
+            || !SWALLOWERS.contains(&t.text.as_str())
+            || lexed.test_mask.get(k).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        if k == 0
+            || !lexed.tokens[k - 1].is_punct('.')
+            || !lexed.tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        // `.ok()` / `.unwrap_or_default()` take no arguments; reject
+        // `.ok_or(..)`-like lookalikes by requiring the empty arg list.
+        if matches!(t.text.as_str(), "ok" | "unwrap_or_default")
+            && !lexed.tokens.get(k + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            continue;
+        }
+        let Some(callee) = call_before(&lexed.tokens, k - 1) else {
+            continue;
+        };
+        if let Some(err) = reg.error_of(&callee) {
+            swallows.push((t.line, t.col, t.text.clone(), callee, err.to_string()));
+        }
+    }
+    for (line, col, method, callee, err) in swallows {
+        if !lexed.allow("swallowed-error", line) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L6/swallowed-error".to_string(),
+                message: format!(
+                    "`.{method}(..)` silently discards the `{err}` from `{callee}()`; \
+                     match on the error or propagate it"
+                ),
+            });
+        }
+    }
+
+    // Stale `#[deprecated]` items.
+    let mut stale: Vec<(u32, u32, String)> = Vec::new();
+    walk_items(items, false, &mut |item, _| {
+        if lexed.test_mask.get(item.first).copied().unwrap_or(false) {
+            return;
+        }
+        if item.has_attr_ident("deprecated") {
+            stale.push((item.line, item.col, item.name.clone()));
+        }
+    });
+    for (line, col, name) in stale {
+        if !lexed.allow("stale-deprecated", line) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L6/stale-deprecated".to_string(),
+                message: format!(
+                    "`#[deprecated]` item `{name}` has outlived its one-PR grace period; \
+                     delete it (hatch with allow(stale-deprecated) only in the PR that \
+                     deprecates it)"
+                ),
+            });
+        }
+    }
+}
+
+/// Name of the call whose closing `)` sits immediately before index
+/// `k` (walking over nothing else): `foo(..)` → `foo`. `None` when the
+/// preceding token is not a call's `)`, or the call is a lock
+/// acquisition rather than a registry candidate.
+fn call_before(tokens: &[Token], k: usize) -> Option<String> {
+    let mut j = k.checked_sub(1)?;
+    if !tokens.get(j)?.is_punct(')') {
+        return None;
+    }
+    let mut depth = 0i32;
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    let name_idx = j.checked_sub(1)?;
+    let name = tokens.get(name_idx)?;
+    if name.kind == Kind::Ident && !is_lock_acquisition(tokens, name_idx) {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}

@@ -2,11 +2,15 @@
 //!
 //! The lexer does not aim to be a full Rust grammar: it produces a flat
 //! token stream (identifiers, numbers, literals, single-character
-//! punctuation) with exact line/column positions, strips comments and
-//! string contents so rule passes never match inside them, extracts
-//! `// srlint: allow(<rule>) -- <reason>` escape hatches, and computes a
-//! per-token "test code" mask by matching `#[cfg(test)]` / `#[test]` /
-//! `#[bench]` attributes to the item that follows them.
+//! punctuation) with exact line/column positions, strips comments so
+//! rule passes never match inside them (string literals keep their
+//! source text so attribute markers like `#[doc = "srlint: io"]` stay
+//! visible, but they lex as a single `Lit` token), extracts the
+//! `// srlint:` directives (`allow(<rule>) -- <reason>` escape hatches,
+//! `ordering -- <reason>` atomic-ordering justifications, and
+//! `lock-order(<a> < <b>) -- <reason>` lock-order declarations), and
+//! computes a per-token "test code" mask by matching `#[cfg(test)]` /
+//! `#[test]` / `#[bench]` attributes to the item that follows them.
 
 /// Token classes the rule passes distinguish.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,12 +60,35 @@ pub struct Hatch {
     pub used: bool,
 }
 
+/// One `// srlint: ordering -- <reason>` justification comment. The L5
+/// pass attaches it to the innermost item containing its line.
+#[derive(Clone, Debug)]
+pub struct OrderingNote {
+    pub line: u32,
+    pub col: u32,
+    pub reason: String,
+    /// Set by L5 when the note justifies at least one `Ordering::` use.
+    pub used: bool,
+}
+
+/// One `// srlint: lock-order(<earlier> < <later>) -- <reason>`
+/// declaration: acquiring `earlier` while already holding `later` is a
+/// violation; the declared direction is legal.
+#[derive(Clone, Debug)]
+pub struct LockOrderDecl {
+    pub earlier: String,
+    pub later: String,
+    pub line: u32,
+}
+
 /// A lexed source file.
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub hatches: Vec<Hatch>,
+    pub ordering_notes: Vec<OrderingNote>,
+    pub lock_orders: Vec<LockOrderDecl>,
     /// Positions of comments that start with `srlint:` but do not parse
-    /// as a well-formed hatch.
+    /// as a well-formed directive.
     pub malformed_hatches: Vec<(u32, u32)>,
     /// `true` for tokens inside `#[cfg(test)]` / `#[test]` items.
     pub test_mask: Vec<bool>,
@@ -85,6 +112,8 @@ pub fn lex(src: &str) -> Lexed {
     let chars: Vec<char> = src.chars().collect();
     let mut tokens = Vec::new();
     let mut hatches: Vec<Hatch> = Vec::new();
+    let mut ordering_notes: Vec<OrderingNote> = Vec::new();
+    let mut lock_orders: Vec<LockOrderDecl> = Vec::new();
     let mut malformed = Vec::new();
     // Hatches waiting for the next token to learn which line they cover.
     let mut pending: Vec<usize> = Vec::new();
@@ -131,8 +160,8 @@ pub fn lex(src: &str) -> Lexed {
                 let text: String = chars[start..j].iter().collect();
                 let trimmed = text.trim_start_matches(['/', '!']).trim();
                 if let Some(rest) = trimmed.strip_prefix("srlint:") {
-                    match parse_hatch(rest) {
-                        Some(rule) => {
+                    match parse_directive(rest) {
+                        Some(Directive::Allow(rule)) => {
                             hatches.push(Hatch {
                                 rule,
                                 covers: [tl, tl],
@@ -140,6 +169,21 @@ pub fn lex(src: &str) -> Lexed {
                                 used: false,
                             });
                             pending.push(hatches.len() - 1);
+                        }
+                        Some(Directive::Ordering(reason)) => {
+                            ordering_notes.push(OrderingNote {
+                                line: tl,
+                                col: tc,
+                                reason,
+                                used: false,
+                            });
+                        }
+                        Some(Directive::LockOrder(earlier, later)) => {
+                            lock_orders.push(LockOrderDecl {
+                                earlier,
+                                later,
+                                line: tl,
+                            });
                         }
                         None => malformed.push((tl, tc)),
                     }
@@ -175,7 +219,12 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let j = scan_string(&chars, i, &mut line, &mut col);
-                push_tok!(Kind::Lit, String::new(), tl, tc);
+                // Keep the literal's source text (quotes included) so
+                // attribute markers such as `#[doc = "srlint: io"]`
+                // remain visible to the passes; the token still lexes
+                // as one `Lit`, so rules never match inside it.
+                let text: String = chars[i..j.min(chars.len())].iter().collect();
+                push_tok!(Kind::Lit, text, tl, tc);
                 i = j;
             }
             '\'' => {
@@ -212,7 +261,8 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_alphabetic() || c == '_' => {
                 // Raw/byte string prefixes lex as literals, not idents.
                 if let Some(j) = scan_prefixed_string(&chars, i, &mut line, &mut col) {
-                    push_tok!(Kind::Lit, String::new(), tl, tc);
+                    let text: String = chars[i..j.min(chars.len())].iter().collect();
+                    push_tok!(Kind::Lit, text, tl, tc);
                     i = j;
                     continue;
                 }
@@ -258,26 +308,61 @@ pub fn lex(src: &str) -> Lexed {
     Lexed {
         tokens,
         hatches,
+        ordering_notes,
+        lock_orders,
         malformed_hatches: malformed,
         test_mask,
     }
 }
 
-/// Parse the tail of a hatch comment: `allow(<rule>) -- <reason>`.
-fn parse_hatch(rest: &str) -> Option<String> {
+/// A parsed `// srlint:` comment directive.
+enum Directive {
+    Allow(String),
+    Ordering(String),
+    LockOrder(String, String),
+}
+
+/// Parse the tail of a `// srlint:` comment: `allow(<rule>) -- <reason>`,
+/// `ordering -- <reason>`, or `lock-order(<a> < <b>) -- <reason>`.
+fn parse_directive(rest: &str) -> Option<Directive> {
     let rest = rest.trim();
-    let rest = rest.strip_prefix("allow(")?;
-    let close = rest.find(')')?;
-    let rule = rest.get(..close)?.trim();
-    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
-        return None;
+    if let Some(tail) = rest.strip_prefix("allow(") {
+        let close = tail.find(')')?;
+        let rule = tail.get(..close)?.trim();
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return None;
+        }
+        reason_after(tail.get(close + 1..)?)?;
+        return Some(Directive::Allow(rule.to_string()));
     }
-    let tail = rest.get(close + 1..)?.trim_start();
-    let reason = tail.strip_prefix("--")?.trim();
+    if let Some(tail) = rest.strip_prefix("lock-order(") {
+        let close = tail.find(')')?;
+        let pair = tail.get(..close)?;
+        let (a, b) = pair.split_once('<')?;
+        let (a, b) = (a.trim(), b.trim());
+        let ok =
+            |s: &str| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !ok(a) || !ok(b) {
+            return None;
+        }
+        reason_after(tail.get(close + 1..)?)?;
+        return Some(Directive::LockOrder(a.to_string(), b.to_string()));
+    }
+    if let Some(tail) = rest.strip_prefix("ordering") {
+        let reason = reason_after(tail)?;
+        return Some(Directive::Ordering(reason));
+    }
+    None
+}
+
+/// Parse the ` -- <reason>` tail shared by every directive; `None` when
+/// the reason is missing or empty.
+fn reason_after(tail: &str) -> Option<String> {
+    let reason = tail.trim_start().strip_prefix("--")?.trim();
     if reason.is_empty() {
         return None;
     }
-    Some(rule.to_string())
+    Some(reason.to_string())
 }
 
 /// Scan a plain `"..."` string starting at `start`; returns the index
@@ -327,7 +412,9 @@ fn scan_prefixed_string(
                 // Byte char literal b'x' / b'\n'.
                 let mut k = j + 1;
                 if chars.get(k) == Some(&'\\') {
-                    k += 1;
+                    // Skip the backslash AND the escaped char, so
+                    // b'\'' does not stop at the escaped quote.
+                    k += 2;
                 }
                 while k < chars.len() && chars[k] != '\'' {
                     k += 1;
@@ -543,5 +630,77 @@ mod tests {
         let l = lex(src);
         let unwrap = l.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
         assert!(!l.test_mask[unwrap]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_spans_inner_quotes() {
+        // The `"#` inside must not close the literal (two hashes open it).
+        let l = lex("let s = r##\"quote \"# unwrap() here\"##; after();\n");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        let after = l.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 1);
+        let lit = l.tokens.iter().find(|t| t.kind == Kind::Lit).unwrap();
+        assert!(lit.text.starts_with("r##\"") && lit.text.ends_with("\"##"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let l = lex("/* outer /* inner unwrap() */ still comment */ live();\n");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("still")));
+        let live = l.tokens.iter().find(|t| t.is_ident("live")).unwrap();
+        assert_eq!((live.line, live.col), (1, 48));
+    }
+
+    #[test]
+    fn char_literals_containing_quotes_do_not_open_strings() {
+        // If '"' opened a string, the trailing unwrap() would be hidden.
+        let l = lex("let q = '\"'; let e = '\\''; let b = b'\\''; x.unwrap();\n");
+        let unwrap = l.tokens.iter().find(|t| t.is_ident("unwrap"));
+        assert!(unwrap.is_some(), "unwrap() swallowed by a char literal");
+        assert!(l.tokens.iter().filter(|t| t.kind == Kind::Lit).count() >= 3);
+    }
+
+    #[test]
+    fn string_literals_keep_source_text() {
+        let l = lex("#[doc = \"srlint: io\"]\nfn read_page() {}\n");
+        let lit = l.tokens.iter().find(|t| t.kind == Kind::Lit).unwrap();
+        assert_eq!(lit.text, "\"srlint: io\"");
+    }
+
+    #[test]
+    fn ordering_directive_parses_with_reason() {
+        let l = lex("// srlint: ordering -- monotonic counter, no sync needed\nx.load(Ordering::Relaxed);\n");
+        assert_eq!(l.ordering_notes.len(), 1);
+        assert_eq!(l.ordering_notes[0].line, 1);
+        assert_eq!(
+            l.ordering_notes[0].reason,
+            "monotonic counter, no sync needed"
+        );
+        assert!(!l.ordering_notes[0].used);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn ordering_directive_without_reason_is_malformed() {
+        let l = lex("// srlint: ordering\nx.load(Ordering::Relaxed);\n");
+        assert!(l.ordering_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn lock_order_directive_parses() {
+        let l = lex("// srlint: lock-order(meta < shard) -- meta decides, shard caches\n");
+        assert_eq!(l.lock_orders.len(), 1);
+        assert_eq!(l.lock_orders[0].earlier, "meta");
+        assert_eq!(l.lock_orders[0].later, "shard");
+        assert_eq!(l.lock_orders[0].line, 1);
+    }
+
+    #[test]
+    fn lock_order_directive_without_reason_is_malformed() {
+        let l = lex("// srlint: lock-order(meta < shard)\n");
+        assert!(l.lock_orders.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
     }
 }

@@ -15,14 +15,38 @@
 //!   functions name crate-local typed errors, and every error variant is
 //!   constructed somewhere.
 //!
+//! On top of the token passes, a structural parser ([`parser`])
+//! recovers the item tree and block structure, feeding three
+//! scope-aware passes:
+//!
+//! * **L4/lock-order, L4/lock-io, L4/lock-cycle** ([`locks`]) — guard
+//!   lifetimes modeled from `Mutex`/`RwLock` bindings; violations of
+//!   `// srlint: lock-order(a < b) -- reason` declarations, I/O calls
+//!   under a guard, and cycles in the acquisition graph.
+//! * **L5/ordering, L5/ordering-relaxed, L5/ordering-unused**
+//!   ([`ordering`]) — every atomic `Ordering::` argument needs a
+//!   same-item `// srlint: ordering -- reason` note; `Relaxed` on the
+//!   accounting files must state its invariant.
+//! * **L6/error-conversion, L6/swallowed-error, L6/stale-deprecated**
+//!   ([`errors`]) — `?` in public fns must convert into the function's
+//!   typed error through a `From` chain, typed errors must not be
+//!   silently swallowed, and `#[deprecated]` items expire after one PR.
+//!
 //! The escape hatch is `// srlint: allow(<rule>) -- <reason>`, where
-//! `<rule>` is `panic`, `index`, `cast`, `error-type`, or
-//! `dead-variant`. A hatch covers its own line and the next code line;
-//! unused or malformed hatches are themselves violations.
+//! `<rule>` is the rule id's tail (`panic`, `index`, `cast`,
+//! `error-type`, `dead-variant`, `lock-order`, `lock-io`,
+//! `lock-cycle`, `ordering`, `ordering-relaxed`, `ordering-unused`,
+//! `error-conversion`, `swallowed-error`, `stale-deprecated`). A hatch
+//! covers its own line and the next code line; unused or malformed
+//! hatches are themselves violations.
 
 #![forbid(unsafe_code)]
 
+pub mod errors;
 pub mod lexer;
+pub mod locks;
+pub mod ordering;
+pub mod parser;
 pub mod rules;
 
 use std::collections::HashSet;
@@ -30,6 +54,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use lexer::Lexed;
+use parser::{Item, ItemKind};
 
 /// Library crates under the L1 and L3 rules (directory names under
 /// `crates/`).
@@ -44,6 +69,32 @@ pub const L2_FILES: &[&str] = &[
     "crates/geometry/src/vector.rs",
     "crates/pager/src/page.rs",
 ];
+
+/// Files feeding the misses == physical-reads accounting: `Relaxed`
+/// atomics here need an explicit invariant note (L5).
+pub const ACCOUNTING_FILES: &[&str] = &["crates/pager/src/stats.rs"];
+
+/// Built-in I/O function registry for L4's guard-across-I/O rule, on
+/// top of `#[doc = "srlint: io"]` markers.
+pub const IO_FNS: &[&str] = &[
+    "read_page",
+    "write_page",
+    "grow",
+    "sync",
+    "sync_data",
+    "read_exact_at",
+    "write_all_at",
+    "set_len",
+    "read_to_string",
+];
+
+/// One lexed and parsed source file, threaded through the passes.
+pub struct ParsedFile {
+    /// Path relative to the workspace root.
+    pub path: String,
+    pub lexed: Lexed,
+    pub items: Vec<Item>,
+}
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -141,48 +192,122 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Per-crate bookkeeping over the flat parsed-file list.
+struct CrateSpan {
+    /// Index range into the parsed-file vector.
+    range: std::ops::Range<usize>,
+    /// L2 flags, parallel to the range.
+    l2: Vec<bool>,
+    has_alias: bool,
+    alias_error: Option<String>,
+    /// `lock-order(a < b)` declarations collected crate-wide.
+    decls: Vec<(String, String)>,
+}
+
 /// Lint a set of library crates. `extra_sources` (tests, benches, other
 /// crates) feed the L3 dead-variant construction census only.
 pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> LintReport {
     let mut diags = Vec::new();
     let mut enums = Vec::new();
     let mut constructed: HashSet<(String, String)> = HashSet::new();
-    // (path, lexed) pairs retained so the dead-variant pass can consume
-    // hatches and the hygiene pass sees final usage.
-    let mut lexed_files: Vec<(String, Lexed)> = Vec::new();
 
+    // Phase 1: lex and parse every file, building the workspace-wide
+    // context the scope-aware passes need — the I/O registry, the
+    // public-function error registry with its `From` chains, and each
+    // crate's lock-order declarations.
+    let mut files: Vec<ParsedFile> = Vec::new();
+    let mut spans: Vec<CrateSpan> = Vec::new();
+    let mut io_fns: HashSet<String> = IO_FNS.iter().map(|s| (*s).to_string()).collect();
     for krate in crates {
-        let mut crate_has_alias = false;
-        let start = lexed_files.len();
+        let start = files.len();
+        let mut l2 = Vec::new();
+        let mut has_alias = false;
+        let mut decls = Vec::new();
         for file in &krate.files {
             let lx = lexer::lex(&file.source);
-            crate_has_alias |= rules::has_result_alias(&lx);
-            lexed_files.push((file.path.clone(), lx));
+            has_alias |= rules::has_result_alias(&lx);
+            decls.extend(
+                lx.lock_orders
+                    .iter()
+                    .map(|d| (d.earlier.clone(), d.later.clone())),
+            );
+            let items = parser::parse(&lx.tokens);
+            collect_io_markers(&items, &mut io_fns);
+            l2.push(file.l2);
+            files.push(ParsedFile {
+                path: file.path.clone(),
+                lexed: lx,
+                items,
+            });
         }
-        for (file, (path, lx)) in krate.files.iter().zip(&mut lexed_files[start..]) {
-            rules::l1_panic(lx, path, &mut diags);
-            if file.l2 {
-                rules::l2_hot_path(lx, path, &mut diags);
+        let alias_error = errors::crate_alias_error(&files[start..]);
+        spans.push(CrateSpan {
+            range: start..files.len(),
+            l2,
+            has_alias,
+            alias_error,
+            decls,
+        });
+    }
+    let mut registry = errors::ErrorRegistry::default();
+    for span in &spans {
+        errors::collect_registry(
+            &files[span.range.clone()],
+            span.alias_error.as_deref(),
+            &mut registry,
+        );
+    }
+
+    // Phase 2: run the per-crate passes.
+    for span in &spans {
+        let crate_files = &mut files[span.range.clone()];
+        for (f, &l2) in crate_files.iter_mut().zip(&span.l2) {
+            rules::l1_panic(&mut f.lexed, &f.path, &mut diags);
+            if l2 {
+                rules::l2_hot_path(&mut f.lexed, &f.path, &mut diags);
             }
-            rules::l3_result_signatures(lx, path, crate_has_alias, &mut diags);
-            enums.extend(rules::collect_error_enums(lx, path));
-            rules::collect_constructions(lx, &mut constructed);
+            rules::l3_result_signatures(&mut f.lexed, &f.path, span.has_alias, &mut diags);
+            enums.extend(rules::collect_error_enums(&f.lexed, &f.path));
+            rules::collect_constructions(&f.lexed, &mut constructed);
+        }
+        locks::l4_locks(crate_files, &io_fns, &span.decls, &mut diags);
+        for f in crate_files.iter_mut() {
+            let accounting = ACCOUNTING_FILES.contains(&f.path.as_str());
+            ordering::l5_ordering(&f.path, &mut f.lexed, &f.items, accounting, &mut diags);
+            errors::l6_errors(
+                &f.path,
+                &mut f.lexed,
+                &f.items,
+                &registry,
+                span.alias_error.as_deref(),
+                &mut diags,
+            );
         }
     }
     for file in extra_sources {
         let lx = lexer::lex(&file.source);
         rules::collect_constructions(&lx, &mut constructed);
     }
-    rules::l3_dead_variants(&enums, &constructed, &mut lexed_files, &mut diags);
+    rules::l3_dead_variants(&enums, &constructed, &mut files, &mut diags);
     let mut hatches_used = 0;
-    for (path, lx) in &lexed_files {
-        rules::hatch_hygiene(lx, path, &mut diags);
-        hatches_used += lx.hatches.iter().filter(|h| h.used).count();
+    for f in &files {
+        rules::hatch_hygiene(&f.lexed, &f.path, &mut diags);
+        hatches_used += f.lexed.hatches.iter().filter(|h| h.used).count();
     }
     diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     LintReport {
         diagnostics: diags,
         hatches_used,
+    }
+}
+
+/// Add every `#[doc = "srlint: io"]`-marked fn name to the I/O registry.
+fn collect_io_markers(items: &[Item], io_fns: &mut HashSet<String>) {
+    for item in items {
+        if item.kind == ItemKind::Fn && item.has_doc_marker("srlint: io") {
+            io_fns.insert(item.name.clone());
+        }
+        collect_io_markers(&item.children, io_fns);
     }
 }
 

@@ -1,0 +1,476 @@
+//! L4 — lock-discipline analysis over the parsed item tree.
+//!
+//! The pass models guard lifetimes syntactically: a *binding* guard
+//! (`let g = x.lock();`, where the acquisition is the whole
+//! initializer) lives to the end of its enclosing block or an explicit
+//! `drop(g)`, whichever comes first; any other acquisition is a
+//! *temporary* guard that covers the rest of its statement. An
+//! acquisition is a zero-argument `.lock()` / `.read()` / `.write()`
+//! call; the lock *class* is the receiver name (`self.meta.lock()` →
+//! `meta`, `self.shard(id)?.lock()` → `shard`, `self.0.lock()` → `0`).
+//!
+//! Three rules come out of the model:
+//!
+//! * **L4/lock-order** — acquiring class `a` while holding class `b`
+//!   when a `// srlint: lock-order(a < b) -- reason` declaration says
+//!   `a` must come first.
+//! * **L4/lock-io** — calling an I/O function (a name in the pager
+//!   registry or any function carrying `#[doc = "srlint: io"]`) while
+//!   a guard is held. The sanctioned read-through hatches this with
+//!   `allow(lock-io)`.
+//! * **L4/lock-cycle** — a cycle in the crate-wide acquisition graph
+//!   (edges `held → acquired`, including edges induced through direct
+//!   calls into functions that acquire locks; callees named `lock` /
+//!   `read` / `write` are skipped so the std-wrapper shims do not
+//!   alias every lock to their inner class).
+//!
+//! Known approximation, by convention rather than analysis: `drop(g)`
+//! releases the guard for the remainder of the function even when the
+//! drop sits inside a conditional — pair conditional drops with an
+//! immediate `return`.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use crate::lexer::{Kind, Lexed, Token};
+use crate::parser::{Block, Item, ItemKind, Stmt};
+use crate::{Diagnostic, ParsedFile};
+
+/// Methods whose zero-argument calls acquire a guard.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// A held guard during the body walk.
+struct Guard {
+    class: String,
+    /// Binding name for `let`-bound guards; `None` for temporaries.
+    binding: Option<String>,
+    temp: bool,
+}
+
+/// Where an edge was first observed.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Site {
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+/// Run the L4 pass over one crate's parsed files. `io_fns` is the
+/// workspace I/O registry (built-in names plus `#[doc = "srlint: io"]`
+/// markers); `decls` the crate's `lock-order(a < b)` declarations.
+pub fn l4_locks(
+    files: &mut [ParsedFile],
+    io_fns: &HashSet<String>,
+    decls: &[(String, String)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Phase 1: per-function direct acquisitions and callees, for the
+    // interprocedural summaries.
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in files.iter() {
+        for_each_fn(&f.items, &mut |item| {
+            if is_test_item(item, &f.lexed) {
+                return;
+            }
+            let Some(body) = &item.body else { return };
+            let (acq, callees) = scan_flat(&f.lexed.tokens, body.open + 1, body.close);
+            direct.entry(item.name.clone()).or_default().extend(acq);
+            calls.entry(item.name.clone()).or_default().extend(callees);
+        });
+    }
+    let mut summaries = direct;
+    loop {
+        let mut changed = false;
+        for (f, cs) in &calls {
+            let mut add = BTreeSet::new();
+            for c in cs {
+                if LOCK_METHODS.contains(&c.as_str()) {
+                    continue;
+                }
+                if let Some(s) = summaries.get(c) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let entry = summaries.entry(f.clone()).or_default();
+            for a in add {
+                changed |= entry.insert(a);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 2: guard-tracking walk, emitting order/io diagnostics and
+    // collecting the acquisition graph.
+    let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+    for f in files.iter_mut() {
+        let mut fns = Vec::new();
+        collect_fns(&f.items, &f.lexed, &mut fns);
+        for body in fns {
+            let mut held: Vec<Guard> = Vec::new();
+            walk_block(
+                &body,
+                &f.path,
+                &mut f.lexed,
+                io_fns,
+                decls,
+                &summaries,
+                &mut held,
+                &mut edges,
+                diags,
+            );
+        }
+    }
+
+    // Phase 3: cycles in the acquisition graph.
+    report_cycles(&edges, files, diags);
+}
+
+/// Clone out the bodies of every non-test fn so phase 2 can hold the
+/// file mutably (hatch consumption) while walking.
+fn collect_fns(items: &[Item], lexed: &Lexed, out: &mut Vec<Block>) {
+    for item in items {
+        if item.kind == ItemKind::Fn && !is_test_item(item, lexed) {
+            if let Some(b) = &item.body {
+                out.push(b.clone());
+            }
+        }
+        collect_fns(&item.children, lexed, out);
+    }
+}
+
+/// Visit every fn item (recursively through mods/impls/traits).
+fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        if item.kind == ItemKind::Fn {
+            f(item);
+        }
+        for_each_fn(&item.children, f);
+    }
+}
+
+/// Is the item inside test-masked code?
+fn is_test_item(item: &Item, lexed: &Lexed) -> bool {
+    lexed.test_mask.get(item.first).copied().unwrap_or(false)
+}
+
+/// Flat scan of a token range for acquisitions (classes) and call
+/// names — no guard tracking; feeds the summaries.
+fn scan_flat(tokens: &[Token], start: usize, end: usize) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut acq = BTreeSet::new();
+    let mut callees = BTreeSet::new();
+    for k in start..end.min(tokens.len()) {
+        let t = &tokens[k];
+        if t.kind != Kind::Ident || !tokens.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if is_acquisition(tokens, k) {
+            if let Some(class) = receiver_class(tokens, k - 1) {
+                acq.insert(class);
+            }
+        } else {
+            callees.insert(t.text.clone());
+        }
+    }
+    (acq, callees)
+}
+
+/// Is the ident at `k` (known to be followed by `(`) a zero-argument
+/// lock acquisition method call?
+fn is_acquisition(tokens: &[Token], k: usize) -> bool {
+    LOCK_METHODS.contains(&tokens[k].text.as_str())
+        && k > 0
+        && tokens[k - 1].is_punct('.')
+        && tokens.get(k + 2).is_some_and(|t| t.is_punct(')'))
+}
+
+/// The lock class of the receiver ending at the `.` at `dot`: the
+/// nearest name, walking back over `?` and call parentheses.
+fn receiver_class(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('?') {
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if t.is_punct(')') {
+            let mut depth = 0i32;
+            while j > 0 {
+                if tokens[j].is_punct(')') {
+                    depth += 1;
+                } else if tokens[j].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            // Step over the call name to its receiver `.`, then once
+            // more to the field/name that classifies the lock.
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        return match t.kind {
+            Kind::Ident | Kind::Num => Some(t.text.clone()),
+            _ => None,
+        };
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_block(
+    block: &Block,
+    path: &str,
+    lexed: &mut Lexed,
+    io_fns: &HashSet<String>,
+    decls: &[(String, String)],
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+    held: &mut Vec<Guard>,
+    edges: &mut BTreeMap<(String, String), Site>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let base = held.len();
+    for stmt in &block.stmts {
+        scan_stmt(
+            stmt, path, lexed, io_fns, decls, summaries, held, edges, diags,
+        );
+    }
+    if held.len() > base {
+        held.truncate(base);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_stmt(
+    stmt: &Stmt,
+    path: &str,
+    lexed: &mut Lexed,
+    io_fns: &HashSet<String>,
+    decls: &[(String, String)],
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+    held: &mut Vec<Guard>,
+    edges: &mut BTreeMap<(String, String), Site>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let stmt_base = held.len();
+    let mut k = stmt.first;
+    let mut bi = 0;
+    while k <= stmt.last {
+        if bi < stmt.blocks.len() && k == stmt.blocks[bi].open {
+            let b = stmt.blocks[bi].clone();
+            walk_block(
+                &b, path, lexed, io_fns, decls, summaries, held, edges, diags,
+            );
+            k = b.close + 1;
+            bi += 1;
+            continue;
+        }
+        let Some(t) = lexed.tokens.get(k) else { break };
+        let followed_by_paren = lexed.tokens.get(k + 1).is_some_and(|n| n.is_punct('('));
+        if t.kind == Kind::Ident && followed_by_paren {
+            if is_acquisition(&lexed.tokens, k) {
+                let class = receiver_class(&lexed.tokens, k - 1).unwrap_or_default();
+                let (line, col) = (t.line, t.col);
+                on_acquire(
+                    &class, None, path, line, col, lexed, decls, held, edges, diags,
+                );
+                // Binding guard iff this is a `let` initializer and the
+                // acquisition is the whole tail of the statement
+                // (modulo `?` and the terminator).
+                let binding = stmt.let_name.clone().filter(|_| {
+                    (k + 3..=stmt.last).all(|j| {
+                        lexed
+                            .tokens
+                            .get(j)
+                            .is_none_or(|t| t.is_punct('?') || t.is_punct(';'))
+                    })
+                });
+                held.push(Guard {
+                    class,
+                    temp: binding.is_none(),
+                    binding,
+                });
+            } else {
+                let name = t.text.clone();
+                let (line, col) = (t.line, t.col);
+                if name == "drop" {
+                    if let Some(arg) = lexed.tokens.get(k + 2).filter(|a| a.kind == Kind::Ident) {
+                        let arg = arg.text.clone();
+                        held.retain(|g| g.binding.as_deref() != Some(arg.as_str()));
+                    }
+                } else if !held.is_empty() {
+                    if io_fns.contains(&name) {
+                        let classes: Vec<&str> = held.iter().map(|g| g.class.as_str()).collect();
+                        if !lexed.allow("lock-io", line) {
+                            diags.push(Diagnostic {
+                                file: path.to_string(),
+                                line,
+                                col,
+                                rule: "L4/lock-io".to_string(),
+                                message: format!(
+                                    "I/O call `{name}()` while holding lock `{}`; move the I/O \
+                                     outside the guard (only the sanctioned read-through may \
+                                     hatch this)",
+                                    classes.join("`, `")
+                                ),
+                            });
+                        }
+                    }
+                    if !LOCK_METHODS.contains(&name.as_str()) {
+                        if let Some(classes) = summaries.get(&name) {
+                            for class in classes.clone() {
+                                on_acquire(
+                                    &class,
+                                    Some(&name),
+                                    path,
+                                    line,
+                                    col,
+                                    lexed,
+                                    decls,
+                                    held,
+                                    edges,
+                                    diags,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    // Temporaries die at the end of their statement; bindings survive
+    // to the end of the block.
+    let mut idx = stmt_base;
+    while idx < held.len() {
+        if held[idx].temp {
+            held.remove(idx);
+        } else {
+            idx += 1;
+        }
+    }
+}
+
+/// Record edges and check declared orders for one acquisition of
+/// `class` (directly, or through a call to `via`).
+#[allow(clippy::too_many_arguments)]
+fn on_acquire(
+    class: &str,
+    via: Option<&str>,
+    path: &str,
+    line: u32,
+    col: u32,
+    lexed: &mut Lexed,
+    decls: &[(String, String)],
+    held: &[Guard],
+    edges: &mut BTreeMap<(String, String), Site>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for g in held {
+        edges
+            .entry((g.class.clone(), class.to_string()))
+            .or_insert(Site {
+                file: path.to_string(),
+                line,
+                col,
+            });
+        let violated = decls
+            .iter()
+            .any(|(earlier, later)| earlier == class && later == &g.class);
+        if violated && !lexed.allow("lock-order", line) {
+            let how = match via {
+                Some(callee) => format!("call to `{callee}()` acquires lock `{class}`"),
+                None => format!("lock `{class}` acquired"),
+            };
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L4/lock-order".to_string(),
+                message: format!(
+                    "{how} while `{}` is held; declared order is `{class} < {}`",
+                    g.class, g.class
+                ),
+            });
+        }
+    }
+}
+
+/// Detect cycles in the acquisition graph and report one diagnostic
+/// per strongly connected component, anchored at its smallest site.
+fn report_cycles(
+    edges: &BTreeMap<(String, String), Site>,
+    files: &mut [ParsedFile],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        succ.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+    // Transitive closure by BFS from every node (the graph is tiny).
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for &n in succ.keys() {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<&str> = succ
+            .get(n)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(m) = stack.pop() {
+            if seen.insert(m) {
+                if let Some(next) = succ.get(m) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        reach.insert(n, seen);
+    }
+    // Nodes on a cycle reach themselves; group them into SCCs.
+    let cyclic: Vec<&str> = reach
+        .iter()
+        .filter(|(n, r)| r.contains(**n))
+        .map(|(n, _)| *n)
+        .collect();
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    for &n in &cyclic {
+        if assigned.contains(n) {
+            continue;
+        }
+        let scc: Vec<&str> = cyclic
+            .iter()
+            .copied()
+            .filter(|&m| m == n || (reach[n].contains(m) && reach[m].contains(n)))
+            .collect();
+        assigned.extend(scc.iter().copied());
+        // Internal edges of the SCC, anchored at the earliest site.
+        let site = edges
+            .iter()
+            .filter(|((a, b), _)| scc.contains(&a.as_str()) && scc.contains(&b.as_str()))
+            .map(|(_, s)| s.clone())
+            .min();
+        let Some(site) = site else { continue };
+        let cycle = {
+            let mut c: Vec<&str> = scc.clone();
+            c.sort_unstable();
+            let mut p = c.join(" -> ");
+            p.push_str(" -> ");
+            p.push_str(c[0]);
+            p
+        };
+        let allowed = files
+            .iter_mut()
+            .find(|f| f.path == site.file)
+            .is_some_and(|f| f.lexed.allow("lock-cycle", site.line));
+        if !allowed {
+            diags.push(Diagnostic {
+                file: site.file,
+                line: site.line,
+                col: site.col,
+                rule: "L4/lock-cycle".to_string(),
+                message: format!("lock acquisition cycle: {cycle}"),
+            });
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! L5 — atomic-ordering audit.
+//!
+//! Every `Ordering::<variant>` argument in library code must be
+//! justified by a `// srlint: ordering -- <reason>` note attached to
+//! the same item. A note attaches to the innermost item containing its
+//! line, and covers everything nested inside that item — so a note
+//! just inside an `impl` justifies the whole impl, while a trailing
+//! note on a statement justifies only that function. On the accounting
+//! files (the counters behind the paper's misses == physical-reads
+//! exactness claim), `Relaxed` additionally requires the note's reason
+//! to spell out the invariant (the reason must contain the word
+//! `invariant`). Notes that justify nothing are themselves flagged.
+//!
+//! Only the five atomic variants are matched, so `std::cmp::Ordering`
+//! paths (`Ordering::Less` and friends, heavy in the query crates)
+//! never trip the rule.
+
+use crate::lexer::{Kind, Lexed};
+use crate::parser::Item;
+use crate::Diagnostic;
+
+/// Atomic variants of `std::sync::atomic::Ordering`.
+const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Line span of an item (attributes included).
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+
+    fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Innermost item span containing `line`, if any.
+fn innermost(spans: &[Span], line: u32) -> Option<Span> {
+    spans
+        .iter()
+        .filter(|s| s.contains(line))
+        .min_by_key(|s| s.len())
+        .copied()
+}
+
+fn collect_spans(items: &[Item], lexed: &Lexed, out: &mut Vec<Span>) {
+    for item in items {
+        out.push(Span {
+            start: item.start_line(&lexed.tokens),
+            end: item.end_line(&lexed.tokens),
+        });
+        collect_spans(&item.children, lexed, out);
+    }
+}
+
+/// Run the L5 pass over one parsed file. `accounting` marks files
+/// feeding the misses == physical-reads bookkeeping.
+pub fn l5_ordering(
+    path: &str,
+    lexed: &mut Lexed,
+    items: &[Item],
+    accounting: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut spans = Vec::new();
+    collect_spans(items, lexed, &mut spans);
+
+    // Precompute each note's coverage span (whole file when the note
+    // sits outside every item).
+    let note_spans: Vec<Option<Span>> = lexed
+        .ordering_notes
+        .iter()
+        .map(|n| innermost(&spans, n.line))
+        .collect();
+
+    // Find `Ordering::<atomic variant>` uses outside test code.
+    let mut sites: Vec<(u32, u32, String)> = Vec::new();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || !ATOMIC_VARIANTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let path_ok = i >= 3
+            && lexed.tokens[i - 1].is_punct(':')
+            && lexed.tokens[i - 2].is_punct(':')
+            && lexed.tokens[i - 3].is_ident("Ordering");
+        if !path_ok || lexed.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        sites.push((t.line, t.col, t.text.clone()));
+    }
+
+    for (line, col, variant) in sites {
+        // A note covers the site when the note's own item (or the whole
+        // file, for top-level notes) contains the site's line.
+        let mut justified = false;
+        let mut invariant_note = false;
+        for (n, span) in lexed.ordering_notes.iter_mut().zip(&note_spans) {
+            let covers = span.is_none_or(|s| s.contains(line));
+            if covers {
+                n.used = true;
+                justified = true;
+                invariant_note |= n.reason.contains("invariant");
+            }
+        }
+        if !justified {
+            if !lexed.allow("ordering", line) {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line,
+                    col,
+                    rule: "L5/ordering".to_string(),
+                    message: format!(
+                        "`Ordering::{variant}` without a `// srlint: ordering -- <reason>` \
+                         note on the enclosing item"
+                    ),
+                });
+            }
+        } else if accounting
+            && variant == "Relaxed"
+            && !invariant_note
+            && !lexed.allow("ordering-relaxed", line)
+        {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L5/ordering-relaxed".to_string(),
+                message: "`Ordering::Relaxed` on accounting state needs an ordering note \
+                          stating the invariant it preserves (reason must name the \
+                          `invariant`)"
+                    .to_string(),
+            });
+        }
+    }
+
+    let unused: Vec<(u32, u32)> = lexed
+        .ordering_notes
+        .iter()
+        .filter(|n| !n.used)
+        .map(|n| (n.line, n.col))
+        .collect();
+    for (line, col) in unused {
+        if !lexed.allow("ordering-unused", line) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line,
+                col,
+                rule: "L5/ordering-unused".to_string(),
+                message: "srlint ordering note justifies no `Ordering::` use; remove it"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -273,7 +273,7 @@ pub fn collect_constructions(lexed: &Lexed, out: &mut HashSet<(String, String)>)
 pub fn l3_dead_variants(
     enums: &[ErrorEnum],
     constructed: &HashSet<(String, String)>,
-    hatch_files: &mut [(String, Lexed)],
+    hatch_files: &mut [crate::ParsedFile],
     diags: &mut Vec<Diagnostic>,
 ) {
     for e in enums {
@@ -285,8 +285,8 @@ pub fn l3_dead_variants(
             }
             let hatched = hatch_files
                 .iter_mut()
-                .find(|(f, _)| *f == e.file)
-                .is_some_and(|(_, lx)| lx.allow("dead-variant", *line));
+                .find(|f| f.path == e.file)
+                .is_some_and(|f| f.lexed.allow("dead-variant", *line));
             if hatched {
                 continue;
             }
@@ -506,7 +506,8 @@ pub fn hatch_hygiene(lexed: &Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
             line,
             col,
             rule: "hatch/malformed".to_string(),
-            message: "malformed srlint comment: expected `// srlint: allow(<rule>) -- <reason>`"
+            message: "malformed srlint comment: expected `allow(<rule>)`, `ordering`, or \
+                      `lock-order(<a> < <b>)`, each followed by ` -- <reason>`"
                 .to_string(),
         });
     }

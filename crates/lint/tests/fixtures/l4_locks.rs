@@ -1,0 +1,58 @@
+//! L4 fixture: declared-order violation, I/O under a guard, and a cycle.
+// srlint: lock-order(meta < shard) -- fixture order: free-list state before cache stripes
+
+pub struct Pager {
+    meta: Mutex<Meta>,
+    shard: Mutex<Cache>,
+}
+
+impl Pager {
+    pub fn ordered_ok(&self) {
+        let m = self.meta.lock();
+        let s = self.shard.lock();
+        drop(s);
+        drop(m);
+    }
+
+    pub fn inverted(&self) {
+        let s = self.shard.lock();
+        let m = self.meta.lock();
+        drop(m);
+        drop(s);
+    }
+
+    pub fn io_under_guard(&self, id: u64, data: &[u8]) {
+        let s = self.shard.lock();
+        self.write_page(id, data);
+        drop(s);
+    }
+
+    pub fn io_after_guard(&self, id: u64, data: &[u8]) {
+        let s = self.shard.lock();
+        drop(s);
+        self.write_page(id, data);
+    }
+
+    fn write_page(&self, _id: u64, _data: &[u8]) {}
+}
+
+pub struct Tangle {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Tangle {
+    pub fn forward(&self) {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.right.lock();
+        let a = self.left.lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,26 @@
+//! L5 fixture: an unjustified atomic ordering, a justified one, a
+//! `std::cmp::Ordering` path that must not match, and an unused note.
+
+pub struct Counter {
+    hits: AtomicU64,
+}
+
+impl Counter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        // srlint: ordering -- monotone tally read; no cross-thread invariant rides on it
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn closer(&self, x: u32, y: u32) -> bool {
+        matches!(x.cmp(&y), Ordering::Less)
+    }
+
+    pub fn plain(&self) -> u32 {
+        // srlint: ordering -- nothing atomic happens in this function
+        7
+    }
+}

@@ -1,0 +1,54 @@
+//! L6 fixture: a `?` that escapes the typed-error `From` chains, silent
+//! swallowing of typed errors, and a stale `#[deprecated]` item.
+
+pub enum FixtureError {
+    Broken,
+}
+
+pub enum OtherError {
+    Bad,
+}
+
+pub enum ThirdError {
+    Worse,
+}
+
+impl From<OtherError> for FixtureError {
+    fn from(_e: OtherError) -> FixtureError {
+        FixtureError::Broken
+    }
+}
+
+pub fn make_other() -> Result<u32, OtherError> {
+    Err(OtherError::Bad)
+}
+
+pub fn make_third() -> Result<u32, ThirdError> {
+    Err(ThirdError::Worse)
+}
+
+pub fn converts(x: u32) -> Result<u32, FixtureError> {
+    let v = make_other()?;
+    Ok(v + x)
+}
+
+pub fn leaks() -> Result<u32, FixtureError> {
+    let v = make_third()?;
+    Ok(v)
+}
+
+pub fn mapped() -> Result<u32, FixtureError> {
+    let v = make_third().map_err(|_| FixtureError::Broken)?;
+    Ok(v)
+}
+
+pub fn swallows() -> u32 {
+    let a = make_third().ok();
+    let b = make_other().unwrap_or_default();
+    b + u32::from(a.is_some())
+}
+
+#[deprecated(since = "0.1.0", note = "renamed")]
+pub fn old_spelling() -> u32 {
+    3
+}

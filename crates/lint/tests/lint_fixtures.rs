@@ -128,6 +128,144 @@ fn dead_variant_constructed_in_another_file_is_live() {
 }
 
 #[test]
+fn l4_flags_order_violation_io_under_guard_and_cycles() {
+    let diags = lint_one("l4_locks.rs", include_str!("fixtures/l4_locks.rs"), false);
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            // ordered_ok's meta->shard edge plus inverted's shard->meta
+            // edge close a cycle in the acquisition graph, reported once
+            // at its first site — on top of the declared-order violation.
+            ("L4/lock-cycle".to_string(), 12),
+            ("L4/lock-order".to_string(), 19),
+            ("L4/lock-io".to_string(), 26),
+            ("L4/lock-cycle".to_string(), 47),
+        ],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].col, 28);
+    assert_eq!(
+        diags[0].message,
+        "lock acquisition cycle: meta -> shard -> meta"
+    );
+    assert_eq!(diags[1].col, 27);
+    assert_eq!(
+        diags[1].message,
+        "lock `meta` acquired while `shard` is held; declared order is `meta < shard`"
+    );
+    assert_eq!(diags[2].col, 14);
+    assert_eq!(
+        diags[2].message,
+        "I/O call `write_page()` while holding lock `shard`; move the I/O outside the guard \
+         (only the sanctioned read-through may hatch this)"
+    );
+    assert_eq!(
+        diags[3].message,
+        "lock acquisition cycle: left -> right -> left"
+    );
+}
+
+#[test]
+fn l5_flags_unjustified_orderings_and_unused_notes() {
+    let diags = lint_one(
+        "l5_ordering.rs",
+        include_str!("fixtures/l5_ordering.rs"),
+        false,
+    );
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            ("L5/ordering".to_string(), 10),
+            ("L5/ordering-unused".to_string(), 23),
+        ],
+        "std::cmp::Ordering::Less must not match: {diags:#?}"
+    );
+    assert_eq!(diags[0].col, 42);
+    assert_eq!(
+        diags[0].message,
+        "`Ordering::Relaxed` without a `// srlint: ordering -- <reason>` note on the \
+         enclosing item"
+    );
+    assert_eq!(diags[1].col, 9);
+    assert_eq!(
+        diags[1].message,
+        "srlint ordering note justifies no `Ordering::` use; remove it"
+    );
+}
+
+#[test]
+fn l5_accounting_files_demand_an_invariant_for_relaxed() {
+    // The same fixture linted under an accounting path: a note that does
+    // not name the invariant is not enough for `Relaxed`.
+    let diags = lint_one(
+        "crates/pager/src/stats.rs",
+        include_str!("fixtures/l5_accounting.rs"),
+        false,
+    );
+    assert_eq!(
+        rules_at(&diags),
+        vec![("L5/ordering-relaxed".to_string(), 12)],
+        "{diags:#?}"
+    );
+    assert_eq!(diags[0].col, 44);
+    assert_eq!(
+        diags[0].message,
+        "`Ordering::Relaxed` on accounting state needs an ordering note stating the \
+         invariant it preserves (reason must name the `invariant`)"
+    );
+    // Under a non-accounting path the very same file is clean.
+    let relaxed = lint_one(
+        "not_accounting.rs",
+        include_str!("fixtures/l5_accounting.rs"),
+        false,
+    );
+    assert!(relaxed.is_empty(), "{relaxed:#?}");
+}
+
+#[test]
+fn l6_flags_unconverted_question_marks_swallows_and_stale_deprecations() {
+    let diags = lint_one("l6_errors.rs", include_str!("fixtures/l6_errors.rs"), false);
+    assert_eq!(
+        rules_at(&diags),
+        vec![
+            ("L6/error-conversion".to_string(), 36),
+            ("L6/swallowed-error".to_string(), 46),
+            ("L6/swallowed-error".to_string(), 47),
+            ("L6/stale-deprecated".to_string(), 52),
+        ],
+        "converts() and mapped() must stay clean: {diags:#?}"
+    );
+    assert_eq!(diags[0].col, 25);
+    assert_eq!(
+        diags[0].message,
+        "`?` on `make_third()` propagates `ThirdError` but the function returns \
+         `Result<_, FixtureError>` and no `From<ThirdError> for FixtureError` chain exists; \
+         convert with `map_err` or add the impl"
+    );
+    assert_eq!(diags[1].col, 26);
+    assert!(
+        diags[1]
+            .message
+            .contains("silently discards the `ThirdError`"),
+        "{:?}",
+        diags[1]
+    );
+    assert!(
+        diags[2].message.contains("`.unwrap_or_default(..)`"),
+        "{:?}",
+        diags[2]
+    );
+    assert_eq!(diags[3].col, 8);
+    assert!(
+        diags[3]
+            .message
+            .contains("outlived its one-PR grace period"),
+        "{:?}",
+        diags[3]
+    );
+}
+
+#[test]
 fn hatches_suppress_exactly_once_each() {
     let diags = lint_one("hatch.rs", include_str!("fixtures/hatch.rs"), false);
     assert_eq!(

@@ -60,12 +60,12 @@ fn hatch_budget_respected() {
     );
 }
 
-#[test]
-fn seeded_violation_fails_the_gate() {
-    // Simulate a PR that sneaks an unwrap into a library crate: the same
-    // configuration that passes above must fail with the file poisoned.
+/// Lint the real workspace with `seed` appended to `seed_file` — the
+/// shape of a PR that sneaks one bad change into otherwise-clean code.
+fn lint_with_seed(seed_file: &str, seed: &str) -> sr_lint::LintReport {
     let root = workspace_root();
     let mut crates = Vec::new();
+    let mut seeded = false;
     for name in sr_lint::LIB_CRATES {
         let dir = root.join("crates").join(name).join("src");
         let mut files = Vec::new();
@@ -76,8 +76,11 @@ fn seeded_violation_fails_the_gate() {
                 .to_string_lossy()
                 .replace('\\', "/");
             let mut source = std::fs::read_to_string(&entry).expect("read source");
-            if rel == "crates/pager/src/pagefile.rs" {
-                source.push_str("\npub fn seeded(v: Option<u32>) -> u32 { v.unwrap() }\n");
+            if rel == seed_file {
+                source.push('\n');
+                source.push_str(seed);
+                source.push('\n');
+                seeded = true;
             }
             files.push(sr_lint::SourceFile {
                 l2: sr_lint::L2_FILES.contains(&rel.as_str()),
@@ -90,14 +93,80 @@ fn seeded_violation_fails_the_gate() {
             files,
         });
     }
-    let report = sr_lint::lint_crates(&crates, &[]);
+    assert!(seeded, "seed target {seed_file} not found");
+    sr_lint::lint_crates(&crates, &[])
+}
+
+#[track_caller]
+fn assert_fires(report: &sr_lint::LintReport, rule: &str, file: &str) {
     assert!(
         report
             .diagnostics
             .iter()
-            .any(|d| d.rule == "L1/panic" && d.file == "crates/pager/src/pagefile.rs"),
-        "seeded unwrap not caught: {:#?}",
+            .any(|d| d.rule == rule && d.file == file),
+        "seeded {rule} violation in {file} not caught: {:#?}",
         report.diagnostics
+    );
+}
+
+#[test]
+fn seeded_unwrap_fails_the_gate() {
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "pub fn seeded(v: Option<u32>) -> u32 { v.unwrap() }",
+    );
+    assert_fires(&report, "L1/panic", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_lock_order_inversion_fails_the_gate() {
+    // Acquiring the meta mutex while a shard is held inverts the
+    // declared `lock-order(meta < shard)` in pagefile.rs.
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    pub fn seeded_order(&self, id: PageId) -> Result<()> {\n        \
+         let s = self.shard(id)?.lock();\n        let m = self.meta.lock();\n        \
+         drop(m);\n        drop(s);\n        Ok(())\n    }\n}",
+    );
+    assert_fires(&report, "L4/lock-order", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_io_under_guard_fails_the_gate() {
+    // A store sync while holding the meta mutex — exactly the pattern
+    // this PR moved out of flush() — must be flagged outside the
+    // sanctioned read-through.
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    pub fn seeded_io(&self) -> Result<()> {\n        \
+         let g = self.meta.lock();\n        self.store.sync()?;\n        \
+         drop(g);\n        Ok(())\n    }\n}",
+    );
+    assert_fires(&report, "L4/lock-io", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_unjustified_ordering_fails_the_gate() {
+    let report = lint_with_seed(
+        "crates/pager/src/store.rs",
+        "pub fn seeded_load(x: &AtomicU64) -> u64 { x.load(Ordering::Relaxed) }",
+    );
+    assert_fires(&report, "L5/ordering", "crates/pager/src/store.rs");
+}
+
+#[test]
+fn seeded_swallowed_error_fails_the_gate() {
+    // `.ok()` on PageFile::set_user_meta discards a PagerError. (flush
+    // would not do here: SpatialIndex::flush returns IndexError, so the
+    // name is ambiguous workspace-wide and the registry drops it.)
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "pub fn seeded_swallow(pf: &PageFile) {\n    let _ = pf.set_user_meta(&[]).ok();\n}",
+    );
+    assert_fires(
+        &report,
+        "L6/swallowed-error",
+        "crates/pager/src/pagefile.rs",
     );
 }
 

@@ -36,6 +36,7 @@ struct HistCell {
 }
 
 impl HistCell {
+    // srlint: ordering -- relaxed: histogram cells are independent monotone tallies with no cross-counter invariant; a snapshot racing an observe may split count/sum by one observation, which the metrics consumers tolerate
     fn new() -> Self {
         HistCell {
             count: AtomicU64::new(0),
@@ -81,6 +82,7 @@ impl Default for StatsRecorder {
 }
 
 impl StatsRecorder {
+    // srlint: ordering -- relaxed loads: snapshot() is documented best-effort and may miss values recorded mid-query; nothing downstream assumes a consistent cut across counters
     /// Fresh, all-zero recorder.
     pub fn new() -> Self {
         StatsRecorder {
@@ -113,6 +115,7 @@ impl StatsRecorder {
 }
 
 impl Recorder for StatsRecorder {
+    // srlint: ordering -- relaxed increments: recording sits on the query hot path and each metric is an independent tally; see the StatsRecorder note for the snapshot side
     #[inline]
     fn enabled(&self) -> bool {
         true

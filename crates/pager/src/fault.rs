@@ -97,6 +97,7 @@ struct FaultState {
 }
 
 impl FaultState {
+    // srlint: ordering -- SeqCst throughout the fault machinery: tests arm a trigger from one thread and count ops from workers, and a single total order keeps "fail the n-th op" deterministic; this is test-only code where clarity beats throughput
     fn new() -> Self {
         FaultState {
             reads: AtomicU64::new(0),
@@ -137,6 +138,7 @@ pub struct FaultHandle {
 }
 
 impl FaultHandle {
+    // srlint: ordering -- SeqCst: arming a fault must be visible to the injector's very next op-counter read, and stats() must see every increment the workers published; see the FaultState note
     /// Fail the `n`-th read from now (0 = the very next read).
     pub fn fail_nth_read(&self, n: u64) {
         let at = self.state.reads.load(Ordering::SeqCst) + n;
@@ -216,6 +218,7 @@ impl FaultInjector {
 }
 
 impl PageStore for FaultInjector {
+    // srlint: ordering -- SeqCst op counters: each fetch_add both numbers the op and is compared against the armed trigger, so the injector and the arming thread must agree on one interleaving; see the FaultState note
     fn page_size(&self) -> usize {
         self.inner.page_size()
     }

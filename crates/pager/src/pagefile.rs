@@ -31,6 +31,8 @@
 //! internally consistent, but the index crates' `&mut self` update paths
 //! are what actually serializes structural changes.
 
+// srlint: lock-order(meta < shard) -- allocate and free touch a page's cache shard while holding the free-list mutex; the read/write path takes only shard locks, so acquiring meta after a shard would invert the order and deadlock
+
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -265,10 +267,13 @@ impl PageFile {
     /// The capacity is split across the shards per
     /// [`PageFile::CACHE_SHARDS`].
     pub fn set_cache_capacity(&self, pages: usize) -> Result<()> {
+        // srlint: ordering -- cache_pages is advisory bookkeeping read only by cache_capacity(); no other state is published through it
         self.cache_pages.store(pages, Ordering::Relaxed);
         for (shard, cap) in self.shards.iter().zip(Self::shard_capacities(pages)) {
-            let mut cache = shard.lock();
-            let spilled = cache.set_capacity(cap);
+            // Resize under the lock, write the spilled pages back after
+            // releasing it; resizing is a mutating op, single-writer by
+            // contract, so nobody can re-read the spilled ids in between.
+            let spilled = shard.lock().set_capacity(cap);
             self.stats.record_cache_evictions(spilled.len() as u64);
             for ev in spilled {
                 if let Some(data) = ev.dirty_data {
@@ -283,6 +288,7 @@ impl PageFile {
     /// Current total buffer-pool capacity in pages (`0` = caching
     /// disabled).
     pub fn cache_capacity(&self) -> usize {
+        // srlint: ordering -- pairs with the relaxed store in set_cache_capacity; a plain monotonic-ish counter read, nothing is synchronized through it
         self.cache_pages.load(Ordering::Relaxed)
     }
 
@@ -351,10 +357,17 @@ impl PageFile {
     /// Return a page to the free list.
     pub fn free(&self, id: PageId) -> Result<()> {
         assert!(id != 0, "cannot free the meta page");
-        let mut state = self.meta.lock();
-        self.shard(id)?.lock().remove(id);
+        let head = {
+            // meta → shard: drop the page from its cache shard while the
+            // free-list head is pinned, then release both before the store
+            // write. free() is a mutating op — single-writer by contract —
+            // so the head cannot move between this block and the re-lock
+            // below.
+            let state = self.meta.lock();
+            self.shard(id)?.lock().remove(id);
+            state.free_head
+        };
         let mut page = vec![0u8; self.page_size];
-        let head = state.free_head;
         {
             let mut c = PageCodec::new(&mut page);
             c.put_u8(PageKind::Free.as_u8())?;
@@ -362,7 +375,10 @@ impl PageFile {
             c.put_u64(head)?;
         }
         self.stats.record_physical_write();
+        // The store write lands before the in-memory head moves, so a
+        // failed write leaves the free list pointing at the old chain.
         self.store.write_page(id, &page)?;
+        let mut state = self.meta.lock();
         state.free_head = id;
         state.meta_dirty = true;
         Ok(())
@@ -380,11 +396,13 @@ impl PageFile {
         self.stats.record_cache_miss();
         let mut buf = vec![0u8; self.page_size].into_boxed_slice();
         self.stats.record_physical_read();
+        // srlint: allow(lock-io) -- the sanctioned read-through: releasing the shard between probe and store read would double-fetch concurrent misses and break misses == physical_reads
         self.store.read_page(id, &mut buf)?;
         if let Some(ev) = cache.insert(id, buf.clone(), false) {
             self.stats.record_cache_evictions(1);
             if let Some(dirty) = ev.dirty_data {
                 self.stats.record_physical_write();
+                // srlint: allow(lock-io) -- write-back of a page evicted by the read path; outside the lock a concurrent miss on ev.id could read the stale image from the store
                 self.store.write_page(ev.id, &dirty)?;
             }
         }
@@ -434,18 +452,26 @@ impl PageFile {
             c.put_bytes(payload)?;
         }
         self.stats.record_logical_write(kind);
-        let mut cache = self.shard(id)?.lock();
-        if cache.capacity() == 0 {
-            // This page's shard has no pool space (total capacity 0, or
-            // fewer total pages than shards): write through.
-            self.stats.record_physical_write();
-            self.store.write_page(id, &page)?;
-        } else if let Some(ev) = cache.insert(id, page, true) {
-            self.stats.record_cache_evictions(1);
-            if let Some(dirty) = ev.dirty_data {
-                self.stats.record_physical_write();
-                self.store.write_page(ev.id, &dirty)?;
+        // Decide under the shard lock, do the store write after releasing
+        // it. write() is a mutating op — single-writer by contract — so no
+        // concurrent reader can race the write-through or the evicted
+        // page's write-back out of the store.
+        let write_back = {
+            let mut cache = self.shard(id)?.lock();
+            if cache.capacity() == 0 {
+                // This page's shard has no pool space (total capacity 0,
+                // or fewer total pages than shards): write through.
+                Some((id, page))
+            } else if let Some(ev) = cache.insert(id, page, true) {
+                self.stats.record_cache_evictions(1);
+                ev.dirty_data.map(|dirty| (ev.id, dirty))
+            } else {
+                None
             }
+        };
+        if let Some((out_id, data)) = write_back {
+            self.stats.record_physical_write();
+            self.store.write_page(out_id, &data)?;
         }
         Ok(())
     }
@@ -462,23 +488,34 @@ impl PageFile {
                 self.store.write_page(id, &data)?;
             }
         }
-        let mut state = self.meta.lock();
-        if state.meta_dirty {
-            let page_size = u32::try_from(self.page_size)
-                .map_err(|_| PagerError::Corrupt("page size does not fit u32".into()))?;
-            let meta_len = u32::try_from(state.user_meta.len())
-                .map_err(|_| PagerError::Corrupt("user metadata length does not fit u32".into()))?;
-            let mut page = vec![0u8; self.page_size];
-            let mut c = PageCodec::new(&mut page);
-            c.put_u32(MAGIC)?;
-            c.put_u32(VERSION)?;
-            c.put_u32(page_size)?;
-            c.put_u64(state.free_head)?;
-            c.put_u32(meta_len)?;
-            c.put_bytes(&state.user_meta)?;
+        // Snapshot the meta page under the lock, write it back after
+        // releasing it; meta_dirty is cleared only once the write lands,
+        // so a failed flush retries the meta page next time.
+        let meta_page = {
+            let state = self.meta.lock();
+            if state.meta_dirty {
+                let page_size = u32::try_from(self.page_size)
+                    .map_err(|_| PagerError::Corrupt("page size does not fit u32".into()))?;
+                let meta_len = u32::try_from(state.user_meta.len()).map_err(|_| {
+                    PagerError::Corrupt("user metadata length does not fit u32".into())
+                })?;
+                let mut page = vec![0u8; self.page_size];
+                let mut c = PageCodec::new(&mut page);
+                c.put_u32(MAGIC)?;
+                c.put_u32(VERSION)?;
+                c.put_u32(page_size)?;
+                c.put_u64(state.free_head)?;
+                c.put_u32(meta_len)?;
+                c.put_bytes(&state.user_meta)?;
+                Some(page)
+            } else {
+                None
+            }
+        };
+        if let Some(page) = meta_page {
             self.stats.record_physical_write();
             self.store.write_page(0, &page)?;
-            state.meta_dirty = false;
+            self.meta.lock().meta_dirty = false;
         }
         self.store.sync()?;
         Ok(())

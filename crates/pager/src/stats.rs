@@ -49,6 +49,7 @@ pub(crate) struct AtomicIoStats {
 }
 
 impl AtomicIoStats {
+    // srlint: ordering -- relaxed everywhere: each counter is an independent monotone tally, and the misses == physical_reads invariant is enforced by incrementing both under the same shard lock in read_raw, not by memory ordering; quiescent snapshots are therefore exact
     pub(crate) fn new() -> Self {
         Self::default()
     }

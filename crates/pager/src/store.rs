@@ -20,16 +20,20 @@ pub trait PageStore: Send + Sync {
     fn num_pages(&self) -> u64;
 
     /// Read page `id` into `buf` (which must be exactly `page_size` long).
+    #[doc = "srlint: io"]
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
 
     /// Overwrite page `id` with `data` (exactly `page_size` long).
+    #[doc = "srlint: io"]
     fn write_page(&self, id: PageId, data: &[u8]) -> Result<()>;
 
     /// Extend the store to hold `new_num_pages` pages (no-op if already
     /// that large). New pages read as zeroes.
+    #[doc = "srlint: io"]
     fn grow(&self, new_num_pages: u64) -> Result<()>;
 
     /// Flush to durable storage where applicable.
+    #[doc = "srlint: io"]
     fn sync(&self) -> Result<()>;
 }
 
@@ -163,6 +167,7 @@ impl PageStore for FilePageStore {
     }
 
     fn num_pages(&self) -> u64 {
+        // srlint: ordering -- acquire pairs with the release store in grow(): a loaded count guarantees set_len has already extended the file that far
         self.num_pages.load(Ordering::Acquire)
     }
 
@@ -196,6 +201,7 @@ impl PageStore for FilePageStore {
         let cur = self.num_pages();
         if new_num_pages > cur {
             self.file.set_len(new_num_pages * self.page_size as u64)?;
+            // srlint: ordering -- release publishes the count only after set_len succeeds; pairs with the acquire load in num_pages()
             self.num_pages.store(new_num_pages, Ordering::Release);
         }
         Ok(())

@@ -75,17 +75,6 @@ pub fn knn_best_first<S: KnnSource>(
     knn_best_first_with(src, query, k, &Noop)
 }
 
-/// Deprecated spelling of [`knn_best_first_with`].
-#[deprecated(since = "0.2.0", note = "renamed to `knn_best_first_with`")]
-pub fn knn_best_first_traced<S: KnnSource, R: Recorder + ?Sized>(
-    src: &S,
-    query: &[f32],
-    k: usize,
-    rec: &R,
-) -> Result<Vec<Neighbor>, S::Error> {
-    knn_best_first_with(src, query, k, rec)
-}
-
 /// [`knn_best_first`] with a metrics recorder. With [`Noop`] this
 /// monomorphizes to exactly the uninstrumented search.
 pub fn knn_best_first_with<S: KnnSource, R: Recorder + ?Sized>(

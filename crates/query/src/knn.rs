@@ -171,17 +171,6 @@ pub fn knn<S: KnnSource>(src: &S, query: &[f32], k: usize) -> Result<Vec<Neighbo
     knn_with(src, query, k, &Noop)
 }
 
-/// Deprecated spelling of [`knn_with`].
-#[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
-pub fn knn_traced<S: KnnSource, R: Recorder + ?Sized>(
-    src: &S,
-    query: &[f32],
-    k: usize,
-    rec: &R,
-) -> Result<Vec<Neighbor>, S::Error> {
-    knn_with(src, query, k, rec)
-}
-
 /// [`knn`] with a metrics recorder. With [`Noop`] this monomorphizes to
 /// exactly the uninstrumented search.
 pub fn knn_with<S: KnnSource, R: Recorder + ?Sized>(

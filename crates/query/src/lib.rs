@@ -19,8 +19,7 @@
 //! the `_with` engine variants (which take any `sr-obs` recorder; the
 //! plain forms are `Noop` conveniences) can attribute every prune event to
 //! the shape whose bound achieved it — the measurement behind the paper's
-//! Figure 8–10 series. The old `_traced` spellings remain as deprecated
-//! aliases.
+//! Figure 8–10 series.
 //!
 //! [`SpatialIndex`] is the unified, object-safe API all five tree crates
 //! implement on top of these engines — the single dispatch surface the
@@ -46,10 +45,3 @@ pub use heap::{CandidateSet, Neighbor};
 pub use index::{IndexError, SpatialIndex};
 pub use knn::{knn, knn_with, Branch, Expansion, KnnSource, RegionBound};
 pub use range::{range, range_with};
-
-#[allow(deprecated)]
-pub use best_first::knn_best_first_traced;
-#[allow(deprecated)]
-pub use knn::knn_traced;
-#[allow(deprecated)]
-pub use range::range_traced;

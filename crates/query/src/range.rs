@@ -24,17 +24,6 @@ pub fn range<S: KnnSource>(
     range_with(src, query, radius, &Noop)
 }
 
-/// Deprecated spelling of [`range_with`].
-#[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
-pub fn range_traced<S: KnnSource, R: Recorder + ?Sized>(
-    src: &S,
-    query: &[f32],
-    radius: f64,
-    rec: &R,
-) -> Result<Vec<Neighbor>, QueryError<S::Error>> {
-    range_with(src, query, radius, rec)
-}
-
 /// [`range`] with a metrics recorder. With [`Noop`] this monomorphizes to
 /// exactly the uninstrumented search.
 pub fn range_with<S: KnnSource, R: Recorder + ?Sized>(

@@ -244,17 +244,6 @@ impl RstarTree {
         search::knn(self, query, k, rec)
     }
 
-    /// Deprecated spelling of [`RstarTree::knn_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
-    pub fn knn_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_with(query, k, rec)
-    }
-
     /// Every point within `radius` of `query`, sorted by ascending
     /// distance. A negative or NaN radius is rejected with
     /// [`TreeError::InvalidRadius`].
@@ -271,17 +260,6 @@ impl RstarTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::range(self, query, radius, rec)
-    }
-
-    /// Deprecated spelling of [`RstarTree::range_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
-    pub fn range_traced(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.range_with(query, radius, rec)
     }
 
     /// Bounding rectangles of all (non-empty) leaves — the "leaf-level

@@ -239,17 +239,6 @@ impl VamTree {
         search::knn(self, query, k, rec)
     }
 
-    /// Deprecated spelling of [`VamTree::knn_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `knn_with`")]
-    pub fn knn_traced(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.knn_with(query, k, rec)
-    }
-
     /// Every point within `radius` of `query`. A negative or NaN radius
     /// is rejected with [`TreeError::InvalidRadius`].
     pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>> {
@@ -265,17 +254,6 @@ impl VamTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::range(self, query, radius, rec)
-    }
-
-    /// Deprecated spelling of [`VamTree::range_with`].
-    #[deprecated(since = "0.2.0", note = "renamed to `range_with`")]
-    pub fn range_traced(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<Neighbor>> {
-        self.range_with(query, radius, rec)
     }
 
     /// Bounding rectangles of all (non-empty) leaves.

@@ -163,3 +163,28 @@ fn injected_read_fault_is_typed_and_does_not_poison_the_pool() {
     let retry = run_knn_batch(&tree, &queries, K, 4).unwrap();
     assert_eq!(clean.results, retry.results, "results changed after fault");
 }
+
+/// Degenerate batch requests fail with a typed error instead of hanging
+/// or being silently reinterpreted — and they leave the index fully
+/// usable for a corrected request.
+#[test]
+fn degenerate_batch_requests_are_typed_errors() {
+    let points = uniform(200, DIM, 0xDE6E);
+    let pf = PageFile::create_in_memory(PAGE_SIZE).unwrap();
+    let mut tree = SrTree::create_from(pf, DIM, DATA_AREA).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    let queries = query_batch(&points, 8);
+
+    assert!(matches!(
+        run_knn_batch(&tree, &queries, K, 0).expect_err("zero threads"),
+        ExecError::ZeroThreads
+    ));
+    assert!(matches!(
+        run_knn_batch(&tree, &[], K, 4).expect_err("empty batch"),
+        ExecError::EmptyBatch
+    ));
+    let out = run_knn_batch(&tree, &queries, K, 4).expect("corrected request");
+    assert_eq!(out.results.len(), queries.len());
+}

@@ -35,7 +35,7 @@ fn combined_bound_prunes_at_least_each_single_shape() {
 
     for q in &queries {
         let _ = tree
-            .knn_with_bound_traced(q.coords(), 10, DistanceBound::Both, &rec)
+            .knn_bounded_with(q.coords(), 10, DistanceBound::Both, &rec)
             .unwrap();
         let now = rec.snapshot();
         let w = now.since(&before);
@@ -72,9 +72,7 @@ fn combined_bound_expands_no_more_nodes_than_single_shapes() {
     let expansions = |bound: DistanceBound| -> u64 {
         let rec = StatsRecorder::new();
         for q in &queries {
-            let _ = tree
-                .knn_with_bound_traced(q.coords(), 10, bound, &rec)
-                .unwrap();
+            let _ = tree.knn_bounded_with(q.coords(), 10, bound, &rec).unwrap();
         }
         let s = rec.snapshot();
         s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions)
@@ -102,7 +100,7 @@ fn results_identical_across_bounds_while_counters_differ() {
 
     let rec = StatsRecorder::new();
     let both = tree
-        .knn_with_bound_traced(q, 10, DistanceBound::Both, &rec)
+        .knn_bounded_with(q, 10, DistanceBound::Both, &rec)
         .unwrap();
     let sphere = tree
         .knn_with_bound(q, 10, DistanceBound::SphereOnly)
