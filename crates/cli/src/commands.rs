@@ -5,8 +5,8 @@ use std::io::Write;
 
 use sr_dataset::{cluster, real_sim, uniform, ClusterSpec};
 use sr_geometry::Point;
-use sr_obs::StatsRecorder;
-use sr_pager::{IoStats, PageKind};
+use sr_obs::{Counter, Recorder, StatsRecorder};
+use sr_pager::{IoStats, PageKind, WalStats};
 use sr_testkit::{failure_report, generate, minimize, run_tape, DiffConfig, WorkloadSpec};
 
 use crate::args::{Command, GenKind};
@@ -53,6 +53,38 @@ fn io_json(w: &IoStats, cache_capacity: usize) -> String {
         w.cache_misses(),
         w.cache_evictions(),
     )
+}
+
+/// The WAL half of a stats line: store-lifetime durability counters.
+fn wal_json(ws: &WalStats) -> String {
+    format!(
+        "{{\"frames_appended\":{},\"commits\":{},\"truncations\":{},\
+         \"replays\":{},\"replayed_frames\":{},\"dropped_frames\":{},\
+         \"torn_tails\":{},\"wal_bytes\":{}}}",
+        ws.frames_appended,
+        ws.commits,
+        ws.truncations,
+        ws.replays,
+        ws.replayed_frames,
+        ws.dropped_frames,
+        ws.torn_tails,
+        ws.wal_bytes,
+    )
+}
+
+/// Mirror the pager's [`WalStats`] into the metric counters, the same
+/// way `sr-exec` mirrors `IoStats` into the cache pair. These are
+/// store-lifetime totals at snapshot time, not per-query windows: a
+/// nonzero `wal_replays` in a trace says this store crash-recovered
+/// when it was opened.
+fn mirror_wal(rec: &dyn Recorder, ws: &WalStats) {
+    rec.incr(Counter::WalFramesAppended, ws.frames_appended);
+    rec.incr(Counter::WalCommits, ws.commits);
+    rec.incr(Counter::WalTruncations, ws.truncations);
+    rec.incr(Counter::WalReplays, ws.replays);
+    rec.incr(Counter::WalReplayedFrames, ws.replayed_frames);
+    rec.incr(Counter::WalDroppedFrames, ws.dropped_frames);
+    rec.incr(Counter::WalTornTails, ws.torn_tails);
 }
 
 /// One structured line per traced query: the recorder snapshot plus the
@@ -111,6 +143,9 @@ fn run_query(
     };
     let io = store.pager().stats().since(&before);
     let cap = store.pager().cache_capacity();
+    if trace {
+        mirror_wal(&rec, &store.pager().wal_stats());
+    }
     let e = |err: std::io::Error| CmdError::Failure(err.to_string());
     if json {
         let trace_field = if trace {
@@ -338,14 +373,17 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
             let io = store.pager().stats();
             let cap = store.pager().cache_capacity();
             let page_size = store.pager().page_size();
+            let ws = store.pager().wal_stats();
             let e = |err: std::io::Error| CmdError::Failure(err.to_string());
             if json {
                 writeln!(
                     out,
                     "{{\"kind\":\"{}\",\"points\":{len},\"dim\":{dim},\
-                     \"height\":{height},\"page_size\":{page_size},\"io\":{}}}",
+                     \"height\":{height},\"page_size\":{page_size},\"io\":{},\
+                     \"wal\":{}}}",
                     store.kind_name(),
-                    io_json(&io, cap)
+                    io_json(&io, cap),
+                    wal_json(&ws)
                 )
                 .map_err(e)
             } else {
@@ -371,6 +409,20 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
                     io.cache_hits(),
                     io.cache_misses(),
                     io.cache_evictions(),
+                )
+                .map_err(e)?;
+                writeln!(
+                    out,
+                    "wal: {} B, {} frames appended, {} commits, {} truncations, \
+                     {} replays ({} frames reapplied, {} dropped, {} torn tails)",
+                    ws.wal_bytes,
+                    ws.frames_appended,
+                    ws.commits,
+                    ws.truncations,
+                    ws.replays,
+                    ws.replayed_frames,
+                    ws.dropped_frames,
+                    ws.torn_tails,
                 )
                 .map_err(e)
             }

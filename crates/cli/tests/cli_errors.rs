@@ -172,6 +172,9 @@ fn trace_json_emits_metrics_schema() {
         "\"io\":",
         "\"cache_hits\":",
         "\"cache_misses\":",
+        "\"wal_frames_appended\":",
+        "\"wal_replays\":",
+        "\"wal_torn_tails\":",
     ] {
         assert!(line.contains(field), "missing {field} in {line}");
     }

@@ -54,6 +54,21 @@ fn full_workflow_for_every_index_kind() {
         let out = sh(&["stats", index.to_str().unwrap()]).unwrap();
         assert!(out.contains("2000 points"), "{kind}: {out}");
         assert!(out.contains("16 dimensions"));
+        assert!(out.contains("wal:"), "{kind}: {out}");
+
+        // The JSON shape carries the WAL durability counters CI's jq
+        // schema check keys on.
+        let out = sh(&["stats", "--json", index.to_str().unwrap()]).unwrap();
+        for field in [
+            "\"io\":",
+            "\"wal\":",
+            "\"frames_appended\":",
+            "\"replays\":",
+            "\"torn_tails\":",
+            "\"wal_bytes\":",
+        ] {
+            assert!(out.contains(field), "{kind}: missing {field} in {out}");
+        }
 
         let out = sh(&["verify", index.to_str().unwrap()]).unwrap();
         assert!(out.contains("OK"), "{kind}: {out}");

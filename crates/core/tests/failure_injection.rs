@@ -9,8 +9,20 @@
 //! single-write faults, torn writes, and reopen-after-crash.
 
 use sr_dataset::uniform;
-use sr_pager::{FaultInjector, FaultKind, MemPageStore, PageFile, PagerError};
+use sr_pager::{FaultInjector, FaultKind, MemLogStore, MemPageStore, PageFile, PagerError};
 use sr_tree::{SrTree, TreeError};
+
+/// Wrap both halves of the pager — page store *and* write-ahead log —
+/// around one fault state, so the budget counts every I/O the tree
+/// performs (WAL appends included).
+fn faulted_pagefile(page_size: usize) -> (PageFile, sr_pager::FaultHandle) {
+    let (store, log, handle) = FaultInjector::wrap_parts(
+        Box::new(MemPageStore::new(page_size)),
+        Box::new(MemLogStore::new()),
+    );
+    let pf = PageFile::create_from_parts(store, log).unwrap();
+    (pf, handle)
+}
 
 /// Drive inserts until the injected cutoff fires; the error must be a
 /// clean `TreeError::Pager`, at any failure point.
@@ -18,8 +30,7 @@ use sr_tree::{SrTree, TreeError};
 fn insert_failures_surface_as_errors() {
     let points = uniform(300, 4, 501);
     for fail_after in [5u64, 17, 60, 150, 400] {
-        let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(1024)));
-        let pf = PageFile::create_from_store(store).unwrap();
+        let (pf, handle) = faulted_pagefile(1024);
         // Cache off so failures hit promptly and deterministically.
         pf.set_cache_capacity(0).unwrap();
         let mut tree = SrTree::create_from(pf, 4, 64).unwrap();
@@ -63,8 +74,7 @@ fn insert_failures_surface_as_errors() {
 #[test]
 fn query_failures_do_not_poison_the_tree() {
     let points = uniform(500, 4, 503);
-    let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(1024)));
-    let pf = PageFile::create_from_store(store).unwrap();
+    let (pf, handle) = faulted_pagefile(1024);
     pf.set_cache_capacity(0).unwrap();
     let mut tree = SrTree::create_from(pf, 4, 64).unwrap();
     for (i, p) in points.iter().enumerate() {

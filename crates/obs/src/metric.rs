@@ -28,11 +28,32 @@ pub enum Counter {
     CacheHits,
     /// Buffer-pool misses observed by the caller (mirrored from `IoStats`).
     CacheMisses,
+    /// Page-image redo frames appended to the write-ahead log (mirrored
+    /// from the pager's `WalStats` by the caller, like the cache pair).
+    WalFramesAppended,
+    /// Commit markers appended to the WAL (mirrored from `WalStats`).
+    WalCommits,
+    /// WAL truncations after successful checkpoints (mirrored from
+    /// `WalStats`).
+    WalTruncations,
+    /// Opens that replayed committed WAL frames (mirrored from
+    /// `WalStats`). Nonzero in a trace means this store recovered from
+    /// a crash when it was opened.
+    WalReplays,
+    /// Committed page images reapplied across all replays (mirrored
+    /// from `WalStats`).
+    WalReplayedFrames,
+    /// Complete but uncommitted frames discarded at replay (mirrored
+    /// from `WalStats`).
+    WalDroppedFrames,
+    /// Torn or corrupt log tails discarded at replay (mirrored from
+    /// `WalStats`).
+    WalTornTails,
 }
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 16] = [
         Counter::NodeExpansions,
         Counter::LeafExpansions,
         Counter::PointsScored,
@@ -42,6 +63,13 @@ impl Counter {
         Counter::PruneRect,
         Counter::CacheHits,
         Counter::CacheMisses,
+        Counter::WalFramesAppended,
+        Counter::WalCommits,
+        Counter::WalTruncations,
+        Counter::WalReplays,
+        Counter::WalReplayedFrames,
+        Counter::WalDroppedFrames,
+        Counter::WalTornTails,
     ];
 
     /// Stable snake_case name used in JSON output and tables.
@@ -56,6 +84,13 @@ impl Counter {
             Counter::PruneRect => "prune_rect",
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
+            Counter::WalFramesAppended => "wal_frames_appended",
+            Counter::WalCommits => "wal_commits",
+            Counter::WalTruncations => "wal_truncations",
+            Counter::WalReplays => "wal_replays",
+            Counter::WalReplayedFrames => "wal_replayed_frames",
+            Counter::WalDroppedFrames => "wal_dropped_frames",
+            Counter::WalTornTails => "wal_torn_tails",
         }
     }
 
@@ -70,6 +105,13 @@ impl Counter {
             Counter::PruneRect => 6,
             Counter::CacheHits => 7,
             Counter::CacheMisses => 8,
+            Counter::WalFramesAppended => 9,
+            Counter::WalCommits => 10,
+            Counter::WalTruncations => 11,
+            Counter::WalReplays => 12,
+            Counter::WalReplayedFrames => 13,
+            Counter::WalDroppedFrames => 14,
+            Counter::WalTornTails => 15,
         }
     }
 }

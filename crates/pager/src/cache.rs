@@ -1,4 +1,10 @@
-//! A write-back LRU buffer pool.
+//! A read-through LRU buffer pool.
+//!
+//! The pool holds *clean* copies only: every mutation is logged to the
+//! write-ahead log before the image is cached, so an evicted page is
+//! always recoverable from the log (or from the store once a checkpoint
+//! has copied it there). Eviction therefore never writes anything back —
+//! it just drops the copy and gets counted.
 //!
 //! Intentionally simple: a hash map of resident pages plus a `BTreeMap`
 //! keyed by a monotone access tick for eviction order. All operations are
@@ -11,21 +17,7 @@ use crate::page::PageId;
 
 struct Entry {
     data: Box<[u8]>,
-    dirty: bool,
     tick: u64,
-}
-
-/// A page pushed out of the pool to make room.
-///
-/// `dirty_data` is `Some` when the page carried unwritten changes —
-/// the caller must write it back. Clean evictions are reported too so
-/// the pager can count them (`IoStats::cache_evictions`).
-#[must_use = "a dirty eviction must be written back"]
-pub struct Eviction {
-    /// The evicted page.
-    pub id: PageId,
-    /// The page image, if it still needs a write-back.
-    pub dirty_data: Option<Box<[u8]>>,
 }
 
 /// LRU cache of page images. `capacity == 0` disables caching entirely —
@@ -60,11 +52,6 @@ impl LruCache {
         self.map.is_empty()
     }
 
-    /// Current capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
     fn bump(&mut self, id: PageId) {
         if let Some(e) = self.map.get_mut(&id) {
             self.order.remove(&e.tick);
@@ -84,83 +71,54 @@ impl LruCache {
         }
     }
 
-    /// Insert (or overwrite) a page image. Returns the eviction made to
-    /// make room, if any; a dirty victim carries its image and must be
-    /// written back by the caller.
-    #[must_use = "a dirty eviction must be written back"]
-    pub fn insert(&mut self, id: PageId, data: Box<[u8]>, dirty: bool) -> Option<Eviction> {
+    /// Insert (or overwrite) a page image. Returns whether a resident
+    /// page was evicted to make room.
+    pub fn insert(&mut self, id: PageId, data: Box<[u8]>) -> bool {
         if self.capacity == 0 {
-            debug_assert!(!dirty, "dirty insert into a disabled cache loses data");
-            return None;
+            return false;
         }
-        // Overwrite in place keeps an existing dirty bit sticky: a clean
-        // re-read must not hide a pending write-back.
         if let Some(e) = self.map.get_mut(&id) {
             e.data = data;
-            e.dirty = e.dirty || dirty;
             self.bump(id);
-            return None;
+            return false;
         }
-        let mut evicted = None;
+        let mut evicted = false;
         if self.map.len() >= self.capacity {
             if let Some((&tick, &victim)) = self.order.iter().next() {
                 self.order.remove(&tick);
-                if let Some(e) = self.map.remove(&victim) {
-                    evicted = Some(Eviction {
-                        id: victim,
-                        dirty_data: e.dirty.then_some(e.data),
-                    });
-                }
+                self.map.remove(&victim);
+                evicted = true;
             }
         }
         let tick = self.next_tick;
         self.next_tick += 1;
-        self.map.insert(id, Entry { data, dirty, tick });
+        self.map.insert(id, Entry { data, tick });
         self.order.insert(tick, id);
         evicted
     }
 
-    /// Drop a page without write-back (used by `free`).
+    /// Drop a page (used by `free`).
     pub fn remove(&mut self, id: PageId) {
         if let Some(e) = self.map.remove(&id) {
             self.order.remove(&e.tick);
         }
     }
 
-    /// Drain every dirty page (clearing its dirty bit) for a flush.
-    pub fn drain_dirty(&mut self) -> Vec<(PageId, Box<[u8]>)> {
-        let mut out = Vec::new();
-        for (&id, e) in self.map.iter_mut() {
-            if e.dirty {
-                e.dirty = false;
-                out.push((id, e.data.clone()));
-            }
-        }
-        out.sort_by_key(|(id, _)| *id);
-        out
-    }
-
-    /// Change capacity; returns every page evicted by a shrink (dirty
-    /// ones carry their image for write-back).
-    #[must_use = "dirty evictions must be written back"]
-    pub fn set_capacity(&mut self, capacity: usize) -> Vec<Eviction> {
+    /// Change capacity; returns how many pages a shrink evicted.
+    pub fn set_capacity(&mut self, capacity: usize) -> usize {
         self.capacity = capacity;
-        let mut out = Vec::new();
+        let mut spilled = 0;
         while self.map.len() > self.capacity {
             let Some((&tick, &victim)) = self.order.iter().next() else {
                 break; // order/map out of sync; nothing left to evict
             };
             self.order.remove(&tick);
-            if let Some(e) = self.map.remove(&victim) {
-                out.push(Eviction {
-                    id: victim,
-                    dirty_data: e.dirty.then_some(e.data),
-                });
-            } else {
+            if self.map.remove(&victim).is_none() {
                 break; // order/map out of sync; avoid spinning forever
             }
+            spilled += 1;
         }
-        out
+        spilled
     }
 }
 
@@ -176,92 +134,57 @@ mod tests {
     fn hit_and_miss() {
         let mut c = LruCache::new(2);
         assert!(c.get(1).is_none());
-        assert!(c.insert(1, page(1), false).is_none());
+        assert!(!c.insert(1, page(1)));
         assert_eq!(c.get(1).unwrap()[0], 1);
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        assert!(c.insert(1, page(1), false).is_none());
-        assert!(c.insert(2, page(2), false).is_none());
+        assert!(!c.insert(1, page(1)));
+        assert!(!c.insert(2, page(2)));
         let _ = c.get(1); // 2 is now LRU
-        let ev = c.insert(3, page(3), false);
-        assert_eq!(ev.map(|e| e.id), Some(2), "page 2 was LRU");
-        assert!(c.get(2).is_none(), "page 2 should have been evicted");
+        assert!(c.insert(3, page(3)), "full pool must evict");
+        assert!(c.get(2).is_none(), "page 2 was LRU and should be gone");
         assert!(c.get(1).is_some());
         assert!(c.get(3).is_some());
     }
 
     #[test]
-    fn dirty_eviction_returns_page_image() {
+    fn overwrite_refreshes_data_without_evicting() {
         let mut c = LruCache::new(1);
-        assert!(c.insert(1, page(1), true).is_none());
-        let ev = c.insert(2, page(2), false).expect("capacity 1 must evict");
-        assert_eq!(ev.id, 1);
-        assert_eq!(ev.dirty_data.as_deref().map(|d| d[0]), Some(1));
-    }
-
-    #[test]
-    fn clean_eviction_reported_without_write_back() {
-        let mut c = LruCache::new(1);
-        assert!(c.insert(1, page(1), false).is_none());
-        let ev = c.insert(2, page(2), false).expect("capacity 1 must evict");
-        assert_eq!(ev.id, 1);
-        assert!(ev.dirty_data.is_none(), "clean page needs no write-back");
-    }
-
-    #[test]
-    fn overwrite_keeps_dirty_bit_sticky() {
-        let mut c = LruCache::new(2);
-        assert!(c.insert(1, page(1), true).is_none());
-        assert!(c.insert(1, page(9), false).is_none()); // clean overwrite
-        let dirty = c.drain_dirty();
-        assert_eq!(dirty.len(), 1, "dirty bit must survive clean overwrite");
-        assert_eq!(dirty[0].1[0], 9, "but the data must be the newest image");
-    }
-
-    #[test]
-    fn drain_dirty_clears_bits() {
-        let mut c = LruCache::new(4);
-        assert!(c.insert(1, page(1), true).is_none());
-        assert!(c.insert(2, page(2), false).is_none());
-        assert_eq!(c.drain_dirty().len(), 1);
-        assert_eq!(c.drain_dirty().len(), 0);
+        assert!(!c.insert(1, page(1)));
+        assert!(!c.insert(1, page(9)), "overwrite is not an eviction");
+        assert_eq!(c.get(1).unwrap()[0], 9, "newest image wins");
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn zero_capacity_caches_nothing() {
         let mut c = LruCache::new(0);
         assert!(c.is_empty());
-        assert!(c.insert(1, page(1), false).is_none());
+        assert!(!c.insert(1, page(1)));
         assert!(c.get(1).is_none());
         assert_eq!(c.len(), 0);
         assert!(c.is_empty());
     }
 
     #[test]
-    fn shrink_spills_dirty_pages() {
+    fn shrink_counts_spills() {
         let mut c = LruCache::new(3);
-        assert!(c.insert(1, page(1), true).is_none());
-        assert!(c.insert(2, page(2), true).is_none());
-        assert!(c.insert(3, page(3), false).is_none());
-        let spilled = c.set_capacity(1);
-        assert_eq!(spilled.len(), 2, "two pages must leave the pool");
-        assert_eq!(
-            spilled.iter().filter(|e| e.dirty_data.is_some()).count(),
-            2,
-            "both evicted pages were dirty"
-        );
+        assert!(!c.insert(1, page(1)));
+        assert!(!c.insert(2, page(2)));
+        assert!(!c.insert(3, page(3)));
+        assert_eq!(c.set_capacity(1), 2, "two pages must leave the pool");
         assert_eq!(c.len(), 1);
+        assert_eq!(c.set_capacity(1), 0, "already at capacity");
     }
 
     #[test]
     fn remove_discards_silently() {
         let mut c = LruCache::new(2);
-        assert!(c.insert(1, page(1), true).is_none());
+        assert!(!c.insert(1, page(1)));
         c.remove(1);
         assert!(c.get(1).is_none());
-        assert!(c.drain_dirty().is_empty());
     }
 }

@@ -30,15 +30,23 @@
 mod cache;
 mod error;
 mod fault;
+mod logstore;
 mod page;
 mod pagefile;
 mod stats;
 mod store;
 mod sync;
+mod wal;
 
 pub use error::{PagerError, Result};
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultStats};
+pub use logstore::{wal_file_path, FileLogStore, LogStore, MemLogStore};
 pub use page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
 pub use pagefile::PageFile;
 pub use stats::IoStats;
 pub use store::{FilePageStore, MemPageStore, PageStore};
+pub use wal::{
+    crc32, crc32_begin, crc32_finish, crc32_update, decode_frame, encode_commit_frame,
+    encode_frame, encode_header, encode_page_frame, scan_log, FrameDecode, ScanOutcome, WalFrame,
+    WalStats, FRAME_COMMIT, FRAME_HEADER, FRAME_PAGE, WAL_HEADER, WAL_MAGIC, WAL_VERSION,
+};

@@ -4,6 +4,7 @@
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::sync::RwLock;
 
@@ -40,9 +41,14 @@ pub trait PageStore: Send + Sync {
 /// An in-memory page store. Used by tests and by query benchmarks, where
 /// "disk reads" are counted logically and real disk latency would only add
 /// noise.
+///
+/// Cloning shares the underlying pages: crash-recovery tests keep a
+/// clone, "lose power" on the [`crate::PageFile`], and reopen a fresh
+/// pager over the very same surviving bytes.
+#[derive(Clone)]
 pub struct MemPageStore {
     page_size: usize,
-    pages: RwLock<Vec<u8>>,
+    pages: Arc<RwLock<Vec<u8>>>,
 }
 
 impl MemPageStore {
@@ -51,7 +57,7 @@ impl MemPageStore {
         assert!(page_size >= 64, "page size {page_size} is unusably small");
         MemPageStore {
             page_size,
-            pages: RwLock::new(Vec::new()),
+            pages: Arc::new(RwLock::new(Vec::new())),
         }
     }
 
@@ -254,6 +260,18 @@ mod tests {
     #[test]
     fn mem_store_basics() {
         exercise(&MemPageStore::new(256));
+    }
+
+    #[test]
+    fn mem_store_clones_share_pages() {
+        let a = MemPageStore::new(128);
+        let b = a.clone();
+        a.grow(2).unwrap();
+        a.write_page(1, &[3u8; 128]).unwrap();
+        assert_eq!(b.num_pages(), 2);
+        let mut buf = vec![0u8; 128];
+        b.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 3));
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl Fleet {
     }
 }
 
-fn check_answer(
+/// Compare one query answer against the oracle's: equal length, dist²
+/// within [`DIST2_TOL`] rank by rank, and (optionally) identical id
+/// lists. Shared by the differential executor and the crash-recovery
+/// harness.
+pub fn check_answer(
     structure: &'static str,
     got: &[Neighbor],
     want: &[Neighbor],

@@ -13,6 +13,10 @@
 //!   the oracle, run each crate's invariant `verify` on an interval,
 //!   and on failure shrink the tape and print a replayable `SEED=`
 //!   line;
+//! * [`crash`] — the crash-point recovery harness: a fault-wrapped
+//!   store pair whose surviving bytes can be reopened like a process
+//!   restart, one [`AnyTree`] API over the four dynamic structures,
+//!   and oracle-exact recovery checking ([`matches_model`]);
 //! * [`TempDir`] — a scoped temp-directory guard for tests that touch
 //!   real files;
 //! * fault injection — re-exported from `sr_pager` ([`FaultInjector`],
@@ -25,13 +29,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod diff;
 pub mod model;
 pub mod tempdir;
 pub mod workload;
 
+pub use crash::{
+    faulted_parts, matches_model, reopen, AnyTree, SharedParts, TreeKind, DYNAMIC_KINDS,
+};
 pub use diff::{
-    failure_report, minimize, run_tape, seed_line, DiffConfig, DiffReport, Divergence, DIST2_TOL,
+    check_answer, failure_report, minimize, run_tape, seed_line, DiffConfig, DiffReport,
+    Divergence, DIST2_TOL,
 };
 pub use model::Model;
 pub use sr_pager::{FaultHandle, FaultInjector, FaultKind, FaultStats};

@@ -12,7 +12,7 @@ use srtree::dataset::{sample_queries, uniform};
 use srtree::exec::{run_knn_batch, ExecError};
 use srtree::geometry::Point;
 use srtree::kdbtree::KdbTree;
-use srtree::pager::{FaultInjector, MemPageStore, PageFile, PagerError};
+use srtree::pager::{FaultInjector, MemLogStore, MemPageStore, PageFile, PagerError};
 use srtree::query::{IndexError, SpatialIndex};
 use srtree::rstar::RstarTree;
 use srtree::sstree::SsTree;
@@ -131,8 +131,11 @@ fn batch_io_window_stays_exact_at_t8() {
 #[test]
 fn injected_read_fault_is_typed_and_does_not_poison_the_pool() {
     let points = uniform(1_000, DIM, 0xFA17);
-    let (store, faults) = FaultInjector::wrap(Box::new(MemPageStore::new(PAGE_SIZE)));
-    let pf = PageFile::create_from_store(store).unwrap();
+    let (store, log, faults) = FaultInjector::wrap_parts(
+        Box::new(MemPageStore::new(PAGE_SIZE)),
+        Box::new(MemLogStore::new()),
+    );
+    let pf = PageFile::create_from_parts(store, log).unwrap();
     let mut tree = SrTree::create_from(pf, DIM, DATA_AREA).unwrap();
     for (i, p) in points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).unwrap();

@@ -1,16 +1,23 @@
 //! Tier-1 fault injection: the pager's `FaultInjector` fails chosen
 //! reads/writes, tears writes mid-page, and cuts off all I/O at a crash
 //! point. Every injected fault must surface as a typed `Err` — never a
-//! panic — and a file that took faults mid-update must, on reopen,
-//! either verify clean or fail with a typed corruption error.
+//! panic — and, now that the pager journals every mutation through a
+//! write-ahead log, a file that took faults after a flush must reopen
+//! to *exactly* the flushed state: uncommitted and torn log tails are
+//! discarded by replay, never served.
 //!
-//! The cache is disabled (`set_cache_capacity(0)`) throughout so every
-//! logical page access is a physical store op and the armed fault fires
-//! inside the operation that caused it.
+//! The fault layer wraps both halves of the pager (`wrap_parts`): page
+//! store and log store share one fault state, so write/read budgets
+//! count WAL appends too. The cache is disabled
+//! (`set_cache_capacity(0)`) where a fault must fire inside the
+//! operation that caused it. The exhaustive every-I/O-point sweep lives
+//! in `tests/crash_recovery.rs`; these tests pin targeted shapes.
 
 use sr_testkit::{FaultHandle, FaultInjector, FaultKind, TempDir};
 use srtree::dataset::uniform;
-use srtree::pager::{FilePageStore, MemPageStore, PageFile, PagerError};
+use srtree::pager::{
+    wal_file_path, FileLogStore, FilePageStore, MemLogStore, MemPageStore, PageFile, PagerError,
+};
 use srtree::tree::{verify, SrOptions, SrTree, TreeError};
 
 const DIM: usize = 4;
@@ -27,10 +34,27 @@ fn split_opts() -> SrOptions {
     }
 }
 
-/// An SR-tree over a fault-wrapped in-memory store, cache off.
+/// An SR-tree over a fault-wrapped in-memory store pair (page store
+/// *and* WAL share the fault state), cache off.
 fn faulty_mem_tree() -> (SrTree, FaultHandle) {
-    let (store, handle) = FaultInjector::wrap(Box::new(MemPageStore::new(PAGE)));
-    let pf = PageFile::create_from_store(store).unwrap();
+    let (store, log, handle) = FaultInjector::wrap_parts(
+        Box::new(MemPageStore::new(PAGE)),
+        Box::new(MemLogStore::new()),
+    );
+    let pf = PageFile::create_from_parts(store, log).unwrap();
+    pf.set_cache_capacity(0).unwrap();
+    let tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+    (tree, handle)
+}
+
+/// An SR-tree over fault-wrapped *file* stores (pages + WAL file), so a
+/// later `PageFile::open(path)` exercises the real on-disk replay path.
+fn faulty_file_tree(path: &std::path::Path) -> (SrTree, FaultHandle) {
+    let (store, log, handle) = FaultInjector::wrap_parts(
+        Box::new(FilePageStore::create(path, PAGE).unwrap()),
+        Box::new(FileLogStore::create(&wal_file_path(path)).unwrap()),
+    );
+    let pf = PageFile::create_from_parts(store, log).unwrap();
     pf.set_cache_capacity(0).unwrap();
     let tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
     (tree, handle)
@@ -128,90 +152,51 @@ fn read_failure_during_query_is_clean_and_clears() {
     );
 }
 
-/// Outcome of reopening a file that took faults mid-update. Allowed:
-/// the tree verifies clean (recovery), `verify` reports the corruption,
-/// or open itself fails with a typed error. A panic anywhere, or a
-/// corruption report when `must_recover` says the on-disk state was
-/// never touched after the last flush, fails the test.
-fn check_reopen(path: &std::path::Path, max_len: u64, must_recover: bool, what: &str) {
+/// Reopen a file that took faults after a flush. The WAL's contract is
+/// unconditional: replay discards everything uncommitted and the tree
+/// comes back *exactly* as last flushed — verifying clean, at
+/// `want_len` entries, without panicking anywhere on the way.
+fn check_reopen_exact(path: &std::path::Path, want_len: u64, what: &str) {
     let reopened = std::panic::catch_unwind(|| {
         let pf = PageFile::open(path)?;
         pf.set_cache_capacity(0)?;
         let tree = SrTree::open_from(pf)?;
-        // Verify (and one probe query) inside the catch: corruption must
-        // be *reported*, not panicked on.
         let verdict = verify::check(&tree).map(|_| tree.len());
-        Ok::<_, TreeError>((verdict, tree))
+        Ok::<_, TreeError>(verdict)
     });
     let result = match reopened {
         Ok(r) => r,
         Err(_) => panic!("{what}: reopen panicked instead of returning a typed error"),
     };
     match result {
-        Ok((Ok(len), _tree)) => {
-            // Recovered to a fully verifiable tree; it cannot claim
-            // entries that were never durably inserted.
-            assert!(len <= max_len, "{what}: len {len} > {max_len}");
-        }
-        Ok((Err(report), _tree)) => {
-            // Typed corruption report from the invariant checker.
-            assert!(
-                !report.to_string().is_empty(),
-                "{what}: empty corruption report"
-            );
-            assert!(
-                !must_recover,
-                "{what}: no write hit disk after the last flush, yet verify failed: {report}"
-            );
-        }
-        Err(TreeError::Pager(e)) => {
-            // Typed corruption/IO error: fine, as long as it is not the
-            // injector's own variant leaking through a clean store.
-            assert!(
-                !matches!(e, PagerError::Injected { .. }),
-                "{what}: reopen through a clean store reported an injected fault"
-            );
-            assert!(!must_recover, "{what}: untouched file failed to open: {e}");
-        }
-        Err(TreeError::NotThisIndex(msg)) => {
-            // Typed: the header never made it down intact.
-            assert!(
-                !must_recover,
-                "{what}: untouched file failed to open: {msg}"
-            );
-        }
-        Err(other) => panic!("{what}: unexpected error kind: {other}"),
+        Ok(Ok(len)) => assert_eq!(
+            len, want_len,
+            "{what}: recovered to the wrong state (want the last flush)"
+        ),
+        Ok(Err(report)) => panic!("{what}: replay must recover the flushed tree, got: {report}"),
+        Err(e) => panic!("{what}: replay must recover the flushed tree, got: {e}"),
     }
 }
 
 #[test]
-fn crash_mid_update_then_reopen_recovers_or_errors_typed() {
+fn crash_mid_update_then_reopen_recovers_the_flushed_state() {
     let points = uniform(300, DIM, 707);
     for crash_after in [3u64, 40, 200, 900] {
         let dir = TempDir::new("sr-fault-crash").unwrap();
         let path = dir.file("crash.pages");
-        let inserted;
-        let must_recover;
         {
-            let store = FilePageStore::create(&path, PAGE).unwrap();
-            let (store, handle) = FaultInjector::wrap(Box::new(store));
-            let pf = PageFile::create_from_store(store).unwrap();
-            pf.set_cache_capacity(0).unwrap();
-            let mut tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+            let (mut tree, handle) = faulty_file_tree(&path);
             // A durable prefix, flushed before the crash is armed.
-            let mut ok = 0u64;
             for (i, p) in points.iter().take(60).enumerate() {
                 tree.insert(p.clone(), i as u64).unwrap();
-                ok += 1;
             }
             tree.flush().unwrap();
-            let writes_at_flush = handle.stats().writes;
 
             handle.crash_after(crash_after);
             let mut saw_cutoff = false;
             for (i, p) in points.iter().enumerate().skip(60) {
                 match tree.insert(p.clone(), i as u64) {
-                    Ok(()) => ok += 1,
+                    Ok(()) => {}
                     Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
                         assert_eq!(kind, FaultKind::Crash);
                         saw_cutoff = true;
@@ -224,21 +209,14 @@ fn crash_mid_update_then_reopen_recovers_or_errors_typed() {
             }
             assert!(saw_cutoff, "crash_after={crash_after}: cutoff never fired");
             assert!(handle.crashed());
-            // If the crash cut in before any post-flush write reached
-            // the store, the durable state is exactly the flushed tree
-            // and reopen MUST recover it.
-            must_recover = handle.stats().writes == writes_at_flush;
-            // Post-crash the handle is dead for writes: flush errors
-            // (or silently drops cached state), it must not panic.
+            // Post-crash the handle is dead for writes: flush errors, it
+            // must not panic — and, critically, it must not commit the
+            // uncommitted tail it can no longer write.
             let _ = tree.flush();
-            inserted = ok;
-        } // drop releases the file handle; Drop paths must stay quiet
-        check_reopen(
-            &path,
-            inserted + 1,
-            must_recover,
-            &format!("crash_after={crash_after}"),
-        );
+        } // drop releases the file handles; Drop paths must stay quiet
+          // Everything after the flush was uncommitted WAL tail; replay
+          // drops it and serves exactly the 60 flushed entries.
+        check_reopen_exact(&path, 60, &format!("crash_after={crash_after}"));
     }
 }
 
@@ -249,9 +227,10 @@ fn flush_write_failure_surfaces_as_err_and_clears() {
     for (i, p) in points.iter().enumerate() {
         tree.insert(p.clone(), i as u64).unwrap();
     }
-    // The next write the flush performs (the meta page, since the cache
-    // is write-through) is faulted: flush must return the typed
-    // injected error, not panic or swallow it.
+    // The next write the flush performs (the meta page's WAL append —
+    // the tree meta is dirty and gets journaled before the commit
+    // marker) is faulted: flush must return the typed injected error,
+    // not panic or swallow it.
     handle.fail_nth_write(0);
     match tree.flush() {
         Err(TreeError::Pager(PagerError::Injected { kind, .. })) => {
@@ -261,7 +240,9 @@ fn flush_write_failure_surfaces_as_err_and_clears() {
         Err(other) => panic!("unexpected error kind: {other}"),
     }
     handle.clear();
-    // A clean retry succeeds, and the tree is still fully usable.
+    // A clean retry succeeds — the failed append never advanced the
+    // log's length, so the retry overwrites it at the same offset — and
+    // the tree is still fully usable.
     tree.flush().unwrap();
     assert_eq!(tree.len(), points.len() as u64);
     tree.knn(points[0].coords(), 3).unwrap();
@@ -323,19 +304,17 @@ fn corrupt_header_variants_error_typed_not_panic() {
 }
 
 #[test]
-fn torn_write_then_reopen_recovers_or_errors_typed() {
+fn torn_write_then_reopen_recovers_the_flushed_state() {
     let points = uniform(300, DIM, 709);
-    // Tear a write during insert volume at several points, keeping only
-    // a prefix of the page: simulates a power cut mid-sector.
+    // Tear a WAL append at several points, keeping only a byte prefix:
+    // simulates a power cut mid-sector. The torn bytes land past the
+    // log's committed length (a failed append never advances it), so
+    // replay must treat them as tail garbage.
     for (nth, keep) in [(0u64, 13usize), (5, 100), (11, PAGE / 2)] {
         let dir = TempDir::new("sr-fault-torn").unwrap();
         let path = dir.file("torn.pages");
         {
-            let store = FilePageStore::create(&path, PAGE).unwrap();
-            let (store, handle) = FaultInjector::wrap(Box::new(store));
-            let pf = PageFile::create_from_store(store).unwrap();
-            pf.set_cache_capacity(0).unwrap();
-            let mut tree = SrTree::create_with_options(pf, DIM, DATA_AREA, split_opts()).unwrap();
+            let (mut tree, handle) = faulty_file_tree(&path);
             for (i, p) in points.iter().take(80).enumerate() {
                 tree.insert(p.clone(), i as u64).unwrap();
             }
@@ -356,9 +335,11 @@ fn torn_write_then_reopen_recovers_or_errors_typed() {
             }
             assert!(torn, "torn nth={nth}: the armed torn write never fired");
             assert_eq!(handle.stats().torn_writes, 1);
-            handle.clear();
-            let _ = tree.flush();
+            // A torn write is a power cut: the process does no further
+            // I/O. Latch everything off so the handle's Drop-flush
+            // cannot commit the partial state.
+            handle.crash_after(0);
         }
-        check_reopen(&path, 300, false, &format!("torn nth={nth} keep={keep}"));
+        check_reopen_exact(&path, 80, &format!("torn nth={nth} keep={keep}"));
     }
 }

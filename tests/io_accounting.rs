@@ -167,6 +167,56 @@ fn concurrent_accounting_warm_pool() {
     assert!(s.cache_hits() > 0, "a pool larger than the file must hit");
 }
 
+/// The accounting invariants hold on a pager that *replayed* its WAL at
+/// open. A crashed checkpoint (commit marker durable, store sync
+/// failed) leaves committed frames in the log; the reopen reapplies
+/// them — replay I/O is recovery work, not query work, so the counters
+/// start at zero and `misses == physical_reads` must hold from the
+/// first recovered query on.
+#[test]
+fn windowed_accounting_survives_a_wal_replay() {
+    use sr_testkit::{faulted_parts, reopen};
+    use srtree::pager::PageFile;
+
+    let (store, log, handle, shared) = faulted_parts(4096);
+    let pf = PageFile::create_from_parts(store, log).unwrap();
+    let mut tree = SrTree::create_from(pf, 8, 64).unwrap();
+    let points = uniform(500, 8, 23);
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p.clone(), i as u64).unwrap();
+    }
+    // Fail the checkpoint's *store* sync (the second sync of this flush,
+    // after the log's commit barrier): the commit is durable, the
+    // checkpoint is not, and the log never truncates.
+    handle.crash_at_sync(1);
+    assert!(tree.flush().is_err(), "the crashed checkpoint must surface");
+    drop(tree);
+
+    let pf = reopen(&shared).expect("reopen must replay the committed log");
+    let ws = pf.wal_stats();
+    assert_eq!(ws.replays, 1, "this open must have replayed: {ws:?}");
+    assert!(
+        ws.replayed_frames > 0,
+        "the commit must carry frames: {ws:?}"
+    );
+    assert_eq!(
+        (ws.dropped_frames, ws.torn_tails),
+        (0, 0),
+        "a clean post-commit tail has nothing to drop: {ws:?}"
+    );
+    let s = pf.stats();
+    assert_eq!(
+        (s.physical_reads(), s.physical_writes()),
+        (0, 0),
+        "replay I/O is recovery work and must not pollute query accounting"
+    );
+
+    let tree = SrTree::open_from(pf).unwrap();
+    assert_eq!(tree.len(), 500, "every committed insert must survive");
+    check_invariants_at_capacity(&tree, 2);
+    check_invariants_at_capacity(&tree, 0);
+}
+
 #[test]
 fn windowed_accounting_large_pool_absorbs_reads() {
     let tree = build_tree(500, 8);

@@ -1,0 +1,195 @@
+//! WAL frame-format contract, exercised through the public `srtree`
+//! facade: encode/decode round-trips, checksum rejection of *every*
+//! single-bit corruption of a seeded frame corpus, and the
+//! empty/partial-tail shapes replay must classify as cleanly truncated
+//! rather than corrupt.
+//!
+//! These are black-box guarantees downstream tooling may rely on (a
+//! future `srtool wal-dump`, external recovery audits), so they pin the
+//! byte-level format — not just the behavior of `sr_pager`'s own
+//! replay, which `tests/crash_recovery.rs` covers end to end.
+
+use srtree::pager::{
+    crc32, decode_frame, encode_commit_frame, encode_frame, encode_header, encode_page_frame,
+    scan_log, FrameDecode, WalFrame, FRAME_HEADER, WAL_HEADER, WAL_MAGIC, WAL_VERSION,
+};
+
+/// Small page size keeps the bit-flip sweep (8 positions per byte per
+/// frame) fast while still covering header, checksum, and payload.
+const PAGE: usize = 64;
+const EPOCH: u64 = 7;
+
+/// Deterministic byte soup (xorshift64*), so the corpus is seeded and
+/// reproducible without any RNG dependency.
+fn pseudo_bytes(n: usize, mut seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// The seeded corpus: page frames over varied images and ids, plus
+/// commit markers at varied sequence numbers.
+fn corpus() -> Vec<(WalFrame, Vec<u8>)> {
+    let mut frames = Vec::new();
+    for (i, seed) in [0x1u64, 0xDEAD_BEEF, 0xFFFF_FFFF_FFFF_FFFF]
+        .iter()
+        .enumerate()
+    {
+        let image = pseudo_bytes(PAGE, *seed);
+        let frame = WalFrame::Page {
+            id: i as u64 * 1000 + 3,
+            image: image.clone(),
+        };
+        let bytes = encode_page_frame(i as u64 * 1000 + 3, &image, EPOCH).unwrap();
+        frames.push((frame, bytes));
+    }
+    for seq in [0u64, 1, u64::MAX] {
+        let frame = WalFrame::Commit { seq };
+        let bytes = encode_commit_frame(seq, EPOCH).unwrap();
+        frames.push((frame, bytes));
+    }
+    frames
+}
+
+#[test]
+fn frames_round_trip_bit_exactly() {
+    for (frame, bytes) in corpus() {
+        // The two encoders agree byte for byte.
+        assert_eq!(bytes, encode_frame(&frame, EPOCH).unwrap());
+        match decode_frame(&bytes, EPOCH, PAGE) {
+            FrameDecode::Frame(decoded, used) => {
+                assert_eq!(decoded, frame);
+                assert_eq!(used, bytes.len(), "frame must consume exactly its bytes");
+            }
+            other => panic!("round trip failed for {frame:?}: {other:?}"),
+        }
+        // Trailing bytes after a frame belong to the next record and
+        // must not change the decode.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0xAB; 7]);
+        assert!(
+            matches!(decode_frame(&padded, EPOCH, PAGE), FrameDecode::Frame(_, used) if used == bytes.len())
+        );
+    }
+}
+
+/// Every single-bit flip anywhere in a frame — kind, id, length,
+/// checksum, payload — must be rejected. Nothing may decode to a valid
+/// frame, because replay trusts whatever decodes.
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    for (frame, bytes) in corpus() {
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                match decode_frame(&flipped, EPOCH, PAGE) {
+                    FrameDecode::Corrupt => {}
+                    other => panic!(
+                        "{frame:?}: flip of byte {byte} bit {bit} was not rejected: {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A frame checksummed under one epoch must not validate under another:
+/// stale frames surviving a truncation at the same byte offset are
+/// indistinguishable from live ones except by epoch salt.
+#[test]
+fn frames_do_not_validate_under_a_different_epoch() {
+    for (frame, bytes) in corpus() {
+        assert_eq!(
+            decode_frame(&bytes, EPOCH + 1, PAGE),
+            FrameDecode::Corrupt,
+            "{frame:?} validated under a stale epoch"
+        );
+    }
+}
+
+/// Empty buffers and every strict prefix of a frame are `Incomplete` —
+/// the cleanly-truncated-tail shape replay discards without complaint —
+/// never `Corrupt` and never a spurious `Frame`.
+#[test]
+fn empty_and_partial_tails_are_incomplete() {
+    assert_eq!(decode_frame(&[], EPOCH, PAGE), FrameDecode::Incomplete);
+    let (_, bytes) = &corpus()[0];
+    for cut in 0..bytes.len() {
+        // A prefix cut inside the 17-byte header can never name a
+        // length, so it is always Incomplete; a cut inside the payload
+        // is Incomplete because the header's length outruns the buffer.
+        assert_eq!(
+            decode_frame(&bytes[..cut], EPOCH, PAGE),
+            FrameDecode::Incomplete,
+            "prefix of {cut} bytes misclassified"
+        );
+    }
+}
+
+/// The header round-trips, self-checksums, and pins magic/version.
+#[test]
+fn header_layout_is_pinned() {
+    let h = encode_header(PAGE, EPOCH).unwrap();
+    assert_eq!(h.len(), WAL_HEADER);
+    assert_eq!(u32::from_le_bytes(h[0..4].try_into().unwrap()), WAL_MAGIC);
+    assert_eq!(u32::from_le_bytes(h[4..8].try_into().unwrap()), WAL_VERSION);
+    assert_eq!(
+        u32::from_le_bytes(h[8..12].try_into().unwrap()),
+        PAGE as u32
+    );
+    assert_eq!(u64::from_le_bytes(h[12..20].try_into().unwrap()), EPOCH);
+    assert_eq!(
+        u32::from_le_bytes(h[20..24].try_into().unwrap()),
+        crc32(&h[..20])
+    );
+}
+
+/// Whole-log scans: uncommitted frames drop, commit markers seal, torn
+/// tails stop the scan, and a stale-epoch generation yields nothing.
+#[test]
+fn scan_log_classifies_tails() {
+    let image_a = pseudo_bytes(PAGE, 11);
+    let image_b = pseudo_bytes(PAGE, 22);
+    let mut log = encode_header(PAGE, EPOCH).unwrap();
+    log.extend(encode_page_frame(4, &image_a, EPOCH).unwrap());
+    log.extend(encode_commit_frame(1, EPOCH).unwrap());
+    log.extend(encode_page_frame(9, &image_b, EPOCH).unwrap());
+    let sealed_len = log.len();
+
+    // Frame 9 is unsealed: it must drop, not replay.
+    let scan = scan_log(&log, PAGE).unwrap();
+    assert_eq!(scan.committed, vec![(4, image_a.clone())]);
+    assert_eq!((scan.commits, scan.dropped_frames), (1, 1));
+    assert!(!scan.torn_tail, "a clean frame boundary is not a tear");
+    assert_eq!(scan.header_epoch, EPOCH);
+
+    // A torn half-frame after it marks the tail torn; the committed
+    // prefix still replays.
+    log.extend_from_slice(&encode_commit_frame(2, EPOCH).unwrap()[..FRAME_HEADER / 2]);
+    let scan = scan_log(&log, PAGE).unwrap();
+    assert_eq!(scan.committed, vec![(4, image_a.clone())]);
+    assert!(scan.torn_tail);
+    log.truncate(sealed_len);
+
+    // The same bytes under last generation's epoch: everything is
+    // stale, nothing replays, and the next epoch must move past it.
+    let stale = scan_log(&log, PAGE).unwrap();
+    assert_eq!(stale.header_epoch, EPOCH);
+    let mut relabeled = encode_header(PAGE, EPOCH + 1).unwrap();
+    relabeled.extend_from_slice(&log[WAL_HEADER..]);
+    let scan = scan_log(&relabeled, PAGE).unwrap();
+    assert!(scan.committed.is_empty(), "stale frames must not replay");
+    assert!(scan.torn_tail, "stale frames read as a torn tail");
+
+    // An empty log and a garbage header both degrade to no-op recovery.
+    assert_eq!(scan_log(&[], PAGE).unwrap().committed.len(), 0);
+    let garbage = pseudo_bytes(WAL_HEADER, 33);
+    let scan = scan_log(&garbage, PAGE).unwrap();
+    assert!(scan.committed.is_empty() && scan.torn_tail);
+}
