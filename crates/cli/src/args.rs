@@ -173,7 +173,14 @@ pub enum Command {
         verify_every: usize,
     },
     /// Run the srlint static-analysis pass over the workspace.
-    Lint { json: bool, root: Option<PathBuf> },
+    Lint {
+        json: bool,
+        root: Option<PathBuf>,
+        /// Keep only one family (`L7`) or exact rule (`L7/unguarded-access`).
+        rule: Option<String>,
+        /// Append a one-line run summary (files, findings, elapsed ms).
+        stats: bool,
+    },
 }
 
 /// Parse `argv[1..]`.
@@ -269,7 +276,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
         "fuzz" => parse_fuzz(&rest),
         "lint" => {
             let mut json = false;
+            let mut stats = false;
             let mut root = None;
+            let mut rule = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
@@ -277,20 +286,47 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                         json = true;
                         i += 1;
                     }
+                    "--stats" => {
+                        stats = true;
+                        i += 1;
+                    }
                     "--root" => {
                         let v = rest.get(i + 1).ok_or(ArgError::MissingValue("--root"))?;
                         root = Some(PathBuf::from(v));
                         i += 2;
                     }
+                    "--rule" => {
+                        let v = rest.get(i + 1).ok_or(ArgError::MissingValue("--rule"))?;
+                        let family = v.split('/').next().unwrap_or("");
+                        if !sr_lint::RULE_FAMILIES.contains(&family) {
+                            return Err(ArgError::BadValue {
+                                flag: "--rule",
+                                detail: format!(
+                                    "{v:?} names no rule family (expected one of {})",
+                                    sr_lint::RULE_FAMILIES.join(", ")
+                                ),
+                            });
+                        }
+                        rule = Some((*v).to_string());
+                        i += 2;
+                    }
                     other => {
                         return Err(ArgError::BadValue {
                             flag: "lint",
-                            detail: format!("unknown argument {other:?} (--json, --root <dir>)"),
+                            detail: format!(
+                                "unknown argument {other:?} (--json, --root <dir>, --rule <id>, \
+                                 --stats)"
+                            ),
                         })
                     }
                 }
             }
-            Ok(Command::Lint { json, root })
+            Ok(Command::Lint {
+                json,
+                root,
+                rule,
+                stats,
+            })
         }
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
@@ -698,16 +734,40 @@ mod tests {
             p(&["lint"]).unwrap(),
             Command::Lint {
                 json: false,
-                root: None
+                root: None,
+                rule: None,
+                stats: false,
             }
         );
         assert_eq!(
             p(&["lint", "--json", "--root", "/tmp/ws"]).unwrap(),
             Command::Lint {
                 json: true,
-                root: Some(PathBuf::from("/tmp/ws"))
+                root: Some(PathBuf::from("/tmp/ws")),
+                rule: None,
+                stats: false,
             }
         );
+        assert_eq!(
+            p(&["lint", "--rule", "L7", "--stats"]).unwrap(),
+            Command::Lint {
+                json: false,
+                root: None,
+                rule: Some("L7".to_string()),
+                stats: true,
+            }
+        );
+        assert_eq!(
+            p(&["lint", "--rule", "L7/unguarded-access"]).unwrap(),
+            Command::Lint {
+                json: false,
+                root: None,
+                rule: Some("L7/unguarded-access".to_string()),
+                stats: false,
+            }
+        );
+        assert!(p(&["lint", "--rule", "L9"]).is_err());
+        assert!(p(&["lint", "--rule"]).is_err());
         assert!(p(&["lint", "--frobnicate"]).is_err());
     }
 

@@ -472,14 +472,24 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
                 }
             }
         }
-        Command::Lint { json, root } => {
+        Command::Lint {
+            json,
+            root,
+            rule,
+            stats,
+        } => {
             let root = root
                 .or_else(|| {
                     let cwd = std::env::current_dir().ok()?;
                     sr_lint::find_workspace_root(&cwd)
                 })
                 .ok_or_else(|| "no workspace root found (pass --root)".to_string())?;
-            let report = sr_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+            let started = std::time::Instant::now();
+            let mut report = sr_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+            let elapsed_ms = started.elapsed().as_millis();
+            if let Some(r) = &rule {
+                report.retain_rule(r);
+            }
             if json {
                 write!(out, "{}", report.to_json()).map_err(|e| e.to_string())?;
             } else {
@@ -491,6 +501,25 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
                     "srlint: {} violation(s), {} escape hatch(es) in use",
                     report.diagnostics.len(),
                     report.hatches_used
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            if stats {
+                let per_rule: Vec<String> = report
+                    .family_counts()
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(fam, n)| format!("{fam}={n}"))
+                    .collect();
+                let findings = if per_rule.is_empty() {
+                    "none".to_string()
+                } else {
+                    per_rule.join(" ")
+                };
+                writeln!(
+                    out,
+                    "srlint-stats: files={} findings: {} elapsed_ms={}",
+                    report.files_scanned, findings, elapsed_ms
                 )
                 .map_err(|e| e.to_string())?;
             }

@@ -231,3 +231,79 @@ fn missing_data_file_exits_1() {
     assert!(stderr.contains("nope.tsv"), "{stderr}");
     std::fs::remove_file(&index).ok();
 }
+
+#[test]
+fn lint_rejects_unknown_rule_family() {
+    let out = srtool(&["lint", "--rule", "L9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("L9"), "{stderr}");
+    assert!(matches!(
+        parse_err(&["lint", "--rule", "L9"]),
+        ArgError::BadValue { flag: "--rule", .. }
+    ));
+    assert!(matches!(
+        parse_err(&["lint", "--rule"]),
+        ArgError::MissingValue("--rule")
+    ));
+}
+
+#[test]
+fn lint_rule_filter_and_stats_line() {
+    // The workspace is lint-clean, so a filtered run is clean too and
+    // the stats line reports the run shape.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let root = std::path::Path::new(root)
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let out = srtool(&[
+        "lint",
+        "--root",
+        root.to_str().unwrap(),
+        "--rule",
+        "L7",
+        "--stats",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("srlint: 0 violation(s)"), "{stdout}");
+    let stats_line = stdout
+        .lines()
+        .find(|l| l.starts_with("srlint-stats:"))
+        .expect("stats line present");
+    assert!(stats_line.contains("files="), "{stats_line}");
+    assert!(stats_line.contains("elapsed_ms="), "{stats_line}");
+    assert!(extract_u64(stats_line, "files=") > 100, "{stats_line}");
+}
+
+#[test]
+fn lint_json_reports_all_eight_families() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let root = std::path::Path::new(root)
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let out = srtool(&["lint", "--root", root.to_str().unwrap(), "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for fam in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"] {
+        assert!(
+            stdout.contains(&format!("\"{fam}\": 0")),
+            "{fam} missing: {stdout}"
+        );
+    }
+    assert!(stdout.contains("\"files_scanned\":"), "{stdout}");
+}

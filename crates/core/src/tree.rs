@@ -27,13 +27,14 @@ const META_VERSION: u32 = 1;
 
 /// A disk-based SR-tree over points — the paper's contribution: regions
 /// are the intersection of a bounding sphere and a bounding rectangle.
+// srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; params/root/height/count only change via &mut self (insert/delete), which the borrow checker serializes
 pub struct SrTree {
     pub(crate) pf: PageFile,
-    pub(crate) params: SrParams,
-    pub(crate) root: PageId,
+    pub(crate) params: SrParams, // srlint: guarded-by(owner)
+    pub(crate) root: PageId,     // srlint: guarded-by(owner)
     /// Number of levels; 1 means the root is a leaf.
-    pub(crate) height: u32,
-    pub(crate) count: u64,
+    pub(crate) height: u32, // srlint: guarded-by(owner)
+    pub(crate) count: u64,       // srlint: guarded-by(owner)
 }
 
 impl SrTree {

@@ -17,13 +17,14 @@ const META_VERSION: u32 = 1;
 
 /// A disk-based K-D-B-tree over points: disjoint subregions, forced
 /// splits, no minimum storage utilization.
+// srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; params/root/height/count only change via &mut self (insert/delete), which the borrow checker serializes
 pub struct KdbTree {
     pub(crate) pf: PageFile,
-    pub(crate) params: KdbParams,
-    pub(crate) root: PageId,
+    pub(crate) params: KdbParams, // srlint: guarded-by(owner)
+    pub(crate) root: PageId,      // srlint: guarded-by(owner)
     /// Number of levels; 1 means the root is a point page.
-    pub(crate) height: u32,
-    pub(crate) count: u64,
+    pub(crate) height: u32, // srlint: guarded-by(owner)
+    pub(crate) count: u64,        // srlint: guarded-by(owner)
 }
 
 impl KdbTree {

@@ -81,12 +81,45 @@ pub struct LockOrderDecl {
     pub line: u32,
 }
 
+/// One `// srlint: guarded-by(<lock>)` field annotation. Like a hatch it
+/// covers its own line (trailing comment) and the next code line
+/// (preceding comment); the L7 pass attaches it to the struct field
+/// declared on a covered line.
+#[derive(Clone, Debug)]
+pub struct GuardedByNote {
+    /// Name of the lock field (or the reserved class `owner`).
+    pub lock: String,
+    /// Lines the note covers: its own and the next code line.
+    pub covers: [u32; 2],
+    pub line: u32,
+    pub col: u32,
+    /// Set by L7 when the note attaches to a struct field.
+    pub used: bool,
+}
+
+/// One `// srlint: send-sync -- <reason>` note declaring why a type is
+/// safe to share across the executor's thread scope. The L8 pass
+/// attaches it to the struct whose span contains it (or that starts on
+/// the next code line).
+#[derive(Clone, Debug)]
+pub struct SendSyncNote {
+    /// Lines the note covers: its own and the next code line.
+    pub covers: [u32; 2],
+    pub line: u32,
+    pub col: u32,
+    pub reason: String,
+    /// Set by L8 when the note attaches to a struct.
+    pub used: bool,
+}
+
 /// A lexed source file.
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub hatches: Vec<Hatch>,
     pub ordering_notes: Vec<OrderingNote>,
     pub lock_orders: Vec<LockOrderDecl>,
+    pub guarded_notes: Vec<GuardedByNote>,
+    pub send_sync_notes: Vec<SendSyncNote>,
     /// Positions of comments that start with `srlint:` but do not parse
     /// as a well-formed directive.
     pub malformed_hatches: Vec<(u32, u32)>,
@@ -114,9 +147,14 @@ pub fn lex(src: &str) -> Lexed {
     let mut hatches: Vec<Hatch> = Vec::new();
     let mut ordering_notes: Vec<OrderingNote> = Vec::new();
     let mut lock_orders: Vec<LockOrderDecl> = Vec::new();
+    let mut guarded_notes: Vec<GuardedByNote> = Vec::new();
+    let mut send_sync_notes: Vec<SendSyncNote> = Vec::new();
     let mut malformed = Vec::new();
-    // Hatches waiting for the next token to learn which line they cover.
+    // Hatches and notes waiting for the next token to learn which line
+    // they cover.
     let mut pending: Vec<usize> = Vec::new();
+    let mut pending_guarded: Vec<usize> = Vec::new();
+    let mut pending_send_sync: Vec<usize> = Vec::new();
 
     let mut i = 0usize;
     let mut line = 1u32;
@@ -128,6 +166,14 @@ pub fn lex(src: &str) -> Lexed {
                 hatches[h].covers[1] = $line;
             }
             pending.clear();
+            for &g in &pending_guarded {
+                guarded_notes[g].covers[1] = $line;
+            }
+            pending_guarded.clear();
+            for &s in &pending_send_sync {
+                send_sync_notes[s].covers[1] = $line;
+            }
+            pending_send_sync.clear();
             tokens.push(Token {
                 kind: $kind,
                 text: $text,
@@ -184,6 +230,26 @@ pub fn lex(src: &str) -> Lexed {
                                 later,
                                 line: tl,
                             });
+                        }
+                        Some(Directive::GuardedBy(lock)) => {
+                            guarded_notes.push(GuardedByNote {
+                                lock,
+                                covers: [tl, tl],
+                                line: tl,
+                                col: tc,
+                                used: false,
+                            });
+                            pending_guarded.push(guarded_notes.len() - 1);
+                        }
+                        Some(Directive::SendSync(reason)) => {
+                            send_sync_notes.push(SendSyncNote {
+                                covers: [tl, tl],
+                                line: tl,
+                                col: tc,
+                                reason,
+                                used: false,
+                            });
+                            pending_send_sync.push(send_sync_notes.len() - 1);
                         }
                         None => malformed.push((tl, tc)),
                     }
@@ -310,6 +376,8 @@ pub fn lex(src: &str) -> Lexed {
         hatches,
         ordering_notes,
         lock_orders,
+        guarded_notes,
+        send_sync_notes,
         malformed_hatches: malformed,
         test_mask,
     }
@@ -320,10 +388,14 @@ enum Directive {
     Allow(String),
     Ordering(String),
     LockOrder(String, String),
+    GuardedBy(String),
+    SendSync(String),
 }
 
 /// Parse the tail of a `// srlint:` comment: `allow(<rule>) -- <reason>`,
-/// `ordering -- <reason>`, or `lock-order(<a> < <b>) -- <reason>`.
+/// `ordering -- <reason>`, `lock-order(<a> < <b>) -- <reason>`,
+/// `guarded-by(<lock>)` (self-documenting, no reason tail), or
+/// `send-sync -- <reason>`.
 fn parse_directive(rest: &str) -> Option<Directive> {
     let rest = rest.trim();
     if let Some(tail) = rest.strip_prefix("allow(") {
@@ -347,6 +419,23 @@ fn parse_directive(rest: &str) -> Option<Directive> {
         }
         reason_after(tail.get(close + 1..)?)?;
         return Some(Directive::LockOrder(a.to_string(), b.to_string()));
+    }
+    if let Some(tail) = rest.strip_prefix("guarded-by(") {
+        let close = tail.find(')')?;
+        let lock = tail.get(..close)?.trim();
+        if lock.is_empty() || !lock.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+        // The lock name is the documentation; no reason tail, and no
+        // trailing text either.
+        if !tail.get(close + 1..)?.trim().is_empty() {
+            return None;
+        }
+        return Some(Directive::GuardedBy(lock.to_string()));
+    }
+    if let Some(tail) = rest.strip_prefix("send-sync") {
+        let reason = reason_after(tail)?;
+        return Some(Directive::SendSync(reason));
     }
     if let Some(tail) = rest.strip_prefix("ordering") {
         let reason = reason_after(tail)?;
@@ -701,6 +790,51 @@ mod tests {
     fn lock_order_directive_without_reason_is_malformed() {
         let l = lex("// srlint: lock-order(meta < shard)\n");
         assert!(l.lock_orders.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn guarded_by_covers_next_code_line() {
+        let src = "// srlint: guarded-by(meta)\nfree_head: PageId,\n";
+        let l = lex(src);
+        assert_eq!(l.guarded_notes.len(), 1);
+        assert_eq!(l.guarded_notes[0].lock, "meta");
+        assert_eq!(l.guarded_notes[0].covers, [1, 2]);
+        assert!(!l.guarded_notes[0].used);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn guarded_by_trailing_comment_covers_own_line() {
+        let l = lex("free_head: PageId, // srlint: guarded-by(meta)\n");
+        assert_eq!(l.guarded_notes.len(), 1);
+        assert_eq!(l.guarded_notes[0].covers[0], 1);
+    }
+
+    #[test]
+    fn guarded_by_with_trailing_text_is_malformed() {
+        let l = lex("// srlint: guarded-by(meta) extra words\n");
+        assert!(l.guarded_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+        let l = lex("// srlint: guarded-by()\n");
+        assert!(l.guarded_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn send_sync_directive_parses_with_reason() {
+        let src = "// srlint: send-sync -- shards are lock-striped\npub struct PageFile {}\n";
+        let l = lex(src);
+        assert_eq!(l.send_sync_notes.len(), 1);
+        assert_eq!(l.send_sync_notes[0].reason, "shards are lock-striped");
+        assert_eq!(l.send_sync_notes[0].covers, [1, 2]);
+        assert!(!l.send_sync_notes[0].used);
+    }
+
+    #[test]
+    fn send_sync_without_reason_is_malformed() {
+        let l = lex("// srlint: send-sync\nstruct S {}\n");
+        assert!(l.send_sync_notes.is_empty());
         assert_eq!(l.malformed_hatches.len(), 1);
     }
 }

@@ -31,23 +31,39 @@
 //!   ([`errors`]) — `?` in public fns must convert into the function's
 //!   typed error through a `From` chain, typed errors must not be
 //!   silently swallowed, and `#[deprecated]` items expire after one PR.
+//! * **L7/unguarded-access, L7/bad-annotation, L7/unprotected-shared**
+//!   ([`guarded`]) — `// srlint: guarded-by(<lock>)` field annotations
+//!   checked against the L4 held-guard walk: every resolved access to a
+//!   guarded field must happen under its lock, annotations must name
+//!   real locks, and fields of thread-shared structs must be guarded,
+//!   atomic, or themselves audited.
+//! * **L8/unsafe-impl, L8/missing-note, L8/interior-mutability,
+//!   L8/send-sync-unused** ([`sendsync`]) — the Send/Sync boundary
+//!   audit: no hand-written `unsafe impl Send/Sync`, and every type
+//!   crossing the executor thread scope (or owning lock/atomic state)
+//!   carries a reasoned `// srlint: send-sync -- reason` note.
 //!
 //! The escape hatch is `// srlint: allow(<rule>) -- <reason>`, where
 //! `<rule>` is the rule id's tail (`panic`, `index`, `cast`,
 //! `error-type`, `dead-variant`, `lock-order`, `lock-io`,
-//! `lock-cycle`, `ordering`, `ordering-relaxed`, `ordering-unused`,
-//! `error-conversion`, `swallowed-error`, `stale-deprecated`). A hatch
-//! covers its own line and the next code line; unused or malformed
-//! hatches are themselves violations.
+//! `lock-cycle`, `guard-escape`, `ordering`, `ordering-relaxed`,
+//! `ordering-unused`, `error-conversion`, `swallowed-error`,
+//! `stale-deprecated`, `unguarded-access`, `bad-annotation`,
+//! `unprotected-shared`, `unsafe-impl`, `missing-note`,
+//! `interior-mutability`, `send-sync-unused`). A hatch covers its own
+//! line and the next code line; unused or malformed hatches are
+//! themselves violations.
 
 #![forbid(unsafe_code)]
 
 pub mod errors;
+pub mod guarded;
 pub mod lexer;
 pub mod locks;
 pub mod ordering;
 pub mod parser;
 pub mod rules;
+pub mod sendsync;
 
 use std::collections::HashSet;
 use std::fmt;
@@ -94,6 +110,8 @@ pub struct ParsedFile {
     pub path: String,
     pub lexed: Lexed,
     pub items: Vec<Item>,
+    /// Named-field structs with attached guarded-by notes (L7/L8).
+    pub structs: Vec<guarded::StructInfo>,
 }
 
 /// One lint finding.
@@ -133,17 +151,47 @@ pub struct CrateSources {
     pub files: Vec<SourceFile>,
 }
 
+/// The eight rule families, for per-family reporting and `--rule`.
+pub const RULE_FAMILIES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"];
+
 /// Result of a lint run.
 #[derive(Clone, Debug, Default)]
 pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Escape hatches that suppressed at least one finding.
     pub hatches_used: usize,
+    /// Source files lexed and parsed (lib crates + census extras).
+    pub files_scanned: usize,
 }
 
 impl LintReport {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Keep only diagnostics of one family (`L7`) or one exact rule id
+    /// (`L7/unguarded-access`). Hatch and file counts are unchanged —
+    /// they describe the run, not the filter.
+    pub fn retain_rule(&mut self, rule: &str) {
+        let prefix = format!("{rule}/");
+        self.diagnostics
+            .retain(|d| d.rule == rule || d.rule.starts_with(&prefix));
+    }
+
+    /// Findings per family, in [`RULE_FAMILIES`] order (zeros included
+    /// so CI gates can key on absent families).
+    pub fn family_counts(&self) -> Vec<(&'static str, usize)> {
+        RULE_FAMILIES
+            .iter()
+            .map(|fam| {
+                let n = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule.split('/').next() == Some(fam))
+                    .count();
+                (*fam, n)
+            })
+            .collect()
     }
 
     /// Machine-readable output for CI artifact upload.
@@ -167,9 +215,18 @@ impl LintReport {
             s.push_str("  ");
         }
         s.push_str(&format!(
-            "],\n  \"violation_count\": {},\n  \"hatches_used\": {}\n}}\n",
-            self.diagnostics.len(),
-            self.hatches_used
+            "],\n  \"violation_count\": {},\n  \"families\": {{",
+            self.diagnostics.len()
+        ));
+        for (i, (fam, n)) in self.family_counts().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{fam}\": {n}"));
+        }
+        s.push_str(&format!(
+            "}},\n  \"files_scanned\": {},\n  \"hatches_used\": {}\n}}\n",
+            self.files_scanned, self.hatches_used
         ));
         s
     }
@@ -204,17 +261,86 @@ struct CrateSpan {
     decls: Vec<(String, String)>,
 }
 
+/// Per-file output of the parallel lex/parse phase.
+struct Prepped {
+    lexed: Lexed,
+    items: Vec<Item>,
+    structs: Vec<guarded::StructInfo>,
+    has_alias: bool,
+    decls: Vec<(String, String)>,
+}
+
+/// Lex, parse, and struct-scan one source file. Pure per-file work —
+/// this is the unit the thread pool distributes.
+fn prep_file(source: &str) -> Prepped {
+    let mut lx = lexer::lex(source);
+    let has_alias = rules::has_result_alias(&lx);
+    let decls = lx
+        .lock_orders
+        .iter()
+        .map(|d| (d.earlier.clone(), d.later.clone()))
+        .collect();
+    let items = parser::parse(&lx.tokens);
+    let structs = guarded::collect_structs(&mut lx, &items);
+    Prepped {
+        lexed: lx,
+        items,
+        structs,
+        has_alias,
+        decls,
+    }
+}
+
+/// Run [`prep_file`] over every source, optionally across threads.
+/// Results land in input order regardless of thread count, so reports
+/// are byte-identical to a serial run.
+fn prep_all(jobs: &[&SourceFile], threads: usize) -> Vec<Prepped> {
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(|f| prep_file(&f.source)).collect();
+    }
+    let mut slots: Vec<Option<Prepped>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let chunk = jobs.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (job_chunk, slot_chunk) in jobs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (f, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(prep_file(&f.source));
+                }
+            });
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
 /// Lint a set of library crates. `extra_sources` (tests, benches, other
 /// crates) feed the L3 dead-variant construction census only.
+/// Single-threaded; see [`lint_crates_with`] for the parallel front
+/// half.
 pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> LintReport {
+    lint_crates_with(crates, extra_sources, 1)
+}
+
+/// [`lint_crates`] with the per-file lex/parse phase spread over up to
+/// `threads` OS threads. The analysis phases stay serial (they are
+/// cross-file); output is byte-identical for any thread count.
+pub fn lint_crates_with(
+    crates: &[CrateSources],
+    extra_sources: &[SourceFile],
+    threads: usize,
+) -> LintReport {
     let mut diags = Vec::new();
     let mut enums = Vec::new();
     let mut constructed: HashSet<(String, String)> = HashSet::new();
 
-    // Phase 1: lex and parse every file, building the workspace-wide
-    // context the scope-aware passes need — the I/O registry, the
-    // public-function error registry with its `From` chains, and each
-    // crate's lock-order declarations.
+    // Phase 1: lex and parse every file (in parallel — per-file work
+    // with no shared state), then fold the workspace-wide context the
+    // scope-aware passes need — the I/O registry, the public-function
+    // error registry with its `From` chains, and each crate's
+    // lock-order declarations.
+    let jobs: Vec<&SourceFile> = crates.iter().flat_map(|k| k.files.iter()).collect();
+    let mut prepped = prep_all(&jobs, threads).into_iter();
     let mut files: Vec<ParsedFile> = Vec::new();
     let mut spans: Vec<CrateSpan> = Vec::new();
     let mut io_fns: HashSet<String> = IO_FNS.iter().map(|s| (*s).to_string()).collect();
@@ -224,20 +350,16 @@ pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> Lin
         let mut has_alias = false;
         let mut decls = Vec::new();
         for file in &krate.files {
-            let lx = lexer::lex(&file.source);
-            has_alias |= rules::has_result_alias(&lx);
-            decls.extend(
-                lx.lock_orders
-                    .iter()
-                    .map(|d| (d.earlier.clone(), d.later.clone())),
-            );
-            let items = parser::parse(&lx.tokens);
-            collect_io_markers(&items, &mut io_fns);
+            let p = prepped.next().expect("one prep result per job");
+            has_alias |= p.has_alias;
+            decls.extend(p.decls);
+            collect_io_markers(&p.items, &mut io_fns);
             l2.push(file.l2);
             files.push(ParsedFile {
                 path: file.path.clone(),
-                lexed: lx,
-                items,
+                lexed: p.lexed,
+                items: p.items,
+                structs: p.structs,
             });
         }
         let alias_error = errors::crate_alias_error(&files[start..]);
@@ -257,6 +379,10 @@ pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> Lin
             &mut registry,
         );
     }
+    // Send-sync notes attach workspace-wide before the per-crate
+    // passes: a tree's `pf: PageFile` field is self-protecting only
+    // because the pager crate's note says so.
+    let noted = sendsync::collect_noted(&mut files);
 
     // Phase 2: run the per-crate passes.
     for span in &spans {
@@ -270,7 +396,9 @@ pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> Lin
             enums.extend(rules::collect_error_enums(&f.lexed, &f.path));
             rules::collect_constructions(&f.lexed, &mut constructed);
         }
-        locks::l4_locks(crate_files, &io_fns, &span.decls, &mut diags);
+        let classes = guarded::acquisition_classes(crate_files);
+        let maps = guarded::l7_annotations(crate_files, &classes, &mut diags);
+        locks::l4_locks(crate_files, &io_fns, &span.decls, &maps, &mut diags);
         for f in crate_files.iter_mut() {
             let accounting = ACCOUNTING_FILES.contains(&f.path.as_str());
             ordering::l5_ordering(&f.path, &mut f.lexed, &f.items, accounting, &mut diags);
@@ -282,6 +410,8 @@ pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> Lin
                 span.alias_error.as_deref(),
                 &mut diags,
             );
+            guarded::l7_unprotected(f, &noted, &mut diags);
+            sendsync::l8_boundary(f, &mut diags);
         }
     }
     for file in extra_sources {
@@ -294,10 +424,11 @@ pub fn lint_crates(crates: &[CrateSources], extra_sources: &[SourceFile]) -> Lin
         rules::hatch_hygiene(&f.lexed, &f.path, &mut diags);
         hatches_used += f.lexed.hatches.iter().filter(|h| h.used).count();
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     LintReport {
         diagnostics: diags,
         hatches_used,
+        files_scanned: files.len() + extra_sources.len(),
     }
 }
 
@@ -356,7 +487,10 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
             });
         }
     }
-    Ok(lint_crates(&crates, &extra))
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    Ok(lint_crates_with(&crates, &extra, threads))
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {

@@ -1,15 +1,17 @@
-//! L4 — lock-discipline analysis over the parsed item tree.
+//! L4 — lock-discipline analysis over the parsed item tree, plus the
+//! held-set walk the L7 guarded-by pass piggybacks on.
 //!
 //! The pass models guard lifetimes syntactically: a *binding* guard
 //! (`let g = x.lock();`, where the acquisition is the whole
 //! initializer) lives to the end of its enclosing block or an explicit
-//! `drop(g)`, whichever comes first; any other acquisition is a
-//! *temporary* guard that covers the rest of its statement. An
-//! acquisition is a zero-argument `.lock()` / `.read()` / `.write()`
-//! call; the lock *class* is the receiver name (`self.meta.lock()` →
-//! `meta`, `self.shard(id)?.lock()` → `shard`, `self.0.lock()` → `0`).
+//! `drop(g)`, whichever comes first; `let g2 = g;` moves the guard to
+//! the new name; any other acquisition is a *temporary* guard that
+//! covers the rest of its statement. An acquisition is a zero-argument
+//! `.lock()` / `.read()` / `.write()` call; the lock *class* is the
+//! receiver name (`self.meta.lock()` → `meta`, `self.shard(id)?.lock()`
+//! → `shard`, `self.0.lock()` → `0`).
 //!
-//! Three rules come out of the model:
+//! Four rules come out of the model:
 //!
 //! * **L4/lock-order** — acquiring class `a` while holding class `b`
 //!   when a `// srlint: lock-order(a < b) -- reason` declaration says
@@ -23,6 +25,20 @@
 //!   calls into functions that acquire locks; callees named `lock` /
 //!   `read` / `write` are skipped so the std-wrapper shims do not
 //!   alias every lock to their inner class).
+//! * **L4/guard-escape** — a guard that leaves its function: `return g`
+//!   / a bare `g` tail expression for a held binding, or an acquisition
+//!   in return/tail position. Functions named `lock`/`read`/`write`
+//!   (the std-wrapper shims, whose whole point is returning a guard)
+//!   are exempt.
+//!
+//! The walk also carries the L7 guarded-by field check ([`crate::guarded`]):
+//! at every field access whose receiver type is known (`self` inside an
+//! impl, a parameter typed as a guarded struct, a guard binding, or a
+//! fresh `.lock()` temporary), the field's declared lock must be in the
+//! held set. A function taking a guarded struct by reference starts
+//! with that struct's locks *assumed* held — handing out `&MetaState`
+//! is only possible while `meta` is locked — and assumed guards do not
+//! feed order checks or the acquisition graph.
 //!
 //! Known approximation, by convention rather than analysis: `drop(g)`
 //! releases the guard for the remainder of the function even when the
@@ -31,12 +47,13 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
+use crate::guarded::FieldMaps;
 use crate::lexer::{Kind, Lexed, Token};
 use crate::parser::{Block, Item, ItemKind, Stmt};
 use crate::{Diagnostic, ParsedFile};
 
 /// Methods whose zero-argument calls acquire a guard.
-const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+pub(crate) const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
 
 /// A held guard during the body walk.
 struct Guard {
@@ -44,6 +61,19 @@ struct Guard {
     /// Binding name for `let`-bound guards; `None` for temporaries.
     binding: Option<String>,
     temp: bool,
+    /// Held by assumption (guarded-struct parameter), not by an
+    /// acquisition in this body: satisfies L7, invisible to L4.
+    assumed: bool,
+}
+
+/// What the walk knows about a local name, for L7 receiver resolution.
+/// Entries persist to the end of the function (past `drop`), so an
+/// access through a dead guard binding still resolves — and fires.
+enum Local {
+    /// Parameter typed as a struct with guarded fields.
+    Guarded(String),
+    /// A guard binding for this lock class.
+    Guard(String),
 }
 
 /// Where an edge was first observed.
@@ -54,13 +84,38 @@ struct Site {
     col: u32,
 }
 
-/// Run the L4 pass over one crate's parsed files. `io_fns` is the
-/// workspace I/O registry (built-in names plus `#[doc = "srlint: io"]`
-/// markers); `decls` the crate's `lock-order(a < b)` declarations.
+/// One function body with the signature context the walk needs.
+struct FnInfo {
+    name: String,
+    body: Block,
+    /// Self type of the enclosing impl, if any.
+    self_ty: Option<String>,
+    /// `(name, type identifier tokens)` per named parameter.
+    params: Vec<(String, Vec<String>)>,
+}
+
+/// Everything shared across one function walk.
+struct WalkCtx<'a> {
+    path: &'a str,
+    io_fns: &'a HashSet<String>,
+    decls: &'a [(String, String)],
+    summaries: &'a BTreeMap<String, BTreeSet<String>>,
+    maps: &'a FieldMaps,
+    fn_name: String,
+    self_ty: Option<String>,
+    locals: BTreeMap<String, Local>,
+}
+
+/// Run the L4 pass (and the L7 field-access check) over one crate's
+/// parsed files. `io_fns` is the workspace I/O registry (built-in names
+/// plus `#[doc = "srlint: io"]` markers); `decls` the crate's
+/// `lock-order(a < b)` declarations; `maps` the crate's field→lock
+/// annotations from [`crate::guarded`].
 pub fn l4_locks(
     files: &mut [ParsedFile],
     io_fns: &HashSet<String>,
     decls: &[(String, String)],
+    maps: &FieldMaps,
     diags: &mut Vec<Diagnostic>,
 ) {
     // Phase 1: per-function direct acquisitions and callees, for the
@@ -101,24 +156,50 @@ pub fn l4_locks(
         }
     }
 
-    // Phase 2: guard-tracking walk, emitting order/io diagnostics and
-    // collecting the acquisition graph.
+    // Phase 2: guard-tracking walk, emitting order/io/escape/guarded
+    // diagnostics and collecting the acquisition graph.
     let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
     for f in files.iter_mut() {
         let mut fns = Vec::new();
-        collect_fns(&f.items, &f.lexed, &mut fns);
-        for body in fns {
-            let mut held: Vec<Guard> = Vec::new();
-            walk_block(
-                &body,
-                &f.path,
-                &mut f.lexed,
+        collect_fns(&f.items, &f.lexed, None, &mut fns);
+        for fi in fns {
+            let mut ctx = WalkCtx {
+                path: &f.path,
                 io_fns,
                 decls,
-                &summaries,
+                summaries: &summaries,
+                maps,
+                fn_name: fi.name,
+                self_ty: fi.self_ty,
+                locals: BTreeMap::new(),
+            };
+            let mut held: Vec<Guard> = Vec::new();
+            // A parameter typed as a guarded struct can only exist while
+            // that struct's locks are held by the caller.
+            for (pname, tidents) in &fi.params {
+                let Some(ty) = tidents.iter().find(|t| maps.has_struct(t)) else {
+                    continue;
+                };
+                ctx.locals.insert(pname.clone(), Local::Guarded(ty.clone()));
+                for class in maps.classes_of(ty) {
+                    if class != "owner" && !held.iter().any(|g| g.class == class) {
+                        held.push(Guard {
+                            class,
+                            binding: None,
+                            temp: false,
+                            assumed: true,
+                        });
+                    }
+                }
+            }
+            walk_block(
+                &fi.body,
+                &mut ctx,
+                &mut f.lexed,
                 &mut held,
                 &mut edges,
                 diags,
+                true,
             );
         }
     }
@@ -127,17 +208,107 @@ pub fn l4_locks(
     report_cycles(&edges, files, diags);
 }
 
-/// Clone out the bodies of every non-test fn so phase 2 can hold the
-/// file mutably (hatch consumption) while walking.
-fn collect_fns(items: &[Item], lexed: &Lexed, out: &mut Vec<Block>) {
+/// Clone out the bodies of every non-test fn (with signature context)
+/// so phase 2 can hold the file mutably (hatch consumption) while
+/// walking.
+fn collect_fns(items: &[Item], lexed: &Lexed, self_ty: Option<&str>, out: &mut Vec<FnInfo>) {
     for item in items {
         if item.kind == ItemKind::Fn && !is_test_item(item, lexed) {
             if let Some(b) = &item.body {
-                out.push(b.clone());
+                out.push(FnInfo {
+                    name: item.name.clone(),
+                    body: b.clone(),
+                    self_ty: self_ty.map(str::to_string),
+                    params: fn_params(&lexed.tokens, item, b.open),
+                });
             }
         }
-        collect_fns(&item.children, lexed, out);
+        let child_self = if item.kind == ItemKind::Impl {
+            item.impl_ty.first().map(String::as_str)
+        } else {
+            self_ty
+        };
+        collect_fns(&item.children, lexed, child_self, out);
     }
+}
+
+/// Parse `(name, type idents)` for each named parameter of a fn item:
+/// the first `(`..`)` group after the `fn` keyword outside generic
+/// brackets. `self` receivers and non-trivial patterns are skipped.
+fn fn_params(tokens: &[Token], item: &Item, body_open: usize) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut j = item.first;
+    while j < body_open && !tokens[j].is_ident("fn") {
+        j += 1;
+    }
+    let mut angle = 0usize;
+    let mut open = None;
+    for (k, t) in tokens.iter().enumerate().take(body_open).skip(j) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if t.is_punct('(') && angle == 0 {
+            open = Some(k);
+            break;
+        }
+    }
+    let Some(open) = open else { return out };
+    let close = match_paren(tokens, open, body_open);
+    let mut seg = open + 1;
+    while seg < close {
+        let mut depth = 0usize;
+        let mut end = seg;
+        while end < close {
+            let t = &tokens[end];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if t.is_punct(',') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        // One parameter in [seg, end): `mut? name : type...`.
+        let mut p = seg;
+        if tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+            p += 1;
+        }
+        if let Some(name) = tokens.get(p).filter(|t| t.kind == Kind::Ident) {
+            if tokens.get(p + 1).is_some_and(|t| t.is_punct(':')) {
+                let tidents = tokens[p + 2..end]
+                    .iter()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect();
+                out.push((name.text.clone(), tidents));
+            }
+        }
+        seg = end + 1;
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` at `open`, clamped to `end`.
+fn match_paren(tokens: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens
+        .iter()
+        .enumerate()
+        .take(end.min(tokens.len()))
+        .skip(open)
+    {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    end.min(tokens.len())
 }
 
 /// Visit every fn item (recursively through mods/impls/traits).
@@ -178,7 +349,7 @@ fn scan_flat(tokens: &[Token], start: usize, end: usize) -> (BTreeSet<String>, B
 
 /// Is the ident at `k` (known to be followed by `(`) a zero-argument
 /// lock acquisition method call?
-fn is_acquisition(tokens: &[Token], k: usize) -> bool {
+pub(crate) fn is_acquisition(tokens: &[Token], k: usize) -> bool {
     LOCK_METHODS.contains(&tokens[k].text.as_str())
         && k > 0
         && tokens[k - 1].is_punct('.')
@@ -187,7 +358,7 @@ fn is_acquisition(tokens: &[Token], k: usize) -> bool {
 
 /// The lock class of the receiver ending at the `.` at `dot`: the
 /// nearest name, walking back over `?` and call parentheses.
-fn receiver_class(tokens: &[Token], dot: usize) -> Option<String> {
+pub(crate) fn receiver_class(tokens: &[Token], dot: usize) -> Option<String> {
     let mut j = dot.checked_sub(1)?;
     loop {
         let t = tokens.get(j)?;
@@ -220,23 +391,21 @@ fn receiver_class(tokens: &[Token], dot: usize) -> Option<String> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn walk_block(
     block: &Block,
-    path: &str,
+    ctx: &mut WalkCtx<'_>,
     lexed: &mut Lexed,
-    io_fns: &HashSet<String>,
-    decls: &[(String, String)],
-    summaries: &BTreeMap<String, BTreeSet<String>>,
     held: &mut Vec<Guard>,
     edges: &mut BTreeMap<(String, String), Site>,
     diags: &mut Vec<Diagnostic>,
+    fn_tail: bool,
 ) {
     let base = held.len();
-    for stmt in &block.stmts {
-        scan_stmt(
-            stmt, path, lexed, io_fns, decls, summaries, held, edges, diags,
-        );
+    let n = block.stmts.len();
+    for (si, stmt) in block.stmts.iter().enumerate() {
+        let is_tail =
+            fn_tail && si + 1 == n && !lexed.tokens.get(stmt.last).is_some_and(|t| t.is_punct(';'));
+        scan_stmt(stmt, ctx, lexed, held, edges, diags, is_tail);
     }
     if held.len() > base {
         held.truncate(base);
@@ -246,24 +415,34 @@ fn walk_block(
 #[allow(clippy::too_many_arguments)]
 fn scan_stmt(
     stmt: &Stmt,
-    path: &str,
+    ctx: &mut WalkCtx<'_>,
     lexed: &mut Lexed,
-    io_fns: &HashSet<String>,
-    decls: &[(String, String)],
-    summaries: &BTreeMap<String, BTreeSet<String>>,
     held: &mut Vec<Guard>,
     edges: &mut BTreeMap<(String, String), Site>,
     diags: &mut Vec<Diagnostic>,
+    is_tail: bool,
 ) {
+    // Guard move: `let g2 = g;` renames a held binding guard.
+    if let Some(new_name) = &stmt.let_name {
+        if let Some(moved) = rebind_source(&lexed.tokens, stmt) {
+            if let Some(g) = held
+                .iter_mut()
+                .find(|g| g.binding.as_deref() == Some(moved.as_str()))
+            {
+                g.binding = Some(new_name.clone());
+                let class = g.class.clone();
+                ctx.locals.insert(new_name.clone(), Local::Guard(class));
+            }
+        }
+    }
+
     let stmt_base = held.len();
     let mut k = stmt.first;
     let mut bi = 0;
     while k <= stmt.last {
         if bi < stmt.blocks.len() && k == stmt.blocks[bi].open {
             let b = stmt.blocks[bi].clone();
-            walk_block(
-                &b, path, lexed, io_fns, decls, summaries, held, edges, diags,
-            );
+            walk_block(&b, ctx, lexed, held, edges, diags, false);
             k = b.close + 1;
             bi += 1;
             continue;
@@ -275,7 +454,7 @@ fn scan_stmt(
                 let class = receiver_class(&lexed.tokens, k - 1).unwrap_or_default();
                 let (line, col) = (t.line, t.col);
                 on_acquire(
-                    &class, None, path, line, col, lexed, decls, held, edges, diags,
+                    &class, None, ctx.path, line, col, lexed, ctx.decls, held, edges, diags,
                 );
                 // Binding guard iff this is a `let` initializer and the
                 // acquisition is the whole tail of the statement
@@ -288,10 +467,14 @@ fn scan_stmt(
                             .is_none_or(|t| t.is_punct('?') || t.is_punct(';'))
                     })
                 });
+                if let Some(b) = &binding {
+                    ctx.locals.insert(b.clone(), Local::Guard(class.clone()));
+                }
                 held.push(Guard {
                     class,
                     temp: binding.is_none(),
                     binding,
+                    assumed: false,
                 });
             } else {
                 let name = t.text.clone();
@@ -301,12 +484,16 @@ fn scan_stmt(
                         let arg = arg.text.clone();
                         held.retain(|g| g.binding.as_deref() != Some(arg.as_str()));
                     }
-                } else if !held.is_empty() {
-                    if io_fns.contains(&name) {
-                        let classes: Vec<&str> = held.iter().map(|g| g.class.as_str()).collect();
+                } else if held.iter().any(|g| !g.assumed) {
+                    if ctx.io_fns.contains(&name) {
+                        let classes: Vec<&str> = held
+                            .iter()
+                            .filter(|g| !g.assumed)
+                            .map(|g| g.class.as_str())
+                            .collect();
                         if !lexed.allow("lock-io", line) {
                             diags.push(Diagnostic {
-                                file: path.to_string(),
+                                file: ctx.path.to_string(),
                                 line,
                                 col,
                                 rule: "L4/lock-io".to_string(),
@@ -320,16 +507,16 @@ fn scan_stmt(
                         }
                     }
                     if !LOCK_METHODS.contains(&name.as_str()) {
-                        if let Some(classes) = summaries.get(&name) {
+                        if let Some(classes) = ctx.summaries.get(&name) {
                             for class in classes.clone() {
                                 on_acquire(
                                     &class,
                                     Some(&name),
-                                    path,
+                                    ctx.path,
                                     line,
                                     col,
                                     lexed,
-                                    decls,
+                                    ctx.decls,
                                     held,
                                     edges,
                                     diags,
@@ -339,9 +526,14 @@ fn scan_stmt(
                     }
                 }
             }
+        } else if (t.kind == Kind::Ident || t.kind == Kind::Num) && !followed_by_paren {
+            check_field_access(k, ctx, lexed, held, diags);
         }
         k += 1;
     }
+
+    check_guard_escape(stmt, ctx, lexed, held, diags, is_tail);
+
     // Temporaries die at the end of their statement; bindings survive
     // to the end of the block.
     let mut idx = stmt_base;
@@ -354,8 +546,176 @@ fn scan_stmt(
     }
 }
 
+/// If `stmt` is `let new = old;` with a bare-identifier initializer,
+/// return `old`.
+fn rebind_source(tokens: &[Token], stmt: &Stmt) -> Option<String> {
+    let mut j = stmt.first + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    if !tokens.get(j + 1)?.is_punct('=') {
+        return None;
+    }
+    let mut last = stmt.last;
+    if tokens.get(last).is_some_and(|t| t.is_punct(';')) {
+        last = last.checked_sub(1)?;
+    }
+    if last != j + 2 {
+        return None;
+    }
+    let src = tokens.get(last)?;
+    (src.kind == Kind::Ident).then(|| src.text.clone())
+}
+
+/// L7/unguarded-access: the field access at token `k` (ident/num with a
+/// `.` before it and no call parens after), when its receiver's type is
+/// known, must happen with the field's declared lock held.
+fn check_field_access(
+    k: usize,
+    ctx: &mut WalkCtx<'_>,
+    lexed: &mut Lexed,
+    held: &[Guard],
+    diags: &mut Vec<Diagnostic>,
+) {
+    if k < 2 || !lexed.tokens[k - 1].is_punct('.') {
+        return;
+    }
+    let field = lexed.tokens[k].text.clone();
+    let recv = &lexed.tokens[k - 2];
+    let required: Option<String> = if recv.is_ident("self") {
+        ctx.self_ty
+            .as_deref()
+            .and_then(|ty| ctx.maps.lock_of(ty, &field))
+            .map(str::to_string)
+    } else if recv.kind == Kind::Ident {
+        match ctx.locals.get(&recv.text) {
+            Some(Local::Guarded(ty)) => ctx.maps.lock_of(ty, &field).map(str::to_string),
+            Some(Local::Guard(class)) => Some(class.clone()),
+            None => None,
+        }
+    } else if recv.is_punct(')') {
+        // `x.lock().field`: the receiver is a fresh temporary guard.
+        let open = open_paren_of(&lexed.tokens, k - 2);
+        match open.checked_sub(1) {
+            Some(m) if is_acquisition(&lexed.tokens, m) => receiver_class(&lexed.tokens, m - 1),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let Some(class) = required else { return };
+    if class == "owner" || held.iter().any(|g| g.class == class) {
+        return;
+    }
+    let (line, col) = (lexed.tokens[k].line, lexed.tokens[k].col);
+    if !lexed.allow("unguarded-access", line) {
+        diags.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line,
+            col,
+            rule: "L7/unguarded-access".to_string(),
+            message: format!(
+                "field `{field}` is guarded by `{class}`, which is not held here; \
+                 acquire `{class}` (or restructure so the access happens under the guard)"
+            ),
+        });
+    }
+}
+
+/// Index of the `(` matching the `)` at `close` (walking backwards).
+fn open_paren_of(tokens: &[Token], close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        if tokens[j].is_punct(')') {
+            depth += 1;
+        } else if tokens[j].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        match j.checked_sub(1) {
+            Some(p) => j = p,
+            None => return 0,
+        }
+    }
+}
+
+/// L4/guard-escape: a guard leaving the function via `return` or the
+/// tail expression.
+fn check_guard_escape(
+    stmt: &Stmt,
+    ctx: &WalkCtx<'_>,
+    lexed: &mut Lexed,
+    held: &[Guard],
+    diags: &mut Vec<Diagnostic>,
+    is_tail: bool,
+) {
+    // The std-wrapper shims exist to return guards.
+    if LOCK_METHODS.contains(&ctx.fn_name.as_str()) {
+        return;
+    }
+    let is_return = lexed
+        .tokens
+        .get(stmt.first)
+        .is_some_and(|t| t.is_ident("return"));
+    if !is_return && !is_tail {
+        return;
+    }
+    let mut last = stmt.last;
+    if lexed.tokens.get(last).is_some_and(|t| t.is_punct(';')) {
+        last = last.saturating_sub(1);
+    }
+    let expr_first = if is_return {
+        stmt.first + 1
+    } else {
+        stmt.first
+    };
+    if last < expr_first {
+        return;
+    }
+    // Shape 1: a bare identifier naming a held binding guard.
+    let escaped: Option<(String, u32, u32)> = if last == expr_first {
+        let t = &lexed.tokens[last];
+        held.iter()
+            .find(|g| !g.assumed && g.binding.as_deref() == Some(t.text.as_str()))
+            .map(|g| (g.class.clone(), t.line, t.col))
+    // Shape 2: the returned value IS a fresh acquisition (`return
+    // self.meta.lock();` / tail `self.meta.lock()`).
+    } else if last >= 2
+        && lexed.tokens[last].is_punct(')')
+        && is_acquisition(&lexed.tokens, last - 2)
+    {
+        let m = last - 2;
+        receiver_class(&lexed.tokens, m - 1).map(|c| {
+            let t = &lexed.tokens[m];
+            (c, t.line, t.col)
+        })
+    } else {
+        None
+    };
+    let Some((class, line, col)) = escaped else {
+        return;
+    };
+    if !lexed.allow("guard-escape", line) {
+        diags.push(Diagnostic {
+            file: ctx.path.to_string(),
+            line,
+            col,
+            rule: "L4/guard-escape".to_string(),
+            message: format!(
+                "guard for lock `{class}` escapes `{}()`; callers inherit a held lock the \
+                 analysis cannot see — return the data, not the guard",
+                ctx.fn_name
+            ),
+        });
+    }
+}
+
 /// Record edges and check declared orders for one acquisition of
-/// `class` (directly, or through a call to `via`).
+/// `class` (directly, or through a call to `via`). Assumed guards are
+/// skipped: they are a caller's obligation, not an acquisition here.
 #[allow(clippy::too_many_arguments)]
 fn on_acquire(
     class: &str,
@@ -369,7 +729,7 @@ fn on_acquire(
     edges: &mut BTreeMap<(String, String), Site>,
     diags: &mut Vec<Diagnostic>,
 ) {
-    for g in held {
+    for g in held.iter().filter(|g| !g.assumed) {
         edges
             .entry((g.class.clone(), class.to_string()))
             .or_insert(Site {

@@ -1,11 +1,14 @@
 //! `sr-lint` — run the srlint workspace checks from the command line.
 //!
 //! ```text
-//! sr-lint [--json] [--root <workspace-root>]
+//! sr-lint [--json] [--root <workspace-root>] [--rule <id>] [--stats]
 //! ```
 //!
-//! Exit code 0 when the workspace is clean, 1 on violations, 2 on usage
-//! or I/O errors. `srtool lint` is the same entry point routed through
+//! `--rule` keeps only one family (`L7`) or one exact rule
+//! (`L7/unguarded-access`); `--stats` appends a one-line run summary
+//! (files scanned, findings per firing rule, elapsed ms). Exit code 0
+//! when the (filtered) report is clean, 1 on violations, 2 on usage or
+//! I/O errors. `srtool lint` is the same entry point routed through
 //! the CLI.
 
 #![forbid(unsafe_code)]
@@ -14,11 +17,14 @@ use std::path::PathBuf;
 
 fn main() {
     let mut json = false;
+    let mut stats = false;
+    let mut rule: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--stats" => stats = true,
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => {
@@ -26,12 +32,30 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--rule" => match args.next() {
+                Some(v) => rule = Some(v),
+                None => {
+                    eprintln!("sr-lint: --rule needs a value (e.g. L7 or L7/unguarded-access)");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!(
-                    "sr-lint: unknown argument {other:?}\nusage: sr-lint [--json] [--root <dir>]"
+                    "sr-lint: unknown argument {other:?}\n\
+                     usage: sr-lint [--json] [--root <dir>] [--rule <id>] [--stats]"
                 );
                 std::process::exit(2);
             }
+        }
+    }
+    if let Some(r) = &rule {
+        let family = r.split('/').next().unwrap_or("");
+        if !sr_lint::RULE_FAMILIES.contains(&family) {
+            eprintln!(
+                "sr-lint: --rule {r:?} names no rule family (expected one of {})",
+                sr_lint::RULE_FAMILIES.join(", ")
+            );
+            std::process::exit(2);
         }
     }
     let root = root.or_else(|| {
@@ -42,13 +66,18 @@ fn main() {
         eprintln!("sr-lint: no workspace root found (pass --root)");
         std::process::exit(2);
     };
-    let report = match sr_lint::lint_workspace(&root) {
+    let started = std::time::Instant::now();
+    let mut report = match sr_lint::lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sr-lint: {e}");
             std::process::exit(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
+    if let Some(r) = &rule {
+        report.retain_rule(r);
+    }
     if json {
         print!("{}", report.to_json());
     } else {
@@ -59,6 +88,23 @@ fn main() {
             "srlint: {} violation(s), {} escape hatch(es) in use",
             report.diagnostics.len(),
             report.hatches_used
+        );
+    }
+    if stats {
+        let per_rule: Vec<String> = report
+            .family_counts()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(fam, n)| format!("{fam}={n}"))
+            .collect();
+        let findings = if per_rule.is_empty() {
+            "none".to_string()
+        } else {
+            per_rule.join(" ")
+        };
+        println!(
+            "srlint-stats: files={} findings: {} elapsed_ms={}",
+            report.files_scanned, findings, elapsed_ms
         );
     }
     if !report.is_clean() {

@@ -506,8 +506,9 @@ pub fn hatch_hygiene(lexed: &Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
             line,
             col,
             rule: "hatch/malformed".to_string(),
-            message: "malformed srlint comment: expected `allow(<rule>)`, `ordering`, or \
-                      `lock-order(<a> < <b>)`, each followed by ` -- <reason>`"
+            message: "malformed srlint comment: expected `allow(<rule>)`, `ordering`, \
+                      `lock-order(<a> < <b>)`, or `send-sync`, each followed by \
+                      ` -- <reason>`, or `guarded-by(<lock>)` with no reason"
                 .to_string(),
         });
     }

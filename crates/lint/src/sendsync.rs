@@ -1,0 +1,195 @@
+//! L8 — Send/Sync boundary audit.
+//!
+//! The batch executor (`sr-exec`) shares trees and the pager across a
+//! `std::thread::scope`; anything that crosses that boundary is relied
+//! on for `Send + Sync`. Under the workspace-wide `forbid(unsafe_code)`
+//! those impls are always compiler-derived, so the audit is about
+//! *visibility*: every boundary type must carry an item-scoped
+//! `// srlint: send-sync -- <reason>` note stating why concurrent
+//! access is sound, and the note is what arms the L7 unprotected-shared
+//! check on its fields.
+//!
+//! Rules:
+//!
+//! * **L8/unsafe-impl** — a literal `unsafe impl Send/Sync`. Must be
+//!   zero in this workspace; if one ever appears it needs a hatch with
+//!   a reason, which is exactly the paper trail we want.
+//! * **L8/missing-note** — a struct that crosses the pool boundary
+//!   (the known executor-shared types) or owns synchronization state
+//!   (lock/atomic fields) without a send-sync note.
+//! * **L8/interior-mutability** — a raw-pointer / `Cell` / `RefCell` /
+//!   `UnsafeCell` / `Rc` field in a (would-be) noted struct: these
+//!   defeat or forbid `Sync` and need restructuring, not a note.
+//! * **L8/send-sync-unused** — a note attached to no struct.
+
+use std::collections::BTreeSet;
+
+use crate::parser::{Item, ItemKind};
+use crate::{Diagnostic, ParsedFile};
+
+/// Types handed across the executor's thread scope: the pager, the
+/// stats recorder, and the five tree structs behind `SpatialIndex`.
+pub const BOUNDARY_TYPES: &[&str] = &[
+    "PageFile",
+    "StatsRecorder",
+    "SrTree",
+    "SsTree",
+    "RstarTree",
+    "KdbTree",
+    "VamTree",
+];
+
+/// Attach send-sync notes to structs (marking `StructInfo::has_note`)
+/// and return the workspace-wide set of noted struct names. Runs over
+/// ALL files before the per-crate passes so cross-crate fields
+/// (`pf: PageFile` inside each tree) resolve as self-protecting.
+pub fn collect_noted(files: &mut [ParsedFile]) -> BTreeSet<String> {
+    let mut noted = BTreeSet::new();
+    for f in files.iter_mut() {
+        for note in f.lexed.send_sync_notes.iter_mut() {
+            // A note belongs to the struct whose span contains it, or
+            // whose first line is the next code line it covers.
+            let target = f
+                .structs
+                .iter_mut()
+                .find(|s| {
+                    (s.start_line <= note.line && note.line <= s.end_line)
+                        || s.start_line == note.covers[1]
+                })
+                .map(|s| {
+                    s.has_note = true;
+                    s.name.clone()
+                });
+            if let Some(name) = target {
+                note.used = true;
+                noted.insert(name);
+            }
+        }
+    }
+    noted
+}
+
+/// Run the L8 audit over one file.
+pub fn l8_boundary(f: &mut ParsedFile, diags: &mut Vec<Diagnostic>) {
+    let path = f.path.clone();
+
+    // Literal `unsafe impl Send/Sync`.
+    let mut unsafe_impls = Vec::new();
+    find_unsafe_impls(&f.items, &f.lexed, &mut unsafe_impls);
+    for (line, col, trait_name, ty) in unsafe_impls {
+        if !f.lexed.allow("unsafe-impl", line) {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line,
+                col,
+                rule: "L8/unsafe-impl".to_string(),
+                message: format!(
+                    "`unsafe impl {trait_name}` for `{ty}`: hand-written thread-safety claims \
+                     are forbidden here; make the type structurally Send/Sync instead"
+                ),
+            });
+        }
+    }
+
+    let mut missing = Vec::new();
+    let mut interior = Vec::new();
+    for s in &f.structs {
+        let owns_sync = s.fields.iter().any(|fld| {
+            fld.type_idents
+                .iter()
+                .any(|t| t.starts_with("Atomic") || t == "Mutex" || t == "RwLock" || t == "Condvar")
+        });
+        let needs_note = BOUNDARY_TYPES.contains(&s.name.as_str()) || owns_sync;
+        if needs_note && !s.has_note {
+            missing.push((s.line, s.col, s.name.clone(), owns_sync));
+        }
+        if needs_note || s.has_note {
+            for fld in &s.fields {
+                let bad = fld.has_raw_ptr
+                    || fld
+                        .type_idents
+                        .iter()
+                        .any(|t| t == "Cell" || t == "RefCell" || t == "UnsafeCell" || t == "Rc");
+                if bad {
+                    interior.push((fld.line, fld.col, s.name.clone(), fld.name.clone()));
+                }
+            }
+        }
+    }
+    for (line, col, name, owns_sync) in missing {
+        if !f.lexed.allow("missing-note", line) {
+            let why = if owns_sync {
+                "owns synchronization state"
+            } else {
+                "crosses the executor thread boundary"
+            };
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line,
+                col,
+                rule: "L8/missing-note".to_string(),
+                message: format!(
+                    "`{name}` {why} but has no `// srlint: send-sync -- <reason>` note stating \
+                     why concurrent access is sound"
+                ),
+            });
+        }
+    }
+    for (line, col, sname, fname) in interior {
+        if !f.lexed.allow("interior-mutability", line) {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line,
+                col,
+                rule: "L8/interior-mutability".to_string(),
+                message: format!(
+                    "field `{fname}` of boundary type `{sname}` uses non-Sync interior \
+                     mutability (raw pointer / Cell / RefCell / Rc); use a lock or atomic"
+                ),
+            });
+        }
+    }
+
+    // Orphaned notes.
+    let mut orphans = Vec::new();
+    for note in &f.lexed.send_sync_notes {
+        if !note.used {
+            orphans.push((note.line, note.col));
+        }
+    }
+    for (line, col) in orphans {
+        if !f.lexed.allow("send-sync-unused", line) {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line,
+                col,
+                rule: "L8/send-sync-unused".to_string(),
+                message: "send-sync note attaches to no struct; place it directly above the \
+                          struct it vouches for"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn find_unsafe_impls(
+    items: &[Item],
+    lexed: &crate::lexer::Lexed,
+    out: &mut Vec<(u32, u32, String, String)>,
+) {
+    for item in items {
+        if item.kind == ItemKind::Impl
+            && item.is_unsafe
+            && !lexed.test_mask.get(item.first).copied().unwrap_or(false)
+        {
+            if let Some(t) = item
+                .impl_trait
+                .iter()
+                .find(|t| *t == "Send" || *t == "Sync")
+            {
+                out.push((item.line, item.col, t.clone(), item.impl_ty.join("::")));
+            }
+        }
+        find_unsafe_impls(&item.children, lexed, out);
+    }
+}

@@ -56,3 +56,40 @@ impl Tangle {
         drop(b);
     }
 }
+
+pub struct Escapes {
+    meta: Mutex<Meta>,
+}
+
+impl Escapes {
+    pub fn guard_tail(&self) -> MutexGuard<Meta> {
+        let m = self.meta.lock();
+        m
+    }
+
+    pub fn guard_return_stmt(&self) -> MutexGuard<Meta> {
+        return self.meta.lock();
+    }
+
+    pub fn rebound_escape(&self) -> MutexGuard<Meta> {
+        let m = self.meta.lock();
+        let m2 = m;
+        m2
+    }
+
+    pub fn data_not_guard(&self) -> u64 {
+        let m = self.meta.lock();
+        m.value
+    }
+
+    pub fn rebound_then_dropped(&self) {
+        let m = self.meta.lock();
+        let m2 = m;
+        drop(m2);
+    }
+
+    pub fn hatched_accessor(&self) -> MutexGuard<Meta> {
+        // srlint: allow(guard-escape) -- fixture: sanctioned accessor; the caller is the lock scope
+        self.meta.lock()
+    }
+}

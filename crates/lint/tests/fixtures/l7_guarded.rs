@@ -1,0 +1,57 @@
+//! L7 fixture: guarded-by field-access checks — fire, clean, and
+//! hatched variants for each rule.
+
+// srlint: send-sync -- fixture: shared across the worker pool
+pub struct Shared {
+    lock: Mutex<State>,
+    counter: AtomicU64,
+    plain: u64,
+    tag: u32, // srlint: guarded-by(owner)
+}
+
+pub struct State {
+    value: u64, // srlint: guarded-by(lock)
+    dirty: bool, // srlint: guarded-by(lock)
+    // srlint: guarded-by(nonexistent)
+    broken: u32,
+}
+
+pub struct Legacy {
+    // srlint: guarded-by(retired_lock)
+    // srlint: allow(bad-annotation) -- fixture: documents a lock a later PR reintroduces
+    old: u32,
+}
+
+// srlint: send-sync -- fixture: pool-shared scratch space
+pub struct Scratch {
+    // srlint: allow(unprotected-shared) -- fixture: single-writer scratch audited by hand
+    buf: Vec<u8>,
+}
+
+impl Shared {
+    pub fn read_ok(&self) -> u64 {
+        let g = self.lock.lock();
+        g.value
+    }
+
+    pub fn temp_guard_ok(&self) -> u64 {
+        self.lock.lock().value
+    }
+
+    pub fn read_after_drop(&self) -> bool {
+        let g = self.lock.lock();
+        drop(g);
+        g.dirty
+    }
+
+    pub fn read_hatched(&self) -> bool {
+        let g = self.lock.lock();
+        drop(g);
+        // srlint: allow(unguarded-access) -- fixture: benign stale read feeding a heuristic
+        g.dirty
+    }
+}
+
+pub fn helper(state: &State) -> u64 {
+    state.value
+}

@@ -1,0 +1,46 @@
+//! L8 fixture: Send/Sync boundary audit — fire, clean, and hatched
+//! variants for each rule.
+
+pub struct NoNote {
+    inner: Mutex<u32>,
+}
+
+// srlint: send-sync -- fixture: audited pool-shared type
+pub struct Noted {
+    inner: Mutex<u32>,
+}
+
+// srlint: allow(missing-note) -- fixture: migration in flight, the note lands with the next PR
+pub struct Hatched {
+    inner: Mutex<u32>,
+}
+
+// srlint: send-sync -- fixture: claims to be shareable but is not
+pub struct Sneaky {
+    cell: RefCell<u64>,
+    ok: AtomicU64,
+}
+
+// srlint: send-sync -- fixture: raw-pointer variant, hatched
+pub struct SneakyHatched {
+    // srlint: allow(interior-mutability) -- fixture: pointer is never dereferenced off-thread
+    // srlint: allow(unprotected-shared) -- fixture: same field, audited by hand
+    raw: *mut u8,
+    ok: AtomicU64,
+}
+
+pub struct Plain {
+    p: u64,
+}
+
+unsafe impl Send for Plain {}
+
+// srlint: allow(unsafe-impl) -- fixture: FFI handle audited by hand
+unsafe impl Sync for Plain {}
+
+// srlint: send-sync -- fixture: floating note with nothing under it
+
+pub fn unrelated() {}
+
+// srlint: allow(send-sync-unused) -- fixture: note kept while its struct moves here
+pub fn unrelated2() {} // srlint: send-sync -- fixture: floating note

@@ -17,6 +17,8 @@ const FIXTURES: &[(&str, &str)] = &[
     ("l5_ordering.rs", "l5_ordering.rs"),
     ("l5_accounting.rs", "crates/pager/src/stats.rs"),
     ("l6_errors.rs", "l6_errors.rs"),
+    ("l7_guarded.rs", "l7_guarded.rs"),
+    ("l8_sendsync.rs", "l8_sendsync.rs"),
     ("hatch.rs", "hatch.rs"),
 ];
 
@@ -92,12 +94,20 @@ fn every_new_pass_fires_somewhere_in_the_goldens() {
         "L4/lock-cycle",
         "L4/lock-order",
         "L4/lock-io",
+        "L4/guard-escape",
         "L5/ordering",
         "L5/ordering-relaxed",
         "L5/ordering-unused",
         "L6/error-conversion",
         "L6/swallowed-error",
         "L6/stale-deprecated",
+        "L7/unguarded-access",
+        "L7/bad-annotation",
+        "L7/unprotected-shared",
+        "L8/unsafe-impl",
+        "L8/missing-note",
+        "L8/interior-mutability",
+        "L8/send-sync-unused",
     ] {
         assert!(seen.contains(rule), "no golden fixture exercises {rule}");
     }

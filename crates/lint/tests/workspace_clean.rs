@@ -189,3 +189,109 @@ fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
     out.sort();
     out
 }
+
+#[test]
+fn seeded_unguarded_access_fails_the_gate() {
+    // Reading MetaState through a dropped guard binding: the guard
+    // name still resolves to the meta class, but the lock is gone.
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    pub fn seeded_unguarded(&self) -> bool {\n        \
+         let state = self.meta.lock();\n        drop(state);\n        \
+         state.meta_dirty\n    }\n}",
+    );
+    assert_fires(
+        &report,
+        "L7/unguarded-access",
+        "crates/pager/src/pagefile.rs",
+    );
+}
+
+#[test]
+fn seeded_missing_send_sync_note_fails_the_gate() {
+    // A new lock-owning struct without a send-sync note — the shape of
+    // a PR that adds shared state without auditing the boundary.
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "pub struct SeededShared {\n    inner: Mutex<u64>,\n}",
+    );
+    assert_fires(&report, "L8/missing-note", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_guard_escape_fails_the_gate() {
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    pub fn seeded_escape(&self) -> crate::sync::MutexGuard<'_, MetaState> {\n        \
+         self.meta.lock()\n    }\n}",
+    );
+    assert_fires(&report, "L4/guard-escape", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_diagnostics_are_exact() {
+    // The seeded L7/L8 violations must be pinpointed: exactly one new
+    // finding each, on the seeded line, with the expected message.
+    let seed = "impl PageFile {\n    pub fn seeded_unguarded(&self) -> PageId {\n        \
+                let state = self.meta.lock();\n        drop(state);\n        \
+                state.free_head\n    }\n}";
+    let report = lint_with_seed("crates/pager/src/pagefile.rs", seed);
+    let l7: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "L7/unguarded-access")
+        .collect();
+    assert_eq!(l7.len(), 1, "{:#?}", report.diagnostics);
+    assert!(
+        l7[0].message.contains("`free_head` is guarded by `meta`"),
+        "{}",
+        l7[0].message
+    );
+
+    let seed = "pub struct SeededShared {\n    inner: Mutex<u64>,\n    plain: u64,\n}";
+    let report = lint_with_seed("crates/pager/src/pagefile.rs", seed);
+    let l8: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.starts_with("L8/"))
+        .collect();
+    assert_eq!(l8.len(), 1, "{:#?}", report.diagnostics);
+    assert!(
+        l8[0].message.contains("`SeededShared`"),
+        "{}",
+        l8[0].message
+    );
+}
+
+#[test]
+fn parallel_lint_is_byte_identical_to_serial() {
+    // The thread count must never change the report: same diagnostics,
+    // same order, same JSON bytes.
+    let root = workspace_root();
+    let mut crates = Vec::new();
+    for name in sr_lint::LIB_CRATES {
+        let dir = root.join("crates").join(name).join("src");
+        let mut files = Vec::new();
+        for entry in walk(&dir) {
+            let rel = entry
+                .strip_prefix(&root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(sr_lint::SourceFile {
+                l2: sr_lint::L2_FILES.contains(&rel.as_str()),
+                source: std::fs::read_to_string(&entry).expect("read source"),
+                path: rel,
+            });
+        }
+        crates.push(sr_lint::CrateSources {
+            name: (*name).to_string(),
+            files,
+        });
+    }
+    let serial = sr_lint::lint_crates_with(&crates, &[], 1).to_json();
+    for threads in [2, 3, 8, 64] {
+        let parallel = sr_lint::lint_crates_with(&crates, &[], threads).to_json();
+        assert_eq!(serial, parallel, "report drifted at {threads} threads");
+    }
+}

@@ -16,14 +16,15 @@ const META_VERSION: u32 = 1;
 
 /// A disk-based R\*-tree over points, used by the paper as the
 /// rectangle-region baseline.
+// srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; params/root/height/count only change via &mut self (insert/delete), which the borrow checker serializes
 pub struct RstarTree {
     pub(crate) pf: PageFile,
-    pub(crate) params: RstarParams,
-    pub(crate) root: PageId,
+    pub(crate) params: RstarParams, // srlint: guarded-by(owner)
+    pub(crate) root: PageId,        // srlint: guarded-by(owner)
     /// Number of levels; 1 means the root is a leaf. The root's level
     /// number is `height - 1` (leaves are level 0).
-    pub(crate) height: u32,
-    pub(crate) count: u64,
+    pub(crate) height: u32, // srlint: guarded-by(owner)
+    pub(crate) count: u64,          // srlint: guarded-by(owner)
 }
 
 impl RstarTree {

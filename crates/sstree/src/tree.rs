@@ -16,13 +16,14 @@ const META_VERSION: u32 = 1;
 
 /// A disk-based SS-tree over points — bounding-sphere regions, centroid
 /// insertion.
+// srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; params/root/height/count only change via &mut self (insert/delete), which the borrow checker serializes
 pub struct SsTree {
     pub(crate) pf: PageFile,
-    pub(crate) params: SsParams,
-    pub(crate) root: PageId,
+    pub(crate) params: SsParams, // srlint: guarded-by(owner)
+    pub(crate) root: PageId,     // srlint: guarded-by(owner)
     /// Number of levels; 1 means the root is a leaf.
-    pub(crate) height: u32,
-    pub(crate) count: u64,
+    pub(crate) height: u32, // srlint: guarded-by(owner)
+    pub(crate) count: u64,       // srlint: guarded-by(owner)
 }
 
 impl SsTree {

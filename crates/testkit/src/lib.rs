@@ -17,6 +17,10 @@
 //!   store pair whose surviving bytes can be reopened like a process
 //!   restart, one [`AnyTree`] API over the four dynamic structures,
 //!   and oracle-exact recovery checking ([`matches_model`]);
+//! * [`stress`] — the seeded-schedule concurrency stress harness:
+//!   N threads of deterministic mixed query traffic over one shared
+//!   index, yield/spin perturbation drawn from per-thread seeds, and
+//!   exact I/O-accounting checks at the join point;
 //! * [`TempDir`] — a scoped temp-directory guard for tests that touch
 //!   real files;
 //! * fault injection — re-exported from `sr_pager` ([`FaultInjector`],
@@ -32,6 +36,7 @@
 pub mod crash;
 pub mod diff;
 pub mod model;
+pub mod stress;
 pub mod tempdir;
 pub mod workload;
 
@@ -44,6 +49,7 @@ pub use diff::{
 };
 pub use model::Model;
 pub use sr_pager::{FaultHandle, FaultInjector, FaultKind, FaultStats};
+pub use stress::{run_stress, total_logical_reads, StressConfig, StressReport};
 pub use tempdir::TempDir;
 pub use workload::{generate, DataDist, Op, OpTape, WorkloadSpec};
 

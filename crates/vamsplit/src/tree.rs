@@ -16,13 +16,14 @@ const META_MAGIC: u32 = 0x5641_4D54; // "VAMT"
 const META_VERSION: u32 = 1;
 
 /// A static VAMSplit R-tree, bulk-built from a complete data set.
+// srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; the tree is bulk-built before sharing, and params/root/height/count never change afterwards
 pub struct VamTree {
     pub(crate) pf: PageFile,
-    pub(crate) params: VamParams,
-    pub(crate) root: PageId,
+    pub(crate) params: VamParams, // srlint: guarded-by(owner)
+    pub(crate) root: PageId,      // srlint: guarded-by(owner)
     /// Number of levels; 1 means the root is a leaf.
-    pub(crate) height: u32,
-    pub(crate) count: u64,
+    pub(crate) height: u32, // srlint: guarded-by(owner)
+    pub(crate) count: u64,        // srlint: guarded-by(owner)
 }
 
 impl VamTree {
