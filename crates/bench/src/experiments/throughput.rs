@@ -1,18 +1,22 @@
 //! Batch-query throughput scaling (beyond the paper's figures): queries
 //! per second and speedup over one thread when a k-NN batch is fanned
 //! across T ∈ {1, 2, 4, 8} workers by `sr-exec`, for every structure on
-//! the uniform 16-d workload.
+//! the uniform 16-d workload — plus a single-thread kernel ablation
+//! (scalar vs columnar vs columnar-with-early-abandon leaf scans).
 //!
 //! The paper measures single-query cost (§5); this experiment measures
 //! what the ROADMAP's serving scenario cares about — how far the shared
 //! read path (lock-striped buffer pool, `&self` queries) scales before
-//! shard contention bites. Every run asserts the parallel results are
-//! identical to the single-threaded ones, so the table can't silently
-//! trade correctness for speed.
+//! shard contention bites, and how much of the single-thread budget the
+//! leaf-scan kernel is responsible for. Every run asserts the parallel
+//! results are identical to the single-threaded ones, and every ablation
+//! mode asserts bit-identical answers, so the table can't silently trade
+//! correctness for speed.
 
 use std::time::Instant;
 
 use sr_dataset::sample_queries;
+use sr_query::LeafScan;
 
 use crate::experiments::{uniform_data, QUERY_SEED};
 use crate::index::{AnyIndex, TreeKind};
@@ -22,16 +26,34 @@ use crate::report::{f, Report};
 /// Thread counts swept, first entry is the baseline.
 pub const THREADS: &[usize] = &[1, 2, 4, 8];
 
-/// Buffer pool during the sweep, in pages. Large enough that the hot
-/// upper levels stay resident (a serving pool, not the paper's
-/// cold-cache accounting pool), small enough that leaves still churn
-/// through the sharded LRU under every thread count.
-const POOL_PAGES: usize = 256;
+/// Floor on the serving buffer pool, in pages. The pool is sized to
+/// hold the whole index (see [`serving_pool_pages`]): this experiment
+/// measures the query engine on a warm serving pool, not the paper's
+/// cold-cache accounting (the `obs` experiment covers that). The old
+/// fixed 256-page pool was smaller than the n = 10k leaf set, so with
+/// the ~87% leaf visit rate of uniform 16-d k-NN the LRU thrashed and
+/// every logical read became a physical read — the sweep was measuring
+/// the miss path, not the index.
+const POOL_PAGES_MIN: usize = 256;
+
+/// Pool size that keeps the whole index resident after the warm-up pass.
+fn serving_pool_pages(index: &AnyIndex) -> usize {
+    usize::try_from(index.pager().num_pages())
+        .unwrap_or(usize::MAX)
+        .max(POOL_PAGES_MIN)
+}
 
 /// Snapshot file accumulating the perf trajectory PR over PR: the
 /// committed copy records the numbers this PR shipped with, and every
 /// rerun overwrites it so a regression shows up as a diff.
-const SNAPSHOT: &str = "BENCH_PR5.json";
+const SNAPSHOT: &str = "BENCH_PR8.json";
+
+/// Leaf-scan kernels ablated single-threaded, snapshot key per mode.
+const KERNELS: &[(LeafScan, &str)] = &[
+    (LeafScan::Scalar, "scalar"),
+    (LeafScan::Columnar, "columnar"),
+    (LeafScan::EarlyAbandon, "early_abandon"),
+];
 
 pub fn run(scale: &Scale) -> Result<(), String> {
     let n = if scale.paper { 100_000 } else { 10_000 };
@@ -49,10 +71,23 @@ pub fn run(scale: &Scale) -> Result<(), String> {
     report.header([
         "tree", "T=1 q/s", "T=2 q/s", "T=4 q/s", "T=8 q/s", "x2", "x4", "x8",
     ]);
+    let mut ablation = Report::new(
+        "kernel-ablation",
+        format!("single-thread leaf-scan kernel ablation (uniform, n = {n}, batch = {batch})")
+            .as_str(),
+    );
+    ablation.header([
+        "tree",
+        "scalar q/s",
+        "columnar q/s",
+        "abandon q/s",
+        "col/scal",
+        "ab/scal",
+    ]);
     let mut snapshot = Vec::new();
     for &kind in TreeKind::ALL {
         let index = AnyIndex::build(kind, &points);
-        index.reset_for_queries_at(POOL_PAGES);
+        index.reset_for_queries_at(serving_pool_pages(&index));
 
         let mut qps = Vec::with_capacity(THREADS.len());
         let mut baseline_results = None;
@@ -80,6 +115,16 @@ pub fn run(scale: &Scale) -> Result<(), String> {
             qps.push(queries.len() as f64 / secs);
         }
 
+        let kernels = kernel_ablation(&index, &queries, kind.label())?;
+        ablation.row([
+            kind.label().to_string(),
+            f(kernels[0]),
+            f(kernels[1]),
+            f(kernels[2]),
+            f(kernels[1] / kernels[0]),
+            f(kernels[2] / kernels[0]),
+        ]);
+
         let base = qps.first().copied().unwrap_or(1.0);
         report.row([
             kind.label().to_string(),
@@ -91,17 +136,75 @@ pub fn run(scale: &Scale) -> Result<(), String> {
             f(qps[2] / base),
             f(qps[3] / base),
         ]);
-        snapshot.push((kind.label().to_string(), qps));
+        snapshot.push((kind.label().to_string(), qps, kernels));
     }
     write_snapshot(n, batch, &snapshot)?;
-    report.emit()
+    report.emit()?;
+    ablation.emit()
 }
 
-/// Write the machine-readable `BENCH_PR5.json` snapshot next to the
+/// Time one single-threaded pass of the whole batch per leaf-scan
+/// kernel, asserting every mode returns bit-identical neighbors. The
+/// default `knn_with` path (what the threads sweep above measures) uses
+/// the columnar kernel, so this is the ablation isolating kernel cost
+/// from traversal cost.
+fn kernel_ablation(
+    index: &AnyIndex,
+    queries: &[Vec<f32>],
+    label: &str,
+) -> Result<Vec<f64>, String> {
+    let ix = index.index();
+    let mut qps = Vec::with_capacity(KERNELS.len());
+    let mut baseline: Option<Vec<Vec<(u64, u64)>>> = None;
+    for &(scan, key) in KERNELS {
+        // Untimed warm-up pass so every mode sees the same cache state.
+        for q in queries {
+            let warm = ix
+                .knn_scan_with(q, K, scan, &sr_obs::Noop)
+                .map_err(|e| e.to_string())?;
+            std::hint::black_box(&warm);
+        }
+        let t0 = Instant::now();
+        let mut results = Vec::with_capacity(queries.len());
+        for q in queries {
+            let out = ix
+                .knn_scan_with(q, K, scan, &sr_obs::Noop)
+                .map_err(|e| e.to_string())?;
+            results.push(
+                out.iter()
+                    .map(|n| (n.dist2.to_bits(), n.data))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some(results),
+            Some(base) => {
+                if *base != results {
+                    return Err(format!("{label}: {key} kernel diverged from scalar"));
+                }
+            }
+        }
+        qps.push(queries.len() as f64 / secs);
+    }
+    Ok(qps)
+}
+
+/// Write the machine-readable `BENCH_PR8.json` snapshot next to the
 /// working directory (the workspace root under `cargo run`).
-fn write_snapshot(n: usize, batch: usize, trees: &[(String, Vec<f64>)]) -> Result<(), String> {
+fn write_snapshot(
+    n: usize,
+    batch: usize,
+    trees: &[(String, Vec<f64>, Vec<f64>)],
+) -> Result<(), String> {
+    let fmt_list = |vals: &[f64]| {
+        vals.iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let mut s = String::from("{\n");
-    s.push_str("  \"pr\": 5,\n  \"experiment\": \"throughput\",\n");
+    s.push_str("  \"pr\": 8,\n  \"experiment\": \"throughput\",\n");
     s.push_str(&format!("  \"n\": {n},\n  \"batch\": {batch},\n"));
     s.push_str(&format!(
         "  \"threads\": [{}],\n  \"trees\": {{\n",
@@ -111,17 +214,17 @@ fn write_snapshot(n: usize, batch: usize, trees: &[(String, Vec<f64>)]) -> Resul
             .collect::<Vec<_>>()
             .join(", ")
     ));
-    for (i, (label, qps)) in trees.iter().enumerate() {
+    for (i, (label, qps, kernels)) in trees.iter().enumerate() {
         let base = qps.first().copied().unwrap_or(1.0);
-        let fmt_list = |vals: &[f64]| {
-            vals.iter()
-                .map(|v| format!("{v:.1}"))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
         let speedups: Vec<f64> = qps.iter().map(|q| q / base).collect();
+        let kernel_fields = KERNELS
+            .iter()
+            .zip(kernels.iter())
+            .map(|((_, key), v)| format!("\"{key}\": {v:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
-            "    \"{label}\": {{\"qps\": [{}], \"speedup\": [{}]}}{}\n",
+            "    \"{label}\": {{\"qps\": [{}], \"speedup\": [{}], \"kernels\": {{{kernel_fields}}}}}{}\n",
             fmt_list(qps),
             fmt_list(&speedups),
             if i + 1 < trees.len() { "," } else { "" }

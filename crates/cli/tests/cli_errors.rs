@@ -144,7 +144,7 @@ fn trace_json_emits_metrics_schema() {
     ]);
     assert!(build.status.success());
 
-    let q = vec!["0.5"; 8].join(",");
+    let q = ["0.5"; 8].join(",");
     let out = srtool(&[
         "knn",
         index.to_str().unwrap(),

@@ -20,6 +20,9 @@ use crate::tree::SrTree;
 /// Bulk-load `points` into the (empty) tree. Called via
 /// [`SrTree::bulk_load`].
 pub(crate) fn bulk_load(tree: &mut SrTree, points: Vec<(Point, u64)>) -> Result<()> {
+    // srlint: allow(assert) -- documented `# Panics` contract of the
+    // public `SrTree::bulk_load` API; the tree is caller-owned state,
+    // not decoded data.
     assert_eq!(tree.len(), 0, "bulk_load requires an empty tree");
     if points.is_empty() {
         return Ok(());

@@ -56,30 +56,18 @@ impl SrParams {
     /// # Panics
     /// Panics if the page cannot hold at least 2 entries per node and per
     /// leaf, or if `data_area < 8`.
+    #[allow(clippy::panic)] // documented contract panic; fallible callers use try_derive
     pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
-        assert!(dim > 0, "dimensionality must be positive");
-        assert!(
-            data_area >= 8,
-            "data area must hold at least the u64 payload"
-        );
-        let usable = page_capacity - NODE_HEADER;
-        let max_node = usable / Self::node_entry_bytes(dim);
-        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
-        assert!(
-            max_node >= 2 && max_leaf >= 2,
-            "page too small: {max_node} node entries, {max_leaf} leaf entries"
-        );
-        SrParams {
-            dim,
-            data_area,
-            max_node,
-            min_node: min_fill(max_node),
-            max_leaf,
-            min_leaf: min_fill(max_leaf),
-            reinsert_node: reinsert_count(max_node),
-            reinsert_leaf: reinsert_count(max_leaf),
-            radius_rule: RadiusRule::default(),
-            reinsert_enabled: true,
+        match Self::try_derive(page_capacity, dim, data_area) {
+            Some(p) => p,
+            // srlint: allow(panic) -- documented contract panic on
+            // construction-time configuration; fallible callers (the
+            // on-disk open path) go through `try_derive`.
+            None => panic!(
+                "invalid parameters: page_capacity={page_capacity} dim={dim} \
+                 data_area={data_area} (need dim > 0, data_area >= 8, and at \
+                 least 2 entries per node and leaf)"
+            ),
         }
     }
 
@@ -163,7 +151,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "page too small")]
+    #[should_panic(expected = "invalid parameters")]
     fn tiny_page_rejected() {
         let _ = SrParams::derive(500, 64, 512);
     }

@@ -23,7 +23,10 @@ pub struct SrOptions {
 }
 
 const META_MAGIC: u32 = 0x5352_5442; // "SRTB"
-const META_VERSION: u32 = 1;
+/// Version 2: leaves are columnar (dimension-major). Version-1 files are
+/// rejected with [`TreeError::NotThisIndex`] rather than silently
+/// misread — the byte totals match, but the entry layout moved.
+const META_VERSION: u32 = 2;
 
 /// A disk-based SR-tree over points — the paper's contribution: regions
 /// are the intersection of a bounding sphere and a bounding rectangle.
@@ -192,6 +195,20 @@ impl SrTree {
         Ok(())
     }
 
+    /// Read a leaf's raw payload for the columnar scan — a zero-copy view
+    /// into the buffer pool ([`sr_pager::PageBuf`]); the kernels score it
+    /// without decoding entries.
+    pub(crate) fn leaf_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Leaf)?)
+    }
+
+    /// Read an inner node's raw payload for the zero-copy bound scan —
+    /// same zero-copy view as [`SrTree::leaf_payload`], one logical read
+    /// per expansion so `node_expansions == node_reads` holds unchanged.
+    pub(crate) fn node_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Node)?)
+    }
+
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
         let kind = if level == 0 {
             PageKind::Leaf
@@ -290,6 +307,21 @@ impl SrTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::knn(self, query, k, rec)
+    }
+
+    /// [`SrTree::knn_with`] with an explicit leaf-scan kernel — the
+    /// ablation knob for the columnar layout. All modes return
+    /// bit-identical neighbors; they differ only in scan time (and in the
+    /// `EarlyAbandons` counter the pruning mode reports).
+    pub fn knn_scan_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_with_scan(self, query, k, scan, rec)
     }
 
     /// k-NN via best-first ("distance browsing", Hjaltason & Samet)
@@ -443,6 +475,16 @@ impl sr_query::SpatialIndex for SrTree {
         rec: &dyn sr_obs::Recorder,
     ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
         Ok(SrTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn knn_scan_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(SrTree::knn_scan_with(self, query, k, scan, rec)?)
     }
 
     fn range_with(

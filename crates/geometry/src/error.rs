@@ -1,0 +1,42 @@
+//! Typed errors for the geometry crate.
+//!
+//! The geometry crate is panic-free library code under the workspace's L1
+//! discipline: every fallible construction or byte-level kernel returns a
+//! [`GeometryError`] instead of asserting. The explicitly documented
+//! exception is [`Point::new`](crate::Point::new), whose contract panic is
+//! hatched at the definition — callers holding untrusted input use
+//! [`Point::try_new`](crate::Point::try_new).
+
+use std::fmt;
+
+/// Errors from checked geometry constructors and byte-level kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A zero-dimensional point was supplied; every algorithm in the
+    /// workspace requires at least one coordinate.
+    ZeroDim,
+    /// A columnar coordinate block's byte length disagrees with the
+    /// claimed entry count and dimensionality.
+    Layout {
+        /// Bytes the (count, dim) pair implies.
+        expected: usize,
+        /// Bytes actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroDim => {
+                write!(f, "points must have at least one dimension")
+            }
+            GeometryError::Layout { expected, actual } => write!(
+                f,
+                "columnar block layout mismatch: expected {expected} bytes, got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}

@@ -21,11 +21,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
+pub mod kernel;
 pub mod mbr;
 pub mod rect;
 pub mod sphere;
 pub mod vector;
 
+pub use error::GeometryError;
+pub use kernel::{
+    dist2_columnar, dist2_columnar_early_abandon, dist2_f64le, rect_min_dist2_f64le,
+    sphere_min_dist2_f64le, EARLY_ABANDON_HEAD_DIMS,
+};
 pub use mbr::{
     bounding_rect_of_points, bounding_sphere_of_points, enclosing_radius_rects,
     enclosing_radius_spheres, next_radius_up, Centroid,

@@ -31,6 +31,8 @@ pub struct Centroid {
 impl Centroid {
     /// Empty accumulator for `dim` dimensions.
     pub fn new(dim: usize) -> Self {
+        // srlint: allow(assert) -- dimension comes from an existing point's
+        // length, which `Point::try_new` already guarantees positive.
         assert!(dim > 0, "centroid needs at least one dimension");
         Centroid {
             sums: vec![0.0; dim],

@@ -25,12 +25,18 @@ impl Rect {
     /// `min > max`.
     pub fn new(min: impl Into<Box<[f32]>>, max: impl Into<Box<[f32]>>) -> Self {
         let (min, max) = (min.into(), max.into());
+        // srlint: allow(assert) -- documented contract panic; decode
+        // paths read both bounds with the same `dim`, so lengths match
+        // by construction.
         assert_eq!(min.len(), max.len(), "bound slices must match in length");
+        // srlint: allow(assert) -- same constructor contract.
         assert!(
             !min.is_empty(),
             "rectangles must have at least one dimension"
         );
         for (i, (&lo, &hi)) in min.iter().zip(max.iter()).enumerate() {
+            // srlint: allow(assert) -- decode paths reject inverted
+            // rectangles with a typed error before construction.
             assert!(lo <= hi, "dimension {i}: min {lo} > max {hi}");
         }
         Rect { min, max }

@@ -30,6 +30,9 @@ impl Sphere {
     /// # Panics
     /// Panics if the radius is negative or not finite.
     pub fn new(center: Point, radius: f32) -> Self {
+        // srlint: allow(assert) -- documented contract panic; the tree
+        // decode paths validate radius finiteness before construction, so
+        // untrusted page bytes cannot reach this assert.
         assert!(
             radius.is_finite() && radius >= 0.0,
             "sphere radius must be finite and non-negative, got {radius}"

@@ -7,6 +7,8 @@
 use std::fmt;
 use std::ops::{Deref, Index};
 
+use crate::error::GeometryError;
+
 /// A point in D-dimensional space with `f32` coordinates.
 ///
 /// The dimensionality is implicit in the length; every index structure in
@@ -17,16 +19,35 @@ pub struct Point(Box<[f32]>);
 impl Point {
     /// Create a point from its coordinates.
     ///
+    /// This is the infallible constructor for literals and for callers
+    /// that have already validated dimensionality (the trees check every
+    /// stored point against the index's `dim`). Untrusted input — parsed
+    /// files, decoded pages, CLI arguments — goes through
+    /// [`Point::try_new`] instead.
+    ///
     /// # Panics
     /// Panics if `coords` is empty; zero-dimensional points are meaningless
     /// to every algorithm in this workspace.
     pub fn new(coords: impl Into<Box<[f32]>>) -> Self {
         let coords = coords.into();
+        // srlint: allow(assert) -- deliberate contract panic on a
+        // constructor for trusted/literal input; fallible callers use
+        // `try_new`, which returns `GeometryError::ZeroDim`.
         assert!(
             !coords.is_empty(),
             "points must have at least one dimension"
         );
         Point(coords)
+    }
+
+    /// Create a point, rejecting the zero-dimensional case with a typed
+    /// error instead of a panic.
+    pub fn try_new(coords: impl Into<Box<[f32]>>) -> Result<Self, GeometryError> {
+        let coords = coords.into();
+        if coords.is_empty() {
+            return Err(GeometryError::ZeroDim);
+        }
+        Ok(Point(coords))
     }
 
     /// The origin (all-zero point) in `dim` dimensions.
@@ -169,6 +190,18 @@ mod tests {
     #[should_panic(expected = "at least one dimension")]
     fn zero_dimensional_point_rejected() {
         let _ = Point::new(Vec::<f32>::new());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_dimensions_without_panicking() {
+        assert_eq!(
+            Point::try_new(Vec::<f32>::new()).unwrap_err(),
+            GeometryError::ZeroDim
+        );
+        assert_eq!(
+            Point::try_new(vec![1.0, 2.0]).unwrap(),
+            Point::new(vec![1.0, 2.0])
+        );
     }
 
     #[test]

@@ -29,24 +29,18 @@ impl KdbParams {
     /// # Panics
     /// Panics if the page cannot hold at least 2 entries per page kind,
     /// or if `data_area < 8`.
+    #[allow(clippy::panic)] // documented contract panic; fallible callers use try_derive
     pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
-        assert!(dim > 0, "dimensionality must be positive");
-        assert!(
-            data_area >= 8,
-            "data area must hold at least the u64 payload"
-        );
-        let usable = page_capacity - NODE_HEADER;
-        let max_node = usable / Self::node_entry_bytes(dim);
-        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
-        assert!(
-            max_node >= 2 && max_leaf >= 2,
-            "page too small: {max_node} region entries, {max_leaf} point entries"
-        );
-        KdbParams {
-            dim,
-            data_area,
-            max_node,
-            max_leaf,
+        match Self::try_derive(page_capacity, dim, data_area) {
+            Some(p) => p,
+            // srlint: allow(panic) -- documented contract panic on
+            // construction-time configuration; fallible callers (the
+            // on-disk open path) go through `try_derive`.
+            None => panic!(
+                "invalid parameters: page_capacity={page_capacity} dim={dim} \
+                 data_area={data_area} (need dim > 0, data_area >= 8, and at \
+                 least 2 entries per node and leaf)"
+            ),
         }
     }
 
@@ -95,7 +89,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "page too small")]
+    #[should_panic(expected = "invalid parameters")]
     fn tiny_page_rejected() {
         let _ = KdbParams::derive(300, 64, 512);
     }

@@ -44,7 +44,7 @@
 //!   carries a reasoned `// srlint: send-sync -- reason` note.
 //!
 //! The escape hatch is `// srlint: allow(<rule>) -- <reason>`, where
-//! `<rule>` is the rule id's tail (`panic`, `index`, `cast`,
+//! `<rule>` is the rule id's tail (`panic`, `assert`, `index`, `cast`,
 //! `error-type`, `dead-variant`, `lock-order`, `lock-io`,
 //! `lock-cycle`, `guard-escape`, `ordering`, `ordering-relaxed`,
 //! `ordering-unused`, `error-conversion`, `swallowed-error`,
@@ -80,9 +80,11 @@ pub const LIB_CRATES: &[&str] = &[
 
 /// Hot-path files under the L2 rules, relative to the workspace root.
 pub const L2_FILES: &[&str] = &[
+    "crates/geometry/src/kernel.rs",
     "crates/geometry/src/rect.rs",
     "crates/geometry/src/sphere.rs",
     "crates/geometry/src/vector.rs",
+    "crates/pager/src/leaf.rs",
     "crates/pager/src/page.rs",
 ];
 
@@ -389,6 +391,7 @@ pub fn lint_crates_with(
         let crate_files = &mut files[span.range.clone()];
         for (f, &l2) in crate_files.iter_mut().zip(&span.l2) {
             rules::l1_panic(&mut f.lexed, &f.path, &mut diags);
+            rules::l1_assert(&mut f.lexed, &f.path, &mut diags);
             if l2 {
                 rules::l2_hot_path(&mut f.lexed, &f.path, &mut diags);
             }

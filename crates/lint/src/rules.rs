@@ -1,9 +1,13 @@
 //! The three srlint rule passes.
 //!
-//! * **L1 (panic)** — no `unwrap()` / `expect()` / `panic!` /
+//! * **L1 (panic / assert)** — no `unwrap()` / `expect()` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` in non-test library
-//!   code. `assert!` / `debug_assert!` stay legal: they guard caller
-//!   contracts, not data-dependent paths.
+//!   code, and no release-mode `assert!` / `assert_eq!` / `assert_ne!`
+//!   either. Asserts were originally exempt as "caller-contract guards,
+//!   not data-dependent paths" — a coverage gap: `Point::new`'s assert
+//!   was reachable from decoded page bytes, i.e. from data. Only
+//!   `debug_assert*` stays legal (it vanishes in release builds);
+//!   deliberate contract panics must hatch with a reason.
 //! * **L2 (index / cast)** — no slice indexing `[...]` and no `as`
 //!   numeric casts in the audited hot-path files (geometry distance
 //!   kernels, pager page codec).
@@ -20,6 +24,10 @@ use crate::Diagnostic;
 const L1_METHODS: &[&str] = &["unwrap", "expect"];
 /// Identifiers that L1 flags when invoked as `name!`.
 const L1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Release-mode assert macros the L1 assert pass flags when invoked as
+/// `name!`. `debug_assert*` is deliberately absent: it compiles away in
+/// release builds and cannot panic on production data.
+const L1_ASSERTS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 /// Numeric primitive names for the L2 `as`-cast check.
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
@@ -68,6 +76,42 @@ pub fn l1_panic(lexed: &mut Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
             &lexed.tokens[i],
             "L1/panic",
             format!("{what} in non-test library code; return a typed error instead"),
+        ));
+    }
+}
+
+/// L1: no release-mode asserts in non-test library code.
+///
+/// Closes the gap that let `Point::new`'s `assert!` ship unreviewed: the
+/// original L1 pass treated every assert as a caller-contract guard, but
+/// an assert is a panic whenever its input can come from data (decoded
+/// pages, parsed files, CLI arguments). Validate with a typed error, use
+/// `debug_assert!` for true internal invariants, or hatch a deliberate
+/// contract panic with `// srlint: allow(assert) -- <reason>`.
+pub fn l1_assert(lexed: &mut Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
+    for i in 0..lexed.tokens.len() {
+        if lexed.test_mask[i] || lexed.tokens[i].kind != Kind::Ident {
+            continue;
+        }
+        let name = lexed.tokens[i].text.clone();
+        if !L1_ASSERTS.contains(&name.as_str()) {
+            continue;
+        }
+        if !lexed.tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            continue;
+        }
+        let line = lexed.tokens[i].line;
+        if lexed.allow("assert", line) {
+            continue;
+        }
+        diags.push(diag(
+            file,
+            &lexed.tokens[i],
+            "L1/assert",
+            format!(
+                "`{name}!` panics in release builds; return a typed error, use `debug_assert!`, \
+                 or hatch a deliberate contract panic"
+            ),
         ));
     }
 }

@@ -14,10 +14,14 @@ pub fn lookup(xs: &[u32]) -> u32 {
     }
 }
 
-pub fn asserts_are_fine(x: usize) -> usize {
+pub fn release_asserts_are_flagged(x: usize, y: usize) -> usize {
     assert!(x < 100, "caller contract");
+    assert_eq!(x % 2, 0);
+    assert_ne!(y, 0);
     debug_assert!(x != 7);
-    x + 1
+    // srlint: allow(assert) -- fixture: a documented contract panic.
+    assert!(y < 100);
+    x + y
 }
 
 pub fn fallbacks_are_fine(x: Option<u32>) -> u32 {

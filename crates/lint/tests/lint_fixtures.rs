@@ -23,8 +23,10 @@ fn rules_at(diags: &[Diagnostic]) -> Vec<(String, u32)> {
 fn l1_flags_every_panic_class_and_skips_tests() {
     let diags = lint_one("l1_panic.rs", include_str!("fixtures/l1_panic.rs"), false);
     let l1: Vec<_> = diags.iter().filter(|d| d.rule == "L1/panic").collect();
-    // unwrap, expect, panic!, todo!, unreachable! — and nothing from the
-    // cfg(test) module or the assert/unwrap_or families.
+    // unwrap, expect, panic!, todo!, unreachable! from L1/panic, then the
+    // release-mode assert family from L1/assert — and nothing from the
+    // cfg(test) module, the unwrap_or family, `debug_assert!`, or the
+    // hatched assert.
     assert_eq!(
         rules_at(&diags.clone()),
         vec![
@@ -33,6 +35,9 @@ fn l1_flags_every_panic_class_and_skips_tests() {
             ("L1/panic".to_string(), 8),
             ("L1/panic".to_string(), 11),
             ("L1/panic".to_string(), 12),
+            ("L1/assert".to_string(), 18),
+            ("L1/assert".to_string(), 19),
+            ("L1/assert".to_string(), 20),
         ],
         "{diags:#?}"
     );
@@ -48,7 +53,7 @@ fn l1_flags_every_panic_class_and_skips_tests() {
         "`.expect()` can panic in non-test library code; return a typed error instead"
     );
     assert!(
-        diags.iter().all(|d| d.line < 28,),
+        diags.iter().all(|d| d.line < 32,),
         "cfg(test) module must be exempt: {diags:#?}"
     );
 }

@@ -24,6 +24,12 @@ pub enum Counter {
     PruneSphere,
     /// Prune events where the *rectangle* bound alone was sufficient.
     PruneRect,
+    /// Leaf points abandoned by the early-abandon distance kernel: their
+    /// partial squared distance already exceeded the pruning threshold,
+    /// so the remaining dimensions were never accumulated. Every such
+    /// point still counts toward `PointsScored` (the scan visited it),
+    /// keeping `points_scored` identical across scan modes.
+    EarlyAbandons,
     /// Buffer-pool hits observed by the caller (mirrored from `IoStats`).
     CacheHits,
     /// Buffer-pool misses observed by the caller (mirrored from `IoStats`).
@@ -53,7 +59,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 17] = [
         Counter::NodeExpansions,
         Counter::LeafExpansions,
         Counter::PointsScored,
@@ -61,6 +67,7 @@ impl Counter {
         Counter::PruneEvents,
         Counter::PruneSphere,
         Counter::PruneRect,
+        Counter::EarlyAbandons,
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::WalFramesAppended,
@@ -82,6 +89,7 @@ impl Counter {
             Counter::PruneEvents => "prune_events",
             Counter::PruneSphere => "prune_sphere",
             Counter::PruneRect => "prune_rect",
+            Counter::EarlyAbandons => "early_abandons",
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::WalFramesAppended => "wal_frames_appended",
@@ -112,6 +120,7 @@ impl Counter {
             Counter::WalReplayedFrames => 13,
             Counter::WalDroppedFrames => 14,
             Counter::WalTornTails => 15,
+            Counter::EarlyAbandons => 16,
         }
     }
 }

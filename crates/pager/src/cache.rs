@@ -12,11 +12,15 @@
 //! the page (de)serialization work above it.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use crate::page::PageId;
 
 struct Entry {
-    data: Box<[u8]>,
+    /// Shared, immutable page image: a hit hands the caller a cheap
+    /// `Arc` clone instead of copying the page, and eviction is safe
+    /// while readers still hold the image.
+    data: Arc<[u8]>,
     tick: u64,
 }
 
@@ -61,11 +65,12 @@ impl LruCache {
         }
     }
 
-    /// Look up a page, refreshing its recency.
-    pub fn get(&mut self, id: PageId) -> Option<&[u8]> {
+    /// Look up a page, refreshing its recency. The returned image is a
+    /// shared handle — no page bytes are copied on a hit.
+    pub fn get(&mut self, id: PageId) -> Option<Arc<[u8]>> {
         if self.map.contains_key(&id) {
             self.bump(id);
-            self.map.get(&id).map(|e| &*e.data)
+            self.map.get(&id).map(|e| Arc::clone(&e.data))
         } else {
             None
         }
@@ -73,7 +78,7 @@ impl LruCache {
 
     /// Insert (or overwrite) a page image. Returns whether a resident
     /// page was evicted to make room.
-    pub fn insert(&mut self, id: PageId, data: Box<[u8]>) -> bool {
+    pub fn insert(&mut self, id: PageId, data: Arc<[u8]>) -> bool {
         if self.capacity == 0 {
             return false;
         }
@@ -126,8 +131,8 @@ impl LruCache {
 mod tests {
     use super::*;
 
-    fn page(b: u8) -> Box<[u8]> {
-        vec![b; 8].into_boxed_slice()
+    fn page(b: u8) -> Arc<[u8]> {
+        Arc::from(vec![b; 8])
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub enum PagerError {
     /// The file is not a page file, has a bad magic/version, or its header
     /// is internally inconsistent.
     Corrupt(String),
+    /// API misuse caught at runtime: an operation was asked of a page id
+    /// or kind it can never apply to (allocating a meta/free page,
+    /// freeing the meta page).
+    InvalidRequest(String),
     /// A [`PageCodec`](crate::PageCodec) read or write ran past the end of
     /// its buffer — a truncated or corrupted page payload (or, for writes,
     /// an entry that does not fit the page it was sized for).
@@ -81,6 +85,7 @@ impl fmt::Display for PagerError {
                 "page {id} has kind {found} but kind {expected} was expected"
             ),
             PagerError::Corrupt(msg) => write!(f, "page file corrupt: {msg}"),
+            PagerError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             PagerError::CodecOverrun { pos, want, len } => write!(
                 f,
                 "page codec overrun: {want} byte(s) at offset {pos} in a {len}-byte buffer"

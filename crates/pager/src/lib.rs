@@ -30,6 +30,7 @@
 mod cache;
 mod error;
 mod fault;
+mod leaf;
 mod logstore;
 mod page;
 mod pagefile;
@@ -40,9 +41,10 @@ mod wal;
 
 pub use error::{PagerError, Result};
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultStats};
+pub use leaf::{put_leaf_columns, LeafColumns, LEAF_HEADER};
 pub use logstore::{wal_file_path, FileLogStore, LogStore, MemLogStore};
-pub use page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
-pub use pagefile::PageFile;
+pub use page::{PageCodec, PageId, PageKind, PageReader, DEFAULT_PAGE_SIZE};
+pub use pagefile::{PageBuf, PageFile};
 pub use stats::IoStats;
 pub use store::{FilePageStore, MemPageStore, PageStore};
 pub use wal::{

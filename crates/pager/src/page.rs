@@ -238,6 +238,132 @@ impl<'a> PageCodec<'a> {
     }
 }
 
+/// A read-only cursor over a borrowed page image.
+///
+/// The decoding mirror of [`PageCodec`]: same little-endian accessors and
+/// the same [`PagerError::CodecOverrun`] contract, but over `&[u8]`, so
+/// pages served straight from the buffer pool (shared, immutable images)
+/// can be parsed without copying them into a scratch buffer first.
+pub struct PageReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PageReader<'a> {
+    /// Wrap a buffer for decoding from offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PageReader { buf, pos: 0 }
+    }
+
+    /// Current cursor position (bytes consumed so far).
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Claim the next `n` bytes, advancing the cursor.
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let overrun = PagerError::CodecOverrun {
+            pos: self.pos,
+            want: n,
+            len: self.buf.len(),
+        };
+        let end = match self.pos.checked_add(n) {
+            Some(end) => end,
+            None => return Err(overrun),
+        };
+        match self.buf.get(self.pos..end) {
+            Some(s) => {
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(overrun),
+        }
+    }
+
+    /// Read the next `N` bytes as a fixed-size array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s)
+            .map_err(|_| PagerError::Corrupt("reader take() length mismatch".into()))
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(u8::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read an `f32`.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read `n` `f32`s into a fresh vector.
+    pub fn get_f32_vec(&mut self, n: usize) -> Result<Vec<f32>> {
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take_array()?))
+    }
+
+    /// Read `n` coordinates stored as `f64`, narrowing back to `f32`.
+    pub fn get_coords(&mut self, n: usize) -> Result<Vec<f32>> {
+        (0..n)
+            // srlint: allow(cast) -- on-disk f64 coordinates narrow back to
+            // the in-memory f32 format by design (paper Table 1 layout);
+            // every stored value originated as an f32, so this is lossless.
+            .map(|_| self.get_f64().map(|v| v as f32))
+            .collect()
+    }
+
+    /// Read `n` coordinates into a caller-provided buffer, avoiding the
+    /// per-call allocation of [`PageReader::get_coords`].
+    pub fn get_coords_into(&mut self, n: usize, out: &mut Vec<f32>) -> Result<()> {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            // srlint: allow(cast) -- same lossless f64 -> f32 narrowing as
+            // `get_coords`; see the note there.
+            out.push(self.get_f64().map(|v| v as f32)?);
+        }
+        Ok(())
+    }
+
+    /// Skip `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n)?;
+        Ok(())
+    }
+
+    /// Read `n` raw bytes; the slice borrows from the underlying buffer.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,15 +57,17 @@
 // srlint: lock-order(shard < wal) -- the read-through probes the WAL index while holding the page's shard lock; acquiring a shard while holding the WAL lock would invert the order and deadlock
 
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::sync::Mutex;
 
 use crate::cache::LruCache;
 use crate::error::{PagerError, Result};
 use crate::logstore::{wal_file_path, FileLogStore, LogStore, MemLogStore};
-use crate::page::{PageCodec, PageId, PageKind, DEFAULT_PAGE_SIZE};
+use crate::page::{PageCodec, PageId, PageKind, PageReader, DEFAULT_PAGE_SIZE};
 use crate::stats::{AtomicIoStats, IoStats};
 use crate::store::{FilePageStore, MemPageStore, PageStore};
 use crate::wal::{
@@ -106,6 +108,63 @@ struct WalState {
     epoch: u64, // srlint: guarded-by(wal)
     /// Commit markers appended in this generation.
     commit_seq: u64, // srlint: guarded-by(wal)
+}
+
+/// A zero-copy view of one page's payload.
+///
+/// Holds a shared reference to the buffer pool's immutable page image
+/// plus the payload's byte range, and dereferences to `&[u8]`. Page
+/// images are never mutated in place — a write installs a fresh image —
+/// so the view is immutable and remains valid after eviction or
+/// overwrite of the page it came from.
+#[derive(Clone)]
+pub struct PageBuf {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Deref for PageBuf {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        // The range is validated against the image in `PageFile::read`;
+        // an out-of-sync view degrades to empty rather than panicking.
+        self.data.get(self.start..self.end).unwrap_or(&[])
+    }
+}
+
+impl AsRef<[u8]> for PageBuf {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq<[u8]> for PageBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PageBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for PageBuf {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageBuf")
+            .field("len", &(self.end - self.start))
+            .finish()
+    }
 }
 
 /// A page file: fixed-size pages addressed by [`PageId`], with a
@@ -443,10 +502,11 @@ impl PageFile {
     /// Allocate a page, reusing the free list when possible. The page is
     /// initialized with an empty payload of the given kind.
     pub fn allocate(&self, kind: PageKind) -> Result<PageId> {
-        assert!(
-            kind != PageKind::Meta && kind != PageKind::Free,
-            "cannot allocate {kind:?}"
-        );
+        if kind == PageKind::Meta || kind == PageKind::Free {
+            return Err(PagerError::InvalidRequest(format!(
+                "cannot allocate {kind:?}"
+            )));
+        }
         let id = {
             // meta → shard → wal lock order: read_raw below probes a
             // cache shard and the WAL index while we hold the meta lock.
@@ -454,8 +514,8 @@ impl PageFile {
             if state.free_head != NIL {
                 let id = state.free_head;
                 // Next pointer lives in the freed page's payload.
-                let mut data = self.read_raw(id)?;
-                let mut c = PageCodec::new(&mut data);
+                let data = self.read_raw(id)?;
+                let mut c = PageReader::new(&data);
                 let k = c.get_u8()?;
                 if k != PageKind::Free.as_u8() {
                     return Err(PagerError::Corrupt(format!(
@@ -484,7 +544,11 @@ impl PageFile {
 
     /// Return a page to the free list.
     pub fn free(&self, id: PageId) -> Result<()> {
-        assert!(id != 0, "cannot free the meta page");
+        if id == 0 {
+            return Err(PagerError::InvalidRequest(
+                "cannot free the meta page".into(),
+            ));
+        }
         let head = {
             // meta → shard: drop the page from its cache shard while the
             // free-list head is pinned, then release both before the log
@@ -516,6 +580,7 @@ impl PageFile {
     /// mutation path to page data between checkpoints — the store itself
     /// is written exclusively by [`PageFile::flush`] and replay.
     fn log_page(&self, id: PageId, page: Box<[u8]>) -> Result<()> {
+        let page: Arc<[u8]> = Arc::from(page);
         // Stage the append under the WAL lock, run the log I/O after
         // releasing it (mutations are single-writer by contract, so the
         // append offset cannot move in between), publish on success. A
@@ -554,11 +619,11 @@ impl PageFile {
     /// accounting stays exact under concurrency: every miss is exactly
     /// one physical read. Pages written since the last checkpoint are
     /// served from the write-ahead log; everything else from the store.
-    fn read_raw(&self, id: PageId) -> Result<Box<[u8]>> {
+    fn read_raw(&self, id: PageId) -> Result<Arc<[u8]>> {
         let mut cache = self.shard(id)?.lock();
         if let Some(data) = cache.get(id) {
             self.stats.record_cache_hit();
-            return Ok(data.to_vec().into_boxed_slice());
+            return Ok(data);
         }
         self.stats.record_cache_miss();
         let mut buf = vec![0u8; self.page_size].into_boxed_slice();
@@ -584,17 +649,24 @@ impl PageFile {
                 self.store.read_page(id, &mut buf)?;
             }
         }
-        if cache.insert(id, buf.clone()) {
+        let buf: Arc<[u8]> = Arc::from(buf);
+        if cache.insert(id, Arc::clone(&buf)) {
             self.stats.record_cache_evictions(1);
         }
         Ok(buf)
     }
 
     /// Read the payload of page `id`, checking that its kind matches.
-    pub fn read(&self, id: PageId, expected: PageKind) -> Result<Vec<u8>> {
+    ///
+    /// The returned [`PageBuf`] is a zero-copy view into the shared page
+    /// image the buffer pool holds: a cache hit costs an `Arc` clone, not
+    /// a page-sized memcpy, and the view stays valid even if the page is
+    /// evicted or rewritten after this call returns (later writes install
+    /// a fresh image; they never mutate a published one).
+    pub fn read(&self, id: PageId, expected: PageKind) -> Result<PageBuf> {
         self.stats.record_logical_read(expected);
-        let mut data = self.read_raw(id)?;
-        let mut c = PageCodec::new(&mut data);
+        let data = self.read_raw(id)?;
+        let mut c = PageReader::new(&data);
         let kind = c.get_u8()?;
         if kind != expected.as_u8() {
             return Err(PagerError::KindMismatch {
@@ -610,7 +682,15 @@ impl PageFile {
                 "page {id} claims payload of {len} bytes"
             )));
         }
-        Ok(c.get_bytes(len)?.to_vec())
+        let start = c.pos();
+        let end = start.checked_add(len).filter(|&e| e <= data.len()).ok_or(
+            PagerError::CodecOverrun {
+                pos: start,
+                want: len,
+                len: data.len(),
+            },
+        )?;
+        Ok(PageBuf { data, start, end })
     }
 
     /// Write `payload` to page `id` with the given kind. The image goes

@@ -55,6 +55,8 @@ pub struct MemPageStore {
 impl MemPageStore {
     /// Create an empty store with the given page size.
     pub fn new(page_size: usize) -> Self {
+        // srlint: allow(assert) -- page size is construction-time
+        // configuration chosen by the caller, never decoded data.
         assert!(page_size >= 64, "page size {page_size} is unusably small");
         MemPageStore {
             page_size,
@@ -137,6 +139,8 @@ pub struct FilePageStore {
 impl FilePageStore {
     /// Create (truncating) a page file at `path`.
     pub fn create(path: &Path, page_size: usize) -> Result<Self> {
+        // srlint: allow(assert) -- page size is construction-time
+        // configuration chosen by the caller, never decoded data.
         assert!(page_size >= 64, "page size {page_size} is unusably small");
         let file = OpenOptions::new()
             .read(true)

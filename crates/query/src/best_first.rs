@@ -117,7 +117,7 @@ pub fn knn_best_first_with<S: KnnSource, R: Recorder + ?Sized>(
             Item::Point(n) => cands.offer(n.dist2, n.data),
             Item::Node(node, _) => {
                 exp.clear();
-                src.expand(&node, query, &mut exp)?;
+                src.expand(&node, query, cands.prune_dist2(), &mut exp)?;
                 record_expansion(rec, &exp);
                 for n in exp.points.drain(..) {
                     seq += 1;

@@ -72,6 +72,8 @@ pub struct DistanceStats {
 /// Panics if fewer than two points are supplied.
 pub fn pairwise_distance_stats(points: &[&[f32]], sample_cap: usize) -> DistanceStats {
     let n = points.len().min(sample_cap.max(2));
+    // srlint: allow(assert) -- documented `# Panics` contract of a
+    // ground-truth statistics helper fed by benchmark configuration.
     assert!(n >= 2, "need at least two points for pairwise distances");
     let mut min = f64::INFINITY;
     let mut max: f64 = 0.0;

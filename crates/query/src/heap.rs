@@ -60,6 +60,9 @@ impl CandidateSet {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
+        // srlint: allow(assert) -- contract panic on an internal engine
+        // type; both public engines resolve k == 0 to an empty result
+        // before ever constructing a CandidateSet.
         assert!(k > 0, "k-NN with k = 0 is meaningless");
         CandidateSet {
             k,
@@ -69,6 +72,20 @@ impl CandidateSet {
 
     /// Offer a candidate; it is kept only if it beats the current worst
     /// (or the set is not yet full).
+    ///
+    /// **Tie-break contract.** Candidates are ordered by the lexicographic
+    /// pair `(dist2, data)`: a candidate at exactly the k-th distance but
+    /// with a smaller data id *replaces* the current worst. Two
+    /// consequences every scan kernel must respect:
+    ///
+    /// 1. `dist2` must be computed in the pinned accumulation order
+    ///    (ascending dimension, one f64 accumulator — see
+    ///    `sr_geometry::dist2`) so equal points produce bit-equal
+    ///    distances in every scan mode.
+    /// 2. Early-abandon may drop an entry only when its *partial* distance
+    ///    strictly exceeds [`CandidateSet::prune_dist2`]. An entry whose
+    ///    full distance ties the threshold must complete, because the data
+    ///    tie-break can still admit it.
     pub fn offer(&mut self, dist2: f64, data: u64) {
         if self.heap.len() < self.k {
             self.heap.push(HeapEntry(Neighbor { dist2, data }));

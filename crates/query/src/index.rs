@@ -120,6 +120,24 @@ pub trait SpatialIndex: Send + Sync {
         rec: &dyn Recorder,
     ) -> Result<Vec<Neighbor>, IndexError>;
 
+    /// [`SpatialIndex::knn_with`] with an explicit leaf-scan kernel —
+    /// the ablation knob for the columnar leaf layout. Every mode
+    /// returns bit-identical neighbors; modes differ only in scan time
+    /// and in the `EarlyAbandons` counter the pruning mode reports. The
+    /// default implementation ignores `scan` and answers through
+    /// [`SpatialIndex::knn_with`] — correct for indexes without a
+    /// paged columnar leaf path (e.g. the brute-force test index).
+    fn knn_scan_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: crate::LeafScan,
+        rec: &dyn Recorder,
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        let _ = scan;
+        self.knn_with(query, k, rec)
+    }
+
     /// Every point within `radius` of `query`, sorted by ascending
     /// distance, with a metrics recorder.
     fn range_with(

@@ -41,6 +41,27 @@ pub struct Branch<N> {
     pub node: N,
 }
 
+/// How a tree scans leaf entries during a query.
+///
+/// The on-disk leaves are columnar (dimension-major); the scan mode picks
+/// the kernel that scores them. All three modes produce bit-identical
+/// result sets — the ablation difference is time, not answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LeafScan {
+    /// Materialise every entry through the node codec and score it with
+    /// the scalar kernel. The ablation baseline and differential-fuzz
+    /// reference.
+    Scalar,
+    /// Score the whole leaf with the columnar kernel straight off the
+    /// page buffer; every entry's full distance is computed.
+    Columnar,
+    /// Columnar kernel with early-abandon partial-distance pruning
+    /// against the engine's current threshold (the running k-th candidate
+    /// distance, or a range query's squared radius).
+    #[default]
+    EarlyAbandon,
+}
+
 /// What a node expands into: scored child branches (internal node) or
 /// scored points (leaf). A tree fills exactly one of the two vectors per
 /// call; the metrics layer classifies an expansion with no branches as a
@@ -50,6 +71,17 @@ pub struct Expansion<N> {
     pub branches: Vec<Branch<N>>,
     /// Leaf points with their exact squared distance from the query.
     pub points: Vec<Neighbor>,
+    /// Leaf entries the early-abandon kernel dropped before their full
+    /// distance was accumulated. They still count as scanned — the
+    /// metrics layer adds them to `PointsScored` so the counter is
+    /// identical across scan modes — and are also credited to their own
+    /// `EarlyAbandons` counter.
+    pub abandoned: u64,
+    /// Scratch distances for the columnar kernels, owned here so a
+    /// query's leaf scans reuse one allocation.
+    pub dist_scratch: Vec<f64>,
+    /// Scratch survivor mask for the early-abandon kernel.
+    pub alive_scratch: Vec<bool>,
 }
 
 impl<N> Default for Expansion<N> {
@@ -57,16 +89,21 @@ impl<N> Default for Expansion<N> {
         Expansion {
             branches: Vec::new(),
             points: Vec::new(),
+            abandoned: 0,
+            dist_scratch: Vec::new(),
+            alive_scratch: Vec::new(),
         }
     }
 }
 
 impl<N> Expansion<N> {
-    /// Clear both vectors, keeping capacity (the engine reuses one
-    /// `Expansion` per level).
+    /// Clear the per-expansion state, keeping capacity (the engines reuse
+    /// `Expansion`s across visits). The kernel scratch buffers are
+    /// managed by the kernels themselves.
     pub fn clear(&mut self) {
         self.branches.clear();
         self.points.clear();
+        self.abandoned = 0;
     }
 
     /// Push a leaf point with its exact squared distance.
@@ -114,10 +151,18 @@ pub trait KnnSource {
 
     /// Expand `node`: push scored children (internal node) or scored
     /// points (leaf) into `out`. `out` arrives cleared.
+    ///
+    /// `prune2` is the engine's current pruning threshold — the running
+    /// k-th candidate's squared distance (`+inf` until `k` candidates
+    /// exist) or a range query's squared radius. A leaf scan may use it
+    /// to abandon entries whose partial distance already exceeds it
+    /// *strictly*; abandoned entries are counted in `out.abandoned`, not
+    /// pushed as points.
     fn expand(
         &self,
         node: &Self::Node,
         query: &[f32],
+        prune2: f64,
         out: &mut Expansion<Self::Node>,
     ) -> Result<(), Self::Error>;
 }
@@ -132,7 +177,15 @@ pub(crate) fn record_expansion<N, R: Recorder + ?Sized>(rec: &R, exp: &Expansion
         rec.incr(Counter::BranchesConsidered, exp.branches.len() as u64);
         rec.observe(Hist::NodeFanout, exp.branches.len() as u64);
     }
-    rec.incr(Counter::PointsScored, exp.points.len() as u64);
+    // Abandoned entries were visited by the scan — only their distance
+    // accumulation stopped early — so they stay in `PointsScored`,
+    // keeping the counter identical across scan modes, and are credited
+    // to their own counter on top.
+    rec.incr(
+        Counter::PointsScored,
+        exp.points.len() as u64 + exp.abandoned,
+    );
+    rec.incr(Counter::EarlyAbandons, exp.abandoned);
 }
 
 /// Count one pruned branch, attributing the event to every shape whose
@@ -180,9 +233,15 @@ pub fn knn_with<S: KnnSource, R: Recorder + ?Sized>(
     rec: &R,
 ) -> Result<Vec<Neighbor>, S::Error> {
     let _span = SpanTimer::start(rec, Hist::QueryNs);
+    if k == 0 {
+        // A 0-NN query has exactly one right answer; resolving it here
+        // keeps `CandidateSet::new`'s k > 0 contract intact.
+        return Ok(Vec::new());
+    }
     let mut cands = CandidateSet::new(k);
+    let mut pool = Vec::new();
     if let Some(root) = src.root()? {
-        visit(src, &root, query, &mut cands, rec)?;
+        visit(src, &root, query, &mut cands, rec, &mut pool)?;
     }
     rec.gauge_max(Gauge::HeapHighWater, cands.len() as u64);
     Ok(cands.into_sorted())
@@ -194,9 +253,13 @@ fn visit<S: KnnSource, R: Recorder + ?Sized>(
     query: &[f32],
     cands: &mut CandidateSet,
     rec: &R,
+    pool: &mut Vec<Expansion<S::Node>>,
 ) -> Result<(), S::Error> {
-    let mut exp = Expansion::default();
-    src.expand(node, query, &mut exp)?;
+    // Recycle an expansion from the pool: the depth-first walk would
+    // otherwise allocate fresh vectors at every level of every path.
+    let mut exp = pool.pop().unwrap_or_default();
+    exp.clear();
+    src.expand(node, query, cands.prune_dist2(), &mut exp)?;
     record_expansion(rec, &exp);
     for n in &exp.points {
         cands.offer(n.dist2, n.data);
@@ -213,11 +276,12 @@ fn visit<S: KnnSource, R: Recorder + ?Sized>(
         // better point, so strict inequality is the correct prune.
         let thr = cands.prune_dist2();
         if b.dist2 < thr {
-            visit(src, &b.node, query, cands, rec)?;
+            visit(src, &b.node, query, cands, rec, pool)?;
         } else {
             record_prune(rec, b.bound, |c| c >= thr);
         }
     }
+    pool.push(exp);
     Ok(())
 }
 
@@ -333,6 +397,7 @@ pub(crate) mod mock {
             &self,
             node: &Self::Node,
             query: &[f32],
+            _prune2: f64,
             out: &mut Expansion<Self::Node>,
         ) -> Result<(), Self::Error> {
             match &self.nodes[*node] {

@@ -36,6 +36,7 @@ mod error;
 mod heap;
 mod index;
 mod knn;
+mod leaf_scan;
 mod range;
 
 pub use best_first::{knn_best_first, knn_best_first_with};
@@ -43,5 +44,6 @@ pub use bruteforce::{brute_force_knn, brute_force_range, pairwise_distance_stats
 pub use error::QueryError;
 pub use heap::{CandidateSet, Neighbor};
 pub use index::{IndexError, SpatialIndex};
-pub use knn::{knn, knn_with, Branch, Expansion, KnnSource, RegionBound};
+pub use knn::{knn, knn_with, Branch, Expansion, KnnSource, LeafScan, RegionBound};
+pub use leaf_scan::scan_leaf_columns;
 pub use range::{range, range_with};

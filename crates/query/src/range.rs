@@ -38,8 +38,9 @@ pub fn range_with<S: KnnSource, R: Recorder + ?Sized>(
     let _span = SpanTimer::start(rec, Hist::QueryNs);
     let r2 = radius * radius;
     let mut out = Vec::new();
+    let mut pool = Vec::new();
     if let Some(root) = src.root().map_err(QueryError::Source)? {
-        visit(src, &root, query, r2, &mut out, rec).map_err(QueryError::Source)?;
+        visit(src, &root, query, r2, &mut out, rec, &mut pool).map_err(QueryError::Source)?;
     }
     out.sort_by(|a, b| {
         a.dist2
@@ -57,9 +58,14 @@ fn visit<S: KnnSource, R: Recorder + ?Sized>(
     r2: f64,
     out: &mut Vec<Neighbor>,
     rec: &R,
+    pool: &mut Vec<Expansion<S::Node>>,
 ) -> Result<(), S::Error> {
-    let mut exp = Expansion::default();
-    src.expand(node, query, &mut exp)?;
+    let mut exp = pool.pop().unwrap_or_default();
+    exp.clear();
+    // A range query's pruning threshold is fixed at r²: an entry whose
+    // partial distance strictly exceeds r² can never be `<= r2`, so the
+    // early-abandon scan is exact here too (boundary points complete).
+    src.expand(node, query, r2, &mut exp)?;
     record_expansion(rec, &exp);
     for n in &exp.points {
         if n.dist2 <= r2 {
@@ -68,11 +74,12 @@ fn visit<S: KnnSource, R: Recorder + ?Sized>(
     }
     for b in &exp.branches {
         if b.dist2 <= r2 {
-            visit(src, &b.node, query, r2, out, rec)?;
+            visit(src, &b.node, query, r2, out, rec, pool)?;
         } else {
             record_prune(rec, b.bound, |c| c > r2);
         }
     }
+    pool.push(exp);
     Ok(())
 }
 

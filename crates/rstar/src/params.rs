@@ -44,30 +44,18 @@ impl RstarParams {
     /// # Panics
     /// Panics if the page is too small to hold at least 2 entries per
     /// node and per leaf, or if `data_area < 8`.
+    #[allow(clippy::panic)] // documented contract panic; fallible callers use try_derive
     pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
-        assert!(dim > 0, "dimensionality must be positive");
-        assert!(
-            data_area >= 8,
-            "data area must hold at least the u64 payload"
-        );
-        let usable = page_capacity - NODE_HEADER;
-        let node_entry = Self::node_entry_bytes(dim);
-        let leaf_entry = Self::leaf_entry_bytes(dim, data_area);
-        let max_node = usable / node_entry;
-        let max_leaf = usable / leaf_entry;
-        assert!(
-            max_node >= 2 && max_leaf >= 2,
-            "page too small: {max_node} node entries, {max_leaf} leaf entries"
-        );
-        RstarParams {
-            dim,
-            data_area,
-            max_node,
-            min_node: min_fill(max_node),
-            max_leaf,
-            min_leaf: min_fill(max_leaf),
-            reinsert_node: reinsert_count(max_node),
-            reinsert_leaf: reinsert_count(max_leaf),
+        match Self::try_derive(page_capacity, dim, data_area) {
+            Some(p) => p,
+            // srlint: allow(panic) -- documented contract panic on
+            // construction-time configuration; fallible callers (the
+            // on-disk open path) go through `try_derive`.
+            None => panic!(
+                "invalid parameters: page_capacity={page_capacity} dim={dim} \
+                 data_area={data_area} (need dim > 0, data_area >= 8, and at \
+                 least 2 entries per node and leaf)"
+            ),
         }
     }
 
@@ -155,7 +143,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "page too small")]
+    #[should_panic(expected = "invalid parameters")]
     fn tiny_page_rejected() {
         let _ = RstarParams::derive(300, 64, 512);
     }

@@ -1,10 +1,10 @@
 //! Query plumbing: the [`sr_query::KnnSource`] implementation scoring
 //! regions with rectangle `MINDIST`, plus exact-match lookup.
 
-use sr_geometry::dist2;
+use sr_geometry::{dist2, rect_min_dist2_f64le};
 use sr_obs::Recorder;
-use sr_pager::PageId;
-use sr_query::{Expansion, KnnSource, Neighbor, QueryError};
+use sr_pager::{LeafColumns, PageId, PageReader};
+use sr_query::{scan_leaf_columns, Expansion, KnnSource, LeafScan, Neighbor, QueryError};
 
 use crate::error::{Result, TreeError};
 use crate::node::Node;
@@ -12,6 +12,7 @@ use crate::tree::RstarTree;
 
 struct Source<'a> {
     tree: &'a RstarTree,
+    scan: LeafScan,
 }
 
 impl KnnSource for Source<'_> {
@@ -31,18 +32,49 @@ impl KnnSource for Source<'_> {
         &self,
         &(id, level): &Self::Node,
         query: &[f32],
+        prune2: f64,
         out: &mut Expansion<Self::Node>,
     ) -> std::result::Result<(), TreeError> {
+        if level > 0 {
+            // Zero-copy inner expansion: score each child's bounding
+            // rectangle straight off the page buffer instead of decoding
+            // a per-expansion entry vector (the stored f64s are exact
+            // widenings of the in-memory f32s, so the raw MINDIST is
+            // bit-identical and the traversal is unchanged).
+            let payload = self.tree.node_payload(id)?;
+            let mut r = PageReader::new(&payload);
+            let _level = r.get_u16()?;
+            let n = r.get_u16()?;
+            let dim = self.tree.params.dim;
+            for _ in 0..n {
+                let lo = r.get_bytes(dim * 8)?;
+                let hi = r.get_bytes(dim * 8)?;
+                let child = (r.get_u64()?, level - 1);
+                let d2 = rect_min_dist2_f64le(lo, hi, query)
+                    .map_err(|e| TreeError::Corrupt(e.to_string()))?;
+                out.push_rect_branch(d2, child);
+            }
+            return Ok(());
+        }
+        if self.scan != LeafScan::Scalar {
+            // Columnar fast path: score the leaf straight off the page
+            // buffer, never materialising per-entry `Point`s. One
+            // `pf.read` per expansion, same as the scalar path, so the
+            // `leaf_expansions == leaf_reads` invariant holds unchanged.
+            let payload = self.tree.leaf_payload(id)?;
+            let cols = LeafColumns::parse(&payload, self.tree.params.dim)?;
+            scan_leaf_columns(&cols, query, prune2, self.scan, out)
+                .map_err(|e| TreeError::Corrupt(e.to_string()))?;
+            return Ok(());
+        }
         match self.tree.read_node(id, level)? {
             Node::Leaf(entries) => {
                 for e in &entries {
                     out.push_point(dist2(e.point.coords(), query), e.data);
                 }
             }
-            Node::Inner { entries, .. } => {
-                for e in &entries {
-                    out.push_rect_branch(e.rect.min_dist2(query), (e.child, level - 1));
-                }
+            Node::Inner { .. } => {
+                return Err(TreeError::Corrupt("inner node page at leaf level".into()));
             }
         }
         Ok(())
@@ -55,7 +87,17 @@ pub(crate) fn knn<R: Recorder + ?Sized>(
     k: usize,
     rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::knn_with(&Source { tree }, query, k, rec)
+    knn_with_scan(tree, query, k, LeafScan::default(), rec)
+}
+
+pub(crate) fn knn_with_scan<R: Recorder + ?Sized>(
+    tree: &RstarTree,
+    query: &[f32],
+    k: usize,
+    scan: LeafScan,
+    rec: &R,
+) -> Result<Vec<Neighbor>> {
+    sr_query::knn_with(&Source { tree, scan }, query, k, rec)
 }
 
 pub(crate) fn range<R: Recorder + ?Sized>(
@@ -64,7 +106,16 @@ pub(crate) fn range<R: Recorder + ?Sized>(
     radius: f64,
     rec: &R,
 ) -> Result<Vec<Neighbor>> {
-    sr_query::range_with(&Source { tree }, query, radius, rec).map_err(|e| match e {
+    sr_query::range_with(
+        &Source {
+            tree,
+            scan: LeafScan::default(),
+        },
+        query,
+        radius,
+        rec,
+    )
+    .map_err(|e| match e {
         QueryError::InvalidRadius(r) => TreeError::InvalidRadius(r),
         QueryError::Source(e) => e,
     })

@@ -12,7 +12,10 @@ use crate::params::RstarParams;
 use crate::{delete, insert, search};
 
 const META_MAGIC: u32 = 0x5253_5452; // "RSTR"
-const META_VERSION: u32 = 1;
+/// Version 2: leaves are columnar (dimension-major). Version-1 files
+/// are rejected rather than silently misread — the byte totals match,
+/// but the entry layout moved.
+const META_VERSION: u32 = 2;
 
 /// A disk-based R\*-tree over points, used by the paper as the
 /// rectangle-region baseline.
@@ -159,6 +162,20 @@ impl RstarTree {
         Ok(())
     }
 
+    /// Read a leaf's raw payload for the columnar scan — a zero-copy view
+    /// into the buffer pool ([`sr_pager::PageBuf`]); the kernels score it
+    /// without decoding entries.
+    pub(crate) fn leaf_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Leaf)?)
+    }
+
+    /// Read an inner node's raw payload for the zero-copy bound scan —
+    /// same zero-copy view as the leaf path, one logical read per
+    /// expansion so `node_expansions == node_reads` holds unchanged.
+    pub(crate) fn node_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Node)?)
+    }
+
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
         let kind = if level == 0 {
             PageKind::Leaf
@@ -243,6 +260,21 @@ impl RstarTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::knn(self, query, k, rec)
+    }
+
+    /// [`RstarTree::knn_with`] with an explicit leaf-scan kernel — the
+    /// ablation knob for the columnar layout. All modes return
+    /// bit-identical neighbors; they differ only in scan time (and in the
+    /// `EarlyAbandons` counter the pruning mode reports).
+    pub fn knn_scan_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_with_scan(self, query, k, scan, rec)
     }
 
     /// Every point within `radius` of `query`, sorted by ascending
@@ -350,6 +382,16 @@ impl sr_query::SpatialIndex for RstarTree {
         rec: &dyn sr_obs::Recorder,
     ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
         Ok(RstarTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn knn_scan_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(RstarTree::knn_scan_with(self, query, k, scan, rec)?)
     }
 
     fn range_with(

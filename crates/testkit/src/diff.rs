@@ -22,6 +22,8 @@ use sr_sstree::SsTree;
 use sr_tree::SrTree;
 use sr_vamsplit::VamTree;
 
+use sr_query::LeafScan;
+
 use crate::model::Model;
 use crate::workload::{Op, OpTape};
 
@@ -45,6 +47,13 @@ pub struct DiffConfig {
     /// distances. All structures share deterministic tie-breaking, so
     /// this holds and catches payload mix-ups distances cannot.
     pub check_ids: bool,
+    /// After the default (early-abandon) answer is checked against the
+    /// oracle, re-run each k-NN through the `Scalar` and `Columnar`
+    /// leaf-scan kernels and require bit-identical results — `dist2`
+    /// equal by `to_bits`, ids equal rank by rank. The kernels share one
+    /// pinned accumulation order, so anything short of bitwise equality
+    /// is a kernel bug, not floating-point noise.
+    pub compare_scans: bool,
 }
 
 impl Default for DiffConfig {
@@ -54,6 +63,7 @@ impl Default for DiffConfig {
             verify_every: 500,
             vam_every: 8,
             check_ids: true,
+            compare_scans: true,
         }
     }
 }
@@ -75,6 +85,9 @@ pub struct DiffReport {
     pub verifies: usize,
     /// VAMSplit rebuilds performed.
     pub vam_rebuilds: usize,
+    /// Scalar/Columnar kernel answers proven bit-identical to the
+    /// default scan (two per k-NN per structure when `compare_scans`).
+    pub scan_checks: usize,
     /// Live entries at the end of the tape.
     pub final_live: usize,
 }
@@ -152,6 +165,30 @@ pub fn check_answer(
         }
     }
     let _ = structure;
+    Ok(())
+}
+
+/// Require `alt` to be bit-identical to `base`: same length, same ids,
+/// same `dist2` bit patterns rank by rank. Used by the kernel-ablation
+/// arm: the three leaf-scan kernels pin one accumulation order, so this
+/// is an equality the implementation promises, not a tolerance check.
+fn check_scan_identical(base: &[Neighbor], alt: &[Neighbor], scan: LeafScan) -> Result<(), String> {
+    if base.len() != alt.len() {
+        return Err(format!(
+            "{scan:?} scan returned {} results, default scan {}",
+            alt.len(),
+            base.len()
+        ));
+    }
+    for (i, (b, a)) in base.iter().zip(alt.iter()).enumerate() {
+        if b.dist2.to_bits() != a.dist2.to_bits() || b.data != a.data {
+            return Err(format!(
+                "{scan:?} scan rank {i}: ({}, id {}) not bit-identical to \
+                 default scan ({}, id {})",
+                a.dist2, a.data, b.dist2, b.data
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -239,37 +276,36 @@ pub fn run_tape(tape: &OpTape, cfg: &DiffConfig) -> Result<DiffReport, Divergenc
             Op::Knn(q, k) => {
                 queries_seen += 1;
                 let want = model.knn(q.coords(), *k);
-                let answers = [
-                    (
-                        "sr-tree",
-                        fleet.sr.knn(q.coords(), *k).map_err(|e| e.to_string()),
-                    ),
-                    (
-                        "ss-tree",
-                        fleet.ss.knn(q.coords(), *k).map_err(|e| e.to_string()),
-                    ),
-                    (
-                        "rstar-tree",
-                        fleet.rstar.knn(q.coords(), *k).map_err(|e| e.to_string()),
-                    ),
-                    (
-                        "kdb-tree",
-                        fleet.kdb.knn(q.coords(), *k).map_err(|e| e.to_string()),
-                    ),
-                ];
-                for (name, r) in answers {
-                    let got = r.map_err(|e| div(step, op, name, e))?;
-                    check_answer(name, &got, &want, cfg.check_ids)
-                        .map_err(|e| div(step, op, name, e))?;
+                // Check the default (early-abandon) answer against the
+                // oracle, then prove the Scalar and Columnar kernels
+                // bit-identical to it — the kernel-ablation fuzz arm.
+                macro_rules! check_knn {
+                    ($name:literal, $tree:expr) => {{
+                        let got = $tree
+                            .knn(q.coords(), *k)
+                            .map_err(|e| div(step, op, $name, e.to_string()))?;
+                        check_answer($name, &got, &want, cfg.check_ids)
+                            .map_err(|e| div(step, op, $name, e))?;
+                        if cfg.compare_scans {
+                            for scan in [LeafScan::Scalar, LeafScan::Columnar] {
+                                let alt = $tree
+                                    .knn_scan_with(q.coords(), *k, scan, &sr_obs::Noop)
+                                    .map_err(|e| div(step, op, $name, e.to_string()))?;
+                                check_scan_identical(&got, &alt, scan)
+                                    .map_err(|e| div(step, op, $name, e))?;
+                                report.scan_checks += 1;
+                            }
+                        }
+                    }};
                 }
+                check_knn!("sr-tree", fleet.sr);
+                check_knn!("ss-tree", fleet.ss);
+                check_knn!("rstar-tree", fleet.rstar);
+                check_knn!("kdb-tree", fleet.kdb);
                 if let Some(vam) = vam_for_query(&mut fleet, &model, cfg, queries_seen, &mut report)
                     .map_err(|e| div(step, op, "vam-tree", e))?
                 {
-                    let got = vam
-                        .knn(q.coords(), *k)
-                        .map_err(|e| div(step, op, "vam-tree", e.to_string()))?;
-                    check_answer("vam-tree", &got, &want, cfg.check_ids)
-                        .map_err(|e| div(step, op, "vam-tree", e))?;
+                    check_knn!("vam-tree", vam);
                 }
                 report.knns += 1;
             }

@@ -1,7 +1,7 @@
 //! In-memory node representation and its page codec.
 
 use sr_geometry::{bounding_rect_of_points, Point, Rect};
-use sr_pager::{PageCodec, PageId};
+use sr_pager::{put_leaf_columns, LeafColumns, PageCodec, PageId, PageReader};
 
 use crate::error::{Result, TreeError};
 use crate::params::{VamParams, NODE_HEADER};
@@ -83,22 +83,23 @@ impl Node {
     pub fn encode(&self, params: &VamParams, capacity: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; capacity];
         let mut c = PageCodec::new(&mut buf);
-        c.put_u16(self.level())?;
-        let n = u16::try_from(self.len()).map_err(|_| {
-            TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
-        })?;
-        c.put_u16(n)?;
         match self {
             Node::Leaf(entries) => {
                 debug_assert!(entries.len() <= params.max_leaf + 1);
-                for e in entries {
-                    c.put_coords(e.point.coords())?;
-                    c.put_u64(e.data)?;
-                    c.put_padding(params.data_area - 8)?;
-                }
+                // Columnar (dimension-major) layout shared by every index
+                // crate — same total bytes as the old row-major form, so
+                // the fanout arithmetic is untouched.
+                let refs: Vec<(&[f32], u64)> =
+                    entries.iter().map(|e| (e.point.coords(), e.data)).collect();
+                put_leaf_columns(&mut c, params.dim, params.data_area, &refs)?;
             }
             Node::Inner { entries, .. } => {
                 debug_assert!(entries.len() <= params.max_node + 1);
+                c.put_u16(self.level())?;
+                let n = u16::try_from(self.len()).map_err(|_| {
+                    TreeError::Corrupt(format!("{} entries overflow the u16 count", self.len()))
+                })?;
+                c.put_u16(n)?;
                 for e in entries {
                     c.put_coords(e.rect.min())?;
                     c.put_coords(e.rect.max())?;
@@ -118,8 +119,7 @@ impl Node {
         if payload.len() < NODE_HEADER {
             return Err(TreeError::NotThisIndex("node page too short".into()));
         }
-        let mut data = payload.to_vec();
-        let mut c = PageCodec::new(&mut data);
+        let mut c = PageReader::new(payload);
         let level = c.get_u16()?;
         let n = usize::from(c.get_u16()?);
         if level == 0 {
@@ -127,15 +127,19 @@ impl Node {
             if c.remaining() < need {
                 return Err(TreeError::NotThisIndex("truncated leaf page".into()));
             }
+            let cols = LeafColumns::parse(payload, params.dim)?;
             let mut entries = Vec::with_capacity(n);
-            for _ in 0..n {
-                let coords = c.get_coords(params.dim)?;
+            let mut coords = Vec::with_capacity(params.dim);
+            for (i, data) in cols.data_ids().enumerate() {
+                cols.point_into(i, &mut coords)?;
                 if !all_finite(&coords) {
                     return Err(TreeError::Corrupt("non-finite leaf coordinate".into()));
                 }
-                let point = Point::new(coords);
-                let data = c.get_u64()?;
-                c.skip(params.data_area - 8)?;
+                // On-disk bytes are untrusted input: the fallible
+                // constructor turns a zero-dimensional page into a typed
+                // error instead of a panic.
+                let point = Point::try_new(coords.as_slice())
+                    .map_err(|e| TreeError::Corrupt(e.to_string()))?;
                 entries.push(LeafEntry { point, data });
             }
             Ok(Node::Leaf(entries))

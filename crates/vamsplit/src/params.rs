@@ -30,26 +30,18 @@ impl VamParams {
     /// # Panics
     /// Panics if the page cannot hold at least 2 entries per page kind,
     /// or if `data_area < 8`.
+    #[allow(clippy::panic)] // documented contract panic; fallible callers use try_derive
     pub fn derive(page_capacity: usize, dim: usize, data_area: usize) -> Self {
-        assert!(dim > 0, "dimensionality must be positive");
-        assert!(
-            data_area >= 8,
-            "data area must hold at least the u64 payload"
-        );
-        let usable = page_capacity - NODE_HEADER;
-        let max_node = usable / Self::node_entry_bytes(dim);
-        let max_leaf = usable / Self::leaf_entry_bytes(dim, data_area);
-        assert!(
-            max_node >= 2 && max_leaf >= 2,
-            "page too small: {max_node} node entries, {max_leaf} leaf entries"
-        );
-        VamParams {
-            dim,
-            data_area,
-            max_node,
-            max_leaf,
-            min_node: 1,
-            min_leaf: 1,
+        match Self::try_derive(page_capacity, dim, data_area) {
+            Some(p) => p,
+            // srlint: allow(panic) -- documented contract panic on
+            // construction-time configuration; fallible callers (the
+            // on-disk open path) go through `try_derive`.
+            None => panic!(
+                "invalid parameters: page_capacity={page_capacity} dim={dim} \
+                 data_area={data_area} (need dim > 0, data_area >= 8, and at \
+                 least 2 entries per node and leaf)"
+            ),
         }
     }
 

@@ -13,7 +13,10 @@ use crate::params::VamParams;
 use crate::search;
 
 const META_MAGIC: u32 = 0x5641_4D54; // "VAMT"
-const META_VERSION: u32 = 1;
+/// Version 2: leaves are columnar (dimension-major). Version-1 files
+/// are rejected rather than silently misread — the byte totals match,
+/// but the entry layout moved.
+const META_VERSION: u32 = 2;
 
 /// A static VAMSplit R-tree, bulk-built from a complete data set.
 // srlint: send-sync -- queries take &self and go through the internally synchronized PageFile; the tree is bulk-built before sharing, and params/root/height/count never change afterwards
@@ -173,6 +176,20 @@ impl VamTree {
         Ok(())
     }
 
+    /// Read a leaf's raw payload for the columnar scan — a zero-copy view
+    /// into the buffer pool ([`sr_pager::PageBuf`]); the kernels score it
+    /// without decoding entries.
+    pub(crate) fn leaf_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Leaf)?)
+    }
+
+    /// Read an inner node's raw payload for the zero-copy bound scan —
+    /// same zero-copy view as the leaf path, one logical read per
+    /// expansion so `node_expansions == node_reads` holds unchanged.
+    pub(crate) fn node_payload(&self, id: PageId) -> Result<sr_pager::PageBuf> {
+        Ok(self.pf.read(id, PageKind::Node)?)
+    }
+
     pub(crate) fn read_node(&self, id: PageId, level: u16) -> Result<Node> {
         let kind = if level == 0 {
             PageKind::Leaf
@@ -238,6 +255,21 @@ impl VamTree {
     ) -> Result<Vec<Neighbor>> {
         self.check_dim(query.len())?;
         search::knn(self, query, k, rec)
+    }
+
+    /// [`VamTree::knn_with`] with an explicit leaf-scan kernel — the
+    /// ablation knob for the columnar layout. All modes return
+    /// bit-identical neighbors; they differ only in scan time (and in the
+    /// `EarlyAbandons` counter the pruning mode reports).
+    pub fn knn_scan_with<R: sr_obs::Recorder + ?Sized>(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &R,
+    ) -> Result<Vec<Neighbor>> {
+        self.check_dim(query.len())?;
+        search::knn_with_scan(self, query, k, scan, rec)
     }
 
     /// Every point within `radius` of `query`. A negative or NaN radius
@@ -337,6 +369,16 @@ impl sr_query::SpatialIndex for VamTree {
         rec: &dyn sr_obs::Recorder,
     ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
         Ok(VamTree::knn_with(self, query, k, rec)?)
+    }
+
+    fn knn_scan_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        scan: sr_query::LeafScan,
+        rec: &dyn sr_obs::Recorder,
+    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
+        Ok(VamTree::knn_scan_with(self, query, k, scan, rec)?)
     }
 
     fn range_with(

@@ -15,6 +15,19 @@
 //! 3. **Negative-radius panic** — `range` used to `assert!` on a
 //!    negative radius. It is now a typed error (`InvalidRadius`) on all
 //!    five indexes.
+//! 4. **Distance-accumulation drift** — the columnar kernels could have
+//!    reassociated the per-point sum (chunked partial sums), which
+//!    drifts `dist2` by ulps and silently reorders near-tied neighbor
+//!    lists (the candidate set breaks exact-distance ties by data id).
+//!    The kernels pin the canonical accumulation order instead; this
+//!    suite holds all five trees, in all three leaf-scan modes, to
+//!    bit-identical distances against the brute-force oracle on
+//!    adversarially tie-heavy data, with exact id agreement below the
+//!    k-th distance. *At* the k-th distance the traversal may keep any
+//!    tied point — a region at exactly the k-th distance is pruned
+//!    (`knn.rs`), so the data-id tie-break only arbitrates within the
+//!    leaves actually visited — and the test checks group membership
+//!    there instead.
 
 use srtree::dataset::{cluster, uniform, ClusterSpec};
 use srtree::geometry::Point;
@@ -204,4 +217,153 @@ fn negative_radius_is_rejected_not_a_panic() {
     // Zero and +inf stay valid: a degenerate and a full-scan radius.
     assert!(sr.range(&q, 0.0).is_ok());
     assert_eq!(sr.range(&q, f64::INFINITY).unwrap().len(), points.len());
+}
+
+// ---------------------------------------------------------------------
+// Bug 4: distance-accumulation drift on near-tied data.
+// ---------------------------------------------------------------------
+
+/// Adversarially tie-heavy point set: a few duplicated points (exact
+/// ties, resolved by the data-id tie-break; kept below leaf capacity —
+/// a page of identical points cannot be split by the K-D-B-tree), an
+/// axis-symmetric shell of 2·dim distinct points at *exactly* the same
+/// distance from its center, coordinate permutations of one multiset
+/// (sums that agree exactly in real arithmetic but differ by ulps under
+/// any *reassociated* f64 order), and 1-ulp perturbations.
+fn near_tie_points(dim: usize) -> Vec<Point> {
+    let mut pts = Vec::new();
+    // 5 exact duplicates of one point.
+    let base: Vec<f32> = (0..dim).map(|d| 0.25 + d as f32 * 1e-3).collect();
+    for _ in 0..5 {
+        pts.push(Point::new(base.clone()));
+    }
+    // Tie shell: center ± delta along each axis — every point's dist2
+    // to the center is the identical single-term sum delta².
+    let center = vec![0.5f32; dim];
+    for d in 0..dim {
+        for sign in [-0.25f32, 0.25] {
+            let mut p = center.clone();
+            p[d] += sign;
+            pts.push(Point::new(p));
+        }
+    }
+    // Cyclic permutations of one multiset of distinct values.
+    let multiset: Vec<f32> = (0..dim).map(|d| 1.0 + (d as f32) * 0.125).collect();
+    for rot in 0..dim {
+        for rep in 0..4 {
+            let mut p: Vec<f32> = (0..dim).map(|d| multiset[(d + rot) % dim]).collect();
+            // Shift every fourth copy by one ulp in one coordinate.
+            if rep == 3 {
+                p[rot] = f32::from_bits(p[rot].to_bits() + 1);
+            }
+            pts.push(Point::new(p));
+        }
+    }
+    // A spread of ordinary points so the trees have real structure.
+    for p in uniform(200, dim, 131) {
+        pts.push(p);
+    }
+    pts
+}
+
+#[test]
+fn near_ties_resolve_identically_across_trees_and_scan_modes() {
+    use srtree::query::{brute_force_knn, LeafScan, Neighbor};
+
+    let dim = 16;
+    let points = near_tie_points(dim);
+    let with_ids: Vec<(Point, u64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), i as u64))
+        .collect();
+
+    let mut sr = SrTree::create_in_memory(dim, 4096).unwrap();
+    let mut ss = SsTree::create_in_memory(dim, 4096).unwrap();
+    let mut rs = RstarTree::create_in_memory(dim, 4096).unwrap();
+    let mut kdb = KdbTree::create_in_memory(dim, 4096).unwrap();
+    for (p, i) in &with_ids {
+        sr.insert(p.clone(), *i).unwrap();
+        ss.insert(p.clone(), *i).unwrap();
+        rs.insert(p.clone(), *i).unwrap();
+        kdb.insert(p.clone(), *i).unwrap();
+    }
+    let vam = VamTree::build_in_memory(with_ids.clone(), dim, 4096).unwrap();
+
+    // Query at a duplicated point (the id tie-break decides the top
+    // ranks), at the tie shell's center (2·dim exactly-equidistant
+    // answers), at a permuted point, and off to the side of the
+    // permutation shell.
+    let mut queries: Vec<Vec<f32>> = vec![
+        points[0].coords().to_vec(),
+        vec![0.5; dim],
+        points[5 + 2 * dim + 3].coords().to_vec(),
+    ];
+    queries.push((0..dim).map(|d| 1.0 + (d as f32) * 0.125 * 0.5).collect());
+
+    // Oracle agreement: distances bit-equal rank by rank; ids exact
+    // below the k-th distance; ids at the k-th distance must belong to
+    // the dataset's tied group (the traversal prunes regions at exactly
+    // the k-th distance, so *which* tied point survives is its choice).
+    let check = |name: &str, got: &[Neighbor], want: &[Neighbor], q: &[f32], scan: LeafScan| {
+        use srtree::geometry::dist2;
+        assert_eq!(got.len(), want.len(), "{name} {scan:?}: length");
+        let boundary = want.last().map(|n| n.dist2.to_bits());
+        for (rank, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(
+                g.dist2.to_bits(),
+                w.dist2.to_bits(),
+                "{name} {scan:?} rank {rank}: dist {} vs oracle {}",
+                g.dist2,
+                w.dist2
+            );
+            if Some(g.dist2.to_bits()) != boundary {
+                assert_eq!(
+                    g.data, w.data,
+                    "{name} {scan:?} rank {rank}: interior id drifted"
+                );
+            } else {
+                assert!(
+                    with_ids.iter().any(|(p, i)| *i == g.data
+                        && dist2(p.coords(), q).to_bits() == g.dist2.to_bits()),
+                    "{name} {scan:?} rank {rank}: id {} is not in the tied group",
+                    g.data
+                );
+            }
+        }
+    };
+
+    for (qi, q) in queries.iter().enumerate() {
+        for k in [1usize, 4, 32, 60] {
+            let want = brute_force_knn(with_ids.iter().map(|(p, i)| (p.coords(), *i)), q, k);
+            assert_eq!(want.len(), k.min(points.len()), "query {qi} oracle size");
+            let rec = &srtree::obs::Noop;
+            type ScanFn<'a> = &'a dyn Fn(LeafScan) -> Vec<Neighbor>;
+            let trees: [(&str, ScanFn); 5] = [
+                ("sr", &|s| sr.knn_scan_with(q, k, s, rec).unwrap()),
+                ("ss", &|s| ss.knn_scan_with(q, k, s, rec).unwrap()),
+                ("rstar", &|s| rs.knn_scan_with(q, k, s, rec).unwrap()),
+                ("kdb", &|s| kdb.knn_scan_with(q, k, s, rec).unwrap()),
+                ("vam", &|s| vam.knn_scan_with(q, k, s, rec).unwrap()),
+            ];
+            for (name, knn) in trees {
+                // The drift regression proper: all three kernels must
+                // return the *same* answer, bit for bit, id for id.
+                let scalar = knn(LeafScan::Scalar);
+                for scan in [LeafScan::Columnar, LeafScan::EarlyAbandon] {
+                    let alt = knn(scan);
+                    assert_eq!(scalar.len(), alt.len(), "{name} {scan:?} length");
+                    for (rank, (a, b)) in scalar.iter().zip(alt.iter()).enumerate() {
+                        assert_eq!(
+                            (a.dist2.to_bits(), a.data),
+                            (b.dist2.to_bits(), b.data),
+                            "{name} {scan:?} rank {rank}: kernel drifted from scalar"
+                        );
+                    }
+                    check(name, &alt, &want, q, scan);
+                }
+                check(name, &scalar, &want, q, LeafScan::Scalar);
+            }
+        }
+    }
 }

@@ -11,6 +11,8 @@
 
 use srtree::dataset::{sample_queries, uniform};
 use srtree::obs::{Counter, StatsRecorder};
+use srtree::pager::PageKind;
+use srtree::query::LeafScan;
 use srtree::tree::{DistanceBound, SrTree};
 
 fn build(n: usize, dim: usize, seed: u64) -> SrTree {
@@ -113,4 +115,105 @@ fn results_identical_across_bounds_while_counters_differ() {
     let s = rec.snapshot();
     assert_eq!(s.hist(srtree::obs::Hist::QueryNs).count, 1);
     assert!(s.counter(Counter::PointsScored) >= 10);
+}
+
+/// The leaf-scan kernels are a pure ablation: identical answers
+/// (bitwise), identical `points_scored`, and identical traversal
+/// counters across all three modes. Only the early-abandon mode may
+/// report `early_abandons`, and abandoned points still count as scored —
+/// the under-reporting bug this pins down made early-abandon queries
+/// look cheaper than they were.
+#[test]
+fn scan_modes_agree_bitwise_and_report_identical_work() {
+    let dim = 16; // > EARLY_ABANDON_HEAD_DIMS, so the pruning tail runs
+    let tree = build(3_000, dim, 83);
+    let queries = sample_queries(&uniform(3_000, dim, 83), 12, 89);
+
+    struct ModeRun {
+        answers: Vec<Vec<(u64, u64)>>, // per query: (dist2 bits, id)
+        scored: u64,
+        abandoned: u64,
+        expansions: u64,
+    }
+    let run = |scan: LeafScan| -> ModeRun {
+        let rec = StatsRecorder::new();
+        let answers = queries
+            .iter()
+            .map(|q| {
+                tree.knn_scan_with(q.coords(), 10, scan, &rec)
+                    .unwrap()
+                    .iter()
+                    .map(|n| (n.dist2.to_bits(), n.data))
+                    .collect()
+            })
+            .collect();
+        let s = rec.snapshot();
+        ModeRun {
+            answers,
+            scored: s.counter(Counter::PointsScored),
+            abandoned: s.counter(Counter::EarlyAbandons),
+            expansions: s.counter(Counter::NodeExpansions) + s.counter(Counter::LeafExpansions),
+        }
+    };
+
+    let scalar = run(LeafScan::Scalar);
+    let columnar = run(LeafScan::Columnar);
+    let early = run(LeafScan::EarlyAbandon);
+
+    assert_eq!(scalar.answers, columnar.answers, "columnar answers drifted");
+    assert_eq!(
+        scalar.answers, early.answers,
+        "early-abandon answers drifted"
+    );
+
+    // Scan mode must not change what the traversal visits or how much
+    // work is attributed: abandoned points still count as scored.
+    assert_eq!(scalar.abandoned, 0, "scalar mode cannot abandon");
+    assert_eq!(columnar.abandoned, 0, "plain columnar mode cannot abandon");
+    assert!(
+        early.abandoned > 0,
+        "a 16-dim workload must abandon some tails"
+    );
+    assert_eq!(scalar.scored, columnar.scored);
+    assert_eq!(
+        scalar.scored, early.scored,
+        "early-abandon under-reports points_scored"
+    );
+    assert_eq!(scalar.expansions, columnar.expansions);
+    assert_eq!(scalar.expansions, early.expansions);
+    assert!(
+        early.abandoned < early.scored,
+        "abandons are a subset of scored points"
+    );
+}
+
+/// The columnar fast path reads each expanded page exactly once, like
+/// the scalar path: `node_expansions == node reads` and
+/// `leaf_expansions == leaf reads` hold in every scan mode (the CI
+/// accounting gate checks the same identities on the bench artifact).
+#[test]
+fn expansions_match_page_reads_in_every_scan_mode() {
+    let dim = 16;
+    let tree = build(2_000, dim, 97);
+    let queries = sample_queries(&uniform(2_000, dim, 97), 10, 101);
+
+    for scan in [LeafScan::Scalar, LeafScan::Columnar, LeafScan::EarlyAbandon] {
+        let rec = StatsRecorder::new();
+        tree.pager().reset_stats();
+        for q in &queries {
+            let _ = tree.knn_scan_with(q.coords(), 10, scan, &rec).unwrap();
+        }
+        let s = rec.snapshot();
+        let io = tree.pager().stats();
+        assert_eq!(
+            s.counter(Counter::NodeExpansions),
+            io.logical_reads(PageKind::Node),
+            "{scan:?}: node expansions != node reads"
+        );
+        assert_eq!(
+            s.counter(Counter::LeafExpansions),
+            io.logical_reads(PageKind::Leaf),
+            "{scan:?}: leaf expansions != leaf reads"
+        );
+    }
 }
