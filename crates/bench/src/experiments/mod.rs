@@ -20,6 +20,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig9;
 pub mod obs;
+pub mod serve_load;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,140 @@
+//! Service-level throughput (beyond the paper's figures): the same
+//! k-NN batch the `throughput` experiment fans out in-process, driven
+//! through the `sr-serve` TCP loop over loopback by C ∈ {1, 2, 4, 8}
+//! pipelining clients.
+//!
+//! The in-process `sr-exec` number is the ceiling; the gap to it is the
+//! whole serving stack — framing, checksums, socket hops, per-batch
+//! lock acquisition — which is exactly what the ROADMAP's serving
+//! scenario pays on top of the query engine. Every response is checked
+//! against the in-process answers, so the table can't trade
+//! correctness for speed.
+
+use std::time::Instant;
+
+use sr_dataset::sample_queries;
+use sr_serve::{Client, ServeConfig, Server};
+use sr_wire::{Request, Response};
+
+use crate::experiments::{uniform_data, QUERY_SEED};
+use crate::index::{build_sr, AnyIndex, TreeKind};
+use crate::measure::{Scale, K};
+use crate::report::{f, Report};
+
+/// Concurrent client connections swept, first entry is the baseline.
+pub const CLIENTS: &[usize] = &[1, 2, 4, 8];
+
+/// Adjacent k-NN frames written per pipeline burst — the shape the
+/// server coalesces into one `sr-exec` batch.
+const PIPELINE: usize = 64;
+
+pub fn run(scale: &Scale) -> Result<(), String> {
+    let n = if scale.paper { 100_000 } else { 10_000 };
+    let batch = if scale.paper { 2_000 } else { 800 };
+    let points = uniform_data(n);
+    let queries: Vec<Vec<f32>> = sample_queries(&points, batch, QUERY_SEED)
+        .into_iter()
+        .map(|p| p.coords().to_vec())
+        .collect();
+
+    // In-process ceiling: the same batch through sr-exec directly, on a
+    // warm pool sized to hold the whole index.
+    let index = AnyIndex::build(TreeKind::Sr, &points);
+    let pool = usize::try_from(index.pager().num_pages()).unwrap_or(usize::MAX);
+    index.reset_for_queries_at(pool);
+    let warm = sr_exec::run_knn_batch(index.index(), &queries, K, 4).map_err(|e| e.to_string())?;
+    std::hint::black_box(&warm);
+    let t0 = Instant::now();
+    let inproc =
+        sr_exec::run_knn_batch(index.index(), &queries, K, 4).map_err(|e| e.to_string())?;
+    let inproc_qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+    let expected: Vec<Vec<u64>> = inproc
+        .results
+        .iter()
+        .map(|rows| rows.iter().map(|n| n.data).collect())
+        .collect();
+
+    // The served copy of the same index, warm for the same reason.
+    let tree = build_sr(&points);
+    tree.pager()
+        .set_cache_capacity(pool)
+        .map_err(|e| e.to_string())?;
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        max_conns: CLIENTS.iter().copied().max().unwrap_or(8) * 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Box::new(tree), cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().to_string();
+
+    let mut report = Report::new(
+        "serve-load",
+        format!("served k-NN throughput vs clients (SR-tree, uniform, n = {n}, batch = {batch})")
+            .as_str(),
+    );
+    report.header(["clients", "q/s", "speedup", "of in-proc"]);
+
+    let mut qps = Vec::with_capacity(CLIENTS.len());
+    for &c in CLIENTS {
+        // One untimed pass per sweep point warms the server's pool and
+        // the connections' TCP state out of the measurement.
+        for timed in [false, true] {
+            let t0 = Instant::now();
+            std::thread::scope(|scope| -> Result<(), String> {
+                let mut handles = Vec::new();
+                for (shard, chunk) in queries.chunks(queries.len().div_ceil(c)).enumerate() {
+                    let addr = addr.clone();
+                    let expected = &expected;
+                    let base = shard * queries.len().div_ceil(c);
+                    handles.push(scope.spawn(move || -> Result<(), String> {
+                        let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+                        for (off, burst) in chunk.chunks(PIPELINE).enumerate() {
+                            let reqs: Vec<Request> = burst
+                                .iter()
+                                .map(|q| Request::Knn {
+                                    query: q.clone(),
+                                    k: K as u32,
+                                })
+                                .collect();
+                            let resps = client.pipeline(&reqs).map_err(|e| e.to_string())?;
+                            for (i, resp) in resps.iter().enumerate() {
+                                let qi = base + off * PIPELINE + i;
+                                let Response::Rows(rows) = resp else {
+                                    return Err(format!("query {qi}: non-rows response"));
+                                };
+                                let got: Vec<u64> = rows.iter().map(|r| r.data).collect();
+                                if expected.get(qi) != Some(&got) {
+                                    return Err(format!("query {qi}: served answer diverged"));
+                                }
+                            }
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join()
+                        .map_err(|_| "client thread panicked".to_string())??;
+                }
+                Ok(())
+            })?;
+            if timed {
+                qps.push(queries.len() as f64 / t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+
+    server.stop();
+    server.wait().map_err(|e| e.to_string())?;
+
+    let base = qps.first().copied().unwrap_or(1.0);
+    for (i, &c) in CLIENTS.iter().enumerate() {
+        report.row([
+            c.to_string(),
+            f(qps[i]),
+            f(qps[i] / base),
+            f(qps[i] / inproc_qps),
+        ]);
+    }
+    report.emit()
+}

@@ -159,17 +159,21 @@ fn kernel_ablation(
     for &(scan, key) in KERNELS {
         // Untimed warm-up pass so every mode sees the same cache state.
         for q in queries {
+            let spec = sr_query::QuerySpec::knn(q, K).with_scan(scan);
             let warm = ix
-                .knn_scan_with(q, K, scan, &sr_obs::Noop)
-                .map_err(|e| e.to_string())?;
+                .query(&spec, &sr_obs::Noop)
+                .map_err(|e| e.to_string())?
+                .rows;
             std::hint::black_box(&warm);
         }
         let t0 = Instant::now();
         let mut results = Vec::with_capacity(queries.len());
         for q in queries {
+            let spec = sr_query::QuerySpec::knn(q, K).with_scan(scan);
             let out = ix
-                .knn_scan_with(q, K, scan, &sr_obs::Noop)
-                .map_err(|e| e.to_string())?;
+                .query(&spec, &sr_obs::Noop)
+                .map_err(|e| e.to_string())?
+                .rows;
             results.push(
                 out.iter()
                     .map(|n| (n.dist2.to_bits(), n.data))
@@ -204,6 +208,7 @@ fn write_snapshot(
             .join(", ")
     };
     let mut s = String::from("{\n");
+    s.push_str(&format!("  {},\n", sr_obs::schema_version_field()));
     s.push_str("  \"pr\": 8,\n  \"experiment\": \"throughput\",\n");
     s.push_str(&format!("  \"n\": {n},\n  \"batch\": {batch},\n"));
     s.push_str(&format!(

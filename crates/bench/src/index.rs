@@ -157,7 +157,10 @@ impl AnyIndex {
 
     /// [`AnyIndex::knn`] with a metrics recorder (see `sr-obs`).
     pub fn knn_with(&self, query: &[f32], k: usize, rec: &dyn sr_obs::Recorder) -> Vec<Neighbor> {
-        self.index.knn_with(query, k, rec).unwrap()
+        self.index
+            .query(&sr_query::QuerySpec::knn(query, k), rec)
+            .unwrap()
+            .rows
     }
 
     /// Range query.

@@ -50,6 +50,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "bulkload",
     "obs",
     "throughput",
+    "serve_load",
 ];
 
 /// Run one experiment by id. `paper` selects the paper-exact scale.
@@ -78,6 +79,7 @@ pub fn run_experiment(id: &str, paper: bool) -> Result<(), String> {
         "bulkload" => experiments::bulkload::run(&scale),
         "obs" => experiments::obs::run(&scale),
         "throughput" => experiments::throughput::run(&scale),
+        "serve_load" => experiments::serve_load::run(&scale),
         other => Err(format!(
             "unknown experiment {other:?}; known: {}",
             ALL_EXPERIMENTS.join(", ")

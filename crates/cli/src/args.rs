@@ -12,8 +12,42 @@ use std::path::PathBuf;
 use sr_testkit::DataDist;
 
 /// The usage banner printed alongside argument errors.
-pub const USAGE: &str = "usage: srtool <gen|build|insert|knn|range|stats|verify|fuzz|lint> ...\n\
-     see `srtool --help` output in the README";
+pub const USAGE: &str =
+    "usage: srtool <gen|build|insert|knn|range|stats|verify|serve|client|fuzz|lint> ...\n\
+     see `srtool --help`";
+
+/// The `srtool --help` text: command grammar plus the exit-code
+/// taxonomy scripts rely on.
+pub const HELP: &str = "\
+srtool — build, query, and serve SR-tree-family index files
+
+  srtool gen     --kind uniform|cluster|histogram --n 10000 --dim 16 --seed 7 out.tsv
+  srtool build   --index sr|ss|rstar|kdb|vam --dim 16 index.pages data.tsv
+  srtool insert  index.pages data.tsv
+  srtool knn     index.pages --k 21 --query 0.1,0.2,...  (or --batch q.tsv --threads 8)
+  srtool range   index.pages --radius 0.5 --query 0.1,0.2,...
+  srtool stats   index.pages [--json]
+  srtool verify  index.pages
+  srtool serve   index.pages [--addr 127.0.0.1:7878] [--threads 4]
+                 [--max-conns 64] [--max-batch 128]
+  srtool client  ping|knn|range|insert|stats|shutdown --addr HOST:PORT
+                 [--k N] [--query v,..] [--batch q.tsv] [--radius R] [--data d.tsv]
+  srtool fuzz    --seed 0xd1ff0001 --ops 2000 --dim 8 --dist uniform|cluster|real
+  srtool lint    [--json] [--root <workspace-root>] [--rule <id>] [--stats]
+
+Data files are TSV: one point per line, `id <TAB> c0 <TAB> c1 ...`.
+
+`serve` answers typed wire requests over TCP until a `shutdown`
+request arrives; it then drains in-flight connections and flushes, so
+the index reopens with zero WAL replays. Connections past --max-conns
+are answered with a typed `overloaded` error, never silently dropped.
+
+exit codes:
+  0  success
+  1  execution failure (bad data file, corrupt index, lint findings)
+  2  usage error (malformed arguments or semantically invalid input)
+  3  remote error (`client` could not reach the server, or the server
+     answered with a typed error such as overloaded)";
 
 /// A malformed `srtool` invocation. Each variant pinpoints the flag or
 /// argument at fault so the message tells the user what to fix.
@@ -181,6 +215,48 @@ pub enum Command {
         /// Append a one-line run summary (files, findings, elapsed ms).
         stats: bool,
     },
+    /// Serve an index over TCP until a `shutdown` request drains it.
+    Serve {
+        index_path: PathBuf,
+        /// Listen address (port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads per coalesced query batch.
+        threads: usize,
+        /// Admission cap: the next connection past this gets a typed
+        /// `overloaded` error.
+        max_conns: usize,
+        /// Most pipelined requests coalesced per batch round.
+        max_batch: usize,
+    },
+    /// Drive a running `serve` instance.
+    Client {
+        /// Server address, `HOST:PORT`.
+        addr: String,
+        op: ClientOp,
+    },
+    /// Print the command grammar and exit-code taxonomy.
+    Help,
+}
+
+/// One `srtool client` operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientOp {
+    /// Liveness round-trip.
+    Ping,
+    /// k-NN — one `--query` vector or a pipelined `--batch` file.
+    Knn {
+        query: Option<Vec<f32>>,
+        k: u32,
+        batch: Option<PathBuf>,
+    },
+    /// Range query.
+    Range { query: Vec<f32>, radius: f64 },
+    /// Insert a TSV of points.
+    Insert { data_path: PathBuf },
+    /// Fetch the service stats JSON document.
+    Stats,
+    /// Ask the server to drain, flush, and exit.
+    Shutdown,
 }
 
 /// Parse `argv[1..]`.
@@ -273,6 +349,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 index_path: pos[0].into(),
             })
         }
+        "serve" => parse_serve(&rest),
+        "client" => parse_client(&rest),
+        "--help" | "-h" | "help" => Ok(Command::Help),
         "fuzz" => parse_fuzz(&rest),
         "lint" => {
             let mut json = false;
@@ -367,6 +446,112 @@ fn parse_build(rest: &[&str]) -> Result<Command, ArgError> {
         index_path: pos[0].into(),
         data_path: pos[1].into(),
     })
+}
+
+fn parse_serve(rest: &[&str]) -> Result<Command, ArgError> {
+    let pos = positionals(rest, 1)?;
+    let threads: usize = flag(rest, "--threads")?
+        .unwrap_or("4")
+        .parse()
+        .map_err(bad("--threads"))?;
+    if threads == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--threads",
+            detail: "must be at least 1".into(),
+        });
+    }
+    let max_conns: usize = flag(rest, "--max-conns")?
+        .unwrap_or("64")
+        .parse()
+        .map_err(bad("--max-conns"))?;
+    if max_conns == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--max-conns",
+            detail: "must be at least 1".into(),
+        });
+    }
+    let max_batch: usize = flag(rest, "--max-batch")?
+        .unwrap_or("128")
+        .parse()
+        .map_err(bad("--max-batch"))?;
+    if max_batch == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--max-batch",
+            detail: "must be at least 1".into(),
+        });
+    }
+    Ok(Command::Serve {
+        index_path: pos[0].into(),
+        addr: flag(rest, "--addr")?
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        threads,
+        max_conns,
+        max_batch,
+    })
+}
+
+fn parse_client(rest: &[&str]) -> Result<Command, ArgError> {
+    let pos = positionals(rest, 1)?;
+    let addr = flag(rest, "--addr")?
+        .ok_or(ArgError::MissingFlag("--addr"))?
+        .to_string();
+    let op = match pos[0] {
+        "ping" => ClientOp::Ping,
+        "knn" => {
+            let k: u32 = flag(rest, "--k")?
+                .unwrap_or("21")
+                .parse()
+                .map_err(bad("--k"))?;
+            let query = flag(rest, "--query")?.map(parse_query).transpose()?;
+            let batch = flag(rest, "--batch")?.map(PathBuf::from);
+            match (&query, &batch) {
+                (None, None) => return Err(ArgError::MissingFlag("--query")),
+                (Some(_), Some(_)) => {
+                    return Err(ArgError::BadValue {
+                        flag: "--batch",
+                        detail: "exclusive with --query: give one or the other".into(),
+                    })
+                }
+                _ => {}
+            }
+            ClientOp::Knn { query, k, batch }
+        }
+        "range" => {
+            let radius: f64 = flag(rest, "--radius")?
+                .ok_or(ArgError::MissingFlag("--radius"))?
+                .parse()
+                .map_err(bad("--radius"))?;
+            if radius.is_nan() || radius < 0.0 {
+                return Err(ArgError::BadValue {
+                    flag: "--radius",
+                    detail: format!("{radius} must be non-negative"),
+                });
+            }
+            ClientOp::Range {
+                query: parse_query(
+                    flag(rest, "--query")?.ok_or(ArgError::MissingFlag("--query"))?,
+                )?,
+                radius,
+            }
+        }
+        "insert" => ClientOp::Insert {
+            data_path: flag(rest, "--data")?
+                .ok_or(ArgError::MissingFlag("--data"))?
+                .into(),
+        },
+        "stats" => ClientOp::Stats,
+        "shutdown" => ClientOp::Shutdown,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "client",
+                detail: format!(
+                    "unknown operation {other:?} (ping|knn|range|insert|stats|shutdown)"
+                ),
+            })
+        }
+    };
+    Ok(Command::Client { addr, op })
 }
 
 fn parse_fuzz(rest: &[&str]) -> Result<Command, ArgError> {

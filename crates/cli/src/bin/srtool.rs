@@ -23,6 +23,9 @@ fn main() {
         std::process::exit(match e {
             sr_cli::CmdError::Usage(_) => 2,
             sr_cli::CmdError::Failure(_) => 1,
+            // Remote failures (server unreachable / typed server
+            // error) get their own code so scripts can retry.
+            sr_cli::CmdError::Remote(_) => 3,
         });
     }
 }

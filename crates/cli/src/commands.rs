@@ -8,25 +8,31 @@ use sr_geometry::Point;
 use sr_obs::{Counter, Recorder, StatsRecorder};
 use sr_pager::{IoStats, PageKind, WalStats};
 use sr_testkit::{failure_report, generate, minimize, run_tape, DiffConfig, WorkloadSpec};
+use sr_wire::{io_json, RemoteError, Request, Response};
 
-use crate::args::{Command, GenKind};
+use crate::args::{ClientOp, Command, GenKind, HELP};
 use crate::data::{read_points, write_points};
 use crate::store::AnyStore;
 
 /// A failed command, split by exit code: usage errors (bad input the
-/// user can fix — exit 2) versus execution failures (exit 1).
+/// user can fix — exit 2), execution failures (exit 1), and remote
+/// failures (the query service said no, or could not be reached —
+/// exit 3, so scripts can tell "my index is broken" from "the server
+/// is down or overloaded").
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CmdError {
     /// The invocation was well-formed but semantically invalid.
     Usage(String),
     /// The command ran and failed.
     Failure(String),
+    /// A `client` command failed on or en route to the server.
+    Remote(String),
 }
 
 impl fmt::Display for CmdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CmdError::Usage(s) | CmdError::Failure(s) => write!(f, "{s}"),
+            CmdError::Usage(s) | CmdError::Failure(s) | CmdError::Remote(s) => write!(f, "{s}"),
         }
     }
 }
@@ -37,39 +43,6 @@ impl From<String> for CmdError {
     fn from(s: String) -> Self {
         CmdError::Failure(s)
     }
-}
-
-/// The I/O-window half of a trace line (plus pool capacity).
-fn io_json(w: &IoStats, cache_capacity: usize) -> String {
-    format!(
-        "{{\"node_reads\":{},\"leaf_reads\":{},\"physical_reads\":{},\
-         \"physical_writes\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_evictions\":{},\"cache_capacity\":{cache_capacity}}}",
-        w.logical_reads(PageKind::Node),
-        w.logical_reads(PageKind::Leaf),
-        w.physical_reads(),
-        w.physical_writes(),
-        w.cache_hits(),
-        w.cache_misses(),
-        w.cache_evictions(),
-    )
-}
-
-/// The WAL half of a stats line: store-lifetime durability counters.
-fn wal_json(ws: &WalStats) -> String {
-    format!(
-        "{{\"frames_appended\":{},\"commits\":{},\"truncations\":{},\
-         \"replays\":{},\"replayed_frames\":{},\"dropped_frames\":{},\
-         \"torn_tails\":{},\"wal_bytes\":{}}}",
-        ws.frames_appended,
-        ws.commits,
-        ws.truncations,
-        ws.replays,
-        ws.replayed_frames,
-        ws.dropped_frames,
-        ws.torn_tails,
-        ws.wal_bytes,
-    )
 }
 
 /// Mirror the pager's [`WalStats`] into the metric counters, the same
@@ -91,7 +64,8 @@ fn mirror_wal(rec: &dyn Recorder, ws: &WalStats) {
 /// query's I/O window.
 fn trace_json(cmd: &str, results: usize, rec: &StatsRecorder, io: &IoStats, cap: usize) -> String {
     format!(
-        "{{\"cmd\":\"{cmd}\",\"results\":{results},\"metrics\":{},\"io\":{}}}",
+        "{{{},\"cmd\":\"{cmd}\",\"results\":{results},\"metrics\":{},\"io\":{}}}",
+        sr_obs::schema_version_field(),
         rec.snapshot().to_json(),
         io_json(io, cap),
     )
@@ -109,11 +83,28 @@ fn batch_trace_json(
     cap: usize,
 ) -> String {
     format!(
-        "{{\"cmd\":\"knn_batch\",\"results\":{results},\"threads\":{threads},\
+        "{{{},\"cmd\":\"knn_batch\",\"results\":{results},\"threads\":{threads},\
          \"queries\":{queries},\"metrics\":{},\"io\":{}}}",
+        sr_obs::schema_version_field(),
         metrics.to_json(),
         io_json(io, cap),
     )
+}
+
+/// Lower an executed [`Response`] to `(id, distance)` pairs, folding
+/// typed remote errors back into the CLI error taxonomy: caller
+/// mistakes stay usage errors (exit 2), everything else fails (exit 1).
+fn response_rows(resp: Response) -> Result<Vec<(u64, f64)>, CmdError> {
+    match resp {
+        Response::Rows(rows) => Ok(rows.iter().map(|r| (r.data, r.dist)).collect()),
+        Response::Error(RemoteError::BadRequest(msg) | RemoteError::Unsupported(msg)) => {
+            Err(CmdError::Usage(msg))
+        }
+        Response::Error(e) => Err(CmdError::Failure(e.to_string())),
+        other => Err(CmdError::Failure(format!(
+            "query returned a non-row response: {other:?}"
+        ))),
+    }
 }
 
 fn results_json(hits: &[(u64, f64)]) -> String {
@@ -132,7 +123,7 @@ fn run_query(
     trace: bool,
     json: bool,
     out: &mut dyn Write,
-    query: impl FnOnce(&dyn sr_obs::Recorder) -> Result<Vec<(u64, f64)>, String>,
+    query: impl FnOnce(&dyn sr_obs::Recorder) -> Result<Vec<(u64, f64)>, CmdError>,
 ) -> Result<(), CmdError> {
     let rec = StatsRecorder::new();
     let before = store.pager().stats();
@@ -158,7 +149,8 @@ fn run_query(
         };
         writeln!(
             out,
-            "{{\"cmd\":\"{cmd_name}\",\"results\":{}{trace_field}}}",
+            "{{{},\"cmd\":\"{cmd_name}\",\"results\":{}{trace_field}}}",
+            sr_obs::schema_version_field(),
             results_json(&hits)
         )
         .map_err(e)?;
@@ -224,8 +216,9 @@ fn run_knn_batch(
         };
         writeln!(
             out,
-            "{{\"cmd\":\"knn_batch\",\"queries\":{n_queries},\"threads\":{},\
+            "{{{},\"cmd\":\"knn_batch\",\"queries\":{n_queries},\"threads\":{},\
              \"results\":[{}]{trace_field}}}",
+            sr_obs::schema_version_field(),
             result.threads,
             per_query.join(","),
         )
@@ -329,7 +322,32 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
             let points = read_points(&data_path).map_err(|e| e.to_string())?;
             let n = points.len();
             let mut store = AnyStore::open(&index_path)?;
-            store.insert(points)?;
+            // Same typed requests the server executes, one per point.
+            for (p, id) in &points {
+                let req = Request::Insert {
+                    point: p.coords().to_vec(),
+                    data: *id,
+                };
+                match sr_wire::execute(&req, store.index_mut(), &sr_obs::Noop) {
+                    Response::Ack { .. } => {}
+                    Response::Error(RemoteError::Unsupported(_)) => {
+                        return Err(CmdError::Failure(
+                            "the VAMSplit R-tree is static: rebuild it with `srtool build`"
+                                .to_string(),
+                        ))
+                    }
+                    Response::Error(e) => return Err(CmdError::Failure(e.to_string())),
+                    other => {
+                        return Err(CmdError::Failure(format!(
+                            "insert returned a non-ack response: {other:?}"
+                        )))
+                    }
+                }
+            }
+            store
+                .index()
+                .flush()
+                .map_err(|e| CmdError::Failure(e.to_string()))?;
             let (_, len, height) = store.summary();
             writeln!(
                 out,
@@ -351,8 +369,14 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
                 return run_knn_batch(&store, &batch_path, k, threads, trace, json, out);
             }
             let query = query.ok_or_else(|| CmdError::Usage("missing --query".into()))?;
+            let k = u32::try_from(k)
+                .map_err(|_| CmdError::Usage(format!("--k {k} exceeds the wire limit")))?;
             run_query(&store, "knn", trace, json, out, |rec| {
-                store.knn_with(&query, k, rec)
+                let req = Request::Knn {
+                    query: query.clone(),
+                    k,
+                };
+                response_rows(sr_wire::execute_read(&req, store.index(), rec))
             })
         }
         Command::Range {
@@ -364,7 +388,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
         } => {
             let store = AnyStore::open(&index_path)?;
             run_query(&store, "range", trace, json, out, |rec| {
-                store.range_with(&query, radius, rec)
+                let req = Request::Range {
+                    query: query.clone(),
+                    radius,
+                };
+                response_rows(sr_wire::execute_read(&req, store.index(), rec))
             })
         }
         Command::Stats { index_path, json } => {
@@ -376,16 +404,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
             let ws = store.pager().wal_stats();
             let e = |err: std::io::Error| CmdError::Failure(err.to_string());
             if json {
-                writeln!(
-                    out,
-                    "{{\"kind\":\"{}\",\"points\":{len},\"dim\":{dim},\
-                     \"height\":{height},\"page_size\":{page_size},\"io\":{},\
-                     \"wal\":{}}}",
-                    store.kind_name(),
-                    io_json(&io, cap),
-                    wal_json(&ws)
-                )
-                .map_err(e)
+                // Same document a served Stats request answers with
+                // (minus the service-lifetime "metrics" member).
+                writeln!(out, "{}", sr_wire::stats_json(store.index())).map_err(e)
             } else {
                 writeln!(
                     out,
@@ -531,6 +552,114 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CmdError> {
                     report.diagnostics.len()
                 )))
             }
+        }
+        Command::Serve {
+            index_path,
+            addr,
+            threads,
+            max_conns,
+            max_batch,
+        } => {
+            let store = AnyStore::open(&index_path)?;
+            let kind = store.kind_name();
+            let (_, len, _) = store.summary();
+            let cfg = sr_serve::ServeConfig {
+                addr,
+                threads,
+                max_conns,
+                max_batch,
+                max_body: sr_wire::DEFAULT_MAX_BODY,
+            };
+            let server = sr_serve::Server::start(store.into_index(), cfg)
+                .map_err(|e| CmdError::Failure(e.to_string()))?;
+            // One parseable line, flushed before blocking, so scripts
+            // (and the CI smoke job) can discover the bound port.
+            writeln!(
+                out,
+                "listening on {} ({kind}, {len} points)",
+                server.local_addr()
+            )
+            .map_err(|e| CmdError::Failure(e.to_string()))?;
+            out.flush().map_err(|e| CmdError::Failure(e.to_string()))?;
+            server.wait().map_err(|e| CmdError::Failure(e.to_string()))
+        }
+        Command::Client { addr, op } => run_client(&addr, op, out),
+        Command::Help => writeln!(out, "{HELP}").map_err(|e| CmdError::Failure(e.to_string())),
+    }
+}
+
+/// Run one `srtool client` operation against a serving `srtool serve`.
+/// Every failure on or en route to the server is [`CmdError::Remote`]
+/// (exit 3).
+fn run_client(addr: &str, op: ClientOp, out: &mut dyn Write) -> Result<(), CmdError> {
+    let remote = |e: sr_serve::ServeError| CmdError::Remote(e.to_string());
+    let io_err = |e: std::io::Error| CmdError::Failure(e.to_string());
+    let mut client = sr_serve::Client::connect(addr).map_err(remote)?;
+    match op {
+        ClientOp::Ping => {
+            client.ping().map_err(remote)?;
+            writeln!(out, "pong").map_err(io_err)
+        }
+        ClientOp::Knn { query, k, batch } => {
+            if let Some(batch_path) = batch {
+                let queries: Vec<Vec<f32>> = read_points(&batch_path)
+                    .map_err(|e| e.to_string())?
+                    .into_iter()
+                    .map(|(p, _)| p.coords().to_vec())
+                    .collect();
+                let reqs: Vec<Request> = queries
+                    .into_iter()
+                    .map(|query| Request::Knn { query, k })
+                    .collect();
+                // Pipelined: the server coalesces the whole run into
+                // one sr-exec batch. Output matches offline
+                // `srtool knn --batch` byte for byte.
+                let resps = client.pipeline(&reqs).map_err(remote)?;
+                for (qidx, resp) in resps.iter().enumerate() {
+                    match resp {
+                        Response::Rows(rows) => {
+                            for r in rows {
+                                writeln!(out, "{qidx}\t{}\t{}", r.data, r.dist).map_err(io_err)?;
+                            }
+                        }
+                        Response::Error(e) => return Err(CmdError::Remote(e.to_string())),
+                        other => {
+                            return Err(CmdError::Remote(format!("unexpected response: {other:?}")))
+                        }
+                    }
+                }
+                Ok(())
+            } else {
+                let query = query.ok_or_else(|| CmdError::Usage("missing --query".into()))?;
+                let rows = client.knn(&query, k).map_err(remote)?;
+                for r in rows {
+                    writeln!(out, "{}\t{}", r.data, r.dist).map_err(io_err)?;
+                }
+                Ok(())
+            }
+        }
+        ClientOp::Range { query, radius } => {
+            let rows = client.range(&query, radius).map_err(remote)?;
+            for r in rows {
+                writeln!(out, "{}\t{}", r.data, r.dist).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        ClientOp::Insert { data_path } => {
+            let points = read_points(&data_path).map_err(|e| e.to_string())?;
+            let n = points.len();
+            for (p, id) in &points {
+                client.insert(p.coords(), *id).map_err(remote)?;
+            }
+            writeln!(out, "inserted {n} points").map_err(io_err)
+        }
+        ClientOp::Stats => {
+            let json = client.stats().map_err(remote)?;
+            writeln!(out, "{json}").map_err(io_err)
+        }
+        ClientOp::Shutdown => {
+            client.shutdown().map_err(remote)?;
+            writeln!(out, "server shutting down").map_err(io_err)
         }
     }
 }

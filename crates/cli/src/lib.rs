@@ -12,11 +12,15 @@
 //! srtool range   index.pages --radius 0.5 --query 0.1,0.2,...
 //! srtool stats   index.pages
 //! srtool verify  index.pages
+//! srtool serve   index.pages --addr 127.0.0.1:7878 --threads 4 --max-conns 64
+//! srtool client  ping|knn|range|insert|stats|shutdown --addr HOST:PORT ...
 //! srtool fuzz    --seed 0xd1ff0001 --ops 2000 --dim 8 --dist uniform|cluster|real
 //! srtool lint    [--json] [--root <workspace-root>]
 //! ```
 //!
 //! Data files are TSV: one point per line, `id <TAB> c0 <TAB> c1 ...`.
+//! Exit codes: 0 success, 1 execution failure, 2 usage error, 3 remote
+//! (`client`) error — see `srtool --help`.
 
 #![forbid(unsafe_code)]
 
@@ -25,7 +29,7 @@ pub mod commands;
 pub mod data;
 pub mod store;
 
-pub use args::{parse, ArgError, Command};
+pub use args::{parse, ArgError, ClientOp, Command};
 pub use commands::CmdError;
 pub use data::DataError;
 

@@ -88,10 +88,21 @@ impl AnyStore {
         Err(format!("{}: not a recognizable index file", path.display()))
     }
 
-    /// The trait object itself, for callers (batch execution) that want
-    /// the [`SpatialIndex`] API directly.
+    /// The trait object itself, for callers (batch execution, request
+    /// dispatch) that want the [`SpatialIndex`] API directly.
     pub fn index(&self) -> &dyn SpatialIndex {
         self.index.as_ref()
+    }
+
+    /// Mutable access for write-shaped requests (`sr_wire::execute`).
+    pub fn index_mut(&mut self) -> &mut dyn SpatialIndex {
+        self.index.as_mut()
+    }
+
+    /// Give up the store, keeping the boxed index — how `srtool serve`
+    /// hands ownership to the server.
+    pub fn into_index(self) -> Box<dyn SpatialIndex> {
+        self.index
     }
 
     /// Human-readable type name.
@@ -102,57 +113,6 @@ impl AnyStore {
     /// (dim, len, height).
     pub fn summary(&self) -> (usize, u64, u32) {
         (self.index.dim(), self.index.len(), self.index.height())
-    }
-
-    /// Insert points (errors for the static VAMSplit R-tree).
-    pub fn insert(&mut self, points: Vec<(Point, u64)>) -> Result<(), String> {
-        for (p, id) in points {
-            self.index.insert(p.coords(), id).map_err(|e| match e {
-                sr_query::IndexError::Unsupported(_) => {
-                    "the VAMSplit R-tree is static: rebuild it with `srtool build`".to_string()
-                }
-                other => other.to_string(),
-            })?;
-        }
-        self.index.flush().map_err(|e| e.to_string())
-    }
-
-    /// k-NN query, returning `(id, distance)` pairs.
-    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f64)>, String> {
-        self.knn_with(query, k, &sr_obs::Noop)
-    }
-
-    /// [`AnyStore::knn`] with a metrics recorder (see `sr-obs`).
-    pub fn knn_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<(u64, f64)>, String> {
-        let hits = self
-            .index
-            .knn_with(query, k, rec)
-            .map_err(|e| e.to_string())?;
-        Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
-    }
-
-    /// Range query, returning `(id, distance)` pairs.
-    pub fn range(&self, query: &[f32], radius: f64) -> Result<Vec<(u64, f64)>, String> {
-        self.range_with(query, radius, &sr_obs::Noop)
-    }
-
-    /// [`AnyStore::range`] with a metrics recorder.
-    pub fn range_with(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> Result<Vec<(u64, f64)>, String> {
-        let hits = self
-            .index
-            .range_with(query, radius, rec)
-            .map_err(|e| e.to_string())?;
-        Ok(hits.iter().map(|n| (n.data, n.dist2.sqrt())).collect())
     }
 
     /// The underlying page file (I/O statistics, buffer-pool control).

@@ -160,6 +160,7 @@ fn trace_json_emits_metrics_schema() {
     let line = stdout.trim();
     assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
     for field in [
+        "\"schema_version\":1",
         "\"cmd\":\"knn\"",
         "\"results\":[",
         "\"trace\":",
@@ -212,6 +213,45 @@ fn extract_u64(line: &str, key: &str) -> u64 {
         .collect::<String>()
         .parse()
         .unwrap_or(0)
+}
+
+#[test]
+fn unreachable_server_exits_3() {
+    // Remote failures get their own exit code so scripts can tell a bad
+    // server apart from a bad invocation (2) or a local failure (1).
+    // Port 1 on loopback is never listening in the test environment.
+    let out = srtool(&["client", "ping", "--addr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn client_without_addr_exits_2() {
+    // A missing --addr is a usage error, not a remote one.
+    let out = srtool(&["client", "ping"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(matches!(
+        parse_err(&["client", "ping"]),
+        ArgError::MissingFlag("--addr")
+    ));
+}
+
+#[test]
+fn help_documents_serving_and_exit_codes() {
+    let out = srtool(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "serve",
+        "client",
+        "--max-conns",
+        "exit codes",
+        "3",
+        "remote",
+    ] {
+        assert!(stdout.contains(needle), "help missing {needle:?}: {stdout}");
+    }
 }
 
 #[test]

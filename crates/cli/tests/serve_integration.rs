@@ -1,0 +1,218 @@
+//! `srtool serve` / `srtool client` end to end at the binary level: a
+//! served index answers `client knn --batch` byte-identically to the
+//! offline `srtool knn --batch` path (they share one `sr_wire::execute`
+//! entry point), eight concurrent client processes agree, a `client
+//! shutdown` drains and flushes so the next open replays zero WAL
+//! frames, and a SIGKILL mid-insert-load leaves an index that reopens,
+//! verifies, and answers queries — the WAL crash-recovery contract,
+//! exercised through the server.
+
+use std::io::{BufRead as _, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn srtool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srtool"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srtool-serve-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn `srtool serve <index> --addr 127.0.0.1:0` and parse the bound
+/// address out of its `listening on ...` banner.
+fn spawn_serve(index: &str) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_srtool"))
+        .args(["serve", index, "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    (child, addr)
+}
+
+/// Wait up to `secs` seconds for the child to exit, returning its code.
+fn wait_exit(child: &mut Child, secs: u64) -> Option<i32> {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status.code();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().ok();
+    panic!("serve did not exit within {secs}s");
+}
+
+fn build_index(dir: &std::path::Path, n: usize) -> (String, String) {
+    let data = dir.join("data.tsv");
+    let index = dir.join("index.pages");
+    let gen = srtool(&[
+        "gen",
+        "--n",
+        &n.to_string(),
+        "--dim",
+        "8",
+        "--seed",
+        "7",
+        data.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let build = srtool(&[
+        "build",
+        "--index",
+        "sr",
+        "--dim",
+        "8",
+        index.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert!(build.status.success());
+    (
+        index.to_str().unwrap().to_string(),
+        data.to_str().unwrap().to_string(),
+    )
+}
+
+#[test]
+fn served_batch_matches_offline_byte_for_byte_and_shutdown_is_clean() {
+    let dir = tmpdir("roundtrip");
+    let (index, _) = build_index(&dir, 3_000);
+    let batch = dir.join("queries.tsv");
+    let gen = srtool(&[
+        "gen",
+        "--n",
+        "24",
+        "--dim",
+        "8",
+        "--seed",
+        "9",
+        batch.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+
+    // The offline answer, straight through the store.
+    let offline = srtool(&[
+        "knn",
+        &index,
+        "--k",
+        "9",
+        "--batch",
+        batch.to_str().unwrap(),
+    ]);
+    assert!(offline.status.success());
+    assert!(!offline.stdout.is_empty());
+
+    let (mut serve, addr) = spawn_serve(&index);
+
+    // Eight concurrent client processes, all byte-identical to offline.
+    let mut clients = Vec::new();
+    for _ in 0..8 {
+        clients.push(
+            Command::new(env!("CARGO_BIN_EXE_srtool"))
+                .args([
+                    "client",
+                    "knn",
+                    "--addr",
+                    &addr,
+                    "--k",
+                    "9",
+                    "--batch",
+                    batch.to_str().unwrap(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap(),
+        );
+    }
+    for client in clients {
+        let out = client.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "client failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stdout, offline.stdout,
+            "served batch output diverged from offline"
+        );
+    }
+
+    // The service stats document is schema-stamped and carries the
+    // service-lifetime metrics block.
+    let stats = srtool(&["client", "stats", "--addr", &addr]);
+    assert!(stats.status.success());
+    let json = String::from_utf8(stats.stdout).unwrap();
+    assert!(json.contains("\"schema_version\":1"), "{json}");
+    assert!(json.contains("\"metrics\""), "{json}");
+
+    // Graceful shutdown: ack, then the server process exits cleanly.
+    let down = srtool(&["client", "shutdown", "--addr", &addr]);
+    assert!(down.status.success());
+    assert_eq!(wait_exit(&mut serve, 10), Some(0));
+
+    // The shutdown flushed: reopening replays zero WAL frames.
+    let stats = srtool(&["stats", &index, "--json"]);
+    assert!(stats.status.success());
+    let json = String::from_utf8(stats.stdout).unwrap();
+    assert!(json.contains("\"replays\":0"), "{json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_insert_load_leaves_a_recoverable_index() {
+    let dir = tmpdir("crash");
+    let (index, data) = build_index(&dir, 2_000);
+
+    let (mut serve, addr) = spawn_serve(&index);
+
+    // Re-insert the data set over the wire and kill the server while
+    // the load is in flight. The client's own failure is expected noise.
+    let mut loader = Command::new(env!("CARGO_BIN_EXE_srtool"))
+        .args(["client", "insert", "--addr", &addr, "--data", &data])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    serve.kill().unwrap();
+    serve.wait().unwrap();
+    loader.wait().unwrap();
+
+    // Whatever committed stays, whatever didn't is discarded: the index
+    // must reopen, verify, and answer queries.
+    let verify = srtool(&["verify", &index]);
+    assert!(
+        verify.status.success(),
+        "verify after crash failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    let q = ["0.5"; 8].join(",");
+    let knn = srtool(&["knn", &index, "--k", "5", "--query", &q]);
+    assert!(knn.status.success());
+    assert_eq!(
+        String::from_utf8(knn.stdout).unwrap().lines().count(),
+        5,
+        "post-crash query did not return k rows"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

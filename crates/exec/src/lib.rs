@@ -32,8 +32,11 @@
 //!    scope owns no shared mutable state.
 //!
 //! [`run_batch`] is the generic core (any `Fn(index, query, recorder)`
-//! job); [`run_knn_batch`] and [`run_range_batch`] are the
-//! [`SpatialIndex`]-flavored entry points the CLI and `sr-bench` use.
+//! job); [`run_query_batch`] fans a heterogeneous batch of
+//! [`QuerySpec`]s (mixed k-NN and range — what the `sr-serve` request
+//! coalescer produces) over one index, and [`run_knn_batch`] /
+//! [`run_range_batch`] are the homogeneous entry points the CLI and
+//! `sr-bench` use.
 //!
 //! [`StatsRecorder`]: sr_obs::StatsRecorder
 
@@ -43,7 +46,7 @@ use std::fmt;
 
 use sr_obs::{MetricsSnapshot, Recorder, StatsRecorder};
 use sr_pager::IoStats;
-use sr_query::{IndexError, Neighbor, SpatialIndex};
+use sr_query::{IndexError, Neighbor, QuerySpec, SpatialIndex};
 
 /// Errors from a batch execution.
 #[derive(Debug)]
@@ -244,7 +247,9 @@ pub fn run_knn_batch<I: SpatialIndex + ?Sized>(
     threads: usize,
 ) -> Result<BatchResult, ExecError> {
     let before = index.io_stats();
-    let out = run_batch(queries, threads, |_, q, rec| index.knn_with(q, k, rec))?;
+    let out = run_batch(queries, threads, |_, q, rec| {
+        index.query(&QuerySpec::knn(q, k), rec).map(|o| o.rows)
+    })?;
     Ok(BatchResult {
         results: out.results,
         metrics: out.metrics,
@@ -262,7 +267,32 @@ pub fn run_range_batch<I: SpatialIndex + ?Sized>(
 ) -> Result<BatchResult, ExecError> {
     let before = index.io_stats();
     let out = run_batch(queries, threads, |_, q, rec| {
-        index.range_with(q, radius, rec)
+        index
+            .query(&QuerySpec::range(q, radius), rec)
+            .map(|o| o.rows)
+    })?;
+    Ok(BatchResult {
+        results: out.results,
+        metrics: out.metrics,
+        io: index.io_stats().since(&before),
+        threads: out.threads,
+    })
+}
+
+/// Answer a heterogeneous batch of [`QuerySpec`]s — mixed k-NN and
+/// range, each with its own leaf-scan kernel — against one index in
+/// parallel. This is the fan-out the `sr-serve` coalescer uses when it
+/// folds adjacent read requests from one connection into a single
+/// batch; results come back in input order exactly like
+/// [`run_knn_batch`].
+pub fn run_query_batch<I: SpatialIndex + ?Sized>(
+    index: &I,
+    specs: &[QuerySpec<'_>],
+    threads: usize,
+) -> Result<BatchResult, ExecError> {
+    let before = index.io_stats();
+    let out = run_batch(specs, threads, |_, spec, rec| {
+        index.query(spec, rec).map(|o| o.rows)
     })?;
     Ok(BatchResult {
         results: out.results,
@@ -320,33 +350,31 @@ mod tests {
             self.points.push((point.to_vec(), data));
             Ok(())
         }
-        fn knn_with(
+        fn query(
             &self,
-            query: &[f32],
-            k: usize,
+            spec: &QuerySpec<'_>,
             rec: &dyn Recorder,
-        ) -> Result<Vec<Neighbor>, IndexError> {
-            if query.len() != self.dim {
-                return Err(IndexError::DimensionMismatch {
-                    expected: self.dim,
-                    got: query.len(),
-                });
-            }
-            rec.incr(sr_obs::Counter::NodeExpansions, 1);
+        ) -> Result<sr_query::QueryOutput, IndexError> {
             let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
-            Ok(brute_force_knn(flat, query, k))
-        }
-        fn range_with(
-            &self,
-            query: &[f32],
-            radius: f64,
-            _rec: &dyn Recorder,
-        ) -> Result<Vec<Neighbor>, IndexError> {
-            if radius.is_nan() || radius < 0.0 {
-                return Err(IndexError::InvalidRadius(radius));
-            }
-            let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
-            Ok(sr_query::brute_force_range(flat, query, radius))
+            let rows = match spec.shape {
+                sr_query::QueryShape::Knn { k } => {
+                    if spec.point.len() != self.dim {
+                        return Err(IndexError::DimensionMismatch {
+                            expected: self.dim,
+                            got: spec.point.len(),
+                        });
+                    }
+                    rec.incr(sr_obs::Counter::NodeExpansions, 1);
+                    brute_force_knn(flat, spec.point, k)
+                }
+                sr_query::QueryShape::Range { radius } => {
+                    if radius.is_nan() || radius < 0.0 {
+                        return Err(IndexError::InvalidRadius(radius));
+                    }
+                    sr_query::brute_force_range(flat, spec.point, radius)
+                }
+            };
+            Ok(sr_query::QueryOutput::from_rows(rows))
         }
         fn pager(&self) -> &PageFile {
             &self.pager

@@ -76,6 +76,7 @@ use parser::{Item, ItemKind};
 /// `crates/`).
 pub const LIB_CRATES: &[&str] = &[
     "pager", "geometry", "core", "sstree", "rstar", "kdbtree", "vamsplit", "query", "obs", "exec",
+    "wire", "serve",
 ];
 
 /// Hot-path files under the L2 rules, relative to the workspace root.
@@ -198,7 +199,10 @@ impl LintReport {
 
     /// Machine-readable output for CI artifact upload.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"violations\": [");
+        let mut s = format!(
+            "{{\n  {},\n  \"violations\": [",
+            sr_obs::schema_version_field()
+        );
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 s.push(',');

@@ -29,11 +29,11 @@ fn workspace_passes_srlint_clean() {
 
 #[test]
 fn query_obs_and_exec_crates_are_under_the_lint_gate() {
-    // The query hot path, the observability substrate, and the batch
-    // executor must stay under the L1/L3 rules: a regression that drops
-    // any of them from the configuration would silently exempt the code
-    // most PRs touch.
-    for name in ["query", "obs", "exec"] {
+    // The query hot path, the observability substrate, the batch
+    // executor, and the serving stack must stay under the L1/L3 rules: a
+    // regression that drops any of them from the configuration would
+    // silently exempt the code most PRs touch.
+    for name in ["query", "obs", "exec", "wire", "serve"] {
         assert!(
             sr_lint::LIB_CRATES.contains(&name),
             "{name} missing from LIB_CRATES"

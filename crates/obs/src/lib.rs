@@ -24,10 +24,12 @@
 
 mod metric;
 mod recorder;
+mod schema;
 mod span;
 mod stats;
 
 pub use metric::{Counter, Gauge, Hist};
 pub use recorder::{Noop, Recorder};
+pub use schema::{schema_version_field, SCHEMA_VERSION};
 pub use span::SpanTimer;
 pub use stats::{HistSnapshot, MetricsSnapshot, StatsRecorder};

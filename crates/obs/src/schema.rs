@@ -1,0 +1,32 @@
+//! The JSON-contract version every machine-readable surface carries.
+//!
+//! `srtool stats --json`, `--trace` lines, `srtool lint --json`, bench
+//! snapshots and the serve `Stats` response all embed the same
+//! `"schema_version"` field, emitted from this one helper, so CI jq
+//! gates and remote clients pin one contract instead of five. Bump
+//! [`SCHEMA_VERSION`] when any of those shapes changes incompatibly
+//! (removing or renaming a field; adding fields is compatible and does
+//! not bump it).
+
+/// Version of the workspace's JSON output contract.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The leading `"schema_version":N` member for a JSON object, without
+/// braces or trailing comma.
+pub fn schema_version_field() -> String {
+    format!("\"schema_version\":{SCHEMA_VERSION}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_a_valid_json_member() {
+        let f = schema_version_field();
+        assert_eq!(f, format!("\"schema_version\":{SCHEMA_VERSION}"));
+        let obj = format!("{{{f}}}");
+        assert!(obj.starts_with("{\"schema_version\":"));
+        assert!(obj.ends_with('}'));
+    }
+}

@@ -56,6 +56,22 @@ impl HistCell {
         }
     }
 
+    /// Fold a whole [`HistSnapshot`] in, bucket by bucket — exact, not
+    /// a resampling, so quantiles of the merged cell equal quantiles of
+    /// the combined observation streams (within bucket resolution).
+    fn absorb(&self, s: &HistSnapshot) {
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        self.sum.fetch_add(s.sum, Ordering::Relaxed);
+        self.max.fetch_max(s.max, Ordering::Relaxed);
+        for (i, n) in s.buckets.iter().enumerate() {
+            if *n > 0 {
+                if let Some(b) = self.buckets.get(i) {
+                    b.fetch_add(*n, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             count: self.count.load(Ordering::Relaxed),
@@ -91,6 +107,27 @@ impl StatsRecorder {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| HistCell::new()),
+        }
+    }
+
+    /// Fold a finished [`MetricsSnapshot`] into this recorder — what a
+    /// long-lived recorder (the serve loop's) does with the merged
+    /// per-batch snapshots `sr-exec` returns, so service-lifetime
+    /// p50/p99 cover batched and unbatched queries alike.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for c in Counter::ALL {
+            let v = snap.counter(c);
+            if v > 0 {
+                self.incr(c, v);
+            }
+        }
+        for g in Gauge::ALL {
+            self.gauge_max(g, snap.gauge(g));
+        }
+        for (i, cell) in self.hists.iter().enumerate() {
+            if let Some(h) = Hist::ALL.get(i) {
+                cell.absorb(&snap.hist(*h));
+            }
         }
     }
 

@@ -47,6 +47,7 @@ pub use page::{PageCodec, PageId, PageKind, PageReader, DEFAULT_PAGE_SIZE};
 pub use pagefile::{PageBuf, PageFile};
 pub use stats::IoStats;
 pub use store::{FilePageStore, MemPageStore, PageStore};
+pub use sync::{Mutex, RwLock};
 pub use wal::{
     crc32, crc32_begin, crc32_finish, crc32_update, decode_frame, encode_commit_frame,
     encode_frame, encode_header, encode_page_frame, scan_log, FrameDecode, ScanOutcome, WalFrame,

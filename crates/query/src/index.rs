@@ -18,6 +18,86 @@ use sr_obs::{Noop, Recorder};
 use sr_pager::{IoStats, PageFile, PagerError};
 
 use crate::heap::Neighbor;
+use crate::LeafScan;
+
+/// What a query wants back: the `k` nearest neighbors, or every point
+/// within a radius. Carried by [`QuerySpec`] so one [`SpatialIndex::query`]
+/// entry point serves both shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryShape {
+    /// The `k` nearest neighbors, ascending by distance.
+    Knn {
+        /// Number of neighbors requested.
+        k: usize,
+    },
+    /// Every point within `radius`, ascending by distance.
+    Range {
+        /// Inclusive search radius (must be non-negative and non-NaN).
+        radius: f64,
+    },
+}
+
+/// A fully-specified query: the point, the shape (kNN or range), and the
+/// leaf-scan kernel to use. This is the one argument of
+/// [`SpatialIndex::query`], replacing the old `knn_with` / `range_with` /
+/// `knn_scan_with` method sprawl — callers that used to pick a method now
+/// build a value, which is what lets the wire layer, the CLI, and the
+/// batch executor share a single dispatch path.
+///
+/// The query point is borrowed, so building a spec is free: batch drivers
+/// can construct one per query without cloning coordinate buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySpec<'q> {
+    /// The query point.
+    pub point: &'q [f32],
+    /// What to return: kNN or range.
+    pub shape: QueryShape,
+    /// Leaf-scan kernel (the columnar/early-abandon ablation knob).
+    /// Ignored by indexes without a paged columnar leaf path.
+    pub scan: LeafScan,
+}
+
+impl<'q> QuerySpec<'q> {
+    /// A k-nearest-neighbor spec with the default leaf-scan kernel.
+    pub fn knn(point: &'q [f32], k: usize) -> Self {
+        QuerySpec {
+            point,
+            shape: QueryShape::Knn { k },
+            scan: LeafScan::default(),
+        }
+    }
+
+    /// A range spec with the default leaf-scan kernel.
+    pub fn range(point: &'q [f32], radius: f64) -> Self {
+        QuerySpec {
+            point,
+            shape: QueryShape::Range { radius },
+            scan: LeafScan::default(),
+        }
+    }
+
+    /// Same spec with an explicit leaf-scan kernel.
+    pub fn with_scan(mut self, scan: LeafScan) -> Self {
+        self.scan = scan;
+        self
+    }
+}
+
+/// What a query returns. A struct rather than a bare `Vec` so the result
+/// surface can grow (e.g. truncation or timing markers) without touching
+/// every [`SpatialIndex`] implementation again.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Matching neighbors, ascending by distance (ties by payload id).
+    pub rows: Vec<Neighbor>,
+}
+
+impl QueryOutput {
+    /// Wrap a sorted neighbor list.
+    pub fn from_rows(rows: Vec<Neighbor>) -> Self {
+        QueryOutput { rows }
+    }
+}
 
 /// Errors from operations on a [`SpatialIndex`], folding each tree
 /// crate's own error enum into one API-level type.
@@ -111,50 +191,70 @@ pub trait SpatialIndex: Send + Sync {
     /// return [`IndexError::Unsupported`].
     fn insert(&mut self, point: &[f32], data: u64) -> Result<(), IndexError>;
 
-    /// The `k` nearest neighbors of `query`, sorted by ascending
-    /// distance (ties broken by payload id), with a metrics recorder.
+    /// Remove one `(point, data)` entry, reporting whether it was
+    /// present. Structures without a delete path return
+    /// [`IndexError::Unsupported`].
+    fn delete(&mut self, point: &[f32], data: u64) -> Result<bool, IndexError> {
+        let _ = (point, data);
+        Err(IndexError::Unsupported("delete"))
+    }
+
+    /// Answer one query. This is the single query entry point: the spec
+    /// carries the point, the shape (kNN or range), and the leaf-scan
+    /// kernel, so every caller — CLI, wire dispatch, batch executor,
+    /// fuzzer — goes through the same method. Results are sorted by
+    /// ascending distance (ties broken by payload id); every
+    /// [`LeafScan`] mode returns bit-identical neighbors.
+    fn query(&self, spec: &QuerySpec<'_>, rec: &dyn Recorder) -> Result<QueryOutput, IndexError>;
+
+    /// The `k` nearest neighbors of `query` with a metrics recorder.
+    #[deprecated(note = "build a QuerySpec and call query()")]
+    // srlint: allow(stale-deprecated) -- deprecated this PR (unified query()); shim and hatch both go next PR
     fn knn_with(
         &self,
         query: &[f32],
         k: usize,
         rec: &dyn Recorder,
-    ) -> Result<Vec<Neighbor>, IndexError>;
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        self.query(&QuerySpec::knn(query, k), rec).map(|o| o.rows)
+    }
 
-    /// [`SpatialIndex::knn_with`] with an explicit leaf-scan kernel —
-    /// the ablation knob for the columnar leaf layout. Every mode
-    /// returns bit-identical neighbors; modes differ only in scan time
-    /// and in the `EarlyAbandons` counter the pruning mode reports. The
-    /// default implementation ignores `scan` and answers through
-    /// [`SpatialIndex::knn_with`] — correct for indexes without a
-    /// paged columnar leaf path (e.g. the brute-force test index).
+    /// kNN with an explicit leaf-scan kernel.
+    #[deprecated(note = "build a QuerySpec with .with_scan() and call query()")]
+    // srlint: allow(stale-deprecated) -- deprecated this PR (unified query()); shim and hatch both go next PR
     fn knn_scan_with(
         &self,
         query: &[f32],
         k: usize,
-        scan: crate::LeafScan,
+        scan: LeafScan,
         rec: &dyn Recorder,
     ) -> Result<Vec<Neighbor>, IndexError> {
-        let _ = scan;
-        self.knn_with(query, k, rec)
+        self.query(&QuerySpec::knn(query, k).with_scan(scan), rec)
+            .map(|o| o.rows)
     }
 
-    /// Every point within `radius` of `query`, sorted by ascending
-    /// distance, with a metrics recorder.
+    /// Every point within `radius` of `query` with a metrics recorder.
+    #[deprecated(note = "build a QuerySpec and call query()")]
+    // srlint: allow(stale-deprecated) -- deprecated this PR (unified query()); shim and hatch both go next PR
     fn range_with(
         &self,
         query: &[f32],
         radius: f64,
         rec: &dyn Recorder,
-    ) -> Result<Vec<Neighbor>, IndexError>;
-
-    /// [`SpatialIndex::knn_with`] without instrumentation.
-    fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
-        self.knn_with(query, k, &Noop)
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        self.query(&QuerySpec::range(query, radius), rec)
+            .map(|o| o.rows)
     }
 
-    /// [`SpatialIndex::range_with`] without instrumentation.
+    /// kNN without instrumentation.
+    fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        self.query(&QuerySpec::knn(query, k), &Noop).map(|o| o.rows)
+    }
+
+    /// Range query without instrumentation.
     fn range(&self, query: &[f32], radius: f64) -> Result<Vec<Neighbor>, IndexError> {
-        self.range_with(query, radius, &Noop)
+        self.query(&QuerySpec::range(query, radius), &Noop)
+            .map(|o| o.rows)
     }
 
     /// The pager underneath — for cache-capacity control and I/O
@@ -215,26 +315,22 @@ mod tests {
             self.points.push((point.to_vec(), data));
             Ok(())
         }
-        fn knn_with(
+        fn query(
             &self,
-            query: &[f32],
-            k: usize,
+            spec: &QuerySpec<'_>,
             _rec: &dyn Recorder,
-        ) -> Result<Vec<Neighbor>, IndexError> {
+        ) -> Result<QueryOutput, IndexError> {
             let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
-            Ok(crate::brute_force_knn(flat, query, k))
-        }
-        fn range_with(
-            &self,
-            query: &[f32],
-            radius: f64,
-            _rec: &dyn Recorder,
-        ) -> Result<Vec<Neighbor>, IndexError> {
-            if radius.is_nan() || radius < 0.0 {
-                return Err(IndexError::InvalidRadius(radius));
-            }
-            let flat = self.points.iter().map(|(p, id)| (p.as_slice(), *id));
-            Ok(crate::brute_force_range(flat, query, radius))
+            let rows = match spec.shape {
+                QueryShape::Knn { k } => crate::brute_force_knn(flat, spec.point, k),
+                QueryShape::Range { radius } => {
+                    if radius.is_nan() || radius < 0.0 {
+                        return Err(IndexError::InvalidRadius(radius));
+                    }
+                    crate::brute_force_range(flat, spec.point, radius)
+                }
+            };
+            Ok(QueryOutput::from_rows(rows))
         }
         fn pager(&self) -> &PageFile {
             &self.pager

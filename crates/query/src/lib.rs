@@ -43,7 +43,7 @@ pub use best_first::{knn_best_first, knn_best_first_with};
 pub use bruteforce::{brute_force_knn, brute_force_range, pairwise_distance_stats, DistanceStats};
 pub use error::QueryError;
 pub use heap::{CandidateSet, Neighbor};
-pub use index::{IndexError, SpatialIndex};
+pub use index::{IndexError, QueryOutput, QueryShape, QuerySpec, SpatialIndex};
 pub use knn::{knn, knn_with, Branch, Expansion, KnnSource, LeafScan, RegionBound};
 pub use leaf_scan::scan_leaf_columns;
 pub use range::{range, range_with};

@@ -1,0 +1,72 @@
+//! Everything that can go wrong starting, running, or talking to a
+//! query server. Client-side helpers surface the server's typed
+//! [`RemoteError`] answers as [`ServeError::Remote`], so "the server
+//! said no" and "the socket broke" stay distinguishable.
+
+use std::fmt;
+
+use sr_query::IndexError;
+use sr_wire::{RemoteError, WireError};
+
+/// Error type for [`Server`](crate::Server) and [`Client`](crate::Client).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind {
+        /// The address that could not be bound.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// A socket read or write failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a frame.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Remote(RemoteError),
+    /// The connection closed before a full response arrived.
+    Closed,
+    /// The server answered with an unexpected response kind.
+    Protocol(String),
+    /// Flushing the index during shutdown failed.
+    Index(IndexError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Remote(e) => write!(f, "server error: {e}"),
+            ServeError::Closed => write!(f, "connection closed before a full response arrived"),
+            ServeError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ServeError::Index(e) => write!(f, "index error during shutdown: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            ServeError::Remote(e) => Some(e),
+            ServeError::Index(e) => Some(e),
+            ServeError::Closed | ServeError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -384,32 +384,34 @@ impl sr_query::SpatialIndex for SsTree {
         Ok(SsTree::insert(self, Point::new(point), data)?)
     }
 
-    fn knn_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(SsTree::knn_with(self, query, k, rec)?)
+    fn delete(
+        &mut self,
+        point: &[f32],
+        data: u64,
+    ) -> std::result::Result<bool, sr_query::IndexError> {
+        if point.is_empty() {
+            return Err(sr_query::IndexError::DimensionMismatch {
+                expected: SsTree::dim(self),
+                got: 0,
+            });
+        }
+        Ok(SsTree::delete(self, &Point::new(point), data)?)
     }
 
-    fn knn_scan_with(
+    fn query(
         &self,
-        query: &[f32],
-        k: usize,
-        scan: sr_query::LeafScan,
+        spec: &sr_query::QuerySpec<'_>,
         rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(SsTree::knn_scan_with(self, query, k, scan, rec)?)
-    }
-
-    fn range_with(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(SsTree::range_with(self, query, radius, rec)?)
+    ) -> std::result::Result<sr_query::QueryOutput, sr_query::IndexError> {
+        let rows = match spec.shape {
+            sr_query::QueryShape::Knn { k } => {
+                SsTree::knn_scan_with(self, spec.point, k, spec.scan, rec)?
+            }
+            sr_query::QueryShape::Range { radius } => {
+                SsTree::range_with(self, spec.point, radius, rec)?
+            }
+        };
+        Ok(sr_query::QueryOutput::from_rows(rows))
     }
 
     fn pager(&self) -> &PageFile {

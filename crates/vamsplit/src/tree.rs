@@ -362,32 +362,20 @@ impl sr_query::SpatialIndex for VamTree {
         ))
     }
 
-    fn knn_with(
+    fn query(
         &self,
-        query: &[f32],
-        k: usize,
+        spec: &sr_query::QuerySpec<'_>,
         rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(VamTree::knn_with(self, query, k, rec)?)
-    }
-
-    fn knn_scan_with(
-        &self,
-        query: &[f32],
-        k: usize,
-        scan: sr_query::LeafScan,
-        rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(VamTree::knn_scan_with(self, query, k, scan, rec)?)
-    }
-
-    fn range_with(
-        &self,
-        query: &[f32],
-        radius: f64,
-        rec: &dyn sr_obs::Recorder,
-    ) -> std::result::Result<Vec<Neighbor>, sr_query::IndexError> {
-        Ok(VamTree::range_with(self, query, radius, rec)?)
+    ) -> std::result::Result<sr_query::QueryOutput, sr_query::IndexError> {
+        let rows = match spec.shape {
+            sr_query::QueryShape::Knn { k } => {
+                VamTree::knn_scan_with(self, spec.point, k, spec.scan, rec)?
+            }
+            sr_query::QueryShape::Range { radius } => {
+                VamTree::range_with(self, spec.point, radius, rec)?
+            }
+        };
+        Ok(sr_query::QueryOutput::from_rows(rows))
     }
 
     fn pager(&self) -> &PageFile {

@@ -1,0 +1,497 @@
+//! The binary frame format: checksummed, length-prefixed, total to
+//! decode.
+//!
+//! ```text
+//! frame := kind:u8 | body_len:u32le | hcrc:u32le | bcrc:u32le | body
+//! ```
+//!
+//! Both CRCs are CRC-32 (IEEE, the pager's WAL implementation) *salted*
+//! with the protocol magic and version — the same trick the WAL plays
+//! with its truncation epoch, so a frame from a different protocol
+//! version fails its checksum instead of misparsing. `hcrc` covers
+//! `kind | body_len` and is verified **before** `body_len` is trusted:
+//! a bit flip in the length prefix is caught immediately instead of
+//! making the decoder wait forever for bytes that will never come.
+//! `bcrc` covers the body.
+//!
+//! [`decode_request`] / [`decode_response`] are total functions of the
+//! input bytes: every outcome is [`Decoded::Frame`], [`Decoded::Incomplete`]
+//! (a strict prefix — read more), or a typed [`WireError`]. Request and
+//! response kinds live in disjoint namespaces, so a peer that replays a
+//! request at a client decodes to `Corrupt`, not to a confused response.
+
+use crate::error::{RemoteError, WireError};
+use crate::message::{Request, Response, Row};
+use sr_pager::{crc32_begin, crc32_finish, crc32_update};
+
+/// Protocol magic, first half of the CRC salt (`"SRW1"`).
+pub const WIRE_MAGIC: u32 = 0x5352_5731;
+/// Protocol version, second half of the CRC salt. Bump on any change to
+/// the frame layout or the body encodings; old and new peers then
+/// reject each other's frames as `Corrupt` instead of misparsing them.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Default cap on a frame body. Generous for any realistic query
+/// (a 4 MiB body holds a ~1M-dimensional point) while bounding what one
+/// connection can make the server buffer.
+pub const DEFAULT_MAX_BODY: usize = 4 << 20;
+
+/// kind | body_len | hcrc | bcrc.
+const HEADER_LEN: usize = 1 + 4 + 4 + 4;
+
+const KIND_REQ_PING: u8 = 0x01;
+const KIND_REQ_KNN: u8 = 0x02;
+const KIND_REQ_RANGE: u8 = 0x03;
+const KIND_REQ_INSERT: u8 = 0x04;
+const KIND_REQ_DELETE: u8 = 0x05;
+const KIND_REQ_STATS: u8 = 0x06;
+const KIND_REQ_SHUTDOWN: u8 = 0x07;
+
+const KIND_RESP_ROWS: u8 = 0x41;
+const KIND_RESP_ACK: u8 = 0x42;
+const KIND_RESP_STATS: u8 = 0x43;
+const KIND_RESP_ERROR: u8 = 0x44;
+
+/// Wire codes for [`RemoteError`] variants inside an error body.
+const ERR_OVERLOADED: u8 = 1;
+const ERR_SHUTTING_DOWN: u8 = 2;
+const ERR_TOO_LARGE: u8 = 3;
+const ERR_UNSUPPORTED: u8 = 4;
+const ERR_BAD_REQUEST: u8 = 5;
+const ERR_FAILED: u8 = 6;
+
+/// Outcome of a decode attempt over a byte prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decoded<T> {
+    /// One whole frame decoded; `consumed` bytes belong to it.
+    Frame {
+        /// The decoded message.
+        msg: T,
+        /// Bytes of the input the frame occupied.
+        consumed: usize,
+    },
+    /// The input is a strict prefix of a frame — read more bytes.
+    Incomplete,
+}
+
+/// CRC-32 state seeded with the protocol salt (magic + version).
+fn crc_salted() -> u32 {
+    let state = crc32_update(crc32_begin(), &WIRE_MAGIC.to_le_bytes());
+    crc32_update(state, &WIRE_VERSION.to_le_bytes())
+}
+
+fn header_crc(kind: u8, body_len: u32) -> u32 {
+    let mut state = crc_salted();
+    state = crc32_update(state, &[kind]);
+    state = crc32_update(state, &body_len.to_le_bytes());
+    crc32_finish(state)
+}
+
+fn body_crc(body: &[u8]) -> u32 {
+    crc32_finish(crc32_update(crc_salted(), body))
+}
+
+fn corrupt(detail: impl Into<String>) -> WireError {
+    WireError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+/// Sequential little-endian reader over a frame body; every short read
+/// is a typed `Corrupt`, so body parsing can never panic or misindex.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("body length overflow"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("body shorter than its declared contents"))?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.u32()?.to_le_bytes()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.u64()?.to_le_bytes()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        self.pos = self.buf.len();
+        rest
+    }
+
+    /// A body must be consumed exactly: trailing bytes mean the frame
+    /// was built by a different encoder and cannot be trusted.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after body contents"))
+        }
+    }
+}
+
+/// A point vector: `dim:u32 | dim × f32`.
+fn read_point(r: &mut Reader<'_>) -> Result<Vec<f32>, WireError> {
+    let dim = r.u32()? as usize;
+    let mut coords = Vec::with_capacity(dim.min(DEFAULT_MAX_BODY / 4));
+    for _ in 0..dim {
+        coords.push(r.f32()?);
+    }
+    Ok(coords)
+}
+
+fn push_point(body: &mut Vec<u8>, point: &[f32]) -> Result<(), WireError> {
+    let dim = u32::try_from(point.len()).map_err(|_| WireError::TooLarge {
+        len: point.len() as u64,
+        max: u64::from(u32::MAX),
+    })?;
+    body.extend_from_slice(&dim.to_le_bytes());
+    for c in point {
+        body.extend_from_slice(&c.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn read_utf8(bytes: &[u8], what: &str) -> Result<String, WireError> {
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(format!("{what} is not valid UTF-8")))
+}
+
+/// Assemble `kind | body_len | hcrc | bcrc | body`.
+fn seal(kind: u8, body: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    let body_len = u32::try_from(body.len()).map_err(|_| WireError::TooLarge {
+        len: body.len() as u64,
+        max: u64::from(u32::MAX),
+    })?;
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
+    frame.push(kind);
+    frame.extend_from_slice(&body_len.to_le_bytes());
+    frame.extend_from_slice(&header_crc(kind, body_len).to_le_bytes());
+    frame.extend_from_slice(&body_crc(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Encode one request as a wire frame.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    let (kind, body) = match req {
+        Request::Ping => (KIND_REQ_PING, Vec::new()),
+        Request::Knn { query, k } => {
+            let mut body = k.to_le_bytes().to_vec();
+            push_point(&mut body, query)?;
+            (KIND_REQ_KNN, body)
+        }
+        Request::Range { query, radius } => {
+            let mut body = radius.to_le_bytes().to_vec();
+            push_point(&mut body, query)?;
+            (KIND_REQ_RANGE, body)
+        }
+        Request::Insert { point, data } => {
+            let mut body = data.to_le_bytes().to_vec();
+            push_point(&mut body, point)?;
+            (KIND_REQ_INSERT, body)
+        }
+        Request::Delete { point, data } => {
+            let mut body = data.to_le_bytes().to_vec();
+            push_point(&mut body, point)?;
+            (KIND_REQ_DELETE, body)
+        }
+        Request::Stats => (KIND_REQ_STATS, Vec::new()),
+        Request::Shutdown => (KIND_REQ_SHUTDOWN, Vec::new()),
+    };
+    seal(kind, body)
+}
+
+/// Encode one response as a wire frame.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+    let (kind, body) = match resp {
+        Response::Rows(rows) => {
+            let n = u32::try_from(rows.len()).map_err(|_| WireError::TooLarge {
+                len: rows.len() as u64,
+                max: u64::from(u32::MAX),
+            })?;
+            let mut body = n.to_le_bytes().to_vec();
+            for row in rows {
+                body.extend_from_slice(&row.data.to_le_bytes());
+                body.extend_from_slice(&row.dist.to_le_bytes());
+            }
+            (KIND_RESP_ROWS, body)
+        }
+        Response::Ack { n } => (KIND_RESP_ACK, n.to_le_bytes().to_vec()),
+        Response::Stats { json } => (KIND_RESP_STATS, json.as_bytes().to_vec()),
+        Response::Error(err) => {
+            let (code, a, b, msg): (u8, u64, u64, &str) = match err {
+                RemoteError::Overloaded { active, max } => (ERR_OVERLOADED, *active, *max, ""),
+                RemoteError::ShuttingDown => (ERR_SHUTTING_DOWN, 0, 0, ""),
+                RemoteError::TooLarge { len, max } => (ERR_TOO_LARGE, *len, *max, ""),
+                RemoteError::Unsupported(msg) => (ERR_UNSUPPORTED, 0, 0, msg.as_str()),
+                RemoteError::BadRequest(msg) => (ERR_BAD_REQUEST, 0, 0, msg.as_str()),
+                RemoteError::Failed(msg) => (ERR_FAILED, 0, 0, msg.as_str()),
+            };
+            let mut body = vec![code];
+            body.extend_from_slice(&a.to_le_bytes());
+            body.extend_from_slice(&b.to_le_bytes());
+            body.extend_from_slice(msg.as_bytes());
+            (KIND_RESP_ERROR, body)
+        }
+    };
+    seal(kind, body)
+}
+
+/// A validated frame envelope: `(kind, body, consumed)`. `None` means
+/// the buffer holds only a strict prefix of the frame so far.
+type Envelope<'a> = Option<(u8, &'a [u8], usize)>;
+
+/// Validate the header + body envelope of the frame at the front of
+/// `buf`, returning `(kind, body, consumed)` once whole and authentic.
+fn decode_envelope(buf: &[u8], max_body: usize) -> Result<Envelope<'_>, WireError> {
+    let Some(header) = buf.get(..HEADER_LEN) else {
+        return Ok(None);
+    };
+    let kind = header.first().copied().unwrap_or(0);
+    let mut r = Reader::new(header.get(1..).unwrap_or(&[]));
+    let body_len = r.u32()?;
+    let hcrc = r.u32()?;
+    let bcrc = r.u32()?;
+    // The header checksum is verified before body_len is trusted, so a
+    // flipped length bit is Corrupt now — not an endless Incomplete.
+    if header_crc(kind, body_len) != hcrc {
+        return Err(corrupt("header checksum mismatch"));
+    }
+    let body_len = body_len as usize;
+    if body_len > max_body {
+        return Err(WireError::TooLarge {
+            len: body_len as u64,
+            max: max_body as u64,
+        });
+    }
+    let end = HEADER_LEN
+        .checked_add(body_len)
+        .ok_or_else(|| corrupt("frame length overflow"))?;
+    let Some(body) = buf.get(HEADER_LEN..end) else {
+        return Ok(None);
+    };
+    if body_crc(body) != bcrc {
+        return Err(corrupt("body checksum mismatch"));
+    }
+    Ok(Some((kind, body, end)))
+}
+
+/// Decode the request frame at the front of `buf`.
+pub fn decode_request(buf: &[u8], max_body: usize) -> Result<Decoded<Request>, WireError> {
+    let Some((kind, body, consumed)) = decode_envelope(buf, max_body)? else {
+        return Ok(Decoded::Incomplete);
+    };
+    let mut r = Reader::new(body);
+    let msg = match kind {
+        KIND_REQ_PING => Request::Ping,
+        KIND_REQ_KNN => {
+            let k = r.u32()?;
+            let query = read_point(&mut r)?;
+            Request::Knn { query, k }
+        }
+        KIND_REQ_RANGE => {
+            let radius = r.f64()?;
+            let query = read_point(&mut r)?;
+            Request::Range { query, radius }
+        }
+        KIND_REQ_INSERT => {
+            let data = r.u64()?;
+            let point = read_point(&mut r)?;
+            Request::Insert { point, data }
+        }
+        KIND_REQ_DELETE => {
+            let data = r.u64()?;
+            let point = read_point(&mut r)?;
+            Request::Delete { point, data }
+        }
+        KIND_REQ_STATS => Request::Stats,
+        KIND_REQ_SHUTDOWN => Request::Shutdown,
+        other => return Err(corrupt(format!("unknown request kind {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok(Decoded::Frame { msg, consumed })
+}
+
+/// Decode the response frame at the front of `buf`.
+pub fn decode_response(buf: &[u8], max_body: usize) -> Result<Decoded<Response>, WireError> {
+    let Some((kind, body, consumed)) = decode_envelope(buf, max_body)? else {
+        return Ok(Decoded::Incomplete);
+    };
+    let mut r = Reader::new(body);
+    let msg = match kind {
+        KIND_RESP_ROWS => {
+            let n = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(max_body / 16));
+            for _ in 0..n {
+                let data = r.u64()?;
+                let dist = r.f64()?;
+                rows.push(Row { data, dist });
+            }
+            Response::Rows(rows)
+        }
+        KIND_RESP_ACK => Response::Ack { n: r.u64()? },
+        KIND_RESP_STATS => {
+            let json = read_utf8(r.rest(), "stats body")?;
+            Response::Stats { json }
+        }
+        KIND_RESP_ERROR => {
+            let code = r.u8()?;
+            let a = r.u64()?;
+            let b = r.u64()?;
+            let msg = read_utf8(r.rest(), "error message")?;
+            let err = match code {
+                ERR_OVERLOADED => RemoteError::Overloaded { active: a, max: b },
+                ERR_SHUTTING_DOWN => RemoteError::ShuttingDown,
+                ERR_TOO_LARGE => RemoteError::TooLarge { len: a, max: b },
+                ERR_UNSUPPORTED => RemoteError::Unsupported(msg),
+                ERR_BAD_REQUEST => RemoteError::BadRequest(msg),
+                ERR_FAILED => RemoteError::Failed(msg),
+                other => return Err(corrupt(format!("unknown error code {other}"))),
+            };
+            Response::Error(err)
+        }
+        other => return Err(corrupt(format!("unknown response kind {other:#04x}"))),
+    };
+    r.finish()?;
+    Ok(Decoded::Frame { msg, consumed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kinds_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Knn {
+                query: vec![0.25, -1.5, 3.0],
+                k: 10,
+            },
+            Request::Range {
+                query: vec![0.0, 0.5],
+                radius: 0.75,
+            },
+            Request::Insert {
+                point: vec![1.0; 16],
+                data: 42,
+            },
+            Request::Delete {
+                point: vec![2.0; 4],
+                data: 7,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req).expect("encode");
+            match decode_request(&bytes, DEFAULT_MAX_BODY).expect("decode") {
+                Decoded::Frame { msg, consumed } => {
+                    assert_eq!(msg, req);
+                    assert_eq!(consumed, bytes.len());
+                }
+                Decoded::Incomplete => panic!("whole frame reported incomplete"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_kinds_round_trip() {
+        let resps = [
+            Response::Rows(vec![
+                Row {
+                    data: 3,
+                    dist: 0.125,
+                },
+                Row { data: 9, dist: 2.5 },
+            ]),
+            Response::Ack { n: 1 },
+            Response::Stats {
+                json: "{\"schema_version\":1}".to_string(),
+            },
+            Response::Error(RemoteError::Overloaded {
+                active: 64,
+                max: 64,
+            }),
+            Response::Error(RemoteError::ShuttingDown),
+            Response::Error(RemoteError::TooLarge { len: 9, max: 8 }),
+            Response::Error(RemoteError::Unsupported("delete".to_string())),
+            Response::Error(RemoteError::BadRequest("dim".to_string())),
+            Response::Error(RemoteError::Failed("io".to_string())),
+        ];
+        for resp in resps {
+            let bytes = encode_response(&resp).expect("encode");
+            match decode_response(&bytes, DEFAULT_MAX_BODY).expect("decode") {
+                Decoded::Frame { msg, consumed } => {
+                    assert_eq!(msg, resp);
+                    assert_eq!(consumed, bytes.len());
+                }
+                Decoded::Incomplete => panic!("whole frame reported incomplete"),
+            }
+        }
+    }
+
+    #[test]
+    fn request_and_response_kind_namespaces_are_disjoint() {
+        // A request frame handed to the response decoder (and vice
+        // versa) is Corrupt, never a misparse.
+        let req = encode_request(&Request::Ping).expect("encode");
+        assert!(matches!(
+            decode_response(&req, DEFAULT_MAX_BODY),
+            Err(WireError::Corrupt { .. })
+        ));
+        let resp = encode_response(&Response::Ack { n: 0 }).expect("encode");
+        assert!(matches!(
+            decode_request(&resp, DEFAULT_MAX_BODY),
+            Err(WireError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_buffering() {
+        let req = Request::Knn {
+            query: vec![0.5; 64],
+            k: 3,
+        };
+        let bytes = encode_request(&req).expect("encode");
+        assert!(matches!(
+            decode_request(&bytes, 16),
+            Err(WireError::TooLarge { max: 16, .. })
+        ));
+    }
+}

@@ -1,0 +1,75 @@
+//! The `stats --json` document, shared by the CLI `stats` subcommand
+//! and the serve `Stats` request so both surfaces answer with the same
+//! bytes for the same index state. The leading `"schema_version"` field
+//! comes from `sr-obs` like every other JSON surface in the workspace.
+
+use sr_pager::{IoStats, PageKind, WalStats};
+use sr_query::SpatialIndex;
+
+/// The I/O-window half of a stats/trace line (plus pool capacity).
+pub fn io_json(w: &IoStats, cache_capacity: usize) -> String {
+    format!(
+        "{{\"node_reads\":{},\"leaf_reads\":{},\"physical_reads\":{},\
+         \"physical_writes\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_evictions\":{},\"cache_capacity\":{cache_capacity}}}",
+        w.logical_reads(PageKind::Node),
+        w.logical_reads(PageKind::Leaf),
+        w.physical_reads(),
+        w.physical_writes(),
+        w.cache_hits(),
+        w.cache_misses(),
+        w.cache_evictions(),
+    )
+}
+
+/// The WAL half of a stats line: store-lifetime durability counters.
+pub fn wal_json(ws: &WalStats) -> String {
+    format!(
+        "{{\"frames_appended\":{},\"commits\":{},\"truncations\":{},\
+         \"replays\":{},\"replayed_frames\":{},\"dropped_frames\":{},\
+         \"torn_tails\":{},\"wal_bytes\":{}}}",
+        ws.frames_appended,
+        ws.commits,
+        ws.truncations,
+        ws.replays,
+        ws.replayed_frames,
+        ws.dropped_frames,
+        ws.torn_tails,
+        ws.wal_bytes,
+    )
+}
+
+/// The members shared by [`stats_json`] and [`stats_json_with`],
+/// without the enclosing braces.
+fn stats_members(index: &dyn SpatialIndex) -> String {
+    let pager = index.pager();
+    format!(
+        "{},\"kind\":\"{}\",\"points\":{},\"dim\":{},\"height\":{},\
+         \"page_size\":{},\"io\":{},\"wal\":{}",
+        sr_obs::schema_version_field(),
+        index.kind_name(),
+        index.len(),
+        index.dim(),
+        index.height(),
+        pager.page_size(),
+        io_json(&pager.stats(), pager.cache_capacity()),
+        wal_json(&pager.wal_stats()),
+    )
+}
+
+/// The whole `stats --json` document for one index: identity, shape,
+/// I/O window since open, WAL counters.
+pub fn stats_json(index: &dyn SpatialIndex) -> String {
+    format!("{{{}}}", stats_members(index))
+}
+
+/// [`stats_json`] plus a trailing `"metrics"` member carrying a query
+/// metrics snapshot — the serve `Stats` response, which folds in the
+/// service-lifetime recorder on top of the pager-level counters.
+pub fn stats_json_with(index: &dyn SpatialIndex, metrics: &sr_obs::MetricsSnapshot) -> String {
+    format!(
+        "{{{},\"metrics\":{}}}",
+        stats_members(index),
+        metrics.to_json()
+    )
+}

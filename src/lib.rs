@@ -32,9 +32,15 @@ pub use sr_pager as pager;
 pub use sr_query as query;
 /// Baseline: the R\*-tree (Beckmann et al., SIGMOD 1990).
 pub use sr_rstar as rstar;
+/// TCP query service: thread-per-connection, admission control,
+/// batch coalescing, graceful shutdown.
+pub use sr_serve as serve;
 /// Baseline: the SS-tree (White & Jain, ICDE 1996).
 pub use sr_sstree as sstree;
 /// The SR-tree itself (paper §4).
 pub use sr_tree as tree;
 /// Baseline: the VAMSplit R-tree (White & Jain, SPIE 1996), static build.
 pub use sr_vamsplit as vamsplit;
+/// Typed `Request`/`Response` API, checksummed wire frames, and the
+/// shared `execute` entry point the CLI and the server dispatch through.
+pub use sr_wire as wire;
