@@ -76,6 +76,7 @@ fn check_row(bytes: &[u8], dim: usize) -> Result<(), GeometryError> {
 /// Every stored `f64` is the exact widening of an in-memory `f32`, so
 /// subtracting the raw value equals widening the decoded `f32` — this is
 /// what lets the query path skip materialising entries entirely.
+// srlint: hot
 pub fn dist2_f64le(point: &[u8], query: &[f32]) -> Result<f64, GeometryError> {
     check_row(point, query.len())?;
     let mut acc = 0.0f64;
@@ -90,6 +91,7 @@ pub fn dist2_f64le(point: &[u8], query: &[f32]) -> Result<f64, GeometryError> {
 /// sphere stored raw (`center` as row-major f64-LE, `radius` as the
 /// stored f64), zero inside — bit-identical to
 /// [`Sphere::min_dist2`](crate::Sphere::min_dist2) of the decoded sphere.
+// srlint: hot
 pub fn sphere_min_dist2_f64le(
     center: &[u8],
     radius: f64,
@@ -106,6 +108,7 @@ pub fn sphere_min_dist2_f64le(
 /// The in-memory form compares in `f32` and widens per term; widening is
 /// exact and order-preserving, so comparing against the stored `f64`
 /// image is the same predicate and the same arithmetic.
+// srlint: hot
 pub fn rect_min_dist2_f64le(lo: &[u8], hi: &[u8], query: &[f32]) -> Result<f64, GeometryError> {
     check_row(lo, query.len())?;
     check_row(hi, query.len())?;
@@ -162,6 +165,7 @@ fn accumulate_column(acc: &mut [f64], col: &[u8], q: f64) {
 /// On success `out` holds exactly `n` distances, `out[i]` belonging to
 /// the block's `i`-th point, each bit-identical to
 /// [`dist2`](crate::dist2) of the materialised entry.
+// srlint: hot
 pub fn dist2_columnar(
     coords: &[u8],
     n: usize,
@@ -193,6 +197,7 @@ pub fn dist2_columnar(
 ///
 /// Pass `threshold = f64::INFINITY` to disable abandonment, in which case
 /// the results equal [`dist2_columnar`]'s exactly.
+// srlint: hot
 pub fn dist2_columnar_early_abandon(
     coords: &[u8],
     n: usize,

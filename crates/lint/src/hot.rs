@@ -1,0 +1,236 @@
+//! L10 — hot-path purity over the workspace call graph.
+//!
+//! Functions annotated `// srlint: hot` (the PR-8 distance kernels, the
+//! shared columnar leaf scan, each tree's leaf fast path) are *hot
+//! regions*: the 5.6–6.8× qps win in BENCH_PR8.json lives or dies on
+//! them staying allocation-free and lock-free. The pass checks the
+//! property *transitively*: a hot root must not reach, through any call
+//! chain the graph resolves, a function that
+//!
+//! * **allocates** (`Vec::new`, `Box::new`, `.to_vec()`, `.collect()`,
+//!   `.clone()`, `format!`, `vec!`) — `L10/hot-alloc`;
+//! * **acquires a lock** (a zero-argument `.lock()` / `.read()` /
+//!   `.write()` call, the same shape L4 models) — `L10/hot-lock`;
+//! * **performs store I/O** (a call to a name in the L4 I/O registry,
+//!   or a function carrying `#[doc = "srlint: io"]`) — `L10/hot-io`.
+//!
+//! Diagnostics carry the full call chain and anchor at the first call
+//! site inside the hot root (or the offending operation itself when it
+//! is direct), so an `allow(hot-*)` hatch sits where the decision is
+//! made. Amortized growth (`push`, `resize`, `reserve` on
+//! caller-provided scratch) is deliberately outside the ban list: the
+//! hot contract is "no fresh heap blocks, no blocking", not "no writes
+//! into reusable buffers".
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Kind;
+use crate::locks::{is_acquisition, receiver_class};
+use crate::{Diagnostic, ParsedFile};
+
+/// Method names whose call allocates a fresh heap block.
+const ALLOC_METHODS: &[&str] = &["to_vec", "collect", "clone"];
+
+/// Macro names that allocate.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// A direct property site inside one function.
+#[derive(Clone)]
+struct Site {
+    line: u32,
+    col: u32,
+    desc: String,
+}
+
+struct Family {
+    tail: &'static str,
+    what: &'static str,
+    direct: Vec<Option<Site>>,
+}
+
+/// Run the L10 pass over the whole workspace.
+pub fn l10_hot(
+    graph: &CallGraph,
+    io_fns: &HashSet<String>,
+    files: &mut [ParsedFile],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n = graph.defs.len();
+
+    // Hot roots: fns whose item starts on a line covered by a
+    // `// srlint: hot` note.
+    let mut roots: Vec<usize> = Vec::new();
+    let mut hot_used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for id in 0..n {
+        let def = &graph.defs[id];
+        let fm = graph.meta(files, id);
+        for (ni, note) in files[def.file].lexed.hot_notes.iter().enumerate() {
+            if note.covers.contains(&fm.start_line) {
+                roots.push(id);
+                hot_used.insert((def.file, ni));
+            }
+        }
+    }
+
+    // Direct property sites per function (first site each).
+    let mut alloc: Vec<Option<Site>> = vec![None; n];
+    let mut lock: Vec<Option<Site>> = vec![None; n];
+    let mut io: Vec<Option<Site>> = vec![None; n];
+    for id in 0..n {
+        let def = &graph.defs[id];
+        let fm = graph.meta(files, id);
+        let tokens = &files[def.file].lexed.tokens;
+        if fm.is_io_marked {
+            io[id] = Some(Site {
+                line: fm.line,
+                col: fm.col,
+                desc: format!("`{}()` is `#[doc = \"srlint: io\"]`-marked", def.name),
+            });
+        }
+        for k in fm.body.open + 1..fm.body.close.min(tokens.len()) {
+            let t = &tokens[k];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let site = |desc: String| Site {
+                line: t.line,
+                col: t.col,
+                desc,
+            };
+            let next_is = |c: char| tokens.get(k + 1).is_some_and(|x| x.is_punct(c));
+            // Macros: `format!` / `vec!`.
+            if ALLOC_MACROS.contains(&t.text.as_str()) && next_is('!') {
+                if alloc[id].is_none() {
+                    alloc[id] = Some(site(format!("`{}!` expansion", t.text)));
+                }
+                continue;
+            }
+            if !next_is('(') {
+                continue;
+            }
+            // `Vec::new(` / `Box::new(`.
+            if t.text == "new"
+                && k >= 3
+                && tokens[k - 1].is_punct(':')
+                && tokens[k - 2].is_punct(':')
+                && tokens
+                    .get(k - 3)
+                    .is_some_and(|p| p.is_ident("Vec") || p.is_ident("Box"))
+            {
+                if alloc[id].is_none() {
+                    alloc[id] = Some(site(format!("`{}::new()`", tokens[k - 3].text)));
+                }
+                continue;
+            }
+            // `.to_vec(` / `.collect(` / `.clone(`.
+            if ALLOC_METHODS.contains(&t.text.as_str()) && k > 0 && tokens[k - 1].is_punct('.') {
+                if alloc[id].is_none() {
+                    alloc[id] = Some(site(format!("`.{}()`", t.text)));
+                }
+                continue;
+            }
+            // Zero-argument `.lock()` / `.read()` / `.write()`.
+            if is_acquisition(tokens, k) {
+                if lock[id].is_none() {
+                    let class = receiver_class(tokens, k - 1).unwrap_or_default();
+                    lock[id] = Some(site(format!("`.{}()` on `{class}`", t.text)));
+                }
+                continue;
+            }
+            // I/O registry calls.
+            if io_fns.contains(&t.text) && io[id].is_none() {
+                io[id] = Some(site(format!("I/O call `{}()`", t.text)));
+            }
+        }
+    }
+
+    for (fi, ni) in hot_used {
+        files[fi].lexed.hot_notes[ni].used = true;
+    }
+
+    let families = [
+        Family {
+            tail: "hot-alloc",
+            what: "heap allocation",
+            direct: alloc,
+        },
+        Family {
+            tail: "hot-lock",
+            what: "lock acquisition",
+            direct: lock,
+        },
+        Family {
+            tail: "hot-io",
+            what: "store I/O",
+            direct: io,
+        },
+    ];
+
+    let mut findings: Vec<(usize, u32, u32, &'static str, String)> = Vec::new();
+    for fam in &families {
+        let flags: Vec<bool> = fam.direct.iter().map(Option::is_some).collect();
+        let reach = graph.reaches(&flags);
+        for &root in &roots {
+            if !reach[root] {
+                continue;
+            }
+            let Some(path) = graph.path_to(root, &flags) else {
+                continue;
+            };
+            let offender = *path.last().unwrap_or(&root);
+            let Some(op) = &fam.direct[offender] else {
+                continue;
+            };
+            let chain: Vec<&str> = path.iter().map(|&v| graph.defs[v].name.as_str()).collect();
+            let root_def = &graph.defs[root];
+            let (line, col, how) = if path.len() == 1 {
+                (
+                    op.line,
+                    op.col,
+                    format!("{} on the hot path: {}", fam.what, op.desc),
+                )
+            } else {
+                let e = graph.edge_to(root, path[1]);
+                let (l, c) = e.map_or((op.line, op.col), |e| (e.line, e.col));
+                (
+                    l,
+                    c,
+                    format!(
+                        "reaches {} in `{}()` (call chain: {}): {} at {}:{}",
+                        fam.what,
+                        graph.defs[offender].name,
+                        chain.join(" -> "),
+                        op.desc,
+                        files[graph.defs[offender].file].path,
+                        op.line,
+                    ),
+                )
+            };
+            findings.push((
+                root_def.file,
+                line,
+                col,
+                fam.tail,
+                format!(
+                    "hot fn `{}()` {how}; hot regions must stay free of allocation, \
+                     locks, and store I/O — restructure, or hatch with `allow({})`",
+                    root_def.name, fam.tail
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (a.0, a.1, a.2, a.3).cmp(&(b.0, b.1, b.2, b.3)));
+    for (fi, line, col, tail, message) in findings {
+        if !files[fi].lexed.allow(tail, line) {
+            diags.push(Diagnostic {
+                file: files[fi].path.clone(),
+                line,
+                col,
+                rule: format!("L10/{tail}"),
+                message,
+            });
+        }
+    }
+}

@@ -112,6 +112,51 @@ pub struct SendSyncNote {
     pub used: bool,
 }
 
+/// One `// srlint: untrusted-source -- <reason>` note marking a
+/// function as a taint source for L9: its return value derives from
+/// bytes an attacker controls. Covers its own line and the next code
+/// line; the L9 pass attaches it to the fn item starting on a covered
+/// line.
+#[derive(Clone, Debug)]
+pub struct UntrustedNote {
+    /// Lines the note covers: its own and the next code line.
+    pub covers: [u32; 2],
+    pub line: u32,
+    pub col: u32,
+    pub reason: String,
+    /// Set by L9 when the note attaches to a fn item.
+    pub used: bool,
+}
+
+/// One `// srlint: validated(<expr>) -- <reason>` sanitizer hatch for
+/// L9: the named expression has been bounds-checked by logic the taint
+/// pass cannot see. Covers its own line and the next code line; clears
+/// taint for the named variable from the covered line onward.
+#[derive(Clone, Debug)]
+pub struct ValidatedNote {
+    /// The validated expression (usually a variable name).
+    pub expr: String,
+    /// Lines the note covers: its own and the next code line.
+    pub covers: [u32; 2],
+    pub line: u32,
+    pub col: u32,
+    /// Set by L9 when the note suppresses at least one sink.
+    pub used: bool,
+}
+
+/// One `// srlint: hot` annotation marking the next fn item as a
+/// hot-region root for L10: it must be transitively free of heap
+/// allocation, lock acquisition, and store I/O.
+#[derive(Clone, Debug)]
+pub struct HotNote {
+    /// Lines the note covers: its own and the next code line.
+    pub covers: [u32; 2],
+    pub line: u32,
+    pub col: u32,
+    /// Set by L10 when the note attaches to a fn item.
+    pub used: bool,
+}
+
 /// A lexed source file.
 pub struct Lexed {
     pub tokens: Vec<Token>,
@@ -120,6 +165,9 @@ pub struct Lexed {
     pub lock_orders: Vec<LockOrderDecl>,
     pub guarded_notes: Vec<GuardedByNote>,
     pub send_sync_notes: Vec<SendSyncNote>,
+    pub untrusted_notes: Vec<UntrustedNote>,
+    pub validated_notes: Vec<ValidatedNote>,
+    pub hot_notes: Vec<HotNote>,
     /// Positions of comments that start with `srlint:` but do not parse
     /// as a well-formed directive.
     pub malformed_hatches: Vec<(u32, u32)>,
@@ -149,12 +197,18 @@ pub fn lex(src: &str) -> Lexed {
     let mut lock_orders: Vec<LockOrderDecl> = Vec::new();
     let mut guarded_notes: Vec<GuardedByNote> = Vec::new();
     let mut send_sync_notes: Vec<SendSyncNote> = Vec::new();
+    let mut untrusted_notes: Vec<UntrustedNote> = Vec::new();
+    let mut validated_notes: Vec<ValidatedNote> = Vec::new();
+    let mut hot_notes: Vec<HotNote> = Vec::new();
     let mut malformed = Vec::new();
     // Hatches and notes waiting for the next token to learn which line
     // they cover.
     let mut pending: Vec<usize> = Vec::new();
     let mut pending_guarded: Vec<usize> = Vec::new();
     let mut pending_send_sync: Vec<usize> = Vec::new();
+    let mut pending_untrusted: Vec<usize> = Vec::new();
+    let mut pending_validated: Vec<usize> = Vec::new();
+    let mut pending_hot: Vec<usize> = Vec::new();
 
     let mut i = 0usize;
     let mut line = 1u32;
@@ -174,6 +228,18 @@ pub fn lex(src: &str) -> Lexed {
                 send_sync_notes[s].covers[1] = $line;
             }
             pending_send_sync.clear();
+            for &u in &pending_untrusted {
+                untrusted_notes[u].covers[1] = $line;
+            }
+            pending_untrusted.clear();
+            for &v in &pending_validated {
+                validated_notes[v].covers[1] = $line;
+            }
+            pending_validated.clear();
+            for &h in &pending_hot {
+                hot_notes[h].covers[1] = $line;
+            }
+            pending_hot.clear();
             tokens.push(Token {
                 kind: $kind,
                 text: $text,
@@ -250,6 +316,35 @@ pub fn lex(src: &str) -> Lexed {
                                 used: false,
                             });
                             pending_send_sync.push(send_sync_notes.len() - 1);
+                        }
+                        Some(Directive::Untrusted(reason)) => {
+                            untrusted_notes.push(UntrustedNote {
+                                covers: [tl, tl],
+                                line: tl,
+                                col: tc,
+                                reason,
+                                used: false,
+                            });
+                            pending_untrusted.push(untrusted_notes.len() - 1);
+                        }
+                        Some(Directive::Validated(expr)) => {
+                            validated_notes.push(ValidatedNote {
+                                expr,
+                                covers: [tl, tl],
+                                line: tl,
+                                col: tc,
+                                used: false,
+                            });
+                            pending_validated.push(validated_notes.len() - 1);
+                        }
+                        Some(Directive::Hot) => {
+                            hot_notes.push(HotNote {
+                                covers: [tl, tl],
+                                line: tl,
+                                col: tc,
+                                used: false,
+                            });
+                            pending_hot.push(hot_notes.len() - 1);
                         }
                         None => malformed.push((tl, tc)),
                     }
@@ -378,6 +473,9 @@ pub fn lex(src: &str) -> Lexed {
         lock_orders,
         guarded_notes,
         send_sync_notes,
+        untrusted_notes,
+        validated_notes,
+        hot_notes,
         malformed_hatches: malformed,
         test_mask,
     }
@@ -390,12 +488,17 @@ enum Directive {
     LockOrder(String, String),
     GuardedBy(String),
     SendSync(String),
+    Untrusted(String),
+    Validated(String),
+    Hot,
 }
 
 /// Parse the tail of a `// srlint:` comment: `allow(<rule>) -- <reason>`,
 /// `ordering -- <reason>`, `lock-order(<a> < <b>) -- <reason>`,
-/// `guarded-by(<lock>)` (self-documenting, no reason tail), or
-/// `send-sync -- <reason>`.
+/// `guarded-by(<lock>)` (self-documenting, no reason tail),
+/// `send-sync -- <reason>`, `untrusted-source -- <reason>`,
+/// `validated(<expr>) -- <reason>`, or `hot` (self-documenting, no
+/// reason tail).
 fn parse_directive(rest: &str) -> Option<Directive> {
     let rest = rest.trim();
     if let Some(tail) = rest.strip_prefix("allow(") {
@@ -433,6 +536,36 @@ fn parse_directive(rest: &str) -> Option<Directive> {
         }
         return Some(Directive::GuardedBy(lock.to_string()));
     }
+    if let Some(tail) = rest.strip_prefix("validated(") {
+        // The expression may itself contain call parens
+        // (`validated(buf.len())`), so find the balancing close.
+        let mut depth = 1usize;
+        let mut close = None;
+        for (k, c) in tail.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close?;
+        let expr = tail.get(..close)?.trim();
+        if expr.is_empty() {
+            return None;
+        }
+        reason_after(tail.get(close + 1..)?)?;
+        return Some(Directive::Validated(expr.to_string()));
+    }
+    if let Some(tail) = rest.strip_prefix("untrusted-source") {
+        let reason = reason_after(tail)?;
+        return Some(Directive::Untrusted(reason));
+    }
     if let Some(tail) = rest.strip_prefix("send-sync") {
         let reason = reason_after(tail)?;
         return Some(Directive::SendSync(reason));
@@ -440,6 +573,16 @@ fn parse_directive(rest: &str) -> Option<Directive> {
     if let Some(tail) = rest.strip_prefix("ordering") {
         let reason = reason_after(tail)?;
         return Some(Directive::Ordering(reason));
+    }
+    if let Some(tail) = rest.strip_prefix("hot") {
+        // Self-documenting like `guarded-by`: no reason, no trailing
+        // text (so `hotfix`-style prose never parses as a directive —
+        // the prefix match already requires the literal `hot`, and the
+        // empty-tail check rejects anything longer).
+        if !tail.trim().is_empty() {
+            return None;
+        }
+        return Some(Directive::Hot);
     }
     None
 }
@@ -835,6 +978,61 @@ mod tests {
     fn send_sync_without_reason_is_malformed() {
         let l = lex("// srlint: send-sync\nstruct S {}\n");
         assert!(l.send_sync_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn untrusted_source_covers_next_code_line() {
+        let src = "// srlint: untrusted-source -- reads attacker bytes\nfn u32(&mut self) {}\n";
+        let l = lex(src);
+        assert_eq!(l.untrusted_notes.len(), 1);
+        assert_eq!(l.untrusted_notes[0].reason, "reads attacker bytes");
+        assert_eq!(l.untrusted_notes[0].covers, [1, 2]);
+        assert!(!l.untrusted_notes[0].used);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn untrusted_source_without_reason_is_malformed() {
+        let l = lex("// srlint: untrusted-source\nfn u32(&mut self) {}\n");
+        assert!(l.untrusted_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn validated_parses_expr_with_nested_parens() {
+        let src = "// srlint: validated(n.min(cap())) -- header check above\nlet m = n;\n";
+        let l = lex(src);
+        assert_eq!(l.validated_notes.len(), 1);
+        assert_eq!(l.validated_notes[0].expr, "n.min(cap())");
+        assert_eq!(l.validated_notes[0].covers, [1, 2]);
+        assert!(!l.validated_notes[0].used);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn validated_without_reason_or_expr_is_malformed() {
+        let l = lex("// srlint: validated(n)\nlet m = n;\n");
+        assert!(l.validated_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+        let l = lex("// srlint: validated() -- reason\nlet m = n;\n");
+        assert!(l.validated_notes.is_empty());
+        assert_eq!(l.malformed_hatches.len(), 1);
+    }
+
+    #[test]
+    fn hot_covers_next_code_line() {
+        let l = lex("// srlint: hot\nfn dist2(a: &[f64]) -> f64 { 0.0 }\n");
+        assert_eq!(l.hot_notes.len(), 1);
+        assert_eq!(l.hot_notes[0].covers, [1, 2]);
+        assert!(!l.hot_notes[0].used);
+        assert!(l.malformed_hatches.is_empty());
+    }
+
+    #[test]
+    fn hot_with_trailing_text_is_malformed() {
+        let l = lex("// srlint: hot path here\nfn f() {}\n");
+        assert!(l.hot_notes.is_empty());
         assert_eq!(l.malformed_hatches.len(), 1);
     }
 }

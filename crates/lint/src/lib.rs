@@ -43,6 +43,23 @@
 //!   crossing the executor thread scope (or owning lock/atomic state)
 //!   carries a reasoned `// srlint: send-sync -- reason` note.
 //!
+//! A workspace call graph ([`callgraph`]) built over the shared
+//! function registry feeds two interprocedural families:
+//!
+//! * **L9/unchecked-length, L9/unchecked-offset, L9/tainted-alloc**
+//!   ([`taint`]) — values produced by untrusted decoders (wire frame
+//!   reads, pager leaf/WAL header reads, anything marked
+//!   `// srlint: untrusted-source -- reason`) must flow through a
+//!   dominating validation (`checked_*`, a comparison against a buffer
+//!   length, `try_into`, or `// srlint: validated(<expr>) -- reason`)
+//!   before becoming a slice length, byte offset, capacity, or loop
+//!   bound. Taint propagates through return values and arguments via
+//!   the call graph.
+//! * **L10/hot-alloc, L10/hot-lock, L10/hot-io** ([`hot`]) — functions
+//!   annotated `// srlint: hot` must be transitively free of heap
+//!   allocation, lock acquisition, and store I/O; diagnostics carry the
+//!   offending call chain.
+//!
 //! The escape hatch is `// srlint: allow(<rule>) -- <reason>`, where
 //! `<rule>` is the rule id's tail (`panic`, `assert`, `index`, `cast`,
 //! `error-type`, `dead-variant`, `lock-order`, `lock-io`,
@@ -50,20 +67,26 @@
 //! `ordering-unused`, `error-conversion`, `swallowed-error`,
 //! `stale-deprecated`, `unguarded-access`, `bad-annotation`,
 //! `unprotected-shared`, `unsafe-impl`, `missing-note`,
-//! `interior-mutability`, `send-sync-unused`). A hatch covers its own
-//! line and the next code line; unused or malformed hatches are
-//! themselves violations.
+//! `interior-mutability`, `send-sync-unused`, `unchecked-length`,
+//! `unchecked-offset`, `tainted-alloc`, `hot-alloc`, `hot-lock`,
+//! `hot-io`). A hatch covers its own line and the next code line;
+//! unused or malformed hatches are themselves violations. Used
+//! `validated(...)` notes count against the same hatch budget —
+//! they are suppressions, just anchored to a value instead of a line.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod errors;
 pub mod guarded;
+pub mod hot;
 pub mod lexer;
 pub mod locks;
 pub mod ordering;
 pub mod parser;
 pub mod rules;
 pub mod sendsync;
+pub mod taint;
 
 use std::collections::HashSet;
 use std::fmt;
@@ -108,6 +131,8 @@ pub const IO_FNS: &[&str] = &[
 ];
 
 /// One lexed and parsed source file, threaded through the passes.
+/// Everything here is computed exactly once per file (in the parallel
+/// prep phase) and shared by all ten passes.
 pub struct ParsedFile {
     /// Path relative to the workspace root.
     pub path: String,
@@ -115,6 +140,9 @@ pub struct ParsedFile {
     pub items: Vec<Item>,
     /// Named-field structs with attached guarded-by notes (L7/L8).
     pub structs: Vec<guarded::StructInfo>,
+    /// Function registry: bodies with signature context, shared by the
+    /// L4 guard walk, the call graph, and the L9/L10 passes.
+    pub fns: Vec<callgraph::FnMeta>,
 }
 
 /// One lint finding.
@@ -154,17 +182,21 @@ pub struct CrateSources {
     pub files: Vec<SourceFile>,
 }
 
-/// The eight rule families, for per-family reporting and `--rule`.
-pub const RULE_FAMILIES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"];
+/// The ten rule families, for per-family reporting and `--rule`.
+pub const RULE_FAMILIES: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10"];
 
 /// Result of a lint run.
 #[derive(Clone, Debug, Default)]
 pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
-    /// Escape hatches that suppressed at least one finding.
+    /// Escape hatches that suppressed at least one finding (including
+    /// used `validated(...)` notes — same budget).
     pub hatches_used: usize,
     /// Source files lexed and parsed (lib crates + census extras).
     pub files_scanned: usize,
+    /// Wall-clock per analysis pass, accumulated across crates, in run
+    /// order (for `--timings`; not part of the JSON report).
+    pub timings: Vec<(String, std::time::Duration)>,
 }
 
 impl LintReport {
@@ -272,12 +304,15 @@ struct Prepped {
     lexed: Lexed,
     items: Vec<Item>,
     structs: Vec<guarded::StructInfo>,
+    fns: Vec<callgraph::FnMeta>,
     has_alias: bool,
     decls: Vec<(String, String)>,
 }
 
-/// Lex, parse, and struct-scan one source file. Pure per-file work —
-/// this is the unit the thread pool distributes.
+/// Lex, parse, struct-scan, and fn-scan one source file. Pure per-file
+/// work — this is the unit the thread pool distributes, and the only
+/// place a file's tokens are produced: every later pass shares these
+/// artifacts.
 fn prep_file(source: &str) -> Prepped {
     let mut lx = lexer::lex(source);
     let has_alias = rules::has_result_alias(&lx);
@@ -288,10 +323,12 @@ fn prep_file(source: &str) -> Prepped {
         .collect();
     let items = parser::parse(&lx.tokens);
     let structs = guarded::collect_structs(&mut lx, &items);
+    let fns = callgraph::collect_fn_metas(&items, &lx);
     Prepped {
         lexed: lx,
         items,
         structs,
+        fns,
         has_alias,
         decls,
     }
@@ -339,15 +376,18 @@ pub fn lint_crates_with(
     let mut diags = Vec::new();
     let mut enums = Vec::new();
     let mut constructed: HashSet<(String, String)> = HashSet::new();
+    let mut timings: Vec<(String, std::time::Duration)> = Vec::new();
 
     // Phase 1: lex and parse every file (in parallel — per-file work
     // with no shared state), then fold the workspace-wide context the
     // scope-aware passes need — the I/O registry, the public-function
     // error registry with its `From` chains, and each crate's
     // lock-order declarations.
+    let t0 = std::time::Instant::now();
     let jobs: Vec<&SourceFile> = crates.iter().flat_map(|k| k.files.iter()).collect();
     let mut prepped = prep_all(&jobs, threads).into_iter();
     let mut files: Vec<ParsedFile> = Vec::new();
+    let mut crate_of: Vec<String> = Vec::new();
     let mut spans: Vec<CrateSpan> = Vec::new();
     let mut io_fns: HashSet<String> = IO_FNS.iter().map(|s| (*s).to_string()).collect();
     for krate in crates {
@@ -361,11 +401,13 @@ pub fn lint_crates_with(
             decls.extend(p.decls);
             collect_io_markers(&p.items, &mut io_fns);
             l2.push(file.l2);
+            crate_of.push(krate.name.clone());
             files.push(ParsedFile {
                 path: file.path.clone(),
                 lexed: p.lexed,
                 items: p.items,
                 structs: p.structs,
+                fns: p.fns,
             });
         }
         let alias_error = errors::crate_alias_error(&files[start..]);
@@ -389,10 +431,12 @@ pub fn lint_crates_with(
     // passes: a tree's `pf: PageFile` field is self-protecting only
     // because the pager crate's note says so.
     let noted = sendsync::collect_noted(&mut files);
+    add_timing(&mut timings, "prep", t0.elapsed());
 
     // Phase 2: run the per-crate passes.
     for span in &spans {
         let crate_files = &mut files[span.range.clone()];
+        let t = std::time::Instant::now();
         for (f, &l2) in crate_files.iter_mut().zip(&span.l2) {
             rules::l1_panic(&mut f.lexed, &f.path, &mut diags);
             rules::l1_assert(&mut f.lexed, &f.path, &mut diags);
@@ -403,12 +447,20 @@ pub fn lint_crates_with(
             enums.extend(rules::collect_error_enums(&f.lexed, &f.path));
             rules::collect_constructions(&f.lexed, &mut constructed);
         }
+        add_timing(&mut timings, "L1-L3", t.elapsed());
+        let t = std::time::Instant::now();
         let classes = guarded::acquisition_classes(crate_files);
         let maps = guarded::l7_annotations(crate_files, &classes, &mut diags);
+        add_timing(&mut timings, "L7", t.elapsed());
+        let t = std::time::Instant::now();
         locks::l4_locks(crate_files, &io_fns, &span.decls, &maps, &mut diags);
+        add_timing(&mut timings, "L4", t.elapsed());
         for f in crate_files.iter_mut() {
             let accounting = ACCOUNTING_FILES.contains(&f.path.as_str());
+            let t = std::time::Instant::now();
             ordering::l5_ordering(&f.path, &mut f.lexed, &f.items, accounting, &mut diags);
+            add_timing(&mut timings, "L5", t.elapsed());
+            let t = std::time::Instant::now();
             errors::l6_errors(
                 &f.path,
                 &mut f.lexed,
@@ -417,25 +469,61 @@ pub fn lint_crates_with(
                 span.alias_error.as_deref(),
                 &mut diags,
             );
+            add_timing(&mut timings, "L6", t.elapsed());
+            let t = std::time::Instant::now();
             guarded::l7_unprotected(f, &noted, &mut diags);
+            add_timing(&mut timings, "L7", t.elapsed());
+            let t = std::time::Instant::now();
             sendsync::l8_boundary(f, &mut diags);
+            add_timing(&mut timings, "L8", t.elapsed());
         }
     }
+    let t = std::time::Instant::now();
     for file in extra_sources {
         let lx = lexer::lex(&file.source);
         rules::collect_constructions(&lx, &mut constructed);
     }
     rules::l3_dead_variants(&enums, &constructed, &mut files, &mut diags);
+    add_timing(&mut timings, "L3-census", t.elapsed());
+
+    // Phase 3: workspace-wide interprocedural passes over the call
+    // graph (built once, shared by L9 and L10).
+    let t = std::time::Instant::now();
+    let graph = callgraph::CallGraph::build(&files, &crate_of);
+    add_timing(&mut timings, "callgraph", t.elapsed());
+    let t = std::time::Instant::now();
+    taint::l9_taint(&graph, &mut files, &mut diags);
+    add_timing(&mut timings, "L9", t.elapsed());
+    let t = std::time::Instant::now();
+    hot::l10_hot(&graph, &io_fns, &mut files, &mut diags);
+    add_timing(&mut timings, "L10", t.elapsed());
+
+    let t = std::time::Instant::now();
     let mut hatches_used = 0;
     for f in &files {
         rules::hatch_hygiene(&f.lexed, &f.path, &mut diags);
         hatches_used += f.lexed.hatches.iter().filter(|h| h.used).count();
+        hatches_used += f.lexed.validated_notes.iter().filter(|n| n.used).count();
     }
+    add_timing(&mut timings, "hygiene", t.elapsed());
     diags.sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     LintReport {
         diagnostics: diags,
         hatches_used,
         files_scanned: files.len() + extra_sources.len(),
+        timings,
+    }
+}
+
+/// Fold a pass duration into the per-pass accumulator.
+fn add_timing(
+    timings: &mut Vec<(String, std::time::Duration)>,
+    name: &str,
+    d: std::time::Duration,
+) {
+    match timings.iter_mut().find(|(n, _)| n == name) {
+        Some(e) => e.1 += d,
+        None => timings.push((name.to_string(), d)),
     }
 }
 

@@ -49,7 +49,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use crate::guarded::FieldMaps;
 use crate::lexer::{Kind, Lexed, Token};
-use crate::parser::{Block, Item, ItemKind, Stmt};
+use crate::parser::{Block, Stmt};
 use crate::{Diagnostic, ParsedFile};
 
 /// Methods whose zero-argument calls acquire a guard.
@@ -84,16 +84,6 @@ struct Site {
     col: u32,
 }
 
-/// One function body with the signature context the walk needs.
-struct FnInfo {
-    name: String,
-    body: Block,
-    /// Self type of the enclosing impl, if any.
-    self_ty: Option<String>,
-    /// `(name, type identifier tokens)` per named parameter.
-    params: Vec<(String, Vec<String>)>,
-}
-
 /// Everything shared across one function walk.
 struct WalkCtx<'a> {
     path: &'a str,
@@ -123,15 +113,14 @@ pub fn l4_locks(
     let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for f in files.iter() {
-        for_each_fn(&f.items, &mut |item| {
-            if is_test_item(item, &f.lexed) {
-                return;
+        for fm in &f.fns {
+            if fm.is_test {
+                continue;
             }
-            let Some(body) = &item.body else { return };
-            let (acq, callees) = scan_flat(&f.lexed.tokens, body.open + 1, body.close);
-            direct.entry(item.name.clone()).or_default().extend(acq);
-            calls.entry(item.name.clone()).or_default().extend(callees);
-        });
+            let (acq, callees) = scan_flat(&f.lexed.tokens, fm.body.open + 1, fm.body.close);
+            direct.entry(fm.name.clone()).or_default().extend(acq);
+            calls.entry(fm.name.clone()).or_default().extend(callees);
+        }
     }
     let mut summaries = direct;
     loop {
@@ -160,23 +149,29 @@ pub fn l4_locks(
     // diagnostics and collecting the acquisition graph.
     let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
     for f in files.iter_mut() {
-        let mut fns = Vec::new();
-        collect_fns(&f.items, &f.lexed, None, &mut fns);
-        for fi in fns {
+        // Split borrows: walk the shared fn registry immutably while
+        // the lexed side stays mutable for hatch consumption.
+        let ParsedFile {
+            path, lexed, fns, ..
+        } = f;
+        for fm in fns.iter() {
+            if fm.is_test {
+                continue;
+            }
             let mut ctx = WalkCtx {
-                path: &f.path,
+                path,
                 io_fns,
                 decls,
                 summaries: &summaries,
                 maps,
-                fn_name: fi.name,
-                self_ty: fi.self_ty,
+                fn_name: fm.name.clone(),
+                self_ty: fm.self_ty.clone(),
                 locals: BTreeMap::new(),
             };
             let mut held: Vec<Guard> = Vec::new();
             // A parameter typed as a guarded struct can only exist while
             // that struct's locks are held by the caller.
-            for (pname, tidents) in &fi.params {
+            for (pname, tidents) in &fm.params {
                 let Some(ty) = tidents.iter().find(|t| maps.has_struct(t)) else {
                     continue;
                 };
@@ -193,137 +188,13 @@ pub fn l4_locks(
                 }
             }
             walk_block(
-                &fi.body,
-                &mut ctx,
-                &mut f.lexed,
-                &mut held,
-                &mut edges,
-                diags,
-                true,
+                &fm.body, &mut ctx, lexed, &mut held, &mut edges, diags, true,
             );
         }
     }
 
     // Phase 3: cycles in the acquisition graph.
     report_cycles(&edges, files, diags);
-}
-
-/// Clone out the bodies of every non-test fn (with signature context)
-/// so phase 2 can hold the file mutably (hatch consumption) while
-/// walking.
-fn collect_fns(items: &[Item], lexed: &Lexed, self_ty: Option<&str>, out: &mut Vec<FnInfo>) {
-    for item in items {
-        if item.kind == ItemKind::Fn && !is_test_item(item, lexed) {
-            if let Some(b) = &item.body {
-                out.push(FnInfo {
-                    name: item.name.clone(),
-                    body: b.clone(),
-                    self_ty: self_ty.map(str::to_string),
-                    params: fn_params(&lexed.tokens, item, b.open),
-                });
-            }
-        }
-        let child_self = if item.kind == ItemKind::Impl {
-            item.impl_ty.first().map(String::as_str)
-        } else {
-            self_ty
-        };
-        collect_fns(&item.children, lexed, child_self, out);
-    }
-}
-
-/// Parse `(name, type idents)` for each named parameter of a fn item:
-/// the first `(`..`)` group after the `fn` keyword outside generic
-/// brackets. `self` receivers and non-trivial patterns are skipped.
-fn fn_params(tokens: &[Token], item: &Item, body_open: usize) -> Vec<(String, Vec<String>)> {
-    let mut out = Vec::new();
-    let mut j = item.first;
-    while j < body_open && !tokens[j].is_ident("fn") {
-        j += 1;
-    }
-    let mut angle = 0usize;
-    let mut open = None;
-    for (k, t) in tokens.iter().enumerate().take(body_open).skip(j) {
-        if t.is_punct('<') {
-            angle += 1;
-        } else if t.is_punct('>') {
-            angle = angle.saturating_sub(1);
-        } else if t.is_punct('(') && angle == 0 {
-            open = Some(k);
-            break;
-        }
-    }
-    let Some(open) = open else { return out };
-    let close = match_paren(tokens, open, body_open);
-    let mut seg = open + 1;
-    while seg < close {
-        let mut depth = 0usize;
-        let mut end = seg;
-        while end < close {
-            let t = &tokens[end];
-            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
-                depth += 1;
-            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
-                depth = depth.saturating_sub(1);
-            } else if t.is_punct(',') && depth == 0 {
-                break;
-            }
-            end += 1;
-        }
-        // One parameter in [seg, end): `mut? name : type...`.
-        let mut p = seg;
-        if tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
-            p += 1;
-        }
-        if let Some(name) = tokens.get(p).filter(|t| t.kind == Kind::Ident) {
-            if tokens.get(p + 1).is_some_and(|t| t.is_punct(':')) {
-                let tidents = tokens[p + 2..end]
-                    .iter()
-                    .filter(|t| t.kind == Kind::Ident)
-                    .map(|t| t.text.clone())
-                    .collect();
-                out.push((name.text.clone(), tidents));
-            }
-        }
-        seg = end + 1;
-    }
-    out
-}
-
-/// Index of the `)` matching the `(` at `open`, clamped to `end`.
-fn match_paren(tokens: &[Token], open: usize, end: usize) -> usize {
-    let mut depth = 0usize;
-    for (k, t) in tokens
-        .iter()
-        .enumerate()
-        .take(end.min(tokens.len()))
-        .skip(open)
-    {
-        if t.is_punct('(') {
-            depth += 1;
-        } else if t.is_punct(')') {
-            depth -= 1;
-            if depth == 0 {
-                return k;
-            }
-        }
-    }
-    end.min(tokens.len())
-}
-
-/// Visit every fn item (recursively through mods/impls/traits).
-fn for_each_fn<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
-    for item in items {
-        if item.kind == ItemKind::Fn {
-            f(item);
-        }
-        for_each_fn(&item.children, f);
-    }
-}
-
-/// Is the item inside test-masked code?
-fn is_test_item(item: &Item, lexed: &Lexed) -> bool {
-    lexed.test_mask.get(item.first).copied().unwrap_or(false)
 }
 
 /// Flat scan of a token range for acquisitions (classes) and call

@@ -1,15 +1,16 @@
 //! `sr-lint` — run the srlint workspace checks from the command line.
 //!
 //! ```text
-//! sr-lint [--json] [--root <workspace-root>] [--rule <id>] [--stats]
+//! sr-lint [--json] [--root <workspace-root>] [--rule <id>] [--stats] [--timings]
 //! ```
 //!
 //! `--rule` keeps only one family (`L7`) or one exact rule
 //! (`L7/unguarded-access`); `--stats` appends a one-line run summary
-//! (files scanned, findings per firing rule, elapsed ms). Exit code 0
-//! when the (filtered) report is clean, 1 on violations, 2 on usage or
-//! I/O errors. `srtool lint` is the same entry point routed through
-//! the CLI.
+//! (files scanned, findings per firing rule, elapsed ms); `--timings`
+//! appends a per-pass wall-clock summary line. Exit code 0 when the
+//! (filtered) report is clean, 1 on violations, 2 on usage or I/O
+//! errors. `srtool lint` is the same entry point routed through the
+//! CLI.
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +19,7 @@ use std::path::PathBuf;
 fn main() {
     let mut json = false;
     let mut stats = false;
+    let mut timings = false;
     let mut rule: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -25,6 +27,7 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--stats" => stats = true,
+            "--timings" => timings = true,
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => {
@@ -42,7 +45,7 @@ fn main() {
             other => {
                 eprintln!(
                     "sr-lint: unknown argument {other:?}\n\
-                     usage: sr-lint [--json] [--root <dir>] [--rule <id>] [--stats]"
+                     usage: sr-lint [--json] [--root <dir>] [--rule <id>] [--stats] [--timings]"
                 );
                 std::process::exit(2);
             }
@@ -106,6 +109,14 @@ fn main() {
             "srlint-stats: files={} findings: {} elapsed_ms={}",
             report.files_scanned, findings, elapsed_ms
         );
+    }
+    if timings {
+        let per_pass: Vec<String> = report
+            .timings
+            .iter()
+            .map(|(name, d)| format!("{name}={:.1}ms", d.as_secs_f64() * 1000.0))
+            .collect();
+        println!("srlint-timings: {}", per_pass.join(" "));
     }
     if !report.is_clean() {
         std::process::exit(1);

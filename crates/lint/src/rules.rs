@@ -551,8 +551,9 @@ pub fn hatch_hygiene(lexed: &Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
             col,
             rule: "hatch/malformed".to_string(),
             message: "malformed srlint comment: expected `allow(<rule>)`, `ordering`, \
-                      `lock-order(<a> < <b>)`, or `send-sync`, each followed by \
-                      ` -- <reason>`, or `guarded-by(<lock>)` with no reason"
+                      `lock-order(<a> < <b>)`, `send-sync`, `untrusted-source`, or \
+                      `validated(<expr>)`, each followed by ` -- <reason>`, or \
+                      `guarded-by(<lock>)` / `hot` with no reason"
                 .to_string(),
         });
     }
@@ -569,5 +570,36 @@ pub fn hatch_hygiene(lexed: &Lexed, file: &str, diags: &mut Vec<Diagnostic>) {
                 ),
             });
         }
+    }
+    // The L9/L10 annotations are subject to the same hygiene: a note
+    // that attaches to nothing (or validates a value the pass never
+    // questioned) is stale and hides drift.
+    let unused_notes = lexed
+        .untrusted_notes
+        .iter()
+        .filter(|n| !n.used)
+        .map(|n| (n.line, "untrusted-source", "marks no function item"))
+        .chain(
+            lexed
+                .validated_notes
+                .iter()
+                .filter(|n| !n.used)
+                .map(|n| (n.line, "validated", "validates no questioned value")),
+        )
+        .chain(
+            lexed
+                .hot_notes
+                .iter()
+                .filter(|n| !n.used)
+                .map(|n| (n.line, "hot", "marks no function item")),
+        );
+    for (line, kind, why) in unused_notes {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule: "hatch/unused".to_string(),
+            message: format!("srlint note `{kind}` {why}; remove it"),
+        });
     }
 }

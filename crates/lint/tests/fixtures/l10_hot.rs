@@ -1,0 +1,53 @@
+//! Seeded L10 violations: heap allocation, lock acquisition, and store
+//! I/O reachable from `// srlint: hot` roots — directly and through
+//! the call graph — plus the amortized-scratch pattern that must stay
+//! silent.
+
+// srlint: hot
+fn hot_direct_alloc(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+// srlint: hot
+fn hot_transitive_alloc(xs: &[f64]) -> usize {
+    let label = describe(xs);
+    label.len()
+}
+
+fn describe(xs: &[f64]) -> String {
+    format!("{} lanes", xs.len())
+}
+
+// srlint: hot
+fn hot_takes_lock(counter: &std::sync::Mutex<u64>) -> u64 {
+    let g = counter.lock();
+    *g
+}
+
+/// Reads a page straight off the store.
+#[doc = "srlint: io"]
+fn load_page(id: u64) -> [u8; 16] {
+    [id as u8; 16]
+}
+
+// srlint: hot
+fn hot_touches_store(id: u64) -> usize {
+    let page = load_page(id);
+    page.len()
+}
+
+/// Amortized scratch growth is allowed on hot paths: `clear`, `push`,
+/// and `resize` reuse capacity and are deliberately outside the ban.
+// srlint: hot
+fn hot_clean(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    for x in xs {
+        out.push(*x * *x);
+    }
+}
+
+// srlint: hot
+fn hot_hatched(xs: &[f64]) -> Vec<f64> {
+    // srlint: allow(hot-alloc) -- one-time warmup, measured off the query path
+    xs.to_vec()
+}

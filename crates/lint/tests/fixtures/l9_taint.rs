@@ -1,0 +1,79 @@
+//! Seeded L9 violations: untrusted lengths, offsets, and allocation
+//! sizes flowing to sinks without a dominating validation — plus the
+//! sanctioned patterns (comparison, derived check, `validated(...)`
+//! note, `allow(...)` hatch) that must stay silent.
+
+// srlint: untrusted-source -- models a header count decoded from raw bytes
+fn read_count(buf: &[u8]) -> usize {
+    buf.len() % 256
+}
+
+/// Thin wrapper: returns taint to its callers through the fixpoint.
+fn decode_len(buf: &[u8]) -> usize {
+    read_count(buf)
+}
+
+fn splits_unchecked(buf: &[u8]) -> (&[u8], &[u8]) {
+    buf.split_at(read_count(buf))
+}
+
+fn indexes_unchecked(buf: &[u8]) -> u8 {
+    let off = read_count(buf);
+    buf[off]
+}
+
+fn repeats_unchecked(buf: &[u8]) -> Vec<u8> {
+    let n = read_count(buf);
+    vec![0u8; n]
+}
+
+fn loops_unchecked(buf: &[u8]) -> u64 {
+    let n = decode_len(buf);
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(i as u64);
+    }
+    acc
+}
+
+/// The tainted argument crosses the call edge: the sink fires inside
+/// the callee, attributed to its parameter.
+fn forwards_taint(buf: &[u8]) -> Vec<u8> {
+    let n = read_count(buf);
+    alloc_exact(n)
+}
+
+fn alloc_exact(cap: usize) -> Vec<u8> {
+    Vec::with_capacity(cap)
+}
+
+fn checked_is_clean(buf: &[u8]) -> (&[u8], &[u8]) {
+    let n = read_count(buf);
+    if n > buf.len() {
+        return (buf, &[]);
+    }
+    buf.split_at(n)
+}
+
+/// Validating a derived quantity clears the chain: the comparison on
+/// `need` dominates the `n` it was computed from.
+fn derived_check_is_clean(buf: &[u8]) -> (&[u8], &[u8]) {
+    let n = read_count(buf);
+    let need = n * 8;
+    if need > buf.len() {
+        return (buf, &[]);
+    }
+    buf.split_at(n)
+}
+
+fn validated_note_is_clean(buf: &[u8]) -> Vec<u8> {
+    let n = read_count(buf);
+    // srlint: validated(n) -- read_count bounds it by the modulus
+    Vec::with_capacity(n)
+}
+
+fn hatched_is_clean(buf: &[u8]) -> Vec<u8> {
+    let n = read_count(buf);
+    // srlint: allow(tainted-alloc) -- capacity is clamped by the page size upstream
+    Vec::with_capacity(n)
+}

@@ -19,6 +19,8 @@ const FIXTURES: &[(&str, &str)] = &[
     ("l6_errors.rs", "l6_errors.rs"),
     ("l7_guarded.rs", "l7_guarded.rs"),
     ("l8_sendsync.rs", "l8_sendsync.rs"),
+    ("l9_taint.rs", "l9_taint.rs"),
+    ("l10_hot.rs", "l10_hot.rs"),
     ("hatch.rs", "hatch.rs"),
 ];
 
@@ -108,7 +110,51 @@ fn every_new_pass_fires_somewhere_in_the_goldens() {
         "L8/missing-note",
         "L8/interior-mutability",
         "L8/send-sync-unused",
+        "L9/unchecked-length",
+        "L9/unchecked-offset",
+        "L9/tainted-alloc",
+        "L10/hot-alloc",
+        "L10/hot-lock",
+        "L10/hot-io",
     ] {
         assert!(seen.contains(rule), "no golden fixture exercises {rule}");
     }
+}
+
+#[test]
+fn fixture_workspace_family_counts_match_golden_json() {
+    // The whole fixture set linted as one multi-crate workspace (each
+    // fixture its own crate), snapshotting the per-family counts from
+    // the `--json` report. Cross-crate call-graph resolution runs here,
+    // so a resolver regression shifts a count even when the per-fixture
+    // goldens (single-crate) stay put.
+    let crates: Vec<_> = FIXTURES
+        .iter()
+        .map(|(fixture, display_path)| {
+            let source =
+                std::fs::read_to_string(fixture_dir().join(fixture)).expect("read fixture");
+            CrateSources {
+                name: fixture.trim_end_matches(".rs").to_string(),
+                files: vec![SourceFile {
+                    path: display_path.to_string(),
+                    source,
+                    l2: false,
+                }],
+            }
+        })
+        .collect();
+    let json = lint_crates(&crates, &[]).to_json();
+    let families = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"families\""))
+        .expect("families line in JSON report")
+        .trim()
+        .to_string();
+    let golden_path = golden_dir().join("families.json.golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{families}\n")).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("read families golden");
+    assert_eq!(format!("{families}\n"), want);
 }

@@ -334,6 +334,7 @@ fn json_output_is_well_formed_and_escaped() {
         diagnostics: diags,
         hatches_used: 0,
         files_scanned: 1,
+        timings: Vec::new(),
     };
     let json = report.to_json();
     assert!(json.contains("\"violation_count\": 1"), "{json}");

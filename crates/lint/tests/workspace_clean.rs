@@ -300,3 +300,85 @@ fn parallel_lint_is_byte_identical_to_serial() {
         assert_eq!(serial, parallel, "report drifted at {threads} threads");
     }
 }
+
+#[test]
+fn seeded_tainted_alloc_fails_the_gate() {
+    // An allocation sized straight from a page-header read, the shape
+    // of a decoder that trusts its length prefix.
+    let report = lint_with_seed(
+        "crates/pager/src/leaf.rs",
+        "pub fn seeded_taint(c: &mut ReadHeader) -> Result<Vec<u8>> {\n    \
+         let n = usize::from(c.get_u16()?);\n    Ok(vec![0u8; n])\n}",
+    );
+    assert_fires(&report, "L9/tainted-alloc", "crates/pager/src/leaf.rs");
+}
+
+#[test]
+fn seeded_unchecked_length_fails_the_gate() {
+    // A wire-decoded count driving `split_at` with no bound check.
+    let report = lint_with_seed(
+        "crates/wire/src/frame.rs",
+        "pub fn seeded_split(r: &mut Reader<'_>, buf: &[u8]) -> Result<(), WireError> {\n    \
+         let n = r.u32()? as usize;\n    let (_a, _b) = buf.split_at(n);\n    Ok(())\n}",
+    );
+    assert_fires(&report, "L9/unchecked-length", "crates/wire/src/frame.rs");
+}
+
+#[test]
+fn seeded_unchecked_offset_fails_the_gate() {
+    // A WAL-decoded word used as a raw index.
+    let report = lint_with_seed(
+        "crates/pager/src/wal.rs",
+        "pub fn seeded_index(buf: &[u8]) -> u8 {\n    \
+         let off = rd_u32(buf, 0) as usize;\n    buf[off]\n}",
+    );
+    assert_fires(&report, "L9/unchecked-offset", "crates/pager/src/wal.rs");
+}
+
+#[test]
+fn seeded_hot_alloc_fails_the_gate() {
+    // A hot-marked kernel entry that clones its input, with the
+    // allocation one call away so the chain rides the call graph.
+    let report = lint_with_seed(
+        "crates/geometry/src/kernel.rs",
+        "// srlint: hot\npub fn seeded_hot_outer(xs: &[f32]) -> usize {\n    \
+         seeded_inner(xs).len()\n}\n\n\
+         pub fn seeded_inner(xs: &[f32]) -> Vec<f32> {\n    xs.to_vec()\n}",
+    );
+    assert_fires(&report, "L10/hot-alloc", "crates/geometry/src/kernel.rs");
+}
+
+#[test]
+fn seeded_hot_lock_fails_the_gate() {
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    // srlint: hot\n    pub fn seeded_hot_lock(&self) -> PageId {\n        \
+         let g = self.meta.lock();\n        g.free_head\n    }\n}",
+    );
+    assert_fires(&report, "L10/hot-lock", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn seeded_hot_io_fails_the_gate() {
+    let report = lint_with_seed(
+        "crates/pager/src/pagefile.rs",
+        "impl PageFile {\n    // srlint: hot\n    pub fn seeded_hot_io(&self) -> Result<()> {\n        \
+         self.store.sync()\n    }\n}",
+    );
+    assert_fires(&report, "L10/hot-io", "crates/pager/src/pagefile.rs");
+}
+
+#[test]
+fn per_pass_timings_cover_every_phase() {
+    // The phase-sharing refactor parses each file once and reuses the
+    // artifacts; the per-pass timing table is how a regression (a pass
+    // silently re-parsing, or not running at all) becomes visible.
+    let report = sr_lint::lint_workspace(&workspace_root()).expect("lint run");
+    for phase in ["prep", "callgraph", "L9", "L10", "hygiene"] {
+        assert!(
+            report.timings.iter().any(|(name, _)| name == phase),
+            "no timing recorded for phase {phase}: {:?}",
+            report.timings.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
+    }
+}

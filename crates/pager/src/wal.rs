@@ -187,6 +187,7 @@ pub fn encode_commit_frame(seq: u64, epoch: u64) -> Result<Vec<u8>> {
 
 /// Decode the frame at the start of `buf` against this log generation's
 /// `epoch` and `page_size`.
+// srlint: untrusted-source -- log bytes may be torn or stale; lengths decoded here are only trusted after the CRC and bounds checks
 pub fn decode_frame(buf: &[u8], epoch: u64, page_size: usize) -> FrameDecode {
     if buf.len() < FRAME_HEADER {
         return FrameDecode::Incomplete;

@@ -26,6 +26,7 @@ use crate::knn::{Expansion, LeafScan};
 ///
 /// The scratch vectors inside `out` are reused across calls, so a whole
 /// query's leaf scans allocate at most once.
+// srlint: hot
 pub fn scan_leaf_columns<N>(
     cols: &LeafColumns<'_>,
     query: &[f32],

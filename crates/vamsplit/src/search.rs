@@ -11,6 +11,23 @@ use crate::error::{Result, TreeError};
 use crate::node::Node;
 use crate::tree::VamTree;
 
+/// The allocation-free leaf fast path: score a parsed columnar view
+/// with the shared kernels. The page read and the payload validation
+/// stay in the caller — parsing untrusted bytes may fail with a
+/// formatted diagnostic, but everything past this boundary must not
+/// allocate, lock, or touch the store, and srlint's L10 pass enforces
+/// exactly that.
+// srlint: hot
+fn scan_leaf_fast<N>(
+    cols: &LeafColumns<'_>,
+    query: &[f32],
+    prune2: f64,
+    scan: LeafScan,
+    out: &mut Expansion<N>,
+) -> Result<()> {
+    scan_leaf_columns(cols, query, prune2, scan, out).map_err(|e| TreeError::Corrupt(e.to_string()))
+}
+
 struct Source<'a> {
     tree: &'a VamTree,
     scan: LeafScan,
@@ -47,6 +64,17 @@ impl KnnSource for Source<'_> {
             let _level = r.get_u16()?;
             let n = r.get_u16()?;
             let dim = self.tree.params.dim;
+            // The entry count came off the page: bound it by the bytes
+            // actually present before it drives the read loop, so a
+            // corrupt header fails here with one clear error instead of
+            // partway through the entries.
+            let need = usize::from(n) * (dim * 8 * 2 + 8);
+            if need > r.remaining() {
+                return Err(TreeError::Corrupt(format!(
+                    "inner node claims {n} entries but only {} payload bytes remain",
+                    r.remaining()
+                )));
+            }
             for _ in 0..n {
                 let lo = r.get_bytes(dim * 8)?;
                 let hi = r.get_bytes(dim * 8)?;
@@ -64,8 +92,7 @@ impl KnnSource for Source<'_> {
             // `leaf_expansions == leaf_reads` invariant holds unchanged.
             let payload = self.tree.leaf_payload(id)?;
             let cols = LeafColumns::parse(&payload, self.tree.params.dim)?;
-            scan_leaf_columns(&cols, query, prune2, self.scan, out)
-                .map_err(|e| TreeError::Corrupt(e.to_string()))?;
+            scan_leaf_fast(&cols, query, prune2, self.scan, out)?;
             return Ok(());
         }
         match self.tree.read_node(id, level)? {

@@ -154,6 +154,13 @@ impl<'a> Reader<'a> {
         rest
     }
 
+    /// Bytes left to consume: the bound every body-declared element
+    /// count must be validated against before it sizes an allocation
+    /// or a read loop.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
     /// A body must be consumed exactly: trailing bytes mean the frame
     /// was built by a different encoder and cannot be trusted.
     fn finish(self) -> Result<(), WireError> {
@@ -168,7 +175,16 @@ impl<'a> Reader<'a> {
 /// A point vector: `dim:u32 | dim × f32`.
 fn read_point(r: &mut Reader<'_>) -> Result<Vec<f32>, WireError> {
     let dim = r.u32()? as usize;
-    let mut coords = Vec::with_capacity(dim.min(DEFAULT_MAX_BODY / 4));
+    // The declared dimension is attacker-controlled: it must fit the
+    // bytes actually present before it sizes the allocation or bounds
+    // the read loop.
+    let need = dim
+        .checked_mul(4)
+        .ok_or_else(|| corrupt("point dimension overflows the body length"))?;
+    if need > r.remaining() {
+        return Err(corrupt("point dimension exceeds body contents"));
+    }
+    let mut coords = Vec::with_capacity(dim);
     for _ in 0..dim {
         coords.push(r.f32()?);
     }
@@ -278,6 +294,7 @@ type Envelope<'a> = Option<(u8, &'a [u8], usize)>;
 
 /// Validate the header + body envelope of the frame at the front of
 /// `buf`, returning `(kind, body, consumed)` once whole and authentic.
+// srlint: untrusted-source -- the envelope body comes straight off the socket; every count it yields must be re-validated downstream
 fn decode_envelope(buf: &[u8], max_body: usize) -> Result<Envelope<'_>, WireError> {
     let Some(header) = buf.get(..HEADER_LEN) else {
         return Ok(None);
@@ -356,7 +373,15 @@ pub fn decode_response(buf: &[u8], max_body: usize) -> Result<Decoded<Response>,
     let msg = match kind {
         KIND_RESP_ROWS => {
             let n = r.u32()? as usize;
-            let mut rows = Vec::with_capacity(n.min(max_body / 16));
+            // The declared row count must fit the body (16 bytes per
+            // row) before it sizes the allocation or bounds the loop.
+            let need = n
+                .checked_mul(16)
+                .ok_or_else(|| corrupt("row count overflows the body length"))?;
+            if need > r.remaining() {
+                return Err(corrupt("row count exceeds body contents"));
+            }
+            let mut rows = Vec::with_capacity(n);
             for _ in 0..n {
                 let data = r.u64()?;
                 let dist = r.f64()?;
@@ -480,6 +505,41 @@ mod tests {
             decode_request(&resp, DEFAULT_MAX_BODY),
             Err(WireError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn lying_point_dimension_is_corrupt_not_an_over_read() {
+        // A KNN body whose point claims u32::MAX coordinates but
+        // carries one: the declared dimension must be checked against
+        // the bytes present, yielding a typed Corrupt — never a panic,
+        // an over-read, or a multi-gigabyte allocation.
+        let mut body = Vec::new();
+        body.extend_from_slice(&10u32.to_le_bytes()); // k
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // lying dim
+        body.extend_from_slice(&1.0f32.to_le_bytes()); // one coordinate
+        let frame = seal(KIND_REQ_KNN, body).expect("seal");
+        match decode_request(&frame, DEFAULT_MAX_BODY) {
+            Err(WireError::Corrupt { detail }) => {
+                assert!(detail.contains("point dimension"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lying_row_count_is_corrupt_not_an_over_read() {
+        // A rows body that declares more rows than the body holds.
+        let mut body = Vec::new();
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // lying count
+        body.extend_from_slice(&7u64.to_le_bytes()); // one row's data
+        body.extend_from_slice(&0.5f64.to_le_bytes()); // one row's dist
+        let frame = seal(KIND_RESP_ROWS, body).expect("seal");
+        match decode_response(&frame, DEFAULT_MAX_BODY) {
+            Err(WireError::Corrupt { detail }) => {
+                assert!(detail.contains("row count"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Decoder-totality fuzzing: every byte-level decoder in the system —
+//! the columnar leaf view, the wire frame codecs, and the WAL scanner —
+//! must be a *total* function of arbitrary input bytes. Random and
+//! mutated buffers may decode, report `Incomplete`, or fail with a
+//! typed error; they must never panic, over-read, or allocate from an
+//! unvalidated length. This is the runtime counterpart of srlint's L9
+//! taint pass: the lint proves every decoded count is checked before
+//! use, this arm hammers the same decoders with inputs that lie.
+//!
+//! Set `SRTREE_FUZZ_SEED` (decimal or `0x`-hex) to replay a failure;
+//! the fixed default seeds keep CI deterministic.
+
+use srtree::dataset::SeededRng;
+use srtree::pager::{
+    encode_header, encode_page_frame, put_leaf_columns, scan_log, LeafColumns, PageCodec,
+};
+use srtree::wire::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response, Row,
+    DEFAULT_MAX_BODY,
+};
+
+/// Random + mutated buffers per seed, per decoder. Small enough to stay
+/// in tier-1 time, large enough that every early-exit branch of each
+/// decoder is hit many times per run.
+const CASES: usize = 4_000;
+
+fn seed_for(default: u64) -> u64 {
+    match std::env::var("SRTREE_FUZZ_SEED") {
+        Ok(s) => parse_seed(&s).unwrap_or_else(|| panic!("bad SRTREE_FUZZ_SEED {s:?}")),
+        Err(_) => default,
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn random_bytes(rng: &mut SeededRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..max_len + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Corrupt a valid buffer: flip bytes, truncate, or splice garbage —
+/// the mutations a torn write or a hostile peer would produce.
+fn mutate(rng: &mut SeededRng, valid: &[u8]) -> Vec<u8> {
+    let mut buf = valid.to_vec();
+    match rng.random_range(0..4) {
+        0 => {
+            // Flip up to 4 bytes.
+            for _ in 0..rng.random_range(1..5) {
+                if buf.is_empty() {
+                    break;
+                }
+                let i = rng.random_range(0..buf.len());
+                buf[i] ^= rng.next_u64() as u8 | 1;
+            }
+        }
+        1 => {
+            // Truncate to a strict prefix.
+            buf.truncate(rng.random_range(0..buf.len().max(1)));
+        }
+        2 => {
+            // Append garbage.
+            buf.extend(random_bytes(rng, 64));
+        }
+        _ => {
+            // Overwrite a random aligned u32 with an extreme value —
+            // the shape of a lying length or count field.
+            if buf.len() >= 4 {
+                let i = rng.random_range(0..buf.len() - 3);
+                let lie: u32 = [0, 1, u32::MAX, u32::MAX / 2, 0xFFFF][rng.random_range(0..5)];
+                buf[i..i + 4].copy_from_slice(&lie.to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+#[test]
+fn leaf_columns_parse_is_total() {
+    for (si, base) in [0xDECFu64 << 16 | 1, 0xDECF << 16 | 2, 0xDECF << 16 | 3]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = SeededRng::seed_from_u64(seed_for(base));
+        for case in 0..CASES {
+            let dim = 1 + rng.random_range(0..32);
+            let buf = if rng.random_range(0..2) == 0 {
+                random_bytes(&mut rng, 4096)
+            } else {
+                // A well-formed columnar payload, then mutated, so the
+                // fuzz reaches past the header into the bounds math.
+                let entries = rng.random_range(0..8);
+                let data_area = 16usize;
+                let mut valid = vec![0u8; 4 + entries * (dim * 8 + data_area)];
+                let points: Vec<Vec<f32>> = (0..entries)
+                    .map(|_| (0..dim).map(|_| rng.next_u64() as f32).collect())
+                    .collect();
+                let refs: Vec<(&[f32], u64)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.as_slice(), i as u64))
+                    .collect();
+                let mut c = PageCodec::new(&mut valid);
+                put_leaf_columns(&mut c, dim, data_area, &refs).expect("valid leaf");
+                mutate(&mut rng, &valid)
+            };
+            if let Ok(cols) = LeafColumns::parse(&buf, dim) {
+                // A successful parse must expose in-bounds views.
+                let n = cols.len();
+                assert!(cols.coords().len() >= n * dim * 8, "seed {si} case {case}");
+                assert_eq!(cols.data_ids().count(), n, "seed {si} case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_frame_decode_is_total() {
+    for base in [0xD1CEu64 << 16 | 1, 0xD1CE << 16 | 2, 0xD1CE << 16 | 3] {
+        let mut rng = SeededRng::seed_from_u64(seed_for(base));
+        for _ in 0..CASES {
+            let buf = if rng.random_range(0..2) == 0 {
+                random_bytes(&mut rng, 512)
+            } else {
+                // Mutate a valid frame so the fuzz reaches past the
+                // header checks into the body decoders.
+                let dim = rng.random_range(0..16);
+                let valid = if rng.random_range(0..2) == 0 {
+                    encode_request(&Request::Knn {
+                        query: vec![0.5; dim],
+                        k: rng.random_range(0..64) as u32,
+                    })
+                    .expect("encode request")
+                } else {
+                    let rows: Vec<Row> = (0..rng.random_range(0..8))
+                        .map(|i| Row {
+                            data: i as u64,
+                            dist: i as f64,
+                        })
+                        .collect();
+                    encode_response(&Response::Rows(rows)).expect("encode response")
+                };
+                mutate(&mut rng, &valid)
+            };
+            // Any outcome but a panic is acceptable: Frame, Incomplete,
+            // or a typed error.
+            let _ = decode_request(&buf, DEFAULT_MAX_BODY);
+            let _ = decode_response(&buf, DEFAULT_MAX_BODY);
+            // A tiny cap exercises the TooLarge path on the same bytes.
+            let _ = decode_request(&buf, 16);
+            let _ = decode_response(&buf, 16);
+        }
+    }
+}
+
+#[test]
+fn wal_scan_is_total() {
+    const PS: usize = 256;
+    for base in [0x5CA1u64 << 16 | 1, 0x5CA1 << 16 | 2, 0x5CA1 << 16 | 3] {
+        let mut rng = SeededRng::seed_from_u64(seed_for(base));
+        for _ in 0..CASES {
+            let buf = if rng.random_range(0..2) == 0 {
+                random_bytes(&mut rng, 2048)
+            } else {
+                // A valid header + a few page frames, then mutated.
+                let mut log = encode_header(PS, 1).expect("encode header");
+                for id in 0..rng.random_range(0..4) {
+                    let image = vec![id as u8; PS];
+                    log.extend(encode_page_frame(id as u64, &image, 1).expect("encode frame"));
+                }
+                mutate(&mut rng, &log)
+            };
+            // scan_log stops at the first unreadable frame (typed error
+            // or truncated tail) — it must never panic on any bytes.
+            let _ = scan_log(&buf, PS);
+        }
+    }
+}
